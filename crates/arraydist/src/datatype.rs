@@ -1,0 +1,448 @@
+//! MPI-style derived datatypes lowered to nested FALLS.
+//!
+//! §3 of the paper notes that nested FALLS "can represent arbitrary
+//! distributions of data. For instance, MPI data types can be built on top
+//! of them." This module provides the classic MPI type constructors —
+//! contiguous, vector, and indexed — and lowers each to the nested FALLS
+//! selecting its bytes within one type extent, so datatypes can be used
+//! directly as views.
+
+use falls::{Falls, FallsError, LineSegment, NestedFalls, NestedSet};
+use serde::{Deserialize, Serialize};
+
+/// An MPI-like derived datatype.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Datatype {
+    /// An elementary type of `n` contiguous bytes (e.g. `MPI_DOUBLE` = 8).
+    Elementary(u64),
+    /// `count` repetitions of the child type, back to back.
+    Contiguous {
+        /// Number of repetitions.
+        count: u64,
+        /// Repeated type.
+        child: Box<Datatype>,
+    },
+    /// `count` blocks of `blocklen` children, spaced `stride` children apart
+    /// (strides measured in child extents, as in `MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: u64,
+        /// Children per block.
+        blocklen: u64,
+        /// Distance between block starts, in child extents.
+        stride: u64,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// Blocks at explicit displacements (in child extents), as in
+    /// `MPI_Type_indexed`. Displacements must be increasing and blocks
+    /// non-overlapping.
+    Indexed {
+        /// `(displacement, blocklen)` pairs, in child extents.
+        blocks: Vec<(u64, u64)>,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// An n-dimensional subarray of a row-major array, as in
+    /// `MPI_Type_create_subarray`: the extent spans the full array, the
+    /// selection is the hyper-rectangle `starts[d] .. starts[d]+sub[d]`
+    /// along every dimension.
+    Subarray {
+        /// Full array extents (in child elements), outermost first.
+        shape: Vec<u64>,
+        /// Subarray origin per dimension.
+        starts: Vec<u64>,
+        /// Subarray extents per dimension.
+        sub: Vec<u64>,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+}
+
+impl Datatype {
+    /// A single byte.
+    #[must_use]
+    pub fn byte() -> Self {
+        Datatype::Elementary(1)
+    }
+
+    /// The *extent* of the type: the span from its first to one past its
+    /// last byte (including holes).
+    #[must_use]
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Elementary(n) => *n,
+            Datatype::Contiguous { count, child } => count * child.extent(),
+            Datatype::Vector { count, blocklen, stride, child } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * child.extent()
+                }
+            }
+            Datatype::Indexed { blocks, child } => blocks
+                .iter()
+                .map(|(d, l)| (d + l) * child.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::Subarray { shape, child, .. } => {
+                shape.iter().product::<u64>() * child.extent()
+            }
+        }
+    }
+
+    /// The *size* of the type: the number of bytes it actually selects.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match self {
+            Datatype::Elementary(n) => *n,
+            Datatype::Contiguous { count, child } => count * child.size(),
+            Datatype::Vector { count, blocklen, child, .. } => count * blocklen * child.size(),
+            Datatype::Indexed { blocks, child } => {
+                blocks.iter().map(|(_, l)| l * child.size()).sum()
+            }
+            Datatype::Subarray { sub, child, .. } => {
+                sub.iter().product::<u64>() * child.size()
+            }
+        }
+    }
+
+    /// Whether the type selects every byte of its extent.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        self.size() == self.extent()
+    }
+
+    /// Lowers the type to the nested FALLS selecting its bytes within one
+    /// extent.
+    pub fn to_nested(&self) -> Result<NestedSet, FallsError> {
+        let families = self.families()?;
+        NestedSet::new(families)
+    }
+
+    fn families(&self) -> Result<Vec<NestedFalls>, FallsError> {
+        match self {
+            Datatype::Elementary(n) => {
+                Ok(vec![NestedFalls::leaf(Falls::new(0, n - 1, *n, 1)?)])
+            }
+            Datatype::Contiguous { count, child } => {
+                if child.is_dense() {
+                    let total = count * child.extent();
+                    return Ok(vec![NestedFalls::leaf(Falls::new(0, total - 1, total, 1)?)]);
+                }
+                let ce = child.extent();
+                let outer = Falls::new(0, ce - 1, ce, *count)?;
+                Ok(vec![NestedFalls::with_inner(outer, child.families()?)?])
+            }
+            Datatype::Vector { count, blocklen, stride, child } => {
+                let ce = child.extent();
+                let block_bytes = blocklen * ce;
+                let outer = Falls::new(0, block_bytes - 1, stride * ce, *count)?;
+                if child.is_dense() {
+                    return Ok(vec![NestedFalls::leaf(outer)]);
+                }
+                let rep = Falls::new(0, ce - 1, ce, *blocklen)?;
+                let inner = if *blocklen == 1 {
+                    child.families()?
+                } else {
+                    vec![NestedFalls::with_inner(rep, child.families()?)?]
+                };
+                Ok(vec![NestedFalls::with_inner(outer, inner)?])
+            }
+            Datatype::Indexed { blocks, child } => {
+                let ce = child.extent();
+                let mut out = Vec::with_capacity(blocks.len());
+                let mut prev_end = 0u64;
+                for &(disp, len) in blocks {
+                    assert!(len > 0, "indexed blocks must be non-empty");
+                    let start = disp * ce;
+                    assert!(
+                        out.is_empty() || start >= prev_end,
+                        "indexed displacements must be increasing and non-overlapping"
+                    );
+                    prev_end = (disp + len) * ce;
+                    let outer = Falls::new(start, prev_end - 1, prev_end - start, 1)?;
+                    if child.is_dense() {
+                        out.push(NestedFalls::leaf(outer));
+                    } else {
+                        let rep = Falls::new(0, ce - 1, ce, len)?;
+                        let inner = if len == 1 {
+                            child.families()?
+                        } else {
+                            vec![NestedFalls::with_inner(rep, child.families()?)?]
+                        };
+                        out.push(NestedFalls::with_inner(outer, inner)?);
+                    }
+                }
+                Ok(out)
+            }
+            Datatype::Subarray { shape, starts, sub, child } => {
+                assert_eq!(shape.len(), starts.len(), "one start per dimension");
+                assert_eq!(shape.len(), sub.len(), "one extent per dimension");
+                assert!(!shape.is_empty(), "subarrays need at least one dimension");
+                for d in 0..shape.len() {
+                    assert!(sub[d] >= 1, "dimension {d}: empty subarray extent");
+                    assert!(
+                        starts[d] + sub[d] <= shape[d],
+                        "dimension {d}: subarray exceeds the array"
+                    );
+                }
+                Ok(vec![subarray_dim(shape, starts, sub, child, 0)?])
+            }
+        }
+    }
+
+    /// The byte segments one instance of the type selects (reference
+    /// semantics used by the tests).
+    #[must_use]
+    pub fn segments(&self) -> Vec<LineSegment> {
+        self.to_nested().map(|s| s.absolute_segments()).unwrap_or_default()
+    }
+
+    /// Builds a partitioning element set that tiles a file as repeated
+    /// instances of this datatype plus an (optional) complement element —
+    /// the "set a view via a datatype" convenience. Returns `(selected,
+    /// complement)` sets over one extent.
+    pub fn as_view_sets(&self) -> Result<(NestedSet, Option<NestedSet>), FallsError> {
+        let selected = self.to_nested()?;
+        let complement = selected.complement(self.extent());
+        let complement = (!complement.is_empty()).then_some(complement);
+        Ok((selected, complement))
+    }
+}
+
+/// Builds the nested FALLS for dimension `d` of a subarray selection.
+fn subarray_dim(
+    shape: &[u64],
+    starts: &[u64],
+    sub: &[u64],
+    child: &Datatype,
+    d: usize,
+) -> Result<NestedFalls, FallsError> {
+    let ce = child.extent();
+    let unit: u64 = shape[d + 1..].iter().product::<u64>() * ce;
+    let run = sub[d];
+    let lo = starts[d];
+    let outer = Falls::new(lo * unit, (lo + run) * unit - 1, shape[d] * unit, 1)?;
+    let deeper_full =
+        (d + 1..shape.len()).all(|k| starts[k] == 0 && sub[k] == shape[k]);
+    if deeper_full && child.is_dense() {
+        return Ok(NestedFalls::leaf(outer));
+    }
+    let inner_child = if d + 1 < shape.len() {
+        vec![subarray_dim(shape, starts, sub, child, d + 1)?]
+    } else {
+        child.families()?
+    };
+    let inner = if run == 1 {
+        inner_child
+    } else {
+        vec![NestedFalls::with_inner(Falls::new(0, unit - 1, unit, run)?, inner_child)?]
+    };
+    NestedFalls::with_inner(outer, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementary_and_contiguous() {
+        let d = Datatype::Contiguous { count: 3, child: Box::new(Datatype::Elementary(4)) };
+        assert_eq!(d.extent(), 12);
+        assert_eq!(d.size(), 12);
+        assert!(d.is_dense());
+        let set = d.to_nested().unwrap();
+        assert_eq!(set.absolute_offsets(), (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vector_matches_mpi_semantics() {
+        // MPI_Type_vector(count=3, blocklen=2, stride=4) over 8-byte doubles.
+        let d = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+            child: Box::new(Datatype::Elementary(8)),
+        };
+        assert_eq!(d.extent(), (2 * 4 + 2) * 8);
+        assert_eq!(d.size(), 3 * 2 * 8);
+        let segs = d.segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].bounds(), (0, 15));
+        assert_eq!(segs[1].bounds(), (32, 47));
+        assert_eq!(segs[2].bounds(), (64, 79));
+    }
+
+    #[test]
+    fn nested_vector_of_vectors() {
+        // A column of a 4×4 byte matrix: vector(4, 1, 4, byte)...
+        let col = Datatype::Vector {
+            count: 4,
+            blocklen: 1,
+            stride: 4,
+            child: Box::new(Datatype::byte()),
+        };
+        // ...then every other such column-extent: vector(2, 1, 2, col).
+        let cols = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            child: Box::new(col.clone()),
+        };
+        assert_eq!(col.to_nested().unwrap().absolute_offsets(), vec![0, 4, 8, 12]);
+        let offs = cols.to_nested().unwrap().absolute_offsets();
+        // Second instance starts at 1 column extent (13 bytes) × 2 = 26.
+        assert_eq!(offs, vec![0, 4, 8, 12, 26, 30, 34, 38]);
+    }
+
+    #[test]
+    fn indexed_blocks() {
+        let d = Datatype::Indexed {
+            blocks: vec![(0, 2), (5, 1), (8, 3)],
+            child: Box::new(Datatype::Elementary(2)),
+        };
+        assert_eq!(d.extent(), 22);
+        assert_eq!(d.size(), 12);
+        let offs = d.to_nested().unwrap().absolute_offsets();
+        let want: Vec<u64> =
+            (0..4).chain(10..12).chain(16..22).collect();
+        assert_eq!(offs, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn indexed_overlap_rejected() {
+        let d = Datatype::Indexed {
+            blocks: vec![(0, 3), (2, 2)],
+            child: Box::new(Datatype::byte()),
+        };
+        let _ = d.to_nested();
+    }
+
+    #[test]
+    fn view_sets_tile_the_extent() {
+        use parafile::model::PartitionPattern;
+        let d = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            child: Box::new(Datatype::Elementary(3)),
+        };
+        let (sel, comp) = d.as_view_sets().unwrap();
+        let pattern = PartitionPattern::new(vec![sel, comp.expect("vector has holes")]).unwrap();
+        assert_eq!(pattern.size(), d.extent());
+    }
+
+    #[test]
+    fn subarray_2d() {
+        // 4×6 byte array; subarray starts (1,2), extents (2,3).
+        let d = Datatype::Subarray {
+            shape: vec![4, 6],
+            starts: vec![1, 2],
+            sub: vec![2, 3],
+            child: Box::new(Datatype::byte()),
+        };
+        assert_eq!(d.extent(), 24);
+        assert_eq!(d.size(), 6);
+        let want: Vec<u64> = (1..3).flat_map(|r| (2..5).map(move |c| r * 6 + c)).collect();
+        assert_eq!(d.to_nested().unwrap().absolute_offsets(), want);
+    }
+
+    #[test]
+    fn subarray_full_is_dense() {
+        let d = Datatype::Subarray {
+            shape: vec![3, 5],
+            starts: vec![0, 0],
+            sub: vec![3, 5],
+            child: Box::new(Datatype::Elementary(4)),
+        };
+        assert!(d.is_dense());
+        let segs = d.to_nested().unwrap().absolute_segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 60);
+    }
+
+    #[test]
+    fn subarray_3d_with_wide_elements() {
+        // 2×3×4 array of 2-byte elements; select plane 1, rows 0..2, cols 1..3.
+        let d = Datatype::Subarray {
+            shape: vec![2, 3, 4],
+            starts: vec![1, 0, 1],
+            sub: vec![1, 2, 2],
+            child: Box::new(Datatype::Elementary(2)),
+        };
+        assert_eq!(d.extent(), 48);
+        assert_eq!(d.size(), 8);
+        let want: Vec<u64> = (0..2)
+            .flat_map(|r| {
+                (1..3).flat_map(move |c| {
+                    let elem = (3 + r) * 4 + c;
+                    (elem * 2)..(elem * 2 + 2)
+                })
+            })
+            .collect();
+        assert_eq!(d.to_nested().unwrap().absolute_offsets(), want);
+    }
+
+    #[test]
+    fn subarray_with_sparse_child() {
+        // Each element is 3 bytes of which only {0, 2} are selected.
+        let sparse_elem = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            child: Box::new(Datatype::byte()),
+        };
+        assert_eq!(sparse_elem.extent(), 3);
+        // A 1-d array of 3 such elements, selecting the middle one.
+        let d = Datatype::Subarray {
+            shape: vec![3],
+            starts: vec![1],
+            sub: vec![1],
+            child: Box::new(sparse_elem),
+        };
+        assert_eq!(d.to_nested().unwrap().absolute_offsets(), vec![3, 5]);
+        // And selecting the last two elements.
+        let d2 = Datatype::Subarray {
+            shape: vec![3],
+            starts: vec![1],
+            sub: vec![2],
+            child: Box::new(Datatype::Vector {
+                count: 2,
+                blocklen: 1,
+                stride: 2,
+                child: Box::new(Datatype::byte()),
+            }),
+        };
+        assert_eq!(d2.to_nested().unwrap().absolute_offsets(), vec![3, 5, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the array")]
+    fn subarray_bounds_checked() {
+        let d = Datatype::Subarray {
+            shape: vec![4],
+            starts: vec![3],
+            sub: vec![2],
+            child: Box::new(Datatype::byte()),
+        };
+        let _ = d.to_nested();
+    }
+
+    #[test]
+    fn sparse_contiguous_nests() {
+        // contiguous(2, vector(...)): child sparse → outer keeps nesting.
+        let inner = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            child: Box::new(Datatype::byte()),
+        };
+        let d = Datatype::Contiguous { count: 2, child: Box::new(inner) };
+        // inner extent 3, selects {0, 2} → instances at 0 and 3.
+        assert_eq!(d.to_nested().unwrap().absolute_offsets(), vec![0, 2, 3, 5]);
+        assert_eq!(d.size(), 4);
+        assert_eq!(d.extent(), 6);
+    }
+}

@@ -1,0 +1,470 @@
+//! HPF-style array distributions lowered to nested FALLS.
+
+use crate::grid::ProcGrid;
+use falls::{Falls, FallsError, NestedFalls, NestedSet};
+use parafile::model::{Partition, PartitionPattern};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of one array dimension over one grid dimension, following
+/// High-Performance Fortran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DimDist {
+    /// `BLOCK`: contiguous chunks of `ceil(N/P)` indices per processor.
+    Block,
+    /// `CYCLIC`: index `i` belongs to processor `i mod P`.
+    Cyclic,
+    /// `CYCLIC(b)`: blocks of `b` indices dealt round-robin.
+    BlockCyclic(u64),
+    /// `*` (collapsed): the dimension is not distributed.
+    Collapsed,
+}
+
+impl DimDist {
+    /// Index-space FALLS owned by processor `p` of `procs` along a dimension
+    /// of `extent` indices. Empty when the processor owns nothing.
+    fn index_families(self, extent: u64, p: u64, procs: u64) -> Result<Vec<Falls>, FallsError> {
+        debug_assert!(p < procs);
+        match self {
+            DimDist::Collapsed => {
+                assert_eq!(procs, 1, "collapsed dimensions cannot be distributed");
+                Ok(vec![Falls::new(0, extent - 1, extent, 1)?])
+            }
+            DimDist::Block => {
+                let b = extent.div_ceil(procs);
+                let lo = (p * b).min(extent);
+                let hi = ((p + 1) * b).min(extent);
+                if lo >= hi {
+                    return Ok(Vec::new());
+                }
+                Ok(vec![Falls::new(lo, hi - 1, hi - lo, 1)?])
+            }
+            DimDist::Cyclic => {
+                if p >= extent {
+                    return Ok(Vec::new());
+                }
+                let count = (extent - 1 - p) / procs + 1;
+                Ok(vec![Falls::new(p, p, procs, count)?])
+            }
+            DimDist::BlockCyclic(b) => {
+                assert!(b > 0, "CYCLIC(b) needs a positive block");
+                let stride = procs * b;
+                let first = p * b;
+                if first >= extent {
+                    return Ok(Vec::new());
+                }
+                // Number of blocks that start before the dimension ends.
+                let blocks = (extent - 1 - first) / stride + 1;
+                let last_start = first + (blocks - 1) * stride;
+                let last_end = (last_start + b).min(extent);
+                let mut out = Vec::new();
+                if last_end - last_start == b {
+                    // All blocks full.
+                    out.push(Falls::new(first, first + b - 1, stride, blocks)?);
+                } else {
+                    if blocks > 1 {
+                        out.push(Falls::new(first, first + b - 1, stride, blocks - 1)?);
+                    }
+                    out.push(Falls::new(last_start, last_end - 1, b, 1)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// A distribution of a row-major multidimensional array of elements over a
+/// Cartesian processor grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDistribution {
+    shape: Vec<u64>,
+    elem_size: u64,
+    dists: Vec<DimDist>,
+    grid: ProcGrid,
+}
+
+impl ArrayDistribution {
+    /// Creates a distribution.
+    ///
+    /// `shape` gives the array extents in elements (row-major, outermost
+    /// first); `dists` and `grid` must have the same rank as `shape`, and
+    /// collapsed dimensions must map to grid extent 1.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch, zero extents, or a distributed collapsed
+    /// dimension.
+    #[must_use]
+    pub fn new(shape: Vec<u64>, elem_size: u64, dists: Vec<DimDist>, grid: ProcGrid) -> Self {
+        assert!(!shape.is_empty(), "arrays need at least one dimension");
+        assert!(shape.iter().all(|&n| n > 0), "array extents must be positive");
+        assert!(elem_size > 0, "element size must be positive");
+        assert_eq!(shape.len(), dists.len(), "one distribution per dimension");
+        assert_eq!(shape.len(), grid.ndims(), "grid rank must match array rank");
+        for (d, (&dist, &g)) in dists.iter().zip(grid.extents()).enumerate() {
+            if matches!(dist, DimDist::Collapsed) {
+                assert_eq!(g, 1, "dimension {d} is collapsed but grid extent is {g}");
+            }
+        }
+        Self { shape, elem_size, dists, grid }
+    }
+
+    /// Array extents in elements.
+    #[must_use]
+    pub fn shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    /// The processor grid.
+    #[must_use]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Total array size in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.shape.iter().product::<u64>() * self.elem_size
+    }
+
+    /// Bytes of one slice at dimension `d`: the row-major size of all inner
+    /// dimensions times the element size.
+    fn unit(&self, d: usize) -> u64 {
+        self.shape[d + 1..].iter().product::<u64>() * self.elem_size
+    }
+
+    /// The nested FALLS describing the bytes owned by the processor at grid
+    /// `coord`, relative to the start of the array.
+    pub fn element_set(&self, coord: &[u64]) -> Result<NestedSet, FallsError> {
+        let families = self.build_dim(0, coord)?;
+        NestedSet::new(families)
+    }
+
+    /// From dimension `d` inward: the sibling families selecting `coord`'s
+    /// share of one dim-`d` slice group.
+    fn build_dim(&self, d: usize, coord: &[u64]) -> Result<Vec<NestedFalls>, FallsError> {
+        let u = self.unit(d);
+        let idx_fams =
+            self.dists[d].index_families(self.shape[d], coord[d], self.grid.extents()[d])?;
+        // When every deeper dimension is fully owned, a run of consecutive
+        // indices is one contiguous byte range — no inner structure needed.
+        let deeper_full = self.fully_owned_from(d + 1, coord);
+        let mut out = Vec::with_capacity(idx_fams.len());
+        for f in idx_fams {
+            let run = f.block_len(); // consecutive indices per repetition
+            let outer = Falls::new(f.l() * u, (f.r() + 1) * u - 1, f.stride() * u, f.count())?;
+            if deeper_full {
+                out.push(NestedFalls::leaf(outer));
+            } else {
+                let child = self.build_dim(d + 1, coord)?;
+                let inner = if run == 1 {
+                    child
+                } else {
+                    // Repeat the inner selection for each index in the run.
+                    vec![NestedFalls::with_inner(Falls::new(0, u - 1, u, run)?, child)?]
+                };
+                out.push(NestedFalls::with_inner(outer, inner)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the processor owns every byte of dimensions `d..`.
+    fn fully_owned_from(&self, d: usize, _coord: &[u64]) -> bool {
+        (d..self.shape.len()).all(|k| self.grid.extents()[k] == 1)
+    }
+
+    /// One [`NestedSet`] per processor, in grid rank order.
+    pub fn element_sets(&self) -> Result<Vec<NestedSet>, FallsError> {
+        self.grid.coords().map(|c| self.element_set(&c)).collect()
+    }
+
+    /// The compact PITFALLS describing dimension `d`'s distribution across
+    /// its grid dimension, in byte units (one FALLS per processor along the
+    /// dimension, all sharing the same geometry shifted by a per-processor
+    /// displacement).
+    ///
+    /// Returns `None` for distributions whose per-processor families are not
+    /// uniform (`BLOCK` with a ragged tail, `CYCLIC(b)` with a partial last
+    /// block) — those need the general per-processor form from
+    /// [`ArrayDistribution::element_sets`]. This is exactly the paper's
+    /// point that a nested PITFALLS is "just a compact representation of a
+    /// set of nested FALLS" for *regular* distributions.
+    #[must_use]
+    pub fn dim_pitfalls(&self, d: usize) -> Option<falls::Pitfalls> {
+        let u = self.unit(d);
+        let extent = self.shape[d];
+        let procs = self.grid.extents()[d];
+        match self.dists[d] {
+            DimDist::Collapsed => {
+                falls::Pitfalls::new(0, extent * u - 1, extent * u, 1, 0, 1).ok()
+            }
+            DimDist::Block => {
+                let b = extent.div_ceil(procs);
+                // Uniform only when the blocks divide evenly.
+                (extent % procs == 0 || procs == 1).then(|| {
+                    falls::Pitfalls::new(0, b * u - 1, b * u, 1, b * u, procs)
+                        .expect("even blocks are valid")
+                })
+            }
+            DimDist::Cyclic => {
+                // Uniform only when every processor gets the same count.
+                (extent % procs == 0).then(|| {
+                    falls::Pitfalls::new(0, u - 1, procs * u, extent / procs, u, procs)
+                        .expect("even cyclic is valid")
+                })
+            }
+            DimDist::BlockCyclic(b) => {
+                let per_cycle = procs * b;
+                (extent % per_cycle == 0).then(|| {
+                    falls::Pitfalls::new(
+                        0,
+                        b * u - 1,
+                        per_cycle * u,
+                        extent / per_cycle,
+                        b * u,
+                        procs,
+                    )
+                    .expect("even block-cyclic is valid")
+                })
+            }
+        }
+    }
+
+    /// The partitioning pattern distributing the whole array: pattern size
+    /// equals the array's byte size, one element per processor.
+    ///
+    /// # Panics
+    /// Panics if some processor owns no data (e.g. more processors than
+    /// blocks) — such grids cannot form a valid partition element.
+    #[must_use]
+    pub fn pattern(&self) -> PartitionPattern {
+        let sets = self.element_sets().expect("distribution families are valid");
+        PartitionPattern::new(sets).expect("HPF distributions tile the array exactly")
+    }
+
+    /// The full partition at a file displacement.
+    #[must_use]
+    pub fn partition(&self, displacement: u64) -> Partition {
+        Partition::new(displacement, self.pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets(set: &NestedSet) -> Vec<u64> {
+        set.absolute_offsets()
+    }
+
+    #[test]
+    fn block_1d() {
+        let d = ArrayDistribution::new(
+            vec![10],
+            1,
+            vec![DimDist::Block],
+            ProcGrid::new(vec![3]),
+        );
+        // ceil(10/3) = 4: procs own [0,4), [4,8), [8,10).
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), (0..4).collect::<Vec<_>>());
+        assert_eq!(offsets(&sets[1]), (4..8).collect::<Vec<_>>());
+        assert_eq!(offsets(&sets[2]), (8..10).collect::<Vec<_>>());
+        let _ = d.pattern(); // validates tiling
+    }
+
+    #[test]
+    fn cyclic_1d_with_elem_size() {
+        let d = ArrayDistribution::new(
+            vec![6],
+            4,
+            vec![DimDist::Cyclic],
+            ProcGrid::new(vec![2]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19]);
+        assert_eq!(offsets(&sets[1]), vec![4, 5, 6, 7, 12, 13, 14, 15, 20, 21, 22, 23]);
+    }
+
+    #[test]
+    fn block_cyclic_1d_partial_tail() {
+        let d = ArrayDistribution::new(
+            vec![10],
+            1,
+            vec![DimDist::BlockCyclic(3)],
+            ProcGrid::new(vec![2]),
+        );
+        let sets = d.element_sets().unwrap();
+        // blocks: p0 [0,3) [6,9); p1 [3,6) [9,10) (partial).
+        assert_eq!(offsets(&sets[0]), vec![0, 1, 2, 6, 7, 8]);
+        assert_eq!(offsets(&sets[1]), vec![3, 4, 5, 9]);
+        let _ = d.pattern(); // validates tiling
+    }
+
+    #[test]
+    fn row_blocks_2d() {
+        // 4×4 matrix, 2 procs on rows: each owns 2 contiguous rows.
+        let d = ArrayDistribution::new(
+            vec![4, 4],
+            1,
+            vec![DimDist::Block, DimDist::Collapsed],
+            ProcGrid::new(vec![2, 1]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), (0..8).collect::<Vec<_>>());
+        assert_eq!(offsets(&sets[1]), (8..16).collect::<Vec<_>>());
+        // Contiguous ownership flattens to a leaf.
+        assert!(sets[0].families()[0].is_leaf());
+    }
+
+    #[test]
+    fn column_blocks_2d() {
+        let d = ArrayDistribution::new(
+            vec![4, 4],
+            1,
+            vec![DimDist::Collapsed, DimDist::Block],
+            ProcGrid::new(vec![1, 2]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), vec![0, 1, 4, 5, 8, 9, 12, 13]);
+        assert_eq!(offsets(&sets[1]), vec![2, 3, 6, 7, 10, 11, 14, 15]);
+    }
+
+    #[test]
+    fn square_blocks_2d() {
+        // 4×4 over a 2×2 grid: quadrants.
+        let d = ArrayDistribution::new(
+            vec![4, 4],
+            1,
+            vec![DimDist::Block, DimDist::Block],
+            ProcGrid::new(vec![2, 2]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), vec![0, 1, 4, 5]); // top-left
+        assert_eq!(offsets(&sets[1]), vec![2, 3, 6, 7]); // top-right
+        assert_eq!(offsets(&sets[2]), vec![8, 9, 12, 13]); // bottom-left
+        assert_eq!(offsets(&sets[3]), vec![10, 11, 14, 15]); // bottom-right
+        let _ = d.pattern(); // validates tiling
+    }
+
+    #[test]
+    fn three_dimensional_mixed() {
+        let d = ArrayDistribution::new(
+            vec![2, 4, 3],
+            2,
+            vec![DimDist::Block, DimDist::Cyclic, DimDist::Collapsed],
+            ProcGrid::new(vec![2, 2, 1]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(sets.len(), 4);
+        // Exact tiling of the 2·4·3·2 = 48 bytes.
+        let total: u64 = sets.iter().map(NestedSet::size).sum();
+        assert_eq!(total, 48);
+        let _ = d.pattern(); // validates tiling
+        // Proc (0,0,0): plane 0, rows {0,2}, all cols → bytes [0,6) ∪ [12,18).
+        let want: Vec<u64> = (0..6).chain(12..18).collect();
+        assert_eq!(offsets(&sets[0]), want);
+    }
+
+    #[test]
+    fn uneven_block_distribution_tiles() {
+        // 5 rows over 2 procs: ceil = 3 → 3 + 2 rows.
+        let d = ArrayDistribution::new(
+            vec![5, 3],
+            1,
+            vec![DimDist::Block, DimDist::Collapsed],
+            ProcGrid::new(vec![2, 1]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(sets[0].size(), 9);
+        assert_eq!(sets[1].size(), 6);
+        let _ = d.pattern(); // validates tiling
+    }
+
+    #[test]
+    fn cyclic_both_dims() {
+        let d = ArrayDistribution::new(
+            vec![4, 4],
+            1,
+            vec![DimDist::Cyclic, DimDist::Cyclic],
+            ProcGrid::new(vec![2, 2]),
+        );
+        let sets = d.element_sets().unwrap();
+        assert_eq!(offsets(&sets[0]), vec![0, 2, 8, 10]);
+        assert_eq!(offsets(&sets[3]), vec![5, 7, 13, 15]);
+        let _ = d.pattern(); // validates tiling
+    }
+
+    #[test]
+    fn pitfalls_compact_form_matches_expansion() {
+        // 1-d distributions where the compact PITFALLS exists: expanding it
+        // must reproduce exactly the per-processor element sets.
+        let cases = [
+            (DimDist::Block, 12u64, 3u64),
+            (DimDist::Cyclic, 12, 4),
+            (DimDist::BlockCyclic(2), 16, 4),
+            (DimDist::Collapsed, 9, 1),
+        ];
+        for (dist, extent, procs) in cases {
+            let d = ArrayDistribution::new(
+                vec![extent],
+                2,
+                vec![dist],
+                ProcGrid::new(vec![procs]),
+            );
+            let compact = d.dim_pitfalls(0).unwrap_or_else(|| panic!("{dist:?} compact"));
+            let expanded = compact.expand();
+            let sets = d.element_sets().unwrap();
+            assert_eq!(expanded.len() as u64, procs);
+            for (p, set) in sets.iter().enumerate() {
+                assert_eq!(
+                    expanded[p].offsets().collect::<Vec<_>>(),
+                    set.absolute_offsets(),
+                    "{dist:?} proc {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pitfalls_unavailable_for_ragged_distributions() {
+        // 10 indices over 3 BLOCK processors: ragged tail → no compact form.
+        let d = ArrayDistribution::new(
+            vec![10],
+            1,
+            vec![DimDist::Block],
+            ProcGrid::new(vec![3]),
+        );
+        assert!(d.dim_pitfalls(0).is_none());
+        let d = ArrayDistribution::new(
+            vec![10],
+            1,
+            vec![DimDist::BlockCyclic(3)],
+            ProcGrid::new(vec![2]),
+        );
+        assert!(d.dim_pitfalls(0).is_none());
+    }
+
+    #[test]
+    fn pattern_matches_mapper_ownership() {
+        use parafile::Mapper;
+        let d = ArrayDistribution::new(
+            vec![6, 6],
+            1,
+            vec![DimDist::BlockCyclic(2), DimDist::Cyclic],
+            ProcGrid::new(vec![2, 3]),
+        );
+        let part = d.partition(0);
+        // Reference ownership: compute (row, col) → proc directly.
+        for row in 0..6u64 {
+            for col in 0..6u64 {
+                let pr = (row / 2) % 2;
+                let pc = col % 3;
+                let rank = (pr * 3 + pc) as usize;
+                let byte = row * 6 + col;
+                assert_eq!(part.owner_of(byte), Some(rank), "byte {byte}");
+                let m = Mapper::new(&part, rank);
+                assert!(m.selects(byte));
+            }
+        }
+    }
+}

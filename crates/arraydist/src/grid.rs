@@ -1,0 +1,111 @@
+//! Cartesian processor grids.
+
+use serde::{Deserialize, Serialize};
+
+/// A Cartesian grid of processors, one extent per array dimension.
+///
+/// Processor ranks are row-major over the grid coordinates, matching the
+/// usual MPI Cartesian communicator convention.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcGrid {
+    extents: Vec<u64>,
+}
+
+impl ProcGrid {
+    /// Creates a grid; every extent must be positive.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or the grid is empty.
+    #[must_use]
+    pub fn new(extents: Vec<u64>) -> Self {
+        assert!(!extents.is_empty(), "grid needs at least one dimension");
+        assert!(extents.iter().all(|&e| e > 0), "grid extents must be positive");
+        Self { extents }
+    }
+
+    /// Grid extents per dimension.
+    #[must_use]
+    pub fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn ndims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of processors.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.extents.iter().product()
+    }
+
+    /// Grids are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major rank of a coordinate.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of range.
+    #[must_use]
+    pub fn rank_of(&self, coord: &[u64]) -> u64 {
+        assert_eq!(coord.len(), self.extents.len());
+        let mut rank = 0u64;
+        for (c, e) in coord.iter().zip(&self.extents) {
+            assert!(c < e, "coordinate {c} out of range (extent {e})");
+            rank = rank * e + c;
+        }
+        rank
+    }
+
+    /// Coordinate of a row-major rank.
+    #[must_use]
+    pub fn coord_of(&self, rank: u64) -> Vec<u64> {
+        assert!(rank < self.len(), "rank {rank} out of range");
+        let mut coord = vec![0u64; self.extents.len()];
+        let mut rest = rank;
+        for (i, &e) in self.extents.iter().enumerate().rev() {
+            coord[i] = rest % e;
+            rest /= e;
+        }
+        coord
+    }
+
+    /// Iterator over all coordinates in rank order.
+    pub fn coords(&self) -> impl Iterator<Item = Vec<u64>> + '_ {
+        (0..self.len()).map(|r| self.coord_of(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcGrid::new(vec![2, 3, 4]);
+        assert_eq!(g.len(), 24);
+        for r in 0..24 {
+            assert_eq!(g.rank_of(&g.coord_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = ProcGrid::new(vec![2, 3]);
+        assert_eq!(g.coord_of(0), vec![0, 0]);
+        assert_eq!(g.coord_of(1), vec![0, 1]);
+        assert_eq!(g.coord_of(3), vec![1, 0]);
+        assert_eq!(g.coords().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_of_checks_bounds() {
+        let _ = ProcGrid::new(vec![2, 2]).rank_of(&[2, 0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The matrix partitions used by the paper's evaluation (§8.2): an N×N byte
+//! matrix physically partitioned over `p` I/O nodes as square blocks (`b`),
+//! blocks of columns (`c`) or blocks of rows (`r`), and logically partitioned
+//! among compute processors in blocks of rows.
+
+use crate::dist::{ArrayDistribution, DimDist};
+use crate::grid::ProcGrid;
+use parafile::model::Partition;
+use serde::{Deserialize, Serialize};
+
+/// The three physical layouts of the paper's experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixLayout {
+    /// Square blocks (`b` in the tables): a √p × √p grid of tiles.
+    SquareBlocks,
+    /// Blocks of columns (`c`).
+    ColumnBlocks,
+    /// Blocks of rows (`r`).
+    RowBlocks,
+}
+
+impl MatrixLayout {
+    /// Short label used in the paper's tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MatrixLayout::SquareBlocks => "b",
+            MatrixLayout::ColumnBlocks => "c",
+            MatrixLayout::RowBlocks => "r",
+        }
+    }
+
+    /// The distribution of an `rows × cols` element matrix over `p`
+    /// processors in this layout.
+    ///
+    /// # Panics
+    /// For [`MatrixLayout::SquareBlocks`], `p` must be a perfect square.
+    #[must_use]
+    pub fn distribution(self, rows: u64, cols: u64, elem_size: u64, p: u64) -> ArrayDistribution {
+        match self {
+            MatrixLayout::SquareBlocks => {
+                let q = integer_sqrt(p);
+                assert_eq!(q * q, p, "square-block layout needs a square processor count");
+                ArrayDistribution::new(
+                    vec![rows, cols],
+                    elem_size,
+                    vec![DimDist::Block, DimDist::Block],
+                    ProcGrid::new(vec![q, q]),
+                )
+            }
+            MatrixLayout::ColumnBlocks => ArrayDistribution::new(
+                vec![rows, cols],
+                elem_size,
+                vec![DimDist::Collapsed, DimDist::Block],
+                ProcGrid::new(vec![1, p]),
+            ),
+            MatrixLayout::RowBlocks => ArrayDistribution::new(
+                vec![rows, cols],
+                elem_size,
+                vec![DimDist::Block, DimDist::Collapsed],
+                ProcGrid::new(vec![p, 1]),
+            ),
+        }
+    }
+
+    /// The partition of the matrix file in this layout (displacement 0).
+    #[must_use]
+    pub fn partition(self, rows: u64, cols: u64, elem_size: u64, p: u64) -> Partition {
+        self.distribution(rows, cols, elem_size, p).partition(0)
+    }
+
+    /// All three layouts, in the order the paper's tables list them
+    /// (`c`, `b`, `r`).
+    #[must_use]
+    pub fn all() -> [MatrixLayout; 3] {
+        [MatrixLayout::ColumnBlocks, MatrixLayout::SquareBlocks, MatrixLayout::RowBlocks]
+    }
+}
+
+/// Integer square root by Newton's method.
+#[must_use]
+pub fn integer_sqrt(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = n;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sqrt_exact_and_floor() {
+        assert_eq!(integer_sqrt(0), 0);
+        assert_eq!(integer_sqrt(1), 1);
+        assert_eq!(integer_sqrt(4), 2);
+        assert_eq!(integer_sqrt(15), 3);
+        assert_eq!(integer_sqrt(16), 4);
+        assert_eq!(integer_sqrt(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn layouts_partition_a_matrix() {
+        for layout in MatrixLayout::all() {
+            let part = layout.partition(8, 8, 1, 4);
+            assert_eq!(part.element_count(), 4);
+            assert_eq!(part.pattern().size(), 64);
+        }
+    }
+
+    #[test]
+    fn row_blocks_are_contiguous() {
+        let part = MatrixLayout::RowBlocks.partition(8, 8, 1, 4);
+        for e in 0..4u64 {
+            let set = part.pattern().element(e as usize).unwrap();
+            let segs = set.absolute_segments();
+            assert_eq!(segs.len(), 1, "row block {e} must be one segment");
+            assert_eq!(segs[0].l(), e * 16);
+        }
+    }
+
+    #[test]
+    fn column_blocks_fragment_per_row() {
+        let part = MatrixLayout::ColumnBlocks.partition(8, 8, 1, 4);
+        let set = part.pattern().element(0).unwrap();
+        // One 2-byte fragment per row.
+        assert_eq!(set.absolute_segments().len(), 8);
+    }
+
+    #[test]
+    fn square_blocks_fragment_per_tile_row() {
+        let part = MatrixLayout::SquareBlocks.partition(8, 8, 1, 4);
+        let set = part.pattern().element(0).unwrap();
+        // Top-left tile: 4 rows × 4 bytes.
+        assert_eq!(set.absolute_segments().len(), 4);
+        assert_eq!(set.size(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "square processor count")]
+    fn square_blocks_reject_non_square_p() {
+        let _ = MatrixLayout::SquareBlocks.partition(8, 8, 1, 6);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MatrixLayout::SquareBlocks.label(), "b");
+        assert_eq!(MatrixLayout::ColumnBlocks.label(), "c");
+        assert_eq!(MatrixLayout::RowBlocks.label(), "r");
+    }
+}

@@ -1,0 +1,51 @@
+//! Gather/scatter throughput as a function of fragmentation — the mechanism
+//! behind Table 1's t_g and Table 2's t_s columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falls::{Falls, NestedFalls, NestedSet};
+use parafile::redist::Projection;
+use parafile::sg::{gather, scatter};
+use std::hint::black_box;
+
+/// A projection selecting half of every `2*frag`-byte window, in `frag`-byte
+/// pieces: total selected bytes stay constant while fragment size varies.
+fn half_projection(frag: u64, period: u64) -> Projection {
+    Projection {
+        set: NestedSet::singleton(NestedFalls::leaf(
+            Falls::new(0, frag - 1, 2 * frag, period / (2 * frag)).unwrap(),
+        )),
+        period,
+    }
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let total: u64 = 1 << 20; // 1 MiB region, 512 KiB selected
+    let src = vec![0xABu8; total as usize];
+    let mut dst_region = vec![0u8; total as usize];
+    let mut group = c.benchmark_group("gather_scatter");
+    group.throughput(Throughput::Bytes(total / 2));
+    for frag in [16u64, 256, 4096, 65536] {
+        let proj = half_projection(frag, total);
+        group.bench_with_input(BenchmarkId::new("gather", frag), &frag, |b, _| {
+            let mut out = Vec::with_capacity((total / 2) as usize);
+            b.iter(|| {
+                out.clear();
+                black_box(gather(&mut out, black_box(&src), 0, total - 1, &proj))
+            })
+        });
+        let packed = vec![0xCDu8; (total / 2) as usize];
+        group.bench_with_input(BenchmarkId::new("scatter", frag), &frag, |b, _| {
+            b.iter(|| {
+                black_box(scatter(&mut dst_region, black_box(&packed), 0, total - 1, &proj))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gather_scatter
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Ablation B**: the paper's periodic `INTERSECT-FALLS` against the
+//! merge-based reference, plus the full nested intersection on the paper's
+//! matrix layouts.
+
+use arraydist::matrix::MatrixLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falls::Falls;
+use parafile::redist::{intersect_elements, intersect_falls, intersect_falls_merge};
+use std::hint::black_box;
+
+/// Flat FALLS pairs with growing segment counts: the periodic algorithm's
+/// cost depends on the period structure, the merge reference on the segment
+/// counts.
+fn bench_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_falls");
+    for n in [16u64, 256, 4096] {
+        // Interleaved families: strides 6 and 10 → period 30.
+        let f1 = Falls::new(1, 2, 6, n).unwrap();
+        let f2 = Falls::new(0, 3, 10, (n * 6) / 10 + 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("periodic", n), &n, |b, _| {
+            b.iter(|| black_box(intersect_falls(black_box(&f1), black_box(&f2))))
+        });
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
+            b.iter(|| black_box(intersect_falls_merge(black_box(&f1), black_box(&f2))))
+        });
+    }
+    group.finish();
+}
+
+/// Nested intersection cost for the paper's three physical layouts against
+/// a row-block view (the `t_i` column of Table 1 is 4x this plus the
+/// projections).
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_elements");
+    for n in [256u64, 1024] {
+        let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+        for layout in MatrixLayout::all() {
+            let physical = layout.partition(n, n, 1, 4);
+            group.bench_function(BenchmarkId::new(layout.label(), n), |b| {
+                b.iter(|| {
+                    black_box(
+                        intersect_elements(black_box(&logical), 0, black_box(&physical), 0)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_flat, bench_nested
+}
+criterion_main!(benches);

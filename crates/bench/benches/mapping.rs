@@ -1,0 +1,91 @@
+//! Mapping-function throughput: MAP / MAP^-1 / next-byte rounding across the
+//! paper's layouts, and the nCube bit-permutation baseline our general
+//! mappings subsume.
+
+use arraydist::matrix::MatrixLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parafile::mapping::{map_between, Mapper};
+use parafile::ncube::NcubeMapping;
+use std::hint::black_box;
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map");
+    let n = 1024u64;
+    for layout in MatrixLayout::all() {
+        let part = layout.partition(n, n, 1, 4);
+        let mapper = Mapper::new(&part, 0);
+        group.bench_function(BenchmarkId::new("map", layout.label()), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = (x + 4097) % (n * n);
+                black_box(mapper.map(black_box(x)))
+            })
+        });
+        group.bench_function(BenchmarkId::new("unmap", layout.label()), |b| {
+            let size = part.element_len(0, n * n).unwrap();
+            let mut y = 0u64;
+            b.iter(|| {
+                y = (y + 4097) % size;
+                black_box(mapper.unmap(black_box(y)))
+            })
+        });
+        group.bench_function(BenchmarkId::new("map_next", layout.label()), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = (x + 4097) % (n * n);
+                black_box(mapper.map_next(black_box(x)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let n = 1024u64;
+    let rows = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let cols = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    let mv = Mapper::new(&rows, 0);
+    let ms = Mapper::new(&cols, 0);
+    c.bench_function("map_between_row_col", |b| {
+        let size = rows.element_len(0, n * n).unwrap();
+        let mut y = 0u64;
+        b.iter(|| {
+            y = (y + 257) % size;
+            black_box(map_between(black_box(&mv), black_box(&ms), black_box(y)))
+        })
+    });
+}
+
+/// The nCube bit-permutation mapping against the equivalent FALLS mapping:
+/// the specialized power-of-two scheme is faster per lookup, the FALLS
+/// mapping is general.
+fn bench_ncube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ncube_vs_falls");
+    let m = NcubeMapping::block_cyclic(20, 2, 6).unwrap(); // 1 MiB file, 4 disks, 64 B units
+    let sets = m.as_falls_pattern().expect("block-cyclic expressible");
+    let pattern = parafile::model::PartitionPattern::new(sets).unwrap();
+    let part = parafile::model::Partition::new(0, pattern);
+    let mapper = Mapper::new(&part, 1);
+    group.bench_function("bit_permutation", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 4097) % (1 << 20);
+            black_box(m.map(black_box(x)))
+        })
+    });
+    group.bench_function("falls_mapper", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 4097) % (1 << 20);
+            black_box(mapper.map(black_box(x)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_map, bench_compose, bench_ncube
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **Ablation A**: segment-based redistribution (the paper's contribution)
+//! against the byte-by-byte baseline it argues against (one MAP^-1/MAP
+//! composition per byte).
+
+use arraydist::matrix::MatrixLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parafile::model::Partition;
+use parafile::plan::RedistributionPlan;
+use parafile::redist::redistribute_bytewise;
+use std::hint::black_box;
+
+fn buffers(p: &Partition, file_len: u64, fill: u8) -> Vec<Vec<u8>> {
+    (0..p.element_count())
+        .map(|e| vec![fill; p.element_len(e, file_len).unwrap() as usize])
+        .collect()
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribute");
+    for n in [64u64, 256] {
+        let file_len = n * n;
+        let src = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+        let dst = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+        let src_bufs = buffers(&src, file_len, 0xA5);
+        group.throughput(Throughput::Bytes(file_len));
+
+        group.bench_with_input(BenchmarkId::new("plan_apply", n), &n, |b, _| {
+            let plan = RedistributionPlan::build(&src, &dst).unwrap();
+            let mut dst_bufs = buffers(&dst, file_len, 0);
+            b.iter(|| black_box(plan.apply(black_box(&src_bufs), &mut dst_bufs, file_len)))
+        });
+        group.bench_with_input(BenchmarkId::new("plan_build_and_apply", n), &n, |b, _| {
+            let mut dst_bufs = buffers(&dst, file_len, 0);
+            b.iter(|| {
+                let plan = RedistributionPlan::build(black_box(&src), black_box(&dst)).unwrap();
+                black_box(plan.apply(&src_bufs, &mut dst_bufs, file_len))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bytewise_baseline", n), &n, |b, _| {
+            let mut dst_bufs = buffers(&dst, file_len, 0);
+            b.iter(|| {
+                black_box(redistribute_bytewise(
+                    black_box(&src),
+                    black_box(&dst),
+                    &src_bufs,
+                    &mut dst_bufs,
+                    file_len,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_redistribution
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! End-to-end Clusterfile write cost (view set + concurrent full-view
+//! writes) per physical layout — the full pipeline behind Tables 1 and 2.
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, PaperScenario, WritePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parafile::Mapper;
+use std::hint::black_box;
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_scenario");
+    for layout in MatrixLayout::all() {
+        group.bench_function(BenchmarkId::new("n256", layout.label()), |b| {
+            b.iter(|| {
+                let mut s = PaperScenario::paper(256, layout, false);
+                s.repetitions = 1;
+                black_box(s.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_view");
+    let n = 512u64;
+    for layout in MatrixLayout::all() {
+        group.bench_function(BenchmarkId::new("n512", layout.label()), |b| {
+            let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+            b.iter(|| {
+                let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(
+                    WritePolicy::BufferCache,
+                ));
+                let physical = layout.partition(n, n, 1, 4);
+                let file = fs.create_file(physical, n * n);
+                black_box(fs.set_view(0, file, &logical, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_write");
+    let n = 512u64;
+    for layout in MatrixLayout::all() {
+        let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+        let mut fs =
+            Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+        let physical = layout.partition(n, n, 1, 4);
+        let file = fs.create_file(physical, n * n);
+        fs.set_view(0, file, &logical, 0);
+        let m = Mapper::new(&logical, 0);
+        let len = logical.element_len(0, n * n).unwrap();
+        let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+        group.bench_function(BenchmarkId::new("n512", layout.label()), |b| {
+            b.iter(|| black_box(fs.write(0, file, 0, len - 1, &data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scenario, bench_view_set, bench_single_write
+}
+criterion_main!(benches);

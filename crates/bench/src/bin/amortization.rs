@@ -1,0 +1,112 @@
+//! **Ablation D** — the paper's amortization claim: "the overhead associated
+//! with the mapping functions and redistribution is to be primarily paid at
+//! view setting ... and can be amortized over several accesses."
+//!
+//! Writes the same view k times for growing k and reports the view-set cost
+//! share of the total, plus the per-write overheads, for the worst-matching
+//! layout (column blocks under a row-block view).
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin amortization [--sizes 512]
+//! ```
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::Mapper;
+use pf_bench::{dump_json, TableArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    size: u64,
+    writes: usize,
+    t_i_us: f64,
+    mean_t_m_us: f64,
+    mean_t_g_us: f64,
+    mean_t_w_us: f64,
+    view_set_share: f64,
+}
+
+fn main() {
+    let mut args = TableArgs::parse();
+    if args.sizes == pf_bench::PAPER_SIZES.to_vec() {
+        args.sizes = vec![512];
+    }
+    let mut rows = Vec::new();
+    for &n in &args.sizes {
+        println!("matrix {n}×{n}, physical = column blocks, logical = row blocks");
+        println!(
+            "{:>4} {:>12} {:>10} {:>10} {:>12} {:>18}",
+            "k", "t_i µs", "t_m µs", "t_g µs", "t_w µs", "view-set share %"
+        );
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(
+                WritePolicy::BufferCache,
+            ));
+            let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+            let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+            let file = fs.create_file(physical, n * n);
+            let t = fs.set_view(0, file, &logical, 0);
+            let t_i_us = t.t_i.as_secs_f64() * 1e6;
+
+            let m = Mapper::new(&logical, 0);
+            let len = logical.element_len(0, n * n).unwrap();
+            let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+            let mut t_m = 0.0;
+            let mut t_g = 0.0;
+            let mut t_w = 0.0;
+            for _ in 0..k {
+                let w = fs.write(0, file, 0, len - 1, &data);
+                t_m += w.t_m.as_secs_f64() * 1e6;
+                t_g += w.t_g.as_secs_f64() * 1e6;
+                t_w += w.t_w_sim_ns as f64 / 1e3;
+            }
+            let kk = k as f64;
+            // Share of the *algorithmic* overhead (t_i vs per-write t_m+t_g)
+            // paid up front — the quantity the paper's claim is about.
+            let share = t_i_us / (t_i_us + t_m + t_g) * 100.0;
+            println!(
+                "{:>4} {:>12.1} {:>10.3} {:>10.1} {:>12.1} {:>18.1}",
+                k,
+                t_i_us,
+                t_m / kk,
+                t_g / kk,
+                t_w / kk,
+                share
+            );
+            rows.push(Row {
+                size: n,
+                writes: k,
+                t_i_us,
+                mean_t_m_us: t_m / kk,
+                mean_t_g_us: t_g / kk,
+                mean_t_w_us: t_w / kk,
+                view_set_share: share,
+            });
+        }
+        println!();
+    }
+
+    // Claim check: the view-set share of the mapping overhead must fall as
+    // accesses accumulate (amortization), and per-write t_m must stay tiny.
+    let first = rows.first().expect("at least one row");
+    let last = rows.last().expect("at least one row");
+    println!(
+        "[{}] view-set share falls with k ({:.1}% at k={} → {:.1}% at k={})",
+        if last.view_set_share < first.view_set_share { "ok" } else { "FAIL" },
+        first.view_set_share,
+        first.writes,
+        last.view_set_share,
+        last.writes
+    );
+    println!(
+        "[{}] per-write extremity mapping stays below 100 µs ({:.3} µs)",
+        if last.mean_t_m_us < 100.0 { "ok" } else { "FAIL" },
+        last.mean_t_m_us
+    );
+
+    match dump_json("amortization", &rows) {
+        Ok(path) => println!("\nresults written to {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

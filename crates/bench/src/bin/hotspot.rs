@@ -1,0 +1,111 @@
+//! **Ablation F** (extension): inbound-link hotspots under the sequential
+//! per-subfile write loop.
+//!
+//! Every compute node's write loop visits subfiles in the same order
+//! (0, 1, 2, …), so in round j all writers hit I/O node j at once. With
+//! receive-link contention modeled, that hotspot serializes the round;
+//! staggering each writer's start subfile (writer c starts at subfile c)
+//! spreads the load. This run measures both orders, with contention on and
+//! off.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin hotspot [--sizes 512,1024]
+//! ```
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::Mapper;
+use pf_bench::{dump_json, TableArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    size: u64,
+    contention: bool,
+    staggered: bool,
+    t_w_us: f64,
+}
+
+fn run(n: u64, contention: bool, staggered: bool) -> f64 {
+    let mut hardware = clustersim::ClusterConfig::paper_testbed(8);
+    hardware.network.rx_contention = contention;
+    let mut fs = Clusterfile::new(ClusterfileConfig {
+        compute_nodes: 4,
+        io_nodes: 4,
+        hardware,
+        write_policy: WritePolicy::BufferCache,
+        stagger_writes: staggered,
+    });
+    // Column blocks: every writer touches every I/O node each round.
+    let file = fs.create_file(MatrixLayout::ColumnBlocks.partition(n, n, 1, 4), n * n);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    for c in 0..4usize {
+        fs.set_view(c, file, &logical, c);
+    }
+    let ops: Vec<(usize, u64, u64, Vec<u8>)> = (0..4usize)
+        .map(|c| {
+            let m = Mapper::new(&logical, c);
+            let len = logical.element_len(c, n * n).unwrap();
+            let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+            (c, 0, len - 1, data)
+        })
+        .collect();
+    let t = fs.write_group(file, &ops);
+    t.iter().map(|w| w.t_w_sim_ns).max().unwrap() as f64 / 1e3
+}
+
+fn main() {
+    let mut args = TableArgs::parse();
+    if args.sizes == pf_bench::PAPER_SIZES.to_vec() {
+        args.sizes = vec![512, 1024, 2048];
+    }
+    println!("write-loop hotspots: fixed vs staggered subfile order (t_w µs, simulated)\n");
+    println!(
+        "{:>5} {:>12} {:>11} {:>11} {:>9}",
+        "size", "contention", "fixed", "staggered", "gain"
+    );
+    let mut rows = Vec::new();
+    for &n in &args.sizes {
+        for contention in [false, true] {
+            let fixed = run(n, contention, false);
+            let staggered = run(n, contention, true);
+            println!(
+                "{:>5} {:>12} {:>11.1} {:>11.1} {:>8.2}×",
+                n,
+                contention,
+                fixed,
+                staggered,
+                fixed / staggered
+            );
+            rows.push(Row { size: n, contention, staggered: false, t_w_us: fixed });
+            rows.push(Row { size: n, contention, staggered: true, t_w_us: staggered });
+        }
+        println!();
+    }
+    // Claim: staggering only matters when the inbound link is the
+    // bottleneck.
+    let gain_at = |n: u64, cont: bool| {
+        let f = rows
+            .iter()
+            .find(|r| r.size == n && r.contention == cont && !r.staggered)
+            .unwrap()
+            .t_w_us;
+        let s = rows
+            .iter()
+            .find(|r| r.size == n && r.contention == cont && r.staggered)
+            .unwrap()
+            .t_w_us;
+        f / s
+    };
+    let biggest = *args.sizes.last().unwrap();
+    println!(
+        "[{}] staggering helps under contention at {biggest} ({:.2}×) and is ~neutral without ({:.2}×)",
+        if gain_at(biggest, true) > gain_at(biggest, false) { "ok" } else { "FAIL" },
+        gain_at(biggest, true),
+        gain_at(biggest, false)
+    );
+    match dump_json("hotspot", &rows) {
+        Ok(path) => println!("\nresults written to {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

@@ -1,0 +1,173 @@
+//! **Ablation C** — the paper's §9 future work: a quantitative *matching
+//! degree* between two partitions, correlated with measured redistribution
+//! cost.
+//!
+//! Sweeps pairs of partitions of an N×N matrix (the three paper layouts
+//! plus cyclic variants at several granularities), computes the matching
+//! degree, and measures the real wall-clock of applying the redistribution
+//! plan. A useful metric must order the pairs the same way the measured
+//! costs do; the run reports the rank correlation.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin matching_sweep [--sizes 256,512]
+//! ```
+
+use arraydist::dist::{ArrayDistribution, DimDist};
+use arraydist::grid::ProcGrid;
+use arraydist::matrix::MatrixLayout;
+use parafile::matching::MatchingDegree;
+use parafile::model::Partition;
+use parafile::plan::RedistributionPlan;
+use pf_bench::{dump_json, TableArgs};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    size: u64,
+    src: String,
+    dst: String,
+    degree: f64,
+    mean_run_len: f64,
+    runs_per_period: usize,
+    plan_us: f64,
+    apply_us: f64,
+    bytes: u64,
+}
+
+fn layouts(n: u64) -> Vec<(String, Partition)> {
+    let mut out = vec![
+        ("rows".to_string(), MatrixLayout::RowBlocks.partition(n, n, 1, 4)),
+        ("cols".to_string(), MatrixLayout::ColumnBlocks.partition(n, n, 1, 4)),
+        ("blocks".to_string(), MatrixLayout::SquareBlocks.partition(n, n, 1, 4)),
+    ];
+    for b in [1u64, 8, 64] {
+        let d = ArrayDistribution::new(
+            vec![n, n],
+            1,
+            vec![DimDist::BlockCyclic(b), DimDist::Collapsed],
+            ProcGrid::new(vec![4, 1]),
+        );
+        out.push((format!("cyclic-rows({b})"), d.partition(0)));
+    }
+    out
+}
+
+fn main() {
+    let mut args = TableArgs::parse();
+    if args.sizes == pf_bench::PAPER_SIZES.to_vec() {
+        args.sizes = vec![256, 512];
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &args.sizes {
+        let file_len = n * n;
+        let parts = layouts(n);
+        println!("matrix {n}×{n}: matching degree vs measured redistribution cost");
+        println!(
+            "{:>16} {:>16} {:>8} {:>10} {:>8} {:>10} {:>10}",
+            "src", "dst", "degree", "runlen", "runs", "plan µs", "apply µs"
+        );
+        for (sname, src) in &parts {
+            for (dname, dst) in &parts {
+                if sname == dname {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let plan = RedistributionPlan::build(src, dst).expect("same file");
+                let plan_us = t0.elapsed().as_secs_f64() * 1e6;
+                let m = MatchingDegree::from_plan(&plan, dst);
+
+                let src_bufs: Vec<Vec<u8>> = (0..src.element_count())
+                    .map(|e| vec![0xA5u8; src.element_len(e, file_len).unwrap() as usize])
+                    .collect();
+                let mut dst_bufs: Vec<Vec<u8>> = (0..dst.element_count())
+                    .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
+                    .collect();
+                // Best of several runs: single-shot wall-clock at these
+                // sizes is dominated by scheduling noise.
+                let mut apply_us = f64::INFINITY;
+                let mut bytes = 0;
+                for _ in 0..7 {
+                    let t1 = Instant::now();
+                    bytes = plan.apply(&src_bufs, &mut dst_bufs, file_len);
+                    apply_us = apply_us.min(t1.elapsed().as_secs_f64() * 1e6);
+                }
+                println!(
+                    "{:>16} {:>16} {:>8.4} {:>10.1} {:>8} {:>10.1} {:>10.1}",
+                    sname, dname, m.degree, m.mean_run_len, m.runs_per_period, plan_us, apply_us
+                );
+                rows.push(Row {
+                    size: n,
+                    src: sname.clone(),
+                    dst: dname.clone(),
+                    degree: m.degree,
+                    mean_run_len: m.mean_run_len,
+                    runs_per_period: m.runs_per_period,
+                    plan_us,
+                    apply_us,
+                    bytes,
+                });
+            }
+        }
+        println!();
+    }
+
+    // Rank correlations per size. Two candidate metrics:
+    //  * `degree` (intrinsic/actual runs) measures *structural* match —
+    //    1.0 means the source already delivers data in the destination's
+    //    own fragment structure;
+    //  * fragmentation (runs per byte = 1/mean_run_len) predicts the raw
+    //    *cost* of moving the data.
+    for &n in &args.sizes {
+        let sub: Vec<&Row> = rows.iter().filter(|r| r.size == n).collect();
+        let apply: Vec<f64> = sub.iter().map(|r| r.apply_us).collect();
+        let rho_deg = spearman(
+            &sub.iter().map(|r| 1.0 - r.degree).collect::<Vec<_>>(),
+            &apply,
+        );
+        let rho_frag = spearman(
+            &sub.iter().map(|r| 1.0 / r.mean_run_len).collect::<Vec<_>>(),
+            &apply,
+        );
+        println!("{n}: Spearman((1−degree), apply time) = {rho_deg:.3} (structural match)");
+        println!(
+            "[{}] {n}: Spearman(1/mean_run_len, apply time) = {rho_frag:.3} (want strongly positive)",
+            if rho_frag > 0.5 { "ok" } else { "FAIL" }
+        );
+    }
+
+    match dump_json("matching_sweep", &rows) {
+        Ok(path) => println!("\nresults written to {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}
+
+/// Spearman rank correlation.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb).powi(2)).sum();
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("no NaN"));
+    let mut out = vec![0.0; v.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        out[i] = rank as f64;
+    }
+    out
+}

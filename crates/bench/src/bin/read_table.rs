@@ -1,0 +1,87 @@
+//! Read-path counterpart of Table 1 (extension): the paper presents only
+//! the write operation "because the write and read are reverse
+//! symmetrical" — this sweep produces the read-side evidence.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin read_table [--sizes 256,512]
+//! ```
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::Mapper;
+use pf_bench::{dump_json, TableArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    size: u64,
+    layout: String,
+    t_m_us: f64,
+    t_scatter_us: f64,
+    t_r_us: f64,
+    t_w_us: f64,
+    messages: u64,
+}
+
+fn main() {
+    let args = TableArgs::parse();
+    println!("read-path breakdown at the compute node (µs) — write t_w for symmetry\n");
+    println!(
+        "{:>5} {:>4} {:>10} {:>12} {:>12} {:>12} {:>6}",
+        "size", "phy", "t_m", "scatter", "t_r (sim)", "t_w (sim)", "msgs"
+    );
+    let mut rows = Vec::new();
+    for &n in &args.sizes {
+        let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+        for layout in pf_bench::paper_layouts() {
+            let mut fs =
+                Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+            let file = fs.create_file(layout.partition(n, n, 1, 4), n * n);
+            fs.set_view(0, file, &logical, 0);
+            let m = Mapper::new(&logical, 0);
+            let len = logical.element_len(0, n * n).unwrap();
+            let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+            let w = fs.write(0, file, 0, len - 1, &data);
+            let (back, r) = fs.read_timed(0, file, 0, len - 1);
+            assert_eq!(back, data, "read returns the written view");
+            println!(
+                "{:>5} {:>4} {:>10.3} {:>12.1} {:>12.1} {:>12.1} {:>6}",
+                n,
+                layout.label(),
+                r.t_m.as_secs_f64() * 1e6,
+                r.t_g.as_secs_f64() * 1e6,
+                r.t_w_sim_ns as f64 / 1e3,
+                w.t_w_sim_ns as f64 / 1e3,
+                r.messages
+            );
+            rows.push(Row {
+                size: n,
+                layout: layout.label().to_string(),
+                t_m_us: r.t_m.as_secs_f64() * 1e6,
+                t_scatter_us: r.t_g.as_secs_f64() * 1e6,
+                t_r_us: r.t_w_sim_ns as f64 / 1e3,
+                t_w_us: w.t_w_sim_ns as f64 / 1e3,
+                messages: r.messages,
+            });
+        }
+        println!();
+    }
+    // Symmetry check: read and write completions stay within 2.5× of each
+    // other for every configuration.
+    let worst = rows
+        .iter()
+        .map(|r| {
+            let q = r.t_r_us / r.t_w_us;
+            q.max(1.0 / q)
+        })
+        .fold(0.0f64, f64::max);
+    println!(
+        "[{}] read/write symmetry: worst t_r/t_w divergence {:.2}×",
+        if worst < 2.5 { "ok" } else { "FAIL" },
+        worst
+    );
+    match dump_json("read_table", &rows) {
+        Ok(path) => println!("\nresults written to {}", path.display()),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's experiment (§8.2): N×N byte matrices written through
+//! Clusterfile under each combination of physical and logical partitioning.
+//!
+//! Four compute nodes hold a row-block logical partition of the matrix; the
+//! file is physically partitioned over four I/O nodes as column blocks
+//! (`c`), square blocks (`b`) or row blocks (`r`). Every compute node writes
+//! its full view; Table 1 reports the mean per-compute-node breakdown and
+//! Table 2 the mean per-I/O-node scatter time.
+
+use crate::fs::{Clusterfile, ClusterfileConfig, WritePolicy};
+use crate::timing::WriteTimings;
+use arraydist::matrix::MatrixLayout;
+use parafile::Mapper;
+use serde::{Deserialize, Serialize};
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperScenario {
+    /// Matrix side in bytes (the paper sweeps 256, 512, 1024, 2048).
+    pub matrix_dim: u64,
+    /// Compute nodes (paper: 4).
+    pub compute_nodes: usize,
+    /// I/O nodes (paper: 4).
+    pub io_nodes: usize,
+    /// Physical layout of the file over the I/O nodes.
+    pub physical: MatrixLayout,
+    /// Logical layout over the compute nodes (paper: row blocks).
+    pub logical: MatrixLayout,
+    /// Whether I/O nodes write through to disk.
+    pub write_through: bool,
+    /// Repetitions to average over (paper: 10).
+    pub repetitions: usize,
+}
+
+impl PaperScenario {
+    /// The paper's configuration for a given size / physical layout /
+    /// policy.
+    #[must_use]
+    pub fn paper(matrix_dim: u64, physical: MatrixLayout, write_through: bool) -> Self {
+        Self {
+            matrix_dim,
+            compute_nodes: 4,
+            io_nodes: 4,
+            physical,
+            logical: MatrixLayout::RowBlocks,
+            write_through,
+            repetitions: 10,
+        }
+    }
+
+    /// Runs the scenario and aggregates the timing breakdown.
+    #[must_use]
+    pub fn run(&self) -> ScenarioResult {
+        let policy = if self.write_through {
+            WritePolicy::WriteThrough
+        } else {
+            WritePolicy::BufferCache
+        };
+        let n = self.matrix_dim;
+        let logical = self.logical.partition(n, n, 1, self.compute_nodes as u64);
+
+        let mut acc = ScenarioResult::new(self);
+        for _ in 0..self.repetitions.max(1) {
+            let mut fs = Clusterfile::new(ClusterfileConfig {
+                compute_nodes: self.compute_nodes,
+                io_nodes: self.io_nodes,
+                hardware: clustersim::ClusterConfig::paper_testbed(
+                    self.compute_nodes + self.io_nodes,
+                ),
+                write_policy: policy,
+                stagger_writes: false,
+            });
+            let physical = self.physical.partition(n, n, 1, self.io_nodes as u64);
+            let file = fs.create_file(physical, n * n);
+
+            // View set: every compute node sets its row-block view; t_i is
+            // the measured intersection + projection cost.
+            let mut t_i_us = 0.0;
+            for c in 0..self.compute_nodes {
+                let t = fs.set_view(c, file, &logical, c);
+                t_i_us += t.t_i.as_secs_f64() * 1e6;
+            }
+            t_i_us /= self.compute_nodes as f64;
+
+            // Concurrent full-view writes.
+            let ops: Vec<(usize, u64, u64, Vec<u8>)> = (0..self.compute_nodes)
+                .map(|c| {
+                    let m = Mapper::new(&logical, c);
+                    let len = logical.element_len(c, n * n).expect("view element exists");
+                    let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+                    (c, 0, len - 1, data)
+                })
+                .collect();
+            let timings = fs.write_group(file, &ops);
+            acc.absorb_round(t_i_us, &timings, &fs);
+        }
+        acc.finish(self.repetitions.max(1));
+        acc
+    }
+}
+
+/// Aggregated results of a scenario, in the units of the paper's tables
+/// (microseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Matrix side in bytes.
+    pub matrix_dim: u64,
+    /// Physical layout label (`c`, `b` or `r`).
+    pub physical: String,
+    /// Logical layout label.
+    pub logical: String,
+    /// Whether writes went through to disk.
+    pub write_through: bool,
+    /// Mean view-set (intersection + projection) time per compute node, µs.
+    /// Real measured wall-clock (paper: `t_i`).
+    pub t_i_us: f64,
+    /// Mean extremity-mapping time per compute node, µs (paper: `t_m`).
+    pub t_m_us: f64,
+    /// Mean gather time per compute node, µs (paper: `t_g`).
+    pub t_g_us: f64,
+    /// Mean simulated write completion per compute node, µs (paper: `t_w`).
+    pub t_w_us: f64,
+    /// Mean simulated scatter time per I/O node, µs (paper: `t_s`).
+    pub t_s_us: f64,
+    /// Mean real scatter wall-clock per I/O node, µs.
+    pub t_s_real_us: f64,
+    /// Mean scatter fragments per I/O node per round.
+    pub fragments_per_io: f64,
+    /// Messages per compute node per write.
+    pub messages_per_compute: f64,
+}
+
+impl ScenarioResult {
+    fn new(s: &PaperScenario) -> Self {
+        Self {
+            matrix_dim: s.matrix_dim,
+            physical: s.physical.label().to_string(),
+            logical: s.logical.label().to_string(),
+            write_through: s.write_through,
+            t_i_us: 0.0,
+            t_m_us: 0.0,
+            t_g_us: 0.0,
+            t_w_us: 0.0,
+            t_s_us: 0.0,
+            t_s_real_us: 0.0,
+            fragments_per_io: 0.0,
+            messages_per_compute: 0.0,
+        }
+    }
+
+    fn absorb_round(&mut self, t_i_us: f64, timings: &[WriteTimings], fs: &Clusterfile) {
+        self.t_i_us += t_i_us;
+        let nc = timings.len() as f64;
+        self.t_m_us +=
+            timings.iter().map(|t| t.t_m.as_secs_f64() * 1e6).sum::<f64>() / nc;
+        self.t_g_us +=
+            timings.iter().map(|t| t.t_g.as_secs_f64() * 1e6).sum::<f64>() / nc;
+        self.t_w_us +=
+            timings.iter().map(|t| t.t_w_sim_ns as f64 / 1e3).sum::<f64>() / nc;
+        self.messages_per_compute += timings.iter().map(|t| t.messages as f64).sum::<f64>() / nc;
+        let io = fs.io_timings();
+        let ni = io.len() as f64;
+        self.t_s_us += io.iter().map(|t| t.t_s_sim_ns as f64 / 1e3).sum::<f64>() / ni;
+        self.t_s_real_us +=
+            io.iter().map(|t| t.t_s_real.as_secs_f64() * 1e6).sum::<f64>() / ni;
+        self.fragments_per_io += io.iter().map(|t| t.fragments as f64).sum::<f64>() / ni;
+    }
+
+    fn finish(&mut self, rounds: usize) {
+        let r = rounds as f64;
+        for v in [
+            &mut self.t_i_us,
+            &mut self.t_m_us,
+            &mut self.t_g_us,
+            &mut self.t_w_us,
+            &mut self.t_s_us,
+            &mut self.t_s_real_us,
+            &mut self.fragments_per_io,
+            &mut self.messages_per_compute,
+        ] {
+            *v /= r;
+        }
+    }
+
+    /// A Table-1-style row: `size phys log t_i t_m t_g t_w`.
+    #[must_use]
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:>5}  {:>4}  {:>3}  {:>10.1} {:>10.3} {:>10.1} {:>12.1}",
+            self.matrix_dim, self.physical, self.logical, self.t_i_us, self.t_m_us, self.t_g_us,
+            self.t_w_us
+        )
+    }
+
+    /// A Table-2-style row: `size phys log t_s`.
+    #[must_use]
+    pub fn table2_row(&self) -> String {
+        format!(
+            "{:>5}  {:>4}  {:>3}  {:>12.1} {:>12.3}",
+            self.matrix_dim, self.physical, self.logical, self.t_s_us, self.t_s_real_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(physical: MatrixLayout, n: u64, through: bool) -> ScenarioResult {
+        PaperScenario { repetitions: 1, ..PaperScenario::paper(n, physical, through) }.run()
+    }
+
+    /// The central qualitative claims of Table 1, on a small matrix.
+    #[test]
+    fn table1_shape_holds() {
+        let c = quick(MatrixLayout::ColumnBlocks, 256, false);
+        let b = quick(MatrixLayout::SquareBlocks, 256, false);
+        let r = quick(MatrixLayout::RowBlocks, 256, false);
+        // t_m and t_g vanish for the perfect match.
+        assert_eq!(r.t_m_us, 0.0, "perfect match needs no extremity mapping");
+        assert_eq!(r.t_g_us, 0.0, "perfect match needs no gather");
+        // Worse matches gather more: c > b > r.
+        assert!(c.t_g_us > b.t_g_us, "c gathers more than b ({} vs {})", c.t_g_us, b.t_g_us);
+        assert!(b.t_g_us > 0.0);
+        // Intersection cost ordering: c > b > r.
+        assert!(c.t_i_us > r.t_i_us, "c intersects slower than r");
+        // Write completion: mismatched layouts send more, smaller messages.
+        assert!(c.t_w_us > r.t_w_us, "c writes slower than r ({} vs {})", c.t_w_us, r.t_w_us);
+        assert!(c.messages_per_compute > r.messages_per_compute);
+    }
+
+    /// Table 2's shape: scatter cost ordering and the disk premium.
+    #[test]
+    fn table2_shape_holds() {
+        let c_bc = quick(MatrixLayout::ColumnBlocks, 256, false);
+        let r_bc = quick(MatrixLayout::RowBlocks, 256, false);
+        assert!(
+            c_bc.t_s_us > r_bc.t_s_us,
+            "fragmented scatter costs more ({} vs {})",
+            c_bc.t_s_us,
+            r_bc.t_s_us
+        );
+        let c_disk = quick(MatrixLayout::ColumnBlocks, 256, true);
+        assert!(c_disk.t_s_us > 3.0 * c_bc.t_s_us, "write-through pays disk time");
+    }
+
+    /// t_i is roughly size-independent (the paper: "doesn't vary
+    /// significantly with the matrix size").
+    #[test]
+    fn t_i_size_independent() {
+        let small = quick(MatrixLayout::ColumnBlocks, 256, false);
+        let large = quick(MatrixLayout::ColumnBlocks, 1024, false);
+        // Within an order of magnitude despite 16× more data; t_g meanwhile
+        // must grow superlinearly relative to it.
+        assert!(large.t_i_us < small.t_i_us * 16.0, "t_i must not scale with the data");
+        assert!(large.t_g_us > small.t_g_us, "t_g grows with the data");
+    }
+}

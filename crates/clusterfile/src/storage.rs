@@ -1,0 +1,172 @@
+//! Subfile storage backends.
+//!
+//! The simulator models *service times*; the bytes themselves can live in
+//! memory (default, fastest for experiments) or in real files on the host
+//! filesystem — one file per subfile, written with positioned I/O — so the
+//! library is usable as an actual store and the scatter/gather paths are
+//! exercised against a real kernel.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Where subfile bytes are kept.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// In-memory buffers (default).
+    #[default]
+    Memory,
+    /// One real file per subfile under the given directory, named
+    /// `file<fid>_subfile<idx>.bin`.
+    Directory(PathBuf),
+}
+
+/// One subfile's bytes.
+#[derive(Debug)]
+pub(crate) enum SubfileStore {
+    Memory(Vec<u8>),
+    File { file: File, len: u64, path: PathBuf },
+}
+
+impl SubfileStore {
+    /// Creates a zero-filled store of `len` bytes.
+    pub(crate) fn create(
+        backend: &StorageBackend,
+        file_id: usize,
+        subfile: usize,
+        len: u64,
+    ) -> std::io::Result<Self> {
+        match backend {
+            StorageBackend::Memory => Ok(SubfileStore::Memory(vec![0u8; len as usize])),
+            StorageBackend::Directory(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("file{file_id}_subfile{subfile}.bin"));
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)?;
+                file.set_len(len)?;
+                Ok(SubfileStore::File { file, len, path })
+            }
+        }
+    }
+
+    /// Store length in bytes.
+    pub(crate) fn len(&self) -> u64 {
+        match self {
+            SubfileStore::Memory(v) => v.len() as u64,
+            SubfileStore::File { len, .. } => *len,
+        }
+    }
+
+    /// Backing path, when file-backed.
+    pub(crate) fn path(&self) -> Option<&Path> {
+        match self {
+            SubfileStore::Memory(_) => None,
+            SubfileStore::File { path, .. } => Some(path),
+        }
+    }
+
+    /// Writes `data` at byte `offset`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range writes or I/O errors (storage corruption is
+    /// not a recoverable condition for the simulation).
+    pub(crate) fn write_at(&mut self, offset: u64, data: &[u8]) {
+        match self {
+            SubfileStore::Memory(v) => {
+                v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+            }
+            SubfileStore::File { file, len, .. } => {
+                assert!(offset + data.len() as u64 <= *len, "write beyond the subfile");
+                file.seek(SeekFrom::Start(offset)).expect("seek subfile");
+                file.write_all(data).expect("write subfile");
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub(crate) fn read_at(&mut self, offset: u64, len: u64) -> Vec<u8> {
+        match self {
+            SubfileStore::Memory(v) => v[offset as usize..(offset + len) as usize].to_vec(),
+            SubfileStore::File { file, len: flen, .. } => {
+                assert!(offset + len <= *flen, "read beyond the subfile");
+                let mut buf = vec![0u8; len as usize];
+                file.seek(SeekFrom::Start(offset)).expect("seek subfile");
+                file.read_exact(&mut buf).expect("read subfile");
+                buf
+            }
+        }
+    }
+
+    /// Reads the whole store.
+    pub(crate) fn read_all(&mut self) -> Vec<u8> {
+        let len = self.len();
+        self.read_at(0, len)
+    }
+
+    /// Replaces the contents wholesale (used by relayout).
+    pub(crate) fn replace(&mut self, data: Vec<u8>) {
+        match self {
+            SubfileStore::Memory(v) => *v = data,
+            SubfileStore::File { file, len, .. } => {
+                *len = data.len() as u64;
+                file.set_len(*len).expect("resize subfile");
+                file.seek(SeekFrom::Start(0)).expect("seek subfile");
+                file.write_all(&data).expect("rewrite subfile");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_round_trip() {
+        let mut s = SubfileStore::create(&StorageBackend::Memory, 0, 0, 16).unwrap();
+        assert_eq!(s.len(), 16);
+        assert!(s.path().is_none());
+        s.write_at(4, &[1, 2, 3]);
+        assert_eq!(s.read_at(3, 5), vec![0, 1, 2, 3, 0]);
+        s.replace(vec![9; 4]);
+        assert_eq!(s.read_all(), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pf_store_test_{}", std::process::id()));
+        let backend = StorageBackend::Directory(dir.clone());
+        let mut s = SubfileStore::create(&backend, 3, 1, 32).unwrap();
+        assert_eq!(s.len(), 32);
+        let path = s.path().unwrap().to_path_buf();
+        assert!(path.ends_with("file3_subfile1.bin"));
+        s.write_at(10, b"hello");
+        assert_eq!(s.read_at(9, 7), b"\0hello\0");
+        // The bytes are really on disk.
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(&on_disk[10..15], b"hello");
+        s.replace(b"short".to_vec());
+        assert_eq!(s.read_all(), b"short");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "write beyond")]
+    fn file_store_bounds_checked() {
+        let dir = std::env::temp_dir().join(format!("pf_store_oob_{}", std::process::id()));
+        let backend = StorageBackend::Directory(dir.clone());
+        let mut s = SubfileStore::create(&backend, 0, 0, 4).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.write_at(2, &[0; 8]);
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
+    }
+}

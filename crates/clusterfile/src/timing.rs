@@ -1,0 +1,77 @@
+//! Timing breakdowns matching the paper's Tables 1 and 2.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Cost of setting a view (paper: `t_i`): intersecting the view with every
+/// subfile and computing both projections. Real, measured wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewSetTimings {
+    /// Intersection + projection time.
+    pub t_i: Duration,
+    /// Subfiles the view intersects.
+    pub intersecting_subfiles: usize,
+}
+
+/// Per-write breakdown at the compute node (paper's Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteTimings {
+    /// Real time to map the access interval's extremities on the subfiles
+    /// (paper: `t_m`). Zero when view and subfile overlap perfectly.
+    pub t_m: Duration,
+    /// Real time to gather non-contiguous view data into message buffers
+    /// (paper: `t_g`). Zero for an optimal distribution match.
+    pub t_g: Duration,
+    /// Simulated time from the first write request to the last
+    /// acknowledgment (paper: `t_w`), in nanoseconds.
+    pub t_w_sim_ns: u64,
+    /// Messages the compute node sent.
+    pub messages: u64,
+    /// Payload bytes the compute node sent.
+    pub bytes_sent: u64,
+    /// Whether every subfile transfer took the contiguous fast path.
+    pub all_contiguous: bool,
+}
+
+/// Per-I/O-node accumulators (paper's Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoTimings {
+    /// Simulated scatter time (cache staging, plus the write-back flush when
+    /// the policy is write-through), in nanoseconds (paper: `t_s`).
+    pub t_s_sim_ns: u64,
+    /// Real wall-clock of the scatter copies into the subfile buffer.
+    pub t_s_real: Duration,
+    /// Fragments scattered.
+    pub fragments: u64,
+    /// Bytes written into the subfile.
+    pub bytes: u64,
+    /// Requests served.
+    pub requests: u64,
+}
+
+impl IoTimings {
+    /// Accumulates another request's timings.
+    pub fn absorb(&mut self, other: &IoTimings) {
+        self.t_s_sim_ns += other.t_s_sim_ns;
+        self.t_s_real += other.t_s_real;
+        self.fragments += other.fragments;
+        self.bytes += other.bytes;
+        self.requests += other.requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_timings_absorb() {
+        let mut a = IoTimings { t_s_sim_ns: 10, fragments: 2, bytes: 100, requests: 1, ..Default::default() };
+        let b = IoTimings { t_s_sim_ns: 5, fragments: 1, bytes: 50, requests: 1, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.t_s_sim_ns, 15);
+        assert_eq!(a.fragments, 3);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.requests, 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Service-time models for the simulated hardware.
+
+use serde::{Deserialize, Serialize};
+
+const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Converts a byte count and a bandwidth (bytes/second) to nanoseconds.
+fn transfer_ns(bytes: u64, bandwidth: u64) -> u64 {
+    if bandwidth == 0 {
+        return 0;
+    }
+    // Round up: a byte on the wire occupies at least a nanosecond slot.
+    (bytes as u128 * NS_PER_SEC as u128).div_ceil(bandwidth as u128) as u64
+}
+
+/// LogP-style network model: every message pays a fixed send overhead plus
+/// wire latency, and `size / bandwidth` of serialization time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// CPU overhead to initiate a message (ns).
+    pub per_message_overhead_ns: u64,
+    /// Wire latency (ns).
+    pub latency_ns: u64,
+    /// Link bandwidth (bytes per second).
+    pub bandwidth: u64,
+    /// Model receive-link contention: when several senders target the same
+    /// node, their payloads serialize on its inbound link (store-and-
+    /// forward). Off by default — the paper-calibrated models charge
+    /// serialization at the sender only.
+    pub rx_contention: bool,
+}
+
+impl NetworkModel {
+    /// Raw Myrinet-class defaults (≈ 9 µs latency, 100 MB/s).
+    #[must_use]
+    pub fn myrinet() -> Self {
+        Self {
+            per_message_overhead_ns: 2_000,
+            latency_ns: 9_000,
+            bandwidth: 100_000_000,
+            rx_contention: false,
+        }
+    }
+
+    /// TCP over Myrinet on a 2002-era CPU: the socket stack costs tens of
+    /// microseconds per message and caps the effective bandwidth around
+    /// 50 MB/s — the throughput class the paper's end-to-end write numbers
+    /// imply (1 MB in ≈ 20 ms for the matched layout).
+    #[must_use]
+    pub fn tcp_myrinet() -> Self {
+        Self {
+            per_message_overhead_ns: 60_000,
+            latency_ns: 20_000,
+            bandwidth: 50_000_000,
+            rx_contention: false,
+        }
+    }
+
+    /// Total delivery delay for a message of `bytes`.
+    #[must_use]
+    pub fn delivery_ns(&self, bytes: u64) -> u64 {
+        self.per_message_overhead_ns + self.latency_ns + transfer_ns(bytes, self.bandwidth)
+    }
+
+    /// Pure serialization time of `bytes` on one link.
+    #[must_use]
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        transfer_ns(bytes, self.bandwidth)
+    }
+
+    /// The sender-side occupancy (overhead + serialization) — the time the
+    /// sending node's CPU is busy.
+    #[must_use]
+    pub fn send_occupancy_ns(&self, bytes: u64) -> u64 {
+        self.per_message_overhead_ns + transfer_ns(bytes, self.bandwidth)
+    }
+}
+
+/// Disk service-time model: sequential transfers run at full bandwidth;
+/// any discontinuity pays an average seek plus half a rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Average seek time (ns).
+    pub avg_seek_ns: u64,
+    /// Half-rotation latency (ns).
+    pub rotational_ns: u64,
+    /// Sequential bandwidth (bytes per second).
+    pub bandwidth: u64,
+    /// Write-back overhead per dirty fragment (ns) — fragmented cache
+    /// contents cost extra bookkeeping at flush even though the kernel
+    /// largely sequentializes the platter traffic.
+    pub per_fragment_ns: u64,
+}
+
+impl DiskModel {
+    /// 2002-era IDE disk: ≈ 9 ms seek, 7200 rpm (≈ 4.2 ms half-rotation),
+    /// 25 MB/s sequential, ≈ 4 µs of write-back bookkeeping per fragment.
+    #[must_use]
+    pub fn ide() -> Self {
+        Self {
+            avg_seek_ns: 9_000_000,
+            rotational_ns: 4_200_000,
+            bandwidth: 25_000_000,
+            per_fragment_ns: 4_000,
+        }
+    }
+
+    /// Service time for accessing `bytes` at `offset` given the disk head's
+    /// current position.
+    #[must_use]
+    pub fn access_ns(&self, sequential: bool, bytes: u64) -> u64 {
+        let positioning = if sequential { 0 } else { self.avg_seek_ns + self.rotational_ns };
+        positioning + transfer_ns(bytes, self.bandwidth)
+    }
+
+    /// Service time for flushing `bytes` of cache content that arrived as
+    /// `fragments` pieces through the write-back path.
+    ///
+    /// Write-back hides positioning: the kernel orders dirty pages and the
+    /// drive's write cache absorbs the head movement (the paper's disk
+    /// columns are pure transfer time over the cache numbers), so the cost
+    /// is bandwidth plus per-fragment bookkeeping.
+    #[must_use]
+    pub fn flush_ns(&self, bytes: u64, fragments: u64) -> u64 {
+        transfer_ns(bytes, self.bandwidth) + fragments.saturating_sub(1) * self.per_fragment_ns
+    }
+}
+
+/// Per-node disk head state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskState {
+    /// One past the last byte the head touched.
+    pub head: u64,
+    /// Whether any access happened yet (first access always seeks).
+    pub touched: bool,
+}
+
+impl DiskState {
+    /// Accounts an access, returning whether it was sequential.
+    pub fn access(&mut self, offset: u64, bytes: u64) -> bool {
+        let sequential = self.touched && offset == self.head;
+        self.head = offset + bytes;
+        self.touched = true;
+        sequential
+    }
+}
+
+/// Buffer-cache model: writes into the cache cost one memory copy; dirty
+/// bytes are flushed to disk either explicitly or when the cache overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Memory-copy bandwidth (bytes per second).
+    pub memcpy_bandwidth: u64,
+    /// Fixed cost per copied fragment (page lookup, copy setup) in ns.
+    pub per_fragment_ns: u64,
+}
+
+impl CacheModel {
+    /// 2002-era node: 256 MB usable buffer cache, ≈ 250 MB/s copy bandwidth,
+    /// ≈ 300 ns per copied fragment.
+    #[must_use]
+    pub fn classic() -> Self {
+        Self { capacity: 256 << 20, memcpy_bandwidth: 250_000_000, per_fragment_ns: 300 }
+    }
+
+    /// Cost of staging `bytes` into the cache as one fragment.
+    #[must_use]
+    pub fn write_ns(&self, bytes: u64) -> u64 {
+        self.per_fragment_ns + transfer_ns(bytes, self.memcpy_bandwidth)
+    }
+
+    /// Cost of staging `bytes` split into `fragments` pieces.
+    #[must_use]
+    pub fn write_fragmented_ns(&self, bytes: u64, fragments: u64) -> u64 {
+        fragments * self.per_fragment_ns + transfer_ns(bytes, self.memcpy_bandwidth)
+    }
+}
+
+/// Per-node cache state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheState {
+    /// Dirty bytes awaiting flush.
+    pub dirty: u64,
+}
+
+/// Full hardware configuration of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Per-node disk model.
+    pub disk: DiskModel,
+    /// Per-node buffer-cache model.
+    pub cache: CacheModel,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed class: TCP over Myrinet + IDE disks.
+    #[must_use]
+    pub fn paper_testbed(nodes: usize) -> Self {
+        Self {
+            nodes,
+            network: NetworkModel::tcp_myrinet(),
+            disk: DiskModel::ide(),
+            cache: CacheModel::classic(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_delivery_scales_with_size() {
+        let n = NetworkModel::myrinet();
+        let small = n.delivery_ns(64);
+        let big = n.delivery_ns(1 << 20);
+        assert!(big > small);
+        // 1 MiB at 100 MB/s ≈ 10.5 ms.
+        assert!((big - n.per_message_overhead_ns - n.latency_ns) > 10_000_000);
+        assert!(n.send_occupancy_ns(64) < n.delivery_ns(64));
+    }
+
+    #[test]
+    fn zero_bandwidth_means_free_transfer() {
+        let n = NetworkModel {
+            per_message_overhead_ns: 5,
+            latency_ns: 7,
+            bandwidth: 0,
+            rx_contention: false,
+        };
+        assert_eq!(n.delivery_ns(1 << 30), 12);
+    }
+
+    #[test]
+    fn disk_sequential_vs_random() {
+        let d = DiskModel::ide();
+        let mut st = DiskState::default();
+        assert!(!st.access(0, 4096), "first access is never sequential");
+        assert!(st.access(4096, 4096), "continuation is sequential");
+        assert!(!st.access(0, 4096), "rewind seeks");
+        let seq = d.access_ns(true, 1 << 20);
+        let rnd = d.access_ns(false, 1 << 20);
+        assert_eq!(rnd - seq, d.avg_seek_ns + d.rotational_ns);
+    }
+
+    #[test]
+    fn cache_write_cost() {
+        let c = CacheModel::classic();
+        // 1 MB at 250 MB/s ≈ 4 ms.
+        let t = c.write_ns(1_000_000);
+        assert!((3_900_000..4_100_000).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        assert_eq!(super::transfer_ns(1, 1_000_000_000), 1);
+        assert_eq!(super::transfer_ns(0, 1_000_000_000), 0);
+        assert_eq!(super::transfer_ns(3, 2_000_000_000), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Real-thread execution of per-node phases.
+//!
+//! The simulator itself is single-threaded and deterministic; this module
+//! runs the *real* CPU work of a phase (gathers, scatters, intersections)
+//! on one OS thread per node, the way the actual cluster executed them, and
+//! reports per-node wall-clock times. Crossbeam's scoped threads keep
+//! borrowing safe without `Arc`-wrapping every input; a `parking_lot` mutex
+//! collects results as nodes finish.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Outcome of one node's phase execution.
+#[derive(Debug, Clone)]
+pub struct PhaseResult<T> {
+    /// Node index.
+    pub node: usize,
+    /// Real wall-clock the node's work took.
+    pub elapsed: Duration,
+    /// The node's output.
+    pub output: T,
+}
+
+/// Runs `work(node)` for every node on its own thread and returns the
+/// results ordered by node index, each with its measured wall-clock time.
+///
+/// The phase's overall latency is that of the slowest node — the same
+/// "limited by the slowest I/O server" effect the paper observes for its
+/// parallel write phase.
+pub fn run_phase<T, F>(nodes: usize, work: F) -> Vec<PhaseResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Mutex<Vec<PhaseResult<T>>> = Mutex::new(Vec::with_capacity(nodes));
+    crossbeam::thread::scope(|s| {
+        for node in 0..nodes {
+            let work = &work;
+            let results = &results;
+            s.spawn(move |_| {
+                let start = Instant::now();
+                let output = work(node);
+                let elapsed = start.elapsed();
+                results.lock().push(PhaseResult { node, elapsed, output });
+            });
+        }
+    })
+    .expect("phase worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|r| r.node);
+    out
+}
+
+/// Longest per-node wall-clock in a phase — the phase's latency.
+#[must_use]
+pub fn phase_latency<T>(results: &[PhaseResult<T>]) -> Duration {
+    results.iter().map(|r| r.elapsed).max().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_node_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_phase(8, |node| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            node * 2
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.node, i);
+            assert_eq!(r.output, i * 2);
+        }
+    }
+
+    #[test]
+    fn latency_is_slowest_node() {
+        let results = run_phase(4, |node| {
+            // Node 3 does measurably more work.
+            let iters = if node == 3 { 4_000_000 } else { 1_000 };
+            let mut acc = 0u64;
+            for i in 0..iters {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            acc
+        });
+        let latency = phase_latency(&results);
+        assert_eq!(latency, results[3].elapsed.max(latency));
+        assert!(latency >= results[0].elapsed);
+    }
+
+    #[test]
+    fn zero_nodes_is_empty() {
+        let results = run_phase(0, |n| n);
+        assert!(results.is_empty());
+        assert_eq!(phase_latency(&results), Duration::ZERO);
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulation statistics.
+
+use crate::cluster::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-node counters accumulated during a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Simulated CPU time (ns).
+    pub cpu_ns: u64,
+    /// Simulated disk busy time (ns).
+    pub disk_ns: u64,
+    /// Bytes written to disk.
+    pub disk_bytes: u64,
+    /// Bytes staged into the buffer cache.
+    pub cache_bytes: u64,
+    /// Non-sequential disk accesses.
+    pub seeks: u64,
+}
+
+/// Aggregated cluster statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Counters per node.
+    pub per_node: Vec<NodeStats>,
+    /// Largest node clock — the simulated wall-clock of the run.
+    pub makespan: SimTime,
+}
+
+impl ClusterStats {
+    /// Total messages sent across the cluster.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.per_node.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total payload bytes sent across the cluster.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total seeks across the cluster.
+    #[must_use]
+    pub fn total_seeks(&self) -> u64 {
+        self.per_node.iter().map(|n| n.seeks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let stats = ClusterStats {
+            per_node: vec![
+                NodeStats { messages_sent: 2, bytes_sent: 100, seeks: 1, ..Default::default() },
+                NodeStats { messages_sent: 3, bytes_sent: 50, seeks: 4, ..Default::default() },
+            ],
+            makespan: 42,
+        };
+        assert_eq!(stats.total_messages(), 5);
+        assert_eq!(stats.total_bytes(), 150);
+        assert_eq!(stats.total_seeks(), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Event traces for debugging and for asserting schedules in tests.
+
+use crate::cluster::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One traced simulator event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Node the event happened on.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of traced events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// CPU work.
+    Compute {
+        /// Scaled duration (ns).
+        ns: u64,
+    },
+    /// Message departure.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Message arrival.
+    Receive {
+        /// Source node.
+        from: NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Message dropped because the destination crashed.
+    Dropped {
+        /// Source node.
+        from: NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Buffer-cache staging.
+    CacheWrite {
+        /// Bytes staged.
+        bytes: u64,
+    },
+    /// Disk write.
+    DiskWrite {
+        /// Byte offset on the disk.
+        offset: u64,
+        /// Bytes written.
+        bytes: u64,
+        /// Whether the access continued the previous one.
+        sequential: bool,
+    },
+}
+
+impl TraceEntry {
+    /// Compact one-line rendering, convenient for test failure output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.kind {
+            TraceKind::Compute { ns } => format!("[{:>12}] n{} compute {}ns", self.at, self.node, ns),
+            TraceKind::Send { to, bytes } => {
+                format!("[{:>12}] n{} send {}B -> n{}", self.at, self.node, bytes, to)
+            }
+            TraceKind::Receive { from, bytes } => {
+                format!("[{:>12}] n{} recv {}B <- n{}", self.at, self.node, bytes, from)
+            }
+            TraceKind::Dropped { from, bytes } => {
+                format!("[{:>12}] n{} DROP {}B <- n{}", self.at, self.node, bytes, from)
+            }
+            TraceKind::CacheWrite { bytes } => {
+                format!("[{:>12}] n{} cache {}B", self.at, self.node, bytes)
+            }
+            TraceKind::DiskWrite { offset, bytes, sequential } => format!(
+                "[{:>12}] n{} disk {}B @{} {}",
+                self.at,
+                self.node,
+                bytes,
+                offset,
+                if *sequential { "seq" } else { "seek" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let e = TraceEntry { at: 5, node: 1, kind: TraceKind::Send { to: 2, bytes: 64 } };
+        assert_eq!(e.render(), "[           5] n1 send 64B -> n2");
+        let d = TraceEntry {
+            at: 7,
+            node: 0,
+            kind: TraceKind::DiskWrite { offset: 0, bytes: 10, sequential: false },
+        };
+        assert!(d.render().ends_with("seek"));
+    }
+}

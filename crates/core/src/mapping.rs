@@ -1,0 +1,462 @@
+//! Mapping functions between file offsets and partition-element offsets
+//! (§6 of the paper).
+//!
+//! For a partition element described by a set of nested FALLS `S` within a
+//! partitioning pattern `P` starting at displacement `d`:
+//!
+//! ```text
+//! MAP_S(x)    = ((x − d) div SIZE(P)) · SIZE(S) + MAP-AUX_S((x − d) mod SIZE(P))
+//! MAP_S⁻¹(y)  = d + (y div SIZE(S)) · SIZE(P) + MAP-AUX_S⁻¹(y mod SIZE(S))
+//! ```
+//!
+//! `MAP_S(x)` is defined only when byte `x` belongs to one of the line
+//! segments of `S`; [`Mapper::map`] returns `None` otherwise, and the
+//! [`Mapper::map_next`] / [`Mapper::map_prev`] variants round to the
+//! next/previous byte that does map, as sketched at the end of §6.1.
+
+use crate::model::Partition;
+use crate::Error;
+use falls::{NestedFalls, NestedSet, Offset};
+
+/// Maps between the file's linear space and the linear space of one
+/// partition element (subfile or view).
+///
+/// The element's linear space is laid out in *tree order*: families in
+/// sibling order, repetitions in index order, inner families depth-first —
+/// exactly the order implied by the paper's `MAP-AUX` pseudocode.
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper<'a> {
+    partition: &'a Partition,
+    element: usize,
+    /// Cached pattern size.
+    psize: u64,
+    /// Cached element size (bytes of the element per pattern tile).
+    esize: u64,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper for element `element` of `partition`.
+    ///
+    /// # Panics
+    /// Panics if the element index is out of range; use
+    /// [`Mapper::try_new`] for a fallible constructor.
+    #[must_use]
+    pub fn new(partition: &'a Partition, element: usize) -> Self {
+        Self::try_new(partition, element).expect("element index in range")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(partition: &'a Partition, element: usize) -> Result<Self, Error> {
+        let set = partition.pattern().element(element)?;
+        Ok(Self { partition, element, psize: partition.pattern().size(), esize: set.size() })
+    }
+
+    /// The element index this mapper addresses.
+    #[must_use]
+    pub fn element(&self) -> usize {
+        self.element
+    }
+
+    /// The partition this mapper operates on.
+    #[must_use]
+    pub fn partition(&self) -> &'a Partition {
+        self.partition
+    }
+
+    /// Bytes of this element per pattern tile.
+    #[must_use]
+    pub fn element_size(&self) -> u64 {
+        self.esize
+    }
+
+    fn set(&self) -> &'a NestedSet {
+        self.partition
+            .pattern()
+            .element(self.element)
+            .expect("validated at construction")
+    }
+
+    /// `MAP_S(x)`: the element offset that absolute file byte `x` maps to,
+    /// or `None` if `x` lies below the displacement or is not selected by
+    /// the element.
+    #[must_use]
+    pub fn map(&self, x: Offset) -> Option<u64> {
+        let d = self.partition.displacement();
+        if x < d {
+            return None;
+        }
+        let y = x - d;
+        let tile = y / self.psize;
+        let rel = y % self.psize;
+        Some(tile * self.esize + map_in_siblings(self.set().families(), rel)?)
+    }
+
+    /// `MAP_S⁻¹(y)`: the absolute file byte holding element offset `y`.
+    #[must_use]
+    pub fn unmap(&self, y: u64) -> Offset {
+        let tile = y / self.esize;
+        let rem = y % self.esize;
+        self.partition.displacement()
+            + tile * self.psize
+            + unmap_in_siblings(self.set().families(), rem)
+    }
+
+    /// The smallest file offset `x' ≥ x` that the element selects.
+    ///
+    /// Always exists because the pattern tiles the file indefinitely.
+    #[must_use]
+    pub fn next_selected(&self, x: Offset) -> Offset {
+        let d = self.partition.displacement();
+        let x = x.max(d);
+        let y = x - d;
+        let tile = y / self.psize;
+        let rel = y % self.psize;
+        match next_in_siblings(self.set().families(), rel) {
+            Some(p) => d + tile * self.psize + p,
+            None => {
+                let first = next_in_siblings(self.set().families(), 0)
+                    .expect("non-empty element selects at least one byte per tile");
+                d + (tile + 1) * self.psize + first
+            }
+        }
+    }
+
+    /// The largest file offset `x' ≤ x` that the element selects, or `None`
+    /// if no selected byte exists at or before `x`.
+    #[must_use]
+    pub fn prev_selected(&self, x: Offset) -> Option<Offset> {
+        let d = self.partition.displacement();
+        if x < d {
+            return None;
+        }
+        let y = x - d;
+        let mut tile = y / self.psize;
+        let mut rel = y % self.psize;
+        loop {
+            if let Some(p) = prev_in_siblings(self.set().families(), rel) {
+                return Some(d + tile * self.psize + p);
+            }
+            if tile == 0 {
+                return None;
+            }
+            tile -= 1;
+            rel = self.psize - 1;
+        }
+    }
+
+    /// `MAP` of the next selected byte at or after `x` (the paper's
+    /// *next-byte* mapping variant).
+    #[must_use]
+    pub fn map_next(&self, x: Offset) -> u64 {
+        self.map(self.next_selected(x)).expect("next_selected returns a selected byte")
+    }
+
+    /// `MAP` of the previous selected byte at or before `x` (the paper's
+    /// *previous-byte* mapping variant).
+    #[must_use]
+    pub fn map_prev(&self, x: Offset) -> Option<u64> {
+        Some(self.map(self.prev_selected(x)?).expect("prev_selected returns a selected byte"))
+    }
+
+    /// Whether the element selects file byte `x`.
+    #[must_use]
+    pub fn selects(&self, x: Offset) -> bool {
+        self.map(x).is_some()
+    }
+}
+
+/// Maps offset `y` of element `from` onto the linear space of element `to`
+/// (possibly of a different partition of the same file):
+/// `MAP_to(MAP_from⁻¹(y))`, as in §6.2.
+///
+/// Returns `None` when the byte does not belong to `to`.
+#[must_use]
+pub fn map_between(from: &Mapper<'_>, to: &Mapper<'_>, y: u64) -> Option<u64> {
+    to.map(from.unmap(y))
+}
+
+/// Like [`map_between`] but rounds forward to the next byte of `from`'s file
+/// position that maps onto `to` — used for the left extremity of an access
+/// interval.
+#[must_use]
+pub fn map_between_next(from: &Mapper<'_>, to: &Mapper<'_>, y: u64) -> u64 {
+    to.map_next(from.unmap(y))
+}
+
+/// Like [`map_between`] but rounds backward — used for the right extremity
+/// of an access interval. `None` if no byte of `to` lies at or before it.
+#[must_use]
+pub fn map_between_prev(from: &Mapper<'_>, to: &Mapper<'_>, y: u64) -> Option<u64> {
+    to.map_prev(from.unmap(y))
+}
+
+// ---------------------------------------------------------------------------
+// MAP-AUX and its inverse over sibling family lists.
+// ---------------------------------------------------------------------------
+
+/// `MAP-AUX_S(rel)`: position of pattern-relative byte `rel` in the linear
+/// space of the sibling list, or `None` if not selected.
+pub(crate) fn map_in_siblings(sibs: &[NestedFalls], rel: u64) -> Option<u64> {
+    let mut before = 0u64;
+    for nf in sibs {
+        if let Some(m) = map_in_family(nf, rel) {
+            return Some(before + m);
+        }
+        before += nf.size();
+    }
+    None
+}
+
+/// `MAP-AUX_f(rel)` for a single nested family.
+fn map_in_family(nf: &NestedFalls, rel: u64) -> Option<u64> {
+    let f = nf.falls();
+    if rel < f.l() {
+        return None;
+    }
+    let rep = f.repetition_of(rel)?;
+    let within = (rel - f.l()) - rep * f.stride();
+    if within >= f.block_len() {
+        return None; // in the gap between two blocks
+    }
+    if nf.is_leaf() {
+        Some(rep * f.block_len() + within)
+    } else {
+        Some(rep * nf.block_size() + map_in_siblings(nf.inner(), within)?)
+    }
+}
+
+/// `MAP-AUX_S⁻¹(y)`: pattern-relative byte holding linear offset `y` of the
+/// sibling list. `y` must be smaller than the total size of the list.
+pub(crate) fn unmap_in_siblings(sibs: &[NestedFalls], y: u64) -> u64 {
+    let mut acc = y;
+    for nf in sibs {
+        let sz = nf.size();
+        if acc < sz {
+            return unmap_in_family(nf, acc);
+        }
+        acc -= sz;
+    }
+    panic!("offset {y} beyond the size of the sibling list");
+}
+
+fn unmap_in_family(nf: &NestedFalls, y: u64) -> u64 {
+    let f = nf.falls();
+    let bs = nf.block_size();
+    let rep = y / bs;
+    debug_assert!(rep < f.count(), "offset beyond family size");
+    let rem = y % bs;
+    let base = f.l() + rep * f.stride();
+    if nf.is_leaf() {
+        base + rem
+    } else {
+        base + unmap_in_siblings(nf.inner(), rem)
+    }
+}
+
+/// Smallest selected position `≥ rel` within one pattern tile, across the
+/// sibling list.
+pub(crate) fn next_in_siblings(sibs: &[NestedFalls], rel: u64) -> Option<u64> {
+    sibs.iter().filter_map(|nf| next_in_family(nf, rel)).min()
+}
+
+fn next_in_family(nf: &NestedFalls, rel: u64) -> Option<u64> {
+    let f = nf.falls();
+    let mut rep = if rel <= f.l() { 0 } else { (rel - f.l()) / f.stride() };
+    while rep < f.count() {
+        let base = f.l() + rep * f.stride();
+        let within = rel.saturating_sub(base);
+        if within < f.block_len() {
+            if nf.is_leaf() {
+                return Some(base + within);
+            }
+            if let Some(w) = next_in_siblings(nf.inner(), within) {
+                return Some(base + w);
+            }
+        }
+        rep += 1;
+    }
+    None
+}
+
+/// Largest selected position `≤ rel` within one pattern tile, across the
+/// sibling list.
+pub(crate) fn prev_in_siblings(sibs: &[NestedFalls], rel: u64) -> Option<u64> {
+    sibs.iter().filter_map(|nf| prev_in_family(nf, rel)).max()
+}
+
+fn prev_in_family(nf: &NestedFalls, rel: u64) -> Option<u64> {
+    let f = nf.falls();
+    if rel < f.l() {
+        return None;
+    }
+    let mut rep = ((rel - f.l()) / f.stride()).min(f.count() - 1);
+    loop {
+        let base = f.l() + rep * f.stride();
+        // Last in-block relative position not exceeding rel.
+        let within = (rel - base).min(f.block_len() - 1);
+        let found = if nf.is_leaf() {
+            Some(base + within)
+        } else {
+            prev_in_siblings(nf.inner(), within).map(|w| base + w)
+        };
+        if let Some(v) = found {
+            return Some(v);
+        }
+        if rep == 0 {
+            return None;
+        }
+        rep -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PartitionPattern;
+    use falls::{Falls, NestedFalls, NestedSet};
+
+    fn leaf_set(l: u64, r: u64, s: u64, n: u64) -> NestedSet {
+        NestedSet::singleton(NestedFalls::leaf(Falls::new(l, r, s, n).unwrap()))
+    }
+
+    fn figure3_partition() -> Partition {
+        let pattern = PartitionPattern::new(vec![
+            leaf_set(0, 1, 6, 1),
+            leaf_set(2, 3, 6, 1),
+            leaf_set(4, 5, 6, 1),
+        ])
+        .unwrap();
+        Partition::new(2, pattern)
+    }
+
+    /// §6's worked example: with S = {(2,3,6,1)}, pattern size 6,
+    /// displacement 2: MAP(10) = 2 and MAP⁻¹(2) = 10.
+    #[test]
+    fn paper_map_example() {
+        let part = figure3_partition();
+        let m = Mapper::new(&part, 1);
+        assert_eq!(m.map(10), Some(2));
+        assert_eq!(m.unmap(2), 10);
+    }
+
+    /// §6.1's closed form for S = {(0,1,6,1)}, displacement 2:
+    /// MAP(x) = ((x−2) div 6)·2 + (x−2) mod 6 for selected bytes.
+    #[test]
+    fn paper_closed_form_subfile0() {
+        let part = figure3_partition();
+        let m = Mapper::new(&part, 0);
+        for x in 2..50u64 {
+            let rel = (x - 2) % 6;
+            if rel < 2 {
+                let want = ((x - 2) / 6) * 2 + rel;
+                assert_eq!(m.map(x), Some(want), "x={x}");
+                assert_eq!(m.unmap(want), x);
+            } else {
+                assert_eq!(m.map(x), None, "x={x}");
+            }
+        }
+    }
+
+    /// §6.1: byte at file offset 5 doesn't map on element 0; its previous
+    /// map is subfile offset 1 and its next map is subfile offset 2.
+    #[test]
+    fn paper_next_prev_example() {
+        let part = figure3_partition();
+        let m = Mapper::new(&part, 0);
+        assert_eq!(m.map(5), None);
+        assert_eq!(m.map_prev(5), Some(1));
+        assert_eq!(m.map_next(5), 2);
+    }
+
+    #[test]
+    fn below_displacement() {
+        let part = figure3_partition();
+        let m = Mapper::new(&part, 0);
+        assert_eq!(m.map(0), None);
+        assert_eq!(m.map_prev(1), None);
+        assert_eq!(m.next_selected(0), 2);
+        assert_eq!(m.prev_selected(1), None);
+    }
+
+    #[test]
+    fn map_unmap_roundtrip_nested() {
+        // Element selecting {0,2,8,10} per 16-byte tile (Figure 2) plus the
+        // complement as a second element.
+        let fig2 = NestedSet::singleton(
+            NestedFalls::with_inner(
+                Falls::new(0, 3, 8, 2).unwrap(),
+                vec![NestedFalls::leaf(Falls::new(0, 0, 2, 2).unwrap())],
+            )
+            .unwrap(),
+        );
+        let rest = NestedSet::new(vec![
+            NestedFalls::leaf(Falls::new(1, 1, 2, 2).unwrap()),
+            NestedFalls::leaf(Falls::new(4, 7, 16, 1).unwrap()),
+            NestedFalls::leaf(Falls::new(9, 9, 2, 2).unwrap()),
+            NestedFalls::leaf(Falls::new(12, 15, 16, 1).unwrap()),
+        ])
+        .unwrap();
+        let pattern = PartitionPattern::new(vec![fig2, rest]).unwrap();
+        let part = Partition::new(0, pattern);
+        for e in 0..2 {
+            let m = Mapper::new(&part, e);
+            for y in 0..64u64 {
+                let x = m.unmap(y);
+                assert_eq!(m.map(x), Some(y), "element {e}, offset {y}");
+            }
+        }
+        // Every file byte belongs to exactly one element.
+        let m0 = Mapper::new(&part, 0);
+        let m1 = Mapper::new(&part, 1);
+        for x in 0..64u64 {
+            assert!(m0.selects(x) ^ m1.selects(x), "byte {x}");
+        }
+    }
+
+    #[test]
+    fn next_prev_across_tiles() {
+        let part = figure3_partition();
+        let m = Mapper::new(&part, 0);
+        // Element 0 selects file bytes {2,3, 8,9, 14,15, ...}.
+        assert_eq!(m.next_selected(4), 8);
+        assert_eq!(m.next_selected(10), 14);
+        assert_eq!(m.prev_selected(7), Some(3));
+        assert_eq!(m.prev_selected(13), Some(9));
+    }
+
+    #[test]
+    fn composition_between_partitions() {
+        // View partition: single view covering everything (identity-ish),
+        // physical partition: figure 3.
+        let phys = figure3_partition();
+        let view_pattern = PartitionPattern::new(vec![leaf_set(0, 5, 6, 1)]).unwrap();
+        let view = Partition::new(2, view_pattern);
+        let mv = Mapper::new(&view, 0);
+        let ms = Mapper::new(&phys, 1);
+        // View offset 2 is file byte 4 → subfile 1 offset 0.
+        assert_eq!(map_between(&mv, &ms, 2), Some(0));
+        // View offset 0 is file byte 2 → subfile 1 doesn't hold it.
+        assert_eq!(map_between(&mv, &ms, 0), None);
+        assert_eq!(map_between_next(&mv, &ms, 0), 0);
+        assert_eq!(map_between_prev(&mv, &ms, 0), None);
+        // MAP_S(MAP_S⁻¹(y)) = y.
+        for y in 0..24 {
+            assert_eq!(map_between(&ms, &ms, y), Some(y));
+        }
+    }
+
+    #[test]
+    fn identical_partitions_map_identity() {
+        // §6.2: with identical physical and logical parameters, each view
+        // maps exactly on a subfile.
+        let a = figure3_partition();
+        let b = figure3_partition();
+        for e in 0..3 {
+            let mv = Mapper::new(&a, e);
+            let ms = Mapper::new(&b, e);
+            for y in 0..30 {
+                assert_eq!(map_between(&mv, &ms, y), Some(y));
+            }
+        }
+    }
+}

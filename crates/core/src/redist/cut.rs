@@ -1,0 +1,168 @@
+//! `CUT-FALLS` (§7): clipping a FALLS between two limits.
+
+use falls::Falls;
+
+/// Cuts FALLS `f` between inferior limit `a` and superior limit `b` (both
+/// inclusive), returning the surviving pieces *relative to `a`*.
+///
+/// A partial first or last block becomes its own single-segment FALLS; the
+/// untouched middle blocks stay one family, so the output has at most three
+/// entries. The paper's example: cutting Figure 1's `(3,5,6,5)` between 4
+/// and 28 yields `{(0,1,2,1), (5,7,6,3), (23,24,2,1)}`.
+#[must_use]
+pub fn cut_falls(f: &Falls, a: u64, b: u64) -> Vec<Falls> {
+    if a > b {
+        return Vec::new();
+    }
+    let (l, r, s, n) = (f.l(), f.r(), f.stride(), f.count());
+    // First repetition whose block end reaches `a`.
+    let r0 = if a <= r { 0 } else { (a - r).div_ceil(s) };
+    // Last repetition whose block start is at most `b`.
+    if b < l || r0 >= n {
+        return Vec::new();
+    }
+    let r1 = ((b - l) / s).min(n - 1);
+    if r0 > r1 {
+        return Vec::new();
+    }
+
+    let clip = |rep: u64| -> Option<(u64, u64)> {
+        let bl = l + rep * s;
+        let br = r + rep * s;
+        let cl = bl.max(a);
+        let cr = br.min(b);
+        (cl <= cr).then_some((cl - a, cr - a))
+    };
+
+    let mut out: Vec<Falls> = Vec::with_capacity(3);
+    let push_or_merge = |seg_l: u64, seg_r: u64, out: &mut Vec<Falls>| {
+        // Fold a full block into a preceding family with matching geometry.
+        if let Some(last) = out.last_mut() {
+            let next_l = last.l() + last.count() * s;
+            if seg_r - seg_l == last.r() - last.l() && seg_l == next_l {
+                *last = Falls::new(last.l(), last.r(), s, last.count() + 1)
+                    .expect("extended family stays valid");
+                return;
+            }
+        }
+        out.push(Falls::new(seg_l, seg_r, s, 1).expect("clipped segment is valid"));
+    };
+
+    let (f_l, f_r) = clip(r0).expect("first repetition intersects [a, b]");
+    push_or_merge(f_l, f_r, &mut out);
+
+    if r1 > r0 {
+        // Middle repetitions (r0+1 .. r1) are fully inside [a, b].
+        if r1 - r0 >= 2 {
+            let m_l = l + (r0 + 1) * s - a;
+            let m_r = r + (r0 + 1) * s - a;
+            // Merge with a full first block if geometry continues.
+            if let Some(last) = out.last_mut() {
+                if last.r() - last.l() == m_r - m_l && last.l() + s == m_l {
+                    *last = Falls::new(last.l(), last.r(), s, r1 - r0)
+                        .expect("merged family stays valid");
+                } else {
+                    out.push(Falls::new(m_l, m_r, s, r1 - r0 - 1).expect("middle run is valid"));
+                }
+            }
+        }
+        let (l_l, l_r) = clip(r1).expect("last repetition intersects [a, b]");
+        push_or_merge(l_l, l_r, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets(falls: &[Falls]) -> Vec<u64> {
+        let mut v: Vec<u64> = falls.iter().flat_map(|f| f.offsets().collect::<Vec<_>>()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The paper's example: cut (3,5,6,5) between a=4 and b=28, relative
+    /// to 4 → {(0,1,2,1), (5,7,6,3), (23,24,2,1)}.
+    #[test]
+    fn paper_cut_example() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        let cut = cut_falls(&f, 4, 28);
+        assert_eq!(cut.len(), 3);
+        assert_eq!(cut[0], Falls::new(0, 1, 2, 1).unwrap());
+        assert_eq!(cut[1], Falls::new(5, 7, 6, 3).unwrap());
+        assert_eq!(cut[2], Falls::new(23, 24, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn cut_equals_clip_and_shift_reference() {
+        // Reference semantics: keep bytes in [a, b], re-express relative to a.
+        let cases = [
+            (Falls::new(3, 5, 6, 5).unwrap(), 4u64, 28u64),
+            (Falls::new(0, 7, 16, 2).unwrap(), 0, 31),
+            (Falls::new(0, 3, 8, 4).unwrap(), 5, 30),
+            (Falls::new(2, 2, 3, 10).unwrap(), 7, 23),
+            (Falls::new(0, 0, 1, 1).unwrap(), 0, 0),
+        ];
+        for (f, a, b) in cases {
+            let want: Vec<u64> =
+                f.offsets().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
+            assert_eq!(offsets(&cut_falls(&f, a, b)), want, "cut {f} between {a} and {b}");
+        }
+    }
+
+    #[test]
+    fn cut_outside_extent_is_empty() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        assert!(cut_falls(&f, 30, 40).is_empty());
+        assert!(cut_falls(&f, 0, 2).is_empty());
+        assert!(cut_falls(&f, 10, 5).is_empty());
+        // a and b inside a gap between blocks
+        assert!(cut_falls(&f, 6, 8).is_empty());
+    }
+
+    #[test]
+    fn cut_whole_family_is_identity_shape() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        let cut = cut_falls(&f, 0, 31);
+        assert_eq!(cut, vec![Falls::new(3, 5, 6, 5).unwrap()]);
+        // Aligned cut rebases to zero.
+        let cut = cut_falls(&f, 3, 29);
+        assert_eq!(cut, vec![Falls::new(0, 2, 6, 5).unwrap()]);
+    }
+
+    #[test]
+    fn cut_single_block() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        // Only repetition 1 ([9,11]) survives, partially.
+        let cut = cut_falls(&f, 10, 11);
+        assert_eq!(cut, vec![Falls::new(0, 1, 2, 1).unwrap()]);
+    }
+
+    #[test]
+    fn cut_two_blocks_merges_when_full() {
+        let f = Falls::new(0, 1, 4, 4).unwrap(); // [0,1],[4,5],[8,9],[12,13]
+        let cut = cut_falls(&f, 4, 9);
+        assert_eq!(cut, vec![Falls::new(0, 1, 4, 2).unwrap()]);
+    }
+
+    #[test]
+    fn cut_exhaustive_against_reference() {
+        let families = [
+            Falls::new(0, 2, 5, 4).unwrap(),
+            Falls::new(1, 1, 2, 8).unwrap(),
+            Falls::new(4, 9, 10, 3).unwrap(),
+        ];
+        for f in families {
+            let end = f.extent_end() + 3;
+            for a in 0..end {
+                for b in a..end {
+                    let want: Vec<u64> =
+                        f.offsets().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
+                    let got = offsets(&cut_falls(&f, a, b));
+                    assert_eq!(got, want, "cut {f} between {a} and {b}");
+                }
+            }
+        }
+    }
+}

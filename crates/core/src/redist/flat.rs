@@ -1,0 +1,246 @@
+//! `INTERSECT-FALLS` (§7): intersection of two flat FALLS.
+//!
+//! Two implementations are provided:
+//!
+//! * [`intersect_falls`] — the paper's periodic algorithm. The intersection
+//!   of two FALLS is periodic with period `T = lcm(s₁, s₂)`; only segment
+//!   pairs within one period (plus the ±T wraparound) are examined, and each
+//!   overlapping pair yields one *generator* FALLS of stride `T` whose count
+//!   is bounded by the families' extents. Cost is `O((T/s₁)·(T/s₂))`
+//!   regardless of the counts `n₁`, `n₂`.
+//! * [`intersect_falls_merge`] — a two-pointer merge over the segment
+//!   streams with arithmetic skip-ahead, used as a cross-checking reference
+//!   (property tests assert both describe identical byte sets) and as the
+//!   comparison point for the ablation benchmark.
+
+use falls::{compress_segments, lcm, Falls, LineSegment};
+
+/// The paper's periodic FALLS intersection; see the module docs.
+///
+/// Returns disjoint FALLS (possibly interleaved), sorted by left index.
+/// Example from Figure 4: `INTERSECT-FALLS((0,7,16,2), (0,3,8,4)) =
+/// (0,3,16,2)`.
+#[must_use]
+pub fn intersect_falls(f1: &Falls, f2: &Falls) -> Vec<Falls> {
+    let lo = f1.l().max(f2.l());
+    let hi = f1.extent_end().min(f2.extent_end());
+    if lo > hi {
+        return Vec::new();
+    }
+    // Drop the segments that end before the common extent begins, so both
+    // families' first segments lie within one period of each other — the
+    // ±T wraparound cases below then cover every candidate pair.
+    let Some(f1) = &skip_before(f1, lo) else { return Vec::new() };
+    let Some(f2) = &skip_before(f2, lo) else { return Vec::new() };
+    let t = lcm(f1.stride(), f2.stride());
+    let k1 = t / f1.stride();
+    let k2 = t / f2.stride();
+    let (n1, n2) = (f1.count(), f2.count());
+
+    let mut out: Vec<Falls> = Vec::new();
+    for i1 in 0..k1.min(n1) {
+        let a = f1.segment(i1).expect("i1 < n1");
+        for i2 in 0..k2.min(n2) {
+            // A segment of f2 overlapping A either lies in the same period,
+            // or wraps around from the previous/next one.
+            for d in [-1i64, 0, 1] {
+                let shift = d * (k2 as i64);
+                let b_idx0 = i2 as i64 + shift; // index of B at occurrence 0
+                let b_l = f2.l() as i64 + (i2 as i64 + shift) * f2.stride() as i64;
+                let b_r = b_l + (f2.r() - f2.l()) as i64;
+                let ol = (a.l() as i64).max(b_l);
+                let or = (a.r() as i64).min(b_r);
+                if ol > or {
+                    continue;
+                }
+                // Occurrence k shifts both families by k·T. Valid while both
+                // segment indices stay in range.
+                let kmin = if b_idx0 < 0 { 1 } else { 0 };
+                let kmax_a = (n1 - 1 - i1) / k1;
+                let b_room = n2 as i64 - 1 - b_idx0;
+                if b_room < 0 && kmin == 0 {
+                    continue;
+                }
+                let kmax_b = if b_room < 0 {
+                    // b_idx0 negative (kmin = 1): index at k is b_idx0 + k·k2.
+                    ((n2 as i64 - 1 - b_idx0) / k2 as i64) as u64
+                } else {
+                    (b_room as u64) / k2
+                };
+                let kmax = kmax_a.min(kmax_b);
+                if kmax < kmin {
+                    continue;
+                }
+                let count = kmax - kmin + 1;
+                let gen_l = (ol as u64) + kmin * t;
+                let gen_r = (or as u64) + kmin * t;
+                out.push(Falls::new(gen_l, gen_r, t, count).expect("generator is valid"));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|f| (f.l(), f.r()));
+    out
+}
+
+/// Drops the leading segments of `f` that end strictly before `lo`
+/// (segments end before `lo` whenever their index is below
+/// `(lo − l) / s`, because block length never exceeds the stride).
+fn skip_before(f: &Falls, lo: u64) -> Option<Falls> {
+    if lo <= f.l() {
+        return Some(*f);
+    }
+    let skip = (lo - f.l()) / f.stride();
+    if skip == 0 {
+        return Some(*f);
+    }
+    if skip >= f.count() {
+        // Only the last segment could still overlap; keep it.
+        let last = f.count() - 1;
+        return Falls::new(
+            f.l() + last * f.stride(),
+            f.r() + last * f.stride(),
+            f.stride(),
+            1,
+        )
+        .ok();
+    }
+    Falls::new(
+        f.l() + skip * f.stride(),
+        f.r() + skip * f.stride(),
+        f.stride(),
+        f.count() - skip,
+    )
+    .ok()
+}
+
+/// Reference FALLS intersection: merges the two segment streams with
+/// arithmetic skip-ahead and re-compresses the overlaps.
+#[must_use]
+pub fn intersect_falls_merge(f1: &Falls, f2: &Falls) -> Vec<Falls> {
+    let mut out: Vec<LineSegment> = Vec::new();
+    let (mut i, mut j) = (0u64, 0u64);
+    while i < f1.count() && j < f2.count() {
+        let a = f1.segment(i).expect("i < n1");
+        let b = f2.segment(j).expect("j < n2");
+        if let Some(ov) = a.intersect(&b) {
+            out.push(ov);
+        }
+        if a.r() <= b.r() {
+            // Skip ahead to the first segment of f1 that can reach b.l().
+            i += if b.l() > a.r() {
+                ((b.l() - a.r()) / f1.stride()).max(1)
+            } else {
+                1
+            };
+        } else {
+            j += if a.l() > b.r() {
+                ((a.l() - b.r()) / f2.stride()).max(1)
+            } else {
+                1
+            };
+        }
+    }
+    compress_segments(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn byte_set(falls: &[Falls]) -> Vec<u64> {
+        let mut v: Vec<u64> = falls.iter().flat_map(|f| f.offsets().collect::<Vec<_>>()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Figure 4: INTERSECT-FALLS((0,7,16,2), (0,3,8,4)) = (0,3,16,2).
+    #[test]
+    fn paper_intersect_example() {
+        let f1 = Falls::new(0, 7, 16, 2).unwrap();
+        let f2 = Falls::new(0, 3, 8, 4).unwrap();
+        let out = intersect_falls(&f1, &f2);
+        assert_eq!(out, vec![Falls::new(0, 3, 16, 2).unwrap()]);
+        assert_eq!(byte_set(&out), byte_set(&intersect_falls_merge(&f1, &f2)));
+    }
+
+    #[test]
+    fn disjoint_families() {
+        let f1 = Falls::new(0, 1, 8, 4).unwrap();
+        let f2 = Falls::new(4, 5, 8, 4).unwrap();
+        assert!(intersect_falls(&f1, &f2).is_empty());
+        assert!(intersect_falls_merge(&f1, &f2).is_empty());
+    }
+
+    #[test]
+    fn identical_families() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        assert_eq!(byte_set(&intersect_falls(&f, &f)), f.offsets().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contained_family() {
+        let big = Falls::new(0, 31, 32, 1).unwrap();
+        let small = Falls::new(3, 5, 6, 5).unwrap();
+        let out = intersect_falls(&big, &small);
+        assert_eq!(byte_set(&out), small.offsets().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn misaligned_phases() {
+        // f1 blocks [1,2],[7,8],[13,14]..., f2 blocks [0,3],[10,13],[20,23]...
+        let f1 = Falls::new(1, 2, 6, 10).unwrap();
+        let f2 = Falls::new(0, 3, 10, 6).unwrap();
+        let got = byte_set(&intersect_falls(&f1, &f2));
+        let want = byte_set(&intersect_falls_merge(&f1, &f2));
+        assert_eq!(got, want);
+        // Spot-check against brute force.
+        let brute: Vec<u64> =
+            f1.offsets().filter(|x| f2.offsets().any(|y| y == *x)).collect();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn wraparound_pairs_are_found() {
+        // A late segment of f2 in period k overlaps an early segment of f1
+        // in period k+1 — the d = ±1 cases.
+        let f1 = Falls::new(0, 2, 12, 8).unwrap();
+        let f2 = Falls::new(10, 14, 12, 8).unwrap(); // [10,14] wraps into [12,...)
+        let got = byte_set(&intersect_falls(&f1, &f2));
+        let want = byte_set(&intersect_falls_merge(&f1, &f2));
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn truncated_counts_limit_result() {
+        // Same strides/phases but f2 stops early.
+        let f1 = Falls::new(0, 3, 8, 100).unwrap();
+        let f2 = Falls::new(0, 3, 8, 3).unwrap();
+        let out = intersect_falls(&f1, &f2);
+        assert_eq!(byte_set(&out), f2.offsets().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_segment_families() {
+        let f1 = Falls::new(5, 25, 21, 1).unwrap();
+        let f2 = Falls::new(0, 2, 4, 10).unwrap();
+        let got = byte_set(&intersect_falls(&f1, &f2));
+        let brute: Vec<u64> =
+            f2.offsets().filter(|&x| (5..=25).contains(&x)).collect();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        use falls::testing::{random_falls, Gen};
+        let mut g = Gen::new(0xF0F0);
+        for _ in 0..300 {
+            let f1 = random_falls(&mut g, 200);
+            let f2 = random_falls(&mut g, 200);
+            let fast = byte_set(&intersect_falls(&f1, &f2));
+            let slow = byte_set(&intersect_falls_merge(&f1, &f2));
+            assert_eq!(fast, slow, "mismatch for {f1} ∩ {f2}");
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Intersection of sets of nested FALLS (§7): `INTERSECT` with its
+//! PREPROCESS phase, and the recursive `INTERSECT-AUX`.
+
+use crate::model::Partition;
+use crate::redist::{cut_falls, intersect_falls};
+use crate::Error;
+use falls::{lcm, Falls, LineSegment, NestedFalls, NestedSet};
+
+/// The intersection of two partition elements belonging to two partitions of
+/// the same file.
+///
+/// `set` describes the common bytes within one *aligned period* of length
+/// `period = lcm(SIZE(P₁), SIZE(P₂))`, relative to the common displacement
+/// `displacement = max(d₁, d₂)`; the selection repeats with `period` from
+/// there on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intersection {
+    /// Common bytes within one aligned period (offsets relative to
+    /// [`Intersection::displacement`]).
+    pub set: NestedSet,
+    /// Absolute file offset where the aligned tiling starts.
+    pub displacement: u64,
+    /// Aligned period: `lcm` of the two pattern sizes.
+    pub period: u64,
+}
+
+impl Intersection {
+    /// Whether the two elements share no data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Number of common bytes per aligned period.
+    #[must_use]
+    pub fn bytes_per_period(&self) -> u64 {
+        self.set.size()
+    }
+
+    /// Absolute file segments of the intersection within `[lo, hi]`
+    /// (absolute file offsets, both inclusive).
+    #[must_use]
+    pub fn file_segments_between(&self, lo: u64, hi: u64) -> Vec<LineSegment> {
+        if self.is_empty() || hi < self.displacement || lo > hi {
+            return Vec::new();
+        }
+        let lo = lo.max(self.displacement);
+        let base_segs = self.set.absolute_segments();
+        let first_tile = (lo - self.displacement) / self.period;
+        let last_tile = (hi - self.displacement) / self.period;
+        let mut out = Vec::new();
+        for tile in first_tile..=last_tile {
+            let shift = self.displacement + tile * self.period;
+            for seg in &base_segs {
+                let abs = seg.shift_up(shift).expect("offsets fit in u64");
+                if let Some(clipped) = abs.clip(lo, hi) {
+                    out.push(clipped);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of common bytes within the absolute file range `[lo, hi]`.
+    #[must_use]
+    pub fn bytes_between(&self, lo: u64, hi: u64) -> u64 {
+        self.file_segments_between(lo, hi).iter().map(LineSegment::len).sum()
+    }
+}
+
+/// Intersects element `e1` of partition `p1` with element `e2` of partition
+/// `p2` — the paper's `INTERSECT`, PREPROCESS included.
+///
+/// PREPROCESS extends both partitioning patterns over
+/// `lcm(SIZE(P₁), SIZE(P₂))` and aligns them at `max(d₁, d₂)` by rotating
+/// the earlier-displaced pattern with two nested cuts (structure-preserving,
+/// per "cutting and extending the partitioning pattern starting at the
+/// lowest displacement").
+pub fn intersect_elements(
+    p1: &Partition,
+    e1: usize,
+    p2: &Partition,
+    e2: usize,
+) -> Result<Intersection, Error> {
+    let s1 = p1.pattern().element(e1)?;
+    let s2 = p2.pattern().element(e2)?;
+    let (sz1, sz2) = (p1.pattern().size(), p2.pattern().size());
+    let period = lcm(sz1, sz2);
+    let displacement = p1.displacement().max(p2.displacement());
+
+    let ext1 = extend_set(s1, sz1, period);
+    let ext2 = extend_set(s2, sz2, period);
+    let ext1 = align_set(&ext1, period, displacement - p1.displacement());
+    let ext2 = align_set(&ext2, period, displacement - p2.displacement());
+
+    let set = intersect_sets(&ext1, period, &ext2, period);
+    Ok(Intersection { set, displacement, period })
+}
+
+/// Intersects two sets of nested FALLS living in the same linear space —
+/// `INTERSECT-AUX` applied at the top level with limits `[0, span−1]`.
+///
+/// `span1`/`span2` bound the spaces the sets were defined over; both sets
+/// must already be extended to a common period for a meaningful result (as
+/// [`intersect_elements`] does).
+#[must_use]
+pub fn intersect_sets(s1: &NestedSet, span1: u64, s2: &NestedSet, span2: u64) -> NestedSet {
+    let span = span1.max(span2);
+    let mut families = intersect_siblings(s1.families(), 0, span - 1, s2.families(), 0, span - 1);
+    families.sort_by_key(|f| (f.falls().l(), f.falls().r()));
+    NestedSet::new(families).expect("intersection families are disjoint")
+}
+
+/// Replicates a pattern-element set over `period` (a multiple of `size`).
+fn extend_set(set: &NestedSet, size: u64, period: u64) -> NestedSet {
+    debug_assert_eq!(period % size, 0);
+    let copies = period / size;
+    if copies == 1 {
+        return set.clone();
+    }
+    let mut families = Vec::with_capacity(set.families().len() * copies as usize);
+    for k in 0..copies {
+        let shifted = set.shift_up(k * size).expect("extension fits in u64");
+        families.extend(shifted.families().iter().cloned());
+    }
+    NestedSet::new(families).expect("replicated tiles are disjoint")
+}
+
+/// Rotates a period-`period` set left by `shift` bytes: the returned set
+/// selects byte `p` iff the input selects `(p + shift) mod period`.
+///
+/// Used to re-express a pattern relative to a later displacement. Built
+/// from two nested cuts, so nesting structure is preserved.
+fn align_set(set: &NestedSet, period: u64, shift: u64) -> NestedSet {
+    let shift = shift % period;
+    if shift == 0 {
+        return set.clone();
+    }
+    let mut families: Vec<NestedFalls> = cut_set(set, shift, period - 1).families().to_vec();
+    if shift > 0 {
+        let left = cut_set(set, 0, shift - 1);
+        for f in left.families() {
+            families.push(f.shift_up(period - shift).expect("fits in u64"));
+        }
+    }
+    families.sort_by_key(|f| (f.falls().l(), f.falls().r()));
+    NestedSet::new(families).expect("rotation keeps families disjoint")
+}
+
+/// Cuts a whole set of nested FALLS between `lo` and `hi` (inclusive),
+/// re-expressed relative to `lo` — the nested generalization of
+/// [`cut_falls`], preserving tree structure wherever blocks survive intact.
+///
+/// This is what "restrict a view to a region" means in the paper's model.
+#[must_use]
+pub fn cut_set(set: &NestedSet, lo: u64, hi: u64) -> NestedSet {
+    let mut families = cut_siblings(set.families(), lo, hi);
+    families.sort_by_key(|f| (f.falls().l(), f.falls().r()));
+    NestedSet::new(families).expect("cut pieces stay disjoint")
+}
+
+/// Cuts every family of a sibling list to `[lo, hi]`, rebasing to `lo`.
+fn cut_siblings(sibs: &[NestedFalls], lo: u64, hi: u64) -> Vec<NestedFalls> {
+    let mut out = Vec::new();
+    for nf in sibs {
+        for piece in cut_falls(nf.falls(), lo, hi) {
+            if nf.is_leaf() {
+                out.push(NestedFalls::leaf(piece));
+                continue;
+            }
+            // Offset of the piece's first block within the original block
+            // (every repetition sits at the same offset because the piece's
+            // stride equals the original stride for multi-block pieces).
+            let off = (lo + piece.l() - nf.falls().l()) % nf.falls().stride();
+            let span = piece.block_len();
+            let children = cut_siblings(nf.inner(), off, off + span - 1);
+            if children.is_empty() {
+                continue; // the surviving block range selects nothing
+            }
+            out.push(
+                NestedFalls::with_inner(piece, children)
+                    .expect("cut children fit in the cut block"),
+            );
+        }
+    }
+    out
+}
+
+/// `INTERSECT-AUX`: intersects two sibling lists after cutting them to
+/// `[lo, hi]` limits expressed in each list's own coordinates; results are
+/// relative to the cut inferior limits (which denote the same absolute
+/// position in both spaces).
+fn intersect_siblings(
+    s1: &[NestedFalls],
+    lo1: u64,
+    hi1: u64,
+    s2: &[NestedFalls],
+    lo2: u64,
+    hi2: u64,
+) -> Vec<NestedFalls> {
+    let mut out: Vec<NestedFalls> = Vec::new();
+    for f1 in s1 {
+        let cut1 = cut_falls(f1.falls(), lo1, hi1);
+        if cut1.is_empty() {
+            continue;
+        }
+        for f2 in s2 {
+            let cut2 = cut_falls(f2.falls(), lo2, hi2);
+            for g1 in &cut1 {
+                for g2 in &cut2 {
+                    for f in intersect_falls(g1, g2) {
+                        if let Some(node) = build_node(f, f1, lo1, f2, lo2) {
+                            out.push(node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|f| (f.falls().l(), f.falls().r()));
+    out
+}
+
+/// Builds the intersection node for outer FALLS `f`, recursing into the
+/// inner families of its two sources (line 10 of INTERSECT-AUX).
+fn build_node(
+    f: Falls,
+    f1: &NestedFalls,
+    lo1: u64,
+    f2: &NestedFalls,
+    lo2: u64,
+) -> Option<NestedFalls> {
+    if f1.is_leaf() && f2.is_leaf() {
+        return Some(NestedFalls::leaf(f));
+    }
+    // Offset of f's first block within the original blocks of f1 and f2.
+    // Every repetition of f sits at the same relative offsets because f's
+    // stride is a common multiple of both sources' strides.
+    let off1 = (lo1 + f.l() - f1.falls().l()) % f1.falls().stride();
+    let off2 = (lo2 + f.l() - f2.falls().l()) % f2.falls().stride();
+    let span = f.block_len();
+    let full = [NestedFalls::leaf(
+        Falls::new(0, span - 1, span, 1).expect("span ≥ 1"),
+    )];
+    let (in1, o1): (&[NestedFalls], u64) =
+        if f1.is_leaf() { (&full, 0) } else { (f1.inner(), off1) };
+    let (in2, o2): (&[NestedFalls], u64) =
+        if f2.is_leaf() { (&full, 0) } else { (f2.inner(), off2) };
+    let children = intersect_siblings(in1, o1, o1 + span - 1, in2, o2, o2 + span - 1);
+    if children.is_empty() {
+        return None;
+    }
+    Some(NestedFalls::with_inner(f, children).expect("children are disjoint and in-block"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PartitionPattern;
+    use falls::NestedFalls;
+
+    fn leaf(l: u64, r: u64, s: u64, n: u64) -> NestedFalls {
+        NestedFalls::leaf(Falls::new(l, r, s, n).unwrap())
+    }
+
+    fn nested(l: u64, r: u64, s: u64, n: u64, inner: Vec<NestedFalls>) -> NestedFalls {
+        NestedFalls::with_inner(Falls::new(l, r, s, n).unwrap(), inner).unwrap()
+    }
+
+    /// Figure 4's nested intersection:
+    /// V = {(0,7,16,2, {(0,1,4,2)})}, S = {(0,3,8,4, {(0,0,2,2)})},
+    /// patterns of size 32 ⇒ V ∩ S selects bytes {0, 16}.
+    #[test]
+    fn paper_figure4_intersection() {
+        let v = NestedSet::singleton(nested(0, 7, 16, 2, vec![leaf(0, 1, 4, 2)]));
+        let s = NestedSet::singleton(nested(0, 3, 8, 4, vec![leaf(0, 0, 2, 2)]));
+        assert_eq!(v.absolute_offsets(), vec![0, 1, 4, 5, 16, 17, 20, 21]);
+        assert_eq!(s.absolute_offsets(), vec![0, 2, 8, 10, 16, 18, 24, 26]);
+        let i = intersect_sets(&v, 32, &s, 32);
+        assert_eq!(i.absolute_offsets(), vec![0, 16]);
+        // The paper reports the result as {(0,3,16,2, {(0,0,4,1)})} — outer
+        // family with stride 16, count 2, one byte per block.
+        assert_eq!(i.size(), 2);
+        let outer = &i.families()[0];
+        assert_eq!(outer.falls().stride(), 16);
+        assert_eq!(outer.falls().count(), 2);
+    }
+
+    #[test]
+    fn intersection_equals_set_intersection_of_offsets() {
+        use falls::testing::{random_nested_set, Gen};
+        let mut g = Gen::new(0xBEEF);
+        for round in 0..150 {
+            let span = g.range(8, 160);
+            let a = random_nested_set(&mut g, span, 3);
+            let b = random_nested_set(&mut g, span, 3);
+            let i = intersect_sets(&a, span, &b, span);
+            let oa = a.absolute_offsets();
+            let ob = b.absolute_offsets();
+            let want: Vec<u64> = oa.iter().copied().filter(|x| ob.contains(x)).collect();
+            assert_eq!(i.absolute_offsets(), want, "round {round}: {a} ∩ {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_depth_trees() {
+        // A flat family intersected with a nested one.
+        let a = NestedSet::singleton(leaf(0, 7, 16, 2));
+        let b = NestedSet::singleton(nested(0, 3, 8, 4, vec![leaf(0, 0, 2, 2)]));
+        let i = intersect_sets(&a, 32, &b, 32);
+        // a selects [0,7] ∪ [16,23]; b selects {0,2,8,10,16,18,24,26}.
+        assert_eq!(i.absolute_offsets(), vec![0, 2, 16, 18]);
+    }
+
+    fn row_pattern() -> PartitionPattern {
+        // 4 "rows" of 8 bytes each, one element per row: pattern size 32.
+        PartitionPattern::new(
+            (0..4)
+                .map(|k| NestedSet::singleton(leaf(8 * k, 8 * k + 7, 32, 1)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn column_pattern() -> PartitionPattern {
+        // 4 "column blocks": element k takes bytes [2k, 2k+1] of every 8.
+        PartitionPattern::new(
+            (0..4)
+                .map(|k| NestedSet::singleton(leaf(2 * k, 2 * k + 1, 8, 4)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_partition_pair_covers_everything() {
+        let rows = Partition::new(0, row_pattern());
+        let cols = Partition::new(0, column_pattern());
+        let mut total = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                let inter = intersect_elements(&rows, i, &cols, j).unwrap();
+                assert_eq!(inter.period, 32);
+                total += inter.bytes_per_period();
+            }
+        }
+        // Every byte of the 32-byte period lies in exactly one (row, col) pair.
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn identical_elements_intersect_fully() {
+        let rows = Partition::new(0, row_pattern());
+        for i in 0..4 {
+            let inter = intersect_elements(&rows, i, &rows, i).unwrap();
+            assert_eq!(inter.bytes_per_period(), 8);
+            let other = intersect_elements(&rows, i, &rows, (i + 1) % 4).unwrap();
+            assert!(other.is_empty());
+        }
+    }
+
+    #[test]
+    fn different_pattern_sizes_extend_to_lcm() {
+        // P1: size 6 (figure 3's S0); P2: size 4, two halves.
+        let p1 = Partition::new(
+            0,
+            PartitionPattern::new(vec![
+                NestedSet::singleton(leaf(0, 1, 6, 1)),
+                NestedSet::singleton(leaf(2, 5, 6, 1)),
+            ])
+            .unwrap(),
+        );
+        let p2 = Partition::new(
+            0,
+            PartitionPattern::new(vec![
+                NestedSet::singleton(leaf(0, 1, 4, 1)),
+                NestedSet::singleton(leaf(2, 3, 4, 1)),
+            ])
+            .unwrap(),
+        );
+        let inter = intersect_elements(&p1, 0, &p2, 0).unwrap();
+        assert_eq!(inter.period, 12);
+        // S1,0 selects {0,1,6,7}; S2,0 selects {0,1,4,5,8,9} per 12 bytes.
+        assert_eq!(inter.set.absolute_offsets(), vec![0, 1]);
+    }
+
+    #[test]
+    fn displacement_alignment() {
+        // Same pattern, displacements 0 and 2: alignment at 2.
+        let pat = || {
+            PartitionPattern::new(vec![
+                NestedSet::singleton(leaf(0, 1, 4, 1)),
+                NestedSet::singleton(leaf(2, 3, 4, 1)),
+            ])
+            .unwrap()
+        };
+        let p1 = Partition::new(0, pat());
+        let p2 = Partition::new(2, pat());
+        let inter = intersect_elements(&p1, 0, &p2, 0).unwrap();
+        assert_eq!(inter.displacement, 2);
+        // Relative to 2: p1's element 0 selects {2,3} mod 4 (absolute {4,5,8,9...}
+        // → relative {2,3}); p2's element 0 selects {0,1}. Disjoint.
+        assert!(inter.is_empty());
+        // Element 0 of p1 vs element 1 of p2 fully overlap.
+        let inter = intersect_elements(&p1, 0, &p2, 1).unwrap();
+        assert_eq!(inter.set.absolute_offsets(), vec![2, 3]);
+    }
+
+    #[test]
+    fn file_segments_between_tiles_and_clips() {
+        let rows = Partition::new(0, row_pattern());
+        let cols = Partition::new(0, column_pattern());
+        let inter = intersect_elements(&rows, 0, &cols, 0).unwrap();
+        // row 0 = [0,8); col 0 = {0,1, 8,9, 16,17, 24,25}; common = {0,1}.
+        let segs = inter.file_segments_between(0, 63);
+        let offs: Vec<u64> = segs.iter().flat_map(LineSegment::offsets).collect();
+        assert_eq!(offs, vec![0, 1, 32, 33]);
+        assert_eq!(inter.bytes_between(1, 32), 2);
+        assert_eq!(inter.bytes_between(40, 50), 0);
+    }
+
+    #[test]
+    fn cut_set_is_clip_and_shift() {
+        use falls::testing::{random_nested_set, Gen};
+        let mut g = Gen::new(0xC07);
+        for _ in 0..200 {
+            let span = g.range(4, 120);
+            let set = random_nested_set(&mut g, span, 3);
+            let lo = g.below(span + 4);
+            let hi = lo + g.below(span + 4);
+            let cut = cut_set(&set, lo, hi);
+            let want: Vec<u64> = set
+                .absolute_offsets()
+                .into_iter()
+                .filter(|&x| lo <= x && x <= hi)
+                .map(|x| x - lo)
+                .collect();
+            assert_eq!(cut.absolute_offsets(), want, "cut {set} between {lo} and {hi}");
+        }
+    }
+
+    #[test]
+    fn cut_set_preserves_nesting_on_aligned_cuts() {
+        // Figure 4's V: cutting at block boundaries keeps the tree shape.
+        let v = NestedSet::singleton(nested(0, 7, 16, 2, vec![leaf(0, 1, 4, 2)]));
+        let cut = cut_set(&v, 16, 31);
+        assert_eq!(cut.height(), 2, "nesting preserved");
+        assert_eq!(cut.absolute_offsets(), vec![0, 1, 4, 5]);
+        // A mid-block cut trims the inner families.
+        let cut = cut_set(&v, 1, 20);
+        assert_eq!(
+            cut.absolute_offsets(),
+            vec![0, 3, 4, 15, 16, 19],
+        );
+    }
+
+    #[test]
+    fn alignment_preserves_nesting() {
+        // Rotating a nested set must keep inner structure for the unsplit
+        // families (no flattening to byte-granular leaves).
+        let v = NestedSet::singleton(nested(0, 7, 16, 2, vec![leaf(0, 1, 4, 2)]));
+        let rotated = super::align_set(&v, 32, 16);
+        assert_eq!(rotated.absolute_offsets(), vec![0, 1, 4, 5, 16, 17, 20, 21]);
+        assert_eq!(rotated.height(), 2, "rotation keeps the FALLS trees");
+    }
+
+    #[test]
+    fn empty_range_queries() {
+        let rows = Partition::new(4, row_pattern());
+        let cols = Partition::new(4, column_pattern());
+        let inter = intersect_elements(&rows, 0, &cols, 0).unwrap();
+        assert!(inter.file_segments_between(0, 3).is_empty());
+        assert!(inter.file_segments_between(10, 5).is_empty());
+    }
+}

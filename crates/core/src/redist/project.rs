@@ -1,0 +1,389 @@
+//! Intersection projections (§7): re-expressing an intersection in the
+//! linear space of one of the intersected partition elements.
+
+use crate::model::Partition;
+use crate::redist::Intersection;
+use falls::{segments_to_falls, LineSegment, NestedSet};
+
+/// The segments of one partition element within one aligned window
+/// `[D + k·period, D + (k+1)·period)` of the file, annotated with their
+/// element-linear offsets.
+///
+/// This is the bridge between file space and element space used by
+/// projections and by copy-run construction: entry `(seg, off)` says that
+/// file bytes `D + seg.l() ..= D + seg.r()` occupy element offsets
+/// `off .. off + seg.len()` (for window 0; window `k` adds `k · period_elem`
+/// to the element offsets and `k · period` to the file offsets).
+#[derive(Debug, Clone)]
+pub struct ElementWindow {
+    /// `(file segment relative to the window start, element-linear offset)`
+    /// pairs, sorted by file offset.
+    pub entries: Vec<(LineSegment, u64)>,
+    /// Element-linear bytes per window: `(period / SIZE(P)) · SIZE(S)`.
+    pub period_elem: u64,
+}
+
+/// Computes the [`ElementWindow`] of `element` of `partition` for windows of
+/// `period` bytes starting at absolute file offset `displacement`.
+///
+/// `displacement` must be at or past the partition's own displacement and
+/// `period` a multiple of the pattern size (both hold for the values carried
+/// by an [`Intersection`]).
+#[must_use]
+pub fn element_window(
+    partition: &Partition,
+    element: usize,
+    displacement: u64,
+    period: u64,
+) -> ElementWindow {
+    let d = partition.displacement();
+    assert!(
+        displacement >= d,
+        "window start {displacement} precedes the partition displacement {d}"
+    );
+    let psize = partition.pattern().size();
+    assert_eq!(period % psize, 0, "window period must be a multiple of the pattern size");
+    let set = partition.pattern().element(element).expect("element index in range");
+    let esize = set.size();
+
+    // Tree segments of one pattern tile with their linear offsets.
+    let mut tile_entries: Vec<(LineSegment, u64)> = Vec::new();
+    let mut linear = 0u64;
+    for seg in set.tree_segments() {
+        tile_entries.push((seg, linear));
+        linear += seg.len();
+    }
+
+    let win_lo = displacement;
+    let win_hi = displacement + period - 1;
+    let t_start = (win_lo - d) / psize;
+    let t_end = (win_hi - d) / psize;
+    let mut entries = Vec::with_capacity(tile_entries.len() * (t_end - t_start + 1) as usize);
+    for t in t_start..=t_end {
+        let tile_base = d + t * psize;
+        for (seg, off) in &tile_entries {
+            let abs = seg.shift_up(tile_base).expect("fits in u64");
+            let Some(clipped) = abs.clip(win_lo, win_hi) else { continue };
+            let elem_off = t * esize + off + (clipped.l() - abs.l());
+            let rel = clipped.shift_down(win_lo).expect("clipped to the window");
+            entries.push((rel, elem_off));
+        }
+    }
+    entries.sort_unstable_by_key(|(seg, _)| seg.l());
+    ElementWindow { entries, period_elem: (period / psize) * esize }
+}
+
+/// A projection of an intersection onto the linear space of one of the two
+/// intersected partition elements (the paper's `PROJ`).
+///
+/// `set` holds the element-linear positions of the common data within the
+/// first aligned window; the selection repeats every `period` element bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// Element-linear positions of the common bytes in window 0.
+    pub set: NestedSet,
+    /// Element-linear bytes per aligned window.
+    pub period: u64,
+}
+
+impl Projection {
+    /// Projects `intersection` onto `element` of `partition`, which must be
+    /// one of the two elements the intersection was computed from.
+    #[must_use]
+    pub fn compute(intersection: &Intersection, partition: &Partition, element: usize) -> Self {
+        let window =
+            element_window(partition, element, intersection.displacement, intersection.period);
+        let mut runs: Vec<LineSegment> = Vec::new();
+        // Merge join: both lists are sorted by file offset and the
+        // intersection is a subset of the element's bytes.
+        let inter_segs = intersection.set.absolute_segments();
+        let mut wi = 0usize;
+        for iseg in &inter_segs {
+            let mut pos = iseg.l();
+            while pos <= iseg.r() {
+                while wi < window.entries.len() && window.entries[wi].0.r() < pos {
+                    wi += 1;
+                }
+                let (eseg, eoff) = window.entries.get(wi).unwrap_or_else(|| {
+                    panic!("intersection byte {pos} not covered by the element")
+                });
+                assert!(eseg.l() <= pos, "intersection byte {pos} not covered by the element");
+                let end = iseg.r().min(eseg.r());
+                let start_off = eoff + (pos - eseg.l());
+                runs.push(
+                    LineSegment::new(start_off, start_off + (end - pos))
+                        .expect("run is well-formed"),
+                );
+                pos = end + 1;
+            }
+        }
+        runs.sort_unstable();
+        Self { set: segments_to_falls(&runs), period: window.period_elem }
+    }
+
+    /// An empty projection (of an empty intersection).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { set: NestedSet::empty(), period: 1 }
+    }
+
+    /// Whether the projection selects no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Common bytes per aligned window.
+    #[must_use]
+    pub fn bytes_per_period(&self) -> u64 {
+        self.set.size()
+    }
+
+    /// Element-linear segments of the projection clipped to `[lo, hi]`
+    /// (inclusive), across however many windows that range spans, in
+    /// increasing element-offset order.
+    #[must_use]
+    pub fn segments_between(&self, lo: u64, hi: u64) -> Vec<LineSegment> {
+        if self.is_empty() || lo > hi {
+            return Vec::new();
+        }
+        let base = self.set.absolute_segments();
+        let min_pos = base.first().expect("non-empty").l();
+        let max_pos = base.last().expect("non-empty").r();
+        let k_lo = lo.saturating_sub(max_pos) / self.period;
+        if min_pos > hi {
+            return Vec::new();
+        }
+        let k_hi = (hi - min_pos) / self.period;
+        let mut out = Vec::new();
+        for k in k_lo..=k_hi {
+            let shift = k * self.period;
+            for seg in &base {
+                let abs = seg.shift_up(shift).expect("fits in u64");
+                if let Some(clipped) = abs.clip(lo, hi) {
+                    out.push(clipped);
+                }
+            }
+        }
+        // Window 0's offsets can span more than one period when the element's
+        // tree order differs from byte order under a displacement mismatch;
+        // the per-window concatenation is then not globally sorted. The
+        // offsets are still unique (MAP is injective), so sorting yields the
+        // canonical disjoint ordering the derived queries rely on.
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of projected bytes within `[lo, hi]`.
+    #[must_use]
+    pub fn bytes_between(&self, lo: u64, hi: u64) -> u64 {
+        self.segments_between(lo, hi).iter().map(LineSegment::len).sum()
+    }
+
+    /// Whether the projection covers *every* byte of `[lo, hi]` — the
+    /// paper's "PROJ is contiguous between ÷ and ø" fast-path test: when it
+    /// holds, the buffer interval can be sent/written as one contiguous
+    /// block with no gather/scatter.
+    #[must_use]
+    pub fn covers_interval(&self, lo: u64, hi: u64) -> bool {
+        lo <= hi && self.bytes_between(lo, hi) == hi - lo + 1
+    }
+
+    /// The single contiguous run formed by the projected bytes within
+    /// `[lo, hi]`, if they form exactly one run (`None` if empty or
+    /// fragmented).
+    #[must_use]
+    pub fn contiguous_run_between(&self, lo: u64, hi: u64) -> Option<LineSegment> {
+        let segs = self.segments_between(lo, hi);
+        let mut iter = segs.into_iter();
+        let mut run = iter.next()?;
+        for seg in iter {
+            if run.abuts(&seg) {
+                run = LineSegment::new(run.l(), seg.r()).expect("ordered run");
+            } else {
+                return None;
+            }
+        }
+        Some(run)
+    }
+
+    /// Number of disjoint fragments within `[lo, hi]` (adjacent segments
+    /// coalesce into one fragment).
+    #[must_use]
+    pub fn fragments_between(&self, lo: u64, hi: u64) -> usize {
+        let segs = self.segments_between(lo, hi);
+        let mut count = 0usize;
+        let mut prev: Option<LineSegment> = None;
+        for seg in segs {
+            match prev {
+                Some(p) if p.abuts(&seg) => {}
+                _ => count += 1,
+            }
+            prev = Some(seg);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PartitionPattern;
+    use crate::redist::intersect_elements;
+    use falls::{Falls, NestedFalls, NestedSet};
+
+    fn leaf(l: u64, r: u64, s: u64, n: u64) -> NestedFalls {
+        NestedFalls::leaf(Falls::new(l, r, s, n).unwrap())
+    }
+
+    fn nested(l: u64, r: u64, s: u64, n: u64, inner: Vec<NestedFalls>) -> NestedFalls {
+        NestedFalls::with_inner(Falls::new(l, r, s, n).unwrap(), inner).unwrap()
+    }
+
+    /// Figure 4(c)/(d): both projections of V ∩ S equal (0,0,4,2) — element
+    /// offsets {0, 4}.
+    #[test]
+    fn paper_figure4_projections() {
+        // V = {(0,7,16,2, {(0,1,4,2)})} plus a complement element so the
+        // pattern tiles; S likewise.
+        let v_set = NestedSet::singleton(nested(0, 7, 16, 2, vec![leaf(0, 1, 4, 2)]));
+        let v_rest = v_set.complement(32);
+        let s_set = NestedSet::singleton(nested(0, 3, 8, 4, vec![leaf(0, 0, 2, 2)]));
+        let s_rest = s_set.complement(32);
+        let pv = Partition::new(
+            0,
+            PartitionPattern::new(vec![v_set, v_rest]).unwrap(),
+        );
+        let ps = Partition::new(
+            0,
+            PartitionPattern::new(vec![s_set, s_rest]).unwrap(),
+        );
+        let inter = intersect_elements(&pv, 0, &ps, 0).unwrap();
+        assert_eq!(inter.set.absolute_offsets(), vec![0, 16]);
+
+        let proj_v = Projection::compute(&inter, &pv, 0);
+        let proj_s = Projection::compute(&inter, &ps, 0);
+        assert_eq!(proj_v.set.absolute_offsets(), vec![0, 4]);
+        assert_eq!(proj_s.set.absolute_offsets(), vec![0, 4]);
+        assert_eq!(proj_v.period, 8);
+        assert_eq!(proj_s.period, 8);
+    }
+
+    #[test]
+    fn projection_of_identical_elements_is_identity() {
+        let pat = PartitionPattern::new(vec![
+            NestedSet::singleton(leaf(0, 3, 8, 1)),
+            NestedSet::singleton(leaf(4, 7, 8, 1)),
+        ])
+        .unwrap();
+        let p = Partition::new(0, pat);
+        let inter = intersect_elements(&p, 0, &p, 0).unwrap();
+        let proj = Projection::compute(&inter, &p, 0);
+        assert_eq!(proj.set.absolute_offsets(), vec![0, 1, 2, 3]);
+        assert!(proj.covers_interval(0, 3));
+        assert!(proj.covers_interval(0, 100));
+        assert_eq!(proj.fragments_between(0, 15), 1);
+    }
+
+    #[test]
+    fn projection_round_trips_through_mapping() {
+        use crate::mapping::Mapper;
+        use falls::testing::{random_nested_set, Gen};
+        // Random single-element-of-interest partitions: element 0 random,
+        // element 1 the complement.
+        let mut g = Gen::new(0x5EED);
+        for _ in 0..40 {
+            let span = g.range(8, 96);
+            let a0 = random_nested_set(&mut g, span, 2);
+            let b0 = random_nested_set(&mut g, span, 2);
+            let (pa, pb) = match (complement_ok(&a0, span), complement_ok(&b0, span)) {
+                (Some(pa), Some(pb)) => (pa, pb),
+                _ => continue,
+            };
+            let inter = intersect_elements(&pa, 0, &pb, 0).unwrap();
+            if inter.is_empty() {
+                continue;
+            }
+            let proj_a = Projection::compute(&inter, &pa, 0);
+            let ma = Mapper::new(&pa, 0);
+            // Every intersection byte's MAP value appears in the projection.
+            let want: Vec<u64> = inter
+                .set
+                .absolute_offsets()
+                .iter()
+                .map(|&x| ma.map(x).expect("intersection ⊆ element"))
+                .collect();
+            let mut want_sorted = want.clone();
+            want_sorted.sort_unstable();
+            assert_eq!(proj_a.set.absolute_offsets(), want_sorted);
+        }
+    }
+
+    fn complement_ok(set: &NestedSet, span: u64) -> Option<Partition> {
+        let rest = set.complement(span);
+        if rest.is_empty() {
+            // The element covers everything; single-element pattern.
+            return PartitionPattern::new(vec![set.clone()])
+                .ok()
+                .map(|p| Partition::new(0, p));
+        }
+        PartitionPattern::new(vec![set.clone(), rest]).ok().map(|p| Partition::new(0, p))
+    }
+
+    #[test]
+    fn segments_between_spans_windows() {
+        let pat = PartitionPattern::new(vec![
+            NestedSet::singleton(leaf(0, 1, 4, 1)),
+            NestedSet::singleton(leaf(2, 3, 4, 1)),
+        ])
+        .unwrap();
+        let p = Partition::new(0, pat);
+        let inter = intersect_elements(&p, 0, &p, 0).unwrap();
+        let proj = Projection::compute(&inter, &p, 0);
+        assert_eq!(proj.period, 2);
+        // The projection is the identity on element 0's space.
+        let segs = proj.segments_between(3, 9);
+        let offs: Vec<u64> = segs.iter().flat_map(LineSegment::offsets).collect();
+        assert_eq!(offs, vec![3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn fragmented_projection_detected() {
+        // Row element intersected with a column element fragments.
+        let rows = Partition::new(
+            0,
+            PartitionPattern::new(
+                (0..2).map(|k| NestedSet::singleton(leaf(8 * k, 8 * k + 7, 16, 1))).collect(),
+            )
+            .unwrap(),
+        );
+        let cols = Partition::new(
+            0,
+            PartitionPattern::new(
+                (0..2).map(|k| NestedSet::singleton(leaf(2 * k, 2 * k + 1, 4, 4))).collect(),
+            )
+            .unwrap(),
+        );
+        let inter = intersect_elements(&rows, 0, &cols, 0).unwrap();
+        let proj_r = Projection::compute(&inter, &rows, 0);
+        // Row 0's bytes [0,8) keep columns {0,1,4,5} → two fragments.
+        assert_eq!(proj_r.set.absolute_offsets(), vec![0, 1, 4, 5]);
+        assert_eq!(proj_r.fragments_between(0, 7), 2);
+        assert!(!proj_r.covers_interval(0, 7));
+        assert!(proj_r.covers_interval(0, 1));
+        assert_eq!(proj_r.contiguous_run_between(0, 7), None);
+        assert_eq!(
+            proj_r.contiguous_run_between(3, 7),
+            Some(LineSegment::new(4, 5).unwrap())
+        );
+    }
+
+    #[test]
+    fn empty_projection_behaviour() {
+        let p = Projection::empty();
+        assert!(p.is_empty());
+        assert!(p.segments_between(0, 100).is_empty());
+        assert!(!p.covers_interval(0, 0));
+        assert_eq!(p.fragments_between(0, 10), 0);
+    }
+}

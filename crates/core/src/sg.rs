@@ -1,0 +1,175 @@
+//! `GATHER` and `SCATTER` (§8): copying between the non-contiguous regions
+//! described by a set of nested FALLS (or a projection) and a contiguous
+//! buffer.
+//!
+//! The paper implements both as a recursive traversal of the FALLS trees
+//! with copy operations at the leaves; here the traversal is the
+//! tree-ordered segment walk of the [`falls`] crate, clipped to the
+//! requested `[lo, hi]` interval of the element's linear space.
+
+use crate::redist::Projection;
+use falls::{LineSegment, NestedSet};
+
+/// Copies the bytes of `src` selected by `set` within `[lo, hi]` (positions
+/// in `src`'s linear space, inclusive) into the contiguous buffer `dst`,
+/// appending in tree order. Returns the number of bytes gathered.
+pub fn gather_set(dst: &mut Vec<u8>, src: &[u8], lo: u64, hi: u64, set: &NestedSet) -> u64 {
+    let mut copied = 0u64;
+    for seg in set.tree_segments() {
+        if let Some(c) = seg.clip(lo, hi) {
+            dst.extend_from_slice(&src[c.l() as usize..=c.r() as usize]);
+            copied += c.len();
+        }
+    }
+    copied
+}
+
+/// Reverse of [`gather_set`]: distributes the contiguous buffer `src` into
+/// the positions of `dst` selected by `set` within `[lo, hi]`, consuming
+/// `src` in tree order. Returns the number of bytes scattered.
+///
+/// # Panics
+/// Panics if `src` holds fewer bytes than the selection requires.
+pub fn scatter_set(dst: &mut [u8], src: &[u8], lo: u64, hi: u64, set: &NestedSet) -> u64 {
+    let mut pos = 0usize;
+    for seg in set.tree_segments() {
+        if let Some(c) = seg.clip(lo, hi) {
+            let len = c.len() as usize;
+            dst[c.l() as usize..=c.r() as usize].copy_from_slice(&src[pos..pos + len]);
+            pos += len;
+        }
+    }
+    pos as u64
+}
+
+/// Gathers the bytes of `src` selected by the projection within `[lo, hi]`
+/// of the element's linear space (spanning however many aligned windows that
+/// range covers) into `dst`. Returns the number of bytes gathered.
+///
+/// This is the compute-node side of the paper's write path: the
+/// non-contiguous view data destined for one subfile is packed into a
+/// contiguous message buffer.
+pub fn gather(dst: &mut Vec<u8>, src: &[u8], lo: u64, hi: u64, proj: &Projection) -> u64 {
+    let mut copied = 0u64;
+    for seg in proj.segments_between(lo, hi) {
+        dst.extend_from_slice(&src[seg.l() as usize..=seg.r() as usize]);
+        copied += seg.len();
+    }
+    copied
+}
+
+/// Reverse of [`gather`]: the I/O-node side of the write path, distributing
+/// a received contiguous buffer into the subfile positions selected by the
+/// projection within `[lo, hi]`. Returns the number of bytes scattered.
+///
+/// # Panics
+/// Panics if `src` holds fewer bytes than the selection requires.
+pub fn scatter(dst: &mut [u8], src: &[u8], lo: u64, hi: u64, proj: &Projection) -> u64 {
+    let mut pos = 0usize;
+    for seg in proj.segments_between(lo, hi) {
+        let len = seg.len() as usize;
+        dst[seg.l() as usize..=seg.r() as usize].copy_from_slice(&src[pos..pos + len]);
+        pos += len;
+    }
+    pos as u64
+}
+
+/// The segments a gather/scatter over `[lo, hi]` would touch — exposed for
+/// instrumentation (message sizing, fragmentation statistics).
+#[must_use]
+pub fn transfer_segments(proj: &Projection, lo: u64, hi: u64) -> Vec<LineSegment> {
+    proj.segments_between(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falls::{Falls, NestedFalls, NestedSet};
+
+    fn fig2_set() -> NestedSet {
+        NestedSet::singleton(
+            NestedFalls::with_inner(
+                Falls::new(0, 3, 8, 2).unwrap(),
+                vec![NestedFalls::leaf(Falls::new(0, 0, 2, 2).unwrap())],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn gather_set_picks_selected_bytes() {
+        let src: Vec<u8> = (0..16).collect();
+        let mut dst = Vec::new();
+        let n = gather_set(&mut dst, &src, 0, 15, &fig2_set());
+        assert_eq!(n, 4);
+        assert_eq!(dst, vec![0, 2, 8, 10]);
+    }
+
+    #[test]
+    fn gather_set_respects_limits() {
+        let src: Vec<u8> = (0..16).collect();
+        let mut dst = Vec::new();
+        let n = gather_set(&mut dst, &src, 2, 9, &fig2_set());
+        assert_eq!(n, 2);
+        assert_eq!(dst, vec![2, 8]);
+    }
+
+    #[test]
+    fn scatter_set_is_gather_inverse() {
+        let set = fig2_set();
+        let mut dst = vec![0xFFu8; 16];
+        let payload = vec![10, 20, 30, 40];
+        let n = scatter_set(&mut dst, &payload, 0, 15, &set);
+        assert_eq!(n, 4);
+        assert_eq!(dst[0], 10);
+        assert_eq!(dst[2], 20);
+        assert_eq!(dst[8], 30);
+        assert_eq!(dst[10], 40);
+        // Unselected bytes untouched.
+        assert_eq!(dst[1], 0xFF);
+        assert_eq!(dst[15], 0xFF);
+        // Round trip.
+        let mut back = Vec::new();
+        gather_set(&mut back, &dst, 0, 15, &set);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn projection_gather_scatter_round_trip() {
+        // A fragmented projection: positions {0,1,4,5} per 8-byte window.
+        let proj = Projection {
+            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())])
+                .unwrap(),
+            period: 8,
+        };
+        let src: Vec<u8> = (0..32).collect();
+        let mut packed = Vec::new();
+        let n = gather(&mut packed, &src, 0, 31, &proj);
+        assert_eq!(n, 16);
+        assert_eq!(&packed[..8], &[0, 1, 4, 5, 8, 9, 12, 13]);
+
+        let mut out = vec![0u8; 32];
+        let m = scatter(&mut out, &packed, 0, 31, &proj);
+        assert_eq!(m, 16);
+        for (i, &v) in out.iter().enumerate() {
+            let selected = matches!(i % 8, 0 | 1 | 4 | 5);
+            assert_eq!(v, if selected { i as u8 } else { 0 }, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn partial_interval_gather() {
+        let proj = Projection {
+            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())])
+                .unwrap(),
+            period: 8,
+        };
+        let src: Vec<u8> = (0..32).collect();
+        let mut packed = Vec::new();
+        let n = gather(&mut packed, &src, 5, 12, &proj);
+        // Selected in [5,12]: 5, 8, 9, 12.
+        assert_eq!(n, 4);
+        assert_eq!(packed, vec![5, 8, 9, 12]);
+        assert_eq!(transfer_segments(&proj, 5, 12).len(), 3);
+    }
+}

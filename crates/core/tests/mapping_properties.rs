@@ -1,0 +1,152 @@
+//! Property tests for the mapping functions (§6): the algebraic laws MAP and
+//! MAP⁻¹ must satisfy for arbitrary valid partitions.
+
+use falls::testing::{random_nested_set, Gen};
+use falls::NestedSet;
+use parafile::mapping::{map_between, Mapper};
+use parafile::model::{Partition, PartitionPattern};
+use proptest::prelude::*;
+
+/// A random valid partition: a random element plus its complement, at a
+/// random displacement.
+fn arb_partition(span: u64) -> impl Strategy<Value = Partition> {
+    (any::<u64>(), 0u64..32).prop_filter_map("degenerate", move |(seed, disp)| {
+        let set = random_nested_set(&mut Gen::new(seed), span, 3);
+        let comp = set.complement(span);
+        let sets: Vec<NestedSet> =
+            [set, comp].into_iter().filter(|s| !s.is_empty()).collect();
+        PartitionPattern::new(sets).ok().map(|p| Partition::new(disp, p))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// MAP⁻¹(MAP(x)) = x on every selected byte; MAP(MAP⁻¹(y)) = y on every
+    /// element offset — §6.2's stated inverse property.
+    #[test]
+    fn map_unmap_inverse(p in arb_partition(64), tiles in 1u64..4) {
+        for e in 0..p.element_count() {
+            let m = Mapper::new(&p, e);
+            let limit = p.displacement() + p.pattern().size() * tiles;
+            for x in p.displacement()..limit {
+                if let Some(y) = m.map(x) {
+                    prop_assert_eq!(m.unmap(y), x, "element {} byte {}", e, x);
+                }
+            }
+            let esize = m.element_size() * tiles;
+            for y in 0..esize {
+                let x = m.unmap(y);
+                prop_assert_eq!(m.map(x), Some(y), "element {} offset {}", e, y);
+            }
+        }
+    }
+
+    /// Every byte at/past the displacement belongs to exactly one element,
+    /// and owner_of agrees with the mappers.
+    #[test]
+    fn exclusive_ownership(p in arb_partition(48)) {
+        let end = p.displacement() + 2 * p.pattern().size();
+        for x in p.displacement()..end {
+            let owners: Vec<usize> =
+                (0..p.element_count()).filter(|&e| Mapper::new(&p, e).selects(x)).collect();
+            prop_assert_eq!(owners.len(), 1, "byte {}", x);
+            prop_assert_eq!(p.owner_of(x), Some(owners[0]));
+        }
+    }
+
+    /// next_selected is the smallest selected byte ≥ x; prev_selected the
+    /// largest ≤ x; both are fixed points on selected bytes.
+    #[test]
+    fn next_prev_laws(p in arb_partition(40), e_pick in any::<u32>()) {
+        let e = e_pick as usize % p.element_count();
+        let m = Mapper::new(&p, e);
+        let end = p.displacement() + 2 * p.pattern().size();
+        for x in 0..end {
+            let next = m.next_selected(x);
+            prop_assert!(next >= x.max(p.displacement()));
+            prop_assert!(m.selects(next));
+            // Nothing selected in (x, next).
+            for z in x.max(p.displacement())..next {
+                prop_assert!(!m.selects(z), "x={} z={} next={}", x, z, next);
+            }
+            if let Some(prev) = m.prev_selected(x) {
+                prop_assert!(prev <= x);
+                prop_assert!(m.selects(prev));
+                for z in (prev + 1)..=x {
+                    prop_assert!(!m.selects(z), "x={} z={} prev={}", x, z, prev);
+                }
+            } else {
+                for z in p.displacement()..=x.min(end) {
+                    prop_assert!(!m.selects(z), "no prev but {} selected", z);
+                }
+            }
+            if m.selects(x) {
+                prop_assert_eq!(m.next_selected(x), x);
+                prop_assert_eq!(m.prev_selected(x), Some(x));
+            }
+        }
+    }
+
+    /// MAP is strictly increasing over an element's selected bytes when the
+    /// element's families don't interleave (tree order = byte order) — true
+    /// for complement-built partitions whose sets are compressed leaf runs.
+    #[test]
+    fn map_monotonic_on_leaf_sets(p in arb_partition(56)) {
+        for e in 0..p.element_count() {
+            let set = p.pattern().element(e).unwrap();
+            // Only check when tree order equals sorted order.
+            if set.tree_segments() != set.absolute_segments() {
+                continue;
+            }
+            let m = Mapper::new(&p, e);
+            let end = p.displacement() + 2 * p.pattern().size();
+            let mut last = None;
+            for x in p.displacement()..end {
+                if let Some(y) = m.map(x) {
+                    if let Some(prev) = last {
+                        prop_assert!(y > prev, "byte {}: {} !> {}", x, y, prev);
+                    }
+                    last = Some(y);
+                }
+            }
+        }
+    }
+
+    /// Composition: mapping an element onto itself is the identity, and
+    /// mapping between two partitions agrees with the owner's offsets.
+    #[test]
+    fn composition_laws(a in arb_partition(36), b in arb_partition(27)) {
+        let ma = Mapper::new(&a, 0);
+        for y in 0..ma.element_size() * 2 {
+            prop_assert_eq!(map_between(&ma, &ma, y), Some(y));
+        }
+        // Cross-partition: if defined, the result round-trips.
+        for e in 0..b.element_count() {
+            let mb = Mapper::new(&b, e);
+            for y in 0..ma.element_size() * 2 {
+                if let Some(z) = map_between(&ma, &mb, y) {
+                    prop_assert_eq!(map_between(&mb, &ma, z), Some(y));
+                }
+            }
+        }
+    }
+
+    /// element_len sums to the file length (minus the pre-displacement
+    /// prefix) and matches the mapper's unmap range.
+    #[test]
+    fn element_len_partitions_file(p in arb_partition(44), file_len in 1u64..300) {
+        let total: u64 = (0..p.element_count())
+            .map(|e| p.element_len(e, file_len).unwrap())
+            .sum();
+        prop_assert_eq!(total, file_len.saturating_sub(p.displacement()));
+        for e in 0..p.element_count() {
+            let m = Mapper::new(&p, e);
+            let len = p.element_len(e, file_len).unwrap();
+            if len > 0 {
+                prop_assert!(m.unmap(len - 1) < file_len);
+            }
+            prop_assert!(m.unmap(len) >= file_len);
+        }
+    }
+}

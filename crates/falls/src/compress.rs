@@ -1,0 +1,112 @@
+use crate::{Falls, LineSegment, NestedFalls, NestedSet};
+
+/// Compresses a sorted list of disjoint line segments into a compact list of
+/// FALLS.
+///
+/// Greedy run detection: consecutive segments with the same length and the
+/// same left-to-left spacing are folded into one family. This is the
+/// re-compaction step used after CUT-FALLS and after merge-based
+/// intersection; on regular inputs it recovers the periodic structure (e.g.
+/// cutting Figure 1's `(3,5,6,5)` to `[4,28]` yields
+/// `{(0,1,2,1), (5,7,6,3), (23,24,2,1)}` exactly as in the paper).
+///
+/// The greedy choice starts a new run whenever length or spacing changes, so
+/// the output is minimal for strictly periodic inputs and close to minimal
+/// otherwise.
+#[must_use]
+pub fn compress_segments(segments: &[LineSegment]) -> Vec<Falls> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        let first = segments[i];
+        let len = first.len();
+        // Try to extend a run of equal-length, equally spaced segments.
+        let mut n = 1u64;
+        let mut stride = None;
+        let mut j = i + 1;
+        while j < segments.len() {
+            let seg = segments[j];
+            if seg.len() != len {
+                break;
+            }
+            let gap = seg.l() - segments[j - 1].l();
+            match stride {
+                None => stride = Some(gap),
+                Some(s) if s == gap => {}
+                Some(_) => break,
+            }
+            n += 1;
+            j += 1;
+        }
+        // A run of 2 equal-length segments is only worth folding if a third
+        // won't immediately break the family apart badly; greedy is fine.
+        let s = stride.unwrap_or(len);
+        out.push(Falls::new(first.l(), first.r(), s, n).expect("disjoint sorted run is valid"));
+        i = j;
+    }
+    out
+}
+
+/// Convenience: compress segments into a [`NestedSet`] of leaf families.
+#[must_use]
+pub fn segments_to_falls(segments: &[LineSegment]) -> NestedSet {
+    let families = compress_segments(segments).into_iter().map(NestedFalls::leaf).collect();
+    NestedSet::new(families).expect("compressed families are sorted and disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(l: u64, r: u64) -> LineSegment {
+        LineSegment::new(l, r).unwrap()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compress_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_segment() {
+        let out = compress_segments(&[seg(3, 5)]);
+        assert_eq!(out, vec![Falls::new(3, 5, 3, 1).unwrap()]);
+    }
+
+    #[test]
+    fn periodic_run_folds_to_one_family() {
+        let segs: Vec<_> = (0..5).map(|i| seg(3 + 6 * i, 5 + 6 * i)).collect();
+        let out = compress_segments(&segs);
+        assert_eq!(out, vec![Falls::new(3, 5, 6, 5).unwrap()]);
+    }
+
+    /// The paper's CUT-FALLS example output shape:
+    /// {(0,1,2,1), (5,7,6,3), (23,24,2,1)}.
+    #[test]
+    fn cut_falls_example_shape() {
+        let segs = vec![seg(0, 1), seg(5, 7), seg(11, 13), seg(17, 19), seg(23, 24)];
+        let out = compress_segments(&segs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Falls::new(0, 1, 2, 1).unwrap());
+        assert_eq!(out[1], Falls::new(5, 7, 6, 3).unwrap());
+        assert_eq!(out[2], Falls::new(23, 24, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn irregular_spacing_splits_runs() {
+        let segs = vec![seg(0, 1), seg(4, 5), seg(10, 11)];
+        let out = compress_segments(&segs);
+        // spacing 4 then 6 — cannot be one family
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], Falls::new(0, 1, 4, 2).unwrap());
+        assert_eq!(out[1], Falls::new(10, 11, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn round_trip_preserves_offsets() {
+        let segs = vec![seg(2, 3), seg(6, 7), seg(10, 11), seg(13, 20), seg(30, 31)];
+        let set = segments_to_falls(&segs);
+        let want: Vec<u64> = segs.iter().flat_map(LineSegment::offsets).collect();
+        assert_eq!(set.absolute_offsets(), want);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating FALLS-based structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FallsError {
+    /// A line segment with `l > r`.
+    InvertedSegment {
+        /// Left index supplied.
+        l: u64,
+        /// Right index supplied.
+        r: u64,
+    },
+    /// A FALLS whose count is zero.
+    ZeroCount,
+    /// A FALLS whose stride is zero while more than one segment is requested.
+    ZeroStride,
+    /// A FALLS with `n > 1` whose stride is smaller than its block length, so
+    /// consecutive segments would overlap.
+    OverlappingBlocks {
+        /// Block length (`r − l + 1`).
+        block_len: u64,
+        /// Stride supplied.
+        stride: u64,
+    },
+    /// An inner FALLS does not fit inside the block of its parent.
+    InnerOutOfBlock {
+        /// Extent (last covered relative index) of the inner family.
+        inner_end: u64,
+        /// Last valid relative index, i.e. parent block length − 1.
+        block_end: u64,
+    },
+    /// Sibling families are not sorted by left index or overlap each other.
+    UnorderedSiblings,
+    /// Arithmetic overflow while computing extents or sizes.
+    Overflow,
+}
+
+impl fmt::Display for FallsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallsError::InvertedSegment { l, r } => {
+                write!(f, "line segment left index {l} exceeds right index {r}")
+            }
+            FallsError::ZeroCount => write!(f, "FALLS must contain at least one segment"),
+            FallsError::ZeroStride => {
+                write!(f, "FALLS with more than one segment must have a positive stride")
+            }
+            FallsError::OverlappingBlocks { block_len, stride } => write!(
+                f,
+                "stride {stride} smaller than block length {block_len}: segments overlap"
+            ),
+            FallsError::InnerOutOfBlock { inner_end, block_end } => write!(
+                f,
+                "inner FALLS extends to relative index {inner_end}, beyond the parent block end {block_end}"
+            ),
+            FallsError::UnorderedSiblings => {
+                write!(f, "sibling FALLS must be sorted by left index and disjoint")
+            }
+            FallsError::Overflow => write!(f, "arithmetic overflow in FALLS computation"),
+        }
+    }
+}
+
+impl std::error::Error for FallsError {}

@@ -1,0 +1,351 @@
+use crate::{Falls, FallsError, LineSegment, Offset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A FALLS together with a set of inner nested FALLS that subdivide each of
+/// its blocks.
+///
+/// The inner families are expressed *relative to the left index of the outer
+/// FALLS* and must lie within `[0, block_len − 1]`. A nested FALLS is a tree:
+/// each node holds a [`Falls`] and its children are the inner families. A
+/// leaf (empty inner set) covers the whole of each of its blocks.
+///
+/// Example — the paper's Figure 2, `(0, 3, 8, 2, {(0, 0, 2, 2)})`, selects
+/// bytes `{0, 2, 8, 10}` of a 16-byte region.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NestedFalls {
+    falls: Falls,
+    inner: Vec<NestedFalls>,
+}
+
+impl NestedFalls {
+    /// A leaf node: a plain FALLS with no inner structure.
+    #[must_use]
+    pub fn leaf(falls: Falls) -> Self {
+        Self { falls, inner: Vec::new() }
+    }
+
+    /// A nested FALLS with the given inner families.
+    ///
+    /// Validates that the inner families are sorted by left index, mutually
+    /// disjoint, and fit inside the parent's block.
+    pub fn with_inner(falls: Falls, inner: Vec<NestedFalls>) -> Result<Self, FallsError> {
+        validate_siblings(&inner, falls.block_len())?;
+        Ok(Self { falls, inner })
+    }
+
+    /// The node's own FALLS.
+    #[inline]
+    #[must_use]
+    pub fn falls(&self) -> &Falls {
+        &self.falls
+    }
+
+    /// The inner (children) families, relative to the block's left index.
+    #[inline]
+    #[must_use]
+    pub fn inner(&self) -> &[NestedFalls] {
+        &self.inner
+    }
+
+    /// Whether this node is a leaf.
+    #[inline]
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of bytes selected by one block of this family (the paper's
+    /// per-block size: `block_len` for a leaf, sum of inner sizes otherwise).
+    #[must_use]
+    pub fn block_size(&self) -> u64 {
+        if self.inner.is_empty() {
+            self.falls.block_len()
+        } else {
+            self.inner.iter().map(NestedFalls::size).sum()
+        }
+    }
+
+    /// Total number of bytes selected: `n · block_size` (the paper's *SIZE*).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.falls.count() * self.block_size()
+    }
+
+    /// Height of the FALLS tree: 1 for a leaf.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        1 + self.inner.iter().map(NestedFalls::height).max().unwrap_or(0)
+    }
+
+    /// Total number of nodes in the tree (for diagnostics / cost metrics).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.inner.iter().map(NestedFalls::node_count).sum::<usize>()
+    }
+
+    /// Wraps the family in an outer FALLS covering exactly its extent once —
+    /// used to equalize tree heights before intersection, as the paper's
+    /// INTERSECT prescribes ("the height of the shorter tree can be
+    /// transformed by adding outer FALLS").
+    ///
+    /// `span` is the length of the linear space the node lives in (the
+    /// enclosing block length, or the partitioning-pattern size at top
+    /// level); the added outer FALLS is `(0, span−1, span, 1)`.
+    pub fn wrap_outer(self, span: u64) -> Result<NestedFalls, FallsError> {
+        let outer = Falls::new(0, span - 1, span, 1)?;
+        NestedFalls::with_inner(outer, vec![self])
+    }
+
+    /// Absolute segments selected by the family, sorted by byte offset and
+    /// coalesced.
+    ///
+    /// Note: when sibling families interleave, sorted byte order differs from
+    /// *tree order* (the order in which the linear space of a partition
+    /// element is laid out, per the paper's MAP function); use
+    /// [`NestedFalls::tree_segments`] for the latter.
+    #[must_use]
+    pub fn absolute_segments(&self) -> Vec<LineSegment> {
+        crate::segment::normalize_segments(self.tree_segments())
+    }
+
+    /// Absolute segments in tree-traversal order: families in sibling order,
+    /// repetitions in index order, children depth-first. This is the order
+    /// that defines the linear address space of a subfile or view.
+    #[must_use]
+    pub fn tree_segments(&self) -> Vec<LineSegment> {
+        let mut out = Vec::new();
+        self.collect_segments(0, &mut out);
+        out
+    }
+
+    pub(crate) fn collect_segments(&self, base: Offset, out: &mut Vec<LineSegment>) {
+        for rep in 0..self.falls.count() {
+            let block_base = base + self.falls.l() + rep * self.falls.stride();
+            if self.inner.is_empty() {
+                let seg = LineSegment::new(block_base, block_base + self.falls.block_len() - 1)
+                    .expect("block segment is well-formed");
+                out.push(seg);
+            } else {
+                for child in &self.inner {
+                    child.collect_segments(block_base, out);
+                }
+            }
+        }
+    }
+
+    /// Every byte offset selected by the family, in increasing order.
+    #[must_use]
+    pub fn absolute_offsets(&self) -> Vec<Offset> {
+        self.absolute_segments().iter().flat_map(LineSegment::offsets).collect()
+    }
+
+    /// Last absolute byte index reachable by the family (its extent).
+    #[must_use]
+    pub fn extent_end(&self) -> Offset {
+        // The tree's extent is bounded by the outermost FALLS's extent.
+        self.falls.extent_end()
+    }
+
+    /// Shifts the whole tree up by `delta` (only the outermost FALLS moves;
+    /// inner families are relative).
+    #[must_use]
+    pub fn shift_up(&self, delta: Offset) -> Option<NestedFalls> {
+        Some(NestedFalls { falls: self.falls.shift_up(delta)?, inner: self.inner.clone() })
+    }
+
+    /// Shifts the whole tree down by `delta`.
+    #[must_use]
+    pub fn shift_down(&self, delta: Offset) -> Option<NestedFalls> {
+        Some(NestedFalls { falls: self.falls.shift_down(delta)?, inner: self.inner.clone() })
+    }
+
+    /// Whether absolute byte `x` is selected by the family.
+    #[must_use]
+    pub fn contains(&self, x: Offset) -> bool {
+        if x < self.falls.l() {
+            return false;
+        }
+        let Some(rep) = self.falls.repetition_of(x) else { return false };
+        let rel = x - self.falls.l() - rep * self.falls.stride();
+        if rel >= self.falls.block_len() {
+            return false; // in the gap between blocks
+        }
+        if self.inner.is_empty() {
+            true
+        } else {
+            self.inner.iter().any(|c| c.contains(rel))
+        }
+    }
+}
+
+impl fmt::Display for NestedFalls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.is_empty() {
+            write!(f, "{}", self.falls)
+        } else {
+            write!(
+                f,
+                "({}, {}, {}, {}, {{",
+                self.falls.l(),
+                self.falls.r(),
+                self.falls.stride(),
+                self.falls.count()
+            )?;
+            for (i, c) in self.inner.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "}})")
+        }
+    }
+}
+
+/// Validates that sibling families are sorted by left index, mutually
+/// disjoint, and (when `block_len` is finite) fit within the parent block.
+///
+/// Families may interleave (e.g. `(0,1,8,2)` and `(4,5,8,2)`), so after a
+/// cheap fully-separated fast path, disjointness is checked exactly on the
+/// flattened segments.
+pub(crate) fn validate_siblings(
+    siblings: &[NestedFalls],
+    block_len: u64,
+) -> Result<(), FallsError> {
+    let mut prev_l: Option<Offset> = None;
+    let mut prev_end: Option<Offset> = None;
+    let mut separated = true;
+    for nf in siblings {
+        let end = nf.extent_end();
+        if end >= block_len {
+            return Err(FallsError::InnerOutOfBlock { inner_end: end, block_end: block_len - 1 });
+        }
+        if let Some(pl) = prev_l {
+            if nf.falls.l() < pl {
+                return Err(FallsError::UnorderedSiblings);
+            }
+        }
+        if let Some(pe) = prev_end {
+            if nf.falls.l() <= pe {
+                separated = false;
+            }
+        }
+        prev_l = Some(nf.falls.l());
+        prev_end = Some(prev_end.unwrap_or(0).max(end));
+    }
+    if separated {
+        return Ok(());
+    }
+    // Interleaved families: check exact disjointness on flattened segments.
+    let mut segs = Vec::new();
+    for nf in siblings {
+        nf.collect_segments(0, &mut segs);
+    }
+    segs.sort_unstable();
+    for w in segs.windows(2) {
+        if w[1].l() <= w[0].r() {
+            return Err(FallsError::UnorderedSiblings);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2() -> NestedFalls {
+        NestedFalls::with_inner(
+            Falls::new(0, 3, 8, 2).unwrap(),
+            vec![NestedFalls::leaf(Falls::new(0, 0, 2, 2).unwrap())],
+        )
+        .unwrap()
+    }
+
+    /// The paper's Figure 2: (0,3,8,2,{(0,0,2,2)}), size 4, bytes {0,2,8,10}.
+    #[test]
+    fn figure2_nested_falls() {
+        let nf = fig2();
+        assert_eq!(nf.size(), 4);
+        assert_eq!(nf.absolute_offsets(), vec![0, 2, 8, 10]);
+        assert_eq!(nf.height(), 2);
+        assert_eq!(nf.node_count(), 2);
+    }
+
+    #[test]
+    fn leaf_size_is_falls_size() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        let nf = NestedFalls::leaf(f);
+        assert_eq!(nf.size(), f.size());
+        assert!(nf.is_leaf());
+    }
+
+    #[test]
+    fn inner_must_fit_in_block() {
+        // Block length 4, inner reaching relative index 4 → invalid.
+        let res = NestedFalls::with_inner(
+            Falls::new(0, 3, 8, 2).unwrap(),
+            vec![NestedFalls::leaf(Falls::new(4, 4, 5, 1).unwrap())],
+        );
+        assert!(matches!(res, Err(FallsError::InnerOutOfBlock { .. })));
+    }
+
+    #[test]
+    fn siblings_must_be_sorted_and_disjoint() {
+        let res = NestedFalls::with_inner(
+            Falls::new(0, 7, 16, 2).unwrap(),
+            vec![
+                NestedFalls::leaf(Falls::new(4, 5, 6, 1).unwrap()),
+                NestedFalls::leaf(Falls::new(0, 1, 2, 1).unwrap()),
+            ],
+        );
+        assert!(matches!(res, Err(FallsError::UnorderedSiblings)));
+    }
+
+    #[test]
+    fn contains_matches_offsets() {
+        let nf = fig2();
+        let selected = nf.absolute_offsets();
+        for x in 0..16 {
+            assert_eq!(nf.contains(x), selected.contains(&x), "byte {x}");
+        }
+    }
+
+    #[test]
+    fn three_level_nesting() {
+        // Outer (0,15,32,2): blocks [0,15],[32,47].
+        // Middle (0,7,8,2) inside: relative [0,7],[8,15].
+        // Inner (1,2,4,2): relative {1,2,5,6} of each middle block.
+        let inner = NestedFalls::leaf(Falls::new(1, 2, 4, 2).unwrap());
+        let middle =
+            NestedFalls::with_inner(Falls::new(0, 7, 8, 2).unwrap(), vec![inner]).unwrap();
+        let outer =
+            NestedFalls::with_inner(Falls::new(0, 15, 32, 2).unwrap(), vec![middle]).unwrap();
+        assert_eq!(outer.height(), 3);
+        assert_eq!(outer.size(), 16);
+        let offs = outer.absolute_offsets();
+        assert_eq!(offs.len(), 16);
+        assert_eq!(&offs[..8], &[1, 2, 5, 6, 9, 10, 13, 14]);
+        assert_eq!(&offs[8..], &[33, 34, 37, 38, 41, 42, 45, 46]);
+    }
+
+    #[test]
+    fn wrap_outer_preserves_selection() {
+        let nf = fig2();
+        let offs = nf.absolute_offsets();
+        let wrapped = nf.wrap_outer(16).unwrap();
+        assert_eq!(wrapped.height(), 3);
+        assert_eq!(wrapped.absolute_offsets(), offs);
+        assert_eq!(wrapped.size(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        assert_eq!(fig2().to_string(), "(0, 3, 8, 2, {(0, 0, 2, 2)})");
+        assert_eq!(
+            NestedFalls::leaf(Falls::new(3, 5, 6, 5).unwrap()).to_string(),
+            "(3, 5, 6, 5)"
+        );
+    }
+}

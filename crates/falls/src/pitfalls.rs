@@ -1,0 +1,211 @@
+use crate::{Falls, FallsError, NestedFalls, Offset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Processor Indexed Tagged FAmily of Line Segments.
+///
+/// `(l, r, s, n, d, p)` compactly represents `p` FALLS, one per processor:
+/// processor `i` (for `i ∈ 0..p`) owns the FALLS
+/// `(l + i·d, r + i·d, s, n)`. `d` is the inter-processor displacement.
+///
+/// PITFALLS are the compact form used for regular (HPF-style) distributions;
+/// every PITFALLS expands to a plain set of FALLS, which is the form the
+/// mapping and intersection algorithms operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pitfalls {
+    l: Offset,
+    r: Offset,
+    s: u64,
+    n: u64,
+    d: u64,
+    p: u64,
+}
+
+impl Pitfalls {
+    /// Creates a PITFALLS, validating that each per-processor FALLS is valid.
+    pub fn new(l: Offset, r: Offset, s: u64, n: u64, d: u64, p: u64) -> Result<Self, FallsError> {
+        if p == 0 {
+            return Err(FallsError::ZeroCount);
+        }
+        // Validate the last processor's family (largest offsets).
+        let shift = (p - 1).checked_mul(d).ok_or(FallsError::Overflow)?;
+        let ll = l.checked_add(shift).ok_or(FallsError::Overflow)?;
+        let rr = r.checked_add(shift).ok_or(FallsError::Overflow)?;
+        Falls::new(ll, rr, s, n)?;
+        Falls::new(l, r, s, n)?;
+        Ok(Self { l, r, s, n, d, p })
+    }
+
+    /// Number of processors.
+    #[inline]
+    #[must_use]
+    pub fn processors(&self) -> u64 {
+        self.p
+    }
+
+    /// Inter-processor displacement.
+    #[inline]
+    #[must_use]
+    pub fn displacement(&self) -> u64 {
+        self.d
+    }
+
+    /// The FALLS owned by processor `i`, if `i < p`.
+    #[must_use]
+    pub fn falls_of(&self, i: u64) -> Option<Falls> {
+        (i < self.p).then(|| {
+            Falls::new(self.l + i * self.d, self.r + i * self.d, self.s, self.n)
+                .expect("validated at construction")
+        })
+    }
+
+    /// Expands into the list of per-processor FALLS.
+    #[must_use]
+    pub fn expand(&self) -> Vec<Falls> {
+        (0..self.p).map(|i| self.falls_of(i).expect("i < p")).collect()
+    }
+}
+
+impl fmt::Display for Pitfalls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {}; d={}, p={})", self.l, self.r, self.s, self.n, self.d, self.p)
+    }
+}
+
+/// A nested PITFALLS: a PITFALLS whose per-processor blocks are subdivided by
+/// inner nested PITFALLS (relative to each block's left index).
+///
+/// As the paper notes, "each nested PITFALLS is just a compact representation
+/// of a set of nested FALLS"; [`NestedPitfalls::expand`] produces exactly
+/// that set, one [`NestedFalls`] tree per processor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NestedPitfalls {
+    pitfalls: Pitfalls,
+    inner: Vec<NestedPitfalls>,
+}
+
+impl NestedPitfalls {
+    /// A leaf nested PITFALLS.
+    #[must_use]
+    pub fn leaf(pitfalls: Pitfalls) -> Self {
+        Self { pitfalls, inner: Vec::new() }
+    }
+
+    /// A nested PITFALLS with inner structure.
+    ///
+    /// The inner families subdivide each block; they are validated during
+    /// [`NestedPitfalls::expand`], where per-processor trees are built.
+    #[must_use]
+    pub fn with_inner(pitfalls: Pitfalls, inner: Vec<NestedPitfalls>) -> Self {
+        Self { pitfalls, inner }
+    }
+
+    /// The node's PITFALLS.
+    #[inline]
+    #[must_use]
+    pub fn pitfalls(&self) -> &Pitfalls {
+        &self.pitfalls
+    }
+
+    /// Inner nested PITFALLS.
+    #[inline]
+    #[must_use]
+    pub fn inner(&self) -> &[NestedPitfalls] {
+        &self.inner
+    }
+
+    /// Expands into one [`NestedFalls`] per *outer* processor index.
+    ///
+    /// Inner PITFALLS are expanded recursively; the inner processor
+    /// dimension is flattened into the sibling list (processor-major order),
+    /// which matches how multidimensional distributions compose: the outer
+    /// dimension picks the tree, inner dimensions contribute siblings.
+    pub fn expand(&self) -> Result<Vec<NestedFalls>, FallsError> {
+        let mut out = Vec::with_capacity(self.pitfalls.p as usize);
+        for i in 0..self.pitfalls.p {
+            let falls = self.pitfalls.falls_of(i).expect("i < p");
+            if self.inner.is_empty() {
+                out.push(NestedFalls::leaf(falls));
+            } else {
+                let mut children = Vec::new();
+                for ip in &self.inner {
+                    children.extend(ip.expand()?);
+                }
+                children.sort_by_key(|c| c.falls().l());
+                out.push(NestedFalls::with_inner(falls, children)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for NestedPitfalls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.is_empty() {
+            write!(f, "{}", self.pitfalls)
+        } else {
+            write!(f, "({}, {{", self.pitfalls)?;
+            for (i, c) in self.inner.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "}})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3's three subfiles are the PITFALLS (0,1,6,1; d=2, p=3).
+    #[test]
+    fn figure3_as_pitfalls() {
+        let p = Pitfalls::new(0, 1, 6, 1, 2, 3).unwrap();
+        let expanded = p.expand();
+        assert_eq!(expanded.len(), 3);
+        assert_eq!(expanded[0], Falls::new(0, 1, 6, 1).unwrap());
+        assert_eq!(expanded[1], Falls::new(2, 3, 6, 1).unwrap());
+        assert_eq!(expanded[2], Falls::new(4, 5, 6, 1).unwrap());
+    }
+
+    #[test]
+    fn invalid_pitfalls_rejected() {
+        assert!(Pitfalls::new(0, 1, 6, 1, 2, 0).is_err());
+        // processor 1's family would overlap itself (stride < block)
+        assert!(Pitfalls::new(0, 3, 2, 2, 4, 2).is_err());
+        assert!(Pitfalls::new(u64::MAX - 1, u64::MAX, 4, 1, u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn falls_of_out_of_range() {
+        let p = Pitfalls::new(0, 1, 6, 1, 2, 3).unwrap();
+        assert!(p.falls_of(3).is_none());
+    }
+
+    #[test]
+    fn nested_expansion_builds_trees() {
+        // Outer: (0,7,16,2; d=8, p=2) — two processors, two blocks each.
+        // Inner: (0,1,4,2; d=2, p=1) — every block keeps bytes {0,1,4,5}.
+        let outer = Pitfalls::new(0, 7, 16, 2, 8, 2).unwrap();
+        let inner = NestedPitfalls::leaf(Pitfalls::new(0, 1, 4, 2, 2, 1).unwrap());
+        let np = NestedPitfalls::with_inner(outer, vec![inner]);
+        let trees = np.expand().unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].absolute_offsets(), vec![0, 1, 4, 5, 16, 17, 20, 21]);
+        assert_eq!(trees[1].absolute_offsets(), vec![8, 9, 12, 13, 24, 25, 28, 29]);
+    }
+
+    #[test]
+    fn nested_expansion_with_inner_processors() {
+        // Inner PITFALLS with p=2 flattens to two sibling families per tree.
+        let outer = Pitfalls::new(0, 7, 8, 1, 0, 1).unwrap();
+        let inner = NestedPitfalls::leaf(Pitfalls::new(0, 0, 4, 2, 2, 2).unwrap());
+        let np = NestedPitfalls::with_inner(outer, vec![inner]);
+        let trees = np.expand().unwrap();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].absolute_offsets(), vec![0, 2, 4, 6]);
+    }
+}

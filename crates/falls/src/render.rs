@@ -1,0 +1,89 @@
+//! ASCII rendering of FALLS structures, reproducing the style of the paper's
+//! Figures 1–4: a byte ruler with selected bytes marked.
+
+use crate::{Falls, NestedSet, Offset};
+use std::fmt::Write as _;
+
+/// Renders a byte-index ruler `0 1 2 …` up to `len − 1`, each index padded
+/// to the same width.
+#[must_use]
+pub fn render_ruler(len: u64) -> String {
+    let width = cell_width(len);
+    let mut out = String::new();
+    for i in 0..len {
+        let _ = write!(out, "{i:>width$} ");
+    }
+    out.trim_end().to_string()
+}
+
+fn cell_width(len: u64) -> usize {
+    len.saturating_sub(1).max(1).to_string().len().max(2)
+}
+
+fn render_marks<F: Fn(Offset) -> bool>(len: u64, selected: F, mark: char) -> String {
+    let width = cell_width(len);
+    let mut out = String::new();
+    for i in 0..len {
+        let c = if selected(i) { mark } else { '.' };
+        let cell: String = std::iter::repeat_n(c, width).collect();
+        let _ = write!(out, "{cell} ");
+    }
+    out.trim_end().to_string()
+}
+
+/// Renders a single FALLS over a `len`-byte region: ruler plus a mark line,
+/// e.g. Figure 1's `(3,5,6,5)` over 32 bytes.
+#[must_use]
+pub fn render_falls(falls: &Falls, len: u64) -> String {
+    format!("{}\n{}", render_ruler(len), render_marks(len, |i| falls.contains(i), '#'))
+}
+
+/// Renders every partition element of `sets` over a `len`-byte region, one
+/// mark line per element, labeled by its index — the style of Figure 3's
+/// subfile diagram.
+#[must_use]
+pub fn render_nested_set(sets: &[NestedSet], len: u64) -> String {
+    let mut out = render_ruler(len);
+    for (idx, set) in sets.iter().enumerate() {
+        let marks = render_marks(len, |i| set.contains(i), char::from(b'0' + (idx % 10) as u8));
+        let _ = write!(out, "\n{marks}  <- element {idx}: {set}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Falls, NestedFalls, NestedSet};
+
+    #[test]
+    fn ruler_has_len_cells() {
+        let r = render_ruler(8);
+        assert_eq!(r.split_whitespace().count(), 8);
+        assert!(r.starts_with(" 0"));
+        assert!(r.ends_with('7'));
+    }
+
+    #[test]
+    fn falls_marks_match_contains() {
+        let f = Falls::new(3, 5, 6, 5).unwrap();
+        let s = render_falls(&f, 32);
+        let mark_line = s.lines().nth(1).unwrap();
+        let cells: Vec<&str> = mark_line.split_whitespace().collect();
+        assert_eq!(cells.len(), 32);
+        for (i, cell) in cells.iter().enumerate() {
+            let marked = cell.contains('#');
+            assert_eq!(marked, f.contains(i as u64), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn set_render_labels_elements() {
+        let s0 = NestedSet::singleton(NestedFalls::leaf(Falls::new(0, 1, 6, 1).unwrap()));
+        let s1 = NestedSet::singleton(NestedFalls::leaf(Falls::new(2, 3, 6, 1).unwrap()));
+        let out = render_nested_set(&[s0, s1], 6);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("element 0"));
+        assert!(out.contains("element 1"));
+    }
+}

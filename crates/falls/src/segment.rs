@@ -1,0 +1,199 @@
+use crate::{FallsError, Offset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous portion of a file: the pair `(l, r)` of the paper, describing
+/// bytes `l ..= r` (both inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineSegment {
+    l: Offset,
+    r: Offset,
+}
+
+impl LineSegment {
+    /// Creates the segment `[l, r]`; fails if `l > r`.
+    pub fn new(l: Offset, r: Offset) -> Result<Self, FallsError> {
+        if l > r {
+            return Err(FallsError::InvertedSegment { l, r });
+        }
+        Ok(Self { l, r })
+    }
+
+    /// Left (first) byte index.
+    #[inline]
+    #[must_use]
+    pub fn l(&self) -> Offset {
+        self.l
+    }
+
+    /// Right (last) byte index.
+    #[inline]
+    #[must_use]
+    pub fn r(&self) -> Offset {
+        self.r
+    }
+
+    /// `(l, r)` as a tuple.
+    #[inline]
+    #[must_use]
+    pub fn bounds(&self) -> (Offset, Offset) {
+        (self.l, self.r)
+    }
+
+    /// Number of bytes in the segment.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.r - self.l + 1
+    }
+
+    /// A segment always holds at least one byte; provided for clippy
+    /// symmetry with [`LineSegment::len`].
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether byte `x` lies inside the segment.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, x: Offset) -> bool {
+        self.l <= x && x <= self.r
+    }
+
+    /// Intersection with another segment, if non-empty.
+    #[must_use]
+    pub fn intersect(&self, other: &LineSegment) -> Option<LineSegment> {
+        let l = self.l.max(other.l);
+        let r = self.r.min(other.r);
+        (l <= r).then_some(LineSegment { l, r })
+    }
+
+    /// Clips the segment to `[lo, hi]`, if any byte survives.
+    #[must_use]
+    pub fn clip(&self, lo: Offset, hi: Offset) -> Option<LineSegment> {
+        if lo > hi {
+            return None;
+        }
+        self.intersect(&LineSegment { l: lo, r: hi })
+    }
+
+    /// Shifts the segment left by `delta` (used when re-expressing indices
+    /// relative to a cut's inferior limit). Fails if the segment would cross
+    /// below zero.
+    #[must_use]
+    pub fn shift_down(&self, delta: Offset) -> Option<LineSegment> {
+        if self.l < delta {
+            return None;
+        }
+        Some(LineSegment { l: self.l - delta, r: self.r - delta })
+    }
+
+    /// Shifts the segment right by `delta`.
+    #[must_use]
+    pub fn shift_up(&self, delta: Offset) -> Option<LineSegment> {
+        let l = self.l.checked_add(delta)?;
+        let r = self.r.checked_add(delta)?;
+        Some(LineSegment { l, r })
+    }
+
+    /// Whether `other` begins exactly one byte after `self` ends, i.e. the
+    /// two segments are adjacent and could be merged.
+    #[inline]
+    #[must_use]
+    pub fn abuts(&self, other: &LineSegment) -> bool {
+        self.r + 1 == other.l
+    }
+
+    /// Iterator over every byte offset in the segment.
+    pub fn offsets(&self) -> impl Iterator<Item = Offset> + '_ {
+        self.l..=self.r
+    }
+}
+
+impl fmt::Display for LineSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.l, self.r)
+    }
+}
+
+/// Merges a sorted list of disjoint-or-overlapping segments into a minimal
+/// sorted disjoint list (coalescing adjacent and overlapping segments).
+#[must_use]
+pub(crate) fn normalize_segments(mut segs: Vec<LineSegment>) -> Vec<LineSegment> {
+    segs.sort_unstable();
+    let mut out: Vec<LineSegment> = Vec::with_capacity(segs.len());
+    for s in segs {
+        match out.last_mut() {
+            Some(last) if s.l <= last.r.saturating_add(1) => {
+                last.r = last.r.max(s.r);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let s = LineSegment::new(3, 5).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bounds(), (3, 5));
+        assert!(LineSegment::new(5, 3).is_err());
+        assert_eq!(LineSegment::new(7, 7).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn contains_and_intersect() {
+        let a = LineSegment::new(0, 7).unwrap();
+        let b = LineSegment::new(4, 12).unwrap();
+        assert!(a.contains(0) && a.contains(7) && !a.contains(8));
+        assert_eq!(a.intersect(&b), Some(LineSegment::new(4, 7).unwrap()));
+        let c = LineSegment::new(8, 9).unwrap();
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn clip_and_shift() {
+        let s = LineSegment::new(3, 10).unwrap();
+        assert_eq!(s.clip(5, 8), Some(LineSegment::new(5, 8).unwrap()));
+        assert_eq!(s.clip(11, 20), None);
+        assert_eq!(s.clip(20, 11), None);
+        assert_eq!(s.shift_down(3), Some(LineSegment::new(0, 7).unwrap()));
+        assert_eq!(s.shift_down(4), None);
+        assert_eq!(s.shift_up(2), Some(LineSegment::new(5, 12).unwrap()));
+    }
+
+    #[test]
+    fn abuts_detects_adjacency() {
+        let a = LineSegment::new(0, 3).unwrap();
+        let b = LineSegment::new(4, 6).unwrap();
+        let c = LineSegment::new(5, 6).unwrap();
+        assert!(a.abuts(&b));
+        assert!(!a.abuts(&c));
+        assert!(!b.abuts(&a));
+    }
+
+    #[test]
+    fn normalize_merges_overlaps_and_adjacency() {
+        let segs = vec![
+            LineSegment::new(8, 9).unwrap(),
+            LineSegment::new(0, 3).unwrap(),
+            LineSegment::new(4, 6).unwrap(),
+            LineSegment::new(5, 7).unwrap(),
+        ];
+        let norm = normalize_segments(segs);
+        assert_eq!(norm, vec![LineSegment::new(0, 9).unwrap()]);
+    }
+
+    #[test]
+    fn offsets_iterates_each_byte() {
+        let s = LineSegment::new(2, 4).unwrap();
+        assert_eq!(s.offsets().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,286 @@
+use crate::nested::validate_siblings;
+use crate::segment::normalize_segments;
+use crate::{FallsError, LineSegment, NestedFalls, Offset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered set of sibling [`NestedFalls`] describing one partition
+/// element (a subfile or a view) within a partitioning pattern.
+///
+/// The families must be sorted by left index and mutually disjoint. The
+/// paper's *SIZE* of a set is the sum of the sizes of its elements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NestedSet {
+    families: Vec<NestedFalls>,
+}
+
+impl NestedSet {
+    /// An empty set (selects no bytes).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { families: Vec::new() }
+    }
+
+    /// Builds a set from sibling families, validating order and disjointness.
+    pub fn new(families: Vec<NestedFalls>) -> Result<Self, FallsError> {
+        // Top-level siblings live in the pattern's linear space; bound their
+        // mutual order/disjointness but not their absolute extent.
+        validate_siblings(&families, u64::MAX)?;
+        Ok(Self { families })
+    }
+
+    /// A set holding a single family.
+    #[must_use]
+    pub fn singleton(family: NestedFalls) -> Self {
+        Self { families: vec![family] }
+    }
+
+    /// The sibling families, sorted by left index.
+    #[inline]
+    #[must_use]
+    pub fn families(&self) -> &[NestedFalls] {
+        &self.families
+    }
+
+    /// Whether the set selects no bytes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Total number of bytes selected (the paper's *SIZE* of a set).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.families.iter().map(NestedFalls::size).sum()
+    }
+
+    /// Maximum tree height over the set's families (0 for an empty set).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.families.iter().map(NestedFalls::height).max().unwrap_or(0)
+    }
+
+    /// Total node count over all trees.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.families.iter().map(NestedFalls::node_count).sum()
+    }
+
+    /// Last absolute byte index reachable by any family; `None` if empty.
+    #[must_use]
+    pub fn extent_end(&self) -> Option<Offset> {
+        self.families.iter().map(NestedFalls::extent_end).max()
+    }
+
+    /// Absolute segments selected by the set, sorted, coalescing adjacent
+    /// segments.
+    #[must_use]
+    pub fn absolute_segments(&self) -> Vec<LineSegment> {
+        let mut out = Vec::new();
+        for f in &self.families {
+            f.collect_segments(0, &mut out);
+        }
+        normalize_segments(out)
+    }
+
+    /// Absolute segments in tree-traversal order (the order defining the
+    /// element's linear address space); see [`NestedFalls::tree_segments`].
+    #[must_use]
+    pub fn tree_segments(&self) -> Vec<LineSegment> {
+        let mut out = Vec::new();
+        for f in &self.families {
+            f.collect_segments(0, &mut out);
+        }
+        out
+    }
+
+    /// Every selected byte offset, in increasing order.
+    #[must_use]
+    pub fn absolute_offsets(&self) -> Vec<Offset> {
+        self.absolute_segments().iter().flat_map(LineSegment::offsets).collect()
+    }
+
+    /// Whether byte `x` is selected.
+    #[must_use]
+    pub fn contains(&self, x: Offset) -> bool {
+        self.families.iter().any(|f| f.contains(x))
+    }
+
+    /// Raises every tree to exactly `height` by wrapping in outer FALLS that
+    /// span `span` bytes (the paper's height-equalization step before
+    /// INTERSECT). Fails if any tree is already taller.
+    pub fn equalized_to_height(&self, height: usize, span: u64) -> Result<NestedSet, FallsError> {
+        let mut families = Vec::with_capacity(self.families.len());
+        for f in &self.families {
+            let mut cur = f.clone();
+            let h = cur.height();
+            assert!(h <= height, "cannot shrink a FALLS tree (height {h} > target {height})");
+            for _ in h..height {
+                cur = cur.wrap_outer(span)?;
+            }
+            families.push(cur);
+        }
+        // Wrapping puts every family at l = 0, so siblings now overlap as
+        // trees; merge them under a single outer when more than one family
+        // was wrapped.
+        if families.len() > 1 && self.height() < height {
+            // Re-wrap jointly instead: one outer FALLS containing all
+            // original families as inner children at the correct depth.
+            return self.wrap_jointly(height, span);
+        }
+        NestedSet::new(families)
+    }
+
+    /// Wraps the whole set under `height − self.height()` outer spanning
+    /// FALLS, keeping the original families as siblings inside.
+    fn wrap_jointly(&self, height: usize, span: u64) -> Result<NestedSet, FallsError> {
+        let mut inner = self.families.clone();
+        let mut h = self.height();
+        while h < height {
+            let outer = crate::Falls::new(0, span - 1, span, 1)?;
+            inner = vec![NestedFalls::with_inner(outer, inner)?];
+            h += 1;
+        }
+        NestedSet::new(inner)
+    }
+
+    /// The complement of the set within `[0, span)`: a set of leaf families
+    /// selecting exactly the bytes this set does not.
+    ///
+    /// Useful for turning a single selection (a datatype, a view
+    /// description) into a full partitioning pattern — the selection plus
+    /// its complement tile the span exactly.
+    ///
+    /// # Panics
+    /// Panics if the set extends beyond `span`.
+    #[must_use]
+    pub fn complement(&self, span: u64) -> NestedSet {
+        if let Some(end) = self.extent_end() {
+            assert!(end < span, "set extends to {end}, beyond span {span}");
+        }
+        let mut holes = Vec::new();
+        let mut pos = 0u64;
+        for seg in self.absolute_segments() {
+            if seg.l() > pos {
+                holes.push(LineSegment::new(pos, seg.l() - 1).expect("gap is well-formed"));
+            }
+            pos = seg.r() + 1;
+        }
+        if pos < span {
+            holes.push(LineSegment::new(pos, span - 1).expect("tail is well-formed"));
+        }
+        crate::segments_to_falls(&holes)
+    }
+
+    /// Shifts every family up by `delta`.
+    #[must_use]
+    pub fn shift_up(&self, delta: Offset) -> Option<NestedSet> {
+        let families = self
+            .families
+            .iter()
+            .map(|f| f.shift_up(delta))
+            .collect::<Option<Vec<_>>>()?;
+        Some(NestedSet { families })
+    }
+}
+
+impl fmt::Display for NestedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fam) in self.families.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fam}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<NestedFalls> for NestedSet {
+    fn from(f: NestedFalls) -> Self {
+        NestedSet::singleton(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Falls;
+
+    fn leaf(l: u64, r: u64, s: u64, n: u64) -> NestedFalls {
+        NestedFalls::leaf(Falls::new(l, r, s, n).unwrap())
+    }
+
+    #[test]
+    fn size_sums_families() {
+        let set = NestedSet::new(vec![leaf(0, 1, 6, 1), leaf(4, 5, 6, 1)]).unwrap();
+        assert_eq!(set.size(), 4);
+        assert_eq!(set.absolute_offsets(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_overlapping_siblings() {
+        assert!(NestedSet::new(vec![leaf(0, 4, 6, 1), leaf(2, 5, 6, 1)]).is_err());
+        assert!(NestedSet::new(vec![leaf(4, 5, 6, 1), leaf(0, 1, 6, 1)]).is_err());
+    }
+
+    #[test]
+    fn interleaved_families_are_valid_when_first_blocks_ordered() {
+        // Two families whose *blocks* interleave: (0,1,8,2) and (4,5,8,2).
+        // Their first segments are ordered and all segments are disjoint.
+        let set = NestedSet::new(vec![leaf(0, 1, 8, 2), leaf(4, 5, 8, 2)]).unwrap();
+        assert_eq!(set.absolute_offsets(), vec![0, 1, 4, 5, 8, 9, 12, 13]);
+    }
+
+    #[test]
+    fn equalize_height_preserves_selection() {
+        let set = NestedSet::new(vec![leaf(0, 1, 6, 1), leaf(4, 5, 6, 1)]).unwrap();
+        let offs = set.absolute_offsets();
+        let eq = set.equalized_to_height(3, 6).unwrap();
+        assert_eq!(eq.height(), 3);
+        assert_eq!(eq.absolute_offsets(), offs);
+        assert_eq!(eq.size(), set.size());
+    }
+
+    #[test]
+    fn equalize_noop_when_already_at_height() {
+        let set = NestedSet::new(vec![leaf(0, 1, 6, 1)]).unwrap();
+        let eq = set.equalized_to_height(1, 6).unwrap();
+        assert_eq!(eq, set);
+    }
+
+    #[test]
+    fn segments_coalesce() {
+        let set = NestedSet::new(vec![leaf(0, 1, 6, 1), leaf(2, 3, 6, 1)]).unwrap();
+        assert_eq!(set.absolute_segments(), vec![LineSegment::new(0, 3).unwrap()]);
+    }
+
+    #[test]
+    fn complement_tiles_the_span() {
+        let set = NestedSet::new(vec![leaf(0, 1, 8, 2), leaf(4, 5, 8, 2)]).unwrap();
+        let comp = set.complement(16);
+        assert_eq!(comp.absolute_offsets(), vec![2, 3, 6, 7, 10, 11, 14, 15]);
+        assert_eq!(set.size() + comp.size(), 16);
+        // Complement of everything is empty; of nothing is everything.
+        let full = NestedSet::singleton(leaf(0, 15, 16, 1));
+        assert!(full.complement(16).is_empty());
+        assert_eq!(NestedSet::empty().complement(4).size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond span")]
+    fn complement_checks_span() {
+        let _ = NestedSet::singleton(leaf(0, 9, 10, 1)).complement(8);
+    }
+
+    #[test]
+    fn extent_and_contains() {
+        let set = NestedSet::new(vec![leaf(0, 1, 8, 2), leaf(4, 5, 8, 2)]).unwrap();
+        assert_eq!(set.extent_end(), Some(13));
+        assert!(set.contains(12));
+        assert!(!set.contains(6));
+        assert_eq!(NestedSet::empty().extent_end(), None);
+    }
+}

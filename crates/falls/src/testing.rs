@@ -1,0 +1,168 @@
+//! Deterministic generators for FALLS structures, shared by tests, property
+//! tests and benchmarks across the workspace.
+//!
+//! A tiny splitmix64 generator keeps this crate dependency-free while giving
+//! reproducible streams from a seed; property-test crates layer their own
+//! shrinking on top by driving the seed.
+
+use crate::{Falls, NestedFalls, NestedSet};
+
+/// Deterministic splitmix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Generates a random valid FALLS whose extent fits in `[0, span)`.
+///
+/// `span` must be at least 1.
+pub fn random_falls(g: &mut Gen, span: u64) -> Falls {
+    assert!(span >= 1);
+    let l = g.below(span);
+    let max_block = (span - 1 - l).min(span / 4 + 1);
+    let extra = g.range(0, max_block);
+    let r = (l + extra).min(span - 1);
+    let block = r - l + 1;
+    let remaining = span - 1 - r;
+    // Choose a stride ≥ block and a count that keeps the extent inside span.
+    let s = block + g.below(block.max(span / 8).max(1) + 1);
+    let max_n = remaining.checked_div(s).map_or(1, |q| q + 1);
+    let n = g.range(1, max_n.max(1));
+    Falls::new(l, r, s, n).expect("generated family is valid")
+}
+
+/// Generates a random nested FALLS of at most `depth` levels whose extent
+/// fits in `[0, span)`.
+pub fn random_nested_falls(g: &mut Gen, span: u64, depth: usize) -> NestedFalls {
+    let falls = random_falls(g, span);
+    if depth <= 1 || falls.block_len() < 2 || g.chance(1, 3) {
+        return NestedFalls::leaf(falls);
+    }
+    let inner = random_sibling_families(g, falls.block_len(), depth - 1, 2);
+    NestedFalls::with_inner(falls, inner).expect("siblings generated disjoint")
+}
+
+/// Generates up to `max_count` sorted, disjoint sibling families within
+/// `[0, span)`.
+pub fn random_sibling_families(
+    g: &mut Gen,
+    span: u64,
+    depth: usize,
+    max_count: usize,
+) -> Vec<NestedFalls> {
+    let mut out = Vec::new();
+    let mut lo = 0u64;
+    for _ in 0..max_count {
+        if lo >= span {
+            break;
+        }
+        let sub_span = span - lo;
+        if sub_span < 1 {
+            break;
+        }
+        let f = random_nested_falls(g, sub_span, depth);
+        let f = f.shift_up(lo).expect("shift within span");
+        let end = f.extent_end();
+        out.push(f);
+        lo = end + 1 + g.below(sub_span.max(2) / 2 + 1);
+        if g.chance(1, 3) {
+            break;
+        }
+    }
+    if out.is_empty() {
+        out.push(NestedFalls::leaf(random_falls(g, span)));
+        out.sort_by_key(|f| f.falls().l());
+    }
+    out
+}
+
+/// Generates a random non-empty [`NestedSet`] within `[0, span)`.
+pub fn random_nested_set(g: &mut Gen, span: u64, depth: usize) -> NestedSet {
+    NestedSet::new(random_sibling_families(g, span, depth, 3))
+        .expect("generated siblings are sorted and disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = Gen::new(42);
+        let mut b = Gen::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn random_falls_fit_span() {
+        let mut g = Gen::new(7);
+        for _ in 0..500 {
+            let span = g.range(1, 256);
+            let f = random_falls(&mut g, span);
+            assert!(f.extent_end() < span, "family {f} exceeds span {span}");
+        }
+    }
+
+    #[test]
+    fn random_nested_sets_are_valid_and_fit() {
+        let mut g = Gen::new(99);
+        for _ in 0..200 {
+            let span = g.range(4, 512);
+            let set = random_nested_set(&mut g, span, 3);
+            assert!(!set.is_empty());
+            assert!(set.extent_end().unwrap() < span);
+            // size must agree with flattened offsets
+            assert_eq!(set.size(), set.absolute_offsets().len() as u64);
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut g = Gen::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = g.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

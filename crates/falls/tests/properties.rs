@@ -1,0 +1,155 @@
+//! Property tests for the FALLS representation: structural invariants that
+//! every operation must preserve.
+
+use falls::testing::{random_nested_set, Gen};
+use falls::{compress_segments, segments_to_falls, Falls, LineSegment, NestedFalls, NestedSet};
+use proptest::prelude::*;
+
+/// Strategy for a valid FALLS inside a span.
+fn arb_falls(span: u64) -> impl Strategy<Value = Falls> {
+    (0..span, 1u64..=span / 4 + 1, 0u64..span, 1u64..=span)
+        .prop_map(move |(l, block, extra_stride, want_n)| {
+            let l = l.min(span - 1);
+            let r = (l + block - 1).min(span - 1);
+            let s = (r - l + 1) + extra_stride % (span / 4 + 1);
+            let max_n = (span - 1 - r) / s + 1;
+            Falls::new(l, r, s, want_n.clamp(1, max_n)).expect("constructed within bounds")
+        })
+}
+
+/// Strategy for a random nested set driven through the deterministic
+/// generator (seeded, so failures reproduce).
+fn arb_set(span: u64) -> impl Strategy<Value = NestedSet> {
+    any::<u64>().prop_map(move |seed| random_nested_set(&mut Gen::new(seed), span, 3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SIZE(f) equals the number of offsets the family enumerates.
+    #[test]
+    fn size_equals_offset_count(f in arb_falls(512)) {
+        prop_assert_eq!(f.size(), f.offsets().count() as u64);
+    }
+
+    /// contains(x) agrees with offset enumeration over the whole extent.
+    #[test]
+    fn contains_agrees_with_offsets(f in arb_falls(128)) {
+        let offs: std::collections::HashSet<u64> = f.offsets().collect();
+        for x in 0..=f.extent_end() + 2 {
+            prop_assert_eq!(f.contains(x), offs.contains(&x), "byte {}", x);
+        }
+    }
+
+    /// Segment enumeration is sorted, disjoint, and each has block length.
+    #[test]
+    fn segments_are_canonical(f in arb_falls(512)) {
+        let segs: Vec<LineSegment> = f.segments().collect();
+        prop_assert_eq!(segs.len() as u64, f.count());
+        for w in segs.windows(2) {
+            prop_assert!(w[0].r() < w[1].l());
+            prop_assert_eq!(w[1].l() - w[0].l(), f.stride());
+        }
+        for s in &segs {
+            prop_assert_eq!(s.len(), f.block_len());
+        }
+    }
+
+    /// Compression round-trips segment lists exactly.
+    #[test]
+    fn compress_round_trip(set in arb_set(256)) {
+        let segs = set.absolute_segments();
+        let compressed = compress_segments(&segs);
+        let mut back: Vec<u64> = compressed.iter().flat_map(|f| f.offsets().collect::<Vec<_>>()).collect();
+        back.sort_unstable();
+        prop_assert_eq!(back, set.absolute_offsets());
+    }
+
+    /// Compression is at least as compact as the raw segment list.
+    #[test]
+    fn compress_never_expands(set in arb_set(256)) {
+        let segs = set.absolute_segments();
+        prop_assert!(compress_segments(&segs).len() <= segs.len().max(1));
+    }
+
+    /// Set size equals the flattened byte count, and contains() matches.
+    #[test]
+    fn set_size_and_contains(set in arb_set(200)) {
+        let offs = set.absolute_offsets();
+        prop_assert_eq!(set.size(), offs.len() as u64);
+        let lookup: std::collections::HashSet<u64> = offs.iter().copied().collect();
+        for x in 0..200 {
+            prop_assert_eq!(set.contains(x), lookup.contains(&x), "byte {}", x);
+        }
+    }
+
+    /// Shifting up then down is the identity.
+    #[test]
+    fn shift_round_trip(set in arb_set(128), delta in 0u64..1000) {
+        let shifted = set.shift_up(delta).expect("fits");
+        let back = shifted.shift_up(0).unwrap();
+        prop_assert_eq!(&back, &shifted);
+        let down: Vec<u64> = shifted.absolute_offsets().iter().map(|x| x - delta).collect();
+        prop_assert_eq!(down, set.absolute_offsets());
+    }
+
+    /// complement() tiles the span exactly: disjoint union = [0, span).
+    #[test]
+    fn complement_partitions_span(set in arb_set(160)) {
+        let comp = set.complement(160);
+        prop_assert_eq!(set.size() + comp.size(), 160);
+        for x in 0..160 {
+            prop_assert!(set.contains(x) ^ comp.contains(x), "byte {}", x);
+        }
+    }
+
+    /// Height equalization preserves the byte selection and reaches the
+    /// target height.
+    #[test]
+    fn equalization_preserves_selection(set in arb_set(96), extra in 1usize..3) {
+        let target = set.height() + extra;
+        let eq = set.equalized_to_height(target, 96).expect("wrap within span");
+        prop_assert_eq!(eq.height(), target);
+        prop_assert_eq!(eq.absolute_offsets(), set.absolute_offsets());
+    }
+
+    /// segments_to_falls builds a valid set selecting the same bytes.
+    #[test]
+    fn segments_to_falls_round_trip(raw in proptest::collection::vec((0u64..300, 1u64..9), 0..24)) {
+        // Build sorted disjoint segments from raw (start, len) pairs.
+        let mut pos = 0u64;
+        let mut segs = Vec::new();
+        for (gap, len) in raw {
+            let l = pos + gap % 17 + 1;
+            let r = l + len - 1;
+            segs.push(LineSegment::new(l, r).unwrap());
+            pos = r + 1;
+        }
+        let set = segments_to_falls(&segs);
+        let want: Vec<u64> = segs.iter().flat_map(LineSegment::offsets).collect();
+        prop_assert_eq!(set.absolute_offsets(), want);
+    }
+
+    /// Tree order and sorted order select identical byte sets.
+    #[test]
+    fn tree_and_sorted_orders_agree(set in arb_set(256)) {
+        let mut tree: Vec<u64> = set
+            .tree_segments()
+            .iter()
+            .flat_map(LineSegment::offsets)
+            .collect();
+        tree.sort_unstable();
+        prop_assert_eq!(tree, set.absolute_offsets());
+    }
+}
+
+/// Nested FALLS display strings parse back structurally (spot form).
+#[test]
+fn display_forms_are_stable() {
+    let nf = NestedFalls::with_inner(
+        Falls::new(0, 7, 16, 2).unwrap(),
+        vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())],
+    )
+    .unwrap();
+    assert_eq!(nf.to_string(), "(0, 7, 16, 2, {(0, 1, 4, 2)})");
+}

@@ -1,0 +1,170 @@
+//! `pf` — inspect and manipulate parallel-file partitions from the shell.
+//!
+//! ```text
+//! pf example                              # emit a sample partition JSON
+//! pf render  <part.json> [span]          # ASCII diagram of the pattern
+//! pf map     <part.json> <elem> <offset> # file offset → element offset
+//! pf unmap   <part.json> <elem> <offset> # element offset → file offset
+//! pf owner   <part.json> <offset>        # which element owns a file byte
+//! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
+//! pf plan    <a.json> <b.json>           # redistribution plan summary
+//! ```
+//!
+//! Partition files use the JSON forms documented in the `pf-tools` library;
+//! pass `-` to read from stdin.
+
+use parafile::matching::MatchingDegree;
+use parafile::plan::RedistributionPlan;
+use parafile::redist::{intersect_elements, Projection};
+use parafile::Mapper;
+use pf_tools::{load_partition, PartitionSpec, ToolError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ToolError {
+    ToolError::Spec(
+        "usage: pf <example|render|map|unmap|owner|intersect|plan> [args…]\n\
+         see `crates/tools/src/bin/pf.rs` for details"
+            .into(),
+    )
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, ToolError> {
+    s.parse().map_err(|_| ToolError::Spec(format!("{what} must be a number, got {s:?}")))
+}
+
+fn parse_elem(s: &str, part: &parafile::Partition) -> Result<usize, ToolError> {
+    let e: usize = s
+        .parse()
+        .map_err(|_| ToolError::Spec(format!("element index must be a number, got {s:?}")))?;
+    if e >= part.element_count() {
+        return Err(ToolError::Spec(format!(
+            "element {e} out of range (partition has {})",
+            part.element_count()
+        )));
+    }
+    Ok(e)
+}
+
+fn run(args: &[String]) -> Result<(), ToolError> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "example" => {
+            println!("{}", serde_json::to_string_pretty(&PartitionSpec::example())?);
+            Ok(())
+        }
+        "render" => {
+            let part = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let span = match args.get(2) {
+                Some(s) => parse_u64(s, "span")?,
+                None => part.pattern().size(),
+            };
+            println!(
+                "displacement {}, pattern size {}, {} elements",
+                part.displacement(),
+                part.pattern().size(),
+                part.element_count()
+            );
+            println!(
+                "{}",
+                falls::render_nested_set(part.pattern().elements(), span.min(256))
+            );
+            Ok(())
+        }
+        "map" => {
+            let part = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let e = parse_elem(args.get(2).ok_or_else(usage)?, &part)?;
+            let x = parse_u64(args.get(3).ok_or_else(usage)?, "offset")?;
+            let m = Mapper::new(&part, e);
+            match m.map(x) {
+                Some(y) => println!("MAP_S{e}({x}) = {y}"),
+                None => println!(
+                    "file byte {x} does not map on element {e}; next = {}, prev = {}",
+                    m.map_next(x),
+                    m.map_prev(x).map_or("-".into(), |v| v.to_string())
+                ),
+            }
+            Ok(())
+        }
+        "unmap" => {
+            let part = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let e = parse_elem(args.get(2).ok_or_else(usage)?, &part)?;
+            let y = parse_u64(args.get(3).ok_or_else(usage)?, "offset")?;
+            println!("MAP_S{e}⁻¹({y}) = {}", Mapper::new(&part, e).unmap(y));
+            Ok(())
+        }
+        "owner" => {
+            let part = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let x = parse_u64(args.get(2).ok_or_else(usage)?, "offset")?;
+            match part.owner_of(x) {
+                Some(e) => {
+                    let off = Mapper::new(&part, e).map(x).expect("owner selects the byte");
+                    println!("file byte {x} → element {e}, offset {off}");
+                }
+                None => println!("file byte {x} lies below the displacement"),
+            }
+            Ok(())
+        }
+        "intersect" => {
+            let a = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let ea = parse_elem(args.get(2).ok_or_else(usage)?, &a)?;
+            let b = load_partition(args.get(3).ok_or_else(usage)?)?;
+            let eb = parse_elem(args.get(4).ok_or_else(usage)?, &b)?;
+            let inter = intersect_elements(&a, ea, &b, eb)?;
+            if inter.is_empty() {
+                println!("elements share no data");
+                return Ok(());
+            }
+            println!(
+                "intersection: {} bytes per period of {} (displacement {})",
+                inter.bytes_per_period(),
+                inter.period,
+                inter.displacement
+            );
+            println!("  V ∩ S = {}", inter.set);
+            let pa = Projection::compute(&inter, &a, ea);
+            let pb = Projection::compute(&inter, &b, eb);
+            println!("  PROJ on first  element: {} (period {})", pa.set, pa.period);
+            println!("  PROJ on second element: {} (period {})", pb.set, pb.period);
+            Ok(())
+        }
+        "plan" => {
+            let a = load_partition(args.get(1).ok_or_else(usage)?)?;
+            let b = load_partition(args.get(2).ok_or_else(usage)?)?;
+            let plan = RedistributionPlan::build(&a, &b)?;
+            let m = MatchingDegree::from_plan(&plan, &b);
+            println!(
+                "plan: {} bytes per period of {}, {} copy runs over {} active pairs",
+                plan.bytes_per_period(),
+                plan.period,
+                plan.runs_per_period(),
+                plan.pairs.len()
+            );
+            println!(
+                "matching: degree {:.3}, mean run {:.1} B (dst intrinsic fragments: {})",
+                m.degree, m.mean_run_len, m.intrinsic_runs
+            );
+            for pair in &plan.pairs {
+                println!(
+                    "  {} → {}: {} runs, {} bytes/period",
+                    pair.src_element,
+                    pair.dst_element,
+                    pair.runs.len(),
+                    pair.bytes_per_period()
+                );
+            }
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}

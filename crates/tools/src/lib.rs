@@ -1,0 +1,303 @@
+//! Library backing the `pf` command-line tool: JSON descriptions of
+//! partitions and the operations the subcommands expose.
+//!
+//! A partition file looks like:
+//!
+//! ```json
+//! {
+//!   "displacement": 2,
+//!   "elements": [
+//!     [{ "l": 0, "r": 1, "s": 6, "n": 1 }],
+//!     [{ "l": 2, "r": 3, "s": 6, "n": 1 }],
+//!     [{ "l": 4, "r": 5, "s": 6, "n": 1 }]
+//!   ]
+//! }
+//! ```
+//!
+//! where each element is a list of (possibly nested) FALLS. Shorthand
+//! descriptions for HPF matrix layouts are also accepted:
+//!
+//! ```json
+//! { "matrix": { "rows": 256, "cols": 256, "procs": 4, "layout": "row" } }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use arraydist::matrix::MatrixLayout;
+use falls::{Falls, FallsError, NestedFalls, NestedSet};
+use parafile::model::{Partition, PartitionPattern};
+use serde::{Deserialize, Serialize};
+
+/// JSON form of one (possibly nested) FALLS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FallsSpec {
+    /// Left index of the first segment.
+    pub l: u64,
+    /// Right index of the first segment.
+    pub r: u64,
+    /// Stride.
+    pub s: u64,
+    /// Segment count.
+    pub n: u64,
+    /// Inner families, relative to the block start.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub inner: Vec<FallsSpec>,
+}
+
+impl FallsSpec {
+    /// Lowers the spec to a [`NestedFalls`].
+    pub fn to_nested(&self) -> Result<NestedFalls, FallsError> {
+        let falls = Falls::new(self.l, self.r, self.s, self.n)?;
+        if self.inner.is_empty() {
+            Ok(NestedFalls::leaf(falls))
+        } else {
+            let inner = self
+                .inner
+                .iter()
+                .map(FallsSpec::to_nested)
+                .collect::<Result<Vec<_>, _>>()?;
+            NestedFalls::with_inner(falls, inner)
+        }
+    }
+
+    /// Reverse direction, for emitting JSON from computed structures.
+    #[must_use]
+    pub fn from_nested(nf: &NestedFalls) -> Self {
+        let f = nf.falls();
+        Self {
+            l: f.l(),
+            r: f.r(),
+            s: f.stride(),
+            n: f.count(),
+            inner: nf.inner().iter().map(FallsSpec::from_nested).collect(),
+        }
+    }
+}
+
+/// JSON form of a matrix-layout shorthand.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixSpec {
+    /// Matrix rows (in elements).
+    pub rows: u64,
+    /// Matrix columns (in elements).
+    pub cols: u64,
+    /// Element size in bytes (default 1).
+    #[serde(default = "one")]
+    pub elem_size: u64,
+    /// Processor count.
+    pub procs: u64,
+    /// `"row"`, `"col"` or `"block"`.
+    pub layout: String,
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// JSON form of a full partition: either explicit elements or a matrix
+/// shorthand.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Absolute displacement (default 0).
+    #[serde(default)]
+    pub displacement: u64,
+    /// Explicit elements: one list of FALLS specs per partition element.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub elements: Vec<Vec<FallsSpec>>,
+    /// Matrix shorthand (mutually exclusive with `elements`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub matrix: Option<MatrixSpec>,
+}
+
+/// Errors surfaced by the tool library.
+#[derive(Debug)]
+pub enum ToolError {
+    /// JSON parse failure.
+    Json(serde_json::Error),
+    /// Invalid FALLS structure.
+    Falls(FallsError),
+    /// Invalid partition structure.
+    Partition(parafile::Error),
+    /// Bad shorthand or argument.
+    Spec(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ToolError::Falls(e) => write!(f, "invalid FALLS: {e}"),
+            ToolError::Partition(e) => write!(f, "invalid partition: {e}"),
+            ToolError::Spec(m) => write!(f, "{m}"),
+            ToolError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<serde_json::Error> for ToolError {
+    fn from(e: serde_json::Error) -> Self {
+        ToolError::Json(e)
+    }
+}
+impl From<FallsError> for ToolError {
+    fn from(e: FallsError) -> Self {
+        ToolError::Falls(e)
+    }
+}
+impl From<parafile::Error> for ToolError {
+    fn from(e: parafile::Error) -> Self {
+        ToolError::Partition(e)
+    }
+}
+impl From<std::io::Error> for ToolError {
+    fn from(e: std::io::Error) -> Self {
+        ToolError::Io(e)
+    }
+}
+
+impl PartitionSpec {
+    /// Parses a spec from JSON text.
+    pub fn parse(json: &str) -> Result<Self, ToolError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Lowers the spec to a [`Partition`].
+    pub fn to_partition(&self) -> Result<Partition, ToolError> {
+        if let Some(m) = &self.matrix {
+            if !self.elements.is_empty() {
+                return Err(ToolError::Spec(
+                    "specify either `matrix` or `elements`, not both".into(),
+                ));
+            }
+            let layout = match m.layout.as_str() {
+                "row" | "rows" | "r" => MatrixLayout::RowBlocks,
+                "col" | "cols" | "c" => MatrixLayout::ColumnBlocks,
+                "block" | "blocks" | "b" => MatrixLayout::SquareBlocks,
+                other => {
+                    return Err(ToolError::Spec(format!(
+                        "unknown matrix layout {other:?}; use row/col/block"
+                    )))
+                }
+            };
+            let pattern = layout
+                .distribution(m.rows, m.cols, m.elem_size, m.procs)
+                .pattern();
+            return Ok(Partition::new(self.displacement, pattern));
+        }
+        if self.elements.is_empty() {
+            return Err(ToolError::Spec("partition has no elements".into()));
+        }
+        let sets = self
+            .elements
+            .iter()
+            .map(|fams| {
+                let nested = fams
+                    .iter()
+                    .map(FallsSpec::to_nested)
+                    .collect::<Result<Vec<_>, _>>()?;
+                NestedSet::new(nested)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pattern = PartitionPattern::new(sets)?;
+        Ok(Partition::new(self.displacement, pattern))
+    }
+
+    /// A sample spec (the paper's Figure 3), for `pf example`.
+    #[must_use]
+    pub fn example() -> Self {
+        Self {
+            displacement: 2,
+            elements: (0..3)
+                .map(|k| {
+                    vec![FallsSpec { l: 2 * k, r: 2 * k + 1, s: 6, n: 1, inner: Vec::new() }]
+                })
+                .collect(),
+            matrix: None,
+        }
+    }
+}
+
+/// Reads a partition from a JSON file path (or stdin when the path is `-`).
+pub fn load_partition(path: &str) -> Result<Partition, ToolError> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    PartitionSpec::parse(&text)?.to_partition()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_spec_round_trip() {
+        let spec = PartitionSpec::example();
+        let json = serde_json::to_string(&spec).unwrap();
+        let parsed = PartitionSpec::parse(&json).unwrap();
+        let p = parsed.to_partition().unwrap();
+        assert_eq!(p.displacement(), 2);
+        assert_eq!(p.element_count(), 3);
+        assert_eq!(p.pattern().size(), 6);
+    }
+
+    #[test]
+    fn nested_spec_parses() {
+        let json = r#"{
+            "elements": [
+                [{ "l": 0, "r": 3, "s": 8, "n": 2, "inner": [{ "l": 0, "r": 0, "s": 2, "n": 2 }] }],
+                [{ "l": 1, "r": 1, "s": 2, "n": 2 },
+                 { "l": 4, "r": 7, "s": 16, "n": 1 },
+                 { "l": 9, "r": 9, "s": 2, "n": 2 },
+                 { "l": 12, "r": 15, "s": 16, "n": 1 }]
+            ]
+        }"#;
+        let p = PartitionSpec::parse(json).unwrap().to_partition().unwrap();
+        assert_eq!(p.pattern().size(), 16);
+        assert_eq!(p.owner_of(0), Some(0));
+        assert_eq!(p.owner_of(1), Some(1));
+    }
+
+    #[test]
+    fn matrix_shorthand() {
+        let json = r#"{ "matrix": { "rows": 8, "cols": 8, "procs": 4, "layout": "col" } }"#;
+        let p = PartitionSpec::parse(json).unwrap().to_partition().unwrap();
+        assert_eq!(p.element_count(), 4);
+        assert_eq!(p.pattern().size(), 64);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(PartitionSpec::parse("{}").unwrap().to_partition().is_err());
+        let both = r#"{
+            "elements": [[{ "l": 0, "r": 1, "s": 2, "n": 1 }]],
+            "matrix": { "rows": 4, "cols": 4, "procs": 2, "layout": "row" }
+        }"#;
+        assert!(PartitionSpec::parse(both).unwrap().to_partition().is_err());
+        let bad_layout = r#"{ "matrix": { "rows": 4, "cols": 4, "procs": 2, "layout": "hex" } }"#;
+        assert!(PartitionSpec::parse(bad_layout).unwrap().to_partition().is_err());
+        // Non-tiling explicit elements.
+        let gap = r#"{ "elements": [[{ "l": 1, "r": 2, "s": 3, "n": 1 }]] }"#;
+        assert!(PartitionSpec::parse(gap).unwrap().to_partition().is_err());
+    }
+
+    #[test]
+    fn falls_spec_round_trips_nested() {
+        let nf = NestedFalls::with_inner(
+            Falls::new(0, 7, 16, 2).unwrap(),
+            vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())],
+        )
+        .unwrap();
+        let spec = FallsSpec::from_nested(&nf);
+        assert_eq!(spec.to_nested().unwrap(), nf);
+    }
+}

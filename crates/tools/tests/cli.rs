@@ -1,0 +1,88 @@
+//! End-to-end tests of the `pf` binary.
+
+use std::process::{Command, Stdio};
+
+fn pf(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pf"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("spawn pf");
+    if let Some(input) = stdin {
+        use std::io::Write;
+        child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    }
+    let out = child.wait_with_output().expect("pf runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn example_render_map_pipeline() {
+    let (example, _, ok) = pf(&["example"], None);
+    assert!(ok);
+    assert!(example.contains("\"displacement\": 2"));
+
+    let (render, _, ok) = pf(&["render", "-"], Some(&example));
+    assert!(ok, "render failed: {render}");
+    assert!(render.contains("element 0"));
+    assert!(render.contains("pattern size 6"));
+
+    let (map, _, ok) = pf(&["map", "-", "1", "10"], Some(&example));
+    assert!(ok);
+    assert!(map.contains("MAP_S1(10) = 2"), "got: {map}");
+
+    let (unmap, _, ok) = pf(&["unmap", "-", "1", "2"], Some(&example));
+    assert!(ok);
+    assert!(unmap.trim().ends_with("= 10"), "got: {unmap}");
+
+    let (owner, _, ok) = pf(&["owner", "-", "10"], Some(&example));
+    assert!(ok);
+    assert!(owner.contains("element 1"), "got: {owner}");
+}
+
+#[test]
+fn map_reports_rounding_for_gaps() {
+    let (example, _, _) = pf(&["example"], None);
+    let (out, _, ok) = pf(&["map", "-", "0", "5"], Some(&example));
+    assert!(ok);
+    assert!(out.contains("does not map"), "got: {out}");
+    assert!(out.contains("next = 2"), "got: {out}");
+    assert!(out.contains("prev = 1"), "got: {out}");
+}
+
+#[test]
+fn plan_between_matrix_shorthands() {
+    let rows = r#"{ "matrix": { "rows": 8, "cols": 8, "procs": 4, "layout": "row" } }"#;
+    let dir = std::env::temp_dir();
+    let pa = dir.join(format!("pf_cli_rows_{}.json", std::process::id()));
+    let pb = dir.join(format!("pf_cli_cols_{}.json", std::process::id()));
+    std::fs::write(&pa, rows).unwrap();
+    std::fs::write(
+        &pb,
+        r#"{ "matrix": { "rows": 8, "cols": 8, "procs": 4, "layout": "col" } }"#,
+    )
+    .unwrap();
+    let (out, err, ok) =
+        pf(&[&"plan".to_string(), &pa.display().to_string(), &pb.display().to_string()]
+            .map(|s| s.as_str()), None);
+    assert!(ok, "plan failed: {err}");
+    assert!(out.contains("64 bytes per period"), "got: {out}");
+    assert!(out.contains("matching"), "got: {out}");
+    std::fs::remove_file(&pa).ok();
+    std::fs::remove_file(&pb).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, err, ok) = pf(&["frobnicate"], None);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (_, err, ok) = pf(&["map", "-", "9", "1"], Some(r#"{ "matrix": { "rows": 4, "cols": 4, "procs": 2, "layout": "row" } }"#));
+    assert!(!ok);
+    assert!(err.contains("out of range"), "got: {err}");
+}

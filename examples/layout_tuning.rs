@@ -1,0 +1,95 @@
+//! Layout tuning: use the matching-degree metric (the paper's §9 future
+//! work) to pick the best physical layout for an observed access pattern,
+//! then relayout the file on the fly (Panda-style, §3) and measure the
+//! write-time improvement.
+//!
+//! Run with: `cargo run -p pf-examples --release --example layout_tuning`
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{relayout, Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::matching::MatchingDegree;
+use parafile::Mapper;
+
+fn view_buffers(logical: &parafile::Partition, file_len: u64) -> Vec<Vec<u8>> {
+    (0..logical.element_count())
+        .map(|c| {
+            let m = Mapper::new(logical, c);
+            (0..logical.element_len(c, file_len).unwrap())
+                .map(|y| (m.unmap(y) % 251) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn measure_write(fs: &mut Clusterfile, file: usize, logical: &parafile::Partition) -> u64 {
+    let n2 = fs.file_len(file);
+    for c in 0..logical.element_count() {
+        fs.set_view(c, file, logical, c);
+    }
+    let ops: Vec<(usize, u64, u64, Vec<u8>)> = view_buffers(logical, n2)
+        .into_iter()
+        .enumerate()
+        .map(|(c, d)| (c, 0, d.len() as u64 - 1, d))
+        .collect();
+    let t = fs.write_group(file, &ops);
+    t.iter().map(|w| w.t_w_sim_ns).max().unwrap()
+}
+
+fn main() {
+    let n = 512u64;
+    // The application accesses the file through row-block views.
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+
+    // The file starts in the worst possible layout for that pattern.
+    let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::WriteThrough));
+    let file = fs.create_file(MatrixLayout::ColumnBlocks.partition(n, n, 1, 4), n * n);
+    fs.fill_file(file, |x| (x % 251) as u8);
+
+    println!("access pattern: row-block views over 4 compute nodes\n");
+
+    // Score every candidate physical layout against the access pattern.
+    // The cost-predictive metric is the mean copy-run length (see the
+    // matching_sweep ablation): longer runs = fewer, larger transfers.
+    println!("{:>14} {:>10} {:>12} {:>10}", "candidate", "degree", "mean run B", "runs");
+    let mut best: Option<(MatrixLayout, f64)> = None;
+    for candidate in MatrixLayout::all() {
+        let phys = candidate.partition(n, n, 1, 4);
+        let m = MatchingDegree::compute(&logical, &phys).unwrap();
+        println!(
+            "{:>14} {:>10.3} {:>12.1} {:>10}",
+            format!("{candidate:?}"),
+            m.degree,
+            m.mean_run_len,
+            m.runs_per_period
+        );
+        if best.is_none() || m.mean_run_len > best.unwrap().1 {
+            best = Some((candidate, m.mean_run_len));
+        }
+    }
+    let (best_layout, best_run_len) = best.unwrap();
+    println!("\nbest candidate: {best_layout:?} (mean run {best_run_len:.0} B)");
+
+    // Measure the write cost in the current (mismatched) layout…
+    let before = measure_write(&mut fs, file, &logical);
+    println!("write completion before relayout: {:.1} µs", before as f64 / 1e3);
+
+    // …relayout on the fly…
+    let report = relayout(&mut fs, file, best_layout.partition(n, n, 1, 4));
+    println!(
+        "relayout moved {} bytes in {} runs (planned in {:.1?}, moved in {:.1?})",
+        report.bytes_moved, report.runs, report.plan_time, report.move_time
+    );
+
+    // …and measure again: the perfect match needs no gather and one message.
+    let after = measure_write(&mut fs, file, &logical);
+    println!("write completion after relayout:  {:.1} µs", after as f64 / 1e3);
+    println!("speedup: {:.2}×", before as f64 / after as f64);
+    assert!(after < before, "the tuned layout must be faster");
+
+    // Contents survived both the relayout and the rewrites.
+    let contents = fs.file_contents(file);
+    for (x, &b) in contents.iter().enumerate() {
+        assert_eq!(b, (x as u64 % 251) as u8, "byte {x}");
+    }
+    println!("file contents verified after tuning.");
+}

@@ -1,0 +1,2 @@
+//! Placeholder library target; the runnable content lives in the example
+//! binaries (`cargo run -p pf-examples --example <name>`).

@@ -1,0 +1,63 @@
+//! The paper's Figure 5 walk-through: what happens inside Clusterfile when a
+//! compute node writes through a view that doesn't match the physical
+//! layout — view set, extremity mapping, gather, send, scatter — with the
+//! simulator's event trace.
+//!
+//! Run with: `cargo run -p pf-examples --example write_walkthrough`
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::Mapper;
+
+fn main() {
+    let n = 16u64;
+    let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::WriteThrough));
+    fs.cluster_mut().enable_trace();
+
+    // Physical: column blocks over 4 I/O nodes; logical: row blocks over 4
+    // compute nodes — the paper's worst-matching pair.
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let file = fs.create_file(physical, n * n);
+
+    println!("== view set (compute node 0) ==");
+    let t = fs.set_view(0, file, &logical, 0);
+    println!(
+        "intersected {} subfiles in {:?} (t_i); projections stored locally and shipped",
+        t.intersecting_subfiles, t.t_i
+    );
+
+    println!("\n== write: 64-byte view interval [0, 63] ==");
+    let m = Mapper::new(&logical, 0);
+    let data: Vec<u8> = (0..64).map(|y| (m.unmap(y) % 251) as u8).collect();
+    let w = fs.write(0, file, 0, 63, &data);
+    println!(
+        "t_m = {:?} (extremity mapping), t_g = {:?} (gather), {} messages, {} payload bytes",
+        w.t_m, w.t_g, w.messages, w.bytes_sent
+    );
+    println!("t_w = {:.1} µs simulated (request → last ack)", w.t_w_sim_ns as f64 / 1e3);
+
+    println!("\n== simulator event trace ==");
+    for entry in fs.cluster().trace().unwrap() {
+        println!("{}", entry.render());
+    }
+
+    println!("\n== subfile contents after the write ==");
+    for s in 0..4 {
+        let io = fs.io_timings()[s];
+        println!(
+            "subfile {s}: first bytes {:?} … ({} fragments scattered, {:.1} µs simulated)",
+            &fs.subfile(file, s)[..8],
+            io.fragments,
+            io.t_s_sim_ns as f64 / 1e3
+        );
+    }
+
+    // Verify the write landed correctly.
+    let contents = fs.file_contents(file);
+    for y in 0..64u64 {
+        let x = m.unmap(y);
+        assert_eq!(contents[x as usize], (x % 251) as u8, "view offset {y}");
+    }
+    println!("\nverified: every view byte reached its file position.");
+}

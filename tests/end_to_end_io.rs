@@ -1,0 +1,214 @@
+//! End-to-end Clusterfile I/O across layout combinations, partial
+//! intervals, concurrent writers and relayouts.
+
+use arraydist::dist::{ArrayDistribution, DimDist};
+use arraydist::grid::ProcGrid;
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{relayout, Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::Mapper;
+use pf_tests::file_byte;
+
+fn deployment() -> Clusterfile {
+    Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::WriteThrough))
+}
+
+fn write_full_views(
+    fs: &mut Clusterfile,
+    file: usize,
+    logical: &parafile::Partition,
+    file_len: u64,
+) {
+    let ops: Vec<(usize, u64, u64, Vec<u8>)> = (0..logical.element_count())
+        .map(|c| {
+            let m = Mapper::new(logical, c);
+            let len = logical.element_len(c, file_len).unwrap();
+            let data: Vec<u8> = (0..len).map(|y| file_byte(m.unmap(y))).collect();
+            (c, 0, len - 1, data)
+        })
+        .collect();
+    for c in 0..logical.element_count() {
+        fs.set_view(c, file, logical, c);
+    }
+    fs.write_group(file, &ops);
+}
+
+fn assert_file(fs: &mut Clusterfile, file: usize, file_len: u64) {
+    let contents = fs.file_contents(file);
+    for (x, &b) in contents.iter().enumerate() {
+        assert_eq!(b, file_byte(x as u64), "file byte {x}");
+    }
+    assert_eq!(contents.len() as u64, file_len);
+}
+
+/// All nine physical × logical layout combinations round-trip.
+#[test]
+fn all_layout_combinations_roundtrip() {
+    let n = 32u64;
+    for phys in MatrixLayout::all() {
+        for log in MatrixLayout::all() {
+            let mut fs = deployment();
+            let file = fs.create_file(phys.partition(n, n, 1, 4), n * n);
+            let logical = log.partition(n, n, 1, 4);
+            write_full_views(&mut fs, file, &logical, n * n);
+            assert_file(&mut fs, file, n * n);
+            // And read back through the views.
+            for c in 0..4usize {
+                let m = Mapper::new(&logical, c);
+                let len = logical.element_len(c, n * n).unwrap();
+                let back = fs.read(c, file, 0, len - 1);
+                for (y, &b) in back.iter().enumerate() {
+                    assert_eq!(b, file_byte(m.unmap(y as u64)), "{phys:?}/{log:?} view {c} offset {y}");
+                }
+            }
+        }
+    }
+}
+
+/// Writes of arbitrary partial view intervals land correctly.
+#[test]
+fn partial_interval_writes() {
+    let n = 32u64;
+    let mut fs = deployment();
+    let file = fs.create_file(MatrixLayout::SquareBlocks.partition(n, n, 1, 4), n * n);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    for c in 0..4usize {
+        fs.set_view(c, file, &logical, c);
+    }
+    let m0 = Mapper::new(&logical, 0);
+    // Write three disjoint pieces of view 0 in arbitrary order.
+    for (lo, hi) in [(100u64, 187u64), (0, 63), (200, 255)] {
+        let data: Vec<u8> = (lo..=hi).map(|y| file_byte(m0.unmap(y))).collect();
+        fs.write(0, file, lo, hi, &data);
+    }
+    let contents = fs.file_contents(file);
+    for y in (0..64).chain(100..188).chain(200..256) {
+        let x = m0.unmap(y);
+        assert_eq!(contents[x as usize], file_byte(x), "view offset {y}");
+    }
+    // Untouched view bytes remain zero.
+    let x = m0.unmap(64);
+    assert_eq!(contents[x as usize], 0);
+}
+
+/// A cyclic logical view over a block-cyclic physical layout — stressing
+/// non-trivial nested FALLS on both sides.
+#[test]
+fn cyclic_views_over_block_cyclic_files() {
+    let n = 24u64;
+    let physical = ArrayDistribution::new(
+        vec![n, n],
+        1,
+        vec![DimDist::BlockCyclic(3), DimDist::Collapsed],
+        ProcGrid::new(vec![4, 1]),
+    )
+    .partition(0);
+    let logical = ArrayDistribution::new(
+        vec![n, n],
+        1,
+        vec![DimDist::Cyclic, DimDist::Collapsed],
+        ProcGrid::new(vec![4, 1]),
+    )
+    .partition(0);
+    let mut fs = deployment();
+    let file = fs.create_file(physical, n * n);
+    write_full_views(&mut fs, file, &logical, n * n);
+    assert_file(&mut fs, file, n * n);
+}
+
+/// Panda-style on-the-fly relayout keeps contents and improves the match
+/// for a row-block access pattern.
+#[test]
+fn relayout_then_matched_io() {
+    let n = 32u64;
+    let mut fs = deployment();
+    let old = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    let file = fs.create_file(old, n * n);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    write_full_views(&mut fs, file, &logical, n * n);
+    assert_file(&mut fs, file, n * n);
+
+    // Relayout to row blocks: now the logical views match perfectly.
+    let report = relayout(&mut fs, file, MatrixLayout::RowBlocks.partition(n, n, 1, 4));
+    assert_eq!(report.bytes_moved, n * n);
+    assert_file(&mut fs, file, n * n);
+
+    // Re-set views (relayout dropped them) and verify the perfect match.
+    for c in 0..4usize {
+        fs.set_view(c, file, &logical, c);
+    }
+    let m0 = Mapper::new(&logical, 0);
+    let len = logical.element_len(0, n * n).unwrap();
+    let data: Vec<u8> = (0..len).map(|y| file_byte(m0.unmap(y))).collect();
+    let w = fs.write(0, file, 0, len - 1, &data);
+    assert!(w.all_contiguous, "row views on row subfiles take the fast path");
+    assert_eq!(w.messages, 1);
+    assert_file(&mut fs, file, n * n);
+}
+
+/// Non-square compute/I/O node counts.
+#[test]
+fn asymmetric_deployments() {
+    let n = 24u64;
+    let mut fs = Clusterfile::new(ClusterfileConfig {
+        compute_nodes: 3,
+        io_nodes: 2,
+        hardware: clustersim::ClusterConfig::paper_testbed(5),
+        write_policy: WritePolicy::BufferCache,
+        stagger_writes: false,
+    });
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 2);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 3);
+    let file = fs.create_file(physical, n * n);
+    write_full_views(&mut fs, file, &logical, n * n);
+    assert_file(&mut fs, file, n * n);
+}
+
+/// Reads after writes through *different* views agree.
+#[test]
+fn cross_view_read_consistency() {
+    let n = 32u64;
+    let mut fs = deployment();
+    let file = fs.create_file(MatrixLayout::RowBlocks.partition(n, n, 1, 4), n * n);
+    let rows = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let cols = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    write_full_views(&mut fs, file, &rows, n * n);
+
+    // Re-view compute 0 through columns and read.
+    fs.set_view(0, file, &cols, 0);
+    let mc = Mapper::new(&cols, 0);
+    let len = cols.element_len(0, n * n).unwrap();
+    let back = fs.read(0, file, 0, len - 1);
+    for (y, &b) in back.iter().enumerate() {
+        assert_eq!(b, file_byte(mc.unmap(y as u64)), "column view offset {y}");
+    }
+}
+
+/// The same write path against real file-backed subfiles: bytes land on the
+/// host filesystem and survive reassembly.
+#[test]
+fn file_backed_storage_roundtrip() {
+    use clusterfile::StorageBackend;
+    let dir = std::env::temp_dir().join(format!("pf_backed_{}", std::process::id()));
+    let n = 32u64;
+    let mut fs = deployment();
+    fs.set_storage_backend(StorageBackend::Directory(dir.clone()));
+    let file = fs.create_file(MatrixLayout::ColumnBlocks.partition(n, n, 1, 4), n * n);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    write_full_views(&mut fs, file, &logical, n * n);
+    assert_file(&mut fs, file, n * n);
+    // The subfiles really exist on disk with the expected sizes.
+    for s in 0..4 {
+        let path = fs.subfile_path(file, s).expect("file-backed");
+        let meta = std::fs::metadata(&path).expect("subfile on disk");
+        assert_eq!(meta.len(), n * n / 4, "subfile {s}");
+        // Disk contents equal the in-simulation view of the subfile.
+        assert_eq!(std::fs::read(&path).unwrap(), fs.subfile(file, s));
+    }
+    // Reads go through the real files too.
+    let m = Mapper::new(&logical, 2);
+    let back = fs.read(2, file, 5, 40);
+    for (i, &b) in back.iter().enumerate() {
+        assert_eq!(b, pf_tests::file_byte(m.unmap(5 + i as u64)));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,162 @@
+//! Model-based fuzzing of Clusterfile: a long random sequence of writes,
+//! reads, relayouts and collective writes against a shadow byte model of
+//! the file. Any divergence between the file system and the model is a
+//! correctness bug in mapping, projection, gather/scatter or planning.
+
+use arraydist::dist::{ArrayDistribution, DimDist};
+use arraydist::grid::ProcGrid;
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{relayout, Clusterfile, ClusterfileConfig, WritePolicy};
+use parafile::{Mapper, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 24; // 24×24 byte matrix
+const COMPUTES: usize = 4;
+
+fn random_physical(rng: &mut StdRng) -> Partition {
+    match rng.random_range(0..4) {
+        0 => MatrixLayout::RowBlocks.partition(N, N, 1, 4),
+        1 => MatrixLayout::ColumnBlocks.partition(N, N, 1, 4),
+        2 => MatrixLayout::SquareBlocks.partition(N, N, 1, 4),
+        _ => ArrayDistribution::new(
+            vec![N, N],
+            1,
+            vec![DimDist::BlockCyclic(3), DimDist::Collapsed],
+            ProcGrid::new(vec![4, 1]),
+        )
+        .partition(0),
+    }
+}
+
+fn random_logical(rng: &mut StdRng) -> Partition {
+    match rng.random_range(0..3) {
+        0 => MatrixLayout::RowBlocks.partition(N, N, 1, COMPUTES as u64),
+        1 => MatrixLayout::ColumnBlocks.partition(N, N, 1, COMPUTES as u64),
+        _ => ArrayDistribution::new(
+            vec![N, N],
+            1,
+            vec![DimDist::Cyclic, DimDist::Collapsed],
+            ProcGrid::new(vec![COMPUTES as u64, 1]),
+        )
+        .partition(0),
+    }
+}
+
+fn run_fuzz(seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let file_len = N * N;
+    let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+    let file = fs.create_file(random_physical(&mut rng), file_len);
+    let mut model = vec![0u8; file_len as usize];
+    let mut logical = random_logical(&mut rng);
+    let mut views_set = [false; COMPUTES];
+
+    for step in 0..steps {
+        match rng.random_range(0..10) {
+            // Re-view a compute node (possibly with a new logical layout).
+            0 => {
+                if rng.random_bool(0.4) {
+                    logical = random_logical(&mut rng);
+                    views_set = [false; COMPUTES];
+                }
+                let c = rng.random_range(0..COMPUTES);
+                fs.set_view(c, file, &logical, c);
+                views_set[c] = true;
+            }
+            // Relayout the file (views become stale).
+            1 => {
+                let new_phys = random_physical(&mut rng);
+                relayout(&mut fs, file, new_phys);
+                views_set = [false; COMPUTES];
+            }
+            // Collective full write (needs no views).
+            2 => {
+                let data: Vec<Vec<u8>> = (0..COMPUTES)
+                    .map(|c| {
+                        let m = Mapper::new(&logical, c);
+                        let len = logical.element_len(c, file_len).unwrap();
+                        (0..len)
+                            .map(|y| {
+                                let x = m.unmap(y);
+                                let v: u8 = rng.random();
+                                model[x as usize] = v;
+                                v
+                            })
+                            .collect()
+                    })
+                    .collect();
+                fs.collective_write(file, &logical, &data);
+            }
+            // Partial view write.
+            3..=6 => {
+                let c = rng.random_range(0..COMPUTES);
+                if !views_set[c] {
+                    fs.set_view(c, file, &logical, c);
+                    views_set[c] = true;
+                }
+                let m = Mapper::new(&logical, c);
+                let len = logical.element_len(c, file_len).unwrap();
+                let lo = rng.random_range(0..len);
+                let hi = rng.random_range(lo..len);
+                let data: Vec<u8> = (lo..=hi)
+                    .map(|y| {
+                        let x = m.unmap(y);
+                        let v: u8 = rng.random();
+                        model[x as usize] = v;
+                        v
+                    })
+                    .collect();
+                fs.write(c, file, lo, hi, &data);
+            }
+            // Partial view read, checked against the model.
+            _ => {
+                let c = rng.random_range(0..COMPUTES);
+                if !views_set[c] {
+                    fs.set_view(c, file, &logical, c);
+                    views_set[c] = true;
+                }
+                let m = Mapper::new(&logical, c);
+                let len = logical.element_len(c, file_len).unwrap();
+                let lo = rng.random_range(0..len);
+                let hi = rng.random_range(lo..len);
+                let back = fs.read(c, file, lo, hi);
+                for (i, &b) in back.iter().enumerate() {
+                    let x = m.unmap(lo + i as u64);
+                    assert_eq!(
+                        b, model[x as usize],
+                        "seed {seed} step {step}: compute {c} view offset {} (file {x})",
+                        lo + i as u64
+                    );
+                }
+            }
+        }
+        // Full-file consistency every few steps.
+        if step % 7 == 0 {
+            assert_eq!(fs.file_contents(file), model, "seed {seed} step {step}");
+        }
+    }
+    assert_eq!(fs.file_contents(file), model, "seed {seed} final");
+}
+
+#[test]
+fn fuzz_seed_1() {
+    run_fuzz(1, 120);
+}
+
+#[test]
+fn fuzz_seed_2() {
+    run_fuzz(0xDEADBEEF, 120);
+}
+
+#[test]
+fn fuzz_seed_3() {
+    run_fuzz(42, 200);
+}
+
+#[test]
+fn fuzz_many_short_runs() {
+    for seed in 100..130 {
+        run_fuzz(seed, 25);
+    }
+}

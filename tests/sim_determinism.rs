@@ -1,0 +1,96 @@
+//! The simulator must be bit-for-bit reproducible, and failure injection
+//! must surface the paper's "bounded by the slowest I/O server" behaviour.
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::{Clusterfile, ClusterfileConfig, PaperScenario, WritePolicy};
+use parafile::Mapper;
+
+fn run_write(slow_io: Option<usize>) -> (u64, Vec<u64>) {
+    let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+    if let Some(io) = slow_io {
+        fs.cluster_mut().slow_down(4 + io, 20);
+    }
+    let n = 64u64;
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let file = fs.create_file(physical, n * n);
+    let ops: Vec<(usize, u64, u64, Vec<u8>)> = (0..4usize)
+        .map(|c| {
+            let m = Mapper::new(&logical, c);
+            let len = logical.element_len(c, n * n).unwrap();
+            let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+            (c, 0, len - 1, data)
+        })
+        .collect();
+    for c in 0..4usize {
+        fs.set_view(c, file, &logical, c);
+    }
+    let timings = fs.write_group(file, &ops);
+    let t_w: Vec<u64> = timings.iter().map(|t| t.t_w_sim_ns).collect();
+    (fs.cluster().stats().total_messages(), t_w)
+}
+
+/// Two identical runs produce identical simulated schedules (real-time
+/// measurement differs, simulated values must not).
+#[test]
+fn identical_runs_identical_sim() {
+    let (m1, _) = run_write(None);
+    let (m2, _) = run_write(None);
+    assert_eq!(m1, m2);
+    // The simulated schedule is driven entirely by modeled costs, so the
+    // write completions are bit-for-bit identical.
+    let (_, t1) = run_write(None);
+    let (_, t2) = run_write(None);
+    assert_eq!(t1, t2, "simulated t_w must be exactly reproducible");
+}
+
+/// Slowing one I/O node inflates every writer's completion (each view
+/// touches every column subfile).
+#[test]
+fn slow_io_node_bounds_everyone() {
+    let (_, nominal) = run_write(None);
+    let (_, degraded) = run_write(Some(2));
+    for (c, (n, d)) in nominal.iter().zip(&degraded).enumerate() {
+        assert!(
+            *d > *n * 2,
+            "compute {c}: a 20× slower I/O server must dominate t_w ({d} vs {n})"
+        );
+    }
+}
+
+/// A crashed I/O node loses the write silently at the transport level; the
+/// write stalls rather than completing (the drain returns with missing
+/// acks), which the caller observes as fewer messages received.
+#[test]
+fn crashed_io_node_drops_traffic() {
+    let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+    let n = 32u64;
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let file = fs.create_file(physical, n * n);
+    fs.set_view(0, file, &logical, 0);
+    fs.cluster_mut().crash(4 + 1); // I/O node 1
+    let m = Mapper::new(&logical, 0);
+    let len = logical.element_len(0, n * n).unwrap();
+    let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
+    fs.write(0, file, 0, len - 1, &data);
+    // Subfiles 0 received data; subfile 1 did not.
+    assert!(fs.io_timings()[0].bytes > 0);
+    assert_eq!(fs.io_timings()[1].bytes, 0);
+}
+
+/// The scenario runner is reproducible in its simulated outputs.
+#[test]
+fn scenario_sim_outputs_reproducible() {
+    let mk = || {
+        let mut s = PaperScenario::paper(128, MatrixLayout::SquareBlocks, true);
+        s.repetitions = 2;
+        s.run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.fragments_per_io, b.fragments_per_io);
+    assert_eq!(a.messages_per_compute, b.messages_per_compute);
+    assert_eq!(a.t_s_us, b.t_s_us, "simulated t_s must be exactly reproducible");
+    assert_eq!(a.t_w_us, b.t_w_us, "simulated t_w must be exactly reproducible");
+}
