@@ -8,10 +8,9 @@
 //! directly as views.
 
 use falls::{Falls, FallsError, LineSegment, NestedFalls, NestedSet};
-use serde::{Deserialize, Serialize};
 
 /// An MPI-like derived datatype.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Datatype {
     /// An elementary type of `n` contiguous bytes (e.g. `MPI_DOUBLE` = 8).
     Elementary(u64),
@@ -80,11 +79,9 @@ impl Datatype {
                     ((count - 1) * stride + blocklen) * child.extent()
                 }
             }
-            Datatype::Indexed { blocks, child } => blocks
-                .iter()
-                .map(|(d, l)| (d + l) * child.extent())
-                .max()
-                .unwrap_or(0),
+            Datatype::Indexed { blocks, child } => {
+                blocks.iter().map(|(d, l)| (d + l) * child.extent()).max().unwrap_or(0)
+            }
             Datatype::Subarray { shape, child, .. } => {
                 shape.iter().product::<u64>() * child.extent()
             }
@@ -101,9 +98,7 @@ impl Datatype {
             Datatype::Indexed { blocks, child } => {
                 blocks.iter().map(|(_, l)| l * child.size()).sum()
             }
-            Datatype::Subarray { sub, child, .. } => {
-                sub.iter().product::<u64>() * child.size()
-            }
+            Datatype::Subarray { sub, child, .. } => sub.iter().product::<u64>() * child.size(),
         }
     }
 
@@ -122,9 +117,7 @@ impl Datatype {
 
     fn families(&self) -> Result<Vec<NestedFalls>, FallsError> {
         match self {
-            Datatype::Elementary(n) => {
-                Ok(vec![NestedFalls::leaf(Falls::new(0, n - 1, *n, 1)?)])
-            }
+            Datatype::Elementary(n) => Ok(vec![NestedFalls::leaf(Falls::new(0, n - 1, *n, 1)?)]),
             Datatype::Contiguous { count, child } => {
                 if child.is_dense() {
                     let total = count * child.extent();
@@ -224,8 +217,7 @@ fn subarray_dim(
     let run = sub[d];
     let lo = starts[d];
     let outer = Falls::new(lo * unit, (lo + run) * unit - 1, shape[d] * unit, 1)?;
-    let deeper_full =
-        (d + 1..shape.len()).all(|k| starts[k] == 0 && sub[k] == shape[k]);
+    let deeper_full = (d + 1..shape.len()).all(|k| starts[k] == 0 && sub[k] == shape[k]);
     if deeper_full && child.is_dense() {
         return Ok(NestedFalls::leaf(outer));
     }
@@ -284,12 +276,8 @@ mod tests {
             child: Box::new(Datatype::byte()),
         };
         // ...then every other such column-extent: vector(2, 1, 2, col).
-        let cols = Datatype::Vector {
-            count: 2,
-            blocklen: 1,
-            stride: 2,
-            child: Box::new(col.clone()),
-        };
+        let cols =
+            Datatype::Vector { count: 2, blocklen: 1, stride: 2, child: Box::new(col.clone()) };
         assert_eq!(col.to_nested().unwrap().absolute_offsets(), vec![0, 4, 8, 12]);
         let offs = cols.to_nested().unwrap().absolute_offsets();
         // Second instance starts at 1 column extent (13 bytes) × 2 = 26.
@@ -305,18 +293,15 @@ mod tests {
         assert_eq!(d.extent(), 22);
         assert_eq!(d.size(), 12);
         let offs = d.to_nested().unwrap().absolute_offsets();
-        let want: Vec<u64> =
-            (0..4).chain(10..12).chain(16..22).collect();
+        let want: Vec<u64> = (0..4).chain(10..12).chain(16..22).collect();
         assert_eq!(offs, want);
     }
 
     #[test]
     #[should_panic(expected = "increasing")]
     fn indexed_overlap_rejected() {
-        let d = Datatype::Indexed {
-            blocks: vec![(0, 3), (2, 2)],
-            child: Box::new(Datatype::byte()),
-        };
+        let d =
+            Datatype::Indexed { blocks: vec![(0, 3), (2, 2)], child: Box::new(Datatype::byte()) };
         let _ = d.to_nested();
     }
 

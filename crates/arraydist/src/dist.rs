@@ -3,11 +3,10 @@
 use crate::grid::ProcGrid;
 use falls::{Falls, FallsError, NestedFalls, NestedSet};
 use parafile::model::{Partition, PartitionPattern};
-use serde::{Deserialize, Serialize};
 
 /// Distribution of one array dimension over one grid dimension, following
 /// High-Performance Fortran.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DimDist {
     /// `BLOCK`: contiguous chunks of `ceil(N/P)` indices per processor.
     Block,
@@ -74,7 +73,7 @@ impl DimDist {
 
 /// A distribution of a row-major multidimensional array of elements over a
 /// Cartesian processor grid.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayDistribution {
     shape: Vec<u64>,
     elem_size: u64,
@@ -194,9 +193,7 @@ impl ArrayDistribution {
         let extent = self.shape[d];
         let procs = self.grid.extents()[d];
         match self.dists[d] {
-            DimDist::Collapsed => {
-                falls::Pitfalls::new(0, extent * u - 1, extent * u, 1, 0, 1).ok()
-            }
+            DimDist::Collapsed => falls::Pitfalls::new(0, extent * u - 1, extent * u, 1, 0, 1).ok(),
             DimDist::Block => {
                 let b = extent.div_ceil(procs);
                 // Uniform only when the blocks divide evenly.
@@ -258,12 +255,7 @@ mod tests {
 
     #[test]
     fn block_1d() {
-        let d = ArrayDistribution::new(
-            vec![10],
-            1,
-            vec![DimDist::Block],
-            ProcGrid::new(vec![3]),
-        );
+        let d = ArrayDistribution::new(vec![10], 1, vec![DimDist::Block], ProcGrid::new(vec![3]));
         // ceil(10/3) = 4: procs own [0,4), [4,8), [8,10).
         let sets = d.element_sets().unwrap();
         assert_eq!(offsets(&sets[0]), (0..4).collect::<Vec<_>>());
@@ -274,12 +266,7 @@ mod tests {
 
     #[test]
     fn cyclic_1d_with_elem_size() {
-        let d = ArrayDistribution::new(
-            vec![6],
-            4,
-            vec![DimDist::Cyclic],
-            ProcGrid::new(vec![2]),
-        );
+        let d = ArrayDistribution::new(vec![6], 4, vec![DimDist::Cyclic], ProcGrid::new(vec![2]));
         let sets = d.element_sets().unwrap();
         assert_eq!(offsets(&sets[0]), vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19]);
         assert_eq!(offsets(&sets[1]), vec![4, 5, 6, 7, 12, 13, 14, 15, 20, 21, 22, 23]);
@@ -360,7 +347,7 @@ mod tests {
         let total: u64 = sets.iter().map(NestedSet::size).sum();
         assert_eq!(total, 48);
         let _ = d.pattern(); // validates tiling
-        // Proc (0,0,0): plane 0, rows {0,2}, all cols → bytes [0,6) ∪ [12,18).
+                             // Proc (0,0,0): plane 0, rows {0,2}, all cols → bytes [0,6) ∪ [12,18).
         let want: Vec<u64> = (0..6).chain(12..18).collect();
         assert_eq!(offsets(&sets[0]), want);
     }
@@ -405,12 +392,7 @@ mod tests {
             (DimDist::Collapsed, 9, 1),
         ];
         for (dist, extent, procs) in cases {
-            let d = ArrayDistribution::new(
-                vec![extent],
-                2,
-                vec![dist],
-                ProcGrid::new(vec![procs]),
-            );
+            let d = ArrayDistribution::new(vec![extent], 2, vec![dist], ProcGrid::new(vec![procs]));
             let compact = d.dim_pitfalls(0).unwrap_or_else(|| panic!("{dist:?} compact"));
             let expanded = compact.expand();
             let sets = d.element_sets().unwrap();
@@ -428,12 +410,7 @@ mod tests {
     #[test]
     fn pitfalls_unavailable_for_ragged_distributions() {
         // 10 indices over 3 BLOCK processors: ragged tail → no compact form.
-        let d = ArrayDistribution::new(
-            vec![10],
-            1,
-            vec![DimDist::Block],
-            ProcGrid::new(vec![3]),
-        );
+        let d = ArrayDistribution::new(vec![10], 1, vec![DimDist::Block], ProcGrid::new(vec![3]));
         assert!(d.dim_pitfalls(0).is_none());
         let d = ArrayDistribution::new(
             vec![10],

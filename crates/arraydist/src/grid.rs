@@ -1,12 +1,10 @@
 //! Cartesian processor grids.
 
-use serde::{Deserialize, Serialize};
-
 /// A Cartesian grid of processors, one extent per array dimension.
 ///
 /// Processor ranks are row-major over the grid coordinates, matching the
 /// usual MPI Cartesian communicator convention.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcGrid {
     extents: Vec<u64>,
 }

@@ -6,10 +6,9 @@
 use crate::dist::{ArrayDistribution, DimDist};
 use crate::grid::ProcGrid;
 use parafile::model::Partition;
-use serde::{Deserialize, Serialize};
 
 /// The three physical layouts of the paper's experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatrixLayout {
     /// Square blocks (`b` in the tables): a √p × √p grid of tiles.
     SquareBlocks,

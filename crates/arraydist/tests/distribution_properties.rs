@@ -26,8 +26,7 @@ fn arb_distribution() -> impl Strategy<Value = ArrayDistribution> {
             .prop_filter_map("empty processor", |(shape, dists, grid, elem)| {
                 // Clamp grids so no processor is left without data under
                 // BLOCK (ceil-division can starve the last processors).
-                let grid: Vec<u64> =
-                    grid.iter().zip(&shape).map(|(&g, &n)| g.min(n)).collect();
+                let grid: Vec<u64> = grid.iter().zip(&shape).map(|(&g, &n)| g.min(n)).collect();
                 for ((&g, &n), d) in grid.iter().zip(&shape).zip(&dists) {
                     let ok = match d {
                         DimDist::Block => {
@@ -51,10 +50,8 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
     let leaf = (1u64..9).prop_map(Datatype::Elementary);
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
-            (1u64..5, inner.clone()).prop_map(|(count, child)| Datatype::Contiguous {
-                count,
-                child: Box::new(child)
-            }),
+            (1u64..5, inner.clone())
+                .prop_map(|(count, child)| Datatype::Contiguous { count, child: Box::new(child) }),
             (1u64..4, 1u64..4, 0u64..4, inner.clone()).prop_map(
                 |(count, blocklen, extra, child)| Datatype::Vector {
                     count,

@@ -1,0 +1,185 @@
+//! Property-based mutation testing of the analyzer: random *valid* patterns
+//! audit without errors, and every class of deliberate corruption is caught
+//! with its expected diagnostic code.
+//!
+//! The base patterns come from `falls::testing`: a random nested set plus
+//! its complement always tiles `[0, span)` exactly, so the validated
+//! constructors accept it and the analyzer must too. Each mutation then
+//! breaks exactly one invariant on the raw tree — something the validated
+//! types cannot even express — and the test asserts the matching code.
+
+use falls::testing::{random_nested_set, Gen};
+use parafile::model::PartitionPattern;
+use parafile_audit::{audit_pair, audit_pattern, AuditConfig, Code, RawFalls, RawPattern};
+use proptest::prelude::*;
+
+/// A random valid pattern tiling `[0, span)`: a random nested set plus its
+/// complement (validated through `PartitionPattern` to keep the generator
+/// honest).
+fn random_pattern(seed: u64, span: u64) -> RawPattern {
+    let mut g = Gen::new(seed);
+    let set = random_nested_set(&mut g, span, 3);
+    let comp = set.complement(span);
+    let mut elements = vec![set];
+    if !comp.is_empty() {
+        elements.push(comp);
+    }
+    let pattern = PartitionPattern::new(elements).expect("set + complement tile the span");
+    RawPattern::from_pattern(&pattern)
+}
+
+fn cfg() -> AuditConfig {
+    AuditConfig::default()
+}
+
+/// Picks a (element, family) position to mutate, seed-derived.
+fn pick_family(p: &RawPattern, seed: u64) -> (usize, usize) {
+    let mut g = Gen::new(seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let e = g.below(p.elements.len() as u64) as usize;
+    let f = g.below(p.elements[e].families.len() as u64) as usize;
+    (e, f)
+}
+
+proptest! {
+    /// Soundness: the analyzer never flags an error on a pattern the
+    /// validated constructors accepted.
+    #[test]
+    fn valid_patterns_audit_without_errors(seed in any::<u64>(), span in 8u64..200) {
+        let p = random_pattern(seed, span);
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(!report.has_errors(), "false positives: {:?}", report.diagnostics);
+    }
+
+    /// Duplicating a whole element claims every one of its bytes twice.
+    #[test]
+    fn duplicated_element_is_pa021(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        p.elements.push(p.elements[0].clone());
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::ElementOverlap), "{:?}", report.diagnostics);
+    }
+
+    /// Duplicating one family inside an element makes two *siblings* claim
+    /// the same bytes.
+    #[test]
+    fn duplicated_family_is_pa012(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        let copy = p.elements[e].families[f].clone();
+        // Insert adjacent to the original so sibling order stays intact and
+        // the overlap is the only defect.
+        p.elements[e].families.insert(f + 1, copy);
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::SiblingOverlap), "{:?}", report.diagnostics);
+    }
+
+    /// Appending an element one byte past the period leaves a hole at
+    /// `span` (removal-based gap injection is unsound: the audit derives
+    /// the period from the surviving sizes, so removing a contiguous
+    /// suffix element can leave a smaller but still perfect tiling).
+    #[test]
+    fn displaced_element_is_pa020(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        p.elements.push(parafile_audit::RawElement::new(vec![RawFalls::leaf(
+            span + 1,
+            span + 2,
+            2,
+            1,
+        )]));
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::Gap), "{:?}", report.diagnostics);
+    }
+
+    /// Grafting an inner family that reaches past its parent's block.
+    #[test]
+    fn inner_escape_is_pa010(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        let fam = &mut p.elements[e].families[f];
+        let block = fam.block_len().expect("valid family has a block length");
+        // Two blocks of `block` bytes inside a parent block of `block`
+        // bytes: the second repetition escapes.
+        fam.inner = vec![RawFalls::leaf(0, block - 1, block, 2)];
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::InnerEscape), "{:?}", report.diagnostics);
+    }
+
+    /// Forcing a zero stride on a multi-segment family.
+    #[test]
+    fn zero_stride_is_pa003(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        let fam = &mut p.elements[e].families[f];
+        fam.s = 0;
+        fam.n = fam.n.max(2);
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::ZeroStride), "{:?}", report.diagnostics);
+    }
+
+    /// Zeroing a family's count.
+    #[test]
+    fn zero_count_is_pa002(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        p.elements[e].families[f].n = 0;
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::ZeroCount), "{:?}", report.diagnostics);
+    }
+
+    /// Inverting a segment (l > r).
+    #[test]
+    fn inverted_segment_is_pa001(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        let fam = &mut p.elements[e].families[f];
+        fam.l = fam.r + 1;
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::InvertedSegment), "{:?}", report.diagnostics);
+    }
+
+    /// Blowing the extent past the 64-bit offset range.
+    #[test]
+    fn extent_overflow_is_pa005(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let (e, f) = pick_family(&p, seed);
+        let fam = &mut p.elements[e].families[f];
+        fam.s = u64::MAX;
+        fam.n = fam.n.max(3);
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::Overflow), "{:?}", report.diagnostics);
+    }
+
+    /// Swapping two sibling families breaks the sort order.
+    #[test]
+    fn swapped_families_is_pa011(seed in any::<u64>(), span in 8u64..200) {
+        let mut p = random_pattern(seed, span);
+        let e = p
+            .elements
+            .iter()
+            .position(|el| el.families.len() >= 2);
+        prop_assume!(e.is_some());
+        let e = e.expect("just checked");
+        p.elements[e].families.swap(0, 1);
+        let report = audit_pattern(&p, &cfg());
+        prop_assert!(report.has_code(Code::UnorderedSiblings), "{:?}", report.diagnostics);
+    }
+
+    /// A budget below the period turns tiling verification into a PA030
+    /// warning — never an error.
+    #[test]
+    fn tight_budget_is_pa030(seed in any::<u64>(), span in 8u64..200) {
+        let p = random_pattern(seed, span);
+        let report = audit_pattern(&p, &AuditConfig::with_budget(span - 1));
+        prop_assert!(report.has_code(Code::PeriodBudget), "{:?}", report.diagnostics);
+        prop_assert!(!report.has_errors());
+    }
+
+    /// Pair-level check: a pattern paired with itself is always clean (the
+    /// aligned period equals the pattern period).
+    #[test]
+    fn self_pair_audits_clean(seed in any::<u64>(), span in 8u64..200) {
+        let p = random_pattern(seed, span);
+        let report = audit_pair(&p, &p, &cfg());
+        prop_assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    }
+}

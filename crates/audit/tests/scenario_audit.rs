@@ -1,0 +1,63 @@
+//! Every partition the paper's experiment builds must audit clean: the
+//! matrix layouts at all swept sizes, and the (logical, physical) pairs the
+//! redistribution uses.
+
+use arraydist::matrix::MatrixLayout;
+use parafile_audit::{audit_pair, audit_partition, AuditConfig, RawPattern};
+
+/// The paper sweeps 256–2048; 2048² bytes sits exactly at the default
+/// period budget, so the largest size still gets full tiling verification.
+const PAPER_DIMS: [u64; 4] = [256, 512, 1024, 2048];
+
+#[test]
+fn paper_layouts_audit_clean() {
+    let cfg = AuditConfig::default();
+    for dim in PAPER_DIMS {
+        for layout in MatrixLayout::all() {
+            let part = layout.partition(dim, dim, 1, 4);
+            let report = audit_partition(&part, &cfg);
+            assert!(
+                report.is_clean(),
+                "{dim}×{dim} layout {} produced {:?}",
+                layout.label(),
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_redistribution_pairs_audit_clean() {
+    let cfg = AuditConfig::default();
+    for dim in PAPER_DIMS {
+        let logical =
+            RawPattern::from_partition(&MatrixLayout::RowBlocks.partition(dim, dim, 1, 4));
+        for layout in MatrixLayout::all() {
+            let physical = RawPattern::from_partition(&layout.partition(dim, dim, 1, 4));
+            let report = audit_pair(&logical, &physical, &cfg);
+            assert!(
+                report.is_clean(),
+                "pair r/{} at {dim} produced {:?}",
+                layout.label(),
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_processor_counts_audit_clean() {
+    let cfg = AuditConfig::default();
+    for procs in [4, 16, 64] {
+        for layout in MatrixLayout::all() {
+            let part = layout.partition(256, 256, 1, procs);
+            let report = audit_partition(&part, &cfg);
+            assert!(
+                report.is_clean(),
+                "p={procs} layout {} produced {:?}",
+                layout.label(),
+                report.diagnostics
+            );
+        }
+    }
+}

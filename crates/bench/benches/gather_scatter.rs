@@ -35,9 +35,7 @@ fn bench_gather_scatter(c: &mut Criterion) {
         });
         let packed = vec![0xCDu8; (total / 2) as usize];
         group.bench_with_input(BenchmarkId::new("scatter", frag), &frag, |b, _| {
-            b.iter(|| {
-                black_box(scatter(&mut dst_region, black_box(&packed), 0, total - 1, &proj))
-            })
+            b.iter(|| black_box(scatter(&mut dst_region, black_box(&packed), 0, total - 1, &proj)))
         });
     }
     group.finish();

@@ -28,9 +28,8 @@ fn bench_view_set(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("n512", layout.label()), |b| {
             let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
             b.iter(|| {
-                let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(
-                    WritePolicy::BufferCache,
-                ));
+                let mut fs =
+                    Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
                 let physical = layout.partition(n, n, 1, 4);
                 let file = fs.create_file(physical, n * n);
                 black_box(fs.set_view(0, file, &logical, 0))

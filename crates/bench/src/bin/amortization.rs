@@ -12,11 +12,10 @@
 
 use arraydist::matrix::MatrixLayout;
 use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use jsonlite::{obj, Json, ToJson};
 use parafile::Mapper;
 use pf_bench::{dump_json, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     writes: usize,
@@ -25,6 +24,20 @@ struct Row {
     mean_t_g_us: f64,
     mean_t_w_us: f64,
     view_set_share: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("writes", self.writes),
+            ("t_i_us", self.t_i_us),
+            ("mean_t_m_us", self.mean_t_m_us),
+            ("mean_t_g_us", self.mean_t_g_us),
+            ("mean_t_w_us", self.mean_t_w_us),
+            ("view_set_share", self.view_set_share)
+        ]
+    }
 }
 
 fn main() {
@@ -40,9 +53,8 @@ fn main() {
             "k", "t_i µs", "t_m µs", "t_g µs", "t_w µs", "view-set share %"
         );
         for k in [1usize, 2, 4, 8, 16, 32] {
-            let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(
-                WritePolicy::BufferCache,
-            ));
+            let mut fs =
+                Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
             let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
             let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
             let file = fs.create_file(physical, n * n);
@@ -50,7 +62,7 @@ fn main() {
             let t_i_us = t.t_i.as_secs_f64() * 1e6;
 
             let m = Mapper::new(&logical, 0);
-            let len = logical.element_len(0, n * n).unwrap();
+            let len = logical.element_len(0, n * n).expect("element 0 exists");
             let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
             let mut t_m = 0.0;
             let mut t_g = 0.0;

@@ -14,16 +14,26 @@
 
 use arraydist::matrix::MatrixLayout;
 use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use jsonlite::{obj, Json, ToJson};
 use parafile::Mapper;
 use pf_bench::{dump_json, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     contention: bool,
     staggered: bool,
     t_w_us: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("contention", self.contention),
+            ("staggered", self.staggered),
+            ("t_w_us", self.t_w_us)
+        ]
+    }
 }
 
 fn run(n: u64, contention: bool, staggered: bool) -> f64 {
@@ -45,13 +55,13 @@ fn run(n: u64, contention: bool, staggered: bool) -> f64 {
     let ops: Vec<(usize, u64, u64, Vec<u8>)> = (0..4usize)
         .map(|c| {
             let m = Mapper::new(&logical, c);
-            let len = logical.element_len(c, n * n).unwrap();
+            let len = logical.element_len(c, n * n).expect("view element exists");
             let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
             (c, 0, len - 1, data)
         })
         .collect();
     let t = fs.write_group(file, &ops);
-    t.iter().map(|w| w.t_w_sim_ns).max().unwrap() as f64 / 1e3
+    t.iter().map(|w| w.t_w_sim_ns).max().expect("at least one writer") as f64 / 1e3
 }
 
 fn main() {
@@ -88,16 +98,16 @@ fn main() {
         let f = rows
             .iter()
             .find(|r| r.size == n && r.contention == cont && !r.staggered)
-            .unwrap()
+            .expect("swept row exists")
             .t_w_us;
         let s = rows
             .iter()
             .find(|r| r.size == n && r.contention == cont && r.staggered)
-            .unwrap()
+            .expect("swept row exists")
             .t_w_us;
         f / s
     };
-    let biggest = *args.sizes.last().unwrap();
+    let biggest = *args.sizes.last().expect("size sweep is non-empty");
     println!(
         "[{}] staggering helps under contention at {biggest} ({:.2}×) and is ~neutral without ({:.2}×)",
         if gain_at(biggest, true) > gain_at(biggest, false) { "ok" } else { "FAIL" },

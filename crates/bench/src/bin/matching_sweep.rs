@@ -15,14 +15,13 @@
 use arraydist::dist::{ArrayDistribution, DimDist};
 use arraydist::grid::ProcGrid;
 use arraydist::matrix::MatrixLayout;
+use jsonlite::{obj, Json, ToJson};
 use parafile::matching::MatchingDegree;
 use parafile::model::Partition;
 use parafile::plan::RedistributionPlan;
 use pf_bench::{dump_json, TableArgs};
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     src: String,
@@ -33,6 +32,22 @@ struct Row {
     plan_us: f64,
     apply_us: f64,
     bytes: u64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("src", self.src.as_str()),
+            ("dst", self.dst.as_str()),
+            ("degree", self.degree),
+            ("mean_run_len", self.mean_run_len),
+            ("runs_per_period", self.runs_per_period),
+            ("plan_us", self.plan_us),
+            ("apply_us", self.apply_us),
+            ("bytes", self.bytes)
+        ]
+    }
 }
 
 fn layouts(n: u64) -> Vec<(String, Partition)> {
@@ -78,10 +93,21 @@ fn main() {
                 let m = MatchingDegree::from_plan(&plan, dst);
 
                 let src_bufs: Vec<Vec<u8>> = (0..src.element_count())
-                    .map(|e| vec![0xA5u8; src.element_len(e, file_len).unwrap() as usize])
+                    .map(|e| {
+                        vec![
+                            0xA5u8;
+                            src.element_len(e, file_len).expect("source element exists") as usize
+                        ]
+                    })
                     .collect();
                 let mut dst_bufs: Vec<Vec<u8>> = (0..dst.element_count())
-                    .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
+                    .map(|e| {
+                        vec![
+                            0u8;
+                            dst.element_len(e, file_len).expect("destination element exists")
+                                as usize
+                        ]
+                    })
                     .collect();
                 // Best of several runs: single-shot wall-clock at these
                 // sizes is dominated by scheduling noise.
@@ -121,14 +147,9 @@ fn main() {
     for &n in &args.sizes {
         let sub: Vec<&Row> = rows.iter().filter(|r| r.size == n).collect();
         let apply: Vec<f64> = sub.iter().map(|r| r.apply_us).collect();
-        let rho_deg = spearman(
-            &sub.iter().map(|r| 1.0 - r.degree).collect::<Vec<_>>(),
-            &apply,
-        );
-        let rho_frag = spearman(
-            &sub.iter().map(|r| 1.0 / r.mean_run_len).collect::<Vec<_>>(),
-            &apply,
-        );
+        let rho_deg = spearman(&sub.iter().map(|r| 1.0 - r.degree).collect::<Vec<_>>(), &apply);
+        let rho_frag =
+            spearman(&sub.iter().map(|r| 1.0 / r.mean_run_len).collect::<Vec<_>>(), &apply);
         println!("{n}: Spearman((1−degree), apply time) = {rho_deg:.3} (structural match)");
         println!(
             "[{}] {n}: Spearman(1/mean_run_len, apply time) = {rho_frag:.3} (want strongly positive)",

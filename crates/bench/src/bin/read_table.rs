@@ -8,11 +8,10 @@
 
 use arraydist::matrix::MatrixLayout;
 use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use jsonlite::{obj, Json, ToJson};
 use parafile::Mapper;
 use pf_bench::{dump_json, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     layout: String,
@@ -21,6 +20,20 @@ struct Row {
     t_r_us: f64,
     t_w_us: f64,
     messages: u64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("layout", self.layout.as_str()),
+            ("t_m_us", self.t_m_us),
+            ("t_scatter_us", self.t_scatter_us),
+            ("t_r_us", self.t_r_us),
+            ("t_w_us", self.t_w_us),
+            ("messages", self.messages)
+        ]
+    }
 }
 
 fn main() {
@@ -39,7 +52,7 @@ fn main() {
             let file = fs.create_file(layout.partition(n, n, 1, 4), n * n);
             fs.set_view(0, file, &logical, 0);
             let m = Mapper::new(&logical, 0);
-            let len = logical.element_len(0, n * n).unwrap();
+            let len = logical.element_len(0, n * n).expect("element 0 exists");
             let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
             let w = fs.write(0, file, 0, len - 1, &data);
             let (back, r) = fs.read_timed(0, file, 0, len - 1);

@@ -13,10 +13,9 @@
 //! the paper's magnitude range.
 
 use clusterfile::PaperScenario;
+use jsonlite::{obj, Json, ToJson};
 use pf_bench::{dump_json, paper_table1_row, ratio, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     layout: String,
@@ -30,6 +29,25 @@ struct Row {
     paper_t_g_us: f64,
     paper_t_w_bc_us: f64,
     paper_t_w_disk_us: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("layout", self.layout.as_str()),
+            ("t_i_us", self.t_i_us),
+            ("t_m_us", self.t_m_us),
+            ("t_g_us", self.t_g_us),
+            ("t_w_bc_us", self.t_w_bc_us),
+            ("t_w_disk_us", self.t_w_disk_us),
+            ("paper_t_i_us", self.paper_t_i_us),
+            ("paper_t_m_us", self.paper_t_m_us),
+            ("paper_t_g_us", self.paper_t_g_us),
+            ("paper_t_w_bc_us", self.paper_t_w_bc_us),
+            ("paper_t_w_disk_us", self.paper_t_w_disk_us)
+        ]
+    }
 }
 
 fn main() {
@@ -93,16 +111,31 @@ fn main() {
     }
 
     // Shape summary: the qualitative claims the reproduction must satisfy.
-    let find = |size: u64, l: &str| rows.iter().find(|r| r.size == size && r.layout == l).unwrap();
+    let find = |size: u64, l: &str| {
+        rows.iter().find(|r| r.size == size && r.layout == l).expect("swept row exists")
+    };
     let mut checks: Vec<(String, bool)> = Vec::new();
     for &size in &args.sizes {
         let (c, b, r) = (find(size, "c"), find(size, "b"), find(size, "r"));
-        checks.push((format!("{size}: t_g ordering c>b>r=0"), c.t_g_us > b.t_g_us && b.t_g_us > 0.0 && r.t_g_us == 0.0));
+        checks.push((
+            format!("{size}: t_g ordering c>b>r=0"),
+            c.t_g_us > b.t_g_us && b.t_g_us > 0.0 && r.t_g_us == 0.0,
+        ));
         checks.push((format!("{size}: t_m zero only for r"), r.t_m_us == 0.0 && c.t_m_us > 0.0));
-        checks.push((format!("{size}: t_i ordering c>b>r"), c.t_i_us > b.t_i_us && b.t_i_us > r.t_i_us));
-        checks.push((format!("{size}: t_w^bc ordering c>b>r"), c.t_w_bc_us > b.t_w_bc_us && b.t_w_bc_us > r.t_w_bc_us));
-        checks.push((format!("{size}: disk > cache for every layout"),
-            c.t_w_disk_us > c.t_w_bc_us && b.t_w_disk_us > b.t_w_bc_us && r.t_w_disk_us > r.t_w_bc_us));
+        checks.push((
+            format!("{size}: t_i ordering c>b>r"),
+            c.t_i_us > b.t_i_us && b.t_i_us > r.t_i_us,
+        ));
+        checks.push((
+            format!("{size}: t_w^bc ordering c>b>r"),
+            c.t_w_bc_us > b.t_w_bc_us && b.t_w_bc_us > r.t_w_bc_us,
+        ));
+        checks.push((
+            format!("{size}: disk > cache for every layout"),
+            c.t_w_disk_us > c.t_w_bc_us
+                && b.t_w_disk_us > b.t_w_bc_us
+                && r.t_w_disk_us > r.t_w_bc_us,
+        ));
     }
     println!("shape checks:");
     for (name, ok) in &checks {
@@ -110,7 +143,7 @@ fn main() {
     }
     if args.sizes.len() >= 2 {
         let lo = find(args.sizes[0], "c").t_i_us;
-        let hi = find(*args.sizes.last().unwrap(), "c").t_i_us;
+        let hi = find(*args.sizes.last().expect("size sweep is non-empty"), "c").t_i_us;
         println!(
             "  [{}] t_i roughly size-independent (c: {:.1} → {:.1} µs across the sweep)",
             if ratio(hi, lo) < 8.0 { "ok" } else { "FAIL" },

@@ -7,10 +7,9 @@
 //! ```
 
 use clusterfile::PaperScenario;
+use jsonlite::{obj, Json, ToJson};
 use pf_bench::{dump_json, paper_table2_row, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     layout: String,
@@ -20,6 +19,21 @@ struct Row {
     fragments_per_io: f64,
     paper_t_s_bc_us: f64,
     paper_t_s_disk_us: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("layout", self.layout.as_str()),
+            ("t_s_bc_us", self.t_s_bc_us),
+            ("t_s_disk_us", self.t_s_disk_us),
+            ("t_s_real_us", self.t_s_real_us),
+            ("fragments_per_io", self.fragments_per_io),
+            ("paper_t_s_bc_us", self.paper_t_s_bc_us),
+            ("paper_t_s_disk_us", self.paper_t_s_disk_us)
+        ]
+    }
 }
 
 fn main() {
@@ -40,8 +54,7 @@ fn main() {
             let mut disk = PaperScenario::paper(size, layout, true);
             disk.repetitions = args.reps;
             let disk = disk.run();
-            let (p_bc, p_disk) =
-                paper_table2_row(size, layout.label()).unwrap_or((0.0, 0.0));
+            let (p_bc, p_disk) = paper_table2_row(size, layout.label()).unwrap_or((0.0, 0.0));
             println!(
                 "{:>5} {:>4} {:>4} {:>11.1} ({:>5.0}) {:>11.1} ({:>6.0}) {:>12.2} {:>10.1}",
                 size,
@@ -68,7 +81,9 @@ fn main() {
         println!();
     }
 
-    let find = |size: u64, l: &str| rows.iter().find(|r| r.size == size && r.layout == l).unwrap();
+    let find = |size: u64, l: &str| {
+        rows.iter().find(|r| r.size == size && r.layout == l).expect("swept row exists")
+    };
     println!("shape checks:");
     for &size in &args.sizes {
         let (c, r) = (find(size, "c"), find(size, "r"));
@@ -83,7 +98,7 @@ fn main() {
     }
     if args.sizes.len() >= 2 {
         let small = args.sizes[0];
-        let big = *args.sizes.last().unwrap();
+        let big = *args.sizes.last().expect("size sweep is non-empty");
         let conv_small = find(small, "c").t_s_bc_us / find(small, "r").t_s_bc_us;
         let conv_big = find(big, "c").t_s_bc_us / find(big, "r").t_s_bc_us;
         println!(

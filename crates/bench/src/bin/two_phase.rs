@@ -13,11 +13,10 @@
 
 use arraydist::matrix::MatrixLayout;
 use clusterfile::{Clusterfile, ClusterfileConfig, WritePolicy};
+use jsonlite::{obj, Json, ToJson};
 use parafile::Mapper;
 use pf_bench::{dump_json, TableArgs};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     size: u64,
     layout: String,
@@ -28,11 +27,25 @@ struct Row {
     speedup: f64,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("layout", self.layout.as_str()),
+            ("write_through", self.write_through),
+            ("direct_us", self.direct_us),
+            ("collective_us", self.collective_us),
+            ("exchange_us", self.exchange_us),
+            ("speedup", self.speedup)
+        ]
+    }
+}
+
 fn view_buffers(logical: &parafile::Partition, file_len: u64) -> Vec<Vec<u8>> {
     (0..logical.element_count())
         .map(|c| {
             let m = Mapper::new(logical, c);
-            (0..logical.element_len(c, file_len).unwrap())
+            (0..logical.element_len(c, file_len).expect("view element exists"))
                 .map(|y| (m.unmap(y) % 251) as u8)
                 .collect()
         })
@@ -52,9 +65,7 @@ fn main() {
         .sizes
         .iter()
         .flat_map(|&n| {
-            pf_bench::paper_layouts()
-                .into_iter()
-                .flat_map(move |l| [(n, l, false), (n, l, true)])
+            pf_bench::paper_layouts().into_iter().flat_map(move |l| [(n, l, false), (n, l, true)])
         })
         .collect();
     let results = clustersim::parallel::run_phase(combos.len(), |i| {
@@ -62,11 +73,8 @@ fn main() {
         let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
         let data = view_buffers(&logical, n * n);
         {
-            let policy = if write_through {
-                WritePolicy::WriteThrough
-            } else {
-                WritePolicy::BufferCache
-            };
+            let policy =
+                if write_through { WritePolicy::WriteThrough } else { WritePolicy::BufferCache };
             // Direct path: per-view writes through set views.
             let direct_ns = {
                 let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(policy));
@@ -80,7 +88,7 @@ fn main() {
                     .map(|(c, d)| (c, 0, d.len() as u64 - 1, d.clone()))
                     .collect();
                 let t = fs.write_group(file, &ops);
-                t.iter().map(|w| w.t_w_sim_ns).max().unwrap()
+                t.iter().map(|w| w.t_w_sim_ns).max().expect("at least one writer")
             };
             // Two-phase collective path.
             let (coll_ns, exch_ns) = {
@@ -109,7 +117,12 @@ fn main() {
         last_size = r.size;
         println!(
             "{:>5} {:>4} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>9.2}",
-            r.size, r.layout, r.write_through, r.direct_us, r.collective_us, r.exchange_us,
+            r.size,
+            r.layout,
+            r.write_through,
+            r.direct_us,
+            r.collective_us,
+            r.exchange_us,
             r.speedup
         );
     }

@@ -6,7 +6,7 @@
 #![warn(missing_docs)]
 
 use arraydist::matrix::MatrixLayout;
-use serde::Serialize;
+use jsonlite::ToJson;
 use std::path::PathBuf;
 
 /// The paper's matrix sizes (bytes per side).
@@ -70,13 +70,14 @@ pub fn paper_layouts() -> [MatrixLayout; 3] {
     MatrixLayout::all()
 }
 
-/// Writes a serializable result set to `bench_results/<name>.json` under the
-/// workspace root, creating the directory as needed. Returns the path.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+/// Writes a JSON-convertible result set to `bench_results/<name>.json`
+/// under the workspace root, creating the directory as needed. Returns the
+/// path.
+pub fn dump_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    std::fs::write(&path, value.to_json().render_pretty())?;
     Ok(path)
 }
 

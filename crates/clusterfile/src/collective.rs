@@ -15,10 +15,9 @@
 use crate::fs::{Clusterfile, FileId, Message};
 use parafile::model::Partition;
 use parafile::plan::RedistributionPlan;
-use serde::{Deserialize, Serialize};
 
 /// Timing breakdown of a collective write.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectiveTimings {
     /// Simulated time of the compute-side exchange phase (ns).
     pub exchange_ns: u64,
@@ -82,8 +81,7 @@ impl Clusterfile {
             0
         };
         let mut timings = CollectiveTimings::default();
-        let phase_start: Vec<u64> =
-            (0..compute_nodes).map(|c| self.cluster().clock(c)).collect();
+        let phase_start: Vec<u64> = (0..compute_nodes).map(|c| self.cluster().clock(c)).collect();
 
         // aggregator for subfile s is compute node s.
         let mut assembled: Vec<Vec<u8>> = (0..io_nodes)
@@ -141,14 +139,9 @@ impl Clusterfile {
         // Drain the exchange; handlers copy into the staging area.
         self.begin_collective(file, assembled);
         self.drain_public();
-        let exchange_end: Vec<u64> =
-            (0..compute_nodes).map(|c| self.cluster().clock(c)).collect();
-        timings.exchange_ns = exchange_end
-            .iter()
-            .zip(&phase_start)
-            .map(|(e, s)| e - s)
-            .max()
-            .unwrap_or(0);
+        let exchange_end: Vec<u64> = (0..compute_nodes).map(|c| self.cluster().clock(c)).collect();
+        timings.exchange_ns =
+            exchange_end.iter().zip(&phase_start).map(|(e, s)| e - s).max().unwrap_or(0);
 
         // Phase 2: each aggregator ships one contiguous block.
         let assembled = self.take_collective(file);
@@ -168,12 +161,8 @@ impl Clusterfile {
         }
         self.drain_public();
         let write_end: Vec<u64> = (0..compute_nodes).map(|c| self.cluster().clock(c)).collect();
-        timings.write_ns = write_end
-            .iter()
-            .zip(&exchange_end)
-            .map(|(e, s)| e - s)
-            .max()
-            .unwrap_or(0);
+        timings.write_ns =
+            write_end.iter().zip(&exchange_end).map(|(e, s)| e - s).max().unwrap_or(0);
         timings
     }
 }

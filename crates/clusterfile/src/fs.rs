@@ -69,7 +69,15 @@ pub enum Message {
     /// `PROJ_S(V∩S)` shipped to the subfile's I/O node at view-set time.
     ViewProjection { file: FileId, compute: usize, subfile: usize, projection: Projection },
     /// A write request: interval extremities on the subfile plus payload.
-    WriteReq { file: FileId, compute: usize, subfile: usize, l_s: u64, r_s: u64, contiguous: bool, payload: Vec<u8> },
+    WriteReq {
+        file: FileId,
+        compute: usize,
+        subfile: usize,
+        l_s: u64,
+        r_s: u64,
+        contiguous: bool,
+        payload: Vec<u8>,
+    },
     /// Write acknowledgment.
     WriteAck,
     /// A read request for `[l_s, r_s]` of the subfile.
@@ -202,11 +210,7 @@ impl Clusterfile {
     /// Panics if the physical partition's element count differs from the
     /// I/O node count.
     pub fn create_file(&mut self, physical: Partition, len: u64) -> FileId {
-        assert_eq!(
-            physical.element_count(),
-            self.config.io_nodes,
-            "one subfile per I/O node"
-        );
+        assert_eq!(physical.element_count(), self.config.io_nodes, "one subfile per I/O node");
         let file_id = self.files.len();
         let subfiles = (0..self.config.io_nodes)
             .map(|s| {
@@ -274,16 +278,15 @@ impl Clusterfile {
         new_physical: Partition,
         plan: &parafile::RedistributionPlan,
     ) -> u64 {
-        assert_eq!(
-            new_physical.element_count(),
-            self.config.io_nodes,
-            "one subfile per I/O node"
-        );
+        assert_eq!(new_physical.element_count(), self.config.io_nodes, "one subfile per I/O node");
         let st = &mut self.files[file];
         let old: Vec<Vec<u8>> = st.subfiles.iter_mut().map(SubfileStore::read_all).collect();
         let mut new_bufs: Vec<Vec<u8>> = (0..new_physical.element_count())
             .map(|s| {
-                vec![0u8; new_physical.element_len(s, st.len).expect("subfile index valid") as usize]
+                vec![
+                    0u8;
+                    new_physical.element_len(s, st.len).expect("subfile index valid") as usize
+                ]
             })
             .collect();
         let moved = plan.apply(&old, &mut new_bufs, st.len);
@@ -424,9 +427,7 @@ impl Clusterfile {
             })
             .collect();
         self.drain();
-        for ((compute, ..), (t, sent)) in
-            ops.iter().zip(timings.iter_mut().zip(send_clocks))
-        {
+        for ((compute, ..), (t, sent)) in ops.iter().zip(timings.iter_mut().zip(send_clocks)) {
             t.t_w_sim_ns += self.cluster.clock(*compute).saturating_sub(sent);
         }
         timings
@@ -502,11 +503,8 @@ impl Clusterfile {
                     buf.extend_from_slice(&data[a..=b]);
                 }
                 t_g += g_start.elapsed();
-                sim_cpu_ns += self
-                    .cluster
-                    .config()
-                    .cache
-                    .write_fragmented_ns(covered, segs.len() as u64);
+                sim_cpu_ns +=
+                    self.cluster.config().cache.write_fragmented_ns(covered, segs.len() as u64);
                 buf
             };
             if !vs.perfect_match[s] {
@@ -679,7 +677,12 @@ impl Clusterfile {
             Message::ReadReq { file, compute, subfile, l_s, r_s, contiguous } => {
                 let payload = self.serve_read(d.to, file, compute, subfile, l_s, r_s, contiguous);
                 let wire = 16 + payload.len() as u64;
-                self.cluster.send(d.to, compute, wire, Message::ReadData { file, subfile, payload });
+                self.cluster.send(
+                    d.to,
+                    compute,
+                    wire,
+                    Message::ReadData { file, subfile, payload },
+                );
             }
             Message::ReadData { file, subfile, payload } => {
                 self.absorb_read_data(d.to, file, subfile, &payload);
@@ -693,10 +696,8 @@ impl Clusterfile {
                     .cache
                     .write_fragmented_ns(payload.len() as u64, runs.len() as u64);
                 self.cluster.compute(d.to, cost);
-                let staging = self
-                    .collective_staging
-                    .get_mut(&file)
-                    .expect("collective write in flight");
+                let staging =
+                    self.collective_staging.get_mut(&file).expect("collective write in flight");
                 let buf = &mut staging[subfile];
                 let mut pos = 0usize;
                 for (off, len) in runs {
@@ -800,13 +801,7 @@ impl Clusterfile {
             t_s_sim += self.cluster.disk_flush(io, l_s, bytes, fragments);
         }
         let acc = &mut self.io_timings[subfile];
-        acc.absorb(&IoTimings {
-            t_s_sim_ns: t_s_sim,
-            t_s_real,
-            fragments,
-            bytes,
-            requests: 1,
-        });
+        acc.absorb(&IoTimings { t_s_sim_ns: t_s_sim, t_s_real, fragments, bytes, requests: 1 });
     }
 
     /// I/O-node side of a read: gather the requested subfile bytes.
@@ -856,11 +851,8 @@ impl Clusterfile {
         assert_eq!(pos, payload.len(), "read payload size mismatch");
         *self.read_scatter_real.entry(compute).or_default() += start.elapsed();
         // Modeled CPU for the scatter copy.
-        let cost = self
-            .config
-            .hardware
-            .cache
-            .write_fragmented_ns(payload.len() as u64, segs.len() as u64);
+        let cost =
+            self.config.hardware.cache.write_fragmented_ns(payload.len() as u64, segs.len() as u64);
         self.cluster.compute(compute, cost);
     }
 }
@@ -874,11 +866,7 @@ mod tests {
         Clusterfile::new(ClusterfileConfig::paper_deployment(policy))
     }
 
-    fn matrix_file(
-        fs: &mut Clusterfile,
-        n: u64,
-        physical: MatrixLayout,
-    ) -> (FileId, Partition) {
+    fn matrix_file(fs: &mut Clusterfile, n: u64, physical: MatrixLayout) -> (FileId, Partition) {
         let phys = physical.partition(n, n, 1, 4);
         let file = fs.create_file(phys, n * n);
         let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
@@ -905,8 +893,7 @@ mod tests {
                 .map(|c| {
                     let m = Mapper::new(&logical, c);
                     let len = logical.element_len(c, n * n).unwrap();
-                    let data: Vec<u8> =
-                        (0..len).map(|y| pattern_byte(m.unmap(y))).collect();
+                    let data: Vec<u8> = (0..len).map(|y| pattern_byte(m.unmap(y))).collect();
                     (c, 0, len - 1, data)
                 })
                 .collect();

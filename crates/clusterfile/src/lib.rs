@@ -47,15 +47,15 @@
 #![warn(missing_docs)]
 
 mod collective;
-pub mod storage;
 mod fs;
 mod relayout;
 pub mod scenario;
+pub mod storage;
 mod timing;
 
 pub use collective::CollectiveTimings;
-pub use storage::StorageBackend;
 pub use fs::{Clusterfile, ClusterfileConfig, FileId, WritePolicy};
 pub use relayout::{relayout, relayout_cost, RelayoutReport};
 pub use scenario::{PaperScenario, ScenarioResult};
+pub use storage::StorageBackend;
 pub use timing::{IoTimings, ViewSetTimings, WriteTimings};

@@ -6,11 +6,10 @@ use crate::fs::{Clusterfile, FileId};
 use parafile::matching::MatchingDegree;
 use parafile::model::Partition;
 use parafile::plan::RedistributionPlan;
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Outcome of an on-the-fly relayout.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RelayoutReport {
     /// Bytes moved between subfiles.
     pub bytes_moved: u64,
@@ -29,11 +28,7 @@ pub struct RelayoutReport {
 ///
 /// Views become stale after a relayout; callers re-set them (the paper's
 /// design likewise recomputes projections when the physical layout changes).
-pub fn relayout(
-    fs: &mut Clusterfile,
-    file: FileId,
-    new_physical: Partition,
-) -> RelayoutReport {
+pub fn relayout(fs: &mut Clusterfile, file: FileId, new_physical: Partition) -> RelayoutReport {
     let plan_start = Instant::now();
     let old_physical = fs.physical_partition(file).clone();
     let plan = RedistributionPlan::build(&old_physical, &new_physical)
@@ -85,7 +80,8 @@ mod tests {
 
     #[test]
     fn relayout_preserves_contents() {
-        let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+        let mut fs =
+            Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
         let n = 32u64;
         let old = MatrixLayout::ColumnBlocks.partition(n, n, 1, 4);
         let file = fs.create_file(old, n * n);
@@ -109,7 +105,8 @@ mod tests {
 
     #[test]
     fn identity_relayout_moves_everything_locally() {
-        let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
+        let mut fs =
+            Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
         let n = 16u64;
         let layout = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
         let file = fs.create_file(layout.clone(), n * n);

@@ -11,10 +11,9 @@ use crate::fs::{Clusterfile, ClusterfileConfig, WritePolicy};
 use crate::timing::WriteTimings;
 use arraydist::matrix::MatrixLayout;
 use parafile::Mapper;
-use serde::{Deserialize, Serialize};
 
 /// One experiment configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PaperScenario {
     /// Matrix side in bytes (the paper sweeps 256, 512, 1024, 2048).
     pub matrix_dim: u64,
@@ -51,11 +50,8 @@ impl PaperScenario {
     /// Runs the scenario and aggregates the timing breakdown.
     #[must_use]
     pub fn run(&self) -> ScenarioResult {
-        let policy = if self.write_through {
-            WritePolicy::WriteThrough
-        } else {
-            WritePolicy::BufferCache
-        };
+        let policy =
+            if self.write_through { WritePolicy::WriteThrough } else { WritePolicy::BufferCache };
         let n = self.matrix_dim;
         let logical = self.logical.partition(n, n, 1, self.compute_nodes as u64);
 
@@ -101,7 +97,7 @@ impl PaperScenario {
 
 /// Aggregated results of a scenario, in the units of the paper's tables
 /// (microseconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Matrix side in bytes.
     pub matrix_dim: u64,
@@ -151,18 +147,14 @@ impl ScenarioResult {
     fn absorb_round(&mut self, t_i_us: f64, timings: &[WriteTimings], fs: &Clusterfile) {
         self.t_i_us += t_i_us;
         let nc = timings.len() as f64;
-        self.t_m_us +=
-            timings.iter().map(|t| t.t_m.as_secs_f64() * 1e6).sum::<f64>() / nc;
-        self.t_g_us +=
-            timings.iter().map(|t| t.t_g.as_secs_f64() * 1e6).sum::<f64>() / nc;
-        self.t_w_us +=
-            timings.iter().map(|t| t.t_w_sim_ns as f64 / 1e3).sum::<f64>() / nc;
+        self.t_m_us += timings.iter().map(|t| t.t_m.as_secs_f64() * 1e6).sum::<f64>() / nc;
+        self.t_g_us += timings.iter().map(|t| t.t_g.as_secs_f64() * 1e6).sum::<f64>() / nc;
+        self.t_w_us += timings.iter().map(|t| t.t_w_sim_ns as f64 / 1e3).sum::<f64>() / nc;
         self.messages_per_compute += timings.iter().map(|t| t.messages as f64).sum::<f64>() / nc;
         let io = fs.io_timings();
         let ni = io.len() as f64;
         self.t_s_us += io.iter().map(|t| t.t_s_sim_ns as f64 / 1e3).sum::<f64>() / ni;
-        self.t_s_real_us +=
-            io.iter().map(|t| t.t_s_real.as_secs_f64() * 1e6).sum::<f64>() / ni;
+        self.t_s_real_us += io.iter().map(|t| t.t_s_real.as_secs_f64() * 1e6).sum::<f64>() / ni;
         self.fragments_per_io += io.iter().map(|t| t.fragments as f64).sum::<f64>() / ni;
     }
 
@@ -187,7 +179,12 @@ impl ScenarioResult {
     pub fn table1_row(&self) -> String {
         format!(
             "{:>5}  {:>4}  {:>3}  {:>10.1} {:>10.3} {:>10.1} {:>12.1}",
-            self.matrix_dim, self.physical, self.logical, self.t_i_us, self.t_m_us, self.t_g_us,
+            self.matrix_dim,
+            self.physical,
+            self.logical,
+            self.t_i_us,
+            self.t_m_us,
+            self.t_g_us,
             self.t_w_us
         )
     }

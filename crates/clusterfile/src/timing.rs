@@ -1,11 +1,10 @@
 //! Timing breakdowns matching the paper's Tables 1 and 2.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Cost of setting a view (paper: `t_i`): intersecting the view with every
 /// subfile and computing both projections. Real, measured wall-clock.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ViewSetTimings {
     /// Intersection + projection time.
     pub t_i: Duration,
@@ -14,7 +13,7 @@ pub struct ViewSetTimings {
 }
 
 /// Per-write breakdown at the compute node (paper's Table 1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WriteTimings {
     /// Real time to map the access interval's extremities on the subfiles
     /// (paper: `t_m`). Zero when view and subfile overlap perfectly.
@@ -34,7 +33,7 @@ pub struct WriteTimings {
 }
 
 /// Per-I/O-node accumulators (paper's Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoTimings {
     /// Simulated scatter time (cache staging, plus the write-back flush when
     /// the policy is write-through), in nanoseconds (paper: `t_s`).
@@ -66,8 +65,15 @@ mod tests {
 
     #[test]
     fn io_timings_absorb() {
-        let mut a = IoTimings { t_s_sim_ns: 10, fragments: 2, bytes: 100, requests: 1, ..Default::default() };
-        let b = IoTimings { t_s_sim_ns: 5, fragments: 1, bytes: 50, requests: 1, ..Default::default() };
+        let mut a = IoTimings {
+            t_s_sim_ns: 10,
+            fragments: 2,
+            bytes: 100,
+            requests: 1,
+            ..Default::default()
+        };
+        let b =
+            IoTimings { t_s_sim_ns: 5, fragments: 1, bytes: 50, requests: 1, ..Default::default() };
         a.absorb(&b);
         assert_eq!(a.t_s_sim_ns, 15);
         assert_eq!(a.fragments, 3);

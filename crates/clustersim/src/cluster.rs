@@ -152,11 +152,7 @@ impl<M> Cluster<M> {
         let arrive = depart + self.config.network.latency_ns;
         self.nodes[from].stats.messages_sent += 1;
         self.nodes[from].stats.bytes_sent += bytes;
-        self.record(TraceEntry {
-            at: depart,
-            node: from,
-            kind: TraceKind::Send { to, bytes },
-        });
+        self.record(TraceEntry { at: depart, node: from, kind: TraceKind::Send { to, bytes } });
         let key = (arrive, self.seq);
         self.queue.push(Reverse(key));
         self.pending.insert(key, QueuedEvent { at: arrive, from, to, bytes, msg });
@@ -254,7 +250,11 @@ impl<M> Cluster<M> {
         st.disk_ns += cost;
         st.disk_bytes += bytes;
         let at = self.nodes[node].clock;
-        self.record(TraceEntry { at, node, kind: TraceKind::DiskWrite { offset, bytes, sequential } });
+        self.record(TraceEntry {
+            at,
+            node,
+            kind: TraceKind::DiskWrite { offset, bytes, sequential },
+        });
         cost
     }
 
@@ -273,7 +273,11 @@ impl<M> Cluster<M> {
             st.seeks += 1;
         }
         let at = self.nodes[node].clock;
-        self.record(TraceEntry { at, node, kind: TraceKind::DiskWrite { offset, bytes, sequential } });
+        self.record(TraceEntry {
+            at,
+            node,
+            kind: TraceKind::DiskWrite { offset, bytes, sequential },
+        });
         cost
     }
 
@@ -385,7 +389,11 @@ mod tests {
             nodes: 1,
             network: NetworkModel::myrinet(),
             disk: DiskModel::ide(),
-            cache: CacheModel { capacity: 1024, memcpy_bandwidth: 250_000_000, per_fragment_ns: 300 },
+            cache: CacheModel {
+                capacity: 1024,
+                memcpy_bandwidth: 250_000_000,
+                per_fragment_ns: 300,
+            },
         });
         let small = c.cache_write(0, 512);
         let overflow = c.cache_write(0, 1024);

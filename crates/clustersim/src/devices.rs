@@ -1,7 +1,5 @@
 //! Service-time models for the simulated hardware.
 
-use serde::{Deserialize, Serialize};
-
 const NS_PER_SEC: u64 = 1_000_000_000;
 
 /// Converts a byte count and a bandwidth (bytes/second) to nanoseconds.
@@ -15,7 +13,7 @@ fn transfer_ns(bytes: u64, bandwidth: u64) -> u64 {
 
 /// LogP-style network model: every message pays a fixed send overhead plus
 /// wire latency, and `size / bandwidth` of serialization time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkModel {
     /// CPU overhead to initiate a message (ns).
     pub per_message_overhead_ns: u64,
@@ -78,7 +76,7 @@ impl NetworkModel {
 
 /// Disk service-time model: sequential transfers run at full bandwidth;
 /// any discontinuity pays an average seek plus half a rotation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskModel {
     /// Average seek time (ns).
     pub avg_seek_ns: u64,
@@ -127,7 +125,7 @@ impl DiskModel {
 }
 
 /// Per-node disk head state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskState {
     /// One past the last byte the head touched.
     pub head: u64,
@@ -147,7 +145,7 @@ impl DiskState {
 
 /// Buffer-cache model: writes into the cache cost one memory copy; dirty
 /// bytes are flushed to disk either explicitly or when the cache overflows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheModel {
     /// Cache capacity in bytes.
     pub capacity: u64,
@@ -179,14 +177,14 @@ impl CacheModel {
 }
 
 /// Per-node cache state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheState {
     /// Dirty bytes awaiting flush.
     pub dirty: u64,
 }
 
 /// Full hardware configuration of a simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Number of nodes.
     pub nodes: usize,

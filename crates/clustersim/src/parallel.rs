@@ -3,11 +3,11 @@
 //! The simulator itself is single-threaded and deterministic; this module
 //! runs the *real* CPU work of a phase (gathers, scatters, intersections)
 //! on one OS thread per node, the way the actual cluster executed them, and
-//! reports per-node wall-clock times. Crossbeam's scoped threads keep
-//! borrowing safe without `Arc`-wrapping every input; a `parking_lot` mutex
-//! collects results as nodes finish.
+//! reports per-node wall-clock times. `std::thread::scope` keeps borrowing
+//! safe without `Arc`-wrapping every input; a mutex collects results as
+//! nodes finish.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Outcome of one node's phase execution.
@@ -33,20 +33,23 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let results: Mutex<Vec<PhaseResult<T>>> = Mutex::new(Vec::with_capacity(nodes));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for node in 0..nodes {
             let work = &work;
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let start = Instant::now();
                 let output = work(node);
                 let elapsed = start.elapsed();
-                results.lock().push(PhaseResult { node, elapsed, output });
+                results.lock().expect("phase result mutex poisoned").push(PhaseResult {
+                    node,
+                    elapsed,
+                    output,
+                });
             });
         }
-    })
-    .expect("phase worker panicked");
-    let mut out = results.into_inner();
+    });
+    let mut out = results.into_inner().expect("phase result mutex poisoned");
     out.sort_by_key(|r| r.node);
     out
 }

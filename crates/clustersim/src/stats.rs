@@ -1,10 +1,9 @@
 //! Simulation statistics.
 
 use crate::cluster::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-node counters accumulated during a simulation.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Messages sent.
     pub messages_sent: u64,
@@ -27,7 +26,7 @@ pub struct NodeStats {
 }
 
 /// Aggregated cluster statistics.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClusterStats {
     /// Counters per node.
     pub per_node: Vec<NodeStats>,

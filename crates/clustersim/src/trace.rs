@@ -1,10 +1,9 @@
 //! Event traces for debugging and for asserting schedules in tests.
 
 use crate::cluster::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One traced simulator event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Simulated time of the event.
     pub at: SimTime,
@@ -15,7 +14,7 @@ pub struct TraceEntry {
 }
 
 /// The kinds of traced events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
     /// CPU work.
     Compute {
@@ -64,7 +63,9 @@ impl TraceEntry {
     #[must_use]
     pub fn render(&self) -> String {
         match &self.kind {
-            TraceKind::Compute { ns } => format!("[{:>12}] n{} compute {}ns", self.at, self.node, ns),
+            TraceKind::Compute { ns } => {
+                format!("[{:>12}] n{} compute {}ns", self.at, self.node, ns)
+            }
             TraceKind::Send { to, bytes } => {
                 format!("[{:>12}] n{} send {}B -> n{}", self.at, self.node, bytes, to)
             }

@@ -98,6 +98,14 @@ pub enum Error {
         /// The partition displacement.
         displacement: u64,
     },
+    /// The aligned period `lcm(SIZE(P₁), SIZE(P₂))` exceeds `u64::MAX`, so
+    /// the two patterns cannot be intersected symbolically.
+    PeriodOverflow {
+        /// First pattern's size.
+        size1: u64,
+        /// Second pattern's size.
+        size2: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -118,6 +126,9 @@ impl std::fmt::Display for Error {
                 f,
                 "file offset {offset} lies below the partition displacement {displacement}"
             ),
+            Error::PeriodOverflow { size1, size2 } => {
+                write!(f, "aligned period lcm({size1}, {size2}) exceeds the 64-bit offset range")
+            }
         }
     }
 }

@@ -70,10 +70,7 @@ impl<'a> Mapper<'a> {
     }
 
     fn set(&self) -> &'a NestedSet {
-        self.partition
-            .pattern()
-            .element(self.element)
-            .expect("validated at construction")
+        self.partition.pattern().element(self.element).expect("validated at construction")
     }
 
     /// `MAP_S(x)`: the element offset that absolute file byte `x` maps to,

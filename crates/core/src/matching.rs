@@ -11,10 +11,9 @@
 use crate::model::Partition;
 use crate::plan::RedistributionPlan;
 use crate::Error;
-use serde::{Deserialize, Serialize};
 
 /// Matching statistics between two partitions of the same file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchingDegree {
     /// Non-empty (source element, destination element) pairs per period.
     pub active_pairs: usize,
@@ -49,13 +48,9 @@ impl MatchingDegree {
         // segment counts, scaled to the aligned period.
         let psize = dst.pattern().size();
         let tiles = (plan.period / psize).max(1);
-        let intrinsic: usize = dst
-            .pattern()
-            .elements()
-            .iter()
-            .map(|e| e.absolute_segments().len())
-            .sum::<usize>()
-            * tiles as usize;
+        let intrinsic: usize =
+            dst.pattern().elements().iter().map(|e| e.absolute_segments().len()).sum::<usize>()
+                * tiles as usize;
         let intrinsic = intrinsic.max(1);
         MatchingDegree {
             active_pairs: plan.pairs.len(),
@@ -130,11 +125,6 @@ mod tests {
         let far = cyclic(4);
         let m_near = MatchingDegree::compute(&near, &dst).unwrap();
         let m_far = MatchingDegree::compute(&far, &dst).unwrap();
-        assert!(
-            m_near.degree > m_far.degree,
-            "expected {} > {}",
-            m_near.degree,
-            m_far.degree
-        );
+        assert!(m_near.degree > m_far.degree, "expected {} > {}", m_near.degree, m_far.degree);
     }
 }

@@ -3,7 +3,6 @@
 
 use crate::Error;
 use falls::{LineSegment, NestedSet, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A partitioning pattern: the union of `p` sets of nested FALLS, each of
@@ -13,7 +12,7 @@ use std::fmt;
 /// elements must be mutually *non-overlapping*; both properties are checked
 /// at construction. The pattern is applied repeatedly throughout the linear
 /// space of the file, starting at the partition's displacement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionPattern {
     elements: Vec<NestedSet>,
     size: u64,
@@ -32,7 +31,10 @@ impl PartitionPattern {
             // tiling semantics are undefined for it.
             return Err(Error::EmptyPattern);
         }
-        let total: u64 = elements.iter().map(NestedSet::size).sum();
+        let total = elements
+            .iter()
+            .try_fold(0u64, |acc, e| acc.checked_add(e.size()))
+            .ok_or(Error::Falls(falls::FallsError::Overflow))?;
         if total == 0 {
             return Err(Error::EmptyPattern);
         }
@@ -71,9 +73,7 @@ impl PartitionPattern {
 
     /// The set describing element `i`.
     pub fn element(&self, i: usize) -> Result<&NestedSet, Error> {
-        self.elements
-            .get(i)
-            .ok_or(Error::NoSuchElement { index: i, count: self.elements.len() })
+        self.elements.get(i).ok_or(Error::NoSuchElement { index: i, count: self.elements.len() })
     }
 
     /// The pattern size: sum of the sizes of all of its nested FALLS.
@@ -118,7 +118,7 @@ fn coverage_end(segs: &[LineSegment]) -> Option<u64> {
 ///
 /// The paper uses the same structure for physical partitions (into subfiles)
 /// and logical partitions (into views).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     displacement: Offset,
     pattern: PartitionPattern,

@@ -162,7 +162,7 @@ impl NcubeMapping {
         let mut sets = Vec::with_capacity(disks as usize);
         for d in 0..disks {
             let l = ((d + d0 * (disks - 1)) % disks) * unit; // candidate start
-            // Find this disk's first byte directly instead of guessing.
+                                                             // Find this disk's first byte directly instead of guessing.
             let mut first = None;
             for a in (0..total).step_by(unit as usize) {
                 if self.map(a).0 == d {

@@ -11,10 +11,9 @@
 use crate::model::Partition;
 use crate::redist::{element_window, intersect_elements, Intersection, Projection};
 use crate::Error;
-use serde::{Deserialize, Serialize};
 
 /// One maximal copy run within the first aligned window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyRun {
     /// File offset of the run relative to the window start.
     pub file_rel: u64,
@@ -143,7 +142,13 @@ impl RedistributionPlan {
         }
         let windows = (file_len - self.displacement).div_ceil(self.period);
         for k in 0..windows {
-            let window_base = self.displacement + k * self.period;
+            // The last window can start near the top of the offset range;
+            // checked arithmetic keeps a huge `file_len` from wrapping here.
+            let Some(window_base) =
+                k.checked_mul(self.period).and_then(|off| self.displacement.checked_add(off))
+            else {
+                break; // any further window would start past u64::MAX ≥ file_len
+            };
             for pair in &self.pairs {
                 let src = &src_bufs[pair.src_element];
                 let dst = &mut dst_bufs[pair.dst_element];
@@ -269,9 +274,8 @@ mod tests {
         let plan = RedistributionPlan::build(&src, &dst).unwrap();
         assert_eq!(plan.bytes_per_period(), plan.period);
         let src_bufs = fill(&src, file_len);
-        let mut dst_bufs: Vec<Vec<u8>> = (0..4)
-            .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
-            .collect();
+        let mut dst_bufs: Vec<Vec<u8>> =
+            (0..4).map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize]).collect();
         let copied = plan.apply(&src_bufs, &mut dst_bufs, file_len);
         assert_eq!(copied, file_len);
         check(&dst, &dst_bufs, file_len, 0);
@@ -285,9 +289,8 @@ mod tests {
         let file_len = 13u64;
         let plan = RedistributionPlan::build(&src, &dst).unwrap();
         let src_bufs = fill(&src, file_len);
-        let mut dst_bufs: Vec<Vec<u8>> = (0..2)
-            .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
-            .collect();
+        let mut dst_bufs: Vec<Vec<u8>> =
+            (0..2).map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize]).collect();
         let copied = plan.apply(&src_bufs, &mut dst_bufs, file_len);
         assert_eq!(copied, file_len);
         check(&dst, &dst_bufs, file_len, 0);
@@ -320,9 +323,8 @@ mod tests {
         let plan = RedistributionPlan::build(&src, &dst).unwrap();
         assert_eq!(plan.displacement, 3);
         let src_bufs = fill(&src, file_len);
-        let mut dst_bufs: Vec<Vec<u8>> = (0..2)
-            .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
-            .collect();
+        let mut dst_bufs: Vec<Vec<u8>> =
+            (0..2).map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize]).collect();
         let copied = plan.apply(&src_bufs, &mut dst_bufs, file_len);
         assert_eq!(copied, file_len - 3);
         check(&dst, &dst_bufs, file_len, 3);
@@ -336,9 +338,8 @@ mod tests {
         let plan = RedistributionPlan::build(&src, &dst).unwrap();
         assert_eq!(plan.period, 60);
         let src_bufs = fill(&src, file_len);
-        let mut dst_bufs: Vec<Vec<u8>> = (0..4)
-            .map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize])
-            .collect();
+        let mut dst_bufs: Vec<Vec<u8>> =
+            (0..4).map(|e| vec![0u8; dst.element_len(e, file_len).unwrap() as usize]).collect();
         let copied = plan.apply(&src_bufs, &mut dst_bufs, file_len);
         assert_eq!(copied, file_len);
         check(&dst, &dst_bufs, file_len, 0);

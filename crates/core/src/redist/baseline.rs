@@ -66,7 +66,9 @@ mod tests {
     fn cyclic(count: u64) -> Partition {
         let pattern = PartitionPattern::new(
             (0..count)
-                .map(|k| NestedSet::singleton(NestedFalls::leaf(Falls::new(k, k, count, 1).unwrap())))
+                .map(|k| {
+                    NestedSet::singleton(NestedFalls::leaf(Falls::new(k, k, count, 1).unwrap()))
+                })
                 .collect(),
         )
         .unwrap();

@@ -105,8 +105,7 @@ mod tests {
             (Falls::new(0, 0, 1, 1).unwrap(), 0, 0),
         ];
         for (f, a, b) in cases {
-            let want: Vec<u64> =
-                f.offsets().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
+            let want: Vec<u64> = f.offsets().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
             assert_eq!(offsets(&cut_falls(&f, a, b)), want, "cut {f} between {a} and {b}");
         }
     }

@@ -13,7 +13,7 @@
 //!   (property tests assert both describe identical byte sets) and as the
 //!   comparison point for the ablation benchmark.
 
-use falls::{compress_segments, lcm, Falls, LineSegment};
+use falls::{checked_lcm, compress_segments, Falls, LineSegment};
 
 /// The paper's periodic FALLS intersection; see the module docs.
 ///
@@ -32,7 +32,17 @@ pub fn intersect_falls(f1: &Falls, f2: &Falls) -> Vec<Falls> {
     // ±T wraparound cases below then cover every candidate pair.
     let Some(f1) = &skip_before(f1, lo) else { return Vec::new() };
     let Some(f2) = &skip_before(f2, lo) else { return Vec::new() };
-    let t = lcm(f1.stride(), f2.stride());
+    // A saturated lcm would make k1/k2 wrong and silently drop overlaps, so
+    // when the exact period is unrepresentable fall back to the merge
+    // algorithm, which never forms the product.
+    let Some(t) = checked_lcm(f1.stride(), f2.stride()) else {
+        return intersect_falls_merge(f1, f2);
+    };
+    // The wraparound scan below works in i64; keep every candidate position
+    // (bounded by extent + T) inside that range or use the merge path.
+    if t > i64::MAX as u64 || hi > i64::MAX as u64 - t {
+        return intersect_falls_merge(f1, f2);
+    }
     let k1 = t / f1.stride();
     let k2 = t / f2.stride();
     let (n1, n2) = (f1.count(), f2.count());
@@ -96,21 +106,11 @@ fn skip_before(f: &Falls, lo: u64) -> Option<Falls> {
     if skip >= f.count() {
         // Only the last segment could still overlap; keep it.
         let last = f.count() - 1;
-        return Falls::new(
-            f.l() + last * f.stride(),
-            f.r() + last * f.stride(),
-            f.stride(),
-            1,
-        )
-        .ok();
+        return Falls::new(f.l() + last * f.stride(), f.r() + last * f.stride(), f.stride(), 1)
+            .ok();
     }
-    Falls::new(
-        f.l() + skip * f.stride(),
-        f.r() + skip * f.stride(),
-        f.stride(),
-        f.count() - skip,
-    )
-    .ok()
+    Falls::new(f.l() + skip * f.stride(), f.r() + skip * f.stride(), f.stride(), f.count() - skip)
+        .ok()
 }
 
 /// Reference FALLS intersection: merges the two segment streams with
@@ -127,17 +127,9 @@ pub fn intersect_falls_merge(f1: &Falls, f2: &Falls) -> Vec<Falls> {
         }
         if a.r() <= b.r() {
             // Skip ahead to the first segment of f1 that can reach b.l().
-            i += if b.l() > a.r() {
-                ((b.l() - a.r()) / f1.stride()).max(1)
-            } else {
-                1
-            };
+            i += if b.l() > a.r() { ((b.l() - a.r()) / f1.stride()).max(1) } else { 1 };
         } else {
-            j += if a.l() > b.r() {
-                ((a.l() - b.r()) / f2.stride()).max(1)
-            } else {
-                1
-            };
+            j += if a.l() > b.r() { ((a.l() - b.r()) / f2.stride()).max(1) } else { 1 };
         }
     }
     compress_segments(&out)
@@ -195,8 +187,7 @@ mod tests {
         let want = byte_set(&intersect_falls_merge(&f1, &f2));
         assert_eq!(got, want);
         // Spot-check against brute force.
-        let brute: Vec<u64> =
-            f1.offsets().filter(|x| f2.offsets().any(|y| y == *x)).collect();
+        let brute: Vec<u64> = f1.offsets().filter(|x| f2.offsets().any(|y| y == *x)).collect();
         assert_eq!(got, brute);
     }
 
@@ -226,8 +217,7 @@ mod tests {
         let f1 = Falls::new(5, 25, 21, 1).unwrap();
         let f2 = Falls::new(0, 2, 4, 10).unwrap();
         let got = byte_set(&intersect_falls(&f1, &f2));
-        let brute: Vec<u64> =
-            f2.offsets().filter(|&x| (5..=25).contains(&x)).collect();
+        let brute: Vec<u64> = f2.offsets().filter(|&x| (5..=25).contains(&x)).collect();
         assert_eq!(got, brute);
     }
 

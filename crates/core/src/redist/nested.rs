@@ -4,7 +4,7 @@
 use crate::model::Partition;
 use crate::redist::{cut_falls, intersect_falls};
 use crate::Error;
-use falls::{lcm, Falls, LineSegment, NestedFalls, NestedSet};
+use falls::{checked_lcm, Falls, LineSegment, NestedFalls, NestedSet};
 
 /// The intersection of two partition elements belonging to two partitions of
 /// the same file.
@@ -85,7 +85,7 @@ pub fn intersect_elements(
     let s1 = p1.pattern().element(e1)?;
     let s2 = p2.pattern().element(e2)?;
     let (sz1, sz2) = (p1.pattern().size(), p2.pattern().size());
-    let period = lcm(sz1, sz2);
+    let period = checked_lcm(sz1, sz2).ok_or(Error::PeriodOverflow { size1: sz1, size2: sz2 })?;
     let displacement = p1.displacement().max(p2.displacement());
 
     let ext1 = extend_set(s1, sz1, period);
@@ -239,9 +239,7 @@ fn build_node(
     let off1 = (lo1 + f.l() - f1.falls().l()) % f1.falls().stride();
     let off2 = (lo2 + f.l() - f2.falls().l()) % f2.falls().stride();
     let span = f.block_len();
-    let full = [NestedFalls::leaf(
-        Falls::new(0, span - 1, span, 1).expect("span ≥ 1"),
-    )];
+    let full = [NestedFalls::leaf(Falls::new(0, span - 1, span, 1).expect("span ≥ 1"))];
     let (in1, o1): (&[NestedFalls], u64) =
         if f1.is_leaf() { (&full, 0) } else { (f1.inner(), off1) };
     let (in2, o2): (&[NestedFalls], u64) =
@@ -315,9 +313,7 @@ mod tests {
     fn row_pattern() -> PartitionPattern {
         // 4 "rows" of 8 bytes each, one element per row: pattern size 32.
         PartitionPattern::new(
-            (0..4)
-                .map(|k| NestedSet::singleton(leaf(8 * k, 8 * k + 7, 32, 1)))
-                .collect(),
+            (0..4).map(|k| NestedSet::singleton(leaf(8 * k, 8 * k + 7, 32, 1))).collect(),
         )
         .unwrap()
     }
@@ -325,9 +321,7 @@ mod tests {
     fn column_pattern() -> PartitionPattern {
         // 4 "column blocks": element k takes bytes [2k, 2k+1] of every 8.
         PartitionPattern::new(
-            (0..4)
-                .map(|k| NestedSet::singleton(leaf(2 * k, 2 * k + 1, 8, 4)))
-                .collect(),
+            (0..4).map(|k| NestedSet::singleton(leaf(2 * k, 2 * k + 1, 8, 4))).collect(),
         )
         .unwrap()
     }
@@ -448,10 +442,7 @@ mod tests {
         assert_eq!(cut.absolute_offsets(), vec![0, 1, 4, 5]);
         // A mid-block cut trims the inner families.
         let cut = cut_set(&v, 1, 20);
-        assert_eq!(
-            cut.absolute_offsets(),
-            vec![0, 3, 4, 15, 16, 19],
-        );
+        assert_eq!(cut.absolute_offsets(), vec![0, 3, 4, 15, 16, 19],);
     }
 
     #[test]

@@ -250,14 +250,8 @@ mod tests {
         let v_rest = v_set.complement(32);
         let s_set = NestedSet::singleton(nested(0, 3, 8, 4, vec![leaf(0, 0, 2, 2)]));
         let s_rest = s_set.complement(32);
-        let pv = Partition::new(
-            0,
-            PartitionPattern::new(vec![v_set, v_rest]).unwrap(),
-        );
-        let ps = Partition::new(
-            0,
-            PartitionPattern::new(vec![s_set, s_rest]).unwrap(),
-        );
+        let pv = Partition::new(0, PartitionPattern::new(vec![v_set, v_rest]).unwrap());
+        let ps = Partition::new(0, PartitionPattern::new(vec![s_set, s_rest]).unwrap());
         let inter = intersect_elements(&pv, 0, &ps, 0).unwrap();
         assert_eq!(inter.set.absolute_offsets(), vec![0, 16]);
 
@@ -323,9 +317,7 @@ mod tests {
         let rest = set.complement(span);
         if rest.is_empty() {
             // The element covers everything; single-element pattern.
-            return PartitionPattern::new(vec![set.clone()])
-                .ok()
-                .map(|p| Partition::new(0, p));
+            return PartitionPattern::new(vec![set.clone()]).ok().map(|p| Partition::new(0, p));
         }
         PartitionPattern::new(vec![set.clone(), rest]).ok().map(|p| Partition::new(0, p))
     }
@@ -372,10 +364,7 @@ mod tests {
         assert!(!proj_r.covers_interval(0, 7));
         assert!(proj_r.covers_interval(0, 1));
         assert_eq!(proj_r.contiguous_run_between(0, 7), None);
-        assert_eq!(
-            proj_r.contiguous_run_between(3, 7),
-            Some(LineSegment::new(4, 5).unwrap())
-        );
+        assert_eq!(proj_r.contiguous_run_between(3, 7), Some(LineSegment::new(4, 5).unwrap()));
     }
 
     #[test]

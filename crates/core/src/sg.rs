@@ -138,8 +138,7 @@ mod tests {
     fn projection_gather_scatter_round_trip() {
         // A fragmented projection: positions {0,1,4,5} per 8-byte window.
         let proj = Projection {
-            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())])
-                .unwrap(),
+            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())]).unwrap(),
             period: 8,
         };
         let src: Vec<u8> = (0..32).collect();
@@ -160,8 +159,7 @@ mod tests {
     #[test]
     fn partial_interval_gather() {
         let proj = Projection {
-            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())])
-                .unwrap(),
+            set: NestedSet::new(vec![NestedFalls::leaf(Falls::new(0, 1, 4, 2).unwrap())]).unwrap(),
             period: 8,
         };
         let src: Vec<u8> = (0..32).collect();

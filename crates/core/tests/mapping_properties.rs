@@ -13,8 +13,7 @@ fn arb_partition(span: u64) -> impl Strategy<Value = Partition> {
     (any::<u64>(), 0u64..32).prop_filter_map("degenerate", move |(seed, disp)| {
         let set = random_nested_set(&mut Gen::new(seed), span, 3);
         let comp = set.complement(span);
-        let sets: Vec<NestedSet> =
-            [set, comp].into_iter().filter(|s| !s.is_empty()).collect();
+        let sets: Vec<NestedSet> = [set, comp].into_iter().filter(|s| !s.is_empty()).collect();
         PartitionPattern::new(sets).ok().map(|p| Partition::new(disp, p))
     })
 }

@@ -31,8 +31,7 @@ fn arb_partition_at(span: u64, disp: std::ops::Range<u64>) -> impl Strategy<Valu
     (any::<u64>(), disp).prop_filter_map("degenerate", move |(seed, disp)| {
         let set = random_nested_set(&mut Gen::new(seed), span, 3);
         let comp = set.complement(span);
-        let sets: Vec<NestedSet> =
-            [set, comp].into_iter().filter(|s| !s.is_empty()).collect();
+        let sets: Vec<NestedSet> = [set, comp].into_iter().filter(|s| !s.is_empty()).collect();
         PartitionPattern::new(sets).ok().map(|p| Partition::new(disp, p))
     })
 }
@@ -208,8 +207,7 @@ fn projection_segments_between_sorted_across_windows() {
         let span1 = g.range(6, 28);
         let span2 = g.range(6, 28);
         let (d1, d2) = (g.below(11), g.below(11));
-        let (Some(s1), Some(s2)) = (interleaved(span1, &mut g), interleaved(span2, &mut g))
-        else {
+        let (Some(s1), Some(s2)) = (interleaved(span1, &mut g), interleaved(span2, &mut g)) else {
             continue;
         };
         let mk = |set: &NestedSet, span: u64, d: u64| -> Option<Partition> {

@@ -1,0 +1,284 @@
+//! An offline, dependency-free benchmark harness exposing the subset of the
+//! `criterion` crate API this workspace's benches use.
+//!
+//! The real `criterion` cannot be vendored into hermetic build environments,
+//! so this crate provides compatible `Criterion`, `BenchmarkGroup`,
+//! `Bencher`, `BenchmarkId` and `Throughput` types plus the
+//! `criterion_group!` / `criterion_main!` macros. Measurements are simple
+//! wall-clock means over `sample_size` timed runs after a short warm-up —
+//! good enough for the relative comparisons the benches print, with no
+//! statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle; configures and runs benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed runs each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_label(), self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the volume of data one iteration processes, so results can
+    /// be reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoLabel, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op here; results print as they complete.)
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark name, e.g. function + parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+}
+
+/// Conversion into a printable benchmark label; lets `bench_function` accept
+/// both plain strings and [`BenchmarkId`]s.
+pub trait IntoLabel {
+    /// The label under which results are reported.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Data volume processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled by one iteration.
+    Bytes(u64),
+    /// Abstract elements handled by one iteration.
+    Elements(u64),
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: one untimed run.
+    let mut warm = Bencher { elapsed: Duration::ZERO, iters: 1 };
+    f(&mut warm);
+
+    let mut bench = Bencher { elapsed: Duration::ZERO, iters: 1 };
+    for _ in 0..sample_size {
+        f(&mut bench);
+    }
+    let total_iters = bench.iters * sample_size as u64;
+    if total_iters == 0 || bench.elapsed.is_zero() {
+        println!("{label:<48} (no measurement)");
+        return;
+    }
+    let per_iter = bench.elapsed.as_secs_f64() / total_iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!("  {:>10}/s", human_bytes(b as f64 / per_iter)),
+        Throughput::Elements(e) => format!("  {:>10.0} elem/s", e as f64 / per_iter),
+    });
+    println!("{label:<48} time: {:>12}{}", human_time(per_iter), rate.unwrap_or_default());
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if rate >= GIB {
+        format!("{:.2} GiB", rate / GIB)
+    } else if rate >= MIB {
+        format!("{:.2} MiB", rate / MIB)
+    } else if rate >= KIB {
+        format!("{:.2} KiB", rate / KIB)
+    } else {
+        format!("{rate:.0} B")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro. Both
+/// the `name = ...; config = ...; targets = ...` form and the positional
+/// form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn labels_compose() {
+        assert_eq!(BenchmarkId::new("f", 8).into_label(), "f/8");
+        assert_eq!("plain".into_label(), "plain");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(human_time(2.5e-9), "2.50 ns");
+        assert_eq!(human_time(0.004), "4.00 ms");
+        assert_eq!(human_bytes(2048.0), "2.00 KiB");
+    }
+}

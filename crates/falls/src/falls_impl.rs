@@ -1,5 +1,4 @@
 use crate::{FallsError, LineSegment, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A FAmily of Line Segments: `n` equally sized, equally spaced line
@@ -18,7 +17,7 @@ use std::fmt;
 /// * a single-segment family is normalized to stride `r − l + 1`, matching
 ///   the paper's convention that a line segment `(l, r)` is the FALLS
 ///   `(l, r, r − l + 1, 1)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Falls {
     l: Offset,
     r: Offset,

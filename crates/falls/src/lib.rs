@@ -80,15 +80,37 @@ pub fn gcd(a: u64, b: u64) -> u64 {
     a
 }
 
-/// Least common multiple; `lcm(0, _) = 0`. Panics on overflow in debug mode,
-/// saturates in release via `checked_mul` fallback to `u64::MAX`.
+/// Least common multiple; `lcm(0, _) = 0`. Saturates to `u64::MAX` on
+/// overflow — prefer [`checked_lcm`] anywhere a saturated period would be
+/// silently wrong (intersection periods, audit checks).
 #[must_use]
 pub fn lcm(a: u64, b: u64) -> u64 {
+    checked_lcm(a, b).unwrap_or(u64::MAX)
+}
+
+/// Least common multiple that reports overflow: `Some(lcm)` when the result
+/// is representable, `None` otherwise. `checked_lcm(0, _) = Some(0)`.
+///
+/// Pattern sizes are products of strides and counts, so two modest patterns
+/// can already push `lcm(SIZE(P₁), SIZE(P₂))` past `u64::MAX`; every period
+/// computation must go through here (or [`lcm`] where saturation is
+/// acceptable) rather than multiplying raw.
+#[must_use]
+pub fn checked_lcm(a: u64, b: u64) -> Option<u64> {
     if a == 0 || b == 0 {
-        return 0;
+        return Some(0);
     }
     let g = gcd(a, b);
-    (a / g).saturating_mul(b)
+    (a / g).checked_mul(b)
+}
+
+/// Size of a FALLS-shaped family — `count · block_len` — reporting overflow
+/// instead of wrapping. For a [`Falls`] built through [`Falls::new`] the
+/// product always fits (the constructor bounds the extent), but raw
+/// `(l, r, s, n)` quadruples from specs or audits must use this.
+#[must_use]
+pub fn checked_size(count: u64, block_len: u64) -> Option<u64> {
+    count.checked_mul(block_len)
 }
 
 #[cfg(test)]
@@ -115,5 +137,21 @@ mod tests {
     #[test]
     fn lcm_saturates_instead_of_overflowing() {
         assert_eq!(lcm(u64::MAX, u64::MAX - 1), u64::MAX);
+    }
+
+    #[test]
+    fn checked_lcm_reports_overflow() {
+        assert_eq!(checked_lcm(0, 5), Some(0));
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(1 << 40, (1 << 40) + 1), None);
+        assert_eq!(checked_lcm(u64::MAX, u64::MAX - 1), None);
+        assert_eq!(checked_lcm(u64::MAX, u64::MAX), Some(u64::MAX));
+    }
+
+    #[test]
+    fn checked_size_reports_overflow() {
+        assert_eq!(checked_size(5, 3), Some(15));
+        assert_eq!(checked_size(0, 3), Some(0));
+        assert_eq!(checked_size(1 << 40, 1 << 40), None);
     }
 }

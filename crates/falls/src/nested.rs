@@ -1,5 +1,4 @@
 use crate::{Falls, FallsError, LineSegment, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A FALLS together with a set of inner nested FALLS that subdivide each of
@@ -12,7 +11,7 @@ use std::fmt;
 ///
 /// Example — the paper's Figure 2, `(0, 3, 8, 2, {(0, 0, 2, 2)})`, selects
 /// bytes `{0, 2, 8, 10}` of a 16-byte region.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NestedFalls {
     falls: Falls,
     inner: Vec<NestedFalls>,
@@ -318,8 +317,7 @@ mod tests {
         // Middle (0,7,8,2) inside: relative [0,7],[8,15].
         // Inner (1,2,4,2): relative {1,2,5,6} of each middle block.
         let inner = NestedFalls::leaf(Falls::new(1, 2, 4, 2).unwrap());
-        let middle =
-            NestedFalls::with_inner(Falls::new(0, 7, 8, 2).unwrap(), vec![inner]).unwrap();
+        let middle = NestedFalls::with_inner(Falls::new(0, 7, 8, 2).unwrap(), vec![inner]).unwrap();
         let outer =
             NestedFalls::with_inner(Falls::new(0, 15, 32, 2).unwrap(), vec![middle]).unwrap();
         assert_eq!(outer.height(), 3);
@@ -343,9 +341,6 @@ mod tests {
     #[test]
     fn display_round_trips_shape() {
         assert_eq!(fig2().to_string(), "(0, 3, 8, 2, {(0, 0, 2, 2)})");
-        assert_eq!(
-            NestedFalls::leaf(Falls::new(3, 5, 6, 5).unwrap()).to_string(),
-            "(3, 5, 6, 5)"
-        );
+        assert_eq!(NestedFalls::leaf(Falls::new(3, 5, 6, 5).unwrap()).to_string(), "(3, 5, 6, 5)");
     }
 }

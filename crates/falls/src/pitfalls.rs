@@ -1,5 +1,4 @@
 use crate::{Falls, FallsError, NestedFalls, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Processor Indexed Tagged FAmily of Line Segments.
@@ -11,7 +10,7 @@ use std::fmt;
 /// PITFALLS are the compact form used for regular (HPF-style) distributions;
 /// every PITFALLS expands to a plain set of FALLS, which is the form the
 /// mapping and intersection algorithms operate on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pitfalls {
     l: Offset,
     r: Offset,
@@ -78,7 +77,7 @@ impl fmt::Display for Pitfalls {
 /// As the paper notes, "each nested PITFALLS is just a compact representation
 /// of a set of nested FALLS"; [`NestedPitfalls::expand`] produces exactly
 /// that set, one [`NestedFalls`] tree per processor.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NestedPitfalls {
     pitfalls: Pitfalls,
     inner: Vec<NestedPitfalls>,

@@ -1,10 +1,9 @@
 use crate::{FallsError, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A contiguous portion of a file: the pair `(l, r)` of the paper, describing
 /// bytes `l ..= r` (both inclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineSegment {
     l: Offset,
     r: Offset,

@@ -1,7 +1,6 @@
 use crate::nested::validate_siblings;
 use crate::segment::normalize_segments;
 use crate::{FallsError, LineSegment, NestedFalls, Offset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered set of sibling [`NestedFalls`] describing one partition
@@ -9,7 +8,7 @@ use std::fmt;
 ///
 /// The families must be sorted by left index and mutually disjoint. The
 /// paper's *SIZE* of a set is the sum of the sizes of its elements.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct NestedSet {
     families: Vec<NestedFalls>,
 }
@@ -176,11 +175,8 @@ impl NestedSet {
     /// Shifts every family up by `delta`.
     #[must_use]
     pub fn shift_up(&self, delta: Offset) -> Option<NestedSet> {
-        let families = self
-            .families
-            .iter()
-            .map(|f| f.shift_up(delta))
-            .collect::<Option<Vec<_>>>()?;
+        let families =
+            self.families.iter().map(|f| f.shift_up(delta)).collect::<Option<Vec<_>>>()?;
         Some(NestedSet { families })
     }
 }

@@ -7,14 +7,15 @@ use proptest::prelude::*;
 
 /// Strategy for a valid FALLS inside a span.
 fn arb_falls(span: u64) -> impl Strategy<Value = Falls> {
-    (0..span, 1u64..=span / 4 + 1, 0u64..span, 1u64..=span)
-        .prop_map(move |(l, block, extra_stride, want_n)| {
+    (0..span, 1u64..=span / 4 + 1, 0u64..span, 1u64..=span).prop_map(
+        move |(l, block, extra_stride, want_n)| {
             let l = l.min(span - 1);
             let r = (l + block - 1).min(span - 1);
             let s = (r - l + 1) + extra_stride % (span / 4 + 1);
             let max_n = (span - 1 - r) / s + 1;
             Falls::new(l, r, s, want_n.clamp(1, max_n)).expect("constructed within bounds")
-        })
+        },
+    )
 }
 
 /// Strategy for a random nested set driven through the deterministic

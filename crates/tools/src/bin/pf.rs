@@ -60,7 +60,7 @@ fn run(args: &[String]) -> Result<(), ToolError> {
     let cmd = args.first().ok_or_else(usage)?;
     match cmd.as_str() {
         "example" => {
-            println!("{}", serde_json::to_string_pretty(&PartitionSpec::example())?);
+            println!("{}", PartitionSpec::example().to_json().render_pretty());
             Ok(())
         }
         "render" => {
@@ -75,10 +75,7 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                 part.pattern().size(),
                 part.element_count()
             );
-            println!(
-                "{}",
-                falls::render_nested_set(part.pattern().elements(), span.min(256))
-            );
+            println!("{}", falls::render_nested_set(part.pattern().elements(), span.min(256)));
             Ok(())
         }
         "map" => {

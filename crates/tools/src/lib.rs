@@ -26,11 +26,11 @@
 
 use arraydist::matrix::MatrixLayout;
 use falls::{Falls, FallsError, NestedFalls, NestedSet};
+use jsonlite::{obj, Json, ToJson};
 use parafile::model::{Partition, PartitionPattern};
-use serde::{Deserialize, Serialize};
 
 /// JSON form of one (possibly nested) FALLS.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FallsSpec {
     /// Left index of the first segment.
     pub l: u64,
@@ -41,22 +41,78 @@ pub struct FallsSpec {
     /// Segment count.
     pub n: u64,
     /// Inner families, relative to the block start.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub inner: Vec<FallsSpec>,
 }
 
+fn require_u64(value: &Json, key: &str, what: &str) -> Result<u64, ToolError> {
+    value
+        .get(key)
+        .ok_or_else(|| ToolError::Spec(format!("{what} is missing field {key:?}")))?
+        .as_u64()
+        .ok_or_else(|| {
+            ToolError::Spec(format!("field {key:?} of {what} must be an unsigned integer"))
+        })
+}
+
+fn optional_u64(value: &Json, key: &str, default: u64) -> Result<u64, ToolError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ToolError::Spec(format!("field {key:?} must be an unsigned integer"))),
+    }
+}
+
 impl FallsSpec {
+    /// Reads a spec from its JSON object form.
+    pub fn from_json(value: &Json) -> Result<Self, ToolError> {
+        if value.as_object().is_none() {
+            return Err(ToolError::Spec("a FALLS spec must be a JSON object".into()));
+        }
+        let inner = match value.get("inner") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| ToolError::Spec("field \"inner\" must be an array".into()))?
+                .iter()
+                .map(FallsSpec::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Self {
+            l: require_u64(value, "l", "a FALLS spec")?,
+            r: require_u64(value, "r", "a FALLS spec")?,
+            s: require_u64(value, "s", "a FALLS spec")?,
+            n: require_u64(value, "n", "a FALLS spec")?,
+            inner,
+        })
+    }
+
+    /// Emits the spec's JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("l".to_owned(), self.l.to_json()),
+            ("r".to_owned(), self.r.to_json()),
+            ("s".to_owned(), self.s.to_json()),
+            ("n".to_owned(), self.n.to_json()),
+        ];
+        if !self.inner.is_empty() {
+            fields.push((
+                "inner".to_owned(),
+                Json::Array(self.inner.iter().map(FallsSpec::to_json).collect()),
+            ));
+        }
+        Json::Object(fields)
+    }
+
     /// Lowers the spec to a [`NestedFalls`].
     pub fn to_nested(&self) -> Result<NestedFalls, FallsError> {
         let falls = Falls::new(self.l, self.r, self.s, self.n)?;
         if self.inner.is_empty() {
             Ok(NestedFalls::leaf(falls))
         } else {
-            let inner = self
-                .inner
-                .iter()
-                .map(FallsSpec::to_nested)
-                .collect::<Result<Vec<_>, _>>()?;
+            let inner =
+                self.inner.iter().map(FallsSpec::to_nested).collect::<Result<Vec<_>, _>>()?;
             NestedFalls::with_inner(falls, inner)
         }
     }
@@ -76,14 +132,13 @@ impl FallsSpec {
 }
 
 /// JSON form of a matrix-layout shorthand.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatrixSpec {
     /// Matrix rows (in elements).
     pub rows: u64,
     /// Matrix columns (in elements).
     pub cols: u64,
     /// Element size in bytes (default 1).
-    #[serde(default = "one")]
     pub elem_size: u64,
     /// Processor count.
     pub procs: u64,
@@ -91,22 +146,49 @@ pub struct MatrixSpec {
     pub layout: String,
 }
 
-fn one() -> u64 {
-    1
+impl MatrixSpec {
+    /// Reads a matrix shorthand from its JSON object form.
+    pub fn from_json(value: &Json) -> Result<Self, ToolError> {
+        if value.as_object().is_none() {
+            return Err(ToolError::Spec("`matrix` must be a JSON object".into()));
+        }
+        let layout = value
+            .get("layout")
+            .ok_or_else(|| ToolError::Spec("`matrix` is missing field \"layout\"".into()))?
+            .as_str()
+            .ok_or_else(|| ToolError::Spec("field \"layout\" must be a string".into()))?
+            .to_owned();
+        Ok(Self {
+            rows: require_u64(value, "rows", "`matrix`")?,
+            cols: require_u64(value, "cols", "`matrix`")?,
+            elem_size: optional_u64(value, "elem_size", 1)?,
+            procs: require_u64(value, "procs", "`matrix`")?,
+            layout,
+        })
+    }
+
+    /// Emits the shorthand's JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        obj![
+            ("rows", self.rows),
+            ("cols", self.cols),
+            ("elem_size", self.elem_size),
+            ("procs", self.procs),
+            ("layout", self.layout.as_str())
+        ]
+    }
 }
 
 /// JSON form of a full partition: either explicit elements or a matrix
 /// shorthand.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PartitionSpec {
     /// Absolute displacement (default 0).
-    #[serde(default)]
     pub displacement: u64,
     /// Explicit elements: one list of FALLS specs per partition element.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub elements: Vec<Vec<FallsSpec>>,
     /// Matrix shorthand (mutually exclusive with `elements`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub matrix: Option<MatrixSpec>,
 }
 
@@ -114,7 +196,7 @@ pub struct PartitionSpec {
 #[derive(Debug)]
 pub enum ToolError {
     /// JSON parse failure.
-    Json(serde_json::Error),
+    Json(jsonlite::JsonError),
     /// Invalid FALLS structure.
     Falls(FallsError),
     /// Invalid partition structure.
@@ -139,8 +221,8 @@ impl std::fmt::Display for ToolError {
 
 impl std::error::Error for ToolError {}
 
-impl From<serde_json::Error> for ToolError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<jsonlite::JsonError> for ToolError {
+    fn from(e: jsonlite::JsonError) -> Self {
         ToolError::Json(e)
     }
 }
@@ -163,7 +245,60 @@ impl From<std::io::Error> for ToolError {
 impl PartitionSpec {
     /// Parses a spec from JSON text.
     pub fn parse(json: &str) -> Result<Self, ToolError> {
-        Ok(serde_json::from_str(json)?)
+        Self::from_json(&Json::parse(json)?)
+    }
+
+    /// Reads a spec from an already-parsed JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, ToolError> {
+        if value.as_object().is_none() {
+            return Err(ToolError::Spec("a partition spec must be a JSON object".into()));
+        }
+        let elements = match value.get("elements") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| ToolError::Spec("field \"elements\" must be an array".into()))?
+                .iter()
+                .map(|fams| {
+                    fams.as_array()
+                        .ok_or_else(|| {
+                            ToolError::Spec("each element must be an array of FALLS specs".into())
+                        })?
+                        .iter()
+                        .map(FallsSpec::from_json)
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let matrix = match value.get("matrix") {
+            None => None,
+            Some(m) => Some(MatrixSpec::from_json(m)?),
+        };
+        Ok(Self { displacement: optional_u64(value, "displacement", 0)?, elements, matrix })
+    }
+
+    /// Emits the spec's JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if self.displacement != 0 {
+            fields.push(("displacement".to_owned(), self.displacement.to_json()));
+        }
+        if !self.elements.is_empty() {
+            fields.push((
+                "elements".to_owned(),
+                Json::Array(
+                    self.elements
+                        .iter()
+                        .map(|fams| Json::Array(fams.iter().map(FallsSpec::to_json).collect()))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(m) = &self.matrix {
+            fields.push(("matrix".to_owned(), m.to_json()));
+        }
+        Json::Object(fields)
     }
 
     /// Lowers the spec to a [`Partition`].
@@ -184,9 +319,7 @@ impl PartitionSpec {
                     )))
                 }
             };
-            let pattern = layout
-                .distribution(m.rows, m.cols, m.elem_size, m.procs)
-                .pattern();
+            let pattern = layout.distribution(m.rows, m.cols, m.elem_size, m.procs).pattern();
             return Ok(Partition::new(self.displacement, pattern));
         }
         if self.elements.is_empty() {
@@ -196,10 +329,8 @@ impl PartitionSpec {
             .elements
             .iter()
             .map(|fams| {
-                let nested = fams
-                    .iter()
-                    .map(FallsSpec::to_nested)
-                    .collect::<Result<Vec<_>, _>>()?;
+                let nested =
+                    fams.iter().map(FallsSpec::to_nested).collect::<Result<Vec<_>, _>>()?;
                 NestedSet::new(nested)
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -213,9 +344,7 @@ impl PartitionSpec {
         Self {
             displacement: 2,
             elements: (0..3)
-                .map(|k| {
-                    vec![FallsSpec { l: 2 * k, r: 2 * k + 1, s: 6, n: 1, inner: Vec::new() }]
-                })
+                .map(|k| vec![FallsSpec { l: 2 * k, r: 2 * k + 1, s: 6, n: 1, inner: Vec::new() }])
                 .collect(),
             matrix: None,
         }
@@ -224,15 +353,19 @@ impl PartitionSpec {
 
 /// Reads a partition from a JSON file path (or stdin when the path is `-`).
 pub fn load_partition(path: &str) -> Result<Partition, ToolError> {
-    let text = if path == "-" {
+    PartitionSpec::parse(&read_input(path)?)?.to_partition()
+}
+
+/// Reads a file's text (or stdin when the path is `-`).
+pub fn read_input(path: &str) -> Result<String, ToolError> {
+    if path == "-" {
         use std::io::Read;
         let mut s = String::new();
         std::io::stdin().read_to_string(&mut s)?;
-        s
+        Ok(s)
     } else {
-        std::fs::read_to_string(path)?
-    };
-    PartitionSpec::parse(&text)?.to_partition()
+        Ok(std::fs::read_to_string(path)?)
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +375,7 @@ mod tests {
     #[test]
     fn explicit_spec_round_trip() {
         let spec = PartitionSpec::example();
-        let json = serde_json::to_string(&spec).unwrap();
+        let json = spec.to_json().render();
         let parsed = PartitionSpec::parse(&json).unwrap();
         let p = parsed.to_partition().unwrap();
         assert_eq!(p.displacement(), 2);
@@ -288,6 +421,11 @@ mod tests {
         // Non-tiling explicit elements.
         let gap = r#"{ "elements": [[{ "l": 1, "r": 2, "s": 3, "n": 1 }]] }"#;
         assert!(PartitionSpec::parse(gap).unwrap().to_partition().is_err());
+        // Structural JSON problems surface as spec errors, not panics.
+        assert!(PartitionSpec::parse(r#"{ "elements": [[{ "l": 0 }]] }"#).is_err());
+        assert!(PartitionSpec::parse(r#"{ "elements": [[{ "l": -3, "r": 1, "s": 2, "n": 1 }]] }"#)
+            .is_err());
+        assert!(PartitionSpec::parse("[1, 2]").is_err());
     }
 
     #[test]
@@ -299,5 +437,7 @@ mod tests {
         .unwrap();
         let spec = FallsSpec::from_nested(&nf);
         assert_eq!(spec.to_nested().unwrap(), nf);
+        let round = FallsSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round.to_nested().unwrap(), nf);
     }
 }

@@ -62,14 +62,13 @@ fn plan_between_matrix_shorthands() {
     let pa = dir.join(format!("pf_cli_rows_{}.json", std::process::id()));
     let pb = dir.join(format!("pf_cli_cols_{}.json", std::process::id()));
     std::fs::write(&pa, rows).unwrap();
-    std::fs::write(
-        &pb,
-        r#"{ "matrix": { "rows": 8, "cols": 8, "procs": 4, "layout": "col" } }"#,
-    )
-    .unwrap();
-    let (out, err, ok) =
-        pf(&[&"plan".to_string(), &pa.display().to_string(), &pb.display().to_string()]
-            .map(|s| s.as_str()), None);
+    std::fs::write(&pb, r#"{ "matrix": { "rows": 8, "cols": 8, "procs": 4, "layout": "col" } }"#)
+        .unwrap();
+    let (out, err, ok) = pf(
+        &[&"plan".to_string(), &pa.display().to_string(), &pb.display().to_string()]
+            .map(|s| s.as_str()),
+        None,
+    );
     assert!(ok, "plan failed: {err}");
     assert!(out.contains("64 bytes per period"), "got: {out}");
     assert!(out.contains("matching"), "got: {out}");
@@ -82,7 +81,10 @@ fn bad_usage_fails_cleanly() {
     let (_, err, ok) = pf(&["frobnicate"], None);
     assert!(!ok);
     assert!(err.contains("usage"));
-    let (_, err, ok) = pf(&["map", "-", "9", "1"], Some(r#"{ "matrix": { "rows": 4, "cols": 4, "procs": 2, "layout": "row" } }"#));
+    let (_, err, ok) = pf(
+        &["map", "-", "9", "1"],
+        Some(r#"{ "matrix": { "rows": 4, "cols": 4, "procs": 2, "layout": "row" } }"#),
+    );
     assert!(!ok);
     assert!(err.contains("out of range"), "got: {err}");
 }

@@ -68,9 +68,7 @@ fn main() {
     let src: Vec<Vec<u8>> = (0..4)
         .map(|e| {
             let m = Mapper::new(&physical, e);
-            (0..physical.element_len(e, file_len).unwrap())
-                .map(|y| m.unmap(y) as u8)
-                .collect()
+            (0..physical.element_len(e, file_len).unwrap()).map(|y| m.unmap(y) as u8).collect()
         })
         .collect();
     let mut dst: Vec<Vec<u8>> =

@@ -14,12 +14,8 @@ use parafile::model::{Partition, PartitionPattern};
 fn main() {
     // A vector datatype: 4 blocks of 8 bytes, stride 16 — half the bytes of
     // a 64-byte row, in 8-byte pieces.
-    let dtype = Datatype::Vector {
-        count: 4,
-        blocklen: 8,
-        stride: 16,
-        child: Box::new(Datatype::byte()),
-    };
+    let dtype =
+        Datatype::Vector { count: 4, blocklen: 8, stride: 16, child: Box::new(Datatype::byte()) };
     println!(
         "datatype: vector(count=4, blocklen=8, stride=16) — size {} of extent {}",
         dtype.size(),

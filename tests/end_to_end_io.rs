@@ -57,7 +57,11 @@ fn all_layout_combinations_roundtrip() {
                 let len = logical.element_len(c, n * n).unwrap();
                 let back = fs.read(c, file, 0, len - 1);
                 for (y, &b) in back.iter().enumerate() {
-                    assert_eq!(b, file_byte(m.unmap(y as u64)), "{phys:?}/{log:?} view {c} offset {y}");
+                    assert_eq!(
+                        b,
+                        file_byte(m.unmap(y as u64)),
+                        "{phys:?}/{log:?} view {c} offset {y}"
+                    );
                 }
             }
         }

@@ -7,15 +7,14 @@ use arraydist::dist::{ArrayDistribution, DimDist};
 use arraydist::grid::ProcGrid;
 use arraydist::matrix::MatrixLayout;
 use clusterfile::{relayout, Clusterfile, ClusterfileConfig, WritePolicy};
+use falls::testing::Gen;
 use parafile::{Mapper, Partition};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const N: u64 = 24; // 24×24 byte matrix
 const COMPUTES: usize = 4;
 
-fn random_physical(rng: &mut StdRng) -> Partition {
-    match rng.random_range(0..4) {
+fn random_physical(rng: &mut Gen) -> Partition {
+    match rng.below(4) {
         0 => MatrixLayout::RowBlocks.partition(N, N, 1, 4),
         1 => MatrixLayout::ColumnBlocks.partition(N, N, 1, 4),
         2 => MatrixLayout::SquareBlocks.partition(N, N, 1, 4),
@@ -29,8 +28,8 @@ fn random_physical(rng: &mut StdRng) -> Partition {
     }
 }
 
-fn random_logical(rng: &mut StdRng) -> Partition {
-    match rng.random_range(0..3) {
+fn random_logical(rng: &mut Gen) -> Partition {
+    match rng.below(3) {
         0 => MatrixLayout::RowBlocks.partition(N, N, 1, COMPUTES as u64),
         1 => MatrixLayout::ColumnBlocks.partition(N, N, 1, COMPUTES as u64),
         _ => ArrayDistribution::new(
@@ -44,7 +43,7 @@ fn random_logical(rng: &mut StdRng) -> Partition {
 }
 
 fn run_fuzz(seed: u64, steps: usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Gen::new(seed);
     let file_len = N * N;
     let mut fs = Clusterfile::new(ClusterfileConfig::paper_deployment(WritePolicy::BufferCache));
     let file = fs.create_file(random_physical(&mut rng), file_len);
@@ -53,14 +52,14 @@ fn run_fuzz(seed: u64, steps: usize) {
     let mut views_set = [false; COMPUTES];
 
     for step in 0..steps {
-        match rng.random_range(0..10) {
+        match rng.below(10) {
             // Re-view a compute node (possibly with a new logical layout).
             0 => {
-                if rng.random_bool(0.4) {
+                if rng.chance(2, 5) {
                     logical = random_logical(&mut rng);
                     views_set = [false; COMPUTES];
                 }
-                let c = rng.random_range(0..COMPUTES);
+                let c = rng.below(COMPUTES as u64) as usize;
                 fs.set_view(c, file, &logical, c);
                 views_set[c] = true;
             }
@@ -79,7 +78,7 @@ fn run_fuzz(seed: u64, steps: usize) {
                         (0..len)
                             .map(|y| {
                                 let x = m.unmap(y);
-                                let v: u8 = rng.random();
+                                let v = rng.next_u64() as u8;
                                 model[x as usize] = v;
                                 v
                             })
@@ -90,19 +89,19 @@ fn run_fuzz(seed: u64, steps: usize) {
             }
             // Partial view write.
             3..=6 => {
-                let c = rng.random_range(0..COMPUTES);
+                let c = rng.below(COMPUTES as u64) as usize;
                 if !views_set[c] {
                     fs.set_view(c, file, &logical, c);
                     views_set[c] = true;
                 }
                 let m = Mapper::new(&logical, c);
                 let len = logical.element_len(c, file_len).unwrap();
-                let lo = rng.random_range(0..len);
-                let hi = rng.random_range(lo..len);
+                let lo = rng.range(0, len - 1);
+                let hi = rng.range(lo, len - 1);
                 let data: Vec<u8> = (lo..=hi)
                     .map(|y| {
                         let x = m.unmap(y);
-                        let v: u8 = rng.random();
+                        let v = rng.next_u64() as u8;
                         model[x as usize] = v;
                         v
                     })
@@ -111,20 +110,21 @@ fn run_fuzz(seed: u64, steps: usize) {
             }
             // Partial view read, checked against the model.
             _ => {
-                let c = rng.random_range(0..COMPUTES);
+                let c = rng.below(COMPUTES as u64) as usize;
                 if !views_set[c] {
                     fs.set_view(c, file, &logical, c);
                     views_set[c] = true;
                 }
                 let m = Mapper::new(&logical, c);
                 let len = logical.element_len(c, file_len).unwrap();
-                let lo = rng.random_range(0..len);
-                let hi = rng.random_range(lo..len);
+                let lo = rng.range(0, len - 1);
+                let hi = rng.range(lo, len - 1);
                 let back = fs.read(c, file, lo, hi);
                 for (i, &b) in back.iter().enumerate() {
                     let x = m.unmap(lo + i as u64);
                     assert_eq!(
-                        b, model[x as usize],
+                        b,
+                        model[x as usize],
                         "seed {seed} step {step}: compute {c} view offset {} (file {x})",
                         lo + i as u64
                     );

@@ -9,8 +9,7 @@ use parafile::redist::{cut_falls, intersect_elements, intersect_falls, Projectio
 #[test]
 fn figure1() {
     let f = Falls::new(3, 5, 6, 5).unwrap();
-    let want: Vec<u64> =
-        (0..5).flat_map(|i| (3 + 6 * i)..=(5 + 6 * i)).collect();
+    let want: Vec<u64> = (0..5).flat_map(|i| (3 + 6 * i)..=(5 + 6 * i)).collect();
     assert_eq!(f.offsets().collect::<Vec<_>>(), want);
     assert_eq!(f.size(), 15);
 }
@@ -148,9 +147,7 @@ fn section62_cross_partition_mapping() {
 fn section5_pattern_tiles_exclusively() {
     let p = figure3_partition();
     for x in 2..200u64 {
-        let owners: Vec<usize> = (0..3)
-            .filter(|&e| Mapper::new(&p, e).selects(x))
-            .collect();
+        let owners: Vec<usize> = (0..3).filter(|&e| Mapper::new(&p, e).selects(x)).collect();
         assert_eq!(owners.len(), 1, "byte {x} must belong to exactly one subfile");
         assert_eq!(p.owner_of(x), Some(owners[0]));
     }

@@ -51,10 +51,7 @@ fn slow_io_node_bounds_everyone() {
     let (_, nominal) = run_write(None);
     let (_, degraded) = run_write(Some(2));
     for (c, (n, d)) in nominal.iter().zip(&degraded).enumerate() {
-        assert!(
-            *d > *n * 2,
-            "compute {c}: a 20× slower I/O server must dominate t_w ({d} vs {n})"
-        );
+        assert!(*d > *n * 2, "compute {c}: a 20× slower I/O server must dominate t_w ({d} vs {n})");
     }
 }
 
