@@ -1,0 +1,122 @@
+//! **Ablation F** (extension): real-socket throughput of the
+//! `parafile-net` I/O-node daemons on loopback.
+//!
+//! Spawns four loopback daemons (the paper's I/O-node count) and sweeps
+//! concurrent client sessions — each session is one compute node writing
+//! and reading back its full row-block view of an N×N matrix stored as
+//! column blocks, the paper's worst-matching layout pair. Reported
+//! throughput covers the whole client path: plan compilation already done
+//! at view-set time, extremity mapping, gather, framing, socket transfer
+//! and daemon-side scatter.
+//!
+//! ```text
+//! cargo run -p pf-bench --release --bin net_throughput [--reps 5] [--sizes 256,512]
+//! ```
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::StorageBackend;
+use jsonlite::{obj, Json, ToJson};
+use parafile::Mapper;
+use parafile_net::session::{spawn_loopback, Session};
+use pf_bench::{dump_json, TableArgs};
+use std::time::Instant;
+
+const IO_NODES: usize = 4;
+
+struct Row {
+    size: u64,
+    clients: usize,
+    reps: usize,
+    write_mib_s: f64,
+    read_mib_s: f64,
+    bytes_per_client: u64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj![
+            ("size", self.size),
+            ("clients", self.clients),
+            ("reps", self.reps),
+            ("write_mib_s", self.write_mib_s),
+            ("read_mib_s", self.read_mib_s),
+            ("bytes_per_client", self.bytes_per_client)
+        ]
+    }
+}
+
+fn main() {
+    let args = TableArgs::parse();
+    let (_daemons, addrs) =
+        spawn_loopback(IO_NODES, StorageBackend::Memory).expect("spawn loopback daemons");
+    println!("real-socket throughput, {IO_NODES} loopback daemons (MiB/s)\n");
+    println!("{:>5} {:>8} {:>12} {:>12}", "size", "clients", "write", "read");
+    let mut rows = Vec::new();
+    let mut file = 1u64;
+    for &n in &args.sizes {
+        let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, IO_NODES as u64);
+        let logical = MatrixLayout::RowBlocks.partition(n, n, 1, IO_NODES as u64);
+        let file_len = n * n;
+        for clients in [1usize, 2, 4] {
+            // Each client writes its own file so runs are independent; the
+            // per-client payload is its full view of one matrix.
+            let bytes_per_client = logical.element_len(0, file_len).expect("view element");
+            let mut write_ns = 0u128;
+            let mut read_ns = 0u128;
+            for _ in 0..args.reps.max(1) {
+                // Setup (not timed): files, views, payloads.
+                let mut sessions: Vec<(Session, u64, Vec<u8>)> = (0..clients)
+                    .map(|c| {
+                        let mut s = Session::connect(&addrs);
+                        let fid = file;
+                        file += 1;
+                        s.create_file(fid, physical.clone(), file_len).expect("create");
+                        s.set_view(c as u32, fid, &logical, c).expect("view");
+                        let m = Mapper::new(&logical, c);
+                        let data: Vec<u8> =
+                            (0..bytes_per_client).map(|y| (m.unmap(y) % 251) as u8).collect();
+                        (s, fid, data)
+                    })
+                    .collect();
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for (c, (s, fid, data)) in sessions.iter_mut().enumerate() {
+                        scope.spawn(move || {
+                            let written = s
+                                .write(c as u32, *fid, 0, data.len() as u64 - 1, data)
+                                .expect("write");
+                            assert_eq!(written, data.len() as u64);
+                        });
+                    }
+                });
+                write_ns += start.elapsed().as_nanos();
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for (c, (s, fid, data)) in sessions.iter_mut().enumerate() {
+                        scope.spawn(move || {
+                            let back =
+                                s.read(c as u32, *fid, 0, data.len() as u64 - 1).expect("read");
+                            assert_eq!(back.len(), data.len());
+                        });
+                    }
+                });
+                read_ns += start.elapsed().as_nanos();
+            }
+            let total = (bytes_per_client * clients as u64 * args.reps.max(1) as u64) as f64;
+            let mib = 1024.0 * 1024.0;
+            let write_mib_s = total / mib / (write_ns as f64 / 1e9);
+            let read_mib_s = total / mib / (read_ns as f64 / 1e9);
+            println!("{n:>5} {clients:>8} {write_mib_s:>12.1} {read_mib_s:>12.1}");
+            rows.push(Row {
+                size: n,
+                clients,
+                reps: args.reps,
+                write_mib_s,
+                read_mib_s,
+                bytes_per_client,
+            });
+        }
+    }
+    let path = dump_json("net_throughput", &rows).expect("persist results");
+    println!("\nresults → {}", path.display());
+}

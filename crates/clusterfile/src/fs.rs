@@ -4,7 +4,7 @@ use crate::storage::{StorageBackend, SubfileStore};
 use crate::timing::{IoTimings, ViewSetTimings, WriteTimings};
 use clustersim::{Cluster, ClusterConfig, Delivery, NodeId};
 use parafile::model::Partition;
-use parafile::redist::{intersect_elements, Projection};
+use parafile::redist::{Projection, ViewPlan};
 use parafile::Mapper;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -332,38 +332,22 @@ impl Clusterfile {
     ) -> ViewSetTimings {
         let physical = self.files[file].physical.clone();
         let start = Instant::now();
-        let mut proj_view = Vec::with_capacity(self.config.io_nodes);
-        let mut proj_sub = Vec::with_capacity(self.config.io_nodes);
-        let mut perfect_match = Vec::with_capacity(self.config.io_nodes);
-        let mut intersecting = 0usize;
-        for s in 0..self.config.io_nodes {
-            let inter = intersect_elements(logical, element, &physical, s)
-                .expect("element indices are valid");
-            if inter.is_empty() {
-                proj_view.push(Projection::empty());
-                proj_sub.push(Projection::empty());
-                perfect_match.push(false);
-                continue;
-            }
-            intersecting += 1;
-            let pv = Projection::compute(&inter, logical, element);
-            let ps = Projection::compute(&inter, &physical, s);
-            // Perfect overlap: both projections are the same index set, so
-            // view offsets coincide with subfile offsets (§6.2: identical
-            // parameters make each view map exactly on a subfile).
-            perfect_match.push(pv.period == ps.period && pv.set == ps.set);
-            proj_view.push(pv);
-            proj_sub.push(ps);
-        }
+        let plan = ViewPlan::compile(logical, element, &physical).expect("element indices valid");
         let t_i = start.elapsed();
-        let timings = ViewSetTimings { t_i, intersecting_subfiles: intersecting };
+        let timings = ViewSetTimings { t_i, intersecting_subfiles: plan.intersecting_subfiles() };
 
         // Simulated cost: a *modeled* 2002-era CPU time (a fixed base plus a
         // per-FALLS-node cost), keeping the simulation deterministic; the
         // measured wall-clock is reported separately in the timings.
-        let work_nodes: usize = proj_view.iter().map(|p| p.set.node_count()).sum::<usize>()
-            + proj_sub.iter().map(|p| p.set.node_count()).sum::<usize>();
-        self.cluster.compute(compute, 50_000 + 2_000 * work_nodes as u64);
+        self.cluster.compute(compute, 50_000 + 2_000 * plan.work_nodes() as u64);
+        let mut proj_view = Vec::with_capacity(self.config.io_nodes);
+        let mut proj_sub = Vec::with_capacity(self.config.io_nodes);
+        let mut perfect_match = Vec::with_capacity(self.config.io_nodes);
+        for access in plan.per_subfile {
+            proj_view.push(access.proj_view);
+            proj_sub.push(access.proj_sub);
+            perfect_match.push(access.perfect_match);
+        }
         for (s, proj) in proj_sub.into_iter().enumerate() {
             if proj.is_empty() {
                 continue;

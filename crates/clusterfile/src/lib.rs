@@ -57,5 +57,5 @@ pub use collective::CollectiveTimings;
 pub use fs::{Clusterfile, ClusterfileConfig, FileId, WritePolicy};
 pub use relayout::{relayout, relayout_cost, RelayoutReport};
 pub use scenario::{PaperScenario, ScenarioResult};
-pub use storage::StorageBackend;
+pub use storage::{StorageBackend, SubfileStore};
 pub use timing::{IoTimings, ViewSetTimings, WriteTimings};

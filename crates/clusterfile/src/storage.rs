@@ -22,15 +22,27 @@ pub enum StorageBackend {
 }
 
 /// One subfile's bytes.
+///
+/// Public so transports other than the simulator (the `parafile-net`
+/// daemon) can host the same stores behind the same [`StorageBackend`].
 #[derive(Debug)]
-pub(crate) enum SubfileStore {
+pub enum SubfileStore {
+    /// Bytes held in memory.
     Memory(Vec<u8>),
-    File { file: File, len: u64, path: PathBuf },
+    /// Bytes held in a real host file.
+    File {
+        /// The open backing file.
+        file: File,
+        /// Current store length in bytes.
+        len: u64,
+        /// Path of the backing file.
+        path: PathBuf,
+    },
 }
 
 impl SubfileStore {
     /// Creates a zero-filled store of `len` bytes.
-    pub(crate) fn create(
+    pub fn create(
         backend: &StorageBackend,
         file_id: usize,
         subfile: usize,
@@ -54,15 +66,29 @@ impl SubfileStore {
     }
 
     /// Store length in bytes.
-    pub(crate) fn len(&self) -> u64 {
+    pub fn len(&self) -> u64 {
         match self {
             SubfileStore::Memory(v) => v.len() as u64,
             SubfileStore::File { len, .. } => *len,
         }
     }
 
+    /// Whether the store holds zero bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces buffered bytes to stable storage (no-op for memory stores).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SubfileStore::Memory(_) => Ok(()),
+            SubfileStore::File { file, .. } => file.sync_all(),
+        }
+    }
+
     /// Backing path, when file-backed.
-    pub(crate) fn path(&self) -> Option<&Path> {
+    pub fn path(&self) -> Option<&Path> {
         match self {
             SubfileStore::Memory(_) => None,
             SubfileStore::File { path, .. } => Some(path),
@@ -74,7 +100,7 @@ impl SubfileStore {
     /// # Panics
     /// Panics on out-of-range writes or I/O errors (storage corruption is
     /// not a recoverable condition for the simulation).
-    pub(crate) fn write_at(&mut self, offset: u64, data: &[u8]) {
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) {
         match self {
             SubfileStore::Memory(v) => {
                 v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
@@ -88,7 +114,7 @@ impl SubfileStore {
     }
 
     /// Reads `len` bytes at `offset`.
-    pub(crate) fn read_at(&mut self, offset: u64, len: u64) -> Vec<u8> {
+    pub fn read_at(&mut self, offset: u64, len: u64) -> Vec<u8> {
         match self {
             SubfileStore::Memory(v) => v[offset as usize..(offset + len) as usize].to_vec(),
             SubfileStore::File { file, len: flen, .. } => {
@@ -102,13 +128,13 @@ impl SubfileStore {
     }
 
     /// Reads the whole store.
-    pub(crate) fn read_all(&mut self) -> Vec<u8> {
+    pub fn read_all(&mut self) -> Vec<u8> {
         let len = self.len();
         self.read_at(0, len)
     }
 
     /// Replaces the contents wholesale (used by relayout).
-    pub(crate) fn replace(&mut self, data: Vec<u8>) {
+    pub fn replace(&mut self, data: Vec<u8>) {
         match self {
             SubfileStore::Memory(v) => *v = data,
             SubfileStore::File { file, len, .. } => {

@@ -7,12 +7,14 @@
 //! and projecting each intersection onto the linear spaces of the two
 //! elements — moving non-contiguous *segments* of bytes, never single bytes.
 
+mod access;
 mod baseline;
 mod cut;
 mod flat;
 mod nested;
 mod project;
 
+pub use access::{SubfileAccess, ViewPlan};
 pub use baseline::redistribute_bytewise;
 pub use cut::cut_falls;
 pub use flat::{intersect_falls, intersect_falls_merge};

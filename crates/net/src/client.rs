@@ -1,0 +1,191 @@
+//! Per-node client connection with reconnect and retry.
+//!
+//! A [`NodeClient`] speaks the frame protocol to exactly one I/O-node
+//! daemon. Transport failures on idempotent requests (everything except
+//! `Shutdown` — writes scatter absolute offsets, so a replay stores the
+//! same bytes) are retried with capped exponential backoff over a fresh
+//! connection. Protocol errors are never retried: the daemon meant them.
+
+use crate::error::NetError;
+use crate::server::NetStream;
+use crate::wire::{self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use std::time::Duration;
+
+/// Retry/backoff policy for idempotent requests.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total connection attempts per request (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff cap (doubling stops here).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A client connection to one I/O-node daemon.
+pub struct NodeClient {
+    addr: String,
+    stream: Option<NetStream>,
+    next_id: u64,
+    max_frame: u32,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+}
+
+impl NodeClient {
+    /// Creates a client for `addr` (`host:port` or `unix:/path`). The
+    /// connection is established lazily on the first request.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            stream: None,
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+            timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connected(&mut self) -> std::io::Result<&mut NetStream> {
+        if self.stream.is_none() {
+            let s = NetStream::connect(&self.addr)?;
+            s.set_read_timeout(self.timeout)?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("stream just set"))
+    }
+
+    /// One request/reply exchange over the current connection.
+    fn exchange(&mut self, request: &Request) -> Result<Reply, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = request.encode_payload();
+        let max_frame = self.max_frame;
+        let stream = self.connected()?;
+        wire::write_frame(stream, request.opcode(), id, &payload)?;
+        let frame = match wire::read_frame(stream, max_frame) {
+            Ok(f) => f,
+            Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+            Err(FrameReadError::Closed) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection before replying",
+                )))
+            }
+            Err(FrameReadError::TooLarge(len)) => {
+                return Err(NetError::BadReply(format!("reply frame of {len} bytes")))
+            }
+            Err(FrameReadError::TooShort(len)) => {
+                return Err(NetError::BadReply(format!("reply frame length {len}")))
+            }
+        };
+        if frame.version != PROTOCOL_VERSION {
+            return Err(NetError::BadReply(format!("reply version {}", frame.version)));
+        }
+        // The daemon answers frames with id 0 only when framing broke; the
+        // connection is unusable either way.
+        if frame.request_id != id {
+            return Err(NetError::IdMismatch { sent: id, got: frame.request_id });
+        }
+        let reply = Reply::decode(frame.opcode, &frame.payload)
+            .map_err(|e| NetError::BadReply(e.to_string()))?;
+        Ok(reply)
+    }
+
+    /// Sends `request` and returns the decoded reply. Transport failures on
+    /// idempotent requests reconnect and retry with capped exponential
+    /// backoff; an `Error` reply is returned as [`NetError::Protocol`]
+    /// without retrying.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
+        let attempts = if request.idempotent() { self.retry.attempts.max(1) } else { 1 };
+        let mut delay = self.retry.base_delay;
+        let mut last_err: Option<NetError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(self.retry.max_delay);
+            }
+            match self.exchange(request) {
+                Ok(Reply::Error(e)) => return Err(NetError::Protocol(e)),
+                Ok(reply) => return Ok(reply),
+                Err(err @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
+                    // The connection is broken or desynchronized: drop it so
+                    // the next attempt reconnects.
+                    self.stream = None;
+                    last_err = Some(err);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// Like [`call`](Self::call), but demands a specific success shape.
+    pub fn expect_ok(&mut self, request: &Request) -> Result<(), NetError> {
+        match self.call(request)? {
+            Reply::Ok => Ok(()),
+            other => Err(NetError::BadReply(format!("expected Ok, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, DaemonConfig};
+
+    #[test]
+    fn retries_reconnect_after_daemon_restart() {
+        // Bind on an OS-assigned port, talk, stop the daemon, restart it on
+        // the same port, and check the client's retry path reconnects.
+        let mut handle = serve("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+        let addr = handle.addr().to_string();
+        let mut client = NodeClient::new(&addr);
+        client.expect_ok(&Request::Open { file: 1, subfile: 0, len: 8 }).expect("first open");
+        handle.stop();
+        let _handle2 = serve(&addr, DaemonConfig::default()).expect("rebind");
+        client
+            .expect_ok(&Request::Open { file: 1, subfile: 0, len: 8 })
+            .expect("open after restart retries onto the new daemon");
+    }
+
+    #[test]
+    fn connect_failure_is_io_after_retries() {
+        // Nothing listens on this address (bound then dropped).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = NodeClient::new(addr).with_retry(RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        });
+        let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
+    }
+}

@@ -1,0 +1,34 @@
+//! parafile-net — a real networked I/O-node daemon and client library.
+//!
+//! This crate moves the paper's compute-node / I/O-node split from the
+//! discrete-event simulator ([`clustersim`]/[`clusterfile`]) onto real
+//! sockets. The division of labor is exactly the paper's:
+//!
+//! * the **compute node** (client [`Session`]) intersects its view with
+//!   every subfile via [`parafile::redist::ViewPlan`], keeps `PROJ_V(V∩S)`
+//!   locally and ships `PROJ_S(V∩S)` to the I/O node at view-set time;
+//!   at access time it maps the interval extremities, gathers view bytes
+//!   into per-node messages and fans them out concurrently;
+//! * the **I/O node** (the [`serve`] daemon) stores subfiles behind the
+//!   same [`clusterfile::StorageBackend`] the simulator uses, audits every
+//!   incoming view pattern with `parafile-audit`, and scatters/gathers
+//!   message buffers through the stored projection.
+//!
+//! The wire protocol ([`wire`]) is length-prefixed binary frames with a
+//! versioned header and request ids; redistribution stays segment-granular
+//! on the wire. See DESIGN.md §10 for the full specification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::NodeClient;
+pub use error::{ErrCode, NetError, ProtocolError};
+pub use server::{serve, DaemonConfig, DaemonHandle, NetListener};
+pub use session::{spawn_loopback, Session};
+pub use wire::{Reply, Request, StatInfo, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -1,0 +1,644 @@
+//! The I/O-node daemon.
+//!
+//! One daemon hosts one subfile per file behind the same
+//! [`StorageBackend`] the simulator uses. The daemon is multi-threaded
+//! (one thread per connection), enforces a per-frame size budget, a
+//! per-connection read timeout, and a bounded global in-flight request
+//! count (backpressure: excess requests block in the acceptor thread,
+//! which stops reading from the socket — flow control propagates to the
+//! client through TCP itself).
+//!
+//! All scatter/gather arithmetic goes through the stored `PROJ_S`
+//! projection, and every interval is clipped to the subfile length before
+//! touching the store, so a hostile peer can neither panic the daemon nor
+//! make it walk an unbounded segment list.
+
+use crate::error::{ErrCode, ProtocolError};
+use crate::wire::{
+    self, op, raw_to_set, FrameReadError, Reply, Request, StatInfo, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use clusterfile::{StorageBackend, SubfileStore};
+use parafile::redist::Projection;
+use parafile_audit::{audit_pattern, AuditConfig, Severity};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Where subfile bytes live.
+    pub backend: StorageBackend,
+    /// Largest accepted frame (`len` field), in bytes.
+    pub max_frame: u32,
+    /// Requests allowed in flight across all connections before the
+    /// acceptor blocks (backpressure).
+    pub max_inflight: usize,
+    /// How long a connection may stall mid-request before it is dropped.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            backend: StorageBackend::Memory,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener / stream abstraction (TCP or Unix-domain)
+
+/// A bound listening socket: TCP (`host:port`) or Unix (`unix:/path`).
+pub enum NetListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener, with the socket path for cleanup.
+    Unix(UnixListener, PathBuf),
+}
+
+impl NetListener {
+    /// Binds `addr`: `unix:/some/path` for a Unix-domain socket, anything
+    /// else is a TCP `host:port`.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let path = PathBuf::from(path);
+            // A previous daemon's leftover socket file would make bind fail.
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+            Ok(NetListener::Unix(UnixListener::bind(&path)?, path))
+        } else {
+            Ok(NetListener::Tcp(TcpListener::bind(addr)?))
+        }
+    }
+
+    /// The address clients should connect to (resolves TCP port 0).
+    pub fn client_addr(&self) -> std::io::Result<String> {
+        match self {
+            NetListener::Tcp(l) => Ok(l.local_addr()?.to_string()),
+            NetListener::Unix(_, path) => Ok(format!("unix:{}", path.display())),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<NetStream> {
+        match self {
+            NetListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(NetStream::Tcp(s))
+            }
+            NetListener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(NetStream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A connected stream of either flavor.
+pub(crate) enum NetStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    /// Connects to an address in the same syntax as [`NetListener::bind`].
+    pub(crate) fn connect(addr: &str) -> std::io::Result<Self> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            Ok(NetStream::Unix(UnixStream::connect(path)?))
+        } else {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true).ok();
+            Ok(NetStream::Tcp(s))
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_read_timeout(t),
+            NetStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Closes both directions, unblocking any thread parked in a read.
+    fn shutdown_both(&self) {
+        match self {
+            NetStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            NetStream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+// Shared-reference I/O so connection threads can serve through an
+// `Arc<NetStream>` while the daemon keeps a weak handle for shutdown.
+impl Read for &NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match *self {
+            NetStream::Tcp(s) => {
+                let mut r: &TcpStream = s;
+                r.read(buf)
+            }
+            NetStream::Unix(s) => {
+                let mut r: &UnixStream = s;
+                r.read(buf)
+            }
+        }
+    }
+}
+
+impl Write for &NetStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match *self {
+            NetStream::Tcp(s) => {
+                let mut w: &TcpStream = s;
+                w.write(buf)
+            }
+            NetStream::Unix(s) => {
+                let mut w: &UnixStream = s;
+                w.write(buf)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match *self {
+            NetStream::Tcp(s) => {
+                let mut w: &TcpStream = s;
+                w.flush()
+            }
+            NetStream::Unix(s) => {
+                let mut w: &UnixStream = s;
+                w.flush()
+            }
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared daemon state
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    fragments: AtomicU64,
+}
+
+struct FileSlot {
+    subfile: u32,
+    store: Mutex<SubfileStore>,
+    /// `PROJ_S(V∩S)` per compute node, as shipped at view-set time.
+    views: RwLock<HashMap<u32, Projection>>,
+    stats: Stats,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    /// The daemon's own client-facing address (to self-connect and wake
+    /// the acceptor when a remote `Shutdown` arrives).
+    addr: String,
+    files: RwLock<HashMap<u64, Arc<FileSlot>>>,
+    stopping: AtomicBool,
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
+    /// Weak handles to open connections, so shutdown can unblock them.
+    conns: Mutex<Vec<std::sync::Weak<NetStream>>>,
+}
+
+impl Shared {
+    fn acquire_slot(&self) {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        while *n >= self.config.max_inflight {
+            n = self.inflight_cv.wait(n).expect("inflight wait");
+        }
+        *n += 1;
+    }
+
+    fn release_slot(&self) {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        *n -= 1;
+        drop(n);
+        self.inflight_cv.notify_one();
+    }
+}
+
+/// A running daemon: its client-facing address and a way to stop it.
+pub struct DaemonHandle {
+    /// Address clients should connect to.
+    addr: String,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the daemon: refuses new connections, closes open ones
+    /// (connections finish their in-flight request first — replies are
+    /// written before the next frame read observes the closed socket), and
+    /// joins the acceptor thread.
+    pub fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = NetStream::connect(&self.addr);
+        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+            if let Some(stream) = conn.upgrade() {
+                stream.shutdown_both();
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the daemon stops (e.g. a remote `Shutdown` request).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and runs the daemon on background threads.
+pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    let listener = NetListener::bind(addr)?;
+    let client_addr = listener.client_addr()?;
+    let shared = Arc::new(Shared {
+        config,
+        addr: client_addr.clone(),
+        files: RwLock::new(HashMap::new()),
+        stopping: AtomicBool::new(false),
+        inflight: Mutex::new(0),
+        inflight_cv: Condvar::new(),
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread =
+        std::thread::Builder::new().name("pf-net-accept".into()).spawn(move || {
+            let cleanup = match &listener {
+                NetListener::Unix(_, path) => Some(path.clone()),
+                NetListener::Tcp(_) => None,
+            };
+            loop {
+                let stream = match listener.accept() {
+                    Ok(s) => s,
+                    Err(_) => break,
+                };
+                if accept_shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = Arc::new(stream);
+                {
+                    let mut conns = accept_shared.conns.lock().expect("conns lock");
+                    conns.retain(|w| w.strong_count() > 0);
+                    conns.push(Arc::downgrade(&stream));
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                let _ = std::thread::Builder::new()
+                    .name("pf-net-conn".into())
+                    .spawn(move || serve_connection(&stream, &conn_shared));
+            }
+            if let Some(path) = cleanup {
+                let _ = std::fs::remove_file(path);
+            }
+        })?;
+    Ok(DaemonHandle { addr: client_addr, shared, accept_thread: Some(accept_thread) })
+}
+
+/// One connection: sequential request/reply frames until close, error, or
+/// timeout.
+fn serve_connection(stream: &NetStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let mut stream = stream;
+    loop {
+        let frame = match wire::read_frame(&mut stream, shared.config.max_frame) {
+            Ok(f) => f,
+            Err(FrameReadError::Closed) => return,
+            Err(FrameReadError::TooLarge(len)) => {
+                // The frame was not consumed, so the stream is out of sync:
+                // answer with request id 0 and close.
+                let e = ProtocolError::new(
+                    ErrCode::FrameTooLarge,
+                    format!(
+                        "frame of {len} bytes exceeds the {} byte budget",
+                        shared.config.max_frame
+                    ),
+                );
+                send_reply(&mut stream, 0, &Reply::Error(e));
+                return;
+            }
+            Err(FrameReadError::TooShort(len)) => {
+                let e = ProtocolError::new(
+                    ErrCode::Malformed,
+                    format!("frame length {len} is shorter than the header"),
+                );
+                send_reply(&mut stream, 0, &Reply::Error(e));
+                return;
+            }
+            Err(FrameReadError::Io(_)) => return,
+        };
+        shared.acquire_slot();
+        let (reply, shutdown) = handle_frame(shared, frame.version, frame.opcode, &frame.payload);
+        send_reply(&mut stream, frame.request_id, &reply);
+        shared.release_slot();
+        if shutdown {
+            // Unblock the acceptor so it observes `stopping` and exits.
+            let _ = NetStream::connect(&shared.addr);
+            return;
+        }
+    }
+}
+
+fn send_reply(stream: &mut &NetStream, request_id: u64, reply: &Reply) {
+    let _ = wire::write_frame(stream, reply.opcode(), request_id, &reply.encode_payload());
+}
+
+/// Decodes and executes one request. Returns the reply and whether the
+/// daemon should begin shutting down.
+fn handle_frame(shared: &Shared, version: u8, opcode: u8, payload: &[u8]) -> (Reply, bool) {
+    if version != PROTOCOL_VERSION {
+        let e = ProtocolError::new(
+            ErrCode::UnsupportedVersion,
+            format!("version {version} is not supported (this daemon speaks {PROTOCOL_VERSION})"),
+        );
+        return (Reply::Error(e), false);
+    }
+    if !(op::OPEN..=op::SHUTDOWN).contains(&opcode) {
+        let e = ProtocolError::new(ErrCode::UnknownOp, format!("opcode {opcode:#04x}"));
+        return (Reply::Error(e), false);
+    }
+    let request = match Request::decode(opcode, payload) {
+        Ok(r) => r,
+        Err(e) => return (Reply::Error(e.into()), false),
+    };
+    if shared.stopping.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+        let e = ProtocolError::new(ErrCode::ShuttingDown, "daemon is stopping");
+        return (Reply::Error(e), false);
+    }
+    match request {
+        Request::Shutdown => {
+            shared.stopping.store(true, Ordering::SeqCst);
+            (Reply::Ok, true)
+        }
+        other => (handle_request(shared, other), false),
+    }
+}
+
+fn handle_request(shared: &Shared, request: Request) -> Reply {
+    match request {
+        Request::Open { file, subfile, len } => handle_open(shared, file, subfile, len),
+        Request::SetView { file, compute, element: _, view, proj_set, proj_period } => {
+            let slot = match lookup(shared, file) {
+                Ok(s) => s,
+                Err(e) => return Reply::Error(e),
+            };
+            slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+            // Audit the full view pattern before accepting anything from it.
+            let report = audit_pattern(&view, &AuditConfig::default());
+            if report.has_errors() {
+                let mut pa_codes: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(|d| d.code.as_str().to_string())
+                    .collect();
+                pa_codes.sort();
+                pa_codes.dedup();
+                let mut e = ProtocolError::new(
+                    ErrCode::PatternRejected,
+                    format!("{} error diagnostic(s) from parafile-audit", pa_codes.len()),
+                );
+                e.pa_codes = pa_codes;
+                return Reply::Error(e);
+            }
+            // The projection set is not a tiling pattern, so the audit does
+            // not apply — but it must still be a structurally valid nested
+            // set.
+            let set = match raw_to_set(&proj_set) {
+                Ok(s) => s,
+                Err(err) => {
+                    return Reply::Error(ProtocolError::new(
+                        ErrCode::Malformed,
+                        format!("projection set: {err}"),
+                    ))
+                }
+            };
+            slot.views
+                .write()
+                .expect("views lock")
+                .insert(compute, Projection { set, period: proj_period });
+            Reply::Ok
+        }
+        Request::Write { file, compute, l_s, r_s, payload } => {
+            with_projection(shared, file, compute, l_s, r_s, |slot, proj| {
+                let mut store = slot.store.lock().expect("store lock");
+                // Clip to the subfile before any arithmetic: bounds the
+                // segment walk and makes boundary-crossing writes short
+                // instead of fatal.
+                let len = store.len();
+                if len == 0 || l_s >= len {
+                    return Reply::WriteOk { written: 0 };
+                }
+                let r_c = r_s.min(len - 1);
+                let segs = proj.segments_between(l_s, r_c);
+                let expect: u64 = segs.iter().map(|s| s.len()).sum();
+                if (payload.len() as u64) < expect {
+                    return Reply::Error(ProtocolError::new(
+                        ErrCode::SizeMismatch,
+                        format!("payload holds {} bytes, projection needs {expect}", payload.len()),
+                    ));
+                }
+                let mut pos = 0usize;
+                for seg in &segs {
+                    let n = seg.len() as usize;
+                    store.write_at(seg.l(), &payload[pos..pos + n]);
+                    pos += n;
+                }
+                slot.stats.bytes_written.fetch_add(expect, Ordering::Relaxed);
+                slot.stats.fragments.fetch_add(segs.len() as u64, Ordering::Relaxed);
+                Reply::WriteOk { written: expect }
+            })
+        }
+        Request::Read { file, compute, l_s, r_s } => {
+            with_projection(shared, file, compute, l_s, r_s, |slot, proj| {
+                let mut store = slot.store.lock().expect("store lock");
+                let len = store.len();
+                if len == 0 || l_s >= len {
+                    return Reply::Data { payload: Vec::new() };
+                }
+                let r_c = r_s.min(len - 1);
+                let segs = proj.segments_between(l_s, r_c);
+                let mut out = Vec::with_capacity(segs.iter().map(|s| s.len() as usize).sum());
+                for seg in &segs {
+                    out.extend_from_slice(&store.read_at(seg.l(), seg.len()));
+                }
+                slot.stats.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+                slot.stats.fragments.fetch_add(segs.len() as u64, Ordering::Relaxed);
+                Reply::Data { payload: out }
+            })
+        }
+        Request::Flush { file } => match lookup(shared, file) {
+            Ok(slot) => {
+                slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+                match slot.store.lock().expect("store lock").flush() {
+                    Ok(()) => Reply::Ok,
+                    Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+                }
+            }
+            Err(e) => Reply::Error(e),
+        },
+        Request::Stat { file } => match lookup(shared, file) {
+            Ok(slot) => {
+                slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let len = slot.store.lock().expect("store lock").len();
+                let views = slot.views.read().expect("views lock").len() as u64;
+                Reply::Stat(StatInfo {
+                    len,
+                    views,
+                    requests: slot.stats.requests.load(Ordering::Relaxed),
+                    bytes_written: slot.stats.bytes_written.load(Ordering::Relaxed),
+                    bytes_read: slot.stats.bytes_read.load(Ordering::Relaxed),
+                    fragments: slot.stats.fragments.load(Ordering::Relaxed),
+                })
+            }
+            Err(e) => Reply::Error(e),
+        },
+        Request::Fetch { file } => match lookup(shared, file) {
+            Ok(slot) => {
+                slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let payload = slot.store.lock().expect("store lock").read_all();
+                Reply::Data { payload }
+            }
+            Err(e) => Reply::Error(e),
+        },
+        // Open/SetView/Write/Read handled above; Shutdown in handle_frame.
+        Request::Shutdown => Reply::Ok,
+    }
+}
+
+fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
+    let mut files = shared.files.write().expect("files lock");
+    if let Some(slot) = files.get(&file) {
+        slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let existing_len = slot.store.lock().expect("store lock").len();
+        return if slot.subfile == subfile && existing_len == len {
+            Reply::Ok // idempotent reopen
+        } else {
+            Reply::Error(ProtocolError::new(
+                ErrCode::FileMismatch,
+                format!(
+                    "file {file} already open as subfile {} with {existing_len} bytes",
+                    slot.subfile
+                ),
+            ))
+        };
+    }
+    match SubfileStore::create(&shared.config.backend, file as usize, subfile as usize, len) {
+        Ok(store) => {
+            let slot = Arc::new(FileSlot {
+                subfile,
+                store: Mutex::new(store),
+                views: RwLock::new(HashMap::new()),
+                stats: Stats::default(),
+            });
+            slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+            files.insert(file, slot);
+            Reply::Ok
+        }
+        Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+    }
+}
+
+fn lookup(shared: &Shared, file: u64) -> Result<Arc<FileSlot>, ProtocolError> {
+    shared
+        .files
+        .read()
+        .expect("files lock")
+        .get(&file)
+        .cloned()
+        .ok_or_else(|| ProtocolError::new(ErrCode::UnknownFile, format!("file {file}")))
+}
+
+/// Shared prologue of `Write`/`Read`: resolve the file slot and the
+/// requesting compute node's projection, validate the interval, count the
+/// request.
+fn with_projection(
+    shared: &Shared,
+    file: u64,
+    compute: u32,
+    l_s: u64,
+    r_s: u64,
+    body: impl FnOnce(&FileSlot, &Projection) -> Reply,
+) -> Reply {
+    let slot = match lookup(shared, file) {
+        Ok(s) => s,
+        Err(e) => return Reply::Error(e),
+    };
+    slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+    if l_s > r_s {
+        return Reply::Error(ProtocolError::new(
+            ErrCode::BadRange,
+            format!("interval [{l_s}, {r_s}] is empty"),
+        ));
+    }
+    let proj = match slot.views.read().expect("views lock").get(&compute) {
+        Some(p) => p.clone(),
+        None => {
+            return Reply::Error(ProtocolError::new(
+                ErrCode::NoView,
+                format!("compute node {compute} has no view on file {file}"),
+            ))
+        }
+    };
+    body(&slot, &proj)
+}

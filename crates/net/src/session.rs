@@ -1,0 +1,428 @@
+//! The compute-node session: one parallel file over N I/O-node daemons.
+//!
+//! A [`Session`] plays the compute-node half of the paper's protocol
+//! against real daemons. `set_view` compiles the `MAP_V∘MAP_S⁻¹` access
+//! plan with [`parafile::redist::ViewPlan`] — exactly the planner the
+//! simulated `Clusterfile` uses — keeps `PROJ_V(V∩S)` locally and ships
+//! `PROJ_S(V∩S)` (plus the full raw view pattern, for the daemon's audit)
+//! to each intersecting I/O node. `write` maps the interval extremities,
+//! gathers view bytes per node and fans the messages out concurrently;
+//! `read` runs the reverse path.
+
+use crate::client::NodeClient;
+use crate::error::NetError;
+use crate::server::{serve, DaemonConfig, DaemonHandle};
+use crate::wire::{Reply, Request, StatInfo};
+use clusterfile::StorageBackend;
+use parafile::mapping::Mapper;
+use parafile::model::Partition;
+use parafile::redist::{Projection, ViewPlan};
+use parafile_audit::{RawFalls, RawPattern};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct ViewState {
+    view: Partition,
+    element: usize,
+    proj_view: Vec<Projection>,
+    perfect_match: Vec<bool>,
+}
+
+struct FileState {
+    physical: Partition,
+    len: u64,
+    views: HashMap<u32, ViewState>,
+}
+
+/// A compute node's connection to a set of I/O-node daemons, one subfile
+/// per daemon (daemon order = subfile order).
+pub struct Session {
+    nodes: Vec<Mutex<NodeClient>>,
+    files: HashMap<u64, FileState>,
+}
+
+/// A per-node request to fan out, with its target node index.
+struct Outgoing {
+    node: usize,
+    request: Request,
+}
+
+impl Session {
+    /// Connects lazily to one daemon per address (`host:port` or
+    /// `unix:/path`); address order defines subfile order.
+    #[must_use]
+    pub fn connect(addrs: &[String]) -> Self {
+        Self {
+            nodes: addrs.iter().map(|a| Mutex::new(NodeClient::new(a))).collect(),
+            files: HashMap::new(),
+        }
+    }
+
+    /// Number of I/O nodes this session spans.
+    #[must_use]
+    pub fn io_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fans `requests` out to their nodes concurrently and returns the
+    /// replies in the same order.
+    fn fan_out(&self, requests: Vec<Outgoing>) -> Vec<(usize, Result<Reply, NetError>)> {
+        if requests.len() == 1 {
+            // Skip thread spawn for the single-target case.
+            let Outgoing { node, request } = requests.into_iter().next().expect("one request");
+            let reply = self.nodes[node].lock().expect("node lock").call(&request);
+            return vec![(node, reply)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .into_iter()
+                .map(|Outgoing { node, request }| {
+                    let client = &self.nodes[node];
+                    scope.spawn(move || (node, client.lock().expect("node lock").call(&request)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fan-out thread")).collect()
+        })
+    }
+
+    /// Like [`fan_out`](Self::fan_out) but every reply must be `Ok`.
+    fn fan_out_ok(&self, requests: Vec<Outgoing>) -> Result<(), NetError> {
+        for (_, reply) in self.fan_out(requests) {
+            match reply? {
+                Reply::Ok => {}
+                other => return Err(NetError::BadReply(format!("expected Ok, got {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates `file` of `len` bytes, physically partitioned by `physical`
+    /// (one element per I/O node), opening each subfile on its daemon.
+    pub fn create_file(
+        &mut self,
+        file: u64,
+        physical: Partition,
+        len: u64,
+    ) -> Result<(), NetError> {
+        if physical.element_count() != self.nodes.len() {
+            return Err(NetError::Usage(format!(
+                "physical partition has {} elements but the session spans {} I/O nodes",
+                physical.element_count(),
+                self.nodes.len()
+            )));
+        }
+        let mut requests = Vec::with_capacity(self.nodes.len());
+        for s in 0..self.nodes.len() {
+            let sub_len = physical.element_len(s, len)?;
+            requests.push(Outgoing {
+                node: s,
+                request: Request::Open { file, subfile: s as u32, len: sub_len },
+            });
+        }
+        self.fan_out_ok(requests)?;
+        self.files.insert(file, FileState { physical, len, views: HashMap::new() });
+        Ok(())
+    }
+
+    fn file(&self, file: u64) -> Result<&FileState, NetError> {
+        self.files
+            .get(&file)
+            .ok_or_else(|| NetError::Usage(format!("file {file} was not created in this session")))
+    }
+
+    fn view(&self, file: u64, compute: u32) -> Result<(&FileState, &ViewState), NetError> {
+        let st = self.file(file)?;
+        let vs = st.views.get(&compute).ok_or_else(|| {
+            NetError::Usage(format!("compute node {compute} has no view on file {file}"))
+        })?;
+        Ok((st, vs))
+    }
+
+    /// Sets compute node `compute`'s view on `file` to element `element` of
+    /// `logical`. Compiles the access plan once, keeps the view-side
+    /// projections locally, and ships each subfile-side projection (with
+    /// the raw view pattern for auditing) to its I/O node.
+    pub fn set_view(
+        &mut self,
+        compute: u32,
+        file: u64,
+        logical: &Partition,
+        element: usize,
+    ) -> Result<(), NetError> {
+        let st = self.file(file)?;
+        let plan = ViewPlan::compile(logical, element, &st.physical)?;
+        let raw_view = RawPattern::from_partition(logical);
+        let mut proj_view = Vec::with_capacity(plan.per_subfile.len());
+        let mut perfect_match = Vec::with_capacity(plan.per_subfile.len());
+        let mut requests = Vec::new();
+        for (s, access) in plan.per_subfile.into_iter().enumerate() {
+            if !access.is_empty() {
+                let proj_set: Vec<RawFalls> =
+                    access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
+                requests.push(Outgoing {
+                    node: s,
+                    request: Request::SetView {
+                        file,
+                        compute,
+                        element: element as u32,
+                        view: raw_view.clone(),
+                        proj_set,
+                        proj_period: access.proj_sub.period,
+                    },
+                });
+            }
+            perfect_match.push(access.perfect_match);
+            proj_view.push(access.proj_view);
+        }
+        self.fan_out_ok(requests)?;
+        let vs = ViewState { view: logical.clone(), element, proj_view, perfect_match };
+        self.files.get_mut(&file).expect("file checked above").views.insert(compute, vs);
+        Ok(())
+    }
+
+    /// Maps the view interval `[lo_v, hi_v]` onto subfile `s`, returning
+    /// the subfile-linear extremities (the paper's `t_m` phase).
+    fn map_extremities(
+        st: &FileState,
+        vs: &ViewState,
+        s: usize,
+        lo_v: u64,
+        hi_v: u64,
+    ) -> Result<(u64, u64), NetError> {
+        if vs.perfect_match[s] {
+            return Ok((lo_v, hi_v));
+        }
+        let mv = Mapper::new(&vs.view, vs.element);
+        let ms = Mapper::new(&st.physical, s);
+        let l_s = ms.map_next(mv.unmap(lo_v));
+        let r_s = ms.map_prev(mv.unmap(hi_v)).ok_or_else(|| {
+            NetError::Usage(format!("subfile {s} holds no data at or below view offset {hi_v}"))
+        })?;
+        Ok((l_s, r_s))
+    }
+
+    /// Writes `data` over the view interval `[lo_v, hi_v]` of `file` as
+    /// compute node `compute`: per intersecting subfile, map the
+    /// extremities, gather the view bytes, and send — all nodes
+    /// concurrently. Returns the total bytes the daemons actually stored
+    /// (less than `data.len()` when the interval runs past a subfile's
+    /// physical end).
+    pub fn write(
+        &mut self,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+        data: &[u8],
+    ) -> Result<u64, NetError> {
+        if lo_v > hi_v || data.len() as u64 != hi_v - lo_v + 1 {
+            return Err(NetError::Usage(format!(
+                "data holds {} bytes but the interval [{lo_v}, {hi_v}] needs {}",
+                data.len(),
+                hi_v.saturating_sub(lo_v).saturating_add(1),
+            )));
+        }
+        let (st, vs) = self.view(file, compute)?;
+        let mut requests = Vec::new();
+        for s in 0..self.nodes.len() {
+            let proj_v = &vs.proj_view[s];
+            if proj_v.is_empty() {
+                continue;
+            }
+            let segs = proj_v.segments_between(lo_v, hi_v);
+            if segs.is_empty() {
+                continue;
+            }
+            let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
+            // Gather the non-contiguous view data into one message buffer
+            // (the paper's t_g phase); a fully-covered interval is a plain
+            // copy.
+            let covered: usize = segs.iter().map(|g| g.len() as usize).sum();
+            let mut payload = Vec::with_capacity(covered);
+            for seg in &segs {
+                let a = (seg.l() - lo_v) as usize;
+                let b = (seg.r() - lo_v) as usize;
+                payload.extend_from_slice(&data[a..=b]);
+            }
+            requests.push(Outgoing {
+                node: s,
+                request: Request::Write { file, compute, l_s, r_s, payload },
+            });
+        }
+        let mut written = 0u64;
+        for (node, reply) in self.fan_out(requests) {
+            match reply? {
+                Reply::WriteOk { written: w } => written += w,
+                other => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected WriteOk, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    /// Reads the view interval `[lo_v, hi_v]` of `file` as compute node
+    /// `compute`. Bytes past a subfile's physical end read as zero (the
+    /// partial-read complement of short writes).
+    pub fn read(
+        &mut self,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+    ) -> Result<Vec<u8>, NetError> {
+        if lo_v > hi_v {
+            return Err(NetError::Usage(format!("interval [{lo_v}, {hi_v}] is empty")));
+        }
+        let (st, vs) = self.view(file, compute)?;
+        let mut requests = Vec::new();
+        for s in 0..self.nodes.len() {
+            let proj_v = &vs.proj_view[s];
+            if proj_v.is_empty() {
+                continue;
+            }
+            if proj_v.segments_between(lo_v, hi_v).is_empty() {
+                continue;
+            }
+            let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
+            requests.push(Outgoing { node: s, request: Request::Read { file, compute, l_s, r_s } });
+        }
+        let mut buf = vec![0u8; (hi_v - lo_v + 1) as usize];
+        for (node, reply) in self.fan_out(requests) {
+            let payload = match reply? {
+                Reply::Data { payload } => payload,
+                other => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected Data, got {other:?}"
+                    )))
+                }
+            };
+            // Scatter the node's fragment stream back into view positions.
+            // A short payload (partial read at the subfile boundary) fills
+            // only the leading fragments.
+            let (_, vs) = self.view(file, compute)?;
+            let mut pos = 0usize;
+            for seg in vs.proj_view[node].segments_between(lo_v, hi_v) {
+                let take = (seg.len() as usize).min(payload.len() - pos);
+                if take == 0 {
+                    break;
+                }
+                let a = (seg.l() - lo_v) as usize;
+                buf[a..a + take].copy_from_slice(&payload[pos..pos + take]);
+                pos += take;
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Fetches every subfile and reassembles the full file through the
+    /// physical mapping functions (verification/diagnostics path).
+    pub fn file_contents(&mut self, file: u64) -> Result<Vec<u8>, NetError> {
+        let st = self.file(file)?;
+        let len = st.len as usize;
+        let physical = st.physical.clone();
+        let requests = (0..self.nodes.len())
+            .map(|s| Outgoing { node: s, request: Request::Fetch { file } })
+            .collect();
+        let mut out = vec![0u8; len];
+        for (node, reply) in self.fan_out(requests) {
+            let payload = match reply? {
+                Reply::Data { payload } => payload,
+                other => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected Data, got {other:?}"
+                    )))
+                }
+            };
+            let m = Mapper::new(&physical, node);
+            for (i, byte) in payload.iter().enumerate() {
+                let pos = m.unmap(i as u64) as usize;
+                if pos < len {
+                    out[pos] = *byte;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetches one subfile of `file` verbatim from its I/O node.
+    pub fn subfile(&mut self, file: u64, s: usize) -> Result<Vec<u8>, NetError> {
+        self.file(file)?;
+        if s >= self.nodes.len() {
+            return Err(NetError::Usage(format!(
+                "subfile {s} out of range for {} I/O nodes",
+                self.nodes.len()
+            )));
+        }
+        match self.nodes[s].lock().expect("node lock").call(&Request::Fetch { file })? {
+            Reply::Data { payload } => Ok(payload),
+            other => Err(NetError::BadReply(format!("expected Data, got {other:?}"))),
+        }
+    }
+
+    /// Forces every subfile of `file` to stable storage. Works on any file
+    /// the daemons host, not just ones created by this session.
+    pub fn flush(&mut self, file: u64) -> Result<(), NetError> {
+        let requests = (0..self.nodes.len())
+            .map(|s| Outgoing { node: s, request: Request::Flush { file } })
+            .collect();
+        self.fan_out_ok(requests)
+    }
+
+    /// Per-subfile statistics for `file`, one entry per I/O node. Works on
+    /// any file the daemons host, not just ones created by this session.
+    pub fn stat(&mut self, file: u64) -> Result<Vec<StatInfo>, NetError> {
+        let requests = (0..self.nodes.len())
+            .map(|s| Outgoing { node: s, request: Request::Stat { file } })
+            .collect();
+        let mut out = vec![StatInfo::default(); self.nodes.len()];
+        for (node, reply) in self.fan_out(requests) {
+            match reply? {
+                Reply::Stat(s) => out[node] = s,
+                other => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected Stat, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Asks every daemon to shut down. Errors on unreachable daemons are
+    /// reported but do not stop the sweep.
+    pub fn shutdown_all(&mut self) -> Result<(), NetError> {
+        let mut first_err = None;
+        for node in &self.nodes {
+            if let Err(e) = node.lock().expect("node lock").call(&Request::Shutdown) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns `io_nodes` loopback daemons on OS-assigned TCP ports, all over
+/// `backend`, returning their handles and client addresses (daemon order =
+/// subfile order).
+pub fn spawn_loopback(
+    io_nodes: usize,
+    backend: StorageBackend,
+) -> std::io::Result<(Vec<DaemonHandle>, Vec<String>)> {
+    let mut handles = Vec::with_capacity(io_nodes);
+    let mut addrs = Vec::with_capacity(io_nodes);
+    for _ in 0..io_nodes {
+        let config = DaemonConfig { backend: backend.clone(), ..DaemonConfig::default() };
+        let handle = serve("127.0.0.1:0", config)?;
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    Ok((handles, addrs))
+}
