@@ -48,6 +48,7 @@
 
 mod collective;
 mod fs;
+pub mod journal;
 mod relayout;
 pub mod scenario;
 pub mod storage;
@@ -55,6 +56,7 @@ mod timing;
 
 pub use collective::CollectiveTimings;
 pub use fs::{Clusterfile, ClusterfileConfig, FileId, WritePolicy};
+pub use journal::{crc32, IntentRecord, Journal, RecoveryReport};
 pub use relayout::{relayout, relayout_cost, RelayoutReport};
 pub use scenario::{PaperScenario, ScenarioResult};
 pub use storage::{StorageBackend, SubfileStore};

@@ -65,6 +65,33 @@ impl SubfileStore {
         }
     }
 
+    /// Opens an existing subfile *preserving its bytes*, or creates a
+    /// zero-filled one of `len` bytes. Returns the store and whether it
+    /// already existed.
+    ///
+    /// A memory store never survives its process, so the memory backend
+    /// always creates fresh. A directory-backed store that survives a
+    /// daemon crash keeps its on-disk length (which may differ from the
+    /// requested `len`; the caller decides whether that is a geometry
+    /// mismatch) so crash recovery can replay journaled intents into the
+    /// real pre-crash bytes instead of a zero-filled impostor.
+    pub fn open_or_create(
+        backend: &StorageBackend,
+        file_id: usize,
+        subfile: usize,
+        len: u64,
+    ) -> std::io::Result<(Self, bool)> {
+        if let StorageBackend::Directory(dir) = backend {
+            let path = dir.join(format!("file{file_id}_subfile{subfile}.bin"));
+            if path.exists() {
+                let file = OpenOptions::new().read(true).write(true).open(&path)?;
+                let on_disk = file.metadata()?.len();
+                return Ok((SubfileStore::File { file, len: on_disk, path }, true));
+            }
+        }
+        Ok((Self::create(backend, file_id, subfile, len)?, false))
+    }
+
     /// Store length in bytes.
     pub fn len(&self) -> u64 {
         match self {

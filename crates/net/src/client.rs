@@ -1,12 +1,14 @@
 //! Per-node client connection with reconnect and retry.
 //!
 //! A [`NodeClient`] speaks the frame protocol to exactly one I/O-node
-//! daemon. Transport failures on idempotent requests (everything except
-//! `Shutdown` — writes scatter absolute offsets, so a replay stores the
-//! same bytes) are retried with capped exponential backoff over a fresh
-//! connection. Protocol errors are never retried: the daemon meant them.
+//! daemon. Transport failures on retry-safe requests (everything except
+//! `Shutdown` — stamped writes are deduplicated by the daemon, and
+//! everything else is naturally idempotent) are retried with capped,
+//! jittered exponential backoff over a fresh connection. Protocol errors
+//! are never retried: the daemon meant them.
 
 use crate::error::NetError;
+use crate::fault::XorShift64;
 use crate::server::NetStream;
 use crate::wire::{self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use std::time::Duration;
@@ -40,6 +42,9 @@ pub struct NodeClient {
     max_frame: u32,
     timeout: Option<Duration>,
     retry: RetryPolicy,
+    /// Backoff jitter source, seeded from the address so two clients of
+    /// the same process desynchronize their retries.
+    rng: XorShift64,
 }
 
 impl NodeClient {
@@ -47,13 +52,18 @@ impl NodeClient {
     /// connection is established lazily on the first request.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
+        let addr = addr.into();
+        let seed = addr.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
         Self {
-            addr: addr.into(),
+            addr,
             stream: None,
             next_id: 1,
             max_frame: DEFAULT_MAX_FRAME,
             timeout: Some(Duration::from_secs(30)),
             retry: RetryPolicy::default(),
+            rng: XorShift64::new(seed),
         }
     }
 
@@ -117,17 +127,33 @@ impl NodeClient {
     }
 
     /// Sends `request` and returns the decoded reply. Transport failures on
-    /// idempotent requests reconnect and retry with capped exponential
-    /// backoff; an `Error` reply is returned as [`NetError::Protocol`]
-    /// without retrying.
+    /// retry-safe requests reconnect and retry with capped, jittered
+    /// exponential backoff; an `Error` reply is returned as
+    /// [`NetError::Protocol`] without retrying.
     pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
-        let attempts = if request.idempotent() { self.retry.attempts.max(1) } else { 1 };
+        let attempts = if request.retry_safe() { self.retry.attempts.max(1) } else { 1 };
         let mut delay = self.retry.base_delay;
         let mut last_err: Option<NetError> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(delay);
+                // Jitter the sleep over [delay/2, delay] so clients that
+                // failed together do not retry in lockstep.
+                let nanos = delay.as_nanos() as u64;
+                let jittered = nanos / 2 + self.rng.next_u64() % (nanos / 2 + 1);
+                std::thread::sleep(Duration::from_nanos(jittered));
                 delay = (delay * 2).min(self.retry.max_delay);
+            }
+            // Connect first, separately from the exchange: a connect
+            // failure means the node is still down (keep widening the
+            // backoff), while a request dying on a *fresh* connection
+            // means the node is back — the accumulated delay is stale and
+            // the next retry should start from the base again.
+            let fresh = self.stream.is_none();
+            if fresh {
+                if let Err(e) = self.connected() {
+                    last_err = Some(NetError::Io(e));
+                    continue;
+                }
             }
             match self.exchange(request) {
                 Ok(Reply::Error(e)) => return Err(NetError::Protocol(e)),
@@ -136,6 +162,9 @@ impl NodeClient {
                     // The connection is broken or desynchronized: drop it so
                     // the next attempt reconnects.
                     self.stream = None;
+                    if fresh {
+                        delay = self.retry.base_delay;
+                    }
                     last_err = Some(err);
                 }
                 Err(other) => return Err(other),

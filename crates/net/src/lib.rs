@@ -23,12 +23,16 @@
 
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod server;
 pub mod session;
 pub mod wire;
 
 pub use client::NodeClient;
 pub use error::{ErrCode, NetError, ProtocolError};
+pub use fault::{chaos_proxy, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault};
 pub use server::{serve, DaemonConfig, DaemonHandle, NetListener};
-pub use session::{spawn_loopback, Session};
-pub use wire::{Reply, Request, StatInfo, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use session::{spawn_loopback, NodeHealth, RedistReport, SegmentOutcome, Session};
+pub use wire::{
+    Reply, Request, StatInfo, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};

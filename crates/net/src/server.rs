@@ -12,23 +12,58 @@
 //! projection, and every interval is clipped to the subfile length before
 //! touching the store, so a hostile peer can neither panic the daemon nor
 //! make it walk an unbounded segment list.
+//!
+//! # Fault model (DESIGN.md §11)
+//!
+//! Directory-backed daemons survive crashes: every scatter write appends
+//! its full intent to a per-subfile write-ahead [`Journal`] before touching
+//! the store, and `Open` after a restart replays complete intents into the
+//! preserved subfile bytes. Mutating requests carry a `(session, seq)`
+//! retry stamp; a bounded per-subfile dedup window answers replays with
+//! the original result instead of re-applying them, and journal recovery
+//! repopulates that window so retries straddling a crash stay exactly-once.
+//! A seeded [`FaultPlan`] (config [`DaemonConfig::fault`]) injects
+//! connection drops, reply truncation, flush failures, whole-daemon kills,
+//! and torn scatter writes deterministically for tests and `pf chaos`.
 
 use crate::error::{ErrCode, ProtocolError};
+use crate::fault::{FaultInjector, FaultPlan, FrameFault};
 use crate::wire::{
     self, op, raw_to_set, FrameReadError, Reply, Request, StatInfo, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use clusterfile::{StorageBackend, SubfileStore};
+use clusterfile::{IntentRecord, Journal, StorageBackend, SubfileStore};
 use parafile::redist::Projection;
 use parafile_audit::{audit_pattern, AuditConfig, Severity};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, SystemTime};
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it.
+///
+/// Daemon state is updated with plain stores and atomics — a panic between
+/// two related updates cannot leave half-written structures — so the
+/// poison flag carries no information the daemon can act on, and honoring
+/// it would let one panicking connection thread wedge every other
+/// connection forever.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock`], for read-locking an `RwLock`.
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock`], for write-locking an `RwLock`.
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,6 +77,10 @@ pub struct DaemonConfig {
     pub max_inflight: usize,
     /// How long a connection may stall mid-request before it is dropped.
     pub read_timeout: Option<Duration>,
+    /// Retry stamps remembered per subfile for write deduplication.
+    pub dedup_window: usize,
+    /// Deterministic fault plan to inject (tests, `pf serve --chaos`).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -51,6 +90,8 @@ impl Default for DaemonConfig {
             max_frame: DEFAULT_MAX_FRAME,
             max_inflight: 64,
             read_timeout: Some(Duration::from_secs(30)),
+            dedup_window: 1024,
+            fault: None,
         }
     }
 }
@@ -224,9 +265,51 @@ struct Stats {
     fragments: AtomicU64,
 }
 
+/// Bounded FIFO window of `(session, seq) → written` retry stamps.
+///
+/// A retried `Write` whose stamp is still in the window is acknowledged
+/// with the original byte count instead of re-applied. Session 0 is the
+/// unstamped (v1) sentinel and is never inserted. Eviction is strictly
+/// insertion-ordered, so a sequence number reused after wraparound is
+/// deduplicated only while its first occurrence is still resident.
+struct DedupWindow {
+    capacity: usize,
+    order: VecDeque<(u64, u64)>,
+    stamps: HashMap<(u64, u64), u64>,
+}
+
+impl DedupWindow {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, order: VecDeque::new(), stamps: HashMap::new() }
+    }
+
+    fn get(&self, session: u64, seq: u64) -> Option<u64> {
+        self.stamps.get(&(session, seq)).copied()
+    }
+
+    fn insert(&mut self, session: u64, seq: u64, written: u64) {
+        if session == 0 || self.capacity == 0 {
+            return;
+        }
+        let key = (session, seq);
+        if self.stamps.insert(key, written).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.stamps.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 struct FileSlot {
     subfile: u32,
     store: Mutex<SubfileStore>,
+    /// Write-ahead intent journal (Disabled for memory backends).
+    journal: Mutex<Journal>,
+    /// Retry stamps of recently applied writes.
+    dedup: Mutex<DedupWindow>,
     /// `PROJ_S(V∩S)` per compute node, as shipped at view-set time.
     views: RwLock<HashMap<u32, Projection>>,
     stats: Stats,
@@ -237,28 +320,53 @@ struct Shared {
     /// The daemon's own client-facing address (to self-connect and wake
     /// the acceptor when a remote `Shutdown` arrives).
     addr: String,
+    /// Boot stamp returned by `Ping`; changes across restarts, so a client
+    /// that remembers the epoch can detect that the daemon crashed and its
+    /// session-visible state (views, memory stores) is gone.
+    epoch: u64,
     files: RwLock<HashMap<u64, Arc<FileSlot>>>,
     stopping: AtomicBool,
     inflight: Mutex<usize>,
     inflight_cv: Condvar,
     /// Weak handles to open connections, so shutdown can unblock them.
     conns: Mutex<Vec<std::sync::Weak<NetStream>>>,
+    /// Deterministic fault injection (None in production).
+    fault: Option<FaultInjector>,
 }
 
 impl Shared {
     fn acquire_slot(&self) {
-        let mut n = self.inflight.lock().expect("inflight lock");
+        let mut n = lock(&self.inflight);
         while *n >= self.config.max_inflight {
-            n = self.inflight_cv.wait(n).expect("inflight wait");
+            n = self.inflight_cv.wait(n).unwrap_or_else(|e| e.into_inner());
         }
         *n += 1;
     }
 
     fn release_slot(&self) {
-        let mut n = self.inflight.lock().expect("inflight lock");
-        *n -= 1;
+        let mut n = lock(&self.inflight);
+        *n = n.saturating_sub(1);
         drop(n);
         self.inflight_cv.notify_one();
+    }
+
+    /// Whether an injected kill/torn-write fault has "crashed" the daemon.
+    fn fault_crashed(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultInjector::killed)
+    }
+
+    /// Simulates a crash: stop accepting, sever every connection abruptly
+    /// (no replies, no flushes — exactly what a real crash leaves behind).
+    fn crash(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        for conn in lock(&self.conns).drain(..) {
+            if let Some(stream) = conn.upgrade() {
+                stream.shutdown_both();
+            }
+        }
+        self.inflight_cv.notify_all();
+        // Unblock the acceptor so it observes `stopping` and exits.
+        let _ = NetStream::connect(&self.addr);
     }
 }
 
@@ -277,6 +385,20 @@ impl DaemonHandle {
         &self.addr
     }
 
+    /// The daemon's boot epoch (what `Ping` answers).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
+    }
+
+    /// Whether an injected kill/torn-write fault has "crashed" this daemon
+    /// — the restart harness's cue to bring a fresh one up on the same
+    /// backend with the crash faults [disarmed](FaultPlan::disarmed_crashes).
+    #[must_use]
+    pub fn fault_killed(&self) -> bool {
+        self.shared.fault_crashed()
+    }
+
     /// Stops the daemon: refuses new connections, closes open ones
     /// (connections finish their in-flight request first — replies are
     /// written before the next frame read observes the closed socket), and
@@ -285,7 +407,7 @@ impl DaemonHandle {
         self.shared.stopping.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection.
         let _ = NetStream::connect(&self.addr);
-        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+        for conn in lock(&self.shared.conns).drain(..) {
             if let Some(stream) = conn.upgrade() {
                 stream.shutdown_both();
             }
@@ -313,14 +435,21 @@ impl Drop for DaemonHandle {
 pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> {
     let listener = NetListener::bind(addr)?;
     let client_addr = listener.client_addr()?;
+    let epoch = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(1, |d| d.as_nanos() as u64)
+        .max(1);
+    let fault = config.fault.clone().map(FaultInjector::new);
     let shared = Arc::new(Shared {
         config,
         addr: client_addr.clone(),
+        epoch,
         files: RwLock::new(HashMap::new()),
         stopping: AtomicBool::new(false),
         inflight: Mutex::new(0),
         inflight_cv: Condvar::new(),
         conns: Mutex::new(Vec::new()),
+        fault,
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread =
@@ -339,7 +468,7 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
                 }
                 let stream = Arc::new(stream);
                 {
-                    let mut conns = accept_shared.conns.lock().expect("conns lock");
+                    let mut conns = lock(&accept_shared.conns);
                     conns.retain(|w| w.strong_count() > 0);
                     conns.push(Arc::downgrade(&stream));
                 }
@@ -360,6 +489,7 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
 fn serve_connection(stream: &NetStream, shared: &Shared) {
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let mut stream = stream;
+    let mut conn_frames = 0u64;
     loop {
         let frame = match wire::read_frame(&mut stream, shared.config.max_frame) {
             Ok(f) => f,
@@ -374,7 +504,7 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
                         shared.config.max_frame
                     ),
                 );
-                send_reply(&mut stream, 0, &Reply::Error(e));
+                send_reply(&mut stream, PROTOCOL_VERSION, 0, &Reply::Error(e), None);
                 return;
             }
             Err(FrameReadError::TooShort(len)) => {
@@ -382,15 +512,44 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
                     ErrCode::Malformed,
                     format!("frame length {len} is shorter than the header"),
                 );
-                send_reply(&mut stream, 0, &Reply::Error(e));
+                send_reply(&mut stream, PROTOCOL_VERSION, 0, &Reply::Error(e), None);
                 return;
             }
             Err(FrameReadError::Io(_)) => return,
         };
+        conn_frames += 1;
+        if let Some(fault) = &shared.fault {
+            match fault.on_frame(conn_frames) {
+                FrameFault::None => {}
+                FrameFault::Drop => {
+                    stream.shutdown_both();
+                    return;
+                }
+                FrameFault::Kill => {
+                    shared.crash();
+                    return;
+                }
+            }
+        }
         shared.acquire_slot();
         let (reply, shutdown) = handle_frame(shared, frame.version, frame.opcode, &frame.payload);
-        send_reply(&mut stream, frame.request_id, &reply);
+        let crashed = shared.fault_crashed();
+        if !crashed {
+            let truncate = shared.fault.as_ref().and_then(|f| f.truncate_reply_at(conn_frames));
+            send_reply(&mut stream, frame.version, frame.request_id, &reply, truncate);
+            if truncate.is_some() {
+                shared.release_slot();
+                stream.shutdown_both();
+                return;
+            }
+        }
         shared.release_slot();
+        if crashed {
+            // An injected kill or torn write fired while this request was
+            // in flight: the "crashed" daemon never replies.
+            shared.crash();
+            return;
+        }
         if shutdown {
             // Unblock the acceptor so it observes `stopping` and exits.
             let _ = NetStream::connect(&shared.addr);
@@ -399,25 +558,49 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
     }
 }
 
-fn send_reply(stream: &mut &NetStream, request_id: u64, reply: &Reply) {
-    let _ = wire::write_frame(stream, reply.opcode(), request_id, &reply.encode_payload());
+/// Writes one reply frame in the requester's protocol version. With
+/// `truncate` set, only that many bytes of the encoded frame are sent —
+/// the injected torn-frame fault.
+fn send_reply(
+    stream: &mut &NetStream,
+    version: u8,
+    request_id: u64,
+    reply: &Reply,
+    truncate: Option<u64>,
+) {
+    let payload = reply.encode_payload_at(version);
+    match truncate {
+        None => {
+            let _ = wire::write_frame_at(stream, version, reply.opcode(), request_id, &payload);
+        }
+        Some(keep) => {
+            let mut buf = Vec::with_capacity(payload.len() + 16);
+            let _ = wire::write_frame_at(&mut buf, version, reply.opcode(), request_id, &payload);
+            let keep = (keep as usize).min(buf.len());
+            let _ = stream.write_all(&buf[..keep]);
+            let _ = stream.flush();
+        }
+    }
 }
 
 /// Decodes and executes one request. Returns the reply and whether the
 /// daemon should begin shutting down.
 fn handle_frame(shared: &Shared, version: u8, opcode: u8, payload: &[u8]) -> (Reply, bool) {
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         let e = ProtocolError::new(
             ErrCode::UnsupportedVersion,
-            format!("version {version} is not supported (this daemon speaks {PROTOCOL_VERSION})"),
+            format!(
+                "version {version} is not supported (this daemon speaks \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+            ),
         );
         return (Reply::Error(e), false);
     }
-    if !(op::OPEN..=op::SHUTDOWN).contains(&opcode) {
+    if !(op::OPEN..=op::PING).contains(&opcode) {
         let e = ProtocolError::new(ErrCode::UnknownOp, format!("opcode {opcode:#04x}"));
         return (Reply::Error(e), false);
     }
-    let request = match Request::decode(opcode, payload) {
+    let request = match Request::decode_at(version, opcode, payload) {
         Ok(r) => r,
         Err(e) => return (Reply::Error(e.into()), false),
     };
@@ -473,21 +656,26 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                     ))
                 }
             };
-            slot.views
-                .write()
-                .expect("views lock")
-                .insert(compute, Projection { set, period: proj_period });
+            write(&slot.views).insert(compute, Projection { set, period: proj_period });
             Reply::Ok
         }
-        Request::Write { file, compute, l_s, r_s, payload } => {
+        Request::Write { file, compute, l_s, r_s, session, seq, payload } => {
             with_projection(shared, file, compute, l_s, r_s, |slot, proj| {
-                let mut store = slot.store.lock().expect("store lock");
+                // A stamped retry of a write already in the dedup window is
+                // acknowledged with the original result, not re-applied.
+                if session != 0 {
+                    if let Some(written) = lock(&slot.dedup).get(session, seq) {
+                        return Reply::WriteOk { written, replayed: true };
+                    }
+                }
+                let mut store = lock(&slot.store);
                 // Clip to the subfile before any arithmetic: bounds the
                 // segment walk and makes boundary-crossing writes short
                 // instead of fatal.
                 let len = store.len();
                 if len == 0 || l_s >= len {
-                    return Reply::WriteOk { written: 0 };
+                    lock(&slot.dedup).insert(session, seq, 0);
+                    return Reply::WriteOk { written: 0, replayed: false };
                 }
                 let r_c = r_s.min(len - 1);
                 let segs = proj.segments_between(l_s, r_c);
@@ -498,20 +686,48 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                         format!("payload holds {} bytes, projection needs {expect}", payload.len()),
                     ));
                 }
+                // Journal the full intent before the first store byte moves
+                // (write-ahead): a crash mid-scatter replays from here.
+                {
+                    let mut journal = lock(&slot.journal);
+                    if journal.is_enabled() {
+                        let record = IntentRecord {
+                            session,
+                            seq,
+                            segments: segs.iter().map(|s| (s.l(), s.len())).collect(),
+                            payload: payload[..expect as usize].to_vec(),
+                        };
+                        if let Err(e) = journal.append(&record) {
+                            return Reply::Error(ProtocolError::new(
+                                ErrCode::Internal,
+                                format!("journal append: {e}"),
+                            ));
+                        }
+                    }
+                }
+                let torn = shared.fault.as_ref().is_some_and(FaultInjector::on_write_torn);
                 let mut pos = 0usize;
                 for seg in &segs {
                     let n = seg.len() as usize;
                     store.write_at(seg.l(), &payload[pos..pos + n]);
                     pos += n;
+                    if torn {
+                        // Injected crash after the first applied segment:
+                        // the subfile is torn, the journaled intent is not.
+                        // serve_connection suppresses the reply; recovery on
+                        // the next Open must heal the remaining segments.
+                        return Reply::WriteOk { written: expect, replayed: false };
+                    }
                 }
+                lock(&slot.dedup).insert(session, seq, expect);
                 slot.stats.bytes_written.fetch_add(expect, Ordering::Relaxed);
                 slot.stats.fragments.fetch_add(segs.len() as u64, Ordering::Relaxed);
-                Reply::WriteOk { written: expect }
+                Reply::WriteOk { written: expect, replayed: false }
             })
         }
         Request::Read { file, compute, l_s, r_s } => {
             with_projection(shared, file, compute, l_s, r_s, |slot, proj| {
-                let mut store = slot.store.lock().expect("store lock");
+                let mut store = lock(&slot.store);
                 let len = store.len();
                 if len == 0 || l_s >= len {
                     return Reply::Data { payload: Vec::new() };
@@ -530,7 +746,16 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
         Request::Flush { file } => match lookup(shared, file) {
             Ok(slot) => {
                 slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-                match slot.store.lock().expect("store lock").flush() {
+                if shared.fault.as_ref().is_some_and(FaultInjector::on_flush) {
+                    return Reply::Error(ProtocolError::new(
+                        ErrCode::Internal,
+                        "injected flush failure",
+                    ));
+                }
+                let mut store = lock(&slot.store);
+                // A flush makes the store durable, so the journaled intents
+                // covering it are redundant: checkpoint (flush + truncate).
+                match lock(&slot.journal).checkpoint(&mut store).and_then(|()| store.flush()) {
                     Ok(()) => Reply::Ok,
                     Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
                 }
@@ -540,8 +765,8 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
         Request::Stat { file } => match lookup(shared, file) {
             Ok(slot) => {
                 slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let len = slot.store.lock().expect("store lock").len();
-                let views = slot.views.read().expect("views lock").len() as u64;
+                let len = lock(&slot.store).len();
+                let views = read(&slot.views).len() as u64;
                 Reply::Stat(StatInfo {
                     len,
                     views,
@@ -556,21 +781,22 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
         Request::Fetch { file } => match lookup(shared, file) {
             Ok(slot) => {
                 slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let payload = slot.store.lock().expect("store lock").read_all();
+                let payload = lock(&slot.store).read_all();
                 Reply::Data { payload }
             }
             Err(e) => Reply::Error(e),
         },
+        Request::Ping => Reply::Pong { epoch: shared.epoch },
         // Open/SetView/Write/Read handled above; Shutdown in handle_frame.
         Request::Shutdown => Reply::Ok,
     }
 }
 
 fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
-    let mut files = shared.files.write().expect("files lock");
+    let mut files = write(&shared.files);
     if let Some(slot) = files.get(&file) {
         slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let existing_len = slot.store.lock().expect("store lock").len();
+        let existing_len = lock(&slot.store).len();
         return if slot.subfile == subfile && existing_len == len {
             Reply::Ok // idempotent reopen
         } else {
@@ -583,27 +809,63 @@ fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
             ))
         };
     }
-    match SubfileStore::create(&shared.config.backend, file as usize, subfile as usize, len) {
-        Ok(store) => {
-            let slot = Arc::new(FileSlot {
-                subfile,
-                store: Mutex::new(store),
-                views: RwLock::new(HashMap::new()),
-                stats: Stats::default(),
-            });
-            slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-            files.insert(file, slot);
-            Reply::Ok
+    // Open preserving any pre-crash bytes: a directory-backed subfile that
+    // survived a daemon restart is recovered (journal replay), not zeroed.
+    let opened =
+        SubfileStore::open_or_create(&shared.config.backend, file as usize, subfile as usize, len);
+    let (mut store, existed) = match opened {
+        Ok(pair) => pair,
+        Err(e) => return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+    };
+    let mut journal = match Journal::open(&shared.config.backend, file as usize, subfile as usize) {
+        Ok(j) => j,
+        Err(e) => return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+    };
+    let mut dedup = DedupWindow::new(shared.config.dedup_window);
+    if existed {
+        if store.len() != len {
+            return Reply::Error(ProtocolError::new(
+                ErrCode::FileMismatch,
+                format!(
+                    "subfile survives on disk with {} bytes, open asked for {len}",
+                    store.len()
+                ),
+            ));
         }
-        Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+        // Replay intents a crash may have left half-applied, and remember
+        // their retry stamps so post-crash retries stay exactly-once.
+        match journal.recover(&mut store) {
+            Ok(report) => {
+                for (session, seq, written) in report.dedup {
+                    dedup.insert(session, seq, written);
+                }
+            }
+            Err(e) => {
+                return Reply::Error(ProtocolError::new(
+                    ErrCode::Internal,
+                    format!("journal recovery: {e}"),
+                ))
+            }
+        }
+    } else if let Err(e) = journal.reset() {
+        // A fresh subfile must not inherit a dead daemon's intents.
+        return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string()));
     }
+    let slot = Arc::new(FileSlot {
+        subfile,
+        store: Mutex::new(store),
+        journal: Mutex::new(journal),
+        dedup: Mutex::new(dedup),
+        views: RwLock::new(HashMap::new()),
+        stats: Stats::default(),
+    });
+    slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+    files.insert(file, slot);
+    Reply::Ok
 }
 
 fn lookup(shared: &Shared, file: u64) -> Result<Arc<FileSlot>, ProtocolError> {
-    shared
-        .files
-        .read()
-        .expect("files lock")
+    read(&shared.files)
         .get(&file)
         .cloned()
         .ok_or_else(|| ProtocolError::new(ErrCode::UnknownFile, format!("file {file}")))
@@ -631,7 +893,7 @@ fn with_projection(
             format!("interval [{l_s}, {r_s}] is empty"),
         ));
     }
-    let proj = match slot.views.read().expect("views lock").get(&compute) {
+    let proj = match read(&slot.views).get(&compute) {
         Some(p) => p.clone(),
         None => {
             return Reply::Error(ProtocolError::new(

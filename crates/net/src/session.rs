@@ -9,8 +9,21 @@
 //! gathers view bytes per node and fans the messages out concurrently;
 //! `read` runs the reverse path.
 
+//!
+//! # Degraded operation
+//!
+//! Every mutating request carries this session's `(session_id, seq)` retry
+//! stamp, so daemons deduplicate replays and retrying is always safe.
+//! [`Session::probe`] pings every node and records its boot epoch; nodes
+//! that fail the probe are marked dead and writes fail fast on them
+//! (outcome [`SegmentOutcome::Unreachable`]) instead of paying the retry
+//! schedule per access. [`Session::write_report`] narrates exactly what
+//! happened per node — applied, deduplicated replay, re-established after
+//! a daemon restart, or unreachable — while [`Session::write`] keeps the
+//! original all-or-error contract on top of it.
+
 use crate::client::NodeClient;
-use crate::error::NetError;
+use crate::error::{ErrCode, NetError};
 use crate::server::{serve, DaemonConfig, DaemonHandle};
 use crate::wire::{Reply, Request, StatInfo};
 use clusterfile::StorageBackend;
@@ -19,7 +32,15 @@ use parafile::model::Partition;
 use parafile::redist::{Projection, ViewPlan};
 use parafile_audit::{RawFalls, RawPattern};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::SystemTime;
+
+/// Locks a node client, recovering from poisoning (a panicked fan-out
+/// thread must not wedge the whole session).
+fn lock(m: &Mutex<NodeClient>) -> MutexGuard<'_, NodeClient> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct ViewState {
     view: Partition,
@@ -34,11 +55,100 @@ struct FileState {
     views: HashMap<u32, ViewState>,
 }
 
+/// What a [`Session::probe`] learned about one I/O node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Never probed.
+    Unknown,
+    /// Answered the last probe; `epoch` is its boot stamp (0 for a v1
+    /// daemon that does not speak `Ping`). A changed epoch between probes
+    /// means the daemon restarted and lost its session-visible state.
+    Alive {
+        /// The daemon's boot epoch.
+        epoch: u64,
+    },
+    /// Failed the last probe (or a write); writes fail fast until a later
+    /// probe revives it.
+    Dead,
+}
+
+/// Per-node outcome of one redistribution write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// The daemon applied the segments fresh.
+    Applied {
+        /// Bytes the daemon stored.
+        written: u64,
+    },
+    /// The daemon had already applied this stamped write and answered from
+    /// its dedup window — the retry cost nothing.
+    Replayed {
+        /// Bytes the original application stored.
+        written: u64,
+    },
+    /// Applied after this session re-opened the file and re-shipped the
+    /// view (the daemon restarted and had forgotten both).
+    Recovered {
+        /// Bytes the daemon stored.
+        written: u64,
+    },
+    /// The node stayed unreachable through retries and re-establishment;
+    /// its segments were not applied.
+    Unreachable,
+}
+
+impl SegmentOutcome {
+    /// Bytes this node acknowledged (0 when unreachable).
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        match *self {
+            SegmentOutcome::Applied { written }
+            | SegmentOutcome::Replayed { written }
+            | SegmentOutcome::Recovered { written } => written,
+            SegmentOutcome::Unreachable => 0,
+        }
+    }
+}
+
+/// What happened, node by node, during one redistribution write.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RedistReport {
+    /// Total bytes acknowledged across all reachable nodes.
+    pub written: u64,
+    /// `(node index, outcome)` for every node the interval intersects.
+    pub outcomes: Vec<(usize, SegmentOutcome)>,
+}
+
+impl RedistReport {
+    /// Whether every intersecting node acknowledged its segments.
+    #[must_use]
+    pub fn fully_applied(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| !matches!(o, SegmentOutcome::Unreachable))
+    }
+
+    /// Node indices whose segments were not applied.
+    #[must_use]
+    pub fn unreachable(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, SegmentOutcome::Unreachable))
+            .map(|&(n, _)| n)
+            .collect()
+    }
+}
+
 /// A compute node's connection to a set of I/O-node daemons, one subfile
 /// per daemon (daemon order = subfile order).
 pub struct Session {
     nodes: Vec<Mutex<NodeClient>>,
     files: HashMap<u64, FileState>,
+    /// This session's retry-stamp namespace (nonzero; 0 is the unstamped
+    /// wire sentinel).
+    session_id: u64,
+    /// Next retry sequence number.
+    next_seq: AtomicU64,
+    /// Last known health per node.
+    health: Vec<NodeHealth>,
 }
 
 /// A per-node request to fan out, with its target node index.
@@ -52,9 +162,18 @@ impl Session {
     /// `unix:/path`); address order defines subfile order.
     #[must_use]
     pub fn connect(addrs: &[String]) -> Self {
+        // A clock-and-pid stamp is unique enough across real client
+        // processes; collisions only widen dedup to a twin session.
+        let session_id = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64)
+            ^ (u64::from(std::process::id()) << 32);
         Self {
             nodes: addrs.iter().map(|a| Mutex::new(NodeClient::new(a))).collect(),
             files: HashMap::new(),
+            session_id: session_id.max(1),
+            next_seq: AtomicU64::new(1),
+            health: vec![NodeHealth::Unknown; addrs.len()],
         }
     }
 
@@ -70,7 +189,7 @@ impl Session {
         if requests.len() == 1 {
             // Skip thread spawn for the single-target case.
             let Outgoing { node, request } = requests.into_iter().next().expect("one request");
-            let reply = self.nodes[node].lock().expect("node lock").call(&request);
+            let reply = lock(&self.nodes[node]).call(&request);
             return vec![(node, reply)];
         }
         std::thread::scope(|scope| {
@@ -78,7 +197,7 @@ impl Session {
                 .into_iter()
                 .map(|Outgoing { node, request }| {
                     let client = &self.nodes[node];
-                    scope.spawn(move || (node, client.lock().expect("node lock").call(&request)))
+                    scope.spawn(move || (node, lock(client).call(&request)))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("fan-out thread")).collect()
@@ -174,7 +293,21 @@ impl Session {
             perfect_match.push(access.perfect_match);
             proj_view.push(access.proj_view);
         }
-        self.fan_out_ok(requests)?;
+        let retry: HashMap<usize, Request> =
+            requests.iter().map(|o| (o.node, o.request.clone())).collect();
+        for (node, reply) in self.fan_out(requests) {
+            match reply {
+                Ok(Reply::Ok) => {}
+                Ok(other) => return Err(NetError::BadReply(format!("expected Ok, got {other:?}"))),
+                Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
+                    // The daemon restarted since `create_file` and forgot
+                    // the subfile: re-open it and retry the view once.
+                    self.reopen(node, file)?;
+                    lock(&self.nodes[node]).expect_ok(&retry[&node])?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
         let vs = ViewState { view: logical.clone(), element, proj_view, perfect_match };
         self.files.get_mut(&file).expect("file checked above").views.insert(compute, vs);
         Ok(())
@@ -206,7 +339,8 @@ impl Session {
     /// extremities, gather the view bytes, and send — all nodes
     /// concurrently. Returns the total bytes the daemons actually stored
     /// (less than `data.len()` when the interval runs past a subfile's
-    /// physical end).
+    /// physical end). Fails if any intersecting node stays unreachable;
+    /// use [`write_report`](Self::write_report) to keep partial progress.
     pub fn write(
         &mut self,
         compute: u32,
@@ -215,6 +349,31 @@ impl Session {
         hi_v: u64,
         data: &[u8],
     ) -> Result<u64, NetError> {
+        let report = self.write_report(compute, file, lo_v, hi_v, data)?;
+        let down = report.unreachable();
+        if down.is_empty() {
+            Ok(report.written)
+        } else {
+            Err(NetError::Io(std::io::Error::other(format!(
+                "I/O node(s) {down:?} unreachable; their segments were not applied"
+            ))))
+        }
+    }
+
+    /// Like [`write`](Self::write), but degrades instead of failing: dead
+    /// or newly-unreachable nodes are reported per segment group while the
+    /// healthy nodes' writes proceed. A daemon that restarted (and so
+    /// forgot the file and view) is transparently re-established from this
+    /// session's cached state and the write retried once. Only usage
+    /// errors and non-recoverable protocol errors abort the whole call.
+    pub fn write_report(
+        &mut self,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+        data: &[u8],
+    ) -> Result<RedistReport, NetError> {
         if lo_v > hi_v || data.len() as u64 != hi_v - lo_v + 1 {
             return Err(NetError::Usage(format!(
                 "data holds {} bytes but the interval [{lo_v}, {hi_v}] needs {}",
@@ -222,8 +381,10 @@ impl Session {
                 hi_v.saturating_sub(lo_v).saturating_add(1),
             )));
         }
+        let session = self.session_id;
         let (st, vs) = self.view(file, compute)?;
         let mut requests = Vec::new();
+        let mut report = RedistReport::default();
         for s in 0..self.nodes.len() {
             let proj_v = &vs.proj_view[s];
             if proj_v.is_empty() {
@@ -231,6 +392,12 @@ impl Session {
             }
             let segs = proj_v.segments_between(lo_v, hi_v);
             if segs.is_empty() {
+                continue;
+            }
+            if self.health[s] == NodeHealth::Dead {
+                // Fail fast: a node that failed its last probe gets no
+                // request (and no retry schedule) until a probe revives it.
+                report.outcomes.push((s, SegmentOutcome::Unreachable));
                 continue;
             }
             let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
@@ -244,23 +411,154 @@ impl Session {
                 let b = (seg.r() - lo_v) as usize;
                 payload.extend_from_slice(&data[a..=b]);
             }
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             requests.push(Outgoing {
                 node: s,
-                request: Request::Write { file, compute, l_s, r_s, payload },
+                request: Request::Write { file, compute, l_s, r_s, session, seq, payload },
             });
         }
-        let mut written = 0u64;
         for (node, reply) in self.fan_out(requests) {
-            match reply? {
-                Reply::WriteOk { written: w } => written += w,
-                other => {
+            let outcome = match reply {
+                Ok(Reply::WriteOk { written, replayed: false }) => {
+                    SegmentOutcome::Applied { written }
+                }
+                Ok(Reply::WriteOk { written, replayed: true }) => {
+                    SegmentOutcome::Replayed { written }
+                }
+                Ok(other) => {
                     return Err(NetError::BadReply(format!(
                         "node {node}: expected WriteOk, got {other:?}"
                     )))
                 }
-            }
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
+                {
+                    // The daemon restarted and forgot this session's state:
+                    // re-open the subfile, re-ship the view, retry once.
+                    match self.recover_write(node, compute, file, lo_v, hi_v, data) {
+                        Ok(written) => SegmentOutcome::Recovered { written },
+                        Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                            self.health[node] = NodeHealth::Dead;
+                            SegmentOutcome::Unreachable
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                    // The node stayed down through the client's whole retry
+                    // schedule: mark it dead so later writes fail fast.
+                    self.health[node] = NodeHealth::Dead;
+                    SegmentOutcome::Unreachable
+                }
+                Err(other) => return Err(other),
+            };
+            report.written += outcome.written();
+            report.outcomes.push((node, outcome));
         }
-        Ok(written)
+        report.outcomes.sort_unstable_by_key(|&(n, _)| n);
+        Ok(report)
+    }
+
+    /// Re-`Open`s `file`'s subfile on node `node` with the session's cached
+    /// geometry — the first half of restart recovery. On a restarted daemon
+    /// the open also replays its journal into any surviving bytes.
+    fn reopen(&self, node: usize, file: u64) -> Result<(), NetError> {
+        let st = self.file(file)?;
+        let sub_len = st.physical.element_len(node, st.len)?;
+        lock(&self.nodes[node]).expect_ok(&Request::Open {
+            file,
+            subfile: node as u32,
+            len: sub_len,
+        })
+    }
+
+    /// Re-establishes node `node` after a daemon restart: re-`Open` the
+    /// subfile (which replays the daemon's journal into any surviving
+    /// bytes) and re-ship compute `compute`'s view, all from this
+    /// session's cached state.
+    fn reestablish(&self, node: usize, compute: u32, file: u64) -> Result<(), NetError> {
+        self.reopen(node, file)?;
+        let (st, vs) = self.view(file, compute)?;
+        let plan = ViewPlan::compile(&vs.view, vs.element, &st.physical)?;
+        let access = &plan.per_subfile[node];
+        let mut client = lock(&self.nodes[node]);
+        if !access.is_empty() {
+            let proj_set: Vec<RawFalls> =
+                access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
+            client.expect_ok(&Request::SetView {
+                file,
+                compute,
+                element: vs.element as u32,
+                view: RawPattern::from_partition(&vs.view),
+                proj_set,
+                proj_period: access.proj_sub.period,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// [`reestablish`](Self::reestablish), then retry the write for that
+    /// node once. The retry carries a fresh stamp: the daemon's dedup
+    /// window (repopulated from its journal) decides whether the original
+    /// write already landed.
+    fn recover_write(
+        &mut self,
+        node: usize,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+        data: &[u8],
+    ) -> Result<u64, NetError> {
+        self.reestablish(node, compute, file)?;
+        let session = self.session_id;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (st, vs) = self.view(file, compute)?;
+        let (l_s, r_s) = Self::map_extremities(st, vs, node, lo_v, hi_v)?;
+        let segs = vs.proj_view[node].segments_between(lo_v, hi_v);
+        let mut payload = Vec::with_capacity(segs.iter().map(|g| g.len() as usize).sum());
+        for seg in &segs {
+            let a = (seg.l() - lo_v) as usize;
+            let b = (seg.r() - lo_v) as usize;
+            payload.extend_from_slice(&data[a..=b]);
+        }
+        let mut client = lock(&self.nodes[node]);
+        match client.call(&Request::Write { file, compute, l_s, r_s, session, seq, payload })? {
+            Reply::WriteOk { written, .. } => Ok(written),
+            other => Err(NetError::BadReply(format!("expected WriteOk, got {other:?}"))),
+        }
+    }
+
+    /// Pings every node: records and returns each node's health. An
+    /// unreachable node is marked [`NodeHealth::Dead`] (writes fail fast on
+    /// it); a reachable one is revived, with its boot epoch captured so a
+    /// caller comparing successive probes can detect restarts.
+    pub fn probe(&mut self) -> Vec<NodeHealth> {
+        let replies: Vec<(usize, Result<Reply, NetError>)> = self.fan_out(
+            (0..self.nodes.len()).map(|s| Outgoing { node: s, request: Request::Ping }).collect(),
+        );
+        for (node, reply) in replies {
+            self.health[node] = match reply {
+                Ok(Reply::Pong { epoch }) => NodeHealth::Alive { epoch },
+                // A daemon that answers at all is alive, even a v1 one that
+                // rejects Ping as malformed.
+                Ok(_) | Err(NetError::Protocol(_)) => NodeHealth::Alive { epoch: 0 },
+                Err(_) => NodeHealth::Dead,
+            };
+        }
+        self.health.clone()
+    }
+
+    /// The last known health of every node (updated by probes and writes).
+    #[must_use]
+    pub fn health(&self) -> &[NodeHealth] {
+        &self.health
+    }
+
+    /// This session's retry-stamp namespace.
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.session_id
     }
 
     /// Reads the view interval `[lo_v, hi_v]` of `file` as compute node
@@ -291,7 +589,21 @@ impl Session {
         }
         let mut buf = vec![0u8; (hi_v - lo_v + 1) as usize];
         for (node, reply) in self.fan_out(requests) {
-            let payload = match reply? {
+            let reply = match reply {
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
+                {
+                    // The daemon restarted between `set_view` and this read:
+                    // re-establish the file and view from cached state (which
+                    // also replays the daemon's journal) and retry once.
+                    self.reestablish(node, compute, file)?;
+                    let (st, vs) = self.view(file, compute)?;
+                    let (l_s, r_s) = Self::map_extremities(st, vs, node, lo_v, hi_v)?;
+                    lock(&self.nodes[node]).call(&Request::Read { file, compute, l_s, r_s })?
+                }
+                other => other?,
+            };
+            let payload = match reply {
                 Reply::Data { payload } => payload,
                 other => {
                     return Err(NetError::BadReply(format!(
@@ -328,7 +640,16 @@ impl Session {
             .collect();
         let mut out = vec![0u8; len];
         for (node, reply) in self.fan_out(requests) {
-            let payload = match reply? {
+            let reply = match reply {
+                Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
+                    // A restarted daemon forgot the subfile: re-opening it
+                    // replays the journal over the surviving bytes.
+                    self.reopen(node, file)?;
+                    lock(&self.nodes[node]).call(&Request::Fetch { file })?
+                }
+                other => other?,
+            };
+            let payload = match reply {
                 Reply::Data { payload } => payload,
                 other => {
                     return Err(NetError::BadReply(format!(
@@ -356,19 +677,63 @@ impl Session {
                 self.nodes.len()
             )));
         }
-        match self.nodes[s].lock().expect("node lock").call(&Request::Fetch { file })? {
+        let reply = match lock(&self.nodes[s]).call(&Request::Fetch { file }) {
+            Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
+                self.reopen(s, file)?;
+                lock(&self.nodes[s]).call(&Request::Fetch { file })?
+            }
+            other => other?,
+        };
+        match reply {
             Reply::Data { payload } => Ok(payload),
             other => Err(NetError::BadReply(format!("expected Data, got {other:?}"))),
         }
     }
 
     /// Forces every subfile of `file` to stable storage. Works on any file
-    /// the daemons host, not just ones created by this session.
+    /// the daemons host, not just ones created by this session. A failed
+    /// flush leaves the daemon's journal intact, so flushing is retry-safe:
+    /// transient storage failures ([`ErrCode::Internal`]) are absorbed with
+    /// a few immediate per-node retries before surfacing.
     pub fn flush(&mut self, file: u64) -> Result<(), NetError> {
         let requests = (0..self.nodes.len())
             .map(|s| Outgoing { node: s, request: Request::Flush { file } })
             .collect();
-        self.fan_out_ok(requests)
+        for (node, first) in self.fan_out(requests) {
+            let mut reply = first;
+            let mut tries = 0;
+            loop {
+                match reply {
+                    Ok(Reply::Ok) => break,
+                    Ok(other) => {
+                        return Err(NetError::BadReply(format!(
+                            "node {node}: expected Ok, got {other:?}"
+                        )))
+                    }
+                    Err(NetError::Protocol(ref e))
+                        if matches!(e.code, ErrCode::Internal) && tries < 3 =>
+                    {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        reply = lock(&self.nodes[node]).call(&Request::Flush { file });
+                    }
+                    Err(NetError::Protocol(ref e))
+                        if matches!(e.code, ErrCode::UnknownFile)
+                            && self.files.contains_key(&file)
+                            && tries < 3 =>
+                    {
+                        // A restarted daemon forgot the subfile; re-opening
+                        // it replays the journal, which the flush then
+                        // checkpoints.
+                        tries += 1;
+                        self.reopen(node, file)?;
+                        reply = lock(&self.nodes[node]).call(&Request::Flush { file });
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Per-subfile statistics for `file`, one entry per I/O node. Works on
@@ -379,7 +744,16 @@ impl Session {
             .collect();
         let mut out = vec![StatInfo::default(); self.nodes.len()];
         for (node, reply) in self.fan_out(requests) {
-            match reply? {
+            let reply = match reply {
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::UnknownFile) && self.files.contains_key(&file) =>
+                {
+                    self.reopen(node, file)?;
+                    lock(&self.nodes[node]).call(&Request::Stat { file })?
+                }
+                other => other?,
+            };
+            match reply {
                 Reply::Stat(s) => out[node] = s,
                 other => {
                     return Err(NetError::BadReply(format!(
@@ -396,7 +770,7 @@ impl Session {
     pub fn shutdown_all(&mut self) -> Result<(), NetError> {
         let mut first_err = None;
         for node in &self.nodes {
-            if let Err(e) = node.lock().expect("node lock").call(&Request::Shutdown) {
+            if let Err(e) = lock(node).call(&Request::Shutdown) {
                 if first_err.is_none() {
                     first_err = Some(e);
                 }

@@ -26,8 +26,18 @@ use parafile::model::{Partition, PartitionPattern};
 use parafile_audit::{RawElement, RawFalls, RawPattern};
 use std::io::{Read, Write};
 
-/// Protocol version this crate speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version this crate speaks by default.
+///
+/// Version 2 is version 1 plus **additive** fault-tolerance fields (see
+/// DESIGN.md §11 for the bump rules): a `(session, seq)` retry stamp on
+/// `Write`, a `replayed` flag on `WriteOk`, and the `Ping`/`Pong` health
+/// probe. Daemons keep speaking every version down to
+/// [`MIN_PROTOCOL_VERSION`] and always answer in the version the request
+/// arrived with.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Oldest protocol version daemons still accept.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Bytes of the fixed header after the length prefix.
 pub const HEADER_LEN: u32 = 1 + 1 + 8;
@@ -59,6 +69,8 @@ pub mod op {
     pub const FETCH: u8 = 0x07;
     /// Stop the daemon.
     pub const SHUTDOWN: u8 = 0x08;
+    /// Liveness/health probe (protocol ≥ 2).
+    pub const PING: u8 = 0x09;
     /// Success, no payload.
     pub const R_OK: u8 = 0x80;
     /// Write acknowledgment with the byte count actually stored.
@@ -67,6 +79,8 @@ pub mod op {
     pub const R_DATA: u8 = 0x82;
     /// Statistics payload.
     pub const R_STAT: u8 = 0x83;
+    /// Health probe answer with the daemon's boot epoch (protocol ≥ 2).
+    pub const R_PONG: u8 = 0x84;
     /// Typed protocol error.
     pub const R_ERROR: u8 = 0xFF;
 }
@@ -340,6 +354,11 @@ pub enum Request {
         l_s: u64,
         /// Last subfile-linear offset of the access interval.
         r_s: u64,
+        /// Retry-dedup session stamp (protocol ≥ 2; 0 = unstamped, the
+        /// daemon applies without dedup tracking).
+        session: u64,
+        /// Retry-dedup sequence number within `session`.
+        seq: u64,
         /// Gathered segment bytes, in subfile-offset order.
         payload: Vec<u8>,
     },
@@ -371,6 +390,9 @@ pub enum Request {
     },
     /// Stop the daemon gracefully.
     Shutdown,
+    /// Liveness/health probe (protocol ≥ 2). Answered with `Pong` carrying
+    /// the daemon's boot epoch, so clients can detect restarts.
+    Ping,
 }
 
 impl Request {
@@ -386,23 +408,33 @@ impl Request {
             Request::Stat { .. } => op::STAT,
             Request::Fetch { .. } => op::FETCH,
             Request::Shutdown => op::SHUTDOWN,
+            Request::Ping => op::PING,
         }
     }
 
     /// Whether the request may be retried after a transport failure.
     ///
-    /// Every data operation here is idempotent by construction — writes
-    /// scatter absolute subfile offsets, so replaying one stores the same
-    /// bytes in the same places. Only `Shutdown` is excluded: after a
-    /// successful shutdown the retry would report a spurious connect error.
+    /// Reads, stats, fetches, opens, view registrations, flushes and pings
+    /// are idempotent by construction; writes are made retry-safe by their
+    /// `(session, seq)` stamp — the daemon's dedup window replays the
+    /// original acknowledgment instead of re-applying. Only `Shutdown` is
+    /// excluded: after a successful shutdown the retry would report a
+    /// spurious connect error.
     #[must_use]
-    pub fn idempotent(&self) -> bool {
+    pub fn retry_safe(&self) -> bool {
         !matches!(self, Request::Shutdown)
     }
 
-    /// Encodes the payload bytes (everything after the frame header).
+    /// Encodes the payload bytes (everything after the frame header) in
+    /// the current protocol version.
     #[must_use]
     pub fn encode_payload(&self) -> Vec<u8> {
+        self.encode_payload_at(PROTOCOL_VERSION)
+    }
+
+    /// Encodes the payload bytes for protocol version `version`.
+    #[must_use]
+    pub fn encode_payload_at(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             Request::Open { file, subfile, len } => {
@@ -418,11 +450,15 @@ impl Request {
                 put_raw_set(&mut out, proj_set);
                 put_u64(&mut out, *proj_period);
             }
-            Request::Write { file, compute, l_s, r_s, payload } => {
+            Request::Write { file, compute, l_s, r_s, session, seq, payload } => {
                 put_u64(&mut out, *file);
                 put_u32(&mut out, *compute);
                 put_u64(&mut out, *l_s);
                 put_u64(&mut out, *r_s);
+                if version >= 2 {
+                    put_u64(&mut out, *session);
+                    put_u64(&mut out, *seq);
+                }
                 out.extend_from_slice(payload);
             }
             Request::Read { file, compute, l_s, r_s } => {
@@ -434,13 +470,19 @@ impl Request {
             Request::Flush { file } | Request::Stat { file } | Request::Fetch { file } => {
                 put_u64(&mut out, *file);
             }
-            Request::Shutdown => {}
+            Request::Shutdown | Request::Ping => {}
         }
         out
     }
 
-    /// Decodes a request from its opcode and payload bytes.
+    /// Decodes a request from its opcode and payload bytes in the current
+    /// protocol version.
     pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
+        Self::decode_at(PROTOCOL_VERSION, opcode, payload)
+    }
+
+    /// Decodes a request as protocol version `version` would frame it.
+    pub fn decode_at(version: u8, opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
         let req = match opcode {
             op::OPEN => Request::Open { file: c.u64()?, subfile: c.u32()?, len: c.u64()? },
@@ -458,8 +500,9 @@ impl Request {
                 let compute = c.u32()?;
                 let l_s = c.u64()?;
                 let r_s = c.u64()?;
+                let (session, seq) = if version >= 2 { (c.u64()?, c.u64()?) } else { (0, 0) };
                 let payload = c.rest();
-                return Ok(Request::Write { file, compute, l_s, r_s, payload });
+                return Ok(Request::Write { file, compute, l_s, r_s, session, seq, payload });
             }
             op::READ => {
                 Request::Read { file: c.u64()?, compute: c.u32()?, l_s: c.u64()?, r_s: c.u64()? }
@@ -468,6 +511,7 @@ impl Request {
             op::STAT => Request::Stat { file: c.u64()? },
             op::FETCH => Request::Fetch { file: c.u64()? },
             op::SHUTDOWN => Request::Shutdown,
+            op::PING if version >= 2 => Request::Ping,
             _ => return Err(WireError::BadValue("opcode")),
         };
         c.finish()?;
@@ -505,6 +549,10 @@ pub enum Reply {
     WriteOk {
         /// Bytes stored.
         written: u64,
+        /// This acknowledgment came from the retry-dedup window: the write
+        /// had already been applied and was **not** re-applied (protocol
+        /// ≥ 2; always `false` on version-1 connections).
+        replayed: bool,
     },
     /// Gathered bytes.
     Data {
@@ -514,6 +562,13 @@ pub enum Reply {
     },
     /// Statistics.
     Stat(StatInfo),
+    /// Health probe answer (protocol ≥ 2).
+    Pong {
+        /// Daemon boot epoch: changes on every daemon (re)start, letting a
+        /// client distinguish "same daemon, slow" from "daemon restarted
+        /// and lost its volatile state".
+        epoch: u64,
+    },
     /// Typed protocol error.
     Error(ProtocolError),
 }
@@ -527,18 +582,31 @@ impl Reply {
             Reply::WriteOk { .. } => op::R_WRITE_OK,
             Reply::Data { .. } => op::R_DATA,
             Reply::Stat(_) => op::R_STAT,
+            Reply::Pong { .. } => op::R_PONG,
             Reply::Error(_) => op::R_ERROR,
         }
     }
 
-    /// Encodes the payload bytes.
+    /// Encodes the payload bytes in the current protocol version.
     #[must_use]
     pub fn encode_payload(&self) -> Vec<u8> {
+        self.encode_payload_at(PROTOCOL_VERSION)
+    }
+
+    /// Encodes the payload bytes for protocol version `version`.
+    #[must_use]
+    pub fn encode_payload_at(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             Reply::Ok => {}
-            Reply::WriteOk { written } => put_u64(&mut out, *written),
+            Reply::WriteOk { written, replayed } => {
+                put_u64(&mut out, *written);
+                if version >= 2 {
+                    out.push(u8::from(*replayed));
+                }
+            }
             Reply::Data { payload } => out.extend_from_slice(payload),
+            Reply::Pong { epoch } => put_u64(&mut out, *epoch),
             Reply::Stat(s) => {
                 put_u64(&mut out, s.len);
                 put_u64(&mut out, s.views);
@@ -559,12 +627,31 @@ impl Reply {
         out
     }
 
-    /// Decodes a reply from its opcode and payload bytes.
+    /// Decodes a reply from its opcode and payload bytes in the current
+    /// protocol version.
     pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
+        Self::decode_at(PROTOCOL_VERSION, opcode, payload)
+    }
+
+    /// Decodes a reply as protocol version `version` would frame it.
+    pub fn decode_at(version: u8, opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
         let reply = match opcode {
             op::R_OK => Reply::Ok,
-            op::R_WRITE_OK => Reply::WriteOk { written: c.u64()? },
+            op::R_WRITE_OK => {
+                let written = c.u64()?;
+                let replayed = if version >= 2 {
+                    match c.take(1)?[0] {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(WireError::BadValue("replayed flag")),
+                    }
+                } else {
+                    false
+                };
+                Reply::WriteOk { written, replayed }
+            }
+            op::R_PONG if version >= 2 => Reply::Pong { epoch: c.u64()? },
             op::R_DATA => return Ok(Reply::Data { payload: c.rest() }),
             op::R_STAT => Reply::Stat(StatInfo {
                 len: c.u64()?,
@@ -620,9 +707,21 @@ pub enum FrameReadError {
     TooShort(u32),
 }
 
-/// Writes one frame.
+/// Writes one frame with the current protocol version byte.
 pub fn write_frame(
     w: &mut impl Write,
+    opcode: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    write_frame_at(w, PROTOCOL_VERSION, opcode, request_id, payload)
+}
+
+/// Writes one frame carrying an explicit version byte (daemons answer in
+/// the version the request arrived with).
+pub fn write_frame_at(
+    w: &mut impl Write,
+    version: u8,
     opcode: u8,
     request_id: u64,
     payload: &[u8],
@@ -630,7 +729,7 @@ pub fn write_frame(
     let len = HEADER_LEN + payload.len() as u32;
     let mut head = [0u8; 14];
     head[0..4].copy_from_slice(&len.to_le_bytes());
-    head[4] = PROTOCOL_VERSION;
+    head[4] = version;
     head[5] = opcode;
     head[6..14].copy_from_slice(&request_id.to_le_bytes());
     w.write_all(&head)?;
@@ -706,12 +805,21 @@ mod tests {
                 proj_set: vec![RawFalls::nested(0, 3, 8, 2, vec![RawFalls::leaf(0, 0, 2, 2)])],
                 proj_period: 8,
             },
-            Request::Write { file: 7, compute: 1, l_s: 3, r_s: 90, payload: vec![1, 2, 3] },
+            Request::Write {
+                file: 7,
+                compute: 1,
+                l_s: 3,
+                r_s: 90,
+                session: 11,
+                seq: 4,
+                payload: vec![1, 2, 3],
+            },
             Request::Read { file: 7, compute: 1, l_s: 0, r_s: 31 },
             Request::Flush { file: 7 },
             Request::Stat { file: 7 },
             Request::Fetch { file: 7 },
             Request::Shutdown,
+            Request::Ping,
         ];
         for req in reqs {
             let payload = req.encode_payload();
@@ -721,10 +829,38 @@ mod tests {
     }
 
     #[test]
+    fn v1_frames_still_round_trip_without_the_additive_fields() {
+        // A version-1 Write has no (session, seq); decoding it as v1 fills
+        // the unstamped sentinel and keeps every payload byte.
+        let req = Request::Write {
+            file: 7,
+            compute: 1,
+            l_s: 3,
+            r_s: 90,
+            session: 0,
+            seq: 0,
+            payload: vec![1, 2, 3],
+        };
+        let v1 = req.encode_payload_at(1);
+        assert_eq!(v1.len() + 16, req.encode_payload_at(2).len());
+        assert_eq!(Request::decode_at(1, op::WRITE, &v1).unwrap(), req);
+        // v1 has no Ping/Pong opcodes.
+        assert_eq!(Request::decode_at(1, op::PING, &[]), Err(WireError::BadValue("opcode")));
+        assert_eq!(Reply::decode_at(1, op::R_PONG, &[0; 8]), Err(WireError::BadValue("opcode")));
+        // A v1 WriteOk is just the count; the replayed flag defaults off.
+        let ack = Reply::WriteOk { written: 5, replayed: false };
+        let v1 = ack.encode_payload_at(1);
+        assert_eq!(v1.len(), 8);
+        assert_eq!(Reply::decode_at(1, op::R_WRITE_OK, &v1).unwrap(), ack);
+    }
+
+    #[test]
     fn replies_round_trip() {
         let replies = vec![
             Reply::Ok,
-            Reply::WriteOk { written: 99 },
+            Reply::WriteOk { written: 99, replayed: false },
+            Reply::WriteOk { written: 99, replayed: true },
+            Reply::Pong { epoch: 77 },
             Reply::Data { payload: b"abc".to_vec() },
             Reply::Stat(StatInfo {
                 len: 10,

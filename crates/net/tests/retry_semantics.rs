@@ -1,0 +1,239 @@
+//! Retry-safety semantics at the wire level: stamped writes must be
+//! applied exactly once across torn uploads, daemon restarts, and dedup
+//! window churn.
+//!
+//! Three scenarios the fault-tolerance design document calls out by name:
+//!
+//! * a client connection dying **mid-frame during a `Write` payload
+//!   upload** (the daemon sees a torn request and must not apply it; the
+//!   client's stamped retry must apply it exactly once);
+//! * a daemon **restarting between `set_view` and `read`** (the session
+//!   must re-establish the file and view from cached state and the read
+//!   must return the pre-restart bytes from the `Directory` backend);
+//! * **dedup-window eviction under sequence wraparound** (an evicted
+//!   stamp is forgotten and re-applies; a stamp still in the window
+//!   replays without touching the store).
+
+use parafile_net::fault::Direction;
+use parafile_net::server::{serve, DaemonConfig};
+use parafile_net::session::Session;
+use parafile_net::wire::{Reply, Request};
+use parafile_net::{chaos_proxy, FaultPlan, NodeClient, NodeHealth, TruncateFault};
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::StorageBackend;
+use parafile_audit::{RawElement, RawFalls, RawPattern};
+use std::path::PathBuf;
+
+/// Subfile length used throughout: two 8-byte tiling periods.
+const SUB_LEN: u64 = 16;
+
+/// A strided view: element 0 owns bytes `[0,3]` and `[4,7]` of each
+/// 8-byte period — so one full-view write scatters into **two** subfile
+/// segments (`[0,3]` and `[8,11]`), which is what makes torn frames and
+/// torn writes observable.
+fn striped_view(file: u64) -> Request {
+    Request::SetView {
+        file,
+        compute: 0,
+        element: 0,
+        view: RawPattern {
+            displacement: 0,
+            elements: vec![
+                RawElement::new(vec![RawFalls::leaf(0, 3, 8, 1)]),
+                RawElement::new(vec![RawFalls::leaf(4, 7, 8, 1)]),
+            ],
+        },
+        proj_set: vec![RawFalls::leaf(0, 3, 8, 1)],
+        proj_period: 8,
+    }
+}
+
+/// A stamped full-view write: 8 payload bytes of `fill` landing on the
+/// two projected segments.
+fn stamped_write(file: u64, session: u64, seq: u64, fill: u8) -> Request {
+    Request::Write {
+        file,
+        compute: 0,
+        l_s: 0,
+        r_s: SUB_LEN - 1,
+        session,
+        seq,
+        payload: vec![fill; 8],
+    }
+}
+
+/// What the subfile must hold after one full-view write of `fill`.
+fn expected_subfile(fill: u8) -> Vec<u8> {
+    let mut v = vec![0u8; SUB_LEN as usize];
+    for i in [0, 1, 2, 3, 8, 9, 10, 11] {
+        v[i] = fill;
+    }
+    v
+}
+
+fn fetch(client: &mut NodeClient, file: u64) -> Vec<u8> {
+    match client.call(&Request::Fetch { file }).expect("fetch") {
+        Reply::Data { payload } => payload,
+        other => panic!("expected Data, got {other:?}"),
+    }
+}
+
+fn bytes_written(client: &mut NodeClient, file: u64) -> u64 {
+    match client.call(&Request::Stat { file }).expect("stat") {
+        Reply::Stat(s) => s.bytes_written,
+        other => panic!("expected Stat, got {other:?}"),
+    }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pf_retry_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The proxy tears the `Write` request frame apart mid-payload — the
+/// daemon reads a short frame and must drop it unapplied; the client's
+/// transparent retry (same `(session, seq)` stamp, fresh connection)
+/// must land the bytes exactly once.
+#[test]
+fn mid_frame_disconnect_during_write_upload_applies_exactly_once() {
+    let file = 1u64;
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    // Frame 3 of the first proxied connection is the Write (after Open and
+    // SetView); forward 20 bytes of it — header plus a sliver of payload —
+    // then sever.
+    let plan = FaultPlan {
+        truncate: Some(TruncateFault { frame: 3, keep: 20, dir: Direction::ClientToServer }),
+        ..FaultPlan::none()
+    };
+    let mut proxy = chaos_proxy("127.0.0.1:0", daemon.addr(), plan).expect("proxy");
+    let mut client = NodeClient::new(proxy.addr());
+
+    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN }).expect("open");
+    client.expect_ok(&striped_view(file)).expect("set view");
+    let reply = client.call(&stamped_write(file, 77, 1, 0xAB)).expect("write survives torn frame");
+    assert_eq!(
+        reply,
+        Reply::WriteOk { written: 8, replayed: false },
+        "the torn upload was never applied; the retry applied it fresh"
+    );
+
+    // Re-sending the same stamp is answered from the dedup window.
+    let reply = client.call(&stamped_write(file, 77, 1, 0xCD)).expect("replay");
+    assert_eq!(
+        reply,
+        Reply::WriteOk { written: 8, replayed: true },
+        "the stamp is deduplicated, not re-applied"
+    );
+
+    // Exactly once, physically: the bytes are the first write's, and the
+    // daemon counted them exactly once.
+    assert_eq!(fetch(&mut client, file), expected_subfile(0xAB));
+    assert_eq!(bytes_written(&mut client, file), 8, "stored bytes counted once");
+    proxy.stop();
+}
+
+/// The daemon restarts (same address, same `Directory` backend) after the
+/// session shipped its view but before it read: the session re-opens the
+/// subfile, re-ships the view from cached state, and the read returns the
+/// pre-restart bytes. `probe` sees the restart as a changed boot epoch.
+#[test]
+fn daemon_restart_between_set_view_and_read_recovers() {
+    let dir = scratch_dir("restart_read");
+    let config =
+        || DaemonConfig { backend: StorageBackend::Directory(dir.clone()), ..Default::default() };
+    let mut daemon = serve("127.0.0.1:0", config()).expect("serve");
+    let addr = daemon.addr().to_string();
+
+    let n = 8u64;
+    let file_len = n * n;
+    let file = 5u64;
+    let physical = MatrixLayout::RowBlocks.partition(n, n, 1, 1);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 2);
+    let mut session = Session::connect(std::slice::from_ref(&addr));
+    session.create_file(file, physical, file_len).expect("create");
+    session.set_view(0, file, &logical, 0).expect("set view");
+    let data: Vec<u8> = (0..32).map(|i| 40 + i as u8).collect();
+    session.write(0, file, 0, 31, &data).expect("write");
+    session.flush(file).expect("flush");
+
+    let health = session.probe();
+    let NodeHealth::Alive { epoch: epoch_before } = health[0] else {
+        panic!("daemon must answer the first probe, got {health:?}");
+    };
+
+    daemon.stop();
+    let daemon2 = serve(&addr, config()).expect("rebind on the same address");
+
+    // No manual re-setup: the read hits UnknownFile on the restarted
+    // daemon and the session transparently re-establishes and retries.
+    let back = session.read(0, file, 0, 31).expect("read after restart");
+    assert_eq!(back, data, "pre-restart bytes survive the restart");
+
+    let health = session.probe();
+    let NodeHealth::Alive { epoch: epoch_after } = health[0] else {
+        panic!("restarted daemon must answer the probe, got {health:?}");
+    };
+    assert_ne!(epoch_before, epoch_after, "a restart shows as a new boot epoch");
+
+    drop(daemon2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dedup-window churn: stamps inside the window replay without touching
+/// the store, evicted stamps are forgotten and re-apply, and unstamped
+/// (v1-style, session 0) writes never deduplicate.
+#[test]
+fn dedup_window_eviction_under_sequence_wraparound() {
+    let file = 9u64;
+    let session = 3u64;
+    let config = DaemonConfig { dedup_window: 2, ..Default::default() };
+    let daemon = serve("127.0.0.1:0", config).expect("serve");
+    let mut client = NodeClient::new(daemon.addr());
+    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN }).expect("open");
+    client.expect_ok(&striped_view(file)).expect("set view");
+
+    let call = |client: &mut NodeClient, seq: u64, fill: u8| {
+        client.call(&stamped_write(file, session, seq, fill)).expect("write")
+    };
+
+    // A client at the top of the sequence space…
+    assert_eq!(call(&mut client, u64::MAX - 1, 1), Reply::WriteOk { written: 8, replayed: false });
+    // …replays while the stamp is still in the window…
+    assert_eq!(call(&mut client, u64::MAX - 1, 2), Reply::WriteOk { written: 8, replayed: true });
+    assert_eq!(call(&mut client, u64::MAX, 3), Reply::WriteOk { written: 8, replayed: false });
+    // …then wraps around. The new stamp evicts the oldest (MAX-1).
+    assert_eq!(call(&mut client, 1, 4), Reply::WriteOk { written: 8, replayed: false });
+    // The evicted stamp is forgotten: re-sending it applies fresh instead
+    // of answering a stale replay.
+    assert_eq!(call(&mut client, u64::MAX - 1, 5), Reply::WriteOk { written: 8, replayed: false });
+    assert_eq!(fetch(&mut client, file), expected_subfile(5));
+    // A replay never rewrites: the store keeps the latest application.
+    assert_eq!(call(&mut client, 1, 6), Reply::WriteOk { written: 8, replayed: true });
+    assert_eq!(fetch(&mut client, file), expected_subfile(5));
+
+    // Unstamped writes (session 0 — what a v1 client sends) never enter
+    // the window: identical repeats always re-apply.
+    let unstamped = |fill: u8| Request::Write {
+        file,
+        compute: 0,
+        l_s: 0,
+        r_s: SUB_LEN - 1,
+        session: 0,
+        seq: 0,
+        payload: vec![fill; 8],
+    };
+    assert_eq!(
+        client.call(&unstamped(7)).expect("unstamped"),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+    assert_eq!(
+        client.call(&unstamped(8)).expect("unstamped repeat"),
+        Reply::WriteOk { written: 8, replayed: false },
+        "unstamped writes are never deduplicated"
+    );
+    assert_eq!(fetch(&mut client, file), expected_subfile(8));
+}

@@ -8,11 +8,21 @@
 //! pf owner   <part.json> <offset>        # which element owns a file byte
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json>           # redistribution plan summary
-//! pf serve   <addr> [--dir DIR]          # run an I/O-node daemon
+//! pf serve   <addr> [--dir DIR] [--chaos SPEC]  # run an I/O-node daemon
+//! pf chaos   <listen> <upstream> <SPEC>  # fault-injecting proxy in front of a daemon
 //! pf io <a1,a2,…> demo <n>               # matrix scenario over real daemons
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
+//! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
 //! pf io <a1,a2,…> shutdown               # stop the daemons
 //! ```
+//!
+//! A chaos SPEC is a bare seed (`42`, expanded deterministically into one
+//! failure scenario) or `family:seed` with family `drop`, `truncate`,
+//! `flush`, `kill`, or `torn`. `pf serve --chaos` injects server-side
+//! faults (flush failures, kills, torn scatter writes) and, when a crash
+//! fault fires, restarts the daemon on the same address with the crash
+//! disarmed — one seed, one crash, one recovery. `pf chaos` attacks the
+//! transport of an untouched daemon instead.
 //!
 //! Partition files use the JSON forms documented in the `pf-tools` library;
 //! pass `-` to read from stdin.
@@ -38,7 +48,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ToolError {
     ToolError::Spec(
-        "usage: pf <example|render|map|unmap|owner|intersect|plan|serve|io> [args…]\n\
+        "usage: pf <example|render|map|unmap|owner|intersect|plan|serve|chaos|io> [args…]\n\
          see `crates/tools/src/bin/pf.rs` for details"
             .into(),
     )
@@ -174,17 +184,51 @@ fn run(args: &[String]) -> Result<(), ToolError> {
         "serve" => {
             let addr = args.get(1).ok_or_else(usage)?;
             let mut config = parafile_net::DaemonConfig::default();
-            if let Some(flag) = args.get(2) {
-                if flag != "--dir" {
-                    return Err(ToolError::Spec(format!("unknown flag {flag:?}")));
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--dir" => {
+                        let dir = rest.next().ok_or_else(usage)?;
+                        config.backend = clusterfile::StorageBackend::Directory(dir.into());
+                    }
+                    "--chaos" => {
+                        let spec = rest.next().ok_or_else(usage)?;
+                        config.fault =
+                            Some(parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?);
+                    }
+                    other => return Err(ToolError::Spec(format!("unknown flag {other:?}"))),
                 }
-                let dir = args.get(3).ok_or_else(usage)?;
-                config.backend = clusterfile::StorageBackend::Directory(dir.into());
             }
-            let mut handle = parafile_net::serve(addr, config)?;
-            println!("pf-io-node listening on {}", handle.addr());
-            handle.wait();
+            // With a chaos plan, a kill/torn-write fault "crashes" the
+            // daemon; restart it on the same address with the crash
+            // disarmed so the run demonstrates recovery, not a crash loop.
+            let mut serve_addr = addr.clone();
+            loop {
+                let mut handle = parafile_net::serve(&serve_addr, config.clone())?;
+                // Keep the OS-assigned port across restarts.
+                serve_addr = handle.addr().to_string();
+                println!("pf-io-node listening on {serve_addr}");
+                handle.wait();
+                if handle.fault_killed() {
+                    println!("pf-io-node crashed (injected fault); restarting for recovery");
+                    config.fault = config.fault.map(|p| p.disarmed_crashes());
+                    drop(handle);
+                    continue;
+                }
+                break;
+            }
             println!("pf-io-node stopped");
+            Ok(())
+        }
+        "chaos" => {
+            let listen = args.get(1).ok_or_else(usage)?;
+            let upstream = args.get(2).ok_or_else(usage)?;
+            let spec = args.get(3).ok_or_else(usage)?;
+            let plan = parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?;
+            println!("chaos plan (seed {}): {plan:?}", plan.seed);
+            let mut proxy = parafile_net::chaos_proxy(listen, upstream, plan)?;
+            println!("pf-chaos proxying {} → {upstream}", proxy.addr());
+            proxy.wait();
             Ok(())
         }
         "io" => {
@@ -254,6 +298,22 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                             info.bytes_read,
                             info.fragments
                         );
+                    }
+                    Ok(())
+                }
+                "probe" => {
+                    for (s, health) in session.probe().iter().enumerate() {
+                        match health {
+                            parafile_net::NodeHealth::Alive { epoch } => {
+                                println!("node {s} @ {}: alive (epoch {epoch})", addrs[s]);
+                            }
+                            parafile_net::NodeHealth::Dead => {
+                                println!("node {s} @ {}: DEAD", addrs[s]);
+                            }
+                            parafile_net::NodeHealth::Unknown => {
+                                println!("node {s} @ {}: unknown", addrs[s]);
+                            }
+                        }
                     }
                     Ok(())
                 }
