@@ -14,7 +14,6 @@
 
 use crate::fs::{Clusterfile, FileId, Message};
 use parafile::model::Partition;
-use parafile::plan::RedistributionPlan;
 
 /// Timing breakdown of a collective write.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,9 +64,12 @@ impl Clusterfile {
             );
         }
 
-        // The exchange schedule: logical → physical redistribution. Charge a
-        // modeled planning cost (the collective analogue of view setting).
-        let plan = RedistributionPlan::build(logical, &physical)
+        // The exchange schedule: logical → physical redistribution, compiled
+        // (and cached) by the deployment's plan engine. Charge a modeled
+        // planning cost (the collective analogue of view setting).
+        let plan = self
+            .plan_engine()
+            .compile_redist(logical, &physical)
             .expect("partitions describe the same file");
         for c in 0..compute_nodes {
             self.cluster_mut().compute(c, 30_000 + 500 * plan.runs_per_period() as u64);
@@ -75,8 +77,8 @@ impl Clusterfile {
 
         // Assemble each subfile's contents at its aggregator, packing one
         // message per (source, aggregator) pair per phase.
-        let windows = if file_len > plan.displacement {
-            (file_len - plan.displacement).div_ceil(plan.period.max(1))
+        let windows = if file_len > plan.displacement() {
+            (file_len - plan.displacement()).div_ceil(plan.period().max(1))
         } else {
             0
         };
@@ -88,14 +90,14 @@ impl Clusterfile {
             .map(|s| vec![0u8; physical.element_len(s, file_len).expect("subfile") as usize])
             .collect();
         // Pack per (src, dst) messages: (payload, unpack runs).
-        for pair in &plan.pairs {
+        for pair in plan.pairs() {
             let src = pair.src_element;
             let agg = pair.dst_element; // aggregator index == subfile index
             let mut payload: Vec<u8> = Vec::new();
             let mut unpack: Vec<(u64, u64)> = Vec::new();
             for k in 0..windows {
-                let base = plan.displacement + k * plan.period;
-                for run in &pair.runs {
+                let base = plan.displacement() + k * plan.period();
+                for run in plan.runs_of(pair) {
                     let abs = base + run.file_rel;
                     if abs >= file_len {
                         continue;

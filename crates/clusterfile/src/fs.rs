@@ -3,10 +3,12 @@
 use crate::storage::{StorageBackend, SubfileStore};
 use crate::timing::{IoTimings, ViewSetTimings, WriteTimings};
 use clustersim::{Cluster, ClusterConfig, Delivery, NodeId};
+use parafile::engine::{CompiledPlan, CompiledView, PlanEngine, SegmentReplay};
 use parafile::model::Partition;
-use parafile::redist::{Projection, ViewPlan};
+use parafile::redist::Projection;
 use parafile::Mapper;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifies an open file.
@@ -94,12 +96,10 @@ pub enum Message {
 struct ViewState {
     view: Partition,
     element: usize,
-    /// Per subfile: the projection of `V ∩ S_s` on the view (kept at the
-    /// compute node).
-    proj_view: Vec<Projection>,
-    /// Per subfile: whether view and subfile describe the same byte set, so
-    /// view offsets equal subfile offsets and mapping extremities is free.
-    perfect_match: Vec<bool>,
+    /// The engine-compiled view plan: per subfile, `PROJ_V` (kept at the
+    /// compute node), the perfect-match flag, and the zero-allocation
+    /// segment replay tables. Shared via `Arc` with the engine's cache.
+    plan: Arc<CompiledView>,
     timings: ViewSetTimings,
 }
 
@@ -110,8 +110,9 @@ struct FileState {
     subfiles: Vec<SubfileStore>,
     /// Views keyed by compute node.
     views: HashMap<usize, ViewState>,
-    /// `PROJ_S(V∩S)` held at the I/O nodes, keyed by (compute, subfile).
-    io_projections: HashMap<(usize, usize), Projection>,
+    /// `PROJ_S(V∩S)` held at the I/O nodes, keyed by (compute, subfile),
+    /// lowered to a replay table once on arrival.
+    io_projections: HashMap<(usize, usize), SegmentReplay>,
 }
 
 /// A Clusterfile instance: a set of files over a simulated cluster.
@@ -133,6 +134,11 @@ pub struct Clusterfile {
     read_scatter_real: HashMap<usize, Duration>,
     /// Where subfile bytes live (memory by default, or real files).
     storage: StorageBackend,
+    /// Plan engine scoped to this deployment: one compilation path and plan
+    /// cache per simulated cluster, so measured view-set times (`t_i`)
+    /// reflect this instance's history rather than unrelated deployments in
+    /// the same process.
+    engine: PlanEngine,
 }
 
 /// A prepared per-subfile write request awaiting its turn.
@@ -167,7 +173,14 @@ impl Clusterfile {
             collective_staging: HashMap::new(),
             read_scatter_real: HashMap::new(),
             storage: StorageBackend::Memory,
+            engine: PlanEngine::new(),
         }
+    }
+
+    /// The deployment's plan engine (compiled-plan cache statistics).
+    #[must_use]
+    pub fn plan_engine(&self) -> &PlanEngine {
+        &self.engine
     }
 
     /// Selects the storage backend for files created **after** this call
@@ -276,7 +289,7 @@ impl Clusterfile {
         &mut self,
         file: FileId,
         new_physical: Partition,
-        plan: &parafile::RedistributionPlan,
+        plan: &CompiledPlan,
     ) -> u64 {
         assert_eq!(new_physical.element_count(), self.config.io_nodes, "one subfile per I/O node");
         let st = &mut self.files[file];
@@ -289,7 +302,7 @@ impl Clusterfile {
                 ]
             })
             .collect();
-        let moved = plan.apply(&old, &mut new_bufs, st.len);
+        let moved = plan.apply_parallel(&old, &mut new_bufs, st.len);
         for (s, buf) in new_bufs.into_iter().enumerate() {
             st.subfiles[s].replace(buf);
         }
@@ -332,7 +345,8 @@ impl Clusterfile {
     ) -> ViewSetTimings {
         let physical = self.files[file].physical.clone();
         let start = Instant::now();
-        let plan = ViewPlan::compile(logical, element, &physical).expect("element indices valid");
+        let plan =
+            self.engine.compile_view(logical, element, &physical).expect("element indices valid");
         let t_i = start.elapsed();
         let timings = ViewSetTimings { t_i, intersecting_subfiles: plan.intersecting_subfiles() };
 
@@ -340,15 +354,8 @@ impl Clusterfile {
         // per-FALLS-node cost), keeping the simulation deterministic; the
         // measured wall-clock is reported separately in the timings.
         self.cluster.compute(compute, 50_000 + 2_000 * plan.work_nodes() as u64);
-        let mut proj_view = Vec::with_capacity(self.config.io_nodes);
-        let mut proj_sub = Vec::with_capacity(self.config.io_nodes);
-        let mut perfect_match = Vec::with_capacity(self.config.io_nodes);
-        for access in plan.per_subfile {
-            proj_view.push(access.proj_view);
-            proj_sub.push(access.proj_sub);
-            perfect_match.push(access.perfect_match);
-        }
-        for (s, proj) in proj_sub.into_iter().enumerate() {
+        for s in 0..self.config.io_nodes {
+            let proj = &plan.access(s).proj_sub;
             if proj.is_empty() {
                 continue;
             }
@@ -357,15 +364,14 @@ impl Clusterfile {
                 compute,
                 self.io_node(s),
                 approx_bytes,
-                Message::ViewProjection { file, compute, subfile: s, projection: proj },
+                Message::ViewProjection { file, compute, subfile: s, projection: proj.clone() },
             );
         }
         self.drain();
 
-        self.files[file].views.insert(
-            compute,
-            ViewState { view: logical.clone(), element, proj_view, perfect_match, timings },
-        );
+        self.files[file]
+            .views
+            .insert(compute, ViewState { view: logical.clone(), element, plan, timings });
         timings
     }
 
@@ -446,19 +452,20 @@ impl Clusterfile {
         let mut all_contiguous = true;
 
         for s in 0..self.config.io_nodes {
-            let proj_v = &vs.proj_view[s];
-            if proj_v.is_empty() {
+            let replay = vs.plan.replay(s);
+            if replay.is_empty() {
                 continue;
             }
-            let segs = proj_v.segments_between(lo_v, hi_v);
-            if segs.is_empty() {
+            let covered = replay.bytes_between(lo_v, hi_v);
+            if covered == 0 {
                 continue;
             }
+            let perfect_match = vs.plan.access(s).perfect_match;
 
             // t_m: map the access interval extremities onto the subfile
             // (lines 3–4 of the paper's pseudocode). Free when view and
             // subfile perfectly overlap — the paper reports t_m = 0 there.
-            let (l_s, r_s) = if vs.perfect_match[s] {
+            let (l_s, r_s) = if perfect_match {
                 (lo_v, hi_v)
             } else {
                 let m_start = Instant::now();
@@ -473,7 +480,6 @@ impl Clusterfile {
 
             // Gather, unless the projection covers the interval contiguously
             // (lines 6–10).
-            let covered: u64 = segs.iter().map(|g| g.len()).sum();
             let contiguous = covered == hi_v - lo_v + 1;
             let payload = if contiguous {
                 data.to_vec()
@@ -481,17 +487,18 @@ impl Clusterfile {
                 all_contiguous = false;
                 let g_start = Instant::now();
                 let mut buf = Vec::with_capacity(covered as usize);
-                for seg in &segs {
+                let mut seg_count = 0u64;
+                replay.for_each_between(lo_v, hi_v, |seg| {
                     let a = (seg.l() - lo_v) as usize;
                     let b = (seg.r() - lo_v) as usize;
                     buf.extend_from_slice(&data[a..=b]);
-                }
+                    seg_count += 1;
+                });
                 t_g += g_start.elapsed();
-                sim_cpu_ns +=
-                    self.cluster.config().cache.write_fragmented_ns(covered, segs.len() as u64);
+                sim_cpu_ns += self.cluster.config().cache.write_fragmented_ns(covered, seg_count);
                 buf
             };
-            if !vs.perfect_match[s] {
+            if !perfect_match {
                 sim_cpu_ns += MAPPING_CPU_NS;
             }
             sends.push((s, l_s, r_s, contiguous, payload));
@@ -578,17 +585,16 @@ impl Clusterfile {
         let mut t_m = Duration::ZERO;
         let mut sim_cpu_ns = 0u64;
         for s in 0..self.config.io_nodes {
-            let proj_v = &vs.proj_view[s];
-            if proj_v.is_empty() {
+            let replay = vs.plan.replay(s);
+            if replay.is_empty() {
                 continue;
             }
-            let segs = proj_v.segments_between(lo_v, hi_v);
-            if segs.is_empty() {
+            let covered = replay.bytes_between(lo_v, hi_v);
+            if covered == 0 {
                 continue;
             }
-            let covered: u64 = segs.iter().map(|g| g.len()).sum();
             let contiguous = covered == hi_v - lo_v + 1;
-            let (l_s, r_s) = if vs.perfect_match[s] {
+            let (l_s, r_s) = if vs.plan.access(s).perfect_match {
                 (lo_v, hi_v)
             } else {
                 let m_start = Instant::now();
@@ -638,7 +644,9 @@ impl Clusterfile {
             Message::ViewProjection { file, compute, subfile, projection } => {
                 // Registering the projection costs a small fixed overhead.
                 self.cluster.compute(d.to, 1_000);
-                self.files[file].io_projections.insert((compute, subfile), projection);
+                self.files[file]
+                    .io_projections
+                    .insert((compute, subfile), SegmentReplay::new(&projection));
             }
             Message::WriteReq { file, compute, subfile, l_s, r_s, contiguous, payload } => {
                 self.serve_write(d.to, file, compute, subfile, l_s, r_s, contiguous, &payload);
@@ -755,24 +763,20 @@ impl Clusterfile {
         _contiguous_hint: bool,
         payload: &[u8],
     ) {
-        let st = &mut self.files[file];
-        let segs = {
-            let proj = st
-                .io_projections
-                .get(&(compute, subfile))
-                .expect("projection shipped at view-set time");
-            proj.segments_between(l_s, r_s)
-        };
-        let expect: u64 = segs.iter().map(|g| g.len()).sum();
+        let FileState { io_projections, subfiles, .. } = &mut self.files[file];
+        let replay =
+            io_projections.get(&(compute, subfile)).expect("projection shipped at view-set time");
+        let expect = replay.bytes_between(l_s, r_s);
         assert_eq!(payload.len() as u64, expect, "scatter size mismatch");
         let real_start = Instant::now();
         let mut pos = 0usize;
-        for seg in &segs {
+        let mut fragments = 0u64;
+        replay.for_each_between(l_s, r_s, |seg| {
             let len = seg.len() as usize;
-            st.subfiles[subfile].write_at(seg.l(), &payload[pos..pos + len]);
+            subfiles[subfile].write_at(seg.l(), &payload[pos..pos + len]);
             pos += len;
-        }
-        let fragments = segs.len() as u64;
+            fragments += 1;
+        });
         let t_s_real = real_start.elapsed();
 
         // Simulated storage costs: fixed request handling plus the staging
@@ -800,20 +804,19 @@ impl Clusterfile {
         r_s: u64,
         _contiguous_hint: bool,
     ) -> Vec<u8> {
-        let st = &mut self.files[file];
-        let segs = st
-            .io_projections
-            .get(&(compute, subfile))
-            .expect("projection shipped at view-set time")
-            .segments_between(l_s, r_s);
-        let mut buf = Vec::with_capacity(segs.iter().map(|g| g.len() as usize).sum());
-        for seg in &segs {
-            buf.extend_from_slice(&st.subfiles[subfile].read_at(seg.l(), seg.len()));
-        }
+        let FileState { io_projections, subfiles, .. } = &mut self.files[file];
+        let replay =
+            io_projections.get(&(compute, subfile)).expect("projection shipped at view-set time");
+        let mut buf = Vec::with_capacity(replay.bytes_between(l_s, r_s) as usize);
+        let mut seg_count = 0u64;
+        replay.for_each_between(l_s, r_s, |seg| {
+            buf.extend_from_slice(&subfiles[subfile].read_at(seg.l(), seg.len()));
+            seg_count += 1;
+        });
         // Reading from the cache costs request handling plus one copy per
         // gathered fragment.
         self.cluster.compute(io, IO_REQUEST_OVERHEAD_NS);
-        self.cluster.cache_write_fragmented(io, buf.len() as u64, segs.len() as u64);
+        self.cluster.cache_write_fragmented(io, buf.len() as u64, seg_count);
         buf
     }
 
@@ -823,20 +826,21 @@ impl Clusterfile {
         let vs = st.views.get(&compute).expect("view set");
         let (lo_v, buf) = self.read_buffers.get_mut(&compute).expect("read in flight");
         let hi_v = *lo_v + buf.len() as u64 - 1;
-        let segs = vs.proj_view[subfile].segments_between(*lo_v, hi_v);
         let start = Instant::now();
         let mut pos = 0usize;
-        for seg in &segs {
+        let mut seg_count = 0u64;
+        let lo = *lo_v;
+        vs.plan.replay(subfile).for_each_between(lo, hi_v, |seg| {
             let len = seg.len() as usize;
-            let a = (seg.l() - *lo_v) as usize;
+            let a = (seg.l() - lo) as usize;
             buf[a..a + len].copy_from_slice(&payload[pos..pos + len]);
             pos += len;
-        }
+            seg_count += 1;
+        });
         assert_eq!(pos, payload.len(), "read payload size mismatch");
         *self.read_scatter_real.entry(compute).or_default() += start.elapsed();
         // Modeled CPU for the scatter copy.
-        let cost =
-            self.config.hardware.cache.write_fragmented_ns(payload.len() as u64, segs.len() as u64);
+        let cost = self.config.hardware.cache.write_fragmented_ns(payload.len() as u64, seg_count);
         self.cluster.compute(compute, cost);
     }
 }

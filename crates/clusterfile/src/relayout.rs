@@ -5,7 +5,7 @@
 use crate::fs::{Clusterfile, FileId};
 use parafile::matching::MatchingDegree;
 use parafile::model::Partition;
-use parafile::plan::RedistributionPlan;
+use parafile::PlanEngine;
 use std::time::{Duration, Instant};
 
 /// Outcome of an on-the-fly relayout.
@@ -31,9 +31,11 @@ pub struct RelayoutReport {
 pub fn relayout(fs: &mut Clusterfile, file: FileId, new_physical: Partition) -> RelayoutReport {
     let plan_start = Instant::now();
     let old_physical = fs.physical_partition(file).clone();
-    let plan = RedistributionPlan::build(&old_physical, &new_physical)
+    let plan = fs
+        .plan_engine()
+        .compile_redist(&old_physical, &new_physical)
         .expect("partitions describe the same file");
-    let matching = MatchingDegree::from_plan(&plan, &new_physical);
+    let matching = MatchingDegree::from_plan(plan.plan(), &new_physical);
     let plan_time = plan_start.elapsed();
 
     let move_start = Instant::now();
@@ -53,18 +55,19 @@ pub fn relayout_cost(
     file_len: u64,
     net: &clustersim::NetworkModel,
 ) -> u64 {
-    let plan = RedistributionPlan::build(old_physical, new_physical)
+    let plan = PlanEngine::global()
+        .compile_redist(old_physical, new_physical)
         .expect("partitions describe the same file");
     if plan.bytes_per_period() == 0 {
         return 0;
     }
-    let periods = file_len.div_ceil(plan.period).max(1);
+    let periods = file_len.div_ceil(plan.period()).max(1);
     let mut total = 0u64;
-    for pair in &plan.pairs {
+    for pair in plan.pairs() {
         if pair.src_element == pair.dst_element {
             continue; // stays on the same I/O node
         }
-        for run in &pair.runs {
+        for run in plan.runs_of(pair) {
             total += net.delivery_ns(run.len) * periods;
         }
     }

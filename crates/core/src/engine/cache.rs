@@ -1,0 +1,173 @@
+//! Bounded, sharded LRU cache used by the plan engine.
+//!
+//! Keys are small fingerprint structs; values are `Arc`-shared compiled
+//! plans, so a cache hit is a pointer clone. The cache is sharded to keep
+//! lock contention off the hot path and bounded so pathological workloads
+//! (e.g. a fuzzer emitting one unique pattern per request) cannot grow
+//! memory without limit; eviction removes the least recently used entry of
+//! the shard under pressure.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit / miss / eviction counters of one plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh compile.
+    pub misses: u64,
+    /// Entries removed to stay within the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none ran).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+struct Shard<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+pub(crate) struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
+    pub(crate) fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0 && capacity_per_shard > 0, "cache must hold something");
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { entries: HashMap::new(), tick: 0 }))
+                .collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, counting a hit or miss. Lock poisoning is recovered:
+    /// the cache holds only derived data, so a panic mid-insert cannot leave
+    /// an entry half-written.
+    pub(crate) fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the shard's least recently used
+    /// entry when the shard is full. Racing inserts of the same key are
+    /// benign — last writer wins, both values are equivalent compiles.
+    pub(crate) fn insert(&self, key: K, value: Arc<V>) {
+        let mut shard = self.shard_of(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.entries.len() >= self.capacity_per_shard && !shard.entries.contains_key(&key) {
+            if let Some(lru) =
+                shard.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(key, Entry { value, last_used: tick });
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_counting() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(1, 2);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        assert_eq!(*cache.get(&1).unwrap(), 10);
+        assert_eq!(*cache.get(&2).unwrap(), 20);
+        // Shard full: inserting a third key evicts the LRU (key 1).
+        cache.insert(3, Arc::new(30));
+        assert!(cache.get(&1).is_none());
+        assert_eq!(*cache.get(&3).unwrap(), 30);
+        let s = cache.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(1, 2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.insert(1, Arc::new(11));
+        assert_eq!(*cache.get(&1).unwrap(), 11);
+        assert_eq!(*cache.get(&2).unwrap(), 20);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_ratio_is_well_defined() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1 };
+        assert!((s.hit_ratio() - 0.75).abs() < f64::EPSILON);
+    }
+}

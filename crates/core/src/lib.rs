@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod mapping;
 pub mod matching;
 pub mod model;
@@ -61,6 +62,7 @@ pub mod plan;
 pub mod redist;
 pub mod sg;
 
+pub use engine::{CompiledPlan, CompiledView, EngineStats, PlanEngine, SegmentReplay};
 pub use mapping::Mapper;
 pub use model::{Partition, PartitionPattern};
 pub use plan::RedistributionPlan;

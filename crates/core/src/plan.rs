@@ -110,6 +110,18 @@ impl RedistributionPlan {
         })
     }
 
+    /// Number of source partition elements the plan expects buffers for.
+    #[must_use]
+    pub fn src_elements(&self) -> usize {
+        self.src_elements
+    }
+
+    /// Number of destination partition elements the plan expects buffers for.
+    #[must_use]
+    pub fn dst_elements(&self) -> usize {
+        self.dst_elements
+    }
+
     /// Total bytes moved per aligned period (equals the period when both
     /// partitions share the displacement).
     #[must_use]

@@ -7,6 +7,7 @@
 //! tree-ordered segment walk of the [`falls`] crate, clipped to the
 //! requested `[lo, hi]` interval of the element's linear space.
 
+use crate::engine::SegmentReplay;
 use crate::redist::Projection;
 use falls::{LineSegment, NestedSet};
 
@@ -71,6 +72,38 @@ pub fn scatter(dst: &mut [u8], src: &[u8], lo: u64, hi: u64, proj: &Projection) 
         dst[seg.l() as usize..=seg.r() as usize].copy_from_slice(&src[pos..pos + len]);
         pos += len;
     }
+    pos as u64
+}
+
+/// [`gather`] over a precompiled [`SegmentReplay`]: identical byte
+/// semantics, but the window-0 segment list is reused instead of being
+/// re-derived (and re-allocated) from the FALLS tree on every access.
+pub fn gather_replay(
+    dst: &mut Vec<u8>,
+    src: &[u8],
+    lo: u64,
+    hi: u64,
+    replay: &SegmentReplay,
+) -> u64 {
+    let mut copied = 0u64;
+    replay.for_each_between(lo, hi, |seg| {
+        dst.extend_from_slice(&src[seg.l() as usize..=seg.r() as usize]);
+        copied += seg.len();
+    });
+    copied
+}
+
+/// [`scatter`] over a precompiled [`SegmentReplay`].
+///
+/// # Panics
+/// Panics if `src` holds fewer bytes than the selection requires.
+pub fn scatter_replay(dst: &mut [u8], src: &[u8], lo: u64, hi: u64, replay: &SegmentReplay) -> u64 {
+    let mut pos = 0usize;
+    replay.for_each_between(lo, hi, |seg| {
+        let len = seg.len() as usize;
+        dst[seg.l() as usize..=seg.r() as usize].copy_from_slice(&src[pos..pos + len]);
+        pos += len;
+    });
     pos as u64
 }
 

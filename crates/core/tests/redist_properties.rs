@@ -9,11 +9,22 @@ use parafile::redist::{
     cut_falls, intersect_elements, intersect_falls, intersect_falls_merge, intersect_sets,
     Projection,
 };
-use parafile::Mapper;
+use parafile::{Mapper, PlanEngine};
 use proptest::prelude::*;
 
+/// Cap on brute-force byte enumeration. The strategies bound every span,
+/// so a family bigger than this means a generator regression; failing fast
+/// beats an O(bytes) hang in CI.
+const BRUTE_CAP: u64 = 1 << 20;
+
+/// `offsets().collect()` with the [`BRUTE_CAP`] guard.
+fn enumerate(f: &Falls) -> Vec<u64> {
+    assert!(f.size() <= BRUTE_CAP, "FALLS of {} bytes exceeds the brute-force cap", f.size());
+    f.offsets().collect()
+}
+
 fn falls_bytes(fs: &[Falls]) -> Vec<u64> {
-    let mut v: Vec<u64> = fs.iter().flat_map(|f| f.offsets().collect::<Vec<_>>()).collect();
+    let mut v: Vec<u64> = fs.iter().flat_map(enumerate).collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -48,7 +59,8 @@ proptest! {
     #[test]
     fn cut_is_clip_and_shift(f in arb_falls(), a in 0u64..300, len in 0u64..300) {
         let b = a + len;
-        let want: Vec<u64> = f.offsets().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
+        let want: Vec<u64> =
+            enumerate(&f).into_iter().filter(|&x| a <= x && x <= b).map(|x| x - a).collect();
         prop_assert_eq!(falls_bytes(&cut_falls(&f, a, b)), want);
     }
 
@@ -56,7 +68,7 @@ proptest! {
     #[test]
     fn cut_full_extent_rebases(f in arb_falls()) {
         let cut = cut_falls(&f, f.l(), f.extent_end());
-        let want: Vec<u64> = f.offsets().map(|x| x - f.l()).collect();
+        let want: Vec<u64> = enumerate(&f).into_iter().map(|x| x - f.l()).collect();
         prop_assert_eq!(falls_bytes(&cut), want);
     }
 
@@ -67,8 +79,8 @@ proptest! {
         let fast = falls_bytes(&intersect_falls(&f1, &f2));
         let slow = falls_bytes(&intersect_falls_merge(&f1, &f2));
         prop_assert_eq!(&fast, &slow);
-        let s2: std::collections::HashSet<u64> = f2.offsets().collect();
-        let brute: Vec<u64> = f1.offsets().filter(|x| s2.contains(x)).collect();
+        let s2: std::collections::HashSet<u64> = enumerate(&f2).into_iter().collect();
+        let brute: Vec<u64> = enumerate(&f1).into_iter().filter(|x| s2.contains(x)).collect();
         prop_assert_eq!(fast, brute);
     }
 
@@ -81,7 +93,7 @@ proptest! {
         );
         prop_assert_eq!(
             falls_bytes(&intersect_falls(&f1, &f1)),
-            f1.offsets().collect::<Vec<_>>()
+            enumerate(&f1)
         );
     }
 
@@ -173,6 +185,54 @@ proptest! {
             }
         }
         prop_assert_eq!(file_seen.len() as u64, plan.period);
+    }
+
+    /// A cache-hit replay is byte-identical to a freshly built plan: the
+    /// engine's cached `CompiledPlan` must move exactly the bytes that both
+    /// a cold engine compile and the symbolic plan move.
+    #[test]
+    fn cache_hit_replay_matches_fresh_plan(
+        a in arb_partition_at(40, 0..1),
+        b in arb_partition_at(30, 0..1),
+    ) {
+        let engine = PlanEngine::new();
+        let cold = engine.compile_redist(&a, &b).unwrap();
+        let warm = engine.compile_redist(&a, &b).unwrap();
+        prop_assert!(
+            std::sync::Arc::ptr_eq(&cold, &warm),
+            "second compile of the same pair must hit the cache"
+        );
+        prop_assert!(engine.stats().redists.hits >= 1);
+
+        let fresh = RedistributionPlan::build(&a, &b).unwrap();
+        let file_len = 3 * warm.period() + 7;
+        let bufs = |p: &Partition, fill: bool| -> Vec<Vec<u8>> {
+            (0..p.element_count())
+                .map(|e| {
+                    let len = p.element_len(e, file_len).unwrap() as usize;
+                    if fill {
+                        let m = Mapper::new(p, e);
+                        (0..len as u64).map(|y| (m.unmap(y) * 31 % 251) as u8).collect()
+                    } else {
+                        vec![0u8; len]
+                    }
+                })
+                .collect()
+        };
+        let src_bufs = bufs(&a, true);
+        let mut want = bufs(&b, false);
+        let mut cached = bufs(&b, false);
+        let n_want = fresh.apply(&src_bufs, &mut want, file_len);
+        let n_cached = warm.apply(&src_bufs, &mut cached, file_len);
+        prop_assert_eq!(n_want, n_cached);
+        prop_assert_eq!(&want, &cached);
+
+        // And through the parallel path, from a second engine's cold entry.
+        let cold2 = PlanEngine::new().compile_redist(&a, &b).unwrap();
+        let mut par = bufs(&b, false);
+        let n_par = cold2.apply_parallel(&src_bufs, &mut par, file_len);
+        prop_assert_eq!(n_want, n_par);
+        prop_assert_eq!(&want, &par);
     }
 }
 

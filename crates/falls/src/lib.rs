@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod compress;
 mod error;
 mod falls_impl;
@@ -53,6 +54,9 @@ mod set;
 
 pub mod testing;
 
+pub use canon::{
+    canonicalize_nested, canonicalize_set, fingerprint_nested, fingerprint_set, StructuralHasher,
+};
 pub use compress::{compress_segments, segments_to_falls};
 pub use error::FallsError;
 pub use falls_impl::{Falls, FallsSegments};

@@ -5,6 +5,17 @@ use falls::testing::{random_nested_set, Gen};
 use falls::{compress_segments, segments_to_falls, Falls, LineSegment, NestedFalls, NestedSet};
 use proptest::prelude::*;
 
+/// Cap on brute-force byte enumeration. Every strategy below bounds its
+/// span, so a family bigger than this is a generator regression; failing
+/// fast beats an O(bytes) hang in CI.
+const BRUTE_CAP: u64 = 1 << 20;
+
+/// `offsets().collect()` with the [`BRUTE_CAP`] guard.
+fn enumerate(f: &Falls) -> Vec<u64> {
+    assert!(f.size() <= BRUTE_CAP, "FALLS of {} bytes exceeds the brute-force cap", f.size());
+    f.offsets().collect()
+}
+
 /// Strategy for a valid FALLS inside a span.
 fn arb_falls(span: u64) -> impl Strategy<Value = Falls> {
     (0..span, 1u64..=span / 4 + 1, 0u64..span, 1u64..=span).prop_map(
@@ -30,13 +41,13 @@ proptest! {
     /// SIZE(f) equals the number of offsets the family enumerates.
     #[test]
     fn size_equals_offset_count(f in arb_falls(512)) {
-        prop_assert_eq!(f.size(), f.offsets().count() as u64);
+        prop_assert_eq!(f.size(), enumerate(&f).len() as u64);
     }
 
     /// contains(x) agrees with offset enumeration over the whole extent.
     #[test]
     fn contains_agrees_with_offsets(f in arb_falls(128)) {
-        let offs: std::collections::HashSet<u64> = f.offsets().collect();
+        let offs: std::collections::HashSet<u64> = enumerate(&f).into_iter().collect();
         for x in 0..=f.extent_end() + 2 {
             prop_assert_eq!(f.contains(x), offs.contains(&x), "byte {}", x);
         }
@@ -61,7 +72,7 @@ proptest! {
     fn compress_round_trip(set in arb_set(256)) {
         let segs = set.absolute_segments();
         let compressed = compress_segments(&segs);
-        let mut back: Vec<u64> = compressed.iter().flat_map(|f| f.offsets().collect::<Vec<_>>()).collect();
+        let mut back: Vec<u64> = compressed.iter().flat_map(enumerate).collect();
         back.sort_unstable();
         prop_assert_eq!(back, set.absolute_offsets());
     }

@@ -7,8 +7,8 @@
 //! jittered exponential backoff over a fresh connection. Protocol errors
 //! are never retried: the daemon meant them.
 
+use crate::backoff::Backoff;
 use crate::error::NetError;
-use crate::fault::XorShift64;
 use crate::server::NetStream;
 use crate::wire::{self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use std::time::Duration;
@@ -34,6 +34,15 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// The backoff schedule this policy prescribes, jitter-seeded by
+    /// `seed` (a peer identity, so distinct clients desynchronize).
+    #[must_use]
+    pub fn backoff(&self, seed: u64) -> Backoff {
+        Backoff::new(self.base_delay, self.max_delay, seed)
+    }
+}
+
 /// A client connection to one I/O-node daemon.
 pub struct NodeClient {
     addr: String,
@@ -42,9 +51,14 @@ pub struct NodeClient {
     max_frame: u32,
     timeout: Option<Duration>,
     retry: RetryPolicy,
-    /// Backoff jitter source, seeded from the address so two clients of
-    /// the same process desynchronize their retries.
-    rng: XorShift64,
+    /// Shared backoff schedule, jitter-seeded from the address so two
+    /// clients of the same process desynchronize their retries.
+    backoff: Backoff,
+    /// Recycled request-encode buffer (one allocation per connection, not
+    /// per frame).
+    scratch_out: Vec<u8>,
+    /// Recycled reply-frame buffer.
+    scratch_in: Vec<u8>,
 }
 
 impl NodeClient {
@@ -53,23 +67,33 @@ impl NodeClient {
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
         let addr = addr.into();
-        let seed = addr.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
-        });
+        let seed = Self::addr_seed(&addr);
+        let retry = RetryPolicy::default();
         Self {
             addr,
             stream: None,
             next_id: 1,
             max_frame: DEFAULT_MAX_FRAME,
             timeout: Some(Duration::from_secs(30)),
-            retry: RetryPolicy::default(),
-            rng: XorShift64::new(seed),
+            backoff: retry.backoff(seed),
+            retry,
+            scratch_out: Vec::new(),
+            scratch_in: Vec::new(),
         }
+    }
+
+    /// FNV-1a over the address: the jitter seed that desynchronizes
+    /// same-process clients of different daemons.
+    fn addr_seed(addr: &str) -> u64 {
+        addr.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
     }
 
     /// Overrides the retry policy.
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.backoff = retry.backoff(Self::addr_seed(&self.addr));
         self.retry = retry;
         self
     }
@@ -89,41 +113,49 @@ impl NodeClient {
         Ok(self.stream.as_mut().expect("stream just set"))
     }
 
-    /// One request/reply exchange over the current connection.
+    /// One request/reply exchange over the current connection. Both the
+    /// encoded request and the reply frame live in per-client scratch
+    /// buffers, so a warm connection does zero per-frame allocation.
     fn exchange(&mut self, request: &Request) -> Result<Reply, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        let payload = request.encode_payload();
+        let mut payload = std::mem::take(&mut self.scratch_out);
+        request.encode_payload_at_into(PROTOCOL_VERSION, &mut payload);
+        let mut body = std::mem::take(&mut self.scratch_in);
         let max_frame = self.max_frame;
-        let stream = self.connected()?;
-        wire::write_frame(stream, request.opcode(), id, &payload)?;
-        let frame = match wire::read_frame(stream, max_frame) {
-            Ok(f) => f,
-            Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
-            Err(FrameReadError::Closed) => {
-                return Err(NetError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "daemon closed the connection before replying",
-                )))
+        let result = (|| -> Result<Reply, NetError> {
+            let stream = self.connected()?;
+            wire::write_frame(stream, request.opcode(), id, &payload)?;
+            let frame = match wire::read_frame_buf(stream, max_frame, &mut body) {
+                Ok(f) => f,
+                Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+                Err(FrameReadError::Closed) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection before replying",
+                    )))
+                }
+                Err(FrameReadError::TooLarge(len)) => {
+                    return Err(NetError::BadReply(format!("reply frame of {len} bytes")))
+                }
+                Err(FrameReadError::TooShort(len)) => {
+                    return Err(NetError::BadReply(format!("reply frame length {len}")))
+                }
+            };
+            if frame.version != PROTOCOL_VERSION {
+                return Err(NetError::BadReply(format!("reply version {}", frame.version)));
             }
-            Err(FrameReadError::TooLarge(len)) => {
-                return Err(NetError::BadReply(format!("reply frame of {len} bytes")))
+            // The daemon answers frames with id 0 only when framing broke;
+            // the connection is unusable either way.
+            if frame.request_id != id {
+                return Err(NetError::IdMismatch { sent: id, got: frame.request_id });
             }
-            Err(FrameReadError::TooShort(len)) => {
-                return Err(NetError::BadReply(format!("reply frame length {len}")))
-            }
-        };
-        if frame.version != PROTOCOL_VERSION {
-            return Err(NetError::BadReply(format!("reply version {}", frame.version)));
-        }
-        // The daemon answers frames with id 0 only when framing broke; the
-        // connection is unusable either way.
-        if frame.request_id != id {
-            return Err(NetError::IdMismatch { sent: id, got: frame.request_id });
-        }
-        let reply = Reply::decode(frame.opcode, &frame.payload)
-            .map_err(|e| NetError::BadReply(e.to_string()))?;
-        Ok(reply)
+            Reply::decode(frame.opcode, frame.payload)
+                .map_err(|e| NetError::BadReply(e.to_string()))
+        })();
+        self.scratch_out = payload;
+        self.scratch_in = body;
+        result
     }
 
     /// Sends `request` and returns the decoded reply. Transport failures on
@@ -132,16 +164,11 @@ impl NodeClient {
     /// [`NetError::Protocol`] without retrying.
     pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
         let attempts = if request.retry_safe() { self.retry.attempts.max(1) } else { 1 };
-        let mut delay = self.retry.base_delay;
+        self.backoff.reset();
         let mut last_err: Option<NetError> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                // Jitter the sleep over [delay/2, delay] so clients that
-                // failed together do not retry in lockstep.
-                let nanos = delay.as_nanos() as u64;
-                let jittered = nanos / 2 + self.rng.next_u64() % (nanos / 2 + 1);
-                std::thread::sleep(Duration::from_nanos(jittered));
-                delay = (delay * 2).min(self.retry.max_delay);
+                self.backoff.sleep();
             }
             // Connect first, separately from the exchange: a connect
             // failure means the node is still down (keep widening the
@@ -163,7 +190,7 @@ impl NodeClient {
                     // the next attempt reconnects.
                     self.stream = None;
                     if fresh {
-                        delay = self.retry.base_delay;
+                        self.backoff.reset();
                     }
                     last_err = Some(err);
                 }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod error;
 pub mod fault;
@@ -28,6 +29,7 @@ pub mod server;
 pub mod session;
 pub mod wire;
 
+pub use backoff::Backoff;
 pub use client::NodeClient;
 pub use error::{ErrCode, NetError, ProtocolError};
 pub use fault::{chaos_proxy, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault};

@@ -490,33 +490,53 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let mut stream = stream;
     let mut conn_frames = 0u64;
+    // Per-connection scratch buffers: every frame on this connection reads
+    // into and encodes out of the same two allocations.
+    let mut read_scratch = Vec::new();
+    let mut write_scratch = Vec::new();
     loop {
-        let frame = match wire::read_frame(&mut stream, shared.config.max_frame) {
-            Ok(f) => f,
-            Err(FrameReadError::Closed) => return,
-            Err(FrameReadError::TooLarge(len)) => {
-                // The frame was not consumed, so the stream is out of sync:
-                // answer with request id 0 and close.
-                let e = ProtocolError::new(
-                    ErrCode::FrameTooLarge,
-                    format!(
-                        "frame of {len} bytes exceeds the {} byte budget",
-                        shared.config.max_frame
-                    ),
-                );
-                send_reply(&mut stream, PROTOCOL_VERSION, 0, &Reply::Error(e), None);
-                return;
-            }
-            Err(FrameReadError::TooShort(len)) => {
-                let e = ProtocolError::new(
-                    ErrCode::Malformed,
-                    format!("frame length {len} is shorter than the header"),
-                );
-                send_reply(&mut stream, PROTOCOL_VERSION, 0, &Reply::Error(e), None);
-                return;
-            }
-            Err(FrameReadError::Io(_)) => return,
-        };
+        let frame =
+            match wire::read_frame_buf(&mut stream, shared.config.max_frame, &mut read_scratch) {
+                Ok(f) => f,
+                Err(FrameReadError::Closed) => return,
+                Err(FrameReadError::TooLarge(len)) => {
+                    // The frame was not consumed, so the stream is out of
+                    // sync: answer with request id 0 and close.
+                    let e = ProtocolError::new(
+                        ErrCode::FrameTooLarge,
+                        format!(
+                            "frame of {len} bytes exceeds the {} byte budget",
+                            shared.config.max_frame
+                        ),
+                    );
+                    send_reply(
+                        &mut stream,
+                        PROTOCOL_VERSION,
+                        0,
+                        &Reply::Error(e),
+                        None,
+                        &mut write_scratch,
+                    );
+                    return;
+                }
+                Err(FrameReadError::TooShort(len)) => {
+                    let e = ProtocolError::new(
+                        ErrCode::Malformed,
+                        format!("frame length {len} is shorter than the header"),
+                    );
+                    send_reply(
+                        &mut stream,
+                        PROTOCOL_VERSION,
+                        0,
+                        &Reply::Error(e),
+                        None,
+                        &mut write_scratch,
+                    );
+                    return;
+                }
+                Err(FrameReadError::Io(_)) => return,
+            };
+        let (frame_version, frame_request_id) = (frame.version, frame.request_id);
         conn_frames += 1;
         if let Some(fault) = &shared.fault {
             match fault.on_frame(conn_frames) {
@@ -532,11 +552,18 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
             }
         }
         shared.acquire_slot();
-        let (reply, shutdown) = handle_frame(shared, frame.version, frame.opcode, &frame.payload);
+        let (reply, shutdown) = handle_frame(shared, frame.version, frame.opcode, frame.payload);
         let crashed = shared.fault_crashed();
         if !crashed {
             let truncate = shared.fault.as_ref().and_then(|f| f.truncate_reply_at(conn_frames));
-            send_reply(&mut stream, frame.version, frame.request_id, &reply, truncate);
+            send_reply(
+                &mut stream,
+                frame_version,
+                frame_request_id,
+                &reply,
+                truncate,
+                &mut write_scratch,
+            );
             if truncate.is_some() {
                 shared.release_slot();
                 stream.shutdown_both();
@@ -567,15 +594,17 @@ fn send_reply(
     request_id: u64,
     reply: &Reply,
     truncate: Option<u64>,
+    scratch: &mut Vec<u8>,
 ) {
-    let payload = reply.encode_payload_at(version);
+    reply.encode_payload_at_into(version, scratch);
+    let payload: &[u8] = scratch;
     match truncate {
         None => {
-            let _ = wire::write_frame_at(stream, version, reply.opcode(), request_id, &payload);
+            let _ = wire::write_frame_at(stream, version, reply.opcode(), request_id, payload);
         }
         Some(keep) => {
             let mut buf = Vec::with_capacity(payload.len() + 16);
-            let _ = wire::write_frame_at(&mut buf, version, reply.opcode(), request_id, &payload);
+            let _ = wire::write_frame_at(&mut buf, version, reply.opcode(), request_id, payload);
             let keep = (keep as usize).min(buf.len());
             let _ = stream.write_all(&buf[..keep]);
             let _ = stream.flush();

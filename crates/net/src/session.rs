@@ -2,8 +2,9 @@
 //!
 //! A [`Session`] plays the compute-node half of the paper's protocol
 //! against real daemons. `set_view` compiles the `MAP_V∘MAP_S⁻¹` access
-//! plan with [`parafile::redist::ViewPlan`] — exactly the planner the
-//! simulated `Clusterfile` uses — keeps `PROJ_V(V∩S)` locally and ships
+//! plan through the process-wide [`PlanEngine`] — exactly the planner the
+//! simulated `Clusterfile` uses, with repeat views answered from the plan
+//! cache — keeps `PROJ_V(V∩S)` locally and ships
 //! `PROJ_S(V∩S)` (plus the full raw view pattern, for the daemon's audit)
 //! to each intersecting I/O node. `write` maps the interval extremities,
 //! gathers view bytes per node and fans the messages out concurrently;
@@ -22,18 +23,19 @@
 //! a daemon restart, or unreachable — while [`Session::write`] keeps the
 //! original all-or-error contract on top of it.
 
+use crate::backoff::Backoff;
 use crate::client::NodeClient;
 use crate::error::{ErrCode, NetError};
 use crate::server::{serve, DaemonConfig, DaemonHandle};
 use crate::wire::{Reply, Request, StatInfo};
 use clusterfile::StorageBackend;
+use parafile::engine::{CompiledView, PlanEngine};
 use parafile::mapping::Mapper;
 use parafile::model::Partition;
-use parafile::redist::{Projection, ViewPlan};
 use parafile_audit::{RawFalls, RawPattern};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::SystemTime;
 
 /// Locks a node client, recovering from poisoning (a panicked fan-out
@@ -45,8 +47,9 @@ fn lock(m: &Mutex<NodeClient>) -> MutexGuard<'_, NodeClient> {
 struct ViewState {
     view: Partition,
     element: usize,
-    proj_view: Vec<Projection>,
-    perfect_match: Vec<bool>,
+    /// The engine-compiled access plan (view-side replay tables plus the
+    /// symbolic projections), shared with the process-wide plan cache.
+    plan: Arc<CompiledView>,
 }
 
 struct FileState {
@@ -269,12 +272,10 @@ impl Session {
         element: usize,
     ) -> Result<(), NetError> {
         let st = self.file(file)?;
-        let plan = ViewPlan::compile(logical, element, &st.physical)?;
+        let plan = PlanEngine::global().compile_view(logical, element, &st.physical)?;
         let raw_view = RawPattern::from_partition(logical);
-        let mut proj_view = Vec::with_capacity(plan.per_subfile.len());
-        let mut perfect_match = Vec::with_capacity(plan.per_subfile.len());
         let mut requests = Vec::new();
-        for (s, access) in plan.per_subfile.into_iter().enumerate() {
+        for (s, access) in plan.per_subfile().iter().enumerate() {
             if !access.is_empty() {
                 let proj_set: Vec<RawFalls> =
                     access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
@@ -290,8 +291,6 @@ impl Session {
                     },
                 });
             }
-            perfect_match.push(access.perfect_match);
-            proj_view.push(access.proj_view);
         }
         let retry: HashMap<usize, Request> =
             requests.iter().map(|o| (o.node, o.request.clone())).collect();
@@ -308,7 +307,7 @@ impl Session {
                 Err(e) => return Err(e),
             }
         }
-        let vs = ViewState { view: logical.clone(), element, proj_view, perfect_match };
+        let vs = ViewState { view: logical.clone(), element, plan };
         self.files.get_mut(&file).expect("file checked above").views.insert(compute, vs);
         Ok(())
     }
@@ -322,7 +321,7 @@ impl Session {
         lo_v: u64,
         hi_v: u64,
     ) -> Result<(u64, u64), NetError> {
-        if vs.perfect_match[s] {
+        if vs.plan.access(s).perfect_match {
             return Ok((lo_v, hi_v));
         }
         let mv = Mapper::new(&vs.view, vs.element);
@@ -386,12 +385,12 @@ impl Session {
         let mut requests = Vec::new();
         let mut report = RedistReport::default();
         for s in 0..self.nodes.len() {
-            let proj_v = &vs.proj_view[s];
-            if proj_v.is_empty() {
+            let replay = vs.plan.replay(s);
+            if replay.is_empty() {
                 continue;
             }
-            let segs = proj_v.segments_between(lo_v, hi_v);
-            if segs.is_empty() {
+            let covered = replay.bytes_between(lo_v, hi_v);
+            if covered == 0 {
                 continue;
             }
             if self.health[s] == NodeHealth::Dead {
@@ -404,13 +403,12 @@ impl Session {
             // Gather the non-contiguous view data into one message buffer
             // (the paper's t_g phase); a fully-covered interval is a plain
             // copy.
-            let covered: usize = segs.iter().map(|g| g.len() as usize).sum();
-            let mut payload = Vec::with_capacity(covered);
-            for seg in &segs {
+            let mut payload = Vec::with_capacity(covered as usize);
+            replay.for_each_between(lo_v, hi_v, |seg| {
                 let a = (seg.l() - lo_v) as usize;
                 let b = (seg.r() - lo_v) as usize;
                 payload.extend_from_slice(&data[a..=b]);
-            }
+            });
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             requests.push(Outgoing {
                 node: s,
@@ -479,8 +477,10 @@ impl Session {
     fn reestablish(&self, node: usize, compute: u32, file: u64) -> Result<(), NetError> {
         self.reopen(node, file)?;
         let (st, vs) = self.view(file, compute)?;
-        let plan = ViewPlan::compile(&vs.view, vs.element, &st.physical)?;
-        let access = &plan.per_subfile[node];
+        // Cache hit in the common case: the same (view, physical) pair was
+        // compiled when the view was first set.
+        let plan = PlanEngine::global().compile_view(&vs.view, vs.element, &st.physical)?;
+        let access = plan.access(node);
         let mut client = lock(&self.nodes[node]);
         if !access.is_empty() {
             let proj_set: Vec<RawFalls> =
@@ -515,13 +515,13 @@ impl Session {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let (st, vs) = self.view(file, compute)?;
         let (l_s, r_s) = Self::map_extremities(st, vs, node, lo_v, hi_v)?;
-        let segs = vs.proj_view[node].segments_between(lo_v, hi_v);
-        let mut payload = Vec::with_capacity(segs.iter().map(|g| g.len() as usize).sum());
-        for seg in &segs {
+        let replay = vs.plan.replay(node);
+        let mut payload = Vec::with_capacity(replay.bytes_between(lo_v, hi_v) as usize);
+        replay.for_each_between(lo_v, hi_v, |seg| {
             let a = (seg.l() - lo_v) as usize;
             let b = (seg.r() - lo_v) as usize;
             payload.extend_from_slice(&data[a..=b]);
-        }
+        });
         let mut client = lock(&self.nodes[node]);
         match client.call(&Request::Write { file, compute, l_s, r_s, session, seq, payload })? {
             Reply::WriteOk { written, .. } => Ok(written),
@@ -577,11 +577,8 @@ impl Session {
         let (st, vs) = self.view(file, compute)?;
         let mut requests = Vec::new();
         for s in 0..self.nodes.len() {
-            let proj_v = &vs.proj_view[s];
-            if proj_v.is_empty() {
-                continue;
-            }
-            if proj_v.segments_between(lo_v, hi_v).is_empty() {
+            let replay = vs.plan.replay(s);
+            if replay.is_empty() || replay.bytes_between(lo_v, hi_v) == 0 {
                 continue;
             }
             let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
@@ -616,15 +613,15 @@ impl Session {
             // only the leading fragments.
             let (_, vs) = self.view(file, compute)?;
             let mut pos = 0usize;
-            for seg in vs.proj_view[node].segments_between(lo_v, hi_v) {
+            vs.plan.replay(node).for_each_between(lo_v, hi_v, |seg| {
                 let take = (seg.len() as usize).min(payload.len() - pos);
                 if take == 0 {
-                    break;
+                    return;
                 }
                 let a = (seg.l() - lo_v) as usize;
                 buf[a..a + take].copy_from_slice(&payload[pos..pos + take]);
                 pos += take;
-            }
+            });
         }
         Ok(buf)
     }
@@ -702,6 +699,13 @@ impl Session {
         for (node, first) in self.fan_out(requests) {
             let mut reply = first;
             let mut tries = 0;
+            // The shared backoff schedule, seeded per (session, node) so
+            // concurrent sessions flushing the same daemons desynchronize.
+            let mut backoff = Backoff::new(
+                std::time::Duration::from_millis(5),
+                std::time::Duration::from_millis(20),
+                self.session_id ^ node as u64,
+            );
             loop {
                 match reply {
                     Ok(Reply::Ok) => break,
@@ -714,7 +718,7 @@ impl Session {
                         if matches!(e.code, ErrCode::Internal) && tries < 3 =>
                     {
                         tries += 1;
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        backoff.sleep();
                         reply = lock(&self.nodes[node]).call(&Request::Flush { file });
                     }
                     Err(NetError::Protocol(ref e))

@@ -436,43 +436,51 @@ impl Request {
     #[must_use]
     pub fn encode_payload_at(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_payload_at_into(version, &mut out);
+        out
+    }
+
+    /// [`encode_payload_at`](Self::encode_payload_at) into a caller-owned
+    /// scratch buffer (cleared first), so per-connection encoders reuse one
+    /// allocation across frames.
+    pub fn encode_payload_at_into(&self, version: u8, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Request::Open { file, subfile, len } => {
-                put_u64(&mut out, *file);
-                put_u32(&mut out, *subfile);
-                put_u64(&mut out, *len);
+                put_u64(out, *file);
+                put_u32(out, *subfile);
+                put_u64(out, *len);
             }
             Request::SetView { file, compute, element, view, proj_set, proj_period } => {
-                put_u64(&mut out, *file);
-                put_u32(&mut out, *compute);
-                put_u32(&mut out, *element);
-                put_raw_pattern(&mut out, view);
-                put_raw_set(&mut out, proj_set);
-                put_u64(&mut out, *proj_period);
+                put_u64(out, *file);
+                put_u32(out, *compute);
+                put_u32(out, *element);
+                put_raw_pattern(out, view);
+                put_raw_set(out, proj_set);
+                put_u64(out, *proj_period);
             }
             Request::Write { file, compute, l_s, r_s, session, seq, payload } => {
-                put_u64(&mut out, *file);
-                put_u32(&mut out, *compute);
-                put_u64(&mut out, *l_s);
-                put_u64(&mut out, *r_s);
+                put_u64(out, *file);
+                put_u32(out, *compute);
+                put_u64(out, *l_s);
+                put_u64(out, *r_s);
                 if version >= 2 {
-                    put_u64(&mut out, *session);
-                    put_u64(&mut out, *seq);
+                    put_u64(out, *session);
+                    put_u64(out, *seq);
                 }
                 out.extend_from_slice(payload);
             }
             Request::Read { file, compute, l_s, r_s } => {
-                put_u64(&mut out, *file);
-                put_u32(&mut out, *compute);
-                put_u64(&mut out, *l_s);
-                put_u64(&mut out, *r_s);
+                put_u64(out, *file);
+                put_u32(out, *compute);
+                put_u64(out, *l_s);
+                put_u64(out, *r_s);
             }
             Request::Flush { file } | Request::Stat { file } | Request::Fetch { file } => {
-                put_u64(&mut out, *file);
+                put_u64(out, *file);
             }
             Request::Shutdown | Request::Ping => {}
         }
-        out
     }
 
     /// Decodes a request from its opcode and payload bytes in the current
@@ -597,34 +605,42 @@ impl Reply {
     #[must_use]
     pub fn encode_payload_at(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_payload_at_into(version, &mut out);
+        out
+    }
+
+    /// [`encode_payload_at`](Self::encode_payload_at) into a caller-owned
+    /// scratch buffer (cleared first), so per-connection encoders reuse one
+    /// allocation across frames.
+    pub fn encode_payload_at_into(&self, version: u8, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Reply::Ok => {}
             Reply::WriteOk { written, replayed } => {
-                put_u64(&mut out, *written);
+                put_u64(out, *written);
                 if version >= 2 {
                     out.push(u8::from(*replayed));
                 }
             }
             Reply::Data { payload } => out.extend_from_slice(payload),
-            Reply::Pong { epoch } => put_u64(&mut out, *epoch),
+            Reply::Pong { epoch } => put_u64(out, *epoch),
             Reply::Stat(s) => {
-                put_u64(&mut out, s.len);
-                put_u64(&mut out, s.views);
-                put_u64(&mut out, s.requests);
-                put_u64(&mut out, s.bytes_written);
-                put_u64(&mut out, s.bytes_read);
-                put_u64(&mut out, s.fragments);
+                put_u64(out, s.len);
+                put_u64(out, s.views);
+                put_u64(out, s.requests);
+                put_u64(out, s.bytes_written);
+                put_u64(out, s.bytes_read);
+                put_u64(out, s.fragments);
             }
             Reply::Error(e) => {
-                put_u16(&mut out, e.code.as_u16());
-                put_u16(&mut out, e.pa_codes.len() as u16);
+                put_u16(out, e.code.as_u16());
+                put_u16(out, e.pa_codes.len() as u16);
                 for pa in &e.pa_codes {
-                    put_string(&mut out, pa);
+                    put_string(out, pa);
                 }
-                put_string(&mut out, &e.message);
+                put_string(out, &e.message);
             }
         }
-        out
     }
 
     /// Decodes a reply from its opcode and payload bytes in the current
@@ -737,11 +753,44 @@ pub fn write_frame_at(
     w.flush()
 }
 
+/// A frame whose payload borrows a caller-owned scratch buffer — the
+/// allocation-free counterpart of [`Frame`] returned by [`read_frame_buf`].
+#[derive(Debug)]
+pub struct FrameView<'a> {
+    /// Protocol version byte.
+    pub version: u8,
+    /// Opcode byte.
+    pub opcode: u8,
+    /// Request id (echoed in the matching reply).
+    pub request_id: u64,
+    /// Payload bytes, borrowed from the scratch buffer.
+    pub payload: &'a [u8],
+}
+
 /// Reads one frame, enforcing the size budget.
 ///
 /// Returns [`FrameReadError::Closed`] only when the connection ends cleanly
 /// *between* frames; EOF in the middle of a frame is an I/O error.
 pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, FrameReadError> {
+    let mut scratch = Vec::new();
+    let view = read_frame_buf(r, max_frame, &mut scratch)?;
+    Ok(Frame {
+        version: view.version,
+        opcode: view.opcode,
+        request_id: view.request_id,
+        payload: view.payload.to_vec(),
+    })
+}
+
+/// [`read_frame`] into a caller-owned scratch buffer: the frame body lands
+/// in `scratch` (resized as needed, capacity retained across calls) and the
+/// returned [`FrameView`] borrows its payload from it, so a connection loop
+/// reads every frame through one recycled allocation.
+pub fn read_frame_buf<'a>(
+    r: &mut impl Read,
+    max_frame: u32,
+    scratch: &'a mut Vec<u8>,
+) -> Result<FrameView<'a>, FrameReadError> {
     let mut len_buf = [0u8; 4];
     // Distinguish "no next frame" (clean close) from "frame cut short".
     let mut got = 0usize;
@@ -766,17 +815,17 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, FrameReadE
     if len < HEADER_LEN {
         return Err(FrameReadError::TooShort(len));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
-    let version = body[0];
-    let opcode = body[1];
+    scratch.resize(len as usize, 0);
+    r.read_exact(scratch).map_err(FrameReadError::Io)?;
+    let version = scratch[0];
+    let opcode = scratch[1];
     let mut id_bytes = [0u8; 8];
-    id_bytes.copy_from_slice(&body[2..10]);
-    Ok(Frame {
+    id_bytes.copy_from_slice(&scratch[2..10]);
+    Ok(FrameView {
         version,
         opcode,
         request_id: u64::from_le_bytes(id_bytes),
-        payload: body[10..].to_vec(),
+        payload: &scratch[10..],
     })
 }
 

@@ -1,0 +1,46 @@
+//! A `Session` must reuse a cached compiled plan across repeated
+//! `SetView` calls: the second identical view set is a hit in the
+//! process-global plan engine, not a recompilation.
+//!
+//! This lives in its own integration binary so the global engine's
+//! counters are not shared with unrelated tests.
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::StorageBackend;
+use parafile::PlanEngine;
+use parafile_net::session::{spawn_loopback, Session};
+
+#[test]
+fn repeated_set_view_reuses_the_cached_plan() {
+    const N: u64 = 16;
+    const P: u64 = 4;
+    // The paper's matrix scenario: column-block physical layout, row-block
+    // logical view, 4 partitions each.
+    let physical = MatrixLayout::ColumnBlocks.partition(N, N, 1, P);
+    let logical = MatrixLayout::RowBlocks.partition(N, N, 1, P);
+
+    let (mut handles, addrs) =
+        spawn_loopback(P as usize, StorageBackend::Memory).expect("spawn loopback daemons");
+    let mut session = Session::connect(&addrs);
+    session.create_file(7, physical, N * N).expect("create file");
+
+    let before = PlanEngine::global().stats().views;
+    session.set_view(0, 7, &logical, 0).expect("first set_view");
+    let mid = PlanEngine::global().stats().views;
+    assert!(mid.misses > before.misses, "the first set_view compiles the plan (a cache miss)");
+
+    session.set_view(1, 7, &logical, 0).expect("second set_view");
+    let after = PlanEngine::global().stats().views;
+    assert!(after.hits > mid.hits, "an identical SetView must reuse the cached plan");
+    assert_eq!(after.misses, mid.misses, "no recompilation on the second SetView");
+
+    // The cached plan must still be usable end to end.
+    session.write(1, 7, 0, 15, &[0xAB; 16]).expect("write through the cached plan");
+    let got = session.read(1, 7, 0, 15).expect("read back");
+    assert_eq!(got, vec![0xAB; 16]);
+
+    drop(session);
+    for h in &mut handles {
+        h.stop();
+    }
+}

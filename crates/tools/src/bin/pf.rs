@@ -7,7 +7,7 @@
 //! pf unmap   <part.json> <elem> <offset> # element offset → file offset
 //! pf owner   <part.json> <offset>        # which element owns a file byte
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
-//! pf plan    <a.json> <b.json>           # redistribution plan summary
+//! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
 //! pf serve   <addr> [--dir DIR] [--chaos SPEC]  # run an I/O-node daemon
 //! pf chaos   <listen> <upstream> <SPEC>  # fault-injecting proxy in front of a daemon
 //! pf io <a1,a2,…> demo <n>               # matrix scenario over real daemons
@@ -29,9 +29,8 @@
 
 use arraydist::matrix::MatrixLayout;
 use parafile::matching::MatchingDegree;
-use parafile::plan::RedistributionPlan;
 use parafile::redist::{intersect_elements, Projection};
-use parafile::Mapper;
+use parafile::{Mapper, PlanEngine};
 use pf_tools::{load_partition, PartitionSpec, ToolError};
 use std::process::ExitCode;
 
@@ -155,28 +154,46 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         "plan" => {
-            let a = load_partition(args.get(1).ok_or_else(usage)?)?;
-            let b = load_partition(args.get(2).ok_or_else(usage)?)?;
-            let plan = RedistributionPlan::build(&a, &b)?;
-            let m = MatchingDegree::from_plan(&plan, &b);
+            let show_stats = args.iter().any(|a| a == "--stats");
+            let positional: Vec<&String> = args[1..].iter().filter(|a| *a != "--stats").collect();
+            let a = load_partition(positional.first().ok_or_else(usage)?)?;
+            let b = load_partition(positional.get(1).ok_or_else(usage)?)?;
+            let engine = PlanEngine::global();
+            let plan = engine.compile_redist(&a, &b)?;
+            let m = MatchingDegree::from_plan(plan.plan(), &b);
             println!(
                 "plan: {} bytes per period of {}, {} copy runs over {} active pairs",
                 plan.bytes_per_period(),
-                plan.period,
+                plan.period(),
                 plan.runs_per_period(),
-                plan.pairs.len()
+                plan.pairs().len()
             );
             println!(
                 "matching: degree {:.3}, mean run {:.1} B (dst intrinsic fragments: {})",
                 m.degree, m.mean_run_len, m.intrinsic_runs
             );
-            for pair in &plan.pairs {
+            for pair in plan.pairs() {
                 println!(
                     "  {} → {}: {} runs, {} bytes/period",
                     pair.src_element,
                     pair.dst_element,
-                    pair.runs.len(),
-                    pair.bytes_per_period()
+                    plan.runs_of(pair).count(),
+                    plan.runs_of(pair).map(|r| r.len).sum::<u64>()
+                );
+            }
+            if show_stats {
+                let stats = engine.stats();
+                println!(
+                    "plan cache: views {} hit / {} miss / {} evicted ({} entries), \
+                     redists {} hit / {} miss / {} evicted ({} entries)",
+                    stats.views.hits,
+                    stats.views.misses,
+                    stats.views.evictions,
+                    stats.views.entries,
+                    stats.redists.hits,
+                    stats.redists.misses,
+                    stats.redists.evictions,
+                    stats.redists.entries
                 );
             }
             Ok(())
