@@ -251,7 +251,7 @@ impl Clusterfile {
     /// A subfile's current contents (test/diagnostic accessor).
     #[must_use]
     pub fn subfile(&mut self, file: FileId, subfile: usize) -> Vec<u8> {
-        self.files[file].subfiles[subfile].read_all()
+        self.files[file].subfiles[subfile].read_all().expect("read subfile")
     }
 
     /// The host path backing a subfile, when file-backed storage is in use.
@@ -274,7 +274,7 @@ impl Clusterfile {
             let m = Mapper::new(&st.physical, s);
             let len = st.subfiles[s].len();
             let data: Vec<u8> = (0..len).map(|y| f(m.unmap(y))).collect();
-            st.subfiles[s].replace(data);
+            st.subfiles[s].replace(data).expect("fill subfile");
         }
     }
 
@@ -293,7 +293,8 @@ impl Clusterfile {
     ) -> u64 {
         assert_eq!(new_physical.element_count(), self.config.io_nodes, "one subfile per I/O node");
         let st = &mut self.files[file];
-        let old: Vec<Vec<u8>> = st.subfiles.iter_mut().map(SubfileStore::read_all).collect();
+        let old: Vec<Vec<u8>> =
+            st.subfiles.iter_mut().map(|s| s.read_all().expect("read subfile")).collect();
         let mut new_bufs: Vec<Vec<u8>> = (0..new_physical.element_count())
             .map(|s| {
                 vec![
@@ -304,7 +305,7 @@ impl Clusterfile {
             .collect();
         let moved = plan.apply_parallel(&old, &mut new_bufs, st.len);
         for (s, buf) in new_bufs.into_iter().enumerate() {
-            st.subfiles[s].replace(buf);
+            st.subfiles[s].replace(buf).expect("relayout subfile");
         }
         st.physical = new_physical;
         st.views.clear();
@@ -319,7 +320,7 @@ impl Clusterfile {
         let mut out = vec![0u8; st.len as usize];
         for s in 0..st.subfiles.len() {
             let m = Mapper::new(&st.physical, s);
-            let data = st.subfiles[s].read_all();
+            let data = st.subfiles[s].read_all().expect("read subfile");
             for (y, &b) in data.iter().enumerate() {
                 let x = m.unmap(y as u64);
                 if x < st.len {
@@ -700,7 +701,7 @@ impl Clusterfile {
             }
             Message::RawWrite { file, subfile, offset, payload } => {
                 let io = d.to;
-                self.files[file].subfiles[subfile].write_at(offset, &payload);
+                self.files[file].subfiles[subfile].write_at(offset, &payload).expect("raw write");
                 let bytes = payload.len() as u64;
                 self.cluster.compute(io, IO_REQUEST_OVERHEAD_NS);
                 let mut cost =
@@ -773,7 +774,9 @@ impl Clusterfile {
         let mut fragments = 0u64;
         replay.for_each_between(l_s, r_s, |seg| {
             let len = seg.len() as usize;
-            subfiles[subfile].write_at(seg.l(), &payload[pos..pos + len]);
+            subfiles[subfile]
+                .write_at(seg.l(), &payload[pos..pos + len])
+                .expect("scatter subfile bytes");
             pos += len;
             fragments += 1;
         });
@@ -810,7 +813,9 @@ impl Clusterfile {
         let mut buf = Vec::with_capacity(replay.bytes_between(l_s, r_s) as usize);
         let mut seg_count = 0u64;
         replay.for_each_between(l_s, r_s, |seg| {
-            buf.extend_from_slice(&subfiles[subfile].read_at(seg.l(), seg.len()));
+            let base = buf.len();
+            buf.resize(base + seg.len() as usize, 0);
+            subfiles[subfile].read_into(seg.l(), &mut buf[base..]).expect("gather subfile bytes");
             seg_count += 1;
         });
         // Reading from the cache costs request handling plus one copy per

@@ -267,7 +267,7 @@ impl Journal {
                         for &(seg_off, seg_len) in &rec.segments {
                             let n = seg_len as usize;
                             if seg_off + seg_len <= store_len {
-                                store.write_at(seg_off, &rec.payload[off..off + n]);
+                                store.write_at(seg_off, &rec.payload[off..off + n])?;
                             }
                             off += n;
                         }
@@ -376,7 +376,7 @@ mod tests {
         // the first segment: the subfile is torn.
         let rec = record(5, 1, &[(0, 4), (16, 4)], 0xAB);
         journal.append(&rec).unwrap();
-        store.write_at(0, &rec.payload[..4]);
+        store.write_at(0, &rec.payload[..4]).unwrap();
         drop(journal);
         drop(store);
 
@@ -388,8 +388,8 @@ mod tests {
         assert_eq!(report.replayed, 1);
         assert_eq!(report.discarded, 0);
         assert_eq!(report.dedup, vec![(5, 1, 8)]);
-        assert_eq!(store.read_at(0, 4), vec![0xAB; 4]);
-        assert_eq!(store.read_at(16, 4), vec![0xAB; 4], "second segment healed by replay");
+        assert_eq!(store.read_at(0, 4).unwrap(), vec![0xAB; 4]);
+        assert_eq!(store.read_at(16, 4).unwrap(), vec![0xAB; 4], "second segment healed by replay");
         assert!(journal.is_empty(), "recovery checkpoints the journal");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -413,8 +413,8 @@ mod tests {
         let report = journal.recover(&mut store).unwrap();
         assert_eq!(report.replayed, 1, "the complete record replays");
         assert_eq!(report.discarded, 1, "the torn record is dropped");
-        assert_eq!(store.read_at(0, 4), vec![0x11; 4]);
-        assert_eq!(store.read_at(8, 4), vec![0; 4], "torn intent never applied");
+        assert_eq!(store.read_at(0, 4).unwrap(), vec![0x11; 4]);
+        assert_eq!(store.read_at(8, 4).unwrap(), vec![0; 4], "torn intent never applied");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -440,7 +440,7 @@ mod tests {
         assert_eq!(first.replayed, 1);
         let second = journal.recover(&mut store).unwrap();
         assert_eq!(second.replayed, 0, "checkpointed records do not replay again");
-        assert_eq!(store.read_at(2, 4), vec![0x5C; 4]);
+        assert_eq!(store.read_at(2, 4).unwrap(), vec![0x5C; 4]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

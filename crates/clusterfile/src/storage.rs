@@ -5,9 +5,22 @@
 //! filesystem — one file per subfile, written with positioned I/O — so the
 //! library is usable as an actual store and the scatter/gather paths are
 //! exercised against a real kernel.
+//!
+//! All accessors return `io::Result`: a full disk or a bad offset is a
+//! recoverable condition for a daemon (it answers with a `Nack`), not an
+//! abort. File-backed stores use positioned I/O (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`] on unix, a seek fallback elsewhere) so
+//! concurrent readers never race a shared cursor, and the [`scatter`] /
+//! [`gather`] entry points coalesce adjacent segment runs into single
+//! syscalls.
+//!
+//! [`scatter`]: SubfileStore::scatter
+//! [`gather`]: SubfileStore::gather
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+#[cfg(not(unix))]
+use std::io::Read;
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Where subfile bytes are kept.
@@ -40,6 +53,37 @@ pub enum SubfileStore {
     },
 }
 
+fn out_of_range(what: &str, offset: u64, len: u64, store_len: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("{what} [{offset}, {offset}+{len}) beyond the {store_len}-byte subfile"),
+    )
+}
+
+#[cfg(unix)]
+fn positioned_write(file: &mut File, offset: u64, data: &[u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(data, offset)
+}
+
+#[cfg(unix)]
+fn positioned_read(file: &mut File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn positioned_write(file: &mut File, offset: u64, data: &[u8]) -> io::Result<()> {
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(data)
+}
+
+#[cfg(not(unix))]
+fn positioned_read(file: &mut File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
 impl SubfileStore {
     /// Creates a zero-filled store of `len` bytes.
     pub fn create(
@@ -47,7 +91,7 @@ impl SubfileStore {
         file_id: usize,
         subfile: usize,
         len: u64,
-    ) -> std::io::Result<Self> {
+    ) -> io::Result<Self> {
         match backend {
             StorageBackend::Memory => Ok(SubfileStore::Memory(vec![0u8; len as usize])),
             StorageBackend::Directory(dir) => {
@@ -80,7 +124,7 @@ impl SubfileStore {
         file_id: usize,
         subfile: usize,
         len: u64,
-    ) -> std::io::Result<(Self, bool)> {
+    ) -> io::Result<(Self, bool)> {
         if let StorageBackend::Directory(dir) = backend {
             let path = dir.join(format!("file{file_id}_subfile{subfile}.bin"));
             if path.exists() {
@@ -107,7 +151,7 @@ impl SubfileStore {
     }
 
     /// Forces buffered bytes to stable storage (no-op for memory stores).
-    pub fn flush(&mut self) -> std::io::Result<()> {
+    pub fn flush(&mut self) -> io::Result<()> {
         match self {
             SubfileStore::Memory(_) => Ok(()),
             SubfileStore::File { file, .. } => file.sync_all(),
@@ -122,53 +166,140 @@ impl SubfileStore {
         }
     }
 
-    /// Writes `data` at byte `offset`.
-    ///
-    /// # Panics
-    /// Panics on out-of-range writes or I/O errors (storage corruption is
-    /// not a recoverable condition for the simulation).
-    pub fn write_at(&mut self, offset: u64, data: &[u8]) {
+    /// Writes `data` at byte `offset`. Out-of-range writes and I/O errors
+    /// (e.g. a full disk) surface as `Err`, never a panic.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or_else(|| out_of_range("write", offset, data.len() as u64, self.len()))?;
+        if end > self.len() {
+            return Err(out_of_range("write", offset, data.len() as u64, self.len()));
+        }
         match self {
             SubfileStore::Memory(v) => {
                 v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+                Ok(())
             }
-            SubfileStore::File { file, len, .. } => {
-                assert!(offset + data.len() as u64 <= *len, "write beyond the subfile");
-                file.seek(SeekFrom::Start(offset)).expect("seek subfile");
-                file.write_all(data).expect("write subfile");
+            SubfileStore::File { file, .. } => positioned_write(file, offset, data),
+        }
+    }
+
+    /// Reads exactly `buf.len()` bytes at `offset` into `buf`.
+    pub fn read_into(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .ok_or_else(|| out_of_range("read", offset, buf.len() as u64, self.len()))?;
+        if end > self.len() {
+            return Err(out_of_range("read", offset, buf.len() as u64, self.len()));
+        }
+        match self {
+            SubfileStore::Memory(v) => {
+                buf.copy_from_slice(&v[offset as usize..offset as usize + buf.len()]);
+                Ok(())
             }
+            SubfileStore::File { file, .. } => positioned_read(file, offset, buf),
         }
     }
 
     /// Reads `len` bytes at `offset`.
-    pub fn read_at(&mut self, offset: u64, len: u64) -> Vec<u8> {
-        match self {
-            SubfileStore::Memory(v) => v[offset as usize..(offset + len) as usize].to_vec(),
-            SubfileStore::File { file, len: flen, .. } => {
-                assert!(offset + len <= *flen, "read beyond the subfile");
-                let mut buf = vec![0u8; len as usize];
-                file.seek(SeekFrom::Start(offset)).expect("seek subfile");
-                file.read_exact(&mut buf).expect("read subfile");
-                buf
-            }
-        }
+    pub fn read_at(&mut self, offset: u64, len: u64) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_into(offset, &mut buf)?;
+        Ok(buf)
     }
 
     /// Reads the whole store.
-    pub fn read_all(&mut self) -> Vec<u8> {
+    pub fn read_all(&mut self) -> io::Result<Vec<u8>> {
         let len = self.len();
         self.read_at(0, len)
     }
 
     /// Replaces the contents wholesale (used by relayout).
-    pub fn replace(&mut self, data: Vec<u8>) {
+    pub fn replace(&mut self, data: Vec<u8>) -> io::Result<()> {
         match self {
-            SubfileStore::Memory(v) => *v = data,
+            SubfileStore::Memory(v) => {
+                *v = data;
+                Ok(())
+            }
             SubfileStore::File { file, len, .. } => {
                 *len = data.len() as u64;
-                file.set_len(*len).expect("resize subfile");
-                file.seek(SeekFrom::Start(0)).expect("seek subfile");
-                file.write_all(&data).expect("rewrite subfile");
+                file.set_len(*len)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&data)
+            }
+        }
+    }
+
+    /// Scatters a contiguous `payload` across `(offset, len)` runs, in
+    /// order, coalescing adjacent runs (`offset_a + len_a == offset_b`)
+    /// into single positioned writes. The payload is consumed left to
+    /// right; it must cover every run. Returns the bytes written.
+    pub fn scatter<I>(&mut self, runs: I, payload: &[u8]) -> io::Result<u64>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut pos: usize = 0;
+        // Pending coalesced run: store offset + payload start + length.
+        let mut pending: Option<(u64, usize, usize)> = None;
+        for (offset, len) in runs {
+            let n = len as usize;
+            if payload.len() - pos < n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "scatter payload shorter than its segment runs",
+                ));
+            }
+            match pending {
+                Some((off0, start, acc)) if off0 + acc as u64 == offset => {
+                    pending = Some((off0, start, acc + n));
+                }
+                Some((off0, start, acc)) => {
+                    self.write_at(off0, &payload[start..start + acc])?;
+                    pending = Some((offset, pos, n));
+                }
+                None => pending = Some((offset, pos, n)),
+            }
+            pos += n;
+        }
+        if let Some((off0, start, acc)) = pending {
+            self.write_at(off0, &payload[start..start + acc])?;
+        }
+        Ok(pos as u64)
+    }
+
+    /// Gathers `(offset, len)` runs, in order, appending the bytes to
+    /// `out`; adjacent runs are coalesced into single positioned reads.
+    /// Returns the bytes appended.
+    pub fn gather<I>(&mut self, runs: I, out: &mut Vec<u8>) -> io::Result<u64>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let base = out.len();
+        let mut pending: Option<(u64, u64)> = None;
+        for (offset, len) in runs {
+            match pending {
+                Some((off0, acc)) if off0 + acc == offset => pending = Some((off0, acc + len)),
+                Some((off0, acc)) => {
+                    self.gather_one(off0, acc, out)?;
+                    pending = Some((offset, len));
+                }
+                None => pending = Some((offset, len)),
+            }
+        }
+        if let Some((off0, acc)) = pending {
+            self.gather_one(off0, acc, out)?;
+        }
+        Ok((out.len() - base) as u64)
+    }
+
+    fn gather_one(&mut self, offset: u64, len: u64, out: &mut Vec<u8>) -> io::Result<()> {
+        let base = out.len();
+        out.resize(base + len as usize, 0);
+        match self.read_into(offset, &mut out[base..]) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                out.truncate(base);
+                Err(e)
             }
         }
     }
@@ -183,10 +314,10 @@ mod tests {
         let mut s = SubfileStore::create(&StorageBackend::Memory, 0, 0, 16).unwrap();
         assert_eq!(s.len(), 16);
         assert!(s.path().is_none());
-        s.write_at(4, &[1, 2, 3]);
-        assert_eq!(s.read_at(3, 5), vec![0, 1, 2, 3, 0]);
-        s.replace(vec![9; 4]);
-        assert_eq!(s.read_all(), vec![9, 9, 9, 9]);
+        s.write_at(4, &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_at(3, 5).unwrap(), vec![0, 1, 2, 3, 0]);
+        s.replace(vec![9; 4]).unwrap();
+        assert_eq!(s.read_all().unwrap(), vec![9, 9, 9, 9]);
     }
 
     #[test]
@@ -197,29 +328,62 @@ mod tests {
         assert_eq!(s.len(), 32);
         let path = s.path().unwrap().to_path_buf();
         assert!(path.ends_with("file3_subfile1.bin"));
-        s.write_at(10, b"hello");
-        assert_eq!(s.read_at(9, 7), b"\0hello\0");
+        s.write_at(10, b"hello").unwrap();
+        assert_eq!(s.read_at(9, 7).unwrap(), b"\0hello\0");
         // The bytes are really on disk.
         let on_disk = std::fs::read(&path).unwrap();
         assert_eq!(&on_disk[10..15], b"hello");
-        s.replace(b"short".to_vec());
-        assert_eq!(s.read_all(), b"short");
+        s.replace(b"short".to_vec()).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"short");
         assert_eq!(std::fs::metadata(&path).unwrap().len(), 5);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    #[should_panic(expected = "write beyond")]
-    fn file_store_bounds_checked() {
+    fn out_of_range_is_an_error_not_a_panic() {
         let dir = std::env::temp_dir().join(format!("pf_store_oob_{}", std::process::id()));
         let backend = StorageBackend::Directory(dir.clone());
         let mut s = SubfileStore::create(&backend, 0, 0, 4).unwrap();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.write_at(2, &[0; 8]);
-        }));
+        let err = s.write_at(2, &[0; 8]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = s.read_at(3, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Offset overflow must not wrap.
+        assert!(s.write_at(u64::MAX, &[1]).is_err());
+        // The store is still usable afterwards.
+        s.write_at(0, &[7; 4]).unwrap();
+        assert_eq!(s.read_all().unwrap(), vec![7; 4]);
         std::fs::remove_dir_all(&dir).ok();
-        if let Err(e) = result {
-            std::panic::resume_unwind(e);
-        }
+    }
+
+    #[test]
+    fn scatter_gather_coalesce_adjacent_runs() {
+        let mut s = SubfileStore::create(&StorageBackend::Memory, 0, 0, 24).unwrap();
+        // Runs [0,4) + [4,8) coalesce; [16,20) is separate.
+        let written =
+            s.scatter([(0, 4), (4, 4), (16, 4)], &[1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]).unwrap();
+        assert_eq!(written, 12);
+        let mut out = Vec::new();
+        let read = s.gather([(0, 4), (4, 4), (16, 4)], &mut out).unwrap();
+        assert_eq!(read, 12);
+        assert_eq!(out, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        // Short payload is an error and applies nothing past the runs it covers.
+        assert!(s.scatter([(0, 8)], &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn scatter_gather_on_real_files() {
+        let dir = std::env::temp_dir().join(format!("pf_store_sg_{}", std::process::id()));
+        let backend = StorageBackend::Directory(dir.clone());
+        let mut s = SubfileStore::create(&backend, 0, 0, 16).unwrap();
+        s.scatter([(2, 3), (5, 3), (12, 2)], b"abcdefgh").unwrap();
+        let mut out = Vec::new();
+        s.gather([(2, 6), (12, 2)], &mut out).unwrap();
+        assert_eq!(out, b"abcdefgh");
+        // A failing gather leaves `out` unchanged.
+        let before = out.clone();
+        assert!(s.gather([(15, 4)], &mut out).is_err());
+        assert_eq!(out, before);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

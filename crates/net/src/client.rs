@@ -1,4 +1,4 @@
-//! Per-node client connection with reconnect and retry.
+//! Per-node client connection with reconnect, retry, and chunk streaming.
 //!
 //! A [`NodeClient`] speaks the frame protocol to exactly one I/O-node
 //! daemon. Transport failures on retry-safe requests (everything except
@@ -6,12 +6,34 @@
 //! everything else is naturally idempotent) are retried with capped,
 //! jittered exponential backoff over a fresh connection. Protocol errors
 //! are never retried: the daemon meant them.
+//!
+//! # Version negotiation and chunking
+//!
+//! The client opens every peer optimistically at [`PROTOCOL_VERSION`]. A
+//! daemon that answers `UnsupportedVersion` makes the client step down one
+//! version and re-issue the request transparently; the negotiated version
+//! sticks for the client's lifetime. On protocol ≥ 3 peers, large `Write`
+//! payloads are split into `WriteChunk` frames (bounded by the daemon's
+//! advertised `max_chunk`, learned from a one-time `Ping` probe) with a
+//! small in-flight window, and `Read` requests become `ReadChunk` streams
+//! reassembled locally — callers keep seeing plain `WriteOk`/`Data`
+//! replies either way. `PF_NET_CHUNK` overrides the chunk size (`0`
+//! disables chunking entirely).
 
 use crate::backoff::Backoff;
-use crate::error::NetError;
+use crate::error::{ErrCode, NetError};
 use crate::server::NetStream;
-use crate::wire::{self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::wire::{
+    self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use std::collections::VecDeque;
 use std::time::Duration;
+
+/// In-flight `WriteChunk` frames per connection before the sender waits
+/// for an acknowledgment. Small by design: the point is overlapping the
+/// encode/send of chunk *n+1* with the server's journal+scatter of chunk
+/// *n*, not unbounded buffering.
+pub const CHUNK_WINDOW: usize = 4;
 
 /// Retry/backoff policy for idempotent requests.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +81,18 @@ pub struct NodeClient {
     scratch_out: Vec<u8>,
     /// Recycled reply-frame buffer.
     scratch_in: Vec<u8>,
+    /// Protocol version negotiated with this peer. Starts at
+    /// [`PROTOCOL_VERSION`]; stepped down when the daemon answers
+    /// `UnsupportedVersion`.
+    peer_version: u8,
+    /// The peer's advertised chunk capability (`Pong.max_chunk`), learned
+    /// lazily from the first `Ping` that crosses this client. `None` =
+    /// not yet probed; `Some(0)` = peer does not chunk.
+    peer_max_chunk: Option<u32>,
+    /// `PF_NET_CHUNK` override (or [`with_chunk`](Self::with_chunk)):
+    /// `Some(0)` disables chunking, `Some(n)` caps chunk data at `n`
+    /// bytes, `None` uses the peer's advertised capability.
+    chunk_override: Option<u32>,
 }
 
 impl NodeClient {
@@ -79,7 +113,15 @@ impl NodeClient {
             retry,
             scratch_out: Vec::new(),
             scratch_in: Vec::new(),
+            peer_version: PROTOCOL_VERSION,
+            peer_max_chunk: None,
+            chunk_override: Self::env_chunk(),
         }
+    }
+
+    /// Parses `PF_NET_CHUNK` (bytes; `0` disables chunking).
+    fn env_chunk() -> Option<u32> {
+        std::env::var("PF_NET_CHUNK").ok().and_then(|v| v.trim().parse().ok())
     }
 
     /// FNV-1a over the address: the jitter seed that desynchronizes
@@ -98,10 +140,30 @@ impl NodeClient {
         self
     }
 
+    /// Overrides the chunk size (`Some(0)` disables chunking, `None`
+    /// restores the `PF_NET_CHUNK` / peer-advertised default).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: Option<u32>) -> Self {
+        self.chunk_override = chunk;
+        self
+    }
+
     /// The daemon address this client talks to.
     #[must_use]
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The protocol version negotiated with the peer so far.
+    #[must_use]
+    pub fn negotiated_version(&self) -> u8 {
+        self.peer_version
+    }
+
+    /// The peer's advertised chunk capability, if a `Pong` has been seen.
+    #[must_use]
+    pub fn peer_max_chunk(&self) -> Option<u32> {
+        self.peer_max_chunk
     }
 
     fn connected(&mut self) -> std::io::Result<&mut NetStream> {
@@ -113,60 +175,266 @@ impl NodeClient {
         Ok(self.stream.as_mut().expect("stream just set"))
     }
 
-    /// One request/reply exchange over the current connection. Both the
-    /// encoded request and the reply frame live in per-client scratch
-    /// buffers, so a warm connection does zero per-frame allocation.
-    fn exchange(&mut self, request: &Request) -> Result<Reply, NetError> {
+    /// Sends one request frame at the negotiated version under a fresh
+    /// request id, which is returned. The encode buffer is the per-client
+    /// scratch, so a warm connection does zero per-frame allocation.
+    fn send_request(&mut self, request: &Request) -> Result<u64, NetError> {
         let id = self.next_id;
         self.next_id += 1;
+        let version = self.peer_version;
         let mut payload = std::mem::take(&mut self.scratch_out);
-        request.encode_payload_at_into(PROTOCOL_VERSION, &mut payload);
+        request.encode_payload_at_into(version, &mut payload);
+        let sent = match self.connected() {
+            Ok(stream) => wire::write_frame_at(stream, version, request.opcode(), id, &payload)
+                .map_err(NetError::Io),
+            Err(e) => Err(NetError::Io(e)),
+        };
+        self.scratch_out = payload;
+        sent.map(|()| id)
+    }
+
+    /// Reads one reply frame, which must answer request `id`. Decodes at
+    /// the frame's own version (daemons answer in the version the request
+    /// arrived with). `Pong` capability advertisements are recorded.
+    fn read_reply(&mut self, id: u64) -> Result<Reply, NetError> {
         let mut body = std::mem::take(&mut self.scratch_in);
-        let max_frame = self.max_frame;
-        let result = (|| -> Result<Reply, NetError> {
-            let stream = self.connected()?;
-            wire::write_frame(stream, request.opcode(), id, &payload)?;
-            let frame = match wire::read_frame_buf(stream, max_frame, &mut body) {
-                Ok(f) => f,
-                Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
-                Err(FrameReadError::Closed) => {
-                    return Err(NetError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "daemon closed the connection before replying",
+        let result = Self::read_reply_from(self.stream.as_mut(), self.max_frame, id, &mut body);
+        self.scratch_in = body;
+        if let Ok(Reply::Pong { max_chunk, .. }) = &result {
+            self.peer_max_chunk = Some(*max_chunk);
+        }
+        result
+    }
+
+    fn read_reply_from(
+        stream: Option<&mut NetStream>,
+        max_frame: u32,
+        id: u64,
+        body: &mut Vec<u8>,
+    ) -> Result<Reply, NetError> {
+        let stream = stream.ok_or_else(|| {
+            NetError::Io(std::io::Error::other("connection dropped mid-exchange"))
+        })?;
+        let frame = match wire::read_frame_buf(stream, max_frame, body) {
+            Ok(f) => f,
+            Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+            Err(FrameReadError::Closed) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection before replying",
+                )))
+            }
+            Err(FrameReadError::TooLarge(len)) => {
+                return Err(NetError::BadReply(format!("reply frame of {len} bytes")))
+            }
+            Err(FrameReadError::TooShort(len)) => {
+                return Err(NetError::BadReply(format!("reply frame length {len}")))
+            }
+        };
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&frame.version) {
+            return Err(NetError::BadReply(format!("reply version {}", frame.version)));
+        }
+        // The daemon answers frames with id 0 only when framing broke;
+        // the connection is unusable either way.
+        if frame.request_id != id {
+            return Err(NetError::IdMismatch { sent: id, got: frame.request_id });
+        }
+        Reply::decode_at(frame.version, frame.opcode, frame.payload)
+            .map_err(|e| NetError::BadReply(e.to_string()))
+    }
+
+    /// One request/reply exchange over the current connection.
+    fn exchange(&mut self, request: &Request) -> Result<Reply, NetError> {
+        let id = self.send_request(request)?;
+        self.read_reply(id)
+    }
+
+    /// The chunk data size to use against this peer right now (`0` =
+    /// monolithic frames). Meaningful once the capability probe has run.
+    fn effective_chunk(&self) -> u32 {
+        if self.peer_version < 3 || self.chunk_override == Some(0) {
+            return 0;
+        }
+        let cap = self.peer_max_chunk.unwrap_or(0);
+        if cap == 0 {
+            return 0;
+        }
+        let want = self.chunk_override.unwrap_or(cap).min(cap);
+        want.clamp(1, self.max_frame.saturating_sub(64).max(1))
+    }
+
+    /// Executes one logical request on the wire: a plain exchange, or a
+    /// chunk stream when the request is a large `Write` / any `Read` and
+    /// the negotiated peer supports chunking.
+    fn transact(&mut self, request: &Request) -> Result<Reply, NetError> {
+        let chunkable = matches!(request, Request::Write { .. } | Request::Read { .. });
+        if !chunkable {
+            return self.exchange(request);
+        }
+        if self.peer_version >= 3 && self.chunk_override != Some(0) && self.peer_max_chunk.is_none()
+        {
+            // One-time capability probe. An error reply (e.g.
+            // `UnsupportedVersion` from an older daemon) surfaces to the
+            // caller, which downgrades and re-issues the real request.
+            match self.exchange(&Request::Ping)? {
+                Reply::Pong { .. } => {}
+                reply @ Reply::Error(_) => return Ok(reply),
+                other => return Err(NetError::BadReply(format!("expected Pong, got {other:?}"))),
+            }
+        }
+        let chunk = self.effective_chunk();
+        match request {
+            Request::Write { file, compute, l_s, r_s, session, seq, payload }
+                if chunk > 0 && payload.len() > chunk as usize =>
+            {
+                self.write_chunked(
+                    *file,
+                    *compute,
+                    *l_s,
+                    *r_s,
+                    *session,
+                    *seq,
+                    payload,
+                    chunk as usize,
+                )
+            }
+            Request::Read { file, compute, l_s, r_s } if chunk > 0 => {
+                self.read_chunked(*file, *compute, *l_s, *r_s, chunk)
+            }
+            _ => self.exchange(request),
+        }
+    }
+
+    /// Streams `payload` as `WriteChunk` frames with an in-flight window of
+    /// [`CHUNK_WINDOW`], so the encode/send of the next chunk overlaps the
+    /// daemon's journal+scatter of the previous one. The final chunk is
+    /// acknowledged with the ordinary `WriteOk`.
+    #[allow(clippy::too_many_arguments)]
+    fn write_chunked(
+        &mut self,
+        file: u64,
+        compute: u32,
+        l_s: u64,
+        r_s: u64,
+        session: u64,
+        seq: u64,
+        payload: &[u8],
+        chunk: usize,
+    ) -> Result<Reply, NetError> {
+        let total = payload.len() as u64;
+        let n_chunks = payload.len().div_ceil(chunk).max(1);
+        // (request id, is-final) of sent-but-unacknowledged chunks.
+        let mut pending: VecDeque<(u64, bool)> = VecDeque::with_capacity(CHUNK_WINDOW);
+        let mut next = 0usize;
+        let mut send_err: Option<NetError> = None;
+        let result = loop {
+            while next < n_chunks && pending.len() < CHUNK_WINDOW && send_err.is_none() {
+                let off = next * chunk;
+                let end = (off + chunk).min(payload.len());
+                let last = next + 1 == n_chunks;
+                let req = Request::WriteChunk {
+                    file,
+                    compute,
+                    l_s,
+                    r_s,
+                    session,
+                    seq,
+                    offset: off as u64,
+                    total,
+                    last,
+                    data: payload[off..end].to_vec(),
+                };
+                match self.send_request(&req) {
+                    Ok(id) => {
+                        pending.push_back((id, last));
+                        next += 1;
+                    }
+                    Err(e) => send_err = Some(e),
+                }
+            }
+            let Some((id, last)) = pending.pop_front() else {
+                break Err(send_err.unwrap_or_else(|| {
+                    NetError::Io(std::io::Error::other(
+                        "chunk stream ended with no pending acknowledgment",
+                    ))
+                }));
+            };
+            match self.read_reply(id) {
+                Ok(Reply::ChunkOk { .. }) if !last => {}
+                Ok(reply @ Reply::WriteOk { .. }) if last => break Ok(reply),
+                Ok(err @ Reply::Error(_)) => break Ok(err),
+                Ok(other) => {
+                    break Err(NetError::BadReply(format!(
+                        "chunk stream acknowledged with {other:?}"
                     )))
                 }
-                Err(FrameReadError::TooLarge(len)) => {
-                    return Err(NetError::BadReply(format!("reply frame of {len} bytes")))
-                }
-                Err(FrameReadError::TooShort(len)) => {
-                    return Err(NetError::BadReply(format!("reply frame length {len}")))
-                }
-            };
-            if frame.version != PROTOCOL_VERSION {
-                return Err(NetError::BadReply(format!("reply version {}", frame.version)));
+                Err(e) => break Err(e),
             }
-            // The daemon answers frames with id 0 only when framing broke;
-            // the connection is unusable either way.
-            if frame.request_id != id {
-                return Err(NetError::IdMismatch { sent: id, got: frame.request_id });
-            }
-            Reply::decode(frame.opcode, frame.payload)
-                .map_err(|e| NetError::BadReply(e.to_string()))
-        })();
-        self.scratch_out = payload;
-        self.scratch_in = body;
+        };
+        // Anything but a clean final acknowledgment leaves unanswered
+        // frames on the wire: drop the connection so the next request (or
+        // the retry of this one — dedup makes it exactly-once) resyncs.
+        if !matches!(result, Ok(Reply::WriteOk { .. })) {
+            self.stream = None;
+        }
         result
+    }
+
+    /// Issues a `ReadChunk` and reassembles the streamed `DataChunk`
+    /// replies into a single `Data` payload.
+    fn read_chunked(
+        &mut self,
+        file: u64,
+        compute: u32,
+        l_s: u64,
+        r_s: u64,
+        chunk: u32,
+    ) -> Result<Reply, NetError> {
+        let req = Request::ReadChunk { file, compute, l_s, r_s, max_chunk: chunk };
+        let id = self.send_request(&req)?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.read_reply(id) {
+                Ok(Reply::DataChunk { offset, last, data }) => {
+                    if offset != out.len() as u64 {
+                        self.stream = None;
+                        return Err(NetError::BadReply(format!(
+                            "data chunk at offset {offset}, expected {}",
+                            out.len()
+                        )));
+                    }
+                    out.extend_from_slice(&data);
+                    if last {
+                        return Ok(Reply::Data { payload: out });
+                    }
+                }
+                // An error terminates the stream on the daemon side too, so
+                // the connection stays in sync.
+                Ok(err @ Reply::Error(_)) => return Ok(err),
+                Ok(other) => {
+                    self.stream = None;
+                    return Err(NetError::BadReply(format!("read stream answered with {other:?}")));
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Sends `request` and returns the decoded reply. Transport failures on
     /// retry-safe requests reconnect and retry with capped, jittered
     /// exponential backoff; an `Error` reply is returned as
-    /// [`NetError::Protocol`] without retrying.
+    /// [`NetError::Protocol`] without retrying — except
+    /// `UnsupportedVersion`, which steps the negotiated protocol version
+    /// down and re-issues the request transparently.
     pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
         let attempts = if request.retry_safe() { self.retry.attempts.max(1) } else { 1 };
         self.backoff.reset();
         let mut last_err: Option<NetError> = None;
-        for attempt in 0..attempts {
+        let mut attempt = 0;
+        while attempt < attempts {
             if attempt > 0 {
                 self.backoff.sleep();
             }
@@ -179,10 +447,19 @@ impl NodeClient {
             if fresh {
                 if let Err(e) = self.connected() {
                     last_err = Some(NetError::Io(e));
+                    attempt += 1;
                     continue;
                 }
             }
-            match self.exchange(request) {
+            match self.transact(request) {
+                Ok(Reply::Error(e))
+                    if e.code == ErrCode::UnsupportedVersion
+                        && self.peer_version > MIN_PROTOCOL_VERSION =>
+                {
+                    // The daemon is older than us: negotiate down and
+                    // re-issue without consuming a retry attempt.
+                    self.peer_version -= 1;
+                }
                 Ok(Reply::Error(e)) => return Err(NetError::Protocol(e)),
                 Ok(reply) => return Ok(reply),
                 Err(err @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
@@ -193,6 +470,7 @@ impl NodeClient {
                         self.backoff.reset();
                     }
                     last_err = Some(err);
+                    attempt += 1;
                 }
                 Err(other) => return Err(other),
             }
@@ -243,5 +521,27 @@ mod tests {
         });
         let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
         assert!(matches!(err, NetError::Io(_)), "got {err}");
+    }
+
+    #[test]
+    fn client_downgrades_against_older_daemon() {
+        // A daemon capped at protocol 2 rejects the client's v3 frames; the
+        // client must negotiate down transparently and report no chunking.
+        let config = DaemonConfig { max_version: 2, ..DaemonConfig::default() };
+        let mut handle = serve("127.0.0.1:0", config).expect("bind");
+        let mut client = NodeClient::new(handle.addr());
+        match client.call(&Request::Ping).expect("ping succeeds after downgrade") {
+            Reply::Pong { max_chunk, .. } => assert_eq!(max_chunk, 0, "v2 peers cannot chunk"),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        assert_eq!(client.negotiated_version(), 2);
+        assert_eq!(client.peer_max_chunk(), Some(0));
+        handle.stop();
+    }
+
+    #[test]
+    fn chunk_override_zero_disables_chunking() {
+        let client = NodeClient::new("127.0.0.1:1").with_chunk(Some(0));
+        assert_eq!(client.effective_chunk(), 0);
     }
 }

@@ -33,8 +33,8 @@ pub use backoff::Backoff;
 pub use client::NodeClient;
 pub use error::{ErrCode, NetError, ProtocolError};
 pub use fault::{chaos_proxy, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault};
-pub use server::{serve, DaemonConfig, DaemonHandle, NetListener};
-pub use session::{spawn_loopback, NodeHealth, RedistReport, SegmentOutcome, Session};
+pub use server::{serve, DaemonConfig, DaemonHandle, NetListener, DEFAULT_MAX_CHUNK};
+pub use session::{spawn_loopback, BatchWrite, NodeHealth, RedistReport, SegmentOutcome, Session};
 pub use wire::{
     Reply, Request, StatInfo, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };

@@ -65,6 +65,9 @@ fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Default upper bound on a streamed chunk's data length (256 KiB).
+pub const DEFAULT_MAX_CHUNK: u32 = 256 << 10;
+
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -81,6 +84,14 @@ pub struct DaemonConfig {
     pub dedup_window: usize,
     /// Deterministic fault plan to inject (tests, `pf serve --chaos`).
     pub fault: Option<FaultPlan>,
+    /// Largest chunk data length accepted/advertised for streamed
+    /// transfers (protocol ≥ 3); `Pong` carries this as the chunking
+    /// capability.
+    pub max_chunk: u32,
+    /// Highest protocol version this daemon admits. Production daemons
+    /// leave this at [`PROTOCOL_VERSION`]; tests lower it to emulate an
+    /// older daemon and exercise the client's downgrade negotiation.
+    pub max_version: u8,
 }
 
 impl Default for DaemonConfig {
@@ -92,6 +103,8 @@ impl Default for DaemonConfig {
             read_timeout: Some(Duration::from_secs(30)),
             dedup_window: 1024,
             fault: None,
+            max_chunk: DEFAULT_MAX_CHUNK,
+            max_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -494,6 +507,9 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
     // into and encodes out of the same two allocations.
     let mut read_scratch = Vec::new();
     let mut write_scratch = Vec::new();
+    // In-progress chunked write, if any (one per connection: chunk frames
+    // of a single logical write are sent back to back on one stream).
+    let mut chunk_write: Option<ChunkWrite> = None;
     loop {
         let frame =
             match wire::read_frame_buf(&mut stream, shared.config.max_frame, &mut read_scratch) {
@@ -552,18 +568,52 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
             }
         }
         shared.acquire_slot();
-        let (reply, shutdown) = handle_frame(shared, frame.version, frame.opcode, frame.payload);
+        let handled =
+            handle_frame(shared, &mut chunk_write, frame.version, frame.opcode, frame.payload);
         let crashed = shared.fault_crashed();
+        let mut shutdown = false;
         if !crashed {
             let truncate = shared.fault.as_ref().and_then(|f| f.truncate_reply_at(conn_frames));
-            send_reply(
-                &mut stream,
-                frame_version,
-                frame_request_id,
-                &reply,
-                truncate,
-                &mut write_scratch,
-            );
+            match handled {
+                Handled::One(reply, stop) => {
+                    shutdown = stop;
+                    send_reply(
+                        &mut stream,
+                        frame_version,
+                        frame_request_id,
+                        &reply,
+                        truncate,
+                        &mut write_scratch,
+                    );
+                }
+                Handled::Stream(mut gather) => {
+                    // Stream the gathered bytes as bounded DataChunk frames;
+                    // an injected truncation tears the first frame and
+                    // severs the connection, like any torn reply.
+                    let mut first = true;
+                    loop {
+                        let (reply, last) = gather.next_chunk();
+                        let t = if first { truncate } else { None };
+                        first = false;
+                        send_reply(
+                            &mut stream,
+                            frame_version,
+                            frame_request_id,
+                            &reply,
+                            t,
+                            &mut write_scratch,
+                        );
+                        if t.is_some() {
+                            shared.release_slot();
+                            stream.shutdown_both();
+                            return;
+                        }
+                        if last {
+                            break;
+                        }
+                    }
+                }
+            }
             if truncate.is_some() {
                 shared.release_slot();
                 stream.shutdown_both();
@@ -612,37 +662,61 @@ fn send_reply(
     }
 }
 
-/// Decodes and executes one request. Returns the reply and whether the
-/// daemon should begin shutting down.
-fn handle_frame(shared: &Shared, version: u8, opcode: u8, payload: &[u8]) -> (Reply, bool) {
-    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+/// How one decoded frame is answered.
+enum Handled {
+    /// A single reply, plus whether the daemon should begin shutting down.
+    One(Reply, bool),
+    /// A streamed gather: the connection loop pulls bounded `DataChunk`
+    /// replies until the last one.
+    Stream(ChunkGather),
+}
+
+/// Decodes and executes one request.
+fn handle_frame(
+    shared: &Shared,
+    chunk_write: &mut Option<ChunkWrite>,
+    version: u8,
+    opcode: u8,
+    payload: &[u8],
+) -> Handled {
+    let max_version = shared.config.max_version.min(PROTOCOL_VERSION);
+    if !(MIN_PROTOCOL_VERSION..=max_version).contains(&version) {
         let e = ProtocolError::new(
             ErrCode::UnsupportedVersion,
             format!(
                 "version {version} is not supported (this daemon speaks \
-                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                 {MIN_PROTOCOL_VERSION}..={max_version})"
             ),
         );
-        return (Reply::Error(e), false);
+        return Handled::One(Reply::Error(e), false);
     }
-    if !(op::OPEN..=op::PING).contains(&opcode) {
+    if !(op::OPEN..=op::READ_CHUNK).contains(&opcode) {
         let e = ProtocolError::new(ErrCode::UnknownOp, format!("opcode {opcode:#04x}"));
-        return (Reply::Error(e), false);
+        return Handled::One(Reply::Error(e), false);
     }
     let request = match Request::decode_at(version, opcode, payload) {
         Ok(r) => r,
-        Err(e) => return (Reply::Error(e.into()), false),
+        Err(e) => return Handled::One(Reply::Error(e.into()), false),
     };
     if shared.stopping.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
         let e = ProtocolError::new(ErrCode::ShuttingDown, "daemon is stopping");
-        return (Reply::Error(e), false);
+        return Handled::One(Reply::Error(e), false);
     }
     match request {
         Request::Shutdown => {
             shared.stopping.store(true, Ordering::SeqCst);
-            (Reply::Ok, true)
+            Handled::One(Reply::Ok, true)
         }
-        other => (handle_request(shared, other), false),
+        Request::WriteChunk { .. } => {
+            Handled::One(handle_write_chunk(shared, chunk_write, request), false)
+        }
+        Request::ReadChunk { file, compute, l_s, r_s, max_chunk } => {
+            match prepare_read_chunk(shared, file, compute, l_s, r_s, max_chunk) {
+                Ok(gather) => Handled::Stream(gather),
+                Err(e) => Handled::One(Reply::Error(e), false),
+            }
+        }
+        other => Handled::One(handle_request(shared, other), false),
     }
 }
 
@@ -734,19 +808,30 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                         }
                     }
                 }
-                let torn = shared.fault.as_ref().is_some_and(FaultInjector::on_write_torn);
-                let mut pos = 0usize;
-                for seg in &segs {
-                    let n = seg.len() as usize;
-                    store.write_at(seg.l(), &payload[pos..pos + n]);
-                    pos += n;
-                    if torn {
-                        // Injected crash after the first applied segment:
-                        // the subfile is torn, the journaled intent is not.
-                        // serve_connection suppresses the reply; recovery on
-                        // the next Open must heal the remaining segments.
-                        return Reply::WriteOk { written: expect, replayed: false };
-                    }
+                let torn = shared.fault.as_ref().is_some_and(FaultInjector::on_write_torn)
+                    && !segs.is_empty();
+                let scatter = if torn {
+                    // Injected crash after the first applied segment: the
+                    // subfile is torn, the journaled intent is not.
+                    // serve_connection suppresses the reply; recovery on the
+                    // next Open must heal the remaining segments.
+                    let first = &segs[0];
+                    store.write_at(first.l(), &payload[..first.len() as usize])
+                } else {
+                    // Scatter straight from the frame payload, adjacent
+                    // segment runs coalesced into single positioned writes.
+                    store
+                        .scatter(segs.iter().map(|s| (s.l(), s.len())), &payload[..expect as usize])
+                        .map(|_| ())
+                };
+                if let Err(e) = scatter {
+                    return Reply::Error(ProtocolError::new(
+                        ErrCode::Internal,
+                        format!("scatter write: {e}"),
+                    ));
+                }
+                if torn {
+                    return Reply::WriteOk { written: expect, replayed: false };
                 }
                 lock(&slot.dedup).insert(session, seq, expect);
                 slot.stats.bytes_written.fetch_add(expect, Ordering::Relaxed);
@@ -764,8 +849,12 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                 let r_c = r_s.min(len - 1);
                 let segs = proj.segments_between(l_s, r_c);
                 let mut out = Vec::with_capacity(segs.iter().map(|s| s.len() as usize).sum());
-                for seg in &segs {
-                    out.extend_from_slice(&store.read_at(seg.l(), seg.len()));
+                // Gather with adjacent runs coalesced into single reads.
+                if let Err(e) = store.gather(segs.iter().map(|s| (s.l(), s.len())), &mut out) {
+                    return Reply::Error(ProtocolError::new(
+                        ErrCode::Internal,
+                        format!("gather read: {e}"),
+                    ));
                 }
                 slot.stats.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
                 slot.stats.fragments.fetch_add(segs.len() as u64, Ordering::Relaxed);
@@ -810,14 +899,17 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
         Request::Fetch { file } => match lookup(shared, file) {
             Ok(slot) => {
                 slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let payload = lock(&slot.store).read_all();
-                Reply::Data { payload }
+                match lock(&slot.store).read_all() {
+                    Ok(payload) => Reply::Data { payload },
+                    Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
+                }
             }
             Err(e) => Reply::Error(e),
         },
-        Request::Ping => Reply::Pong { epoch: shared.epoch },
-        // Open/SetView/Write/Read handled above; Shutdown in handle_frame.
-        Request::Shutdown => Reply::Ok,
+        Request::Ping => Reply::Pong { epoch: shared.epoch, max_chunk: shared.config.max_chunk },
+        // Open/SetView/Write/Read handled above; Shutdown and the chunked
+        // requests are dispatched in handle_frame.
+        Request::Shutdown | Request::WriteChunk { .. } | Request::ReadChunk { .. } => Reply::Ok,
     }
 }
 
@@ -932,4 +1024,328 @@ fn with_projection(
         }
     };
     body(&slot, &proj)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked streaming (protocol ≥ 3, DESIGN.md §13)
+
+/// Walks `runs` from a `(run_idx, run_pos)` cursor, taking at most `want`
+/// bytes of `(offset, len)` sub-runs and advancing the cursor.
+fn take_runs(
+    runs: &[(u64, u64)],
+    run_idx: &mut usize,
+    run_pos: &mut u64,
+    mut want: u64,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    while want > 0 && *run_idx < runs.len() {
+        let (off, len) = runs[*run_idx];
+        let n = (len - *run_pos).min(want);
+        out.push((off + *run_pos, n));
+        *run_pos += n;
+        want -= n;
+        if *run_pos == len {
+            *run_idx += 1;
+            *run_pos = 0;
+        }
+    }
+    out
+}
+
+/// One in-progress chunked write on a connection.
+///
+/// Chunk frames of a single logical write arrive back to back; the daemon
+/// applies each chunk's bytes straight into the store as they arrive (the
+/// segment-run cursor advances with the payload), journals each chunk
+/// before applying it, and keeps the `(session, seq)` dedup discipline of
+/// monolithic writes: only the *final* chunk's journal record carries the
+/// stamp, so crash recovery repopulates the dedup window only for writes
+/// whose stream completed — an interrupted stream is re-applied in full by
+/// the client's retry.
+struct ChunkWrite {
+    file: u64,
+    compute: u32,
+    l_s: u64,
+    r_s: u64,
+    session: u64,
+    seq: u64,
+    total: u64,
+    /// Payload bytes received so far (the next chunk's expected offset).
+    received: u64,
+    mode: ChunkMode,
+}
+
+enum ChunkMode {
+    /// Applying chunks into the store as they arrive.
+    Apply {
+        slot: Arc<FileSlot>,
+        /// Clipped projection segment runs `(offset, len)` in payload order.
+        runs: Vec<(u64, u64)>,
+        /// Gathered-payload bytes the runs cover (the `written` answer).
+        expect: u64,
+        /// Payload bytes scattered so far.
+        applied: u64,
+        run_idx: usize,
+        run_pos: u64,
+    },
+    /// The stream's stamp hit the dedup window: acknowledge every chunk
+    /// without touching the store and answer the final chunk with the
+    /// original result.
+    Replay { slot: Arc<FileSlot>, written: u64 },
+    /// The stream failed (validation, journal or storage error): swallow
+    /// the remaining chunks, answering each with the same error.
+    Failed(ProtocolError),
+}
+
+/// Starts the per-connection state for a chunk stream's first frame.
+/// The arguments mirror the `WriteChunk` opening-frame fields one-to-one.
+#[allow(clippy::too_many_arguments)]
+fn start_chunk_write(
+    shared: &Shared,
+    file: u64,
+    compute: u32,
+    l_s: u64,
+    r_s: u64,
+    session: u64,
+    seq: u64,
+    total: u64,
+) -> ChunkWrite {
+    let mk = |mode| ChunkWrite { file, compute, l_s, r_s, session, seq, total, received: 0, mode };
+    let slot = match lookup(shared, file) {
+        Ok(s) => s,
+        Err(e) => return mk(ChunkMode::Failed(e)),
+    };
+    if l_s > r_s {
+        let e = ProtocolError::new(ErrCode::BadRange, format!("interval [{l_s}, {r_s}] is empty"));
+        return mk(ChunkMode::Failed(e));
+    }
+    let proj = match read(&slot.views).get(&compute) {
+        Some(p) => p.clone(),
+        None => {
+            let e = ProtocolError::new(
+                ErrCode::NoView,
+                format!("compute node {compute} has no view on file {file}"),
+            );
+            return mk(ChunkMode::Failed(e));
+        }
+    };
+    if session != 0 {
+        let hit = lock(&slot.dedup).get(session, seq);
+        if let Some(written) = hit {
+            return mk(ChunkMode::Replay { slot, written });
+        }
+    }
+    let len = lock(&slot.store).len();
+    let runs: Vec<(u64, u64)> = if len == 0 || l_s >= len {
+        Vec::new()
+    } else {
+        proj.segments_between(l_s, r_s.min(len - 1)).iter().map(|s| (s.l(), s.len())).collect()
+    };
+    let expect: u64 = runs.iter().map(|&(_, n)| n).sum();
+    if total < expect {
+        let e = ProtocolError::new(
+            ErrCode::SizeMismatch,
+            format!("stream declares {total} bytes, projection needs {expect}"),
+        );
+        return mk(ChunkMode::Failed(e));
+    }
+    mk(ChunkMode::Apply { slot, runs, expect, applied: 0, run_idx: 0, run_pos: 0 })
+}
+
+fn handle_write_chunk(shared: &Shared, state: &mut Option<ChunkWrite>, request: Request) -> Reply {
+    let Request::WriteChunk { file, compute, l_s, r_s, session, seq, offset, total, last, data } =
+        request
+    else {
+        unreachable!("dispatched on opcode");
+    };
+    if offset == 0 {
+        // First chunk of a stream (any abandoned predecessor is dropped —
+        // starting over is the client's resync).
+        *state = Some(start_chunk_write(shared, file, compute, l_s, r_s, session, seq, total));
+    } else {
+        let continues = state.as_ref().is_some_and(|cw| {
+            cw.file == file
+                && cw.compute == compute
+                && cw.l_s == l_s
+                && cw.r_s == r_s
+                && cw.session == session
+                && cw.seq == seq
+                && cw.total == total
+                && cw.received == offset
+        });
+        if !continues {
+            *state = None;
+            return Reply::Error(ProtocolError::new(
+                ErrCode::Malformed,
+                "write chunk does not continue the in-progress stream",
+            ));
+        }
+    }
+    let cw = state.as_mut().expect("stream state installed above");
+    if let ChunkMode::Apply { slot, .. } | ChunkMode::Replay { slot, .. } = &cw.mode {
+        slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    // Stream arithmetic must stay consistent with the declared total.
+    let after = cw.received.checked_add(data.len() as u64);
+    let overrun = after.is_none_or(|v| v > cw.total);
+    let short_final = last && after.is_some_and(|v| v != cw.total);
+    if overrun || short_final {
+        *state = None;
+        return Reply::Error(ProtocolError::new(
+            ErrCode::Malformed,
+            if overrun {
+                "chunk overruns the declared total"
+            } else {
+                "final chunk leaves the stream short"
+            },
+        ));
+    }
+    cw.received += data.len() as u64;
+    let result: Result<Reply, ProtocolError> = match &mut cw.mode {
+        ChunkMode::Failed(e) => Ok(Reply::Error(e.clone())),
+        ChunkMode::Replay { written, .. } => {
+            if last {
+                Ok(Reply::WriteOk { written: *written, replayed: true })
+            } else {
+                Ok(Reply::ChunkOk { offset })
+            }
+        }
+        ChunkMode::Apply { slot, runs, expect, applied, run_idx, run_pos } => {
+            let apply_n = (data.len() as u64).min(*expect - *applied);
+            let sub = take_runs(runs, run_idx, run_pos, apply_n);
+            let stamp = if last { (session, seq) } else { (0, 0) };
+            let journaled: Result<(), ProtocolError> = {
+                let mut journal = lock(&slot.journal);
+                if journal.is_enabled() && (!sub.is_empty() || (last && session != 0)) {
+                    let record = IntentRecord {
+                        session: stamp.0,
+                        seq: stamp.1,
+                        segments: sub.clone(),
+                        payload: data[..apply_n as usize].to_vec(),
+                    };
+                    journal.append(&record).map_err(|e| {
+                        ProtocolError::new(ErrCode::Internal, format!("journal append: {e}"))
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            journaled.and_then(|()| {
+                let mut store = lock(&slot.store);
+                // The injected torn-write fault fires on the stream's first
+                // chunk: apply only the first sub-run, then "crash" (the
+                // reply below is suppressed by serve_connection).
+                let torn = offset == 0
+                    && shared.fault.as_ref().is_some_and(FaultInjector::on_write_torn)
+                    && !sub.is_empty();
+                let scatter = if torn {
+                    let (off0, n0) = sub[0];
+                    store.write_at(off0, &data[..n0 as usize])
+                } else {
+                    store.scatter(sub.iter().copied(), &data[..apply_n as usize]).map(|_| ())
+                };
+                scatter.map_err(|e| {
+                    ProtocolError::new(ErrCode::Internal, format!("scatter write: {e}"))
+                })?;
+                *applied += apply_n;
+                if last && !torn {
+                    lock(&slot.dedup).insert(session, seq, *expect);
+                    slot.stats.bytes_written.fetch_add(*expect, Ordering::Relaxed);
+                    slot.stats.fragments.fetch_add(runs.len() as u64, Ordering::Relaxed);
+                }
+                if last {
+                    Ok(Reply::WriteOk { written: *expect, replayed: false })
+                } else {
+                    Ok(Reply::ChunkOk { offset })
+                }
+            })
+        }
+    };
+    match result {
+        Ok(reply) => {
+            if last {
+                *state = None;
+            }
+            reply
+        }
+        Err(e) => {
+            if last {
+                *state = None;
+            } else {
+                cw.mode = ChunkMode::Failed(e.clone());
+            }
+            Reply::Error(e)
+        }
+    }
+}
+
+/// A streamed gather in progress: [`serve_connection`] pulls bounded
+/// `DataChunk` replies out of it until the last one, so the daemon never
+/// materializes the full gathered payload.
+struct ChunkGather {
+    slot: Arc<FileSlot>,
+    runs: Vec<(u64, u64)>,
+    run_idx: usize,
+    run_pos: u64,
+    total: u64,
+    sent: u64,
+    chunk: u64,
+}
+
+impl ChunkGather {
+    /// Gathers the next chunk. Returns the reply and whether the stream is
+    /// finished (also true when the reply is an error).
+    fn next_chunk(&mut self) -> (Reply, bool) {
+        let want = self.chunk.min(self.total - self.sent);
+        let sub = take_runs(&self.runs, &mut self.run_idx, &mut self.run_pos, want);
+        let mut data = Vec::with_capacity(want as usize);
+        if let Err(e) = lock(&self.slot.store).gather(sub.iter().copied(), &mut data) {
+            let e = ProtocolError::new(ErrCode::Internal, format!("gather read: {e}"));
+            return (Reply::Error(e), true);
+        }
+        let offset = self.sent;
+        self.sent += want;
+        let last = self.sent == self.total;
+        self.slot.stats.bytes_read.fetch_add(want, Ordering::Relaxed);
+        (Reply::DataChunk { offset, last, data }, last)
+    }
+}
+
+fn prepare_read_chunk(
+    shared: &Shared,
+    file: u64,
+    compute: u32,
+    l_s: u64,
+    r_s: u64,
+    max_chunk: u32,
+) -> Result<ChunkGather, ProtocolError> {
+    let slot = lookup(shared, file)?;
+    slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+    if l_s > r_s {
+        return Err(ProtocolError::new(
+            ErrCode::BadRange,
+            format!("interval [{l_s}, {r_s}] is empty"),
+        ));
+    }
+    let proj = read(&slot.views).get(&compute).cloned().ok_or_else(|| {
+        ProtocolError::new(
+            ErrCode::NoView,
+            format!("compute node {compute} has no view on file {file}"),
+        )
+    })?;
+    // Effective chunk size: what the client asked for, capped by the
+    // daemon's own budget, and always small enough that a chunk frame
+    // (header + offset + flag + data) fits the frame budget.
+    let cap = if max_chunk == 0 { shared.config.max_chunk } else { max_chunk };
+    let frame_room = shared.config.max_frame.saturating_sub(64).max(1);
+    let chunk = u64::from(cap.min(shared.config.max_chunk).min(frame_room).max(1));
+    let len = lock(&slot.store).len();
+    let runs: Vec<(u64, u64)> = if len == 0 || l_s >= len {
+        Vec::new()
+    } else {
+        proj.segments_between(l_s, r_s.min(len - 1)).iter().map(|s| (s.l(), s.len())).collect()
+    };
+    let total: u64 = runs.iter().map(|&(_, n)| n).sum();
+    slot.stats.fragments.fetch_add(runs.len() as u64, Ordering::Relaxed);
+    Ok(ChunkGather { slot, runs, run_idx: 0, run_pos: 0, total, sent: 0, chunk })
 }

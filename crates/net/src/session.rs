@@ -34,14 +34,84 @@ use parafile::mapping::Mapper;
 use parafile::model::Partition;
 use parafile_audit::{RawFalls, RawPattern};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::SystemTime;
 
-/// Locks a node client, recovering from poisoning (a panicked fan-out
-/// thread must not wedge the whole session).
+/// Locks a node client, recovering from poisoning (a panicked worker or
+/// caller must not wedge the whole session).
 fn lock(m: &Mutex<NodeClient>) -> MutexGuard<'_, NodeClient> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Depth of each node worker's request queue. Deep enough to pipeline a
+/// burst of batched writes per node, bounded so a stalled daemon
+/// back-pressures the submitter instead of buffering without limit.
+const WORKER_QUEUE_DEPTH: usize = 16;
+
+/// Where a worker's reply lands.
+type ReplySlot = Receiver<Result<Reply, NetError>>;
+
+/// One queued request and the slot its reply goes to. The reply channel
+/// has capacity 1 and receives exactly one message, so a worker never
+/// blocks handing a reply back — even if the collector already gave up.
+struct Job {
+    request: Request,
+    reply: SyncSender<Result<Reply, NetError>>,
+}
+
+/// A persistent per-node dispatcher: one OS thread owning the queue end
+/// for its node, serializing requests onto the shared [`NodeClient`] (and
+/// so reusing its warm connection and backoff state across calls).
+struct Worker {
+    /// Bounded job queue; dropping it is the shutdown signal.
+    tx: Option<SyncSender<Job>>,
+    /// The worker thread, joined on drop.
+    handle: Option<JoinHandle<()>>,
+    /// Test hook: arms the worker to panic before its next job, to
+    /// exercise the lost-worker degradation path.
+    #[cfg_attr(not(test), allow(dead_code))]
+    panic_next: Arc<AtomicBool>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            // A panicked worker joins with an error that was already
+            // accounted for (its jobs surfaced as lost).
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The error surfaced when a worker thread died under a request: an
+/// `Io`-class failure, so write reporting degrades it to
+/// [`SegmentOutcome::Unreachable`] exactly like a dead connection.
+fn worker_lost(node: usize) -> NetError {
+    NetError::Io(std::io::Error::other(format!("node {node} worker thread panicked")))
+}
+
+/// Starts the persistent dispatch thread for `node`.
+fn spawn_worker(node: usize, client: Arc<Mutex<NodeClient>>) -> Worker {
+    let panic_next = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&panic_next);
+    let (tx, rx) = mpsc::sync_channel::<Job>(WORKER_QUEUE_DEPTH);
+    let handle = std::thread::Builder::new()
+        .name(format!("pf-node-{node}"))
+        .spawn(move || {
+            for job in rx {
+                assert!(!flag.swap(false, Ordering::SeqCst), "injected worker panic");
+                let result = lock(&client).call(&job.request);
+                // The collector may have abandoned this job (a fatal error
+                // on another node): a closed reply slot is not our problem.
+                let _ = job.reply.send(result);
+            }
+        })
+        .expect("spawn node worker thread");
+    Worker { tx: Some(tx), handle: Some(handle), panic_next }
 }
 
 struct ViewState {
@@ -142,8 +212,16 @@ impl RedistReport {
 
 /// A compute node's connection to a set of I/O-node daemons, one subfile
 /// per daemon (daemon order = subfile order).
+///
+/// Dispatch is pipelined: every node has a persistent worker thread
+/// owning its end of a bounded request queue, so fan-outs reuse warm
+/// connections and overlap encode/send/recv across nodes without
+/// spawning threads per call. Recovery paths (`reopen`, `reestablish`,
+/// …) lock the shared per-node client directly between fan-outs.
 pub struct Session {
-    nodes: Vec<Mutex<NodeClient>>,
+    nodes: Vec<Arc<Mutex<NodeClient>>>,
+    /// Persistent per-node dispatch workers, index-aligned with `nodes`.
+    workers: Vec<Worker>,
     files: HashMap<u64, FileState>,
     /// This session's retry-stamp namespace (nonzero; 0 is the unstamped
     /// wire sentinel).
@@ -160,6 +238,18 @@ struct Outgoing {
     request: Request,
 }
 
+/// One logical write of a [`Session::write_batch`]: a view interval and
+/// its bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWrite<'a> {
+    /// First view offset of the interval.
+    pub lo_v: u64,
+    /// Last view offset of the interval.
+    pub hi_v: u64,
+    /// The interval's bytes (`hi_v - lo_v + 1` of them).
+    pub data: &'a [u8],
+}
+
 impl Session {
     /// Connects lazily to one daemon per address (`host:port` or
     /// `unix:/path`); address order defines subfile order.
@@ -171,8 +261,16 @@ impl Session {
             .duration_since(SystemTime::UNIX_EPOCH)
             .map_or(0, |d| d.as_nanos() as u64)
             ^ (u64::from(std::process::id()) << 32);
+        let nodes: Vec<Arc<Mutex<NodeClient>>> =
+            addrs.iter().map(|a| Arc::new(Mutex::new(NodeClient::new(a)))).collect();
+        let workers = nodes
+            .iter()
+            .enumerate()
+            .map(|(s, client)| spawn_worker(s, Arc::clone(client)))
+            .collect();
         Self {
-            nodes: addrs.iter().map(|a| Mutex::new(NodeClient::new(a))).collect(),
+            nodes,
+            workers,
             files: HashMap::new(),
             session_id: session_id.max(1),
             next_seq: AtomicU64::new(1),
@@ -186,29 +284,79 @@ impl Session {
         self.nodes.len()
     }
 
-    /// Fans `requests` out to their nodes concurrently and returns the
-    /// replies in the same order.
-    fn fan_out(&self, requests: Vec<Outgoing>) -> Vec<(usize, Result<Reply, NetError>)> {
+    /// Replaces a dead worker with a fresh one. The shared client — and so
+    /// the warm connection and backoff state — carries over; assigning over
+    /// the old [`Worker`] joins its (already finished) thread.
+    fn respawn(&mut self, node: usize) {
+        self.workers[node] = spawn_worker(node, Arc::clone(&self.nodes[node]));
+    }
+
+    /// Enqueues one request on `node`'s worker, respawning it once if the
+    /// queue is closed (an earlier job panicked the thread). Returns the
+    /// slot the reply will arrive on; blocks only when the node's bounded
+    /// queue is full.
+    fn submit(&mut self, node: usize, request: Request) -> Result<ReplySlot, NetError> {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        let mut job = Job { request, reply: rtx };
+        for respawned in [false, true] {
+            if respawned {
+                self.respawn(node);
+            }
+            match self.workers[node].tx.as_ref().expect("worker queue open").send(job) {
+                Ok(()) => return Ok(rrx),
+                Err(mpsc::SendError(j)) => job = j,
+            }
+        }
+        Err(worker_lost(node))
+    }
+
+    /// Collects one submitted reply. A worker that died under the job (its
+    /// reply slot closed without a message) is respawned and surfaced as a
+    /// lost-worker transport error.
+    fn collect(
+        &mut self,
+        node: usize,
+        slot: Result<ReplySlot, NetError>,
+    ) -> Result<Reply, NetError> {
+        match slot {
+            Ok(rx) => match rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => {
+                    self.respawn(node);
+                    Err(worker_lost(node))
+                }
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fans `requests` out to their nodes' workers concurrently and
+    /// returns the replies in the same order.
+    fn fan_out(&mut self, requests: Vec<Outgoing>) -> Vec<(usize, Result<Reply, NetError>)> {
         if requests.len() == 1 {
-            // Skip thread spawn for the single-target case.
+            // Skip the queue round trip for the single-target case.
             let Outgoing { node, request } = requests.into_iter().next().expect("one request");
             let reply = lock(&self.nodes[node]).call(&request);
             return vec![(node, reply)];
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = requests
-                .into_iter()
-                .map(|Outgoing { node, request }| {
-                    let client = &self.nodes[node];
-                    scope.spawn(move || (node, lock(client).call(&request)))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("fan-out thread")).collect()
-        })
+        let submitted: Vec<(usize, Result<ReplySlot, NetError>)> = requests
+            .into_iter()
+            .map(|Outgoing { node, request }| {
+                let slot = self.submit(node, request);
+                (node, slot)
+            })
+            .collect();
+        submitted
+            .into_iter()
+            .map(|(node, slot)| {
+                let reply = self.collect(node, slot);
+                (node, reply)
+            })
+            .collect()
     }
 
     /// Like [`fan_out`](Self::fan_out) but every reply must be `Ok`.
-    fn fan_out_ok(&self, requests: Vec<Outgoing>) -> Result<(), NetError> {
+    fn fan_out_ok(&mut self, requests: Vec<Outgoing>) -> Result<(), NetError> {
         for (_, reply) in self.fan_out(requests) {
             match reply? {
                 Reply::Ok => {}
@@ -373,13 +521,78 @@ impl Session {
         hi_v: u64,
         data: &[u8],
     ) -> Result<RedistReport, NetError> {
-        if lo_v > hi_v || data.len() as u64 != hi_v - lo_v + 1 {
-            return Err(NetError::Usage(format!(
-                "data holds {} bytes but the interval [{lo_v}, {hi_v}] needs {}",
-                data.len(),
-                hi_v.saturating_sub(lo_v).saturating_add(1),
-            )));
+        let mut reports = self.write_batch(compute, file, &[BatchWrite { lo_v, hi_v, data }])?;
+        Ok(reports.pop().expect("one op in, one report out"))
+    }
+
+    /// Pipelines several logical writes through the per-node worker
+    /// queues: every op's per-node messages are enqueued back to back
+    /// before any reply is collected, so each node's worker streams the
+    /// whole batch over its warm connection without a per-op barrier.
+    /// Returns one [`RedistReport`] per op, in op order, with the same
+    /// degradation semantics as [`write_report`](Self::write_report).
+    pub fn write_batch(
+        &mut self,
+        compute: u32,
+        file: u64,
+        ops: &[BatchWrite<'_>],
+    ) -> Result<Vec<RedistReport>, NetError> {
+        // Validate and build every op's per-node requests up front (the
+        // paper's t_m and t_g phases), so the submit phase below is pure
+        // dispatch.
+        let mut built = Vec::with_capacity(ops.len());
+        for op in ops {
+            if op.lo_v > op.hi_v || op.data.len() as u64 != op.hi_v - op.lo_v + 1 {
+                return Err(NetError::Usage(format!(
+                    "data holds {} bytes but the interval [{}, {}] needs {}",
+                    op.data.len(),
+                    op.lo_v,
+                    op.hi_v,
+                    op.hi_v.saturating_sub(op.lo_v).saturating_add(1),
+                )));
+            }
+            built.push(self.build_write(compute, file, op.lo_v, op.hi_v, op.data)?);
         }
+        // Dispatch phase: enqueue everything before collecting anything.
+        let mut pending = Vec::with_capacity(built.len());
+        for (report, requests) in built {
+            let waits: Vec<(usize, Result<ReplySlot, NetError>)> = requests
+                .into_iter()
+                .map(|Outgoing { node, request }| {
+                    let slot = self.submit(node, request);
+                    (node, slot)
+                })
+                .collect();
+            pending.push((report, waits));
+        }
+        // Collect phase, in op order (workers answer each node's jobs in
+        // FIFO order, so op k's reply on a node precedes op k+1's).
+        let mut out = Vec::with_capacity(pending.len());
+        for ((mut report, waits), op) in pending.into_iter().zip(ops) {
+            for (node, slot) in waits {
+                let reply = self.collect(node, slot);
+                let outcome =
+                    self.write_outcome(node, compute, file, op.lo_v, op.hi_v, op.data, reply)?;
+                report.written += outcome.written();
+                report.outcomes.push((node, outcome));
+            }
+            report.outcomes.sort_unstable_by_key(|&(n, _)| n);
+            out.push(report);
+        }
+        Ok(out)
+    }
+
+    /// Builds one logical write's per-node messages: map the extremities,
+    /// gather the view bytes, stamp the dedup sequence. Dead nodes are
+    /// pre-reported unreachable and get no message.
+    fn build_write(
+        &self,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+        data: &[u8],
+    ) -> Result<(RedistReport, Vec<Outgoing>), NetError> {
         let session = self.session_id;
         let (st, vs) = self.view(file, compute)?;
         let mut requests = Vec::new();
@@ -415,46 +628,53 @@ impl Session {
                 request: Request::Write { file, compute, l_s, r_s, session, seq, payload },
             });
         }
-        for (node, reply) in self.fan_out(requests) {
-            let outcome = match reply {
-                Ok(Reply::WriteOk { written, replayed: false }) => {
-                    SegmentOutcome::Applied { written }
-                }
-                Ok(Reply::WriteOk { written, replayed: true }) => {
-                    SegmentOutcome::Replayed { written }
-                }
-                Ok(other) => {
-                    return Err(NetError::BadReply(format!(
-                        "node {node}: expected WriteOk, got {other:?}"
-                    )))
-                }
-                Err(NetError::Protocol(e))
-                    if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
-                {
-                    // The daemon restarted and forgot this session's state:
-                    // re-open the subfile, re-ship the view, retry once.
-                    match self.recover_write(node, compute, file, lo_v, hi_v, data) {
-                        Ok(written) => SegmentOutcome::Recovered { written },
-                        Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
-                            self.health[node] = NodeHealth::Dead;
-                            SegmentOutcome::Unreachable
-                        }
-                        Err(other) => return Err(other),
+        Ok((report, requests))
+    }
+
+    /// Maps one node's write reply to its segment outcome, driving restart
+    /// recovery and dead-node bookkeeping on the way.
+    #[allow(clippy::too_many_arguments)]
+    fn write_outcome(
+        &mut self,
+        node: usize,
+        compute: u32,
+        file: u64,
+        lo_v: u64,
+        hi_v: u64,
+        data: &[u8],
+        reply: Result<Reply, NetError>,
+    ) -> Result<SegmentOutcome, NetError> {
+        Ok(match reply {
+            Ok(Reply::WriteOk { written, replayed: false }) => SegmentOutcome::Applied { written },
+            Ok(Reply::WriteOk { written, replayed: true }) => SegmentOutcome::Replayed { written },
+            Ok(other) => {
+                return Err(NetError::BadReply(format!(
+                    "node {node}: expected WriteOk, got {other:?}"
+                )))
+            }
+            Err(NetError::Protocol(e))
+                if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
+            {
+                // The daemon restarted and forgot this session's state:
+                // re-open the subfile, re-ship the view, retry once.
+                match self.recover_write(node, compute, file, lo_v, hi_v, data) {
+                    Ok(written) => SegmentOutcome::Recovered { written },
+                    Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                        self.health[node] = NodeHealth::Dead;
+                        SegmentOutcome::Unreachable
                     }
+                    Err(other) => return Err(other),
                 }
-                Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
-                    // The node stayed down through the client's whole retry
-                    // schedule: mark it dead so later writes fail fast.
-                    self.health[node] = NodeHealth::Dead;
-                    SegmentOutcome::Unreachable
-                }
-                Err(other) => return Err(other),
-            };
-            report.written += outcome.written();
-            report.outcomes.push((node, outcome));
-        }
-        report.outcomes.sort_unstable_by_key(|&(n, _)| n);
-        Ok(report)
+            }
+            Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                // The node stayed down through the client's whole retry
+                // schedule (or its worker died): mark it dead so later
+                // writes fail fast until a probe revives it.
+                self.health[node] = NodeHealth::Dead;
+                SegmentOutcome::Unreachable
+            }
+            Err(other) => return Err(other),
+        })
     }
 
     /// Re-`Open`s `file`'s subfile on node `node` with the session's cached
@@ -539,7 +759,7 @@ impl Session {
         );
         for (node, reply) in replies {
             self.health[node] = match reply {
-                Ok(Reply::Pong { epoch }) => NodeHealth::Alive { epoch },
+                Ok(Reply::Pong { epoch, .. }) => NodeHealth::Alive { epoch },
                 // A daemon that answers at all is alive, even a v1 one that
                 // rejects Ping as malformed.
                 Ok(_) | Err(NetError::Protocol(_)) => NodeHealth::Alive { epoch: 0 },
@@ -803,4 +1023,98 @@ pub fn spawn_loopback(
         handles.push(handle);
     }
     Ok((handles, addrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arraydist::matrix::MatrixLayout;
+
+    /// 8×8 matrix, column-block physical over 2 nodes, row-block view —
+    /// element 0's full view interval `[0, 31]` intersects both subfiles.
+    fn two_node_session() -> (Vec<DaemonHandle>, Session) {
+        let physical = MatrixLayout::ColumnBlocks.partition(8, 8, 1, 2);
+        let logical = MatrixLayout::RowBlocks.partition(8, 8, 1, 2);
+        let (handles, addrs) =
+            spawn_loopback(2, StorageBackend::Memory).expect("spawn loopback daemons");
+        let mut session = Session::connect(&addrs);
+        session.create_file(1, physical, 64).expect("create file");
+        session.set_view(0, 1, &logical, 0).expect("set view");
+        (handles, session)
+    }
+
+    #[test]
+    fn poisoned_node_mutex_does_not_wedge_the_session() {
+        let (mut handles, mut session) = two_node_session();
+        session.write(0, 1, 0, 31, &[0x11; 32]).expect("write before poisoning");
+        // Poison node 0's client mutex the way a panicking caller would.
+        let client = Arc::clone(&session.nodes[0]);
+        let _ = std::thread::spawn(move || {
+            let _guard = client.lock().unwrap();
+            panic!("poison the client mutex");
+        })
+        .join();
+        assert!(session.nodes[0].is_poisoned(), "the mutex must actually be poisoned");
+        session.write(0, 1, 0, 31, &[0x22; 32]).expect("write after poisoning still works");
+        assert_eq!(session.read(0, 1, 0, 31).expect("read back"), vec![0x22; 32]);
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn panicked_worker_degrades_to_unreachable_then_recovers() {
+        let (mut handles, mut session) = two_node_session();
+        // Arm node 0's worker to panic on its next job: the write must
+        // degrade that node to Unreachable instead of panicking the call.
+        session.workers[0].panic_next.store(true, Ordering::SeqCst);
+        let report = session.write_report(0, 1, 0, 31, &[0x33; 32]).expect("degraded write");
+        assert_eq!(report.unreachable(), vec![0]);
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|&(n, o)| n == 1 && matches!(o, SegmentOutcome::Applied { .. })),
+            "node 1 must still apply its segments: {report:?}"
+        );
+        // The worker was respawned on the spot; a probe revives the node
+        // and the next write goes through end to end.
+        assert!(session.probe().iter().all(|h| matches!(h, NodeHealth::Alive { .. })));
+        let report = session.write_report(0, 1, 0, 31, &[0x44; 32]).expect("write after respawn");
+        assert!(report.fully_applied(), "{report:?}");
+        assert_eq!(session.read(0, 1, 0, 31).expect("read back"), vec![0x44; 32]);
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn write_batch_pipelines_and_matches_sequential_writes() {
+        // 4 nodes, row-block view over column-block physical: every 16-byte
+        // row write scatters 4 bytes to each of the 4 nodes, and the batch
+        // queues 4 such ops back to back per node worker.
+        let physical = MatrixLayout::ColumnBlocks.partition(16, 16, 1, 4);
+        let logical = MatrixLayout::RowBlocks.partition(16, 16, 1, 4);
+        let (mut handles, addrs) =
+            spawn_loopback(4, StorageBackend::Memory).expect("spawn loopback daemons");
+        let mut session = Session::connect(&addrs);
+        session.create_file(9, physical, 256).expect("create file");
+        session.set_view(0, 9, &logical, 0).expect("set view");
+        let rows: Vec<(u64, u64, Vec<u8>)> =
+            (0..4u64).map(|i| (i * 16, i * 16 + 15, vec![0x50 + i as u8; 16])).collect();
+        let ops: Vec<BatchWrite<'_>> =
+            rows.iter().map(|(lo, hi, d)| BatchWrite { lo_v: *lo, hi_v: *hi, data: d }).collect();
+        let reports = session.write_batch(0, 9, &ops).expect("batched write");
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(RedistReport::fully_applied), "{reports:?}");
+        for (lo, hi, d) in &rows {
+            assert_eq!(&session.read(0, 9, *lo, *hi).expect("read row back"), d);
+        }
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
 }

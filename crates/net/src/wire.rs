@@ -31,10 +31,13 @@ use std::io::{Read, Write};
 /// Version 2 is version 1 plus **additive** fault-tolerance fields (see
 /// DESIGN.md §11 for the bump rules): a `(session, seq)` retry stamp on
 /// `Write`, a `replayed` flag on `WriteOk`, and the `Ping`/`Pong` health
-/// probe. Daemons keep speaking every version down to
-/// [`MIN_PROTOCOL_VERSION`] and always answer in the version the request
-/// arrived with.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// probe. Version 3 adds **chunked streaming** (DESIGN.md §13): the
+/// `WriteChunk`/`ReadChunk` requests, the `ChunkOk`/`DataChunk` replies,
+/// and a `max_chunk` capability field on `Pong` so clients can negotiate
+/// chunking down to monolithic frames against older daemons. Daemons keep
+/// speaking every version down to [`MIN_PROTOCOL_VERSION`] and always
+/// answer in the version the request arrived with.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Oldest protocol version daemons still accept.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -71,6 +74,10 @@ pub mod op {
     pub const SHUTDOWN: u8 = 0x08;
     /// Liveness/health probe (protocol ≥ 2).
     pub const PING: u8 = 0x09;
+    /// One bounded chunk of a streamed scatter write (protocol ≥ 3).
+    pub const WRITE_CHUNK: u8 = 0x0A;
+    /// Gather request answered as a stream of bounded chunks (protocol ≥ 3).
+    pub const READ_CHUNK: u8 = 0x0B;
     /// Success, no payload.
     pub const R_OK: u8 = 0x80;
     /// Write acknowledgment with the byte count actually stored.
@@ -81,6 +88,10 @@ pub mod op {
     pub const R_STAT: u8 = 0x83;
     /// Health probe answer with the daemon's boot epoch (protocol ≥ 2).
     pub const R_PONG: u8 = 0x84;
+    /// Acknowledgment of one non-final write chunk (protocol ≥ 3).
+    pub const R_CHUNK_OK: u8 = 0x85;
+    /// One bounded chunk of a streamed gather reply (protocol ≥ 3).
+    pub const R_DATA_CHUNK: u8 = 0x86;
     /// Typed protocol error.
     pub const R_ERROR: u8 = 0xFF;
 }
@@ -393,6 +404,54 @@ pub enum Request {
     /// Liveness/health probe (protocol ≥ 2). Answered with `Pong` carrying
     /// the daemon's boot epoch, so clients can detect restarts.
     Ping,
+    /// One bounded chunk of a streamed scatter write (protocol ≥ 3).
+    ///
+    /// A chunked write is the same logical operation as [`Request::Write`]:
+    /// the gathered payload of `[l_s, r_s]` is split into frames of at most
+    /// the negotiated chunk size, each carrying its byte `offset` into the
+    /// gathered payload and the declared `total` length. The daemon applies
+    /// each chunk straight into the store as it arrives, acknowledges
+    /// non-final chunks with `ChunkOk` and the final chunk (`last`) with the
+    /// ordinary `WriteOk`. The `(session, seq)` stamp dedups exactly like a
+    /// monolithic write — a replayed stream is acknowledged without
+    /// re-applying.
+    WriteChunk {
+        /// File identifier.
+        file: u64,
+        /// Compute node whose registered projection drives the scatter.
+        compute: u32,
+        /// First subfile-linear offset of the access interval.
+        l_s: u64,
+        /// Last subfile-linear offset of the access interval.
+        r_s: u64,
+        /// Retry-dedup session stamp (0 = unstamped).
+        session: u64,
+        /// Retry-dedup sequence number within `session`.
+        seq: u64,
+        /// Byte offset of `data` within the gathered payload.
+        offset: u64,
+        /// Total gathered payload length of the whole logical write.
+        total: u64,
+        /// Whether this is the final chunk of the stream.
+        last: bool,
+        /// This chunk's slice of the gathered payload.
+        data: Vec<u8>,
+    },
+    /// Gather the projected segments of `[l_s, r_s]`, streamed back as
+    /// `DataChunk` replies of at most `max_chunk` bytes each (protocol ≥ 3).
+    ReadChunk {
+        /// File identifier.
+        file: u64,
+        /// Compute node whose registered projection drives the gather.
+        compute: u32,
+        /// First subfile-linear offset.
+        l_s: u64,
+        /// Last subfile-linear offset.
+        r_s: u64,
+        /// Upper bound on each reply chunk's data length (the daemon may
+        /// answer with smaller chunks, never larger).
+        max_chunk: u32,
+    },
 }
 
 impl Request {
@@ -409,6 +468,8 @@ impl Request {
             Request::Fetch { .. } => op::FETCH,
             Request::Shutdown => op::SHUTDOWN,
             Request::Ping => op::PING,
+            Request::WriteChunk { .. } => op::WRITE_CHUNK,
+            Request::ReadChunk { .. } => op::READ_CHUNK,
         }
     }
 
@@ -480,6 +541,36 @@ impl Request {
                 put_u64(out, *file);
             }
             Request::Shutdown | Request::Ping => {}
+            Request::WriteChunk {
+                file,
+                compute,
+                l_s,
+                r_s,
+                session,
+                seq,
+                offset,
+                total,
+                last,
+                data,
+            } => {
+                put_u64(out, *file);
+                put_u32(out, *compute);
+                put_u64(out, *l_s);
+                put_u64(out, *r_s);
+                put_u64(out, *session);
+                put_u64(out, *seq);
+                put_u64(out, *offset);
+                put_u64(out, *total);
+                out.push(u8::from(*last));
+                out.extend_from_slice(data);
+            }
+            Request::ReadChunk { file, compute, l_s, r_s, max_chunk } => {
+                put_u64(out, *file);
+                put_u32(out, *compute);
+                put_u64(out, *l_s);
+                put_u64(out, *r_s);
+                put_u32(out, *max_chunk);
+            }
         }
     }
 
@@ -520,6 +611,41 @@ impl Request {
             op::FETCH => Request::Fetch { file: c.u64()? },
             op::SHUTDOWN => Request::Shutdown,
             op::PING if version >= 2 => Request::Ping,
+            op::WRITE_CHUNK if version >= 3 => {
+                let file = c.u64()?;
+                let compute = c.u32()?;
+                let l_s = c.u64()?;
+                let r_s = c.u64()?;
+                let session = c.u64()?;
+                let seq = c.u64()?;
+                let offset = c.u64()?;
+                let total = c.u64()?;
+                let last = match c.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadValue("last flag")),
+                };
+                let data = c.rest();
+                return Ok(Request::WriteChunk {
+                    file,
+                    compute,
+                    l_s,
+                    r_s,
+                    session,
+                    seq,
+                    offset,
+                    total,
+                    last,
+                    data,
+                });
+            }
+            op::READ_CHUNK if version >= 3 => Request::ReadChunk {
+                file: c.u64()?,
+                compute: c.u32()?,
+                l_s: c.u64()?,
+                r_s: c.u64()?,
+                max_chunk: c.u32()?,
+            },
             _ => return Err(WireError::BadValue("opcode")),
         };
         c.finish()?;
@@ -576,6 +702,25 @@ pub enum Reply {
         /// client distinguish "same daemon, slow" from "daemon restarted
         /// and lost its volatile state".
         epoch: u64,
+        /// Largest chunk data length the daemon accepts per streamed frame
+        /// (protocol ≥ 3; `0` on older connections = chunking unsupported).
+        max_chunk: u32,
+    },
+    /// Acknowledgment of one non-final write chunk (protocol ≥ 3).
+    ChunkOk {
+        /// Echo of the acknowledged chunk's payload offset.
+        offset: u64,
+    },
+    /// One bounded chunk of a streamed gather (protocol ≥ 3). The daemon
+    /// answers a `ReadChunk` with one or more of these under the same
+    /// request id; `last` marks the final frame.
+    DataChunk {
+        /// Byte offset of `data` within the gathered payload.
+        offset: u64,
+        /// Whether this is the final chunk of the stream.
+        last: bool,
+        /// This chunk's slice of the gathered payload.
+        data: Vec<u8>,
     },
     /// Typed protocol error.
     Error(ProtocolError),
@@ -591,6 +736,8 @@ impl Reply {
             Reply::Data { .. } => op::R_DATA,
             Reply::Stat(_) => op::R_STAT,
             Reply::Pong { .. } => op::R_PONG,
+            Reply::ChunkOk { .. } => op::R_CHUNK_OK,
+            Reply::DataChunk { .. } => op::R_DATA_CHUNK,
             Reply::Error(_) => op::R_ERROR,
         }
     }
@@ -623,7 +770,18 @@ impl Reply {
                 }
             }
             Reply::Data { payload } => out.extend_from_slice(payload),
-            Reply::Pong { epoch } => put_u64(out, *epoch),
+            Reply::Pong { epoch, max_chunk } => {
+                put_u64(out, *epoch);
+                if version >= 3 {
+                    put_u32(out, *max_chunk);
+                }
+            }
+            Reply::ChunkOk { offset } => put_u64(out, *offset),
+            Reply::DataChunk { offset, last, data } => {
+                put_u64(out, *offset);
+                out.push(u8::from(*last));
+                out.extend_from_slice(data);
+            }
             Reply::Stat(s) => {
                 put_u64(out, s.len);
                 put_u64(out, s.views);
@@ -667,7 +825,21 @@ impl Reply {
                 };
                 Reply::WriteOk { written, replayed }
             }
-            op::R_PONG if version >= 2 => Reply::Pong { epoch: c.u64()? },
+            op::R_PONG if version >= 2 => {
+                let epoch = c.u64()?;
+                let max_chunk = if version >= 3 { c.u32()? } else { 0 };
+                Reply::Pong { epoch, max_chunk }
+            }
+            op::R_CHUNK_OK if version >= 3 => Reply::ChunkOk { offset: c.u64()? },
+            op::R_DATA_CHUNK if version >= 3 => {
+                let offset = c.u64()?;
+                let last = match c.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadValue("last flag")),
+                };
+                return Ok(Reply::DataChunk { offset, last, data: c.rest() });
+            }
             op::R_DATA => return Ok(Reply::Data { payload: c.rest() }),
             op::R_STAT => Reply::Stat(StatInfo {
                 len: c.u64()?,
@@ -869,6 +1041,19 @@ mod tests {
             Request::Fetch { file: 7 },
             Request::Shutdown,
             Request::Ping,
+            Request::WriteChunk {
+                file: 7,
+                compute: 1,
+                l_s: 3,
+                r_s: 90,
+                session: 11,
+                seq: 4,
+                offset: 4096,
+                total: 8192,
+                last: true,
+                data: vec![9, 8, 7],
+            },
+            Request::ReadChunk { file: 7, compute: 1, l_s: 0, r_s: 31, max_chunk: 4096 },
         ];
         for req in reqs {
             let payload = req.encode_payload();
@@ -904,12 +1089,39 @@ mod tests {
     }
 
     #[test]
+    fn v2_frames_have_no_chunk_messages() {
+        // Chunk opcodes are version-3 additions; v2 rejects them.
+        for opc in [op::WRITE_CHUNK, op::READ_CHUNK] {
+            assert_eq!(Request::decode_at(2, opc, &[0; 64]), Err(WireError::BadValue("opcode")));
+        }
+        for opc in [op::R_CHUNK_OK, op::R_DATA_CHUNK] {
+            assert_eq!(Reply::decode_at(2, opc, &[0; 16]), Err(WireError::BadValue("opcode")));
+        }
+        // A v2 Pong is just the epoch; decoding it as v2 leaves the
+        // capability field at its "no chunking" default.
+        let pong = Reply::Pong { epoch: 9, max_chunk: 4096 };
+        let v2 = pong.encode_payload_at(2);
+        assert_eq!(v2.len(), 8);
+        assert_eq!(
+            Reply::decode_at(2, op::R_PONG, &v2).unwrap(),
+            Reply::Pong { epoch: 9, max_chunk: 0 }
+        );
+        // v3 carries it through.
+        let v3 = pong.encode_payload_at(3);
+        assert_eq!(v3.len(), 12);
+        assert_eq!(Reply::decode_at(3, op::R_PONG, &v3).unwrap(), pong);
+    }
+
+    #[test]
     fn replies_round_trip() {
         let replies = vec![
             Reply::Ok,
             Reply::WriteOk { written: 99, replayed: false },
             Reply::WriteOk { written: 99, replayed: true },
-            Reply::Pong { epoch: 77 },
+            Reply::Pong { epoch: 77, max_chunk: 1 << 18 },
+            Reply::ChunkOk { offset: 4096 },
+            Reply::DataChunk { offset: 0, last: false, data: b"xyz".to_vec() },
+            Reply::DataChunk { offset: 3, last: true, data: vec![] },
             Reply::Data { payload: b"abc".to_vec() },
             Reply::Stat(StatInfo {
                 len: 10,

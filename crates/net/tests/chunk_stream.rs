@@ -1,0 +1,243 @@
+//! Chunk-boundary semantics of the v3 streamed data path: a chunked
+//! transfer must be byte-for-byte the same logical operation as its
+//! monolithic counterpart, at every awkward boundary the framing can
+//! produce — chunk edges that straddle projected segment runs, final
+//! chunks cut short at EOF, empty projections, and stamped replays that
+//! arrive as a stream instead of one frame.
+
+use parafile::Mapper;
+
+use arraydist::matrix::MatrixLayout;
+use parafile_audit::{RawElement, RawFalls, RawPattern};
+use parafile_net::server::{serve, DaemonConfig, DaemonHandle};
+use parafile_net::session::{BatchWrite, Session};
+use parafile_net::wire::{Reply, Request};
+use parafile_net::NodeClient;
+
+/// The striped view used throughout: element 0 owns bytes `[0,3]` of
+/// every 8-byte period, so transfers scatter/gather across disjoint
+/// subfile runs and chunk boundaries land mid-run.
+fn striped_view(file: u64) -> Request {
+    Request::SetView {
+        file,
+        compute: 0,
+        element: 0,
+        view: RawPattern {
+            displacement: 0,
+            elements: vec![
+                RawElement::new(vec![RawFalls::leaf(0, 3, 8, 1)]),
+                RawElement::new(vec![RawFalls::leaf(4, 7, 8, 1)]),
+            ],
+        },
+        proj_set: vec![RawFalls::leaf(0, 3, 8, 1)],
+        proj_period: 8,
+    }
+}
+
+fn open_with_view(client: &mut NodeClient, file: u64, len: u64) {
+    client.expect_ok(&Request::Open { file, subfile: 0, len }).expect("open");
+    client.expect_ok(&striped_view(file)).expect("set view");
+}
+
+fn write(client: &mut NodeClient, file: u64, r_s: u64, stamp: (u64, u64), payload: &[u8]) -> Reply {
+    client
+        .call(&Request::Write {
+            file,
+            compute: 0,
+            l_s: 0,
+            r_s,
+            session: stamp.0,
+            seq: stamp.1,
+            payload: payload.to_vec(),
+        })
+        .expect("write")
+}
+
+fn read(client: &mut NodeClient, file: u64, l_s: u64, r_s: u64) -> Vec<u8> {
+    match client.call(&Request::Read { file, compute: 0, l_s, r_s }).expect("read") {
+        Reply::Data { payload } => payload,
+        other => panic!("expected Data, got {other:?}"),
+    }
+}
+
+fn fetch(client: &mut NodeClient, file: u64) -> Vec<u8> {
+    match client.call(&Request::Fetch { file }).expect("fetch") {
+        Reply::Data { payload } => payload,
+        other => panic!("expected Data, got {other:?}"),
+    }
+}
+
+/// A chunked write (chunk far smaller than the payload, boundaries
+/// misaligned with the 4-byte segment runs) lands the same bytes as the
+/// monolithic request, and the client's lazy capability probe records
+/// the daemon's advertised chunk budget on the way.
+#[test]
+fn chunked_write_matches_monolithic_byte_for_byte() {
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    let mut chunked = NodeClient::new(daemon.addr()).with_chunk(Some(3));
+    let mut mono = NodeClient::new(daemon.addr()).with_chunk(Some(0));
+
+    open_with_view(&mut chunked, 1, 16);
+    open_with_view(&mut mono, 2, 16);
+    let payload = [0xA0, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7];
+    assert_eq!(
+        write(&mut chunked, 1, 15, (0, 0), &payload),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+    assert_eq!(
+        write(&mut mono, 2, 15, (0, 0), &payload),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+
+    assert_eq!(fetch(&mut mono, 1), fetch(&mut mono, 2), "chunked and monolithic bytes agree");
+    assert_eq!(chunked.negotiated_version(), 3, "fresh daemon speaks v3");
+    assert!(
+        chunked.peer_max_chunk().unwrap_or(0) > 0,
+        "the probe recorded a non-zero chunk capability"
+    );
+}
+
+/// A stamped chunked write that repeats is answered from the dedup
+/// window exactly like a monolithic replay: only the final chunk carries
+/// the stamp, so the stream replays without touching the store.
+#[test]
+fn chunked_write_replays_from_dedup_window() {
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    let mut client = NodeClient::new(daemon.addr()).with_chunk(Some(3));
+    open_with_view(&mut client, 5, 16);
+
+    assert_eq!(
+        write(&mut client, 5, 15, (0xC0FE, 9), &[0xAA; 8]),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+    // Same stamp, different bytes: the stream is acknowledged chunk by
+    // chunk but the store keeps the first application.
+    assert_eq!(
+        write(&mut client, 5, 15, (0xC0FE, 9), &[0xBB; 8]),
+        Reply::WriteOk { written: 8, replayed: true }
+    );
+    let bytes = fetch(&mut client, 5);
+    for i in [0usize, 1, 2, 3, 8, 9, 10, 11] {
+        assert_eq!(bytes[i], 0xAA, "replay did not overwrite byte {i}");
+    }
+}
+
+/// A read whose projection is clipped at EOF, with a chunk size that
+/// puts the boundary mid-way through the EOF-partial run: the stream
+/// ends with a short final chunk and reassembles to exactly the
+/// monolithic reply.
+#[test]
+fn partial_read_at_eof_straddles_chunk_boundary() {
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    // Subfile of 10 bytes under a period-8 stripe: the projection selects
+    // {0,1,2,3} and the EOF-clipped {8,9} — six bytes across two runs.
+    let mut chunked = NodeClient::new(daemon.addr()).with_chunk(Some(5));
+    let mut mono = NodeClient::new(daemon.addr()).with_chunk(Some(0));
+    open_with_view(&mut chunked, 7, 10);
+
+    let payload = [1, 2, 3, 4, 5, 6];
+    assert_eq!(
+        write(&mut chunked, 7, 9, (0, 0), &payload),
+        Reply::WriteOk { written: 6, replayed: false }
+    );
+
+    // Chunk 5 splits the six bytes 5+1: the first chunk swallows run
+    // [0,3] plus the first byte of the EOF-partial run, the final chunk
+    // is a single byte.
+    let streamed = read(&mut chunked, 7, 0, 9);
+    let whole = read(&mut mono, 7, 0, 9);
+    assert_eq!(streamed, payload, "streamed read reassembles the written bytes");
+    assert_eq!(streamed, whole, "chunked and monolithic reads agree at EOF");
+
+    let sub = fetch(&mut mono, 7);
+    assert_eq!(sub, vec![1, 2, 3, 4, 0, 0, 0, 0, 5, 6], "bytes landed on the projected runs");
+}
+
+/// Intervals whose projection selects nothing: the chunked read answers
+/// a single empty terminal chunk (`Data` with no payload) and an empty
+/// write acknowledges zero bytes — identical to the monolithic path.
+#[test]
+fn empty_projections_stream_as_a_single_terminal_chunk() {
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    let mut chunked = NodeClient::new(daemon.addr()).with_chunk(Some(2));
+    let mut mono = NodeClient::new(daemon.addr()).with_chunk(Some(0));
+    open_with_view(&mut chunked, 9, 16);
+
+    // [4,7] falls entirely in the other element's half of the period:
+    // zero projected bytes at the very start of the would-be stream.
+    assert_eq!(read(&mut chunked, 9, 4, 7), Vec::<u8>::new());
+    assert_eq!(read(&mut mono, 9, 4, 7), Vec::<u8>::new());
+    let empty_write = Request::Write {
+        file: 9,
+        compute: 0,
+        l_s: 4,
+        r_s: 7,
+        session: 0,
+        seq: 0,
+        payload: Vec::new(),
+    };
+    assert_eq!(
+        chunked.call(&empty_write).expect("empty write"),
+        Reply::WriteOk { written: 0, replayed: false }
+    );
+    // Reads beyond EOF clip to nothing rather than erroring.
+    let past_eof = Request::Read { file: 9, compute: 0, l_s: 20, r_s: 40 };
+    assert_eq!(
+        chunked.call(&past_eof).expect("chunked read past EOF"),
+        mono.call(&past_eof).expect("monolithic read past EOF"),
+    );
+}
+
+/// The full session data path against daemons whose advertised chunk
+/// budget is far below every payload: the matrix-redistribution write
+/// (pipelined via `write_batch`) streams every message and the read-back
+/// is byte-identical to what was written.
+#[test]
+fn session_write_batch_streams_against_small_daemon_chunk_cap() {
+    let n = 16u64;
+    let file_len = n * n;
+    let file = 42u64;
+    let io_nodes = 4usize;
+    let daemons: Vec<DaemonHandle> = (0..io_nodes)
+        .map(|_| {
+            serve("127.0.0.1:0", DaemonConfig { max_chunk: 5, ..Default::default() })
+                .expect("serve")
+        })
+        .collect();
+    let addrs: Vec<String> = daemons.iter().map(|d| d.addr().to_string()).collect();
+
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, io_nodes as u64);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 4);
+    let mut session = Session::connect(&addrs);
+    session.create_file(file, physical.clone(), file_len).expect("create");
+    for c in 0..4u32 {
+        session.set_view(c, file, &logical, c as usize).expect("set view");
+    }
+
+    // Every compute's 64-byte message streams as 13 five-byte chunks.
+    let len = logical.element_len(0, file_len).unwrap();
+    let fills: Vec<Vec<u8>> = (0..4u8).map(|c| vec![0x60 + c; len as usize]).collect();
+    for (c, data) in fills.iter().enumerate() {
+        let reports = session
+            .write_batch(
+                c as u32,
+                file,
+                &[BatchWrite { lo_v: 0, hi_v: len - 1, data: data.as_slice() }],
+            )
+            .expect("batch write");
+        assert!(reports[0].fully_applied(), "compute {c}: {:?}", reports[0].outcomes);
+    }
+    for (c, data) in fills.iter().enumerate() {
+        let back = session.read(c as u32, file, 0, len - 1).expect("read");
+        assert_eq!(&back, data, "compute {c} reads back its streamed write");
+    }
+
+    // Cross-check one subfile against the mapping functions directly.
+    let sub0 = session.subfile(file, 0).expect("fetch subfile 0");
+    let pm = Mapper::new(&physical, 0);
+    for (s, &b) in sub0.iter().enumerate() {
+        let x = pm.unmap(s as u64);
+        let owner = (0..4).find(|&c| Mapper::new(&logical, c).map(x).is_some()).unwrap();
+        assert_eq!(b, 0x60 + owner as u8, "subfile 0 byte {s} (file offset {x})");
+    }
+}

@@ -237,3 +237,195 @@ fn dedup_window_eviction_under_sequence_wraparound() {
     );
     assert_eq!(fetch(&mut client, file), expected_subfile(8));
 }
+
+/// Chunked streaming must not change the fault-tolerance story: under
+/// every chaos fault family, a chunked write ends in exactly the same
+/// subfile bytes as the monolithic write — and both match the fault-free
+/// mapping-function oracle.
+///
+/// One sizing constraint is inherent to streaming and deliberate here:
+/// the `drop` and `truncate` families re-fire on **every** connection's
+/// Nth frame, so a stream that needs ≥ N frames on one connection can
+/// never complete (progress restarts at offset 0 after a reconnect).
+/// Seeds for those two families are therefore steered to a frame budget
+/// of at least 3 and the chunk size keeps each write to 2 frames; the
+/// one-shot crash families (`kill`, `torn`, `flush`) stream 7 chunks per
+/// write. Resumable chunk offsets would lift the constraint — that is a
+/// ROADMAP follow-up, not something this test hides.
+mod chunked_chaos {
+    use super::*;
+    use parafile::Mapper;
+    use parafile_net::server::serve;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::Duration;
+
+    const N: u64 = 8;
+    const FILE_LEN: u64 = N * N;
+    const FILE: u64 = 4100;
+
+    fn dir_config(dir: &std::path::Path, fault: Option<FaultPlan>, max_chunk: u32) -> DaemonConfig {
+        DaemonConfig {
+            backend: StorageBackend::Directory(dir.to_path_buf()),
+            fault,
+            max_chunk,
+            ..Default::default()
+        }
+    }
+
+    /// One I/O node with a restart supervisor: an injected kill/torn
+    /// crash is answered by rebinding the same address over the same
+    /// directory backend with crash faults disarmed.
+    struct ChaosNode {
+        addr: String,
+        stop: Arc<AtomicBool>,
+        supervisor: Option<JoinHandle<()>>,
+    }
+
+    impl ChaosNode {
+        fn spawn(dir: std::path::PathBuf, plan: FaultPlan, max_chunk: u32) -> Self {
+            let handle = serve("127.0.0.1:0", dir_config(&dir, Some(plan.clone()), max_chunk))
+                .expect("serve chaos node");
+            let addr = handle.addr().to_string();
+            let stop = Arc::new(AtomicBool::new(false));
+            let supervisor = std::thread::spawn({
+                let addr = addr.clone();
+                let stop = Arc::clone(&stop);
+                move || {
+                    let mut handle = handle;
+                    loop {
+                        handle.wait();
+                        if stop.load(Ordering::SeqCst) || !handle.fault_killed() {
+                            break;
+                        }
+                        let disarmed = plan.disarmed_crashes();
+                        handle = loop {
+                            match serve(&addr, dir_config(&dir, Some(disarmed.clone()), max_chunk))
+                            {
+                                Ok(h) => break h,
+                                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                            }
+                        };
+                    }
+                }
+            });
+            Self { addr, stop, supervisor: Some(supervisor) }
+        }
+    }
+
+    impl Drop for ChaosNode {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = NodeClient::new(&self.addr).call(&Request::Shutdown);
+            if let Some(t) = self.supervisor.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn physical() -> parafile::Partition {
+        MatrixLayout::RowBlocks.partition(N, N, 1, 1)
+    }
+
+    fn logical() -> parafile::Partition {
+        MatrixLayout::ColumnBlocks.partition(N, N, 1, 2)
+    }
+
+    /// The fault-free oracle, straight from the paper's mapping
+    /// functions: view byte `y` lands at `MAP_S(MAP_V⁻¹(y))`.
+    fn expected_bytes(data: &[u8]) -> Vec<u8> {
+        let physical = physical();
+        let logical = logical();
+        let vm = Mapper::new(&logical, 0);
+        let pm = Mapper::new(&physical, 0);
+        let mut out = vec![0u8; FILE_LEN as usize];
+        for (y, &b) in data.iter().enumerate() {
+            let x = vm.unmap(y as u64);
+            let s = pm.map(x).expect("the single subfile holds every file byte");
+            out[s as usize] = b;
+        }
+        out
+    }
+
+    /// Expands `(family, seed)` to a plan plus the daemon chunk budget
+    /// that keeps the scenario live (see the module comment).
+    fn plan_for(family: &str, seed: u64) -> (FaultPlan, u32) {
+        match family {
+            "drop" => {
+                let seed = (seed..)
+                    .find(|&s| {
+                        matches!(FaultPlan::drop_connection(s).drop_after_frames, Some(n) if n >= 3)
+                    })
+                    .expect("some seed drops at frame 3 or later");
+                (FaultPlan::drop_connection(seed), 17)
+            }
+            "truncate" => {
+                let seed = (seed..)
+                    .find(|&s| {
+                        matches!(&FaultPlan::truncate_frame(s).truncate, Some(t) if t.frame >= 3)
+                    })
+                    .expect("some seed truncates frame 3 or later");
+                (FaultPlan::truncate_frame(seed), 17)
+            }
+            "flush" => (FaultPlan::fail_flush(seed), 5),
+            "kill" => (FaultPlan::kill_one_node(seed), 5),
+            _ => (FaultPlan::torn_write(seed), 5),
+        }
+    }
+
+    /// Runs the strided write through one chaos node and returns the
+    /// final subfile bytes. `max_chunk = 0` forces the monolithic path
+    /// (the daemon advertises no chunk capability).
+    fn final_subfile(tag: &str, plan: &FaultPlan, max_chunk: u32, data: &[u8]) -> Vec<u8> {
+        let dir = scratch_dir(tag);
+        let node = ChaosNode::spawn(dir.clone(), plan.clone(), max_chunk);
+        let mut session = Session::connect(std::slice::from_ref(&node.addr));
+        session.create_file(FILE, physical(), FILE_LEN).expect("create under chaos");
+        session.set_view(0, FILE, &logical(), 0).expect("set view under chaos");
+        let hi = data.len() as u64 - 1;
+        let mut tries = 0;
+        loop {
+            let report = session.write_report(0, FILE, 0, hi, data).expect("write under chaos");
+            if report.fully_applied() {
+                break;
+            }
+            tries += 1;
+            assert!(tries < 6, "{tag}: write never fully applied: {:?}", report.outcomes);
+            std::thread::sleep(Duration::from_millis(40));
+            session.probe();
+        }
+        session.flush(FILE).expect("flush under chaos");
+        let bytes = session.subfile(FILE, 0).expect("fetch subfile");
+        drop(node);
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3 })]
+        #[test]
+        fn chunked_and_monolithic_writes_agree_under_every_fault_family(
+            seed in 1u64..5000,
+            fill in any::<u8>(),
+        ) {
+            let data: Vec<u8> = (0..32u8).map(|i| fill.wrapping_add(i)).collect();
+            let want = expected_bytes(&data);
+            for family in ["drop", "truncate", "flush", "kill", "torn"] {
+                let (plan, chunk) = plan_for(family, seed);
+                let chunked =
+                    final_subfile(&format!("{family}_{seed}_chunked"), &plan, chunk, &data);
+                let mono = final_subfile(&format!("{family}_{seed}_mono"), &plan, 0, &data);
+                prop_assert_eq!(
+                    &chunked, &mono,
+                    "family {} seed {}: chunked and monolithic bytes diverge", family, seed
+                );
+                prop_assert_eq!(
+                    &chunked, &want,
+                    "family {} seed {}: bytes diverge from the mapping oracle", family, seed
+                );
+            }
+        }
+    }
+}

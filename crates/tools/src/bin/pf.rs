@@ -10,7 +10,7 @@
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
 //! pf serve   <addr> [--dir DIR] [--chaos SPEC]  # run an I/O-node daemon
 //! pf chaos   <listen> <upstream> <SPEC>  # fault-injecting proxy in front of a daemon
-//! pf io <a1,a2,…> demo <n>               # matrix scenario over real daemons
+//! pf io <a1,a2,…> demo <n> [--pipeline]  # matrix scenario over real daemons
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
 //! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
 //! pf io <a1,a2,…> shutdown               # stop the daemons
@@ -256,9 +256,13 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             match sub.as_str() {
                 // The paper's experiment over live daemons: row-block views
                 // onto a column-block file, every node writes its view, the
-                // reassembled file must match what was written.
+                // reassembled file must match what was written. With
+                // `--pipeline`, each view write is issued as a batch of
+                // slices so the persistent node workers overlap the
+                // per-node transfers (DESIGN.md §13).
                 "demo" => {
                     let n = parse_u64(args.get(3).ok_or_else(usage)?, "matrix dim")?;
+                    let pipeline = args[3..].iter().any(|a| a == "--pipeline");
                     let nodes = addrs.len() as u64;
                     if n == 0 || n % nodes != 0 {
                         return Err(ToolError::Spec(format!(
@@ -280,7 +284,32 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                         let m = Mapper::new(&logical, c);
                         let len = logical.element_len(c, file_len)?;
                         let data: Vec<u8> = (0..len).map(|y| (m.unmap(y) % 251) as u8).collect();
-                        session.write(c as u32, file, 0, len - 1, &data).map_err(net_err)?;
+                        if pipeline {
+                            // One slice per row block: the whole view goes
+                            // out as pipelined ops through the node workers.
+                            let slice = (len / nodes).max(1);
+                            let batch: Vec<parafile_net::BatchWrite<'_>> = (0..len)
+                                .step_by(slice as usize)
+                                .map(|lo| {
+                                    let hi = (lo + slice - 1).min(len - 1);
+                                    parafile_net::BatchWrite {
+                                        lo_v: lo,
+                                        hi_v: hi,
+                                        data: &data[lo as usize..=hi as usize],
+                                    }
+                                })
+                                .collect();
+                            let reports =
+                                session.write_batch(c as u32, file, &batch).map_err(net_err)?;
+                            if let Some(r) = reports.iter().find(|r| !r.fully_applied()) {
+                                return Err(ToolError::Spec(format!(
+                                    "pipelined write left segments unapplied: {:?}",
+                                    r.outcomes
+                                )));
+                            }
+                        } else {
+                            session.write(c as u32, file, 0, len - 1, &data).map_err(net_err)?;
+                        }
                     }
                     let t_writes = start.elapsed();
                     let contents = session.file_contents(file).map_err(net_err)?;
@@ -292,8 +321,9 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                         }
                     }
                     println!(
-                        "demo ok: {n}×{n} matrix over {} I/O nodes — views {:.3} ms, \
+                        "demo ok ({}): {n}×{n} matrix over {} I/O nodes — views {:.3} ms, \
                          writes {:.3} ms, {} bytes verified",
+                        if pipeline { "pipelined" } else { "sequential" },
                         addrs.len(),
                         t_views.as_secs_f64() * 1e3,
                         t_writes.as_secs_f64() * 1e3,
