@@ -63,6 +63,26 @@ pub enum Code {
     /// PA032 — the aligned period `lcm(SIZE(P₁), SIZE(P₂))` of a pattern
     /// pair overflows, so the pair cannot be redistributed symbolically.
     PeriodOverflow,
+    /// PA040 — `.unwrap()`/`.expect(` on a daemon/session/journal hot
+    /// path, where a panic severs connections or wedges a worker.
+    UnwrapOnHotPath,
+    /// PA041 — `panic!`/`unreachable!`/`todo!`/`unimplemented!` on a hot
+    /// path; hot paths must answer typed errors instead of aborting.
+    PanicOnHotPath,
+    /// PA042 — an unbounded `mpsc::channel` where worker queues are
+    /// required to be bounded (`sync_channel`) for back-pressure.
+    UnboundedChannel,
+    /// PA043 — a lock acquired out of the canonical order
+    /// (`files < store < journal < dedup`) while a later-ranked guard is
+    /// held — the deadlock-freedom discipline of the daemon.
+    LockOrderViolation,
+    /// PA044 — a public function returning a value (other than
+    /// `Result`/`Option`, which the compiler already tracks) without
+    /// `#[must_use]` in a file where coverage is required.
+    MissingMustUse,
+    /// PA045 — a `pa:allow(...)` waiver comment that suppressed nothing;
+    /// stale waivers hide future regressions.
+    StaleWaiver,
 }
 
 impl Code {
@@ -84,6 +104,12 @@ impl Code {
             Code::PeriodBudget => "PA030",
             Code::OneByteSegments => "PA031",
             Code::PeriodOverflow => "PA032",
+            Code::UnwrapOnHotPath => "PA040",
+            Code::PanicOnHotPath => "PA041",
+            Code::UnboundedChannel => "PA042",
+            Code::LockOrderViolation => "PA043",
+            Code::MissingMustUse => "PA044",
+            Code::StaleWaiver => "PA045",
         }
     }
 
@@ -91,7 +117,7 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Code::PeriodBudget | Code::OneByteSegments => Severity::Warning,
+            Code::PeriodBudget | Code::OneByteSegments | Code::StaleWaiver => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -275,6 +301,12 @@ mod tests {
             Code::PeriodBudget,
             Code::OneByteSegments,
             Code::PeriodOverflow,
+            Code::UnwrapOnHotPath,
+            Code::PanicOnHotPath,
+            Code::UnboundedChannel,
+            Code::LockOrderViolation,
+            Code::MissingMustUse,
+            Code::StaleWaiver,
         ];
         let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

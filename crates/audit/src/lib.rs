@@ -38,10 +38,12 @@
 mod checks;
 mod diag;
 mod raw;
+mod source;
 
 pub use checks::{audit_pair, audit_pattern, AuditConfig, DEFAULT_PERIOD_BUDGET};
 pub use diag::{AuditReport, Code, Diagnostic, Severity, Span};
 pub use raw::{RawElement, RawFalls, RawPattern};
+pub use source::{audit_source, SourceConfig};
 
 use parafile::model::Partition;
 

@@ -1,0 +1,564 @@
+//! Source-level lints (`PA040`–`PA059` range) over the workspace's own
+//! hot-path code.
+//!
+//! The FALLS checks audit *data* (partitioning patterns); this pass
+//! audits the *code* that serves them, enforcing the daemon's coding
+//! discipline:
+//!
+//! * **PA040/PA041** — no `.unwrap()`/`.expect(`/`panic!`-family macros
+//!   on daemon, session, or journal hot paths: a panic there severs
+//!   every connection on the thread or wedges a worker, so hot paths
+//!   must return typed errors.
+//! * **PA042** — worker queues use bounded `sync_channel`s only, so a
+//!   stalled daemon back-pressures the submitter instead of buffering
+//!   without limit.
+//! * **PA043** — locks are acquired in the canonical global order
+//!   `files < store < journal < dedup`; a later-ranked guard held while
+//!   an earlier-ranked lock is taken is a deadlock seed.
+//! * **PA044** — `#[must_use]` coverage in designated API files for
+//!   public functions whose ignored return value would be a silent bug
+//!   (`Result`/`Option` returns pass inherently — the compiler already
+//!   tracks those).
+//! * **PA045** — a `// pa:allow(PAxxx)` waiver that suppresses nothing
+//!   is stale and warns, so waivers cannot silently outlive the code
+//!   they excused.
+//!
+//! The pass is deliberately token-level (comments and string literals
+//! are stripped, `#[cfg(test)]` modules are skipped), not a full parse:
+//! it is a discipline lint with a waiver escape hatch, not a type
+//! system. Findings carry `file:line` in their message and anchor their
+//! [`Span`] at the whole pattern.
+
+use crate::diag::{AuditReport, Code, Diagnostic, Span};
+
+/// Which files each source lint applies to and the canonical lock order.
+///
+/// Paths are matched by suffix (`path.ends_with`), so callers can pass
+/// absolute or repo-relative paths interchangeably.
+#[derive(Debug, Clone)]
+pub struct SourceConfig {
+    /// Files on the daemon/session/journal hot path: PA040/PA041 apply.
+    pub hot_paths: Vec<String>,
+    /// Files whose worker queues must be bounded: PA042 applies.
+    pub bounded_only: Vec<String>,
+    /// Lock-rank names, earliest (outermost) first: PA043 applies to any
+    /// file that acquires two of them.
+    pub lock_order: Vec<String>,
+    /// Files requiring `#[must_use]` coverage: PA044 applies.
+    pub must_use_files: Vec<String>,
+}
+
+impl SourceConfig {
+    /// The workspace's canonical configuration: the daemon/session/client
+    /// request paths and the write-ahead journal are hot, session worker
+    /// queues are bounded-only, and the daemon's lock order is
+    /// `files < store < journal < dedup`.
+    #[must_use]
+    pub fn parafile_defaults() -> Self {
+        let own = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect();
+        Self {
+            hot_paths: own(&[
+                "net/src/server.rs",
+                "net/src/session.rs",
+                "net/src/client.rs",
+                "net/src/proto.rs",
+                "clusterfile/src/journal.rs",
+            ]),
+            bounded_only: own(&["net/src/session.rs"]),
+            lock_order: own(&["files", "store", "journal", "dedup"]),
+            must_use_files: own(&["net/src/proto.rs"]),
+        }
+    }
+
+    fn applies(list: &[String], path: &str) -> bool {
+        list.iter().any(|s| path.ends_with(s.as_str()))
+    }
+}
+
+/// One raw finding before waiver filtering.
+struct Finding {
+    line: usize,
+    code: Code,
+    message: String,
+}
+
+/// A `// pa:allow(PAxxx)` waiver comment.
+struct Waiver {
+    line: usize,
+    code_str: String,
+    used: bool,
+}
+
+/// Strips line comments and the contents of string/char literals so
+/// token matching cannot fire inside prose. Literal delimiters are kept,
+/// their contents replaced by spaces.
+fn strip_line(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            if c == '\\' {
+                out.push(' ');
+                if chars.next().is_some() {
+                    out.push(' ');
+                }
+            } else if c == '"' {
+                in_string = false;
+                out.push('"');
+            } else {
+                out.push(' ');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            '\'' => {
+                // A char literal ('x', '\n', '\''); lifetimes ('a) have no
+                // closing quote nearby and pass through untouched.
+                let rest: String = chars.clone().take(3).collect();
+                if let Some(close) = rest.find('\'') {
+                    out.push('\'');
+                    for _ in 0..close {
+                        chars.next();
+                        out.push(' ');
+                    }
+                    chars.next();
+                    out.push('\'');
+                } else {
+                    out.push('\'');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Marks every line inside a `#[cfg(test)]` module (brace-balanced from
+/// the module's opening line).
+fn test_region(lines: &[String]) -> Vec<bool> {
+    let mut excluded = vec![false; lines.len()];
+    let mut pending_cfg = false;
+    let mut depth_in_tests: Option<i64> = None;
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(depth) = depth_in_tests.as_mut() {
+            excluded[i] = true;
+            *depth += brace_delta(line);
+            if *depth <= 0 {
+                depth_in_tests = None;
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            pending_cfg = true;
+            continue;
+        }
+        if pending_cfg {
+            if line.trim().is_empty() || line.trim_start().starts_with("#[") {
+                continue;
+            }
+            if line.contains("mod ") {
+                excluded[i] = true;
+                let d = brace_delta(line);
+                if d > 0 {
+                    depth_in_tests = Some(d);
+                }
+            }
+            pending_cfg = false;
+        }
+    }
+    excluded
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0i64;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Whether `needle` occurs in `hay` bounded by non-identifier characters.
+fn word_match(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = after;
+    }
+    None
+}
+
+/// Lints one source file, returning every finding as a structured report.
+///
+/// `path` is used for file matching (which lints apply) and in messages;
+/// `text` is the file contents.
+#[must_use]
+pub fn audit_source(path: &str, text: &str, cfg: &SourceConfig) -> AuditReport {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let lines: Vec<String> = raw_lines.iter().map(|l| strip_line(l)).collect();
+    let excluded = test_region(&lines);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    // Collect waivers from the raw text (they live in comments).
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let mut rest = *raw;
+        while let Some(at) = rest.find("pa:allow(") {
+            let tail = &rest[at + "pa:allow(".len()..];
+            if let Some(close) = tail.find(')') {
+                waivers.push(Waiver {
+                    line: i + 1,
+                    code_str: tail[..close].trim().to_string(),
+                    used: false,
+                });
+                rest = &tail[close..];
+            } else {
+                break;
+            }
+        }
+    }
+
+    let hot = SourceConfig::applies(&cfg.hot_paths, path);
+    let bounded = SourceConfig::applies(&cfg.bounded_only, path);
+    let must_use = SourceConfig::applies(&cfg.must_use_files, path);
+
+    // Held lock guards: (brace depth at acquisition, rank, binding name).
+    let mut held: Vec<(i64, usize, String)> = Vec::new();
+    let mut depth = 0i64;
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        if excluded[i] {
+            depth += brace_delta(line);
+            continue;
+        }
+        if hot {
+            for needle in [".unwrap()", ".expect("] {
+                if line.contains(needle) {
+                    findings.push(Finding {
+                        line: lineno,
+                        code: Code::UnwrapOnHotPath,
+                        message: format!(
+                            "{path}:{lineno}: `{needle}` on a hot path; return a typed error instead"
+                        ),
+                    });
+                }
+            }
+            for needle in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+                if line.contains(needle) {
+                    findings.push(Finding {
+                        line: lineno,
+                        code: Code::PanicOnHotPath,
+                        message: format!(
+                            "{path}:{lineno}: `{needle}..)` on a hot path; answer a typed error instead of aborting"
+                        ),
+                    });
+                }
+            }
+        }
+        if bounded && line.contains("mpsc::channel") {
+            findings.push(Finding {
+                line: lineno,
+                code: Code::UnboundedChannel,
+                message: format!(
+                    "{path}:{lineno}: unbounded `mpsc::channel`; worker queues must use a bounded `sync_channel`"
+                ),
+            });
+        }
+
+        // Lock-order discipline: detect ranked acquisitions.
+        if let Some(rank) = acquisition_rank(line, &cfg.lock_order) {
+            if let Some((_, held_rank, held_name)) =
+                held.iter().filter(|(_, r, _)| *r > rank).max_by_key(|(_, r, _)| *r)
+            {
+                findings.push(Finding {
+                    line: lineno,
+                    code: Code::LockOrderViolation,
+                    message: format!(
+                        "{path}:{lineno}: acquires `{}` while holding `{held_name}` (`{}`); canonical order is {}",
+                        cfg.lock_order[rank],
+                        cfg.lock_order[*held_rank],
+                        cfg.lock_order.join(" < "),
+                    ),
+                });
+            }
+            // Only a `let` binding keeps the guard alive past the line.
+            let trimmed = line.trim_start();
+            if let Some(binding) = trimmed.strip_prefix("let ") {
+                let name = binding
+                    .trim_start_matches("mut ")
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>();
+                held.push((depth, rank, name));
+            }
+        }
+        // Explicit drops release a named guard early.
+        if let Some(at) = line.find("drop(") {
+            let name: String = line[at + "drop(".len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            held.retain(|(_, _, n)| *n != name);
+        }
+        depth += brace_delta(line);
+        held.retain(|(d, _, _)| *d <= depth);
+
+        // #[must_use] coverage for value-returning public APIs.
+        if must_use {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("pub fn ") {
+                if let Some(arrow) = trimmed.find("-> ") {
+                    let ret = trimmed[arrow + 3..].trim().trim_end_matches('{').trim();
+                    let exempt = ret.is_empty()
+                        || ret.starts_with("()")
+                        || ret.contains("Result")
+                        || ret.contains("Option");
+                    if !exempt && !has_must_use_above(&lines, i) {
+                        findings.push(Finding {
+                            line: lineno,
+                            code: Code::MissingMustUse,
+                            message: format!(
+                                "{path}:{lineno}: public fn returning `{ret}` without `#[must_use]`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Apply waivers: a waiver suppresses matching findings on its own
+    // line or the line below it.
+    let mut report = AuditReport::default();
+    for f in findings {
+        let mut suppressed = false;
+        for w in &mut waivers {
+            if w.code_str == f.code.as_str() && (w.line == f.line || w.line + 1 == f.line) {
+                w.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            report.push(Diagnostic::new(f.code, Span::pattern(), f.message));
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            report.push(Diagnostic::new(
+                Code::StaleWaiver,
+                Span::pattern(),
+                format!(
+                    "{path}:{}: waiver `pa:allow({})` suppressed nothing; remove it",
+                    w.line, w.code_str
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// If `line` acquires a ranked lock, returns the rank. An acquisition is
+/// one of the poison-recovering helpers (`lock(&…)`, `read(&…)`,
+/// `write(&…)`) or a bare `.lock()`/`.read()`/`.write()` call naming one
+/// of the ranked resources.
+fn acquisition_rank(line: &str, order: &[String]) -> Option<usize> {
+    const PATTERNS: [&str; 6] = ["lock(&", "read(&", "write(&", ".lock()", ".read()", ".write()"];
+    if !PATTERNS.iter().any(|p| line.contains(p)) {
+        return None;
+    }
+    // The ranked name must appear on the line as a standalone identifier
+    // (field or binding); the highest-ranked name present wins, which is
+    // the one the guard protects in `let store = lock(&slot.store);`.
+    order
+        .iter()
+        .enumerate()
+        .filter(|(_, name)| word_match(line, name).is_some())
+        .map(|(rank, _)| rank)
+        .max()
+}
+
+/// Whether an attribute block immediately above line `i` carries
+/// `#[must_use]` (doc comments and other attributes may interleave).
+fn has_must_use_above(lines: &[String], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.starts_with("#[") || t.starts_with("///") || t.is_empty() {
+            if t.contains("#[must_use]") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SourceConfig {
+        SourceConfig::parafile_defaults()
+    }
+
+    fn run(path: &str, text: &str) -> AuditReport {
+        audit_source(path, text, &cfg())
+    }
+
+    #[test]
+    fn pa040_fires_on_hot_path_unwrap_and_passes_when_typed() {
+        let fire = run("crates/net/src/server.rs", "fn f() { x.unwrap(); y.expect(\"boom\"); }\n");
+        assert_eq!(
+            fire.diagnostics.iter().filter(|d| d.code == Code::UnwrapOnHotPath).count(),
+            2,
+            "{:?}",
+            fire.diagnostics
+        );
+        let pass = run(
+            "crates/net/src/server.rs",
+            "fn f() -> Result<(), E> { let v = x.ok_or(E::Bad)?; Ok(v) }\n",
+        );
+        assert!(!pass.has_code(Code::UnwrapOnHotPath), "{:?}", pass.diagnostics);
+        // Not a hot-path file: the same text passes.
+        let elsewhere = run("crates/tools/src/bin/pf.rs", "fn f() { x.unwrap(); }\n");
+        assert!(!elsewhere.has_code(Code::UnwrapOnHotPath));
+    }
+
+    #[test]
+    fn pa040_ignores_tests_strings_and_comments() {
+        let text = "\
+fn f() {
+    let s = \"call .unwrap() later\"; // never .unwrap() here
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+";
+        let r = run("crates/net/src/server.rs", text);
+        assert!(!r.has_code(Code::UnwrapOnHotPath), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pa041_fires_on_panic_family_and_passes_on_typed_errors() {
+        let fire =
+            run("crates/net/src/session.rs", "fn f() { unreachable!(\"dispatched on opcode\") }\n");
+        assert!(fire.has_code(Code::PanicOnHotPath), "{:?}", fire.diagnostics);
+        let pass = run("crates/net/src/session.rs", "fn f() -> E { E::Internal }\n");
+        assert!(!pass.has_code(Code::PanicOnHotPath));
+    }
+
+    #[test]
+    fn pa042_fires_on_unbounded_channel_and_passes_on_sync_channel() {
+        let fire = run("crates/net/src/session.rs", "let (tx, rx) = mpsc::channel::<Job>();\n");
+        assert!(fire.has_code(Code::UnboundedChannel), "{:?}", fire.diagnostics);
+        let pass = run(
+            "crates/net/src/session.rs",
+            "let (tx, rx) = mpsc::sync_channel::<Job>(WORKER_QUEUE_DEPTH);\n",
+        );
+        assert!(!pass.has_code(Code::UnboundedChannel), "{:?}", pass.diagnostics);
+    }
+
+    #[test]
+    fn pa043_fires_on_inverted_lock_order_and_passes_in_order() {
+        let fire = "\
+fn f(slot: &Slot) {
+    let mut journal = lock(&slot.journal);
+    let mut store = lock(&slot.store);
+}
+";
+        let r = run("crates/net/src/server.rs", fire);
+        assert!(r.has_code(Code::LockOrderViolation), "{:?}", r.diagnostics);
+        let pass = "\
+fn f(slot: &Slot) {
+    let mut store = lock(&slot.store);
+    {
+        let mut journal = lock(&slot.journal);
+    }
+    let hit = lock(&slot.dedup).contains(stamp);
+}
+";
+        let r = run("crates/net/src/server.rs", pass);
+        assert!(!r.has_code(Code::LockOrderViolation), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pa043_releases_guards_at_scope_end_and_on_drop() {
+        let text = "\
+fn f(slot: &Slot) {
+    {
+        let mut journal = lock(&slot.journal);
+    }
+    let mut store = lock(&slot.store);
+    let mut dedup = lock(&slot.dedup);
+    drop(dedup);
+    let mut journal = lock(&slot.journal);
+}
+";
+        let r = run("crates/net/src/server.rs", text);
+        assert!(!r.has_code(Code::LockOrderViolation), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pa044_fires_without_must_use_and_passes_with_it() {
+        let fire = "pub fn version(&self) -> u8 {\n    self.version\n}\n";
+        let r = run("crates/net/src/proto.rs", fire);
+        assert!(r.has_code(Code::MissingMustUse), "{:?}", r.diagnostics);
+        let pass = "#[must_use]\npub fn version(&self) -> u8 {\n    self.version\n}\n";
+        let r = run("crates/net/src/proto.rs", pass);
+        assert!(!r.has_code(Code::MissingMustUse), "{:?}", r.diagnostics);
+        // Result/Option returns pass inherently (the compiler tracks them,
+        // and clippy rejects the doubled attribute).
+        let result = "pub fn accept(&mut self) -> Result<Progress, Violation> {\n";
+        let r = run("crates/net/src/proto.rs", result);
+        assert!(!r.has_code(Code::MissingMustUse), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pa045_warns_on_stale_waiver_and_working_waivers_suppress() {
+        // A waiver above a real finding suppresses it and is not stale.
+        let good = "\
+fn f() {
+    // pa:allow(PA040)
+    x.unwrap();
+}
+";
+        let r = run("crates/net/src/server.rs", good);
+        assert!(!r.has_code(Code::UnwrapOnHotPath), "{:?}", r.diagnostics);
+        assert!(!r.has_code(Code::StaleWaiver), "{:?}", r.diagnostics);
+        // A waiver with nothing to excuse warns.
+        let stale = "fn f() {\n    // pa:allow(PA040)\n    let x = 1;\n}\n";
+        let r = run("crates/net/src/server.rs", stale);
+        assert!(r.has_code(Code::StaleWaiver), "{:?}", r.diagnostics);
+        assert_eq!(r.error_count(), 0, "stale waivers warn, not error");
+    }
+
+    #[test]
+    fn string_and_char_stripping_keeps_columns_honest() {
+        assert_eq!(strip_line("let s = \"panic!(\"; x"), "let s = \"       \"; x");
+        assert_eq!(strip_line("a // b"), "a ");
+        assert_eq!(strip_line("let c = '\"'; x.unwrap()"), "let c = ' '; x.unwrap()");
+    }
+}

@@ -114,10 +114,11 @@ impl IntentRecord {
             *pos = end;
             Some(out)
         };
-        let u64_at = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8 bytes"));
-        let session = u64_at(take(&mut pos, 8)?);
-        let seq = u64_at(take(&mut pos, 8)?);
-        let nsegs = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let u64_at = |b: &[u8]| b.try_into().ok().map(u64::from_le_bytes);
+        let u32_at = |b: &[u8]| b.try_into().ok().map(u32::from_le_bytes);
+        let session = u64_at(take(&mut pos, 8)?)?;
+        let seq = u64_at(take(&mut pos, 8)?)?;
+        let nsegs = u32_at(take(&mut pos, 4)?)? as usize;
         // A record cannot hold more segments than bytes remain.
         if nsegs > body.len() / 16 + 1 {
             return None;
@@ -125,12 +126,12 @@ impl IntentRecord {
         let mut segments = Vec::with_capacity(nsegs);
         let mut total = 0u64;
         for _ in 0..nsegs {
-            let off = u64_at(take(&mut pos, 8)?);
-            let len = u64_at(take(&mut pos, 8)?);
+            let off = u64_at(take(&mut pos, 8)?)?;
+            let len = u64_at(take(&mut pos, 8)?)?;
             total = total.checked_add(len)?;
             segments.push((off, len));
         }
-        let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let crc = u32_at(take(&mut pos, 4)?)?;
         let payload = body.get(pos..)?.to_vec();
         if payload.len() as u64 != total || crc32(&payload) != crc {
             return None;
@@ -249,9 +250,11 @@ impl Journal {
                     report.discarded += 1;
                     break;
                 }
-                let body_len =
-                    u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes"))
-                        as usize;
+                let Ok(len_bytes) = bytes[pos + 1..pos + 5].try_into() else {
+                    report.discarded += 1;
+                    break;
+                };
+                let body_len = u32::from_le_bytes(len_bytes) as usize;
                 let Some(end) = (pos + 5).checked_add(body_len) else {
                     report.discarded += 1;
                     break;

@@ -165,6 +165,45 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_get_insert_interleavings_stay_bounded_and_coherent() {
+        // Loom substitute (see CI's nightly interleaving jobs): hammer one
+        // small sharded cache from many threads with overlapping key
+        // ranges so gets, inserts, same-key races, and evictions all
+        // interleave. The invariants checked are the ones a lost-update
+        // or broken-eviction bug would break: a get never returns a value
+        // that was not inserted under that key, shards never exceed
+        // capacity, and the counters stay consistent with the residency.
+        let cache: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(4, 8));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..400u64 {
+                        let key = (t * 13 + i * 7) % 48;
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(*v, key * 1000, "foreign value under key {key}");
+                        } else {
+                            cache.insert(key, Arc::new(key * 1000));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("stress thread");
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 4 * 8, "residency exceeds capacity: {s:?}");
+        assert_eq!(s.hits + s.misses, 8 * 400, "every lookup counted: {s:?}");
+        // Entries still resident must remain readable and correct.
+        for key in 0..48u64 {
+            if let Some(v) = cache.get(&key) {
+                assert_eq!(*v, key * 1000);
+            }
+        }
+    }
+
+    #[test]
     fn hit_ratio_is_well_defined() {
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
         let s = CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1 };

@@ -22,6 +22,7 @@
 
 use crate::backoff::Backoff;
 use crate::error::{ErrCode, NetError};
+use crate::proto::{ChunkSender, Negotiation};
 use crate::server::NetStream;
 use crate::wire::{
     self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
@@ -81,10 +82,10 @@ pub struct NodeClient {
     scratch_out: Vec<u8>,
     /// Recycled reply-frame buffer.
     scratch_in: Vec<u8>,
-    /// Protocol version negotiated with this peer. Starts at
-    /// [`PROTOCOL_VERSION`]; stepped down when the daemon answers
+    /// Version-negotiation automaton for this peer: starts at
+    /// [`PROTOCOL_VERSION`], stepped down when the daemon answers
     /// `UnsupportedVersion`.
-    peer_version: u8,
+    negotiation: Negotiation,
     /// The peer's advertised chunk capability (`Pong.max_chunk`), learned
     /// lazily from the first `Ping` that crosses this client. `None` =
     /// not yet probed; `Some(0)` = peer does not chunk.
@@ -113,7 +114,7 @@ impl NodeClient {
             retry,
             scratch_out: Vec::new(),
             scratch_in: Vec::new(),
-            peer_version: PROTOCOL_VERSION,
+            negotiation: Negotiation::new(),
             peer_max_chunk: None,
             chunk_override: Self::env_chunk(),
         }
@@ -157,7 +158,7 @@ impl NodeClient {
     /// The protocol version negotiated with the peer so far.
     #[must_use]
     pub fn negotiated_version(&self) -> u8 {
-        self.peer_version
+        self.negotiation.version()
     }
 
     /// The peer's advertised chunk capability, if a `Pong` has been seen.
@@ -172,7 +173,10 @@ impl NodeClient {
             s.set_read_timeout(self.timeout)?;
             self.stream = Some(s);
         }
-        Ok(self.stream.as_mut().expect("stream just set"))
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            None => Err(std::io::Error::other("connection slot empty after connect")),
+        }
     }
 
     /// Sends one request frame at the negotiated version under a fresh
@@ -181,7 +185,7 @@ impl NodeClient {
     fn send_request(&mut self, request: &Request) -> Result<u64, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        let version = self.peer_version;
+        let version = self.negotiation.version();
         let mut payload = std::mem::take(&mut self.scratch_out);
         request.encode_payload_at_into(version, &mut payload);
         let sent = match self.connected() {
@@ -252,7 +256,7 @@ impl NodeClient {
     /// The chunk data size to use against this peer right now (`0` =
     /// monolithic frames). Meaningful once the capability probe has run.
     fn effective_chunk(&self) -> u32 {
-        if self.peer_version < 3 || self.chunk_override == Some(0) {
+        if !self.negotiation.supports_chunking() || self.chunk_override == Some(0) {
             return 0;
         }
         let cap = self.peer_max_chunk.unwrap_or(0);
@@ -271,7 +275,9 @@ impl NodeClient {
         if !chunkable {
             return self.exchange(request);
         }
-        if self.peer_version >= 3 && self.chunk_override != Some(0) && self.peer_max_chunk.is_none()
+        if self.negotiation.supports_chunking()
+            && self.chunk_override != Some(0)
+            && self.peer_max_chunk.is_none()
         {
             // One-time capability probe. An error reply (e.g.
             // `UnsupportedVersion` from an older daemon) surfaces to the
@@ -323,15 +329,17 @@ impl NodeClient {
     ) -> Result<Reply, NetError> {
         let total = payload.len() as u64;
         let n_chunks = payload.len().div_ceil(chunk).max(1);
-        // (request id, is-final) of sent-but-unacknowledged chunks.
+        // The window automaton decides when the wire admits another chunk;
+        // `pending` remembers the (request id, is-final) bookkeeping of
+        // everything sent but not yet acknowledged.
+        let mut sender = ChunkSender::new(n_chunks as u64, CHUNK_WINDOW as u64);
         let mut pending: VecDeque<(u64, bool)> = VecDeque::with_capacity(CHUNK_WINDOW);
-        let mut next = 0usize;
         let mut send_err: Option<NetError> = None;
         let result = loop {
-            while next < n_chunks && pending.len() < CHUNK_WINDOW && send_err.is_none() {
-                let off = next * chunk;
+            while send_err.is_none() {
+                let Some(plan) = sender.next_to_send() else { break };
+                let off = plan.index as usize * chunk;
                 let end = (off + chunk).min(payload.len());
-                let last = next + 1 == n_chunks;
                 let req = Request::WriteChunk {
                     file,
                     compute,
@@ -341,13 +349,13 @@ impl NodeClient {
                     seq,
                     offset: off as u64,
                     total,
-                    last,
+                    last: plan.last,
                     data: payload[off..end].to_vec(),
                 };
                 match self.send_request(&req) {
                     Ok(id) => {
-                        pending.push_back((id, last));
-                        next += 1;
+                        sender.record_send();
+                        pending.push_back((id, plan.last));
                     }
                     Err(e) => send_err = Some(e),
                 }
@@ -360,7 +368,11 @@ impl NodeClient {
                 }));
             };
             match self.read_reply(id) {
-                Ok(Reply::ChunkOk { .. }) if !last => {}
+                Ok(Reply::ChunkOk { .. }) if !last => {
+                    if let Err(v) = sender.record_ack() {
+                        break Err(NetError::BadReply(v.to_string()));
+                    }
+                }
                 Ok(reply @ Reply::WriteOk { .. }) if last => break Ok(reply),
                 Ok(err @ Reply::Error(_)) => break Ok(err),
                 Ok(other) => {
@@ -454,11 +466,13 @@ impl NodeClient {
             match self.transact(request) {
                 Ok(Reply::Error(e))
                     if e.code == ErrCode::UnsupportedVersion
-                        && self.peer_version > MIN_PROTOCOL_VERSION =>
+                        && self.negotiation.can_downgrade() =>
                 {
                     // The daemon is older than us: negotiate down and
-                    // re-issue without consuming a retry attempt.
-                    self.peer_version -= 1;
+                    // re-issue without consuming a retry attempt. The match
+                    // guard checked `can_downgrade`, so the step succeeds.
+                    let stepped = self.negotiation.downgrade();
+                    debug_assert!(stepped);
                 }
                 Ok(Reply::Error(e)) => return Err(NetError::Protocol(e)),
                 Ok(reply) => return Ok(reply),
@@ -475,7 +489,9 @@ impl NodeClient {
                 Err(other) => return Err(other),
             }
         }
-        Err(last_err.expect("at least one attempt ran"))
+        Err(last_err.unwrap_or_else(|| {
+            NetError::Io(std::io::Error::other("request gave up before any attempt ran"))
+        }))
     }
 
     /// Like [`call`](Self::call), but demands a specific success shape.

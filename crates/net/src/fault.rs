@@ -229,6 +229,16 @@ impl FaultPlan {
     pub fn disarmed_crashes(&self) -> Self {
         Self { kill_after_frames: None, torn_write: None, ..self.clone() }
     }
+
+    /// Whether this plan injects any *transport* fault the chaos proxy can
+    /// fire (drop, truncate, kill). Flush failures and torn writes are
+    /// server-side faults — a proxy running such a plan plans nothing.
+    #[must_use]
+    pub fn plans_transport_fault(&self) -> bool {
+        self.drop_after_frames.is_some()
+            || self.truncate.is_some()
+            || self.kill_after_frames.is_some()
+    }
 }
 
 /// What the injector tells the connection loop to do with a frame.
@@ -338,11 +348,27 @@ impl FaultInjector {
 // ---------------------------------------------------------------------------
 // The chaos proxy
 
+/// What a chaos-proxy run observed, for distinguishing "the planned fault
+/// fired" from "the protocol broke in a way the plan does not explain".
+///
+/// An error reply flowing back to the client is only *unexpected* when its
+/// code is not `UnsupportedVersion` — version rejection is the legitimate
+/// first step of the v3→v2 fallback handshake, not a failure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// Transport faults (drop / truncate / kill) the proxy injected.
+    pub planned_faults: u64,
+    /// Error replies other than `UnsupportedVersion` seen flowing back to
+    /// the client.
+    pub unexpected_errors: u64,
+}
+
 /// A running chaos proxy; dropping it stops the listener.
 pub struct ChaosProxyHandle {
     addr: String,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<ProxyShared>,
 }
 
 impl ChaosProxyHandle {
@@ -350,6 +376,16 @@ impl ChaosProxyHandle {
     #[must_use]
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// What the proxy has observed so far (live counters; call after
+    /// [`Self::stop`] for a final tally).
+    #[must_use]
+    pub fn outcome(&self) -> ChaosOutcome {
+        ChaosOutcome {
+            planned_faults: self.shared.planned_faults.load(Ordering::SeqCst),
+            unexpected_errors: self.shared.unexpected_errors.load(Ordering::SeqCst),
+        }
     }
 
     /// Stops accepting new connections (live pumps die with their peers).
@@ -380,6 +416,10 @@ struct ProxyShared {
     upstream: String,
     /// While set, the node is "dead": connections severed, connects refused.
     down_until: Mutex<Option<Instant>>,
+    /// Transport faults fired as planned (drop / truncate / kill).
+    planned_faults: AtomicU64,
+    /// Non-`UnsupportedVersion` error replies seen heading to the client.
+    unexpected_errors: AtomicU64,
 }
 
 impl ProxyShared {
@@ -418,6 +458,8 @@ pub fn chaos_proxy(
         plan,
         upstream: upstream.to_string(),
         down_until: Mutex::new(None),
+        planned_faults: AtomicU64::new(0),
+        unexpected_errors: AtomicU64::new(0),
     });
     let accept_stop = Arc::clone(&stop);
     let accept_shared = Arc::clone(&shared);
@@ -431,14 +473,14 @@ pub fn chaos_proxy(
                 let shared = Arc::clone(&accept_shared);
                 let _ = std::thread::Builder::new()
                     .name("pf-chaos-conn".into())
-                    .spawn(move || proxy_connection(client, &shared));
+                    .spawn(move || proxy_connection(client, shared));
             }
         })?;
-    Ok(ChaosProxyHandle { addr, stop, accept_thread: Some(accept_thread) })
+    Ok(ChaosProxyHandle { addr, stop, accept_thread: Some(accept_thread), shared })
 }
 
 /// Pumps one proxied connection in both directions, frame by frame.
-fn proxy_connection(client: TcpStream, shared: &ProxyShared) {
+fn proxy_connection(client: TcpStream, shared: Arc<ProxyShared>) {
     if shared.blacked_out() {
         return; // node is "down": sever immediately
     }
@@ -451,11 +493,11 @@ fn proxy_connection(client: TcpStream, shared: &ProxyShared) {
         return;
     };
     let c2s = std::thread::Builder::new().name("pf-chaos-c2s".into()).spawn({
-        let shared_plan = shared.plan.clone();
-        move || pump(client_r, server, &shared_plan, Direction::ClientToServer)
+        let shared = Arc::clone(&shared);
+        move || pump(client_r, server, &shared, Direction::ClientToServer)
     });
     // Server→client pump runs on this thread.
-    let s2c_result = pump(server_r, client, &shared.plan, Direction::ServerToClient);
+    let s2c_result = pump(server_r, client, &shared, Direction::ServerToClient);
     if let Ok(handle) = c2s {
         let c2s_result = handle.join().unwrap_or(PumpEnd::Closed);
         if matches!(c2s_result, PumpEnd::Killed) || matches!(s2c_result, PumpEnd::Killed) {
@@ -472,8 +514,13 @@ enum PumpEnd {
 }
 
 /// Forwards frames from `src` to `dst`, applying the plan's faults for
-/// `dir`. Returns how the pump ended.
-fn pump(mut src: TcpStream, mut dst: TcpStream, plan: &FaultPlan, dir: Direction) -> PumpEnd {
+/// `dir`. Returns how the pump ended; faults it fires and unexplained
+/// error replies it forwards are tallied in `shared`.
+fn pump(mut src: TcpStream, mut dst: TcpStream, shared: &ProxyShared, dir: Direction) -> PumpEnd {
+    let plan = &shared.plan;
+    let fault_fired = || {
+        shared.planned_faults.fetch_add(1, Ordering::SeqCst);
+    };
     let mut frames = 0u64;
     loop {
         let mut len_buf = [0u8; 4];
@@ -489,6 +536,18 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, plan: &FaultPlan, dir: Direction
         }
         frames += 1;
 
+        if dir == Direction::ServerToClient {
+            // Sniff replies for protocol errors the plan does not explain.
+            // Reply body: ver:u8 | op:u8 | request:u64 | payload, with an
+            // error payload leading with its u16 code. `UnsupportedVersion`
+            // (wire id 1) is the legitimate fallback handshake, not a bug.
+            if body.len() >= 12 && body[1] == crate::wire::op::R_ERROR {
+                let code = u16::from_le_bytes([body[10], body[11]]);
+                if code != 1 {
+                    shared.unexpected_errors.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
         if dir == Direction::ClientToServer {
             if let Some((every, millis)) = plan.delay {
                 if every > 0 && frames % every == 0 {
@@ -499,6 +558,7 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, plan: &FaultPlan, dir: Direction
                 if frames >= kill_at {
                     let _ = src.shutdown(std::net::Shutdown::Both);
                     let _ = dst.shutdown(std::net::Shutdown::Both);
+                    fault_fired();
                     return PumpEnd::Killed;
                 }
             }
@@ -506,6 +566,7 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, plan: &FaultPlan, dir: Direction
                 if frames >= drop_at {
                     let _ = src.shutdown(std::net::Shutdown::Both);
                     let _ = dst.shutdown(std::net::Shutdown::Both);
+                    fault_fired();
                     return PumpEnd::Faulted;
                 }
             }
@@ -520,6 +581,7 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, plan: &FaultPlan, dir: Direction
                 let _ = dst.flush();
                 let _ = src.shutdown(std::net::Shutdown::Both);
                 let _ = dst.shutdown(std::net::Shutdown::Both);
+                fault_fired();
                 return PumpEnd::Faulted;
             }
         }
@@ -595,6 +657,99 @@ mod tests {
         assert!(!inj.on_write_torn());
         assert!(inj.on_write_torn());
         assert!(!inj.on_write_torn(), "a torn-write crash fires at most once");
+    }
+
+    /// A throwaway upstream that answers every frame with a canned reply
+    /// body (prefixed with its length), then keeps serving until the peer
+    /// hangs up. Returns its address.
+    fn canned_upstream(reply_body: Vec<u8>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let addr = listener.local_addr().expect("upstream addr").to_string();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                let reply = reply_body.clone();
+                std::thread::spawn(move || loop {
+                    let mut len_buf = [0u8; 4];
+                    if conn.read_exact(&mut len_buf).is_err() {
+                        return;
+                    }
+                    let mut body = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+                    if conn.read_exact(&mut body).is_err() {
+                        return;
+                    }
+                    let n = u32::try_from(reply.len()).expect("reply fits a frame");
+                    if conn.write_all(&n.to_le_bytes()).is_err() || conn.write_all(&reply).is_err()
+                    {
+                        return;
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    /// Frames one raw request through `addr` and tries to read one reply.
+    fn send_frame(addr: &str, body: &[u8]) -> Option<Vec<u8>> {
+        let mut s = TcpStream::connect(addr).ok()?;
+        let n = u32::try_from(body.len()).expect("body fits a frame");
+        s.write_all(&n.to_le_bytes()).ok()?;
+        s.write_all(body).ok()?;
+        let mut len_buf = [0u8; 4];
+        s.read_exact(&mut len_buf).ok()?;
+        let mut reply = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        s.read_exact(&mut reply).ok()?;
+        Some(reply)
+    }
+
+    /// A minimal reply body: ver | op | request:u64 | payload.
+    fn reply_body(op_byte: u8, payload: &[u8]) -> Vec<u8> {
+        let mut b = vec![3u8, op_byte];
+        b.extend_from_slice(&7u64.to_le_bytes());
+        b.extend_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn chaos_outcome_counts_planned_faults() {
+        let upstream = canned_upstream(reply_body(crate::wire::op::R_PONG, &[]));
+        let plan = FaultPlan { drop_after_frames: Some(1), ..FaultPlan::none() };
+        let mut proxy = chaos_proxy("127.0.0.1:0", &upstream, plan).expect("proxy");
+        // Frame 1 trips the drop fault: the connection severs unreplied.
+        assert_eq!(send_frame(proxy.addr(), &reply_body(0x01, &[])), None);
+        proxy.stop();
+        let outcome = proxy.outcome();
+        assert_eq!(outcome.planned_faults, 1, "{outcome:?}");
+        assert_eq!(outcome.unexpected_errors, 0, "{outcome:?}");
+    }
+
+    #[test]
+    fn chaos_outcome_counts_unexpected_errors_but_not_version_fallback() {
+        // An error reply with code 9 (not UnsupportedVersion) is unexpected…
+        let upstream = canned_upstream(reply_body(crate::wire::op::R_ERROR, &9u16.to_le_bytes()));
+        let mut proxy = chaos_proxy("127.0.0.1:0", &upstream, FaultPlan::none()).expect("proxy");
+        assert!(send_frame(proxy.addr(), &reply_body(0x01, &[])).is_some());
+        proxy.stop();
+        let outcome = proxy.outcome();
+        assert_eq!(outcome.planned_faults, 0, "{outcome:?}");
+        assert_eq!(outcome.unexpected_errors, 1, "{outcome:?}");
+
+        // …while code 1 (UnsupportedVersion) is the fallback handshake.
+        let upstream = canned_upstream(reply_body(crate::wire::op::R_ERROR, &1u16.to_le_bytes()));
+        let mut proxy = chaos_proxy("127.0.0.1:0", &upstream, FaultPlan::none()).expect("proxy");
+        assert!(send_frame(proxy.addr(), &reply_body(0x01, &[])).is_some());
+        proxy.stop();
+        assert_eq!(proxy.outcome(), ChaosOutcome::default());
+    }
+
+    #[test]
+    fn transport_fault_classification() {
+        assert!(FaultPlan::drop_connection(1).plans_transport_fault());
+        assert!(FaultPlan::truncate_frame(1).plans_transport_fault());
+        assert!(FaultPlan::kill_one_node(1).plans_transport_fault());
+        assert!(!FaultPlan::fail_flush(1).plans_transport_fault());
+        assert!(!FaultPlan::torn_write(1).plans_transport_fault());
+        assert!(!FaultPlan::none().plans_transport_fault());
     }
 
     #[test]

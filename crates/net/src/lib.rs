@@ -25,6 +25,7 @@ pub mod backoff;
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod proto;
 pub mod server;
 pub mod session;
 pub mod wire;
@@ -32,7 +33,10 @@ pub mod wire;
 pub use backoff::Backoff;
 pub use client::NodeClient;
 pub use error::{ErrCode, NetError, ProtocolError};
-pub use fault::{chaos_proxy, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault};
+pub use fault::{
+    chaos_proxy, ChaosOutcome, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault,
+};
+pub use proto::{ChunkHeader, ChunkPlan, ChunkSender, Negotiation, ProtoViolation, WriteStream};
 pub use server::{serve, DaemonConfig, DaemonHandle, NetListener, DEFAULT_MAX_CHUNK};
 pub use session::{spawn_loopback, BatchWrite, NodeHealth, RedistReport, SegmentOutcome, Session};
 pub use wire::{

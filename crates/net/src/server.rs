@@ -28,6 +28,7 @@
 
 use crate::error::{ErrCode, ProtocolError};
 use crate::fault::{FaultInjector, FaultPlan, FrameFault};
+use crate::proto::{version_admitted, ChunkHeader, WriteStream};
 use crate::wire::{
     self, op, raw_to_set, FrameReadError, Reply, Request, StatInfo, DEFAULT_MAX_FRAME,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
@@ -680,7 +681,7 @@ fn handle_frame(
     payload: &[u8],
 ) -> Handled {
     let max_version = shared.config.max_version.min(PROTOCOL_VERSION);
-    if !(MIN_PROTOCOL_VERSION..=max_version).contains(&version) {
+    if !version_admitted(version, max_version) {
         let e = ProtocolError::new(
             ErrCode::UnsupportedVersion,
             format!(
@@ -1063,15 +1064,9 @@ fn take_runs(
 /// whose stream completed — an interrupted stream is re-applied in full by
 /// the client's retry.
 struct ChunkWrite {
-    file: u64,
-    compute: u32,
-    l_s: u64,
-    r_s: u64,
-    session: u64,
-    seq: u64,
-    total: u64,
-    /// Payload bytes received so far (the next chunk's expected offset).
-    received: u64,
+    /// The typed stream automaton: pins the stream identity and enforces
+    /// contiguity, the declared total, and the final-chunk arithmetic.
+    stream: WriteStream,
     mode: ChunkMode,
 }
 
@@ -1097,110 +1092,106 @@ enum ChunkMode {
     Failed(ProtocolError),
 }
 
-/// Starts the per-connection state for a chunk stream's first frame.
-/// The arguments mirror the `WriteChunk` opening-frame fields one-to-one.
-#[allow(clippy::too_many_arguments)]
-fn start_chunk_write(
-    shared: &Shared,
-    file: u64,
-    compute: u32,
-    l_s: u64,
-    r_s: u64,
-    session: u64,
-    seq: u64,
-    total: u64,
-) -> ChunkWrite {
-    let mk = |mode| ChunkWrite { file, compute, l_s, r_s, session, seq, total, received: 0, mode };
-    let slot = match lookup(shared, file) {
+/// Resolves the server-side mode for a chunk stream's first frame: file
+/// lookup, range/view validation, dedup check, and the projection walk.
+fn start_chunk_mode(shared: &Shared, h: &ChunkHeader) -> ChunkMode {
+    let slot = match lookup(shared, h.file) {
         Ok(s) => s,
-        Err(e) => return mk(ChunkMode::Failed(e)),
+        Err(e) => return ChunkMode::Failed(e),
     };
-    if l_s > r_s {
-        let e = ProtocolError::new(ErrCode::BadRange, format!("interval [{l_s}, {r_s}] is empty"));
-        return mk(ChunkMode::Failed(e));
+    if h.l_s > h.r_s {
+        let e = ProtocolError::new(
+            ErrCode::BadRange,
+            format!("interval [{}, {}] is empty", h.l_s, h.r_s),
+        );
+        return ChunkMode::Failed(e);
     }
-    let proj = match read(&slot.views).get(&compute) {
+    let proj = match read(&slot.views).get(&h.compute) {
         Some(p) => p.clone(),
         None => {
             let e = ProtocolError::new(
                 ErrCode::NoView,
-                format!("compute node {compute} has no view on file {file}"),
+                format!("compute node {} has no view on file {}", h.compute, h.file),
             );
-            return mk(ChunkMode::Failed(e));
+            return ChunkMode::Failed(e);
         }
     };
-    if session != 0 {
-        let hit = lock(&slot.dedup).get(session, seq);
+    if h.session != 0 {
+        let hit = lock(&slot.dedup).get(h.session, h.seq);
         if let Some(written) = hit {
-            return mk(ChunkMode::Replay { slot, written });
+            return ChunkMode::Replay { slot, written };
         }
     }
     let len = lock(&slot.store).len();
-    let runs: Vec<(u64, u64)> = if len == 0 || l_s >= len {
+    let runs: Vec<(u64, u64)> = if len == 0 || h.l_s >= len {
         Vec::new()
     } else {
-        proj.segments_between(l_s, r_s.min(len - 1)).iter().map(|s| (s.l(), s.len())).collect()
+        proj.segments_between(h.l_s, h.r_s.min(len - 1)).iter().map(|s| (s.l(), s.len())).collect()
     };
     let expect: u64 = runs.iter().map(|&(_, n)| n).sum();
-    if total < expect {
+    if h.total < expect {
         let e = ProtocolError::new(
             ErrCode::SizeMismatch,
-            format!("stream declares {total} bytes, projection needs {expect}"),
+            format!("stream declares {} bytes, projection needs {expect}", h.total),
         );
-        return mk(ChunkMode::Failed(e));
+        return ChunkMode::Failed(e);
     }
-    mk(ChunkMode::Apply { slot, runs, expect, applied: 0, run_idx: 0, run_pos: 0 })
+    ChunkMode::Apply { slot, runs, expect, applied: 0, run_idx: 0, run_pos: 0 }
 }
 
 fn handle_write_chunk(shared: &Shared, state: &mut Option<ChunkWrite>, request: Request) -> Reply {
     let Request::WriteChunk { file, compute, l_s, r_s, session, seq, offset, total, last, data } =
         request
     else {
-        unreachable!("dispatched on opcode");
+        // handle_frame dispatches on the opcode, so any other variant here
+        // is a daemon defect — answered as a typed error, never a panic on
+        // the connection thread.
+        return Reply::Error(ProtocolError::new(
+            ErrCode::Internal,
+            "chunk handler invoked on a non-chunk request",
+        ));
+    };
+    let header = ChunkHeader {
+        file,
+        compute,
+        l_s,
+        r_s,
+        session,
+        seq,
+        offset,
+        total,
+        last,
+        len: data.len() as u64,
     };
     if offset == 0 {
         // First chunk of a stream (any abandoned predecessor is dropped —
         // starting over is the client's resync).
-        *state = Some(start_chunk_write(shared, file, compute, l_s, r_s, session, seq, total));
-    } else {
-        let continues = state.as_ref().is_some_and(|cw| {
-            cw.file == file
-                && cw.compute == compute
-                && cw.l_s == l_s
-                && cw.r_s == r_s
-                && cw.session == session
-                && cw.seq == seq
-                && cw.total == total
-                && cw.received == offset
+        *state = Some(ChunkWrite {
+            stream: WriteStream::start(&header),
+            mode: start_chunk_mode(shared, &header),
         });
-        if !continues {
-            *state = None;
-            return Reply::Error(ProtocolError::new(
-                ErrCode::Malformed,
-                "write chunk does not continue the in-progress stream",
-            ));
-        }
-    }
-    let cw = state.as_mut().expect("stream state installed above");
-    if let ChunkMode::Apply { slot, .. } | ChunkMode::Replay { slot, .. } = &cw.mode {
-        slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-    }
-    // Stream arithmetic must stay consistent with the declared total.
-    let after = cw.received.checked_add(data.len() as u64);
-    let overrun = after.is_none_or(|v| v > cw.total);
-    let short_final = last && after.is_some_and(|v| v != cw.total);
-    if overrun || short_final {
+    } else if !state.as_ref().is_some_and(|cw| cw.stream.continues(&header)) {
         *state = None;
         return Reply::Error(ProtocolError::new(
             ErrCode::Malformed,
-            if overrun {
-                "chunk overruns the declared total"
-            } else {
-                "final chunk leaves the stream short"
-            },
+            "write chunk does not continue the in-progress stream",
         ));
     }
-    cw.received += data.len() as u64;
+    let Some(cw) = state.as_mut() else {
+        return Reply::Error(ProtocolError::new(
+            ErrCode::Internal,
+            "chunk stream state missing after installation",
+        ));
+    };
+    if let ChunkMode::Apply { slot, .. } | ChunkMode::Replay { slot, .. } = &cw.mode {
+        slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    // Stream arithmetic must stay consistent with the declared total; the
+    // automaton rejects overruns and short finals before a byte lands.
+    if let Err(violation) = cw.stream.accept(&header) {
+        *state = None;
+        return Reply::Error(ProtocolError::new(ErrCode::Malformed, violation.to_string()));
+    }
     let result: Result<Reply, ProtocolError> = match &mut cw.mode {
         ChunkMode::Failed(e) => Ok(Reply::Error(e.clone())),
         ChunkMode::Replay { written, .. } => {

@@ -1,0 +1,299 @@
+//! Encode→decode identity for every frame type, property-tested.
+//!
+//! Three layers of guarantees, each over randomly generated frames:
+//!
+//! * **round-trip identity** — every v3 request and reply payload decodes
+//!   back to exactly the value that was encoded, including chunked frames
+//!   at boundary data sizes (empty, one byte, around the chunk limit);
+//! * **version gating** — additive v2/v3 fields are dropped when encoding
+//!   for an older peer and refilled with their documented defaults when
+//!   decoding, and v3-only opcodes are rejected outright on v2 and v1
+//!   connections;
+//! * **truncation rejection** — cutting any encoded payload short never
+//!   panics and never decodes back to the original value: fixed-layout
+//!   payloads answer a typed `WireError`, trailing-bytes payloads (write
+//!   data) decode to a visibly shorter value.
+
+use parafile_audit::{RawElement, RawFalls, RawPattern};
+use parafile_net::wire::{op, Reply, Request, StatInfo, WireError};
+use parafile_net::{ErrCode, ProtocolError};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+
+/// A small raw FALLS tree (validity is irrelevant to the codec: the wire
+/// carries *raw* trees and the daemon audits them after decoding).
+fn arb_falls() -> impl Strategy<Value = RawFalls> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), 0usize..3).prop_map(
+        |(l, r, s, n, kids)| RawFalls {
+            l,
+            r,
+            s,
+            n,
+            inner: (0..kids as u64).map(|k| RawFalls::leaf(k, k + 1, 4, 1)).collect(),
+        },
+    )
+}
+
+fn arb_pattern() -> impl Strategy<Value = RawPattern> {
+    (any::<u64>(), prop::collection::vec(arb_falls(), 0..3)).prop_map(|(displacement, fams)| {
+        RawPattern { displacement, elements: vec![RawElement::new(fams)] }
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(file, subfile, len)| Request::Open {
+            file,
+            subfile,
+            len
+        }),
+        (any::<u64>(), any::<u32>(), any::<u32>(), arb_pattern(), arb_falls(), any::<u64>())
+            .prop_map(|(file, compute, element, view, proj, proj_period)| Request::SetView {
+                file,
+                compute,
+                element,
+                view,
+                proj_set: vec![proj],
+                proj_period,
+            }),
+        arb_write(),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(file, compute, l_s, r_s)| Request::Read { file, compute, l_s, r_s }),
+        any::<u64>().prop_map(|file| Request::Flush { file }),
+        any::<u64>().prop_map(|file| Request::Stat { file }),
+        any::<u64>().prop_map(|file| Request::Fetch { file }),
+        Just(Request::Shutdown),
+        Just(Request::Ping),
+        arb_write_chunk(0..64),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+            |(file, compute, l_s, r_s, max_chunk)| Request::ReadChunk {
+                file,
+                compute,
+                l_s,
+                r_s,
+                max_chunk,
+            }
+        ),
+    ]
+}
+
+fn arb_write() -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(file, compute, l_s, r_s, session, seq, payload)| Request::Write {
+            file,
+            compute,
+            l_s,
+            r_s,
+            session,
+            seq,
+            payload,
+        })
+}
+
+/// A `WriteChunk` with its data length drawn from `sizes` — reused by the
+/// general round-trip (small sizes) and the boundary-size suite.
+fn arb_write_chunk(sizes: std::ops::Range<usize>) -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), sizes),
+    )
+        .prop_map(|(file, compute, l_s, r_s, session, seq, offset, last, data)| {
+            Request::WriteChunk {
+                file,
+                compute,
+                l_s,
+                r_s,
+                session,
+                seq,
+                offset,
+                total: offset + data.len() as u64,
+                last,
+                data,
+            }
+        })
+}
+
+fn arb_err_code() -> impl Strategy<Value = ErrCode> {
+    (1u16..=12).prop_filter_map("valid wire id", ErrCode::from_u16)
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        Just(Reply::Ok),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(written, replayed)| Reply::WriteOk { written, replayed }),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|payload| Reply::Data { payload }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(len, views, requests, bytes_written, bytes_read, fragments)| Reply::Stat(
+                StatInfo { len, views, requests, bytes_written, bytes_read, fragments }
+            )),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(epoch, max_chunk)| Reply::Pong { epoch, max_chunk }),
+        any::<u64>().prop_map(|offset| Reply::ChunkOk { offset }),
+        arb_data_chunk(0..64),
+        (arb_err_code(), 0usize..3, prop::collection::vec(any::<u8>(), 0..12)).prop_map(
+            |(code, n_pa, msg)| Reply::Error(ProtocolError {
+                code,
+                pa_codes: (0..n_pa).map(|i| format!("PA{:03}", 20 + i)).collect(),
+                message: String::from_utf8_lossy(&msg).into_owned(),
+            })
+        ),
+    ]
+}
+
+/// A `DataChunk` with its data length drawn from `sizes`.
+fn arb_data_chunk(sizes: std::ops::Range<usize>) -> impl Strategy<Value = Reply> {
+    (any::<u64>(), any::<bool>(), prop::collection::vec(any::<u8>(), sizes))
+        .prop_map(|(offset, last, data)| Reply::DataChunk { offset, last, data })
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip identity at v3
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request frame type: encode at v3, decode at v3, get the same
+    /// value back.
+    #[test]
+    fn request_roundtrip_v3(req in arb_request()) {
+        let payload = req.encode_payload_at(3);
+        let back = Request::decode_at(3, req.opcode(), &payload);
+        prop_assert_eq!(back.as_ref(), Ok(&req));
+    }
+
+    /// Every reply frame type likewise.
+    #[test]
+    fn reply_roundtrip_v3(reply in arb_reply()) {
+        let payload = reply.encode_payload_at(3);
+        let back = Reply::decode_at(3, reply.opcode(), &payload);
+        prop_assert_eq!(back.as_ref(), Ok(&reply));
+    }
+
+    /// Chunked frames at boundary data sizes: empty, single-byte, and
+    /// straddling a typical negotiated chunk limit.
+    #[test]
+    fn chunk_frames_roundtrip_at_boundary_sizes(
+        req in arb_write_chunk(0..2),
+        big in arb_write_chunk(4095..4098),
+        reply in arb_data_chunk(0..2),
+        big_reply in arb_data_chunk(4095..4098),
+    ) {
+        for r in [req, big] {
+            let payload = r.encode_payload_at(3);
+            prop_assert_eq!(Request::decode_at(3, r.opcode(), &payload), Ok(r));
+        }
+        for r in [reply, big_reply] {
+            let payload = r.encode_payload_at(3);
+            prop_assert_eq!(Reply::decode_at(3, r.opcode(), &payload), Ok(r));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Version gating
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The v2 additive fields of `Write` are dropped for a v1 peer and
+    /// refilled with the unstamped sentinel on decode; the payload
+    /// survives untouched.
+    #[test]
+    fn write_gates_its_stamp_below_v2(req in arb_write()) {
+        let Request::Write { payload, .. } = &req else { unreachable!() };
+        let v1 = req.encode_payload_at(1);
+        prop_assert_eq!(v1.len() + 16, req.encode_payload_at(2).len());
+        match Request::decode_at(1, op::WRITE, &v1) {
+            Ok(Request::Write { session, seq, payload: got, .. }) => {
+                prop_assert_eq!((session, seq), (0, 0));
+                prop_assert_eq!(&got, payload);
+            }
+            other => return Err(TestCaseError::fail(format!("decoded {other:?}"))),
+        }
+    }
+
+    /// `Pong` drops its v3 capability field for a v2 peer (capability
+    /// defaults to "no chunking"); `WriteOk` drops its v2 replay flag for
+    /// a v1 peer.
+    #[test]
+    fn replies_gate_additive_fields(epoch in any::<u64>(), max_chunk in 1u32..=u32::MAX, written in any::<u64>()) {
+        let pong = Reply::Pong { epoch, max_chunk };
+        let v2 = pong.encode_payload_at(2);
+        prop_assert_eq!(Reply::decode_at(2, op::R_PONG, &v2), Ok(Reply::Pong { epoch, max_chunk: 0 }));
+
+        let ack = Reply::WriteOk { written, replayed: true };
+        let v1 = ack.encode_payload_at(1);
+        prop_assert_eq!(v1.len(), 8);
+        prop_assert_eq!(
+            Reply::decode_at(1, op::R_WRITE_OK, &v1),
+            Ok(Reply::WriteOk { written, replayed: false })
+        );
+    }
+
+    /// v3-only opcodes are rejected on older connections no matter what
+    /// bytes follow them.
+    #[test]
+    fn chunk_opcodes_rejected_below_v3(version in 1u8..=2, bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        for opc in [op::WRITE_CHUNK, op::READ_CHUNK] {
+            prop_assert_eq!(
+                Request::decode_at(version, opc, &bytes),
+                Err(WireError::BadValue("opcode"))
+            );
+        }
+        for opc in [op::R_CHUNK_OK, op::R_DATA_CHUNK] {
+            prop_assert_eq!(
+                Reply::decode_at(version, opc, &bytes),
+                Err(WireError::BadValue("opcode"))
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncated buffers
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cutting any request payload short never panics and never yields the
+    /// original value back: fixed-layout frames answer a typed error,
+    /// trailing-data frames decode to a visibly shorter payload.
+    #[test]
+    fn truncated_requests_never_roundtrip(req in arb_request(), cut_seed in any::<u64>()) {
+        let payload = req.encode_payload_at(3);
+        prop_assume!(!payload.is_empty());
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        if let Ok(shorter) = Request::decode_at(3, req.opcode(), &payload[..cut]) {
+            prop_assert_ne!(shorter, req);
+        }
+    }
+
+    /// The same for replies.
+    #[test]
+    fn truncated_replies_never_roundtrip(reply in arb_reply(), cut_seed in any::<u64>()) {
+        let payload = reply.encode_payload_at(3);
+        prop_assume!(!payload.is_empty());
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        if let Ok(shorter) = Reply::decode_at(3, reply.opcode(), &payload[..cut]) {
+            prop_assert_ne!(shorter, reply);
+        }
+    }
+}

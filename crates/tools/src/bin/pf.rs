@@ -9,7 +9,7 @@
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
 //! pf serve   <addr> [--dir DIR] [--chaos SPEC]  # run an I/O-node daemon
-//! pf chaos   <listen> <upstream> <SPEC>  # fault-injecting proxy in front of a daemon
+//! pf chaos   <listen> <upstream> <SPEC> [--duration SECS]  # fault-injecting proxy
 //! pf io <a1,a2,…> demo <n> [--pipeline]  # matrix scenario over real daemons
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
 //! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
@@ -242,10 +242,42 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             let upstream = args.get(2).ok_or_else(usage)?;
             let spec = args.get(3).ok_or_else(usage)?;
             let plan = parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?;
+            let duration = match (args.get(4).map(String::as_str), args.get(5)) {
+                (None, _) => None,
+                (Some("--duration"), Some(secs)) => Some(
+                    secs.parse::<u64>()
+                        .map_err(|e| ToolError::Spec(format!("bad --duration: {e}")))?,
+                ),
+                _ => return Err(usage()),
+            };
+            let planned = plan.plans_transport_fault();
             println!("chaos plan (seed {}): {plan:?}", plan.seed);
             let mut proxy = parafile_net::chaos_proxy(listen, upstream, plan)?;
             println!("pf-chaos proxying {} → {upstream}", proxy.addr());
-            proxy.wait();
+            // Without --duration the proxy runs until killed; with it the
+            // proxy stops after the window so scripts can read the verdict.
+            match duration {
+                Some(secs) => {
+                    std::thread::sleep(std::time::Duration::from_secs(secs));
+                    proxy.stop();
+                }
+                None => proxy.wait(),
+            }
+            // Exit codes distinguish the run's verdict: 0 = the planned
+            // fault fired (or the plan injects nothing at the transport)
+            // and the protocol held; 3 = the planned fault never fired;
+            // 4 = errors the plan does not explain flowed to the client.
+            let outcome = proxy.outcome();
+            println!(
+                "pf-chaos outcome: {} planned fault(s) fired, {} unexpected error(s)",
+                outcome.planned_faults, outcome.unexpected_errors
+            );
+            if outcome.unexpected_errors > 0 {
+                std::process::exit(4);
+            }
+            if planned && outcome.planned_faults == 0 {
+                std::process::exit(3);
+            }
             Ok(())
         }
         "io" => {
