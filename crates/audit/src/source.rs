@@ -13,8 +13,8 @@
 //!   stalled daemon back-pressures the submitter instead of buffering
 //!   without limit.
 //! * **PA043** — locks are acquired in the canonical global order
-//!   `files < store < journal < dedup`; a later-ranked guard held while
-//!   an earlier-ranked lock is taken is a deadlock seed.
+//!   `files < store < journal < sums < dedup`; a later-ranked guard held
+//!   while an earlier-ranked lock is taken is a deadlock seed.
 //! * **PA044** — `#[must_use]` coverage in designated API files for
 //!   public functions whose ignored return value would be a silent bug
 //!   (`Result`/`Option` returns pass inherently — the compiler already
@@ -50,9 +50,10 @@ pub struct SourceConfig {
 
 impl SourceConfig {
     /// The workspace's canonical configuration: the daemon/session/client
-    /// request paths and the write-ahead journal are hot, session worker
-    /// queues are bounded-only, and the daemon's lock order is
-    /// `files < store < journal < dedup`.
+    /// request paths, the write-ahead journal, and the replication layer
+    /// (replica placement math, per-segment checksum map) are hot,
+    /// session worker queues are bounded-only, and the daemon's lock
+    /// order is `files < store < journal < sums < dedup`.
     #[must_use]
     pub fn parafile_defaults() -> Self {
         let own = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect();
@@ -63,10 +64,12 @@ impl SourceConfig {
                 "net/src/client.rs",
                 "net/src/proto.rs",
                 "clusterfile/src/journal.rs",
+                "clusterfile/src/checksum.rs",
+                "replica/src/lib.rs",
             ]),
             bounded_only: own(&["net/src/session.rs"]),
-            lock_order: own(&["files", "store", "journal", "dedup"]),
-            must_use_files: own(&["net/src/proto.rs"]),
+            lock_order: own(&["files", "store", "journal", "sums", "dedup"]),
+            must_use_files: own(&["net/src/proto.rs", "replica/src/lib.rs"]),
         }
     }
 
@@ -459,6 +462,35 @@ mod tests {
 ";
         let r = run("crates/net/src/server.rs", text);
         assert!(!r.has_code(Code::UnwrapOnHotPath), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn replica_hot_paths_inherit_unwrap_and_lock_order_checks() {
+        // The replication layer is hot-path code: PA040 applies to the
+        // replica crate and the checksum map.
+        for path in ["crates/replica/src/lib.rs", "crates/clusterfile/src/checksum.rs"] {
+            let r = run(path, "fn f() { x.unwrap(); }\n");
+            assert!(r.has_code(Code::UnwrapOnHotPath), "{path}: {:?}", r.diagnostics);
+        }
+        // The checksum map's `sums` lock ranks between `journal` and
+        // `dedup` in the canonical order.
+        let inverted = "\
+fn f(slot: &Slot) {
+    let mut sums = lock(&slot.sums);
+    let mut journal = lock(&slot.journal);
+}
+";
+        let r = run("crates/net/src/server.rs", inverted);
+        assert!(r.has_code(Code::LockOrderViolation), "{:?}", r.diagnostics);
+        let ordered = "\
+fn f(slot: &Slot) {
+    let mut journal = lock(&slot.journal);
+    let mut sums = lock(&slot.sums);
+    let hit = lock(&slot.dedup).contains(stamp);
+}
+";
+        let r = run("crates/net/src/server.rs", ordered);
+        assert!(!r.has_code(Code::LockOrderViolation), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Per-page CRC32C checksums stored alongside subfile data.
+//!
+//! Every subfile store can carry a [`ChecksumMap`]: one CRC32C (Castagnoli)
+//! checksum per fixed-size page of the store. The map lets a daemon verify
+//! the pages covered by a read *before* shipping bytes to a client, so a
+//! bit-flip on disk surfaces as a checksum error the replication layer can
+//! fail over from, rather than as silently corrupt data.
+//!
+//! The checksums use the Castagnoli polynomial (`0x1EDC6F41`, reflected
+//! `0x82F63B78`) — deliberately distinct from the CRC-32 (IEEE) protecting
+//! journal records, so a unit test mixing the two fails loudly.
+//!
+//! For directory-backed stores the map persists to a sidecar file next to
+//! the data (`file<fid>_subfile<idx>.crc`), written on flush. The sidecar
+//! is exactly as fresh as the last flush; anything newer is covered by the
+//! intent journal, so after a crash recovery the map is rebuilt from the
+//! replayed bytes instead of trusted from disk.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::storage::{StorageBackend, SubfileStore};
+
+/// Default checksum granularity in bytes.
+pub const CHECKSUM_PAGE: u64 = 4096;
+
+/// Sidecar file magic ("ParaFile CheckSums").
+const SIDECAR_MAGIC: &[u8; 4] = b"PFCS";
+/// Sidecar format version.
+const SIDECAR_VERSION: u8 = 1;
+
+/// CRC32C table for the reflected Castagnoli polynomial `0x82F63B78`.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82F6_3B78 } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = build_table();
+
+/// CRC32C (Castagnoli) of `data`.
+///
+/// This is the checksum guarding stored *data* pages; journal records use
+/// the independent CRC-32 (IEEE) in [`crate::journal`].
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Sidecar path for `file<fid>_subfile<idx>.crc` under `dir`.
+#[must_use]
+pub fn sidecar_path(dir: &Path, file_id: usize, subfile: usize) -> PathBuf {
+    dir.join(format!("file{file_id}_subfile{subfile}.crc"))
+}
+
+/// Page-granular CRC32C map over one subfile store.
+///
+/// The map always covers the store exactly: `ceil(len / page)` checksums,
+/// the last one over the trailing partial page. Callers must keep it in
+/// sync by routing every mutation through [`record_write`] (or
+/// [`rebuild`] after wholesale changes).
+///
+/// [`record_write`]: ChecksumMap::record_write
+/// [`rebuild`]: ChecksumMap::rebuild
+#[derive(Debug)]
+pub struct ChecksumMap {
+    page: u64,
+    sums: Vec<u32>,
+    /// Sidecar path, when the backing store is directory-backed.
+    path: Option<PathBuf>,
+}
+
+impl ChecksumMap {
+    /// Build the map for a store, loading the sidecar when it is present,
+    /// trusted, and consistent with the store's current length — otherwise
+    /// recomputing every page from the bytes.
+    ///
+    /// Pass `trust_sidecar = false` when journaled intents were replayed
+    /// into the store after the last flush (the sidecar predates them).
+    pub fn for_store(
+        backend: &StorageBackend,
+        file_id: usize,
+        subfile: usize,
+        store: &mut SubfileStore,
+        trust_sidecar: bool,
+    ) -> io::Result<Self> {
+        let path = match backend {
+            StorageBackend::Memory => None,
+            StorageBackend::Directory(dir) => Some(sidecar_path(dir, file_id, subfile)),
+        };
+        let mut map = ChecksumMap { page: CHECKSUM_PAGE, sums: Vec::new(), path };
+        if trust_sidecar {
+            if let Some(sums) = map.load_sidecar(store.len())? {
+                map.sums = sums;
+                return Ok(map);
+            }
+        }
+        map.rebuild(store)?;
+        Ok(map)
+    }
+
+    /// Checksum granularity in bytes.
+    #[must_use]
+    pub fn page(&self) -> u64 {
+        self.page
+    }
+
+    /// Number of checksummed pages.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.sums.len()
+    }
+
+    fn page_count(len: u64, page: u64) -> usize {
+        (len.div_ceil(page)) as usize
+    }
+
+    fn page_bytes(&self, store: &mut SubfileStore, idx: usize) -> io::Result<Vec<u8>> {
+        let off = idx as u64 * self.page;
+        let len = (store.len() - off).min(self.page);
+        store.read_at(off, len)
+    }
+
+    /// Recompute every page checksum from the store's current bytes.
+    pub fn rebuild(&mut self, store: &mut SubfileStore) -> io::Result<()> {
+        let n = Self::page_count(store.len(), self.page);
+        self.sums.clear();
+        self.sums.reserve(n);
+        for idx in 0..n {
+            let bytes = self.page_bytes(store, idx)?;
+            self.sums.push(crc32c(&bytes));
+        }
+        Ok(())
+    }
+
+    /// Refresh the checksums of every page touched by a write of `len`
+    /// bytes at `offset` (call *after* the bytes hit the store).
+    pub fn record_write(
+        &mut self,
+        store: &mut SubfileStore,
+        offset: u64,
+        len: u64,
+    ) -> io::Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        // Keep the map sized to the store (replace() may have resized it).
+        let n = Self::page_count(store.len(), self.page);
+        self.sums.resize(n, 0);
+        let first = (offset / self.page) as usize;
+        let last = ((offset + len - 1) / self.page) as usize;
+        for idx in first..=last.min(n.saturating_sub(1)) {
+            let bytes = self.page_bytes(store, idx)?;
+            self.sums[idx] = crc32c(&bytes);
+        }
+        Ok(())
+    }
+
+    /// Verify the pages covering `[offset, offset + len)`; returns how many
+    /// failed their checksum. `Err` is reserved for real I/O failures.
+    pub fn verify_range(&self, store: &mut SubfileStore, offset: u64, len: u64) -> io::Result<u64> {
+        if len == 0 {
+            return Ok(0);
+        }
+        let first = (offset / self.page) as usize;
+        let last = ((offset + len - 1) / self.page) as usize;
+        let mut bad = 0u64;
+        for idx in first..=last.min(self.sums.len().saturating_sub(1)) {
+            let bytes = self.page_bytes(store, idx)?;
+            if crc32c(&bytes) != self.sums[idx] {
+                bad += 1;
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Verify every page; returns the number of mismatching pages.
+    pub fn verify_all(&self, store: &mut SubfileStore) -> io::Result<u64> {
+        let len = store.len();
+        self.verify_range(store, 0, len)
+    }
+
+    /// Persist the map to its sidecar (no-op for memory-backed stores).
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let mut body = Vec::with_capacity(17 + self.sums.len() * 4);
+        body.push(SIDECAR_VERSION);
+        body.extend_from_slice(&self.page.to_le_bytes());
+        body.extend_from_slice(&(self.sums.len() as u64).to_le_bytes());
+        for sum in &self.sums {
+            body.extend_from_slice(&sum.to_le_bytes());
+        }
+        let trailer = crc32c(&body);
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(SIDECAR_MAGIC)?;
+        file.write_all(&body)?;
+        file.write_all(&trailer.to_le_bytes())?;
+        file.sync_all()
+    }
+
+    /// Load the sidecar if it exists, parses, and matches `store_len`.
+    /// A missing, truncated, or stale sidecar is `Ok(None)` — the caller
+    /// rebuilds — never an error.
+    fn load_sidecar(&self, store_len: u64) -> io::Result<Option<Vec<u32>>> {
+        let Some(path) = &self.path else { return Ok(None) };
+        let mut raw = Vec::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        if raw.len() < 4 + 17 + 4 || &raw[..4] != SIDECAR_MAGIC {
+            return Ok(None);
+        }
+        let body = &raw[4..raw.len() - 4];
+        let trailer = u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap_or([0; 4]));
+        if crc32c(body) != trailer || body[0] != SIDECAR_VERSION {
+            return Ok(None);
+        }
+        let page = u64::from_le_bytes(body[1..9].try_into().unwrap_or([0; 8]));
+        let count = u64::from_le_bytes(body[9..17].try_into().unwrap_or([0; 8])) as usize;
+        if page != self.page
+            || count != Self::page_count(store_len, self.page)
+            || body.len() != 17 + count * 4
+        {
+            return Ok(None);
+        }
+        let sums = body[17..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap_or([0; 4])))
+            .collect();
+        Ok(Some(sums))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // RFC 3720 test vector.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // Distinct from the journal's CRC-32 (IEEE).
+        assert_ne!(crc32c(b"123456789"), crate::journal::crc32(b"123456789"));
+    }
+
+    #[test]
+    fn map_tracks_writes_and_detects_corruption() {
+        let mut store = SubfileStore::create(&StorageBackend::Memory, 0, 0, 10_000).unwrap();
+        let mut map =
+            ChecksumMap::for_store(&StorageBackend::Memory, 0, 0, &mut store, true).unwrap();
+        assert_eq!(map.pages(), 3);
+        store.write_at(4000, &[7; 200]).unwrap();
+        // Stale until recorded: pages 0 and 1 are both touched by [4000, 4200).
+        assert_eq!(map.verify_range(&mut store, 4000, 200).unwrap(), 2);
+        map.record_write(&mut store, 4000, 200).unwrap();
+        assert_eq!(map.verify_all(&mut store).unwrap(), 0);
+        // Verification is page-granular: a write in page 2 does not disturb
+        // verification of page 0.
+        store.write_at(9000, &[1]).unwrap();
+        assert_eq!(map.verify_range(&mut store, 0, 4096).unwrap(), 0);
+        assert_eq!(map.verify_range(&mut store, 9000, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn sidecar_round_trips_and_rejects_staleness() {
+        let dir = std::env::temp_dir().join(format!("pf_crc_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let backend = StorageBackend::Directory(dir.clone());
+        let mut store = SubfileStore::create(&backend, 5, 2, 9000).unwrap();
+        store.write_at(100, b"payload").unwrap();
+        let mut map = ChecksumMap::for_store(&backend, 5, 2, &mut store, true).unwrap();
+        map.record_write(&mut store, 100, 7).unwrap();
+        map.flush().unwrap();
+        assert!(sidecar_path(&dir, 5, 2).exists());
+
+        // Reload trusts the sidecar and agrees with the data.
+        let map2 = ChecksumMap::for_store(&backend, 5, 2, &mut store, true).unwrap();
+        assert_eq!(map2.verify_all(&mut store).unwrap(), 0);
+
+        // An untrusted sidecar (journal replay happened) is rebuilt, so a
+        // data change invisible to the sidecar still verifies clean.
+        store.write_at(5000, &[3; 10]).unwrap();
+        let map3 = ChecksumMap::for_store(&backend, 5, 2, &mut store, false).unwrap();
+        assert_eq!(map3.verify_all(&mut store).unwrap(), 0);
+        // ... while the trusted (stale) sidecar flags the page.
+        let map4 = ChecksumMap::for_store(&backend, 5, 2, &mut store, true).unwrap();
+        assert_eq!(map4.verify_all(&mut store).unwrap(), 1);
+
+        // A corrupt sidecar falls back to rebuild rather than erroring.
+        std::fs::write(sidecar_path(&dir, 5, 2), b"PFCSgarbage").unwrap();
+        let map5 = ChecksumMap::for_store(&backend, 5, 2, &mut store, true).unwrap();
+        assert_eq!(map5.verify_all(&mut store).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_bit_flip_is_detected() {
+        let dir = std::env::temp_dir().join(format!("pf_crc_flip_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let backend = StorageBackend::Directory(dir.clone());
+        let mut store = SubfileStore::create(&backend, 1, 0, 4096 * 2).unwrap();
+        store.write_at(0, &vec![0xAAu8; 8192]).unwrap();
+        let mut map = ChecksumMap::for_store(&backend, 1, 0, &mut store, true).unwrap();
+        map.record_write(&mut store, 0, 8192).unwrap();
+        let path = store.path().unwrap().to_path_buf();
+        store.flush().unwrap();
+
+        // Flip one byte behind the store's back, as disk rot would.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5000] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut reopened = SubfileStore::open_or_create(&backend, 1, 0, 8192).unwrap().0;
+        assert_eq!(map.verify_all(&mut reopened).unwrap(), 1);
+        assert_eq!(map.verify_range(&mut reopened, 0, 4096).unwrap(), 0);
+        assert_eq!(map.verify_range(&mut reopened, 4097, 1000).unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_write_resizes_with_the_store() {
+        let mut store = SubfileStore::create(&StorageBackend::Memory, 0, 0, 100).unwrap();
+        let mut map =
+            ChecksumMap::for_store(&StorageBackend::Memory, 0, 0, &mut store, true).unwrap();
+        assert_eq!(map.pages(), 1);
+        store.replace(vec![1u8; 10_000]).unwrap();
+        map.record_write(&mut store, 0, 10_000).unwrap();
+        assert_eq!(map.pages(), 3);
+        assert_eq!(map.verify_all(&mut store).unwrap(), 0);
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 mod collective;
 mod fs;
 pub mod journal;
@@ -54,6 +55,7 @@ pub mod scenario;
 pub mod storage;
 mod timing;
 
+pub use checksum::{crc32c, ChecksumMap, CHECKSUM_PAGE};
 pub use collective::CollectiveTimings;
 pub use fs::{Clusterfile, ClusterfileConfig, FileId, WritePolicy};
 pub use journal::{crc32, IntentRecord, Journal, RecoveryReport};

@@ -6,12 +6,13 @@
 
 use std::process::ExitCode;
 
-use parafile_model::{check_all, standard_scenarios, Limits, Mutations};
+use parafile_model::{check_everything, quorum_scenarios, standard_scenarios, Limits, Mutations};
 
 const USAGE: &str = "\
 usage: pf-model [options]
   --mutate <knob>   seed a deliberate protocol bug and expect it caught
-                    (ack-before-journal | skip-dedup | ignore-window)
+                    (ack-before-journal | skip-dedup | ignore-window |
+                     ack-below-quorum)
   --budget <N>      total explored-state budget across scenarios
   --depth <D>       maximum interleaving depth per scenario
   --list            list scenarios and exit
@@ -50,6 +51,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         sc.perturbation
                     );
                 }
+                for sc in quorum_scenarios() {
+                    println!(
+                        "{:<20} replicated crash_rank={:?} duplicate={}",
+                        sc.name, sc.crash_rank, sc.duplicate
+                    );
+                }
                 return Ok(ExitCode::SUCCESS);
             }
             "-h" | "--help" => {
@@ -65,12 +72,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     limits.max_states = budget;
     println!(
         "pf-model: exploring {} scenarios (budget {budget} states, depth {}){}",
-        standard_scenarios().len(),
+        standard_scenarios().len() + quorum_scenarios().len(),
         limits.max_depth,
         if mutated { " [mutated]" } else { "" },
     );
 
-    let results = check_all(&mutations, &limits);
+    let results = check_everything(&mutations, &limits);
     let mut total: u64 = 0;
     let mut violated = false;
     let mut truncated = false;

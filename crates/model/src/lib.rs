@@ -29,10 +29,21 @@
 //! so the explored-state count is reproducible run to run and is reported
 //! in CI against a budget. Mutations ([`Mutations`]) re-introduce the
 //! bugs the invariants exist to exclude (ack-before-journal, missing
-//! dedup, ignored window) and the test suite proves each one is caught.
+//! dedup, ignored window, ack-below-quorum) and the test suite proves
+//! each one is caught.
+//!
+//! The [`quorum`] module extends the battery with a replicated-store
+//! world: quorum writes over `R = 2` copies with a replica-crash
+//! perturbation, checking per-replica exactly-once, journal-before-ack,
+//! and quorum accounting (success implies every replica acked or is
+//! recorded dirty). [`check_everything`] runs both batteries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod quorum;
+
+pub use quorum::{check_quorum, explore_quorum, quorum_scenarios, QuorumScenario};
 
 use std::collections::{HashSet, VecDeque};
 
@@ -121,6 +132,10 @@ pub struct Mutations {
     /// The client bypasses the [`ChunkSender`] window guard and keeps
     /// sending while the window is full.
     pub ignore_window: bool,
+    /// The replicated session reports success the moment any single
+    /// replica acks, without recording the missing replicas as dirty
+    /// (checked by the [`quorum`] world, not the wire world).
+    pub ack_below_quorum: bool,
 }
 
 impl Mutations {
@@ -137,9 +152,10 @@ impl Mutations {
             "ack-before-journal" => m.ack_before_journal = true,
             "skip-dedup" => m.skip_dedup = true,
             "ignore-window" => m.ignore_window = true,
+            "ack-below-quorum" => m.ack_below_quorum = true,
             other => {
                 return Err(format!(
-                    "unknown mutation {other:?} (expected ack-before-journal, skip-dedup, or ignore-window)"
+                    "unknown mutation {other:?} (expected ack-before-journal, skip-dedup, ignore-window, or ack-below-quorum)"
                 ))
             }
         }
@@ -153,6 +169,7 @@ impl Mutations {
             ("ack-before-journal", Self { ack_before_journal: true, ..Self::none() }),
             ("skip-dedup", Self { skip_dedup: true, ..Self::none() }),
             ("ignore-window", Self { ignore_window: true, ..Self::none() }),
+            ("ack-below-quorum", Self { ack_below_quorum: true, ..Self::none() }),
         ]
     }
 }
@@ -822,6 +839,21 @@ pub fn check_all(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
     results
 }
 
+/// Runs the wire-protocol battery followed by the replicated-store
+/// quorum battery ([`quorum::check_quorum`]), stopping at the first
+/// violation across both. This is what `pf-model` and CI execute, so
+/// every mutation knob — including the quorum-only
+/// `ack-below-quorum` — is covered by one entry point.
+#[must_use]
+pub fn check_everything(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
+    let mut results = check_all(mu, limits);
+    let stop = results.iter().any(|r| r.violation.is_some() || r.truncated);
+    if !stop {
+        results.extend(check_quorum(mu, limits));
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -875,7 +907,7 @@ mod tests {
     #[test]
     fn every_named_mutation_is_caught() {
         for (name, mu) in Mutations::all_named() {
-            let results = check_all(&mu, &Limits::default());
+            let results = check_everything(&mu, &Limits::default());
             assert!(
                 results.iter().any(|r| r.violation.is_some()),
                 "mutation {name} slipped through the invariant net"

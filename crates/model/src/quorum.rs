@@ -1,0 +1,469 @@
+//! Bounded model of the replicated-store quorum write.
+//!
+//! `net::Session::write` fans one stamped segment out to all `R` copies
+//! of a subfile, acks the caller at `W = write_quorum(R)` (clamped to
+//! the copies actually reachable), and records every copy that did not
+//! ack as *dirty* so the scrub loop can re-clone it later. This module
+//! explores that protocol exhaustively for the smallest interesting
+//! world — `R = 2`, one client, two replica daemons, per-replica FIFO
+//! queues — under a replica-crash perturbation and a duplicate-delivery
+//! perturbation, checking on every reachable state:
+//!
+//! * **exactly-once per replica** — each copy applies the stamped write
+//!   fresh at most once, even when the segment is delivered twice;
+//! * **journal-before-ack** — a replica never has a fresh `WriteOk` on
+//!   the wire (or consumed) without its stamped journal intent durable;
+//! * **quorum accounting** — when the session reports success, every
+//!   replica either acked the write or is recorded dirty (so scrub can
+//!   find it), and at least one replica acked.
+//!
+//! The [`Mutations::ack_below_quorum`] knob re-introduces the bug the
+//! third invariant exists to exclude: the session declares success the
+//! moment *any* ack lands, without recording the missing replicas as
+//! dirty — silently dropping redundancy. The test suite proves the
+//! checker catches it.
+
+use std::collections::{HashSet, VecDeque};
+
+use parafile_replica::write_quorum;
+
+use crate::{Exploration, Limits, Mutations, Violation};
+
+/// Replica count for the modeled file (the smallest R where quorum,
+/// dirty accounting, and crash degradation are all distinguishable).
+const R: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Scenarios
+
+/// One bounded quorum world to explore.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumScenario {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// Rank of the replica the perturbation may kill mid-write, if any.
+    pub crash_rank: Option<usize>,
+    /// Whether the perturbation may deliver one segment twice (the
+    /// retry-after-transient shape dedup exists for).
+    pub duplicate: bool,
+}
+
+/// The standard quorum battery: a clean run, a crash of either rank,
+/// duplicate delivery, and crash combined with duplicate delivery.
+#[must_use]
+pub fn quorum_scenarios() -> Vec<QuorumScenario> {
+    vec![
+        QuorumScenario { name: "quorum-clean", crash_rank: None, duplicate: false },
+        QuorumScenario { name: "quorum-crash-r0", crash_rank: Some(0), duplicate: false },
+        QuorumScenario { name: "quorum-crash-r1", crash_rank: Some(1), duplicate: false },
+        QuorumScenario { name: "quorum-duplicate", crash_rank: None, duplicate: true },
+        QuorumScenario { name: "quorum-crash-dup", crash_rank: Some(1), duplicate: true },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// The abstract world
+
+/// A frame in flight on one replica's queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Msg {
+    /// The stamped segment write for this copy.
+    Write,
+    /// The replica's ack.
+    WriteOk { replayed: bool },
+}
+
+/// One replica daemon: durable journal, volatile dedup window, and the
+/// exactly-once counter the invariants audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Replica {
+    alive: bool,
+    /// Durable: the stamped intent record is journaled (survives kills).
+    journal_stamped: bool,
+    /// Volatile: the `(session, seq)` dedup window holds our stamp.
+    dedup_has_stamp: bool,
+    /// Times this copy applied the stamped write fresh.
+    applied_fresh: u8,
+}
+
+/// Session-side control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Fan the stamped segment out to every replica.
+    Start,
+    /// Waiting for acks / failure evidence.
+    Collecting,
+    /// Terminal: the session reported success to the caller.
+    Done,
+    /// Terminal: no replica acked; the write failed outright.
+    Failed,
+}
+
+/// One reachable global state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct World {
+    phase: Phase,
+    /// Ack received from rank r (fresh or replayed).
+    acked: [bool; R],
+    /// Rank r recorded in the session's dirty set for scrub.
+    dirty: [bool; R],
+    /// Rank r consumed a *fresh* ack (for journal-before-ack).
+    got_fresh_ack: [bool; R],
+    replicas: [Replica; R],
+    c2s: [VecDeque<Msg>; R],
+    s2c: [VecDeque<Msg>; R],
+    /// Remaining crash firings (0 or 1).
+    crash_budget: u8,
+    /// Remaining duplicate-delivery firings (0 or 1).
+    dup_budget: u8,
+}
+
+impl World {
+    fn init(sc: &QuorumScenario) -> Self {
+        Self {
+            phase: Phase::Start,
+            acked: [false; R],
+            dirty: [false; R],
+            got_fresh_ack: [false; R],
+            replicas: [Replica {
+                alive: true,
+                journal_stamped: false,
+                dedup_has_stamp: false,
+                applied_fresh: 0,
+            }; R],
+            c2s: [VecDeque::new(), VecDeque::new()],
+            s2c: [VecDeque::new(), VecDeque::new()],
+            crash_budget: u8::from(sc.crash_rank.is_some()),
+            dup_budget: u8::from(sc.duplicate),
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(self.phase, Phase::Done | Phase::Failed)
+    }
+
+    fn settled(&self, r: usize) -> bool {
+        self.acked[r] || self.dirty[r]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+
+fn successors(w: &World, sc: &QuorumScenario, mu: &Mutations) -> Vec<World> {
+    let mut out = Vec::new();
+    client_send(w, &mut out);
+    for r in 0..R {
+        client_recv(w, r, &mut out);
+        replica_step(w, r, mu, &mut out);
+        client_observe_dead(w, r, &mut out);
+    }
+    client_complete(w, mu, &mut out);
+    perturb(w, sc, &mut out);
+    out
+}
+
+/// Fan-out: one stamped write per rank. A rank that is already dead at
+/// send time fails immediately and is recorded dirty (the session sees
+/// the worker channel closed).
+fn client_send(w: &World, out: &mut Vec<World>) {
+    if !matches!(w.phase, Phase::Start) {
+        return;
+    }
+    let mut n = w.clone();
+    for r in 0..R {
+        if n.replicas[r].alive {
+            n.c2s[r].push_back(Msg::Write);
+        } else {
+            n.dirty[r] = true;
+        }
+    }
+    n.phase = Phase::Collecting;
+    out.push(n);
+}
+
+/// Duplicate delivery aside, a live replica serves the head of its
+/// queue: journal the stamped intent, apply, remember the stamp, ack —
+/// or short-circuit to a replayed ack when the dedup window already
+/// holds the stamp.
+fn replica_step(w: &World, r: usize, mu: &Mutations, out: &mut Vec<World>) {
+    if !w.replicas[r].alive {
+        return;
+    }
+    let Some(&msg) = w.c2s[r].front() else { return };
+    let mut n = w.clone();
+    n.c2s[r].pop_front();
+    match msg {
+        Msg::Write => {
+            let rep = &mut n.replicas[r];
+            if !mu.skip_dedup && rep.dedup_has_stamp {
+                n.s2c[r].push_back(Msg::WriteOk { replayed: true });
+            } else {
+                if !mu.ack_before_journal {
+                    rep.journal_stamped = true;
+                }
+                rep.applied_fresh = rep.applied_fresh.saturating_add(1);
+                rep.dedup_has_stamp = true;
+                n.s2c[r].push_back(Msg::WriteOk { replayed: false });
+            }
+        }
+        Msg::WriteOk { .. } => unreachable!("acks travel s2c only"),
+    }
+    out.push(n);
+}
+
+/// The session consumes rank r's ack.
+fn client_recv(w: &World, r: usize, out: &mut Vec<World>) {
+    let Some(&msg) = w.s2c[r].front() else { return };
+    let mut n = w.clone();
+    n.s2c[r].pop_front();
+    match msg {
+        Msg::WriteOk { replayed } => {
+            n.acked[r] = true;
+            if !replayed {
+                n.got_fresh_ack[r] = true;
+            }
+        }
+        Msg::Write => unreachable!("writes travel c2s only"),
+    }
+    out.push(n);
+}
+
+/// The session notices a dead, unsettled replica (worker channel
+/// disconnect) and records it dirty for scrub.
+fn client_observe_dead(w: &World, r: usize, out: &mut Vec<World>) {
+    if w.terminal() || w.replicas[r].alive || w.settled(r) {
+        return;
+    }
+    let mut n = w.clone();
+    n.dirty[r] = true;
+    out.push(n);
+}
+
+/// Completion: the healthy session returns success only once every
+/// replica is settled (acked or dirty) and at least one acked — i.e. it
+/// blocks until quorum-or-evidence, never silently dropping a copy. The
+/// mutated session returns the moment any ack lands.
+fn client_complete(w: &World, mu: &Mutations, out: &mut Vec<World>) {
+    if !matches!(w.phase, Phase::Collecting) {
+        return;
+    }
+    let acks = w.acked.iter().filter(|a| **a).count();
+    let all_settled = (0..R).all(|r| w.settled(r));
+    if all_settled && acks == 0 {
+        let mut n = w.clone();
+        n.phase = Phase::Failed;
+        out.push(n);
+        return;
+    }
+    let live_targets = R - w.dirty.iter().filter(|d| **d).count();
+    let needed = write_quorum(R).min(live_targets).max(1);
+    let healthy_done = all_settled && acks >= needed;
+    let mutated_done = mu.ack_below_quorum && acks >= 1;
+    if healthy_done || mutated_done {
+        let mut n = w.clone();
+        n.phase = Phase::Done;
+        out.push(n);
+    }
+}
+
+/// Fault transitions: kill the scenario's crash rank (volatile state
+/// lost, journal survives, queues drain to the floor), or deliver one
+/// extra copy of a segment already accepted (the retry-after-transient
+/// shape the dedup window absorbs).
+fn perturb(w: &World, sc: &QuorumScenario, out: &mut Vec<World>) {
+    if w.terminal() {
+        return;
+    }
+    if let Some(r) = sc.crash_rank {
+        if w.crash_budget > 0 && w.replicas[r].alive {
+            let mut n = w.clone();
+            n.crash_budget -= 1;
+            n.replicas[r].alive = false;
+            n.replicas[r].dedup_has_stamp = false;
+            n.c2s[r].clear();
+            n.s2c[r].clear();
+            out.push(n);
+        }
+    }
+    if sc.duplicate && w.dup_budget > 0 {
+        for r in 0..R {
+            if w.replicas[r].alive && w.replicas[r].dedup_has_stamp {
+                let mut n = w.clone();
+                n.dup_budget -= 1;
+                n.c2s[r].push_back(Msg::Write);
+                out.push(n);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+
+fn check_invariants(w: &World) -> Option<&'static str> {
+    for r in 0..R {
+        if w.replicas[r].applied_fresh > 1 {
+            return Some("exactly-once violated: a replica applied the stamped write fresh twice");
+        }
+        let fresh_ack_visible = w.got_fresh_ack[r]
+            || w.s2c[r].iter().any(|m| matches!(m, Msg::WriteOk { replayed: false }));
+        if fresh_ack_visible && !w.replicas[r].journal_stamped {
+            return Some(
+                "journal-before-ack violated: fresh WriteOk from a replica without a durable intent",
+            );
+        }
+    }
+    if matches!(w.phase, Phase::Done) {
+        if !w.acked.iter().any(|a| *a) {
+            return Some("quorum accounting violated: success reported with zero replica acks");
+        }
+        if (0..R).any(|r| !w.settled(r)) {
+            return Some(
+                "quorum accounting violated: success reported with a replica neither acked nor dirty",
+            );
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+
+/// Exhaustively explores one quorum scenario breadth-first.
+///
+/// Deterministic for the same reason as [`crate::explore`]: the state
+/// count tallies seen-set insertions, not iteration order.
+#[must_use]
+pub fn explore_quorum(sc: &QuorumScenario, mu: &Mutations, limits: &Limits) -> Exploration {
+    let init = World::init(sc);
+    let mut seen: HashSet<World> = HashSet::new();
+    seen.insert(init.clone());
+    let mut frontier: VecDeque<(World, u32)> = VecDeque::new();
+    frontier.push_back((init, 0));
+    let mut states: u64 = 0;
+    let mut done = Exploration { scenario: sc.name, states: 0, truncated: false, violation: None };
+    while let Some((w, depth)) = frontier.pop_front() {
+        states += 1;
+        done.states = states;
+        if states > limits.max_states {
+            done.truncated = true;
+            return done;
+        }
+        if let Some(invariant) = check_invariants(&w) {
+            done.violation = Some(Violation { invariant, depth, state: format!("{w:?}") });
+            return done;
+        }
+        if depth >= limits.max_depth {
+            continue;
+        }
+        let succ = successors(&w, sc, mu);
+        if succ.is_empty() && !w.terminal() {
+            done.violation = Some(Violation {
+                invariant: "stuck: non-terminal quorum state with no enabled transition",
+                depth,
+                state: format!("{w:?}"),
+            });
+            return done;
+        }
+        for s in succ {
+            if seen.insert(s.clone()) {
+                frontier.push_back((s, depth + 1));
+            }
+        }
+    }
+    done
+}
+
+/// Runs every quorum scenario under `mu`, stopping at the first
+/// violation. Returns all per-scenario results produced so far.
+#[must_use]
+pub fn check_quorum(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
+    let mut results = Vec::new();
+    for sc in quorum_scenarios() {
+        let r = explore_quorum(&sc, mu, limits);
+        let stop = r.violation.is_some() || r.truncated;
+        results.push(r);
+        if stop {
+            break;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_quorum_model_is_violation_free() {
+        for sc in quorum_scenarios() {
+            let r = explore_quorum(&sc, &Mutations::none(), &Limits::default());
+            assert!(!r.truncated, "{}: exploration truncated at {} states", sc.name, r.states);
+            assert!(r.violation.is_none(), "{}: unexpected violation {:?}", sc.name, r.violation);
+            assert!(r.states > 3, "{}: suspiciously small state space ({})", sc.name, r.states);
+        }
+    }
+
+    #[test]
+    fn quorum_exploration_is_deterministic() {
+        for sc in quorum_scenarios() {
+            let a = explore_quorum(&sc, &Mutations::none(), &Limits::default());
+            let b = explore_quorum(&sc, &Mutations::none(), &Limits::default());
+            assert_eq!(a.states, b.states, "{}: state count must be reproducible", sc.name);
+        }
+    }
+
+    #[test]
+    fn ack_below_quorum_mutation_is_caught() {
+        let mu = Mutations { ack_below_quorum: true, ..Mutations::none() };
+        let results = check_quorum(&mu, &Limits::default());
+        let hit = results.iter().find_map(|r| r.violation.as_ref());
+        let v = hit.expect("ack-below-quorum must violate an invariant");
+        assert!(v.invariant.contains("quorum accounting"), "caught as {:?}", v.invariant);
+    }
+
+    #[test]
+    fn skip_dedup_is_caught_in_the_replicated_world() {
+        // Duplicate delivery with the dedup window disabled applies the
+        // stamped write twice on one replica.
+        let mu = Mutations { skip_dedup: true, ..Mutations::none() };
+        let sc = quorum_scenarios()
+            .into_iter()
+            .find(|s| s.name == "quorum-duplicate")
+            .expect("scenario exists");
+        let r = explore_quorum(&sc, &mu, &Limits::default());
+        let v = r.violation.expect("skip-dedup must violate exactly-once");
+        assert!(v.invariant.contains("exactly-once"), "caught as {:?}", v.invariant);
+    }
+
+    #[test]
+    fn ack_before_journal_is_caught_in_the_replicated_world() {
+        let mu = Mutations { ack_before_journal: true, ..Mutations::none() };
+        let results = check_quorum(&mu, &Limits::default());
+        let hit = results.iter().find_map(|r| r.violation.as_ref());
+        let v = hit.expect("ack-before-journal must violate an invariant");
+        assert!(v.invariant.contains("journal-before-ack"), "caught as {:?}", v.invariant);
+    }
+
+    #[test]
+    fn crash_scenarios_degrade_but_stay_accounted() {
+        // A permanent replica crash must still let the clean model reach
+        // Done (degraded, with the dead copy dirty) without violating
+        // quorum accounting — that is exactly the chaos-gate shape.
+        for name in ["quorum-crash-r0", "quorum-crash-r1", "quorum-crash-dup"] {
+            let sc =
+                quorum_scenarios().into_iter().find(|s| s.name == name).expect("scenario exists");
+            let r = explore_quorum(&sc, &Mutations::none(), &Limits::default());
+            assert!(r.violation.is_none(), "{name}: {:?}", r.violation);
+            assert!(!r.truncated, "{name}: truncated");
+        }
+    }
+
+    #[test]
+    fn quorum_width_matches_the_replica_crate() {
+        // The modeled ack threshold is the crate's write_quorum, not a
+        // hand-copied constant.
+        assert_eq!(write_quorum(R), 2);
+    }
+}

@@ -94,6 +94,12 @@ pub struct NodeClient {
     /// `Some(0)` disables chunking, `Some(n)` caps chunk data at `n`
     /// bytes, `None` uses the peer's advertised capability.
     chunk_override: Option<u32>,
+    /// The `(session, seq)` stamp of a chunked write that died mid-stream,
+    /// eligible for a `ResumeQuery` before its retry (protocol ≥ 4).
+    resume_candidate: Option<(u64, u64)>,
+    /// Offset the most recent chunked write resumed from (0 = it started
+    /// from scratch) — telemetry for tests and `pf io`.
+    last_resume_offset: u64,
 }
 
 impl NodeClient {
@@ -117,6 +123,8 @@ impl NodeClient {
             negotiation: Negotiation::new(),
             peer_max_chunk: None,
             chunk_override: Self::env_chunk(),
+            resume_candidate: None,
+            last_resume_offset: 0,
         }
     }
 
@@ -165,6 +173,14 @@ impl NodeClient {
     #[must_use]
     pub fn peer_max_chunk(&self) -> Option<u32> {
         self.peer_max_chunk
+    }
+
+    /// The offset the most recent chunked write resumed from — `0` means
+    /// it started from scratch (the common case), non-zero means a retry
+    /// skipped that many already-acknowledged payload bytes.
+    #[must_use]
+    pub fn last_resume_offset(&self) -> u64 {
+        self.last_resume_offset
     }
 
     fn connected(&mut self) -> std::io::Result<&mut NetStream> {
@@ -329,16 +345,41 @@ impl NodeClient {
     ) -> Result<Reply, NetError> {
         let total = payload.len() as u64;
         let n_chunks = payload.len().div_ceil(chunk).max(1);
+        // If a previous attempt of this exact stamp died mid-stream, ask
+        // the daemon how far it got and fast-forward past the chunks it
+        // already applied and journaled. Anything but a clean, aligned,
+        // partial answer (daemon restarted, stamp completed, progress
+        // evicted) starts the stream over at offset 0 — always safe.
+        let mut skip = 0u64;
+        self.last_resume_offset = 0;
+        if session != 0
+            && self.negotiation.supports_resume()
+            && self.resume_candidate == Some((session, seq))
+        {
+            match self.exchange(&Request::ResumeQuery { file, session, seq }) {
+                Ok(Reply::ResumeAt { offset })
+                    if offset > 0 && offset < total && offset % chunk as u64 == 0 =>
+                {
+                    skip = offset / chunk as u64;
+                    self.last_resume_offset = offset;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
         // The window automaton decides when the wire admits another chunk;
         // `pending` remembers the (request id, is-final) bookkeeping of
         // everything sent but not yet acknowledged.
-        let mut sender = ChunkSender::new(n_chunks as u64, CHUNK_WINDOW as u64);
+        let mut sender = ChunkSender::new(n_chunks as u64 - skip, CHUNK_WINDOW as u64);
         let mut pending: VecDeque<(u64, bool)> = VecDeque::with_capacity(CHUNK_WINDOW);
         let mut send_err: Option<NetError> = None;
         let result = loop {
             while send_err.is_none() {
                 let Some(plan) = sender.next_to_send() else { break };
-                let off = plan.index as usize * chunk;
+                let off = (plan.index + skip) as usize * chunk;
                 let end = (off + chunk).min(payload.len());
                 let req = Request::WriteChunk {
                     file,
@@ -385,9 +426,17 @@ impl NodeClient {
         };
         // Anything but a clean final acknowledgment leaves unanswered
         // frames on the wire: drop the connection so the next request (or
-        // the retry of this one — dedup makes it exactly-once) resyncs.
-        if !matches!(result, Ok(Reply::WriteOk { .. })) {
+        // the retry of this one — dedup makes it exactly-once) resyncs,
+        // and remember the stamp so the retry can try to resume.
+        if matches!(result, Ok(Reply::WriteOk { .. })) {
+            if self.resume_candidate == Some((session, seq)) {
+                self.resume_candidate = None;
+            }
+        } else {
             self.stream = None;
+            if session != 0 {
+                self.resume_candidate = Some((session, seq));
+            }
         }
         result
     }

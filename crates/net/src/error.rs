@@ -41,6 +41,9 @@ pub enum ErrCode {
     ShuttingDown,
     /// An internal storage failure (I/O error on a file-backed store).
     Internal,
+    /// Stored data failed its CRC32C verification; the replica should be
+    /// read from another copy and queued for repair.
+    ChecksumMismatch,
 }
 
 impl ErrCode {
@@ -60,6 +63,7 @@ impl ErrCode {
             ErrCode::SizeMismatch => 10,
             ErrCode::ShuttingDown => 11,
             ErrCode::Internal => 12,
+            ErrCode::ChecksumMismatch => 13,
         }
     }
 
@@ -79,6 +83,7 @@ impl ErrCode {
             10 => ErrCode::SizeMismatch,
             11 => ErrCode::ShuttingDown,
             12 => ErrCode::Internal,
+            13 => ErrCode::ChecksumMismatch,
             _ => return None,
         })
     }
@@ -99,6 +104,7 @@ impl fmt::Display for ErrCode {
             ErrCode::SizeMismatch => "payload size does not match the projection",
             ErrCode::ShuttingDown => "daemon is shutting down",
             ErrCode::Internal => "internal storage error",
+            ErrCode::ChecksumMismatch => "stored data failed checksum verification",
         };
         f.write_str(s)
     }
@@ -205,7 +211,7 @@ mod tests {
 
     #[test]
     fn codes_round_trip() {
-        for v in 1..=12u16 {
+        for v in 1..=13u16 {
             let c = ErrCode::from_u16(v).expect("code defined");
             assert_eq!(c.as_u16(), v);
         }

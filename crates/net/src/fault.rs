@@ -90,6 +90,12 @@ pub struct FaultPlan {
     /// Sever the connection when its Nth request frame arrives, before it
     /// is served (1-based; each connection counts independently).
     pub drop_after_frames: Option<u64>,
+    /// Like `drop_after_frames`, but fires exactly once across the whole
+    /// daemon/proxy lifetime: the first connection to reach its Nth frame
+    /// is severed, every later connection serves normally. The
+    /// deterministic "one mid-stream disconnect, then a clean retry"
+    /// scenario resumable uploads are tested with.
+    pub drop_once_after_frames: Option<u64>,
     /// Sleep `millis` before serving every `every`-th frame.
     pub delay: Option<(u64, u64)>,
     /// Truncate one frame mid-payload, then sever.
@@ -117,6 +123,7 @@ impl FaultPlan {
         Self {
             seed: 0,
             drop_after_frames: None,
+            drop_once_after_frames: None,
             delay: None,
             truncate: None,
             fail_flush: 0,
@@ -236,6 +243,7 @@ impl FaultPlan {
     #[must_use]
     pub fn plans_transport_fault(&self) -> bool {
         self.drop_after_frames.is_some()
+            || self.drop_once_after_frames.is_some()
             || self.truncate.is_some()
             || self.kill_after_frames.is_some()
     }
@@ -264,6 +272,8 @@ pub struct FaultInjector {
     writes_seen: AtomicU64,
     /// A kill/torn-write fault has fired.
     killed: AtomicBool,
+    /// The one-shot drop fault has fired.
+    dropped_once: AtomicBool,
 }
 
 impl FaultInjector {
@@ -277,6 +287,7 @@ impl FaultInjector {
             flush_failures_left: AtomicU64::new(flushes),
             writes_seen: AtomicU64::new(0),
             killed: AtomicBool::new(false),
+            dropped_once: AtomicBool::new(false),
         }
     }
 
@@ -311,6 +322,11 @@ impl FaultInjector {
         }
         if let Some(drop_at) = self.plan.drop_after_frames {
             if conn_frames >= drop_at {
+                return FrameFault::Drop;
+            }
+        }
+        if let Some(drop_at) = self.plan.drop_once_after_frames {
+            if conn_frames >= drop_at && !self.dropped_once.swap(true, Ordering::SeqCst) {
                 return FrameFault::Drop;
             }
         }
@@ -420,6 +436,8 @@ struct ProxyShared {
     planned_faults: AtomicU64,
     /// Non-`UnsupportedVersion` error replies seen heading to the client.
     unexpected_errors: AtomicU64,
+    /// The plan's one-shot drop has fired.
+    dropped_once: AtomicBool,
 }
 
 impl ProxyShared {
@@ -460,6 +478,7 @@ pub fn chaos_proxy(
         down_until: Mutex::new(None),
         planned_faults: AtomicU64::new(0),
         unexpected_errors: AtomicU64::new(0),
+        dropped_once: AtomicBool::new(false),
     });
     let accept_stop = Arc::clone(&stop);
     let accept_shared = Arc::clone(&shared);
@@ -570,6 +589,14 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, shared: &ProxyShared, dir: Direc
                     return PumpEnd::Faulted;
                 }
             }
+            if let Some(drop_at) = plan.drop_once_after_frames {
+                if frames >= drop_at && !shared.dropped_once.swap(true, Ordering::SeqCst) {
+                    let _ = src.shutdown(std::net::Shutdown::Both);
+                    let _ = dst.shutdown(std::net::Shutdown::Both);
+                    fault_fired();
+                    return PumpEnd::Faulted;
+                }
+            }
         }
         if let Some(t) = plan.truncate {
             if t.dir == dir && frames == t.frame {
@@ -657,6 +684,15 @@ mod tests {
         assert!(!inj.on_write_torn());
         assert!(inj.on_write_torn());
         assert!(!inj.on_write_torn(), "a torn-write crash fires at most once");
+
+        // The one-shot drop fires on one connection, then never again —
+        // even for a fresh connection that reaches the same frame count.
+        let inj =
+            FaultInjector::new(FaultPlan { drop_once_after_frames: Some(2), ..FaultPlan::none() });
+        assert_eq!(inj.on_frame(1), FrameFault::None);
+        assert_eq!(inj.on_frame(2), FrameFault::Drop);
+        assert_eq!(inj.on_frame(2), FrameFault::None, "a one-shot drop never repeats");
+        assert_eq!(inj.on_frame(3), FrameFault::None);
     }
 
     /// A throwaway upstream that answers every frame with a canned reply

@@ -38,7 +38,9 @@ pub use fault::{
 };
 pub use proto::{ChunkHeader, ChunkPlan, ChunkSender, Negotiation, ProtoViolation, WriteStream};
 pub use server::{serve, DaemonConfig, DaemonHandle, NetListener, DEFAULT_MAX_CHUNK};
-pub use session::{spawn_loopback, BatchWrite, NodeHealth, RedistReport, SegmentOutcome, Session};
+pub use session::{
+    spawn_loopback, BatchWrite, NodeHealth, RedistReport, ScrubReport, SegmentOutcome, Session,
+};
 pub use wire::{
     Reply, Request, StatInfo, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };

@@ -120,6 +120,13 @@ impl Negotiation {
     pub fn supports_stamps(&self) -> bool {
         self.version >= 2
     }
+
+    /// Whether the negotiated version answers `ResumeQuery`, letting a
+    /// retried chunked write continue mid-stream (v4+).
+    #[must_use]
+    pub fn supports_resume(&self) -> bool {
+        self.version >= 4
+    }
 }
 
 impl Default for Negotiation {
@@ -310,6 +317,17 @@ impl WriteStream {
         }
     }
 
+    /// Reopens a stream mid-way from a resumed chunk's header: identical to
+    /// [`start`](Self::start) except the bytes up to `h.offset` are taken
+    /// as already received. The caller (the daemon) must only do this when
+    /// its own recorded progress for the stream's `(session, seq)` stamp
+    /// equals `h.offset` — the automaton then enforces contiguity from
+    /// there exactly as for a fresh stream.
+    #[must_use]
+    pub fn resume(h: &ChunkHeader) -> Self {
+        Self { received: h.offset, ..Self::start(h) }
+    }
+
     /// Whether `h` is the next frame of *this* stream: same identity, and
     /// its offset is exactly the bytes received so far.
     #[must_use]
@@ -457,6 +475,20 @@ mod tests {
         // Short final: 4 + 2 < 10.
         assert_eq!(ws.accept(&header(4, 2, true)), Err(ProtoViolation::ShortFinal));
         assert_eq!(ws.received(), 4);
+    }
+
+    #[test]
+    fn resumed_stream_continues_from_its_offset() {
+        // A retried stream resuming at offset 4 accepts 4.. and rejects a
+        // restart at 0 (that would be a different continuation).
+        let ws = WriteStream::resume(&header(4, 4, false));
+        assert_eq!(ws.received(), 4);
+        assert!(ws.continues(&header(4, 4, false)));
+        assert!(!ws.continues(&header(0, 4, false)));
+        let mut ws = ws;
+        assert_eq!(ws.accept(&header(4, 4, false)), Ok(StreamProgress::Middle));
+        assert_eq!(ws.accept(&header(8, 2, true)), Ok(StreamProgress::Final));
+        assert_eq!(ws.received(), ws.total());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::wire::{
     self, op, raw_to_set, FrameReadError, Reply, Request, StatInfo, DEFAULT_MAX_FRAME,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use clusterfile::{IntentRecord, Journal, StorageBackend, SubfileStore};
+use clusterfile::{ChecksumMap, IntentRecord, Journal, StorageBackend, SubfileStore};
 use parafile::redist::Projection;
 use parafile_audit::{audit_pattern, AuditConfig, Severity};
 use std::collections::{HashMap, VecDeque};
@@ -93,6 +93,12 @@ pub struct DaemonConfig {
     /// leave this at [`PROTOCOL_VERSION`]; tests lower it to emulate an
     /// older daemon and exercise the client's downgrade negotiation.
     pub max_version: u8,
+    /// When set, a background scrub thread walks every hosted subfile at
+    /// this cadence and verifies its bytes against the per-page CRC32C
+    /// map, counting mismatches into `Stat.checksum_errors` (`pf serve
+    /// --scrub SECS`). Detection only — repair is driven by a `pf scrub`
+    /// client compiling a redistribution plan from a healthy replica.
+    pub scrub_interval: Option<Duration>,
 }
 
 impl Default for DaemonConfig {
@@ -106,6 +112,7 @@ impl Default for DaemonConfig {
             fault: None,
             max_chunk: DEFAULT_MAX_CHUNK,
             max_version: PROTOCOL_VERSION,
+            scrub_interval: None,
         }
     }
 }
@@ -277,6 +284,8 @@ struct Stats {
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     fragments: AtomicU64,
+    /// Pages that failed CRC32C verification (reads, fetches, scrubs).
+    checksum_errors: AtomicU64,
 }
 
 /// Bounded FIFO window of `(session, seq) → written` retry stamps.
@@ -290,11 +299,25 @@ struct DedupWindow {
     capacity: usize,
     order: VecDeque<(u64, u64)>,
     stamps: HashMap<(u64, u64), u64>,
+    /// Volatile chunked-upload progress `(session, seq) → acked offset`,
+    /// bounded by the same capacity. `ResumeQuery` answers from here so a
+    /// retried v3/v4 stream restarts at the last applied chunk instead of
+    /// offset 0. Completing a stream clears its entry; the map is never
+    /// journaled, so after a restart the answer is 0 and the client starts
+    /// over (the journal already covers the applied chunks).
+    partial: HashMap<(u64, u64), u64>,
+    partial_order: VecDeque<(u64, u64)>,
 }
 
 impl DedupWindow {
     fn new(capacity: usize) -> Self {
-        Self { capacity, order: VecDeque::new(), stamps: HashMap::new() }
+        Self {
+            capacity,
+            order: VecDeque::new(),
+            stamps: HashMap::new(),
+            partial: HashMap::new(),
+            partial_order: VecDeque::new(),
+        }
     }
 
     fn get(&self, session: u64, seq: u64) -> Option<u64> {
@@ -306,11 +329,32 @@ impl DedupWindow {
             return;
         }
         let key = (session, seq);
+        // A completed write supersedes any partial progress it had.
+        self.partial.remove(&key);
         if self.stamps.insert(key, written).is_none() {
             self.order.push_back(key);
             while self.order.len() > self.capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.stamps.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn progress(&self, session: u64, seq: u64) -> Option<u64> {
+        self.partial.get(&(session, seq)).copied()
+    }
+
+    fn set_progress(&mut self, session: u64, seq: u64, offset: u64) {
+        if session == 0 || self.capacity == 0 {
+            return;
+        }
+        let key = (session, seq);
+        if self.partial.insert(key, offset).is_none() {
+            self.partial_order.push_back(key);
+            while self.partial_order.len() > self.capacity {
+                if let Some(old) = self.partial_order.pop_front() {
+                    self.partial.remove(&old);
                 }
             }
         }
@@ -324,6 +368,10 @@ struct FileSlot {
     journal: Mutex<Journal>,
     /// Retry stamps of recently applied writes.
     dedup: Mutex<DedupWindow>,
+    /// Per-page CRC32C map over the store, persisted to a sidecar on
+    /// flush. Lock order: store before sums (sums is always taken while
+    /// the store guard is held, never the reverse).
+    sums: Mutex<ChecksumMap>,
     /// `PROJ_S(V∩S)` per compute node, as shipped at view-set time.
     views: RwLock<HashMap<u32, Projection>>,
     stats: Stats,
@@ -390,6 +438,7 @@ pub struct DaemonHandle {
     addr: String,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    scrub_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -429,11 +478,17 @@ impl DaemonHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.scrub_thread.take() {
+            let _ = t.join();
+        }
     }
 
     /// Blocks until the daemon stops (e.g. a remote `Shutdown` request).
     pub fn wait(&mut self) {
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scrub_thread.take() {
             let _ = t.join();
         }
     }
@@ -495,7 +550,48 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
                 let _ = std::fs::remove_file(path);
             }
         })?;
-    Ok(DaemonHandle { addr: client_addr, shared, accept_thread: Some(accept_thread) })
+    let scrub_thread = match shared.config.scrub_interval {
+        None => None,
+        Some(interval) => {
+            let scrub_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("pf-net-scrub".into())
+                    .spawn(move || scrub_loop(&scrub_shared, interval))?,
+            )
+        }
+    };
+    Ok(DaemonHandle { addr: client_addr, shared, accept_thread: Some(accept_thread), scrub_thread })
+}
+
+/// The daemon-side scrub hook: at each interval, verify every hosted
+/// subfile against its page checksum map, counting mismatches into
+/// `Stat.checksum_errors`. Detection only — a `pf scrub` client reads the
+/// counters (or fetches copies directly) and drives repair by compiling a
+/// redistribution plan from a healthy replica.
+fn scrub_loop(shared: &Shared, interval: Duration) {
+    let tick = Duration::from_millis(25).min(interval);
+    let mut elapsed = Duration::ZERO;
+    while !shared.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let slots: Vec<Arc<FileSlot>> = read(&shared.files).values().cloned().collect();
+        for slot in slots {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut store = lock(&slot.store);
+            if let Ok(bad) = lock(&slot.sums).verify_all(&mut store) {
+                if bad > 0 {
+                    slot.stats.checksum_errors.fetch_add(bad, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 /// One connection: sequential request/reply frames until close, error, or
@@ -691,7 +787,7 @@ fn handle_frame(
         );
         return Handled::One(Reply::Error(e), false);
     }
-    if !(op::OPEN..=op::READ_CHUNK).contains(&opcode) {
+    if !(op::OPEN..=op::WRITE_RESUME).contains(&opcode) {
         let e = ProtocolError::new(ErrCode::UnknownOp, format!("opcode {opcode:#04x}"));
         return Handled::One(Reply::Error(e), false);
     }
@@ -834,6 +930,20 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                 if torn {
                     return Reply::WriteOk { written: expect, replayed: false };
                 }
+                // Refresh the page checksums the scatter touched (a torn
+                // write skips this: the daemon "crashed", and the next
+                // Open rebuilds the map from the recovered bytes).
+                {
+                    let mut sums = lock(&slot.sums);
+                    for s in &segs {
+                        if let Err(e) = sums.record_write(&mut store, s.l(), s.len()) {
+                            return Reply::Error(ProtocolError::new(
+                                ErrCode::Internal,
+                                format!("checksum update: {e}"),
+                            ));
+                        }
+                    }
+                }
                 lock(&slot.dedup).insert(session, seq, expect);
                 slot.stats.bytes_written.fetch_add(expect, Ordering::Relaxed);
                 slot.stats.fragments.fetch_add(segs.len() as u64, Ordering::Relaxed);
@@ -849,6 +959,32 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                 }
                 let r_c = r_s.min(len - 1);
                 let segs = proj.segments_between(l_s, r_c);
+                // Verify the stored pages before serving them: a mismatch
+                // is answered as ChecksumMismatch so a replicated client
+                // fails over to another copy and queues this one for
+                // repair instead of propagating silent corruption.
+                {
+                    let sums = lock(&slot.sums);
+                    let mut bad = 0u64;
+                    for s in &segs {
+                        match sums.verify_range(&mut store, s.l(), s.len()) {
+                            Ok(n) => bad += n,
+                            Err(e) => {
+                                return Reply::Error(ProtocolError::new(
+                                    ErrCode::Internal,
+                                    format!("checksum verify: {e}"),
+                                ))
+                            }
+                        }
+                    }
+                    if bad > 0 {
+                        slot.stats.checksum_errors.fetch_add(bad, Ordering::Relaxed);
+                        return Reply::Error(ProtocolError::new(
+                            ErrCode::ChecksumMismatch,
+                            format!("{bad} page(s) failed CRC32C verification"),
+                        ));
+                    }
+                }
                 let mut out = Vec::with_capacity(segs.iter().map(|s| s.len() as usize).sum());
                 // Gather with adjacent runs coalesced into single reads.
                 if let Err(e) = store.gather(segs.iter().map(|s| (s.l(), s.len())), &mut out) {
@@ -873,8 +1009,13 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                 }
                 let mut store = lock(&slot.store);
                 // A flush makes the store durable, so the journaled intents
-                // covering it are redundant: checkpoint (flush + truncate).
-                match lock(&slot.journal).checkpoint(&mut store).and_then(|()| store.flush()) {
+                // covering it are redundant: checkpoint (flush + truncate),
+                // then persist the checksum sidecar the durable bytes match.
+                match lock(&slot.journal)
+                    .checkpoint(&mut store)
+                    .and_then(|()| store.flush())
+                    .and_then(|()| lock(&slot.sums).flush())
+                {
                     Ok(()) => Reply::Ok,
                     Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
                 }
@@ -893,6 +1034,7 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                     bytes_written: slot.stats.bytes_written.load(Ordering::Relaxed),
                     bytes_read: slot.stats.bytes_read.load(Ordering::Relaxed),
                     fragments: slot.stats.fragments.load(Ordering::Relaxed),
+                    checksum_errors: slot.stats.checksum_errors.load(Ordering::Relaxed),
                 })
             }
             Err(e) => Reply::Error(e),
@@ -900,7 +1042,23 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
         Request::Fetch { file } => match lookup(shared, file) {
             Ok(slot) => {
                 slot.stats.requests.fetch_add(1, Ordering::Relaxed);
-                match lock(&slot.store).read_all() {
+                let mut store = lock(&slot.store);
+                // Fetch is the scrub driver's copy-health probe: a full
+                // verification failure marks this copy Corrupt remotely.
+                match lock(&slot.sums).verify_all(&mut store) {
+                    Ok(0) => {}
+                    Ok(bad) => {
+                        slot.stats.checksum_errors.fetch_add(bad, Ordering::Relaxed);
+                        return Reply::Error(ProtocolError::new(
+                            ErrCode::ChecksumMismatch,
+                            format!("{bad} page(s) failed CRC32C verification"),
+                        ));
+                    }
+                    Err(e) => {
+                        return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string()))
+                    }
+                }
+                match store.read_all() {
                     Ok(payload) => Reply::Data { payload },
                     Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
                 }
@@ -908,6 +1066,26 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
             Err(e) => Reply::Error(e),
         },
         Request::Ping => Reply::Pong { epoch: shared.epoch, max_chunk: shared.config.max_chunk },
+        Request::ResumeQuery { file, session, seq } => match lookup(shared, file) {
+            Ok(slot) => {
+                slot.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let offset = if session == 0 {
+                    0
+                } else {
+                    let dedup = lock(&slot.dedup);
+                    // A completed stamp means the whole write applied: the
+                    // retried stream is answered as a replay, so it should
+                    // restart from 0, not resume.
+                    if dedup.get(session, seq).is_some() {
+                        0
+                    } else {
+                        dedup.progress(session, seq).unwrap_or(0)
+                    }
+                };
+                Reply::ResumeAt { offset }
+            }
+            Err(e) => Reply::Error(e),
+        },
         // Open/SetView/Write/Read handled above; Shutdown and the chunked
         // requests are dispatched in handle_frame.
         Request::Shutdown | Request::WriteChunk { .. } | Request::ReadChunk { .. } => Reply::Ok,
@@ -944,6 +1122,7 @@ fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
         Err(e) => return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
     };
     let mut dedup = DedupWindow::new(shared.config.dedup_window);
+    let mut replayed_intents = false;
     if existed {
         if store.len() != len {
             return Reply::Error(ProtocolError::new(
@@ -958,6 +1137,7 @@ fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
         // their retry stamps so post-crash retries stay exactly-once.
         match journal.recover(&mut store) {
             Ok(report) => {
+                replayed_intents = report.replayed > 0;
                 for (session, seq, written) in report.dedup {
                     dedup.insert(session, seq, written);
                 }
@@ -973,11 +1153,30 @@ fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
         // A fresh subfile must not inherit a dead daemon's intents.
         return Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string()));
     }
+    // The sidecar checksum map predates any intents replayed above, so it
+    // is only trusted for a cleanly-restarted subfile; otherwise the map
+    // is rebuilt from the recovered bytes.
+    let sums = match ChecksumMap::for_store(
+        &shared.config.backend,
+        file as usize,
+        subfile as usize,
+        &mut store,
+        existed && !replayed_intents,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            return Reply::Error(ProtocolError::new(
+                ErrCode::Internal,
+                format!("checksum map: {e}"),
+            ))
+        }
+    };
     let slot = Arc::new(FileSlot {
         subfile,
         store: Mutex::new(store),
         journal: Mutex::new(journal),
         dedup: Mutex::new(dedup),
+        sums: Mutex::new(sums),
         views: RwLock::new(HashMap::new()),
         stats: Stats::default(),
     });
@@ -1171,11 +1370,29 @@ fn handle_write_chunk(shared: &Shared, state: &mut Option<ChunkWrite>, request: 
             mode: start_chunk_mode(shared, &header),
         });
     } else if !state.as_ref().is_some_and(|cw| cw.stream.continues(&header)) {
-        *state = None;
-        return Reply::Error(ProtocolError::new(
-            ErrCode::Malformed,
-            "write chunk does not continue the in-progress stream",
-        ));
+        // A mid-stream first frame is accepted only as a resume: the
+        // stream's stamp must have recorded exactly this much progress
+        // (the client learned the offset from ResumeQuery). The segment
+        // cursor is fast-forwarded past the bytes the earlier attempt
+        // already applied and journaled.
+        let resumable = session != 0
+            && lookup(shared, file)
+                .is_ok_and(|slot| lock(&slot.dedup).progress(session, seq) == Some(offset));
+        if resumable {
+            let mut mode = start_chunk_mode(shared, &header);
+            if let ChunkMode::Apply { runs, expect, applied, run_idx, run_pos, .. } = &mut mode {
+                let skip = offset.min(*expect);
+                let _ = take_runs(runs, run_idx, run_pos, skip);
+                *applied = skip;
+            }
+            *state = Some(ChunkWrite { stream: WriteStream::resume(&header), mode });
+        } else {
+            *state = None;
+            return Reply::Error(ProtocolError::new(
+                ErrCode::Malformed,
+                "write chunk does not continue the in-progress stream",
+            ));
+        }
     }
     let Some(cw) = state.as_mut() else {
         return Reply::Error(ProtocolError::new(
@@ -1238,11 +1455,23 @@ fn handle_write_chunk(shared: &Shared, state: &mut Option<ChunkWrite>, request: 
                 scatter.map_err(|e| {
                     ProtocolError::new(ErrCode::Internal, format!("scatter write: {e}"))
                 })?;
+                if !torn {
+                    let mut sums = lock(&slot.sums);
+                    for &(off, n) in &sub {
+                        sums.record_write(&mut store, off, n).map_err(|e| {
+                            ProtocolError::new(ErrCode::Internal, format!("checksum update: {e}"))
+                        })?;
+                    }
+                }
                 *applied += apply_n;
                 if last && !torn {
                     lock(&slot.dedup).insert(session, seq, *expect);
                     slot.stats.bytes_written.fetch_add(*expect, Ordering::Relaxed);
                     slot.stats.fragments.fetch_add(runs.len() as u64, Ordering::Relaxed);
+                } else if !last && !torn {
+                    // Remember how far this stream's stamp has applied so a
+                    // retry after a drop can resume instead of restarting.
+                    lock(&slot.dedup).set_progress(session, seq, offset + data.len() as u64);
                 }
                 if last {
                     Ok(Reply::WriteOk { written: *expect, replayed: false })
@@ -1330,12 +1559,32 @@ fn prepare_read_chunk(
     let cap = if max_chunk == 0 { shared.config.max_chunk } else { max_chunk };
     let frame_room = shared.config.max_frame.saturating_sub(64).max(1);
     let chunk = u64::from(cap.min(shared.config.max_chunk).min(frame_room).max(1));
-    let len = lock(&slot.store).len();
+    let mut store = lock(&slot.store);
+    let len = store.len();
     let runs: Vec<(u64, u64)> = if len == 0 || l_s >= len {
         Vec::new()
     } else {
         proj.segments_between(l_s, r_s.min(len - 1)).iter().map(|s| (s.l(), s.len())).collect()
     };
+    // Verify the whole gather up front, before the first chunk streams: a
+    // mismatch discovered mid-stream could not be reported cleanly.
+    {
+        let sums = lock(&slot.sums);
+        let mut bad = 0u64;
+        for &(off, n) in &runs {
+            bad += sums.verify_range(&mut store, off, n).map_err(|e| {
+                ProtocolError::new(ErrCode::Internal, format!("checksum verify: {e}"))
+            })?;
+        }
+        if bad > 0 {
+            slot.stats.checksum_errors.fetch_add(bad, Ordering::Relaxed);
+            return Err(ProtocolError::new(
+                ErrCode::ChecksumMismatch,
+                format!("{bad} page(s) failed CRC32C verification"),
+            ));
+        }
+    }
+    drop(store);
     let total: u64 = runs.iter().map(|&(_, n)| n).sum();
     slot.stats.fragments.fetch_add(runs.len() as u64, Ordering::Relaxed);
     Ok(ChunkGather { slot, runs, run_idx: 0, run_pos: 0, total, sent: 0, chunk })

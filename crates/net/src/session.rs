@@ -22,17 +22,38 @@
 //! happened per node — applied, deduplicated replay, re-established after
 //! a daemon restart, or unreachable — while [`Session::write`] keeps the
 //! original all-or-error contract on top of it.
+//!
+//! # Replication
+//!
+//! [`Session::connect_replicated`] layers a [`ReplicaMap`] under the
+//! physical partitioning: replica rank `k` of subfile `s` lives on node
+//! `(s + k) % n`, opened under the rank-derived wire id
+//! [`copy_file_id`]`(file, k)`. Writes fan each compiled-plan segment out
+//! to all `R` replicas under one shared `(session, seq)` stamp, return
+//! once `W = ⌈(R+1)/2⌉` replicas acknowledge, and drain the stragglers
+//! asynchronously — failed replicas are queued in a [`DirtySet`] for
+//! repair. Reads come from the first live replica and transparently fail
+//! over to the next rank on an unreachable node or a daemon-side
+//! [`ErrCode::ChecksumMismatch`], queueing the bad copy for repair.
+//! [`Session::scrub`] walks every replica set, majority-votes the winning
+//! contents by CRC32C, and re-clones lost, corrupt, or divergent copies
+//! from the winner through the plan engine's identity view over the
+//! chunked write pipeline.
 
 use crate::backoff::Backoff;
 use crate::client::NodeClient;
 use crate::error::{ErrCode, NetError};
 use crate::server::{serve, DaemonConfig, DaemonHandle};
 use crate::wire::{Reply, Request, StatInfo};
-use clusterfile::StorageBackend;
+use clusterfile::{crc32c, StorageBackend};
+use falls::{Falls, NestedFalls, NestedSet};
 use parafile::engine::{CompiledView, PlanEngine};
 use parafile::mapping::Mapper;
-use parafile::model::Partition;
+use parafile::model::{Partition, PartitionPattern};
 use parafile_audit::{RawFalls, RawPattern};
+use parafile_replica::{
+    copy_file_id, plan_subfile, CopyHealth, DirtyReplica, DirtySet, ReplicaMap, ScrubVerdict,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -189,20 +210,24 @@ impl SegmentOutcome {
 /// What happened, node by node, during one redistribution write.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RedistReport {
-    /// Total bytes acknowledged across all reachable nodes.
+    /// Total bytes acknowledged across all reachable nodes (counted once
+    /// per subfile, not per replica).
     pub written: u64,
-    /// `(node index, outcome)` for every node the interval intersects.
+    /// `(subfile index, outcome)` for every subfile the interval
+    /// intersects. Without replication a subfile and its node share the
+    /// index; with replication the outcome is the subfile's best replica's.
     pub outcomes: Vec<(usize, SegmentOutcome)>,
 }
 
 impl RedistReport {
-    /// Whether every intersecting node acknowledged its segments.
+    /// Whether every intersecting subfile acknowledged its segments (on at
+    /// least one replica).
     #[must_use]
     pub fn fully_applied(&self) -> bool {
         self.outcomes.iter().all(|(_, o)| !matches!(o, SegmentOutcome::Unreachable))
     }
 
-    /// Node indices whose segments were not applied.
+    /// Subfile indices whose segments were not applied anywhere.
     #[must_use]
     pub fn unreachable(&self) -> Vec<usize> {
         self.outcomes
@@ -233,6 +258,13 @@ pub struct Session {
     next_seq: AtomicU64,
     /// Last known health per node.
     health: Vec<NodeHealth>,
+    /// Replica placement (`replicas == 1` reduces to the unreplicated
+    /// protocol bit for bit: rank 0 keeps the caller's wire file id).
+    map: ReplicaMap,
+    /// Replica copies known stale, lost, or corrupt, awaiting scrub repair.
+    dirty: DirtySet,
+    /// Quorum-write stragglers still in flight.
+    stragglers: Vec<Straggler>,
 }
 
 /// A per-node request to fan out, with its target node index.
@@ -253,11 +285,88 @@ pub struct BatchWrite<'a> {
     pub data: &'a [u8],
 }
 
+/// Compute-id namespace the scrub/repair path uses for its identity
+/// views, disjoint from application compute nodes (which are dense small
+/// integers in practice).
+pub const SCRUB_COMPUTE: u32 = u32::MAX;
+
+/// A quorum-write straggler: a replica whose reply had not been collected
+/// when the write returned (the quorum was already satisfied). Drained
+/// opportunistically on later writes and synchronously at flush/scrub; a
+/// straggler that failed is queued dirty.
+struct Straggler {
+    file: u64,
+    subfile: usize,
+    rank: usize,
+    node: usize,
+    slot: ReplySlot,
+}
+
+/// One subfile's share of a quorum write, as built: per-rank requests in
+/// rank order, plus the replicas pre-skipped because their node is dead.
+struct BuiltGroup {
+    subfile: usize,
+    /// `(rank, node, request)` in rank order.
+    targets: Vec<(usize, usize, Request)>,
+    /// `(rank, node)` replicas on fail-fast dead nodes (no request sent).
+    pre_dirty: Vec<(usize, usize)>,
+}
+
+/// One subfile's share of a quorum write, as dispatched: per-rank reply
+/// slots awaiting collection.
+struct GroupWait {
+    subfile: usize,
+    /// `(rank, node, slot)` in rank order.
+    waits: Vec<(usize, usize, Result<ReplySlot, NetError>)>,
+    pre_dirty: Vec<(usize, usize)>,
+}
+
+/// Scrub summary for one file: the verdict per subfile plus repair
+/// counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// `(subfile, verdict)` for every subfile, in index order.
+    pub verdicts: Vec<(usize, ScrubVerdict)>,
+    /// Copies re-cloned from a healthy source this pass.
+    pub repaired: usize,
+    /// Copies that needed repair but could not be repaired this pass (or,
+    /// in verify-only mode, would have been repaired); they stay queued
+    /// dirty for a later pass.
+    pub failed: usize,
+    /// Copies skipped because their node was unreachable at probe time.
+    pub skipped: usize,
+    /// Subfiles with no healthy copy left — data loss.
+    pub lost: Vec<usize>,
+}
+
+impl ScrubReport {
+    /// Whether every subfile ended the pass at full R-way redundancy.
+    #[must_use]
+    pub fn fully_redundant(&self) -> bool {
+        self.lost.is_empty() && self.failed == 0 && self.skipped == 0
+    }
+}
+
 impl Session {
     /// Connects lazily to one daemon per address (`host:port` or
     /// `unix:/path`); address order defines subfile order.
     #[must_use]
     pub fn connect(addrs: &[String]) -> Self {
+        Self::with_map(addrs, ReplicaMap::unreplicated(addrs.len()))
+    }
+
+    /// Like [`connect`](Self::connect), but every subfile is replicated on
+    /// `replicas` nodes: rank `k` of subfile `s` lives on node
+    /// `(s + k) % n` under the derived wire id [`copy_file_id`]`(file, k)`.
+    /// Fails when `replicas` exceeds the node count (the copies could not
+    /// land on distinct nodes).
+    pub fn connect_replicated(addrs: &[String], replicas: usize) -> Result<Self, NetError> {
+        let map = ReplicaMap::new(addrs.len().max(1), replicas)
+            .map_err(|e| NetError::Usage(e.to_string()))?;
+        Ok(Self::with_map(addrs, map))
+    }
+
+    fn with_map(addrs: &[String], map: ReplicaMap) -> Self {
         // A clock-and-pid stamp is unique enough across real client
         // processes; collisions only widen dedup to a twin session.
         let session_id = SystemTime::now()
@@ -278,6 +387,9 @@ impl Session {
             session_id: session_id.max(1),
             next_seq: AtomicU64::new(1),
             health: vec![NodeHealth::Unknown; addrs.len()],
+            map,
+            dirty: DirtySet::new(),
+            stragglers: Vec::new(),
         }
     }
 
@@ -285,6 +397,33 @@ impl Session {
     #[must_use]
     pub fn io_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of subfiles per file (one per I/O node, whatever the
+    /// replication factor).
+    fn subfiles(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Replication factor R of this session.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.map.replicas()
+    }
+
+    /// Snapshot of the replica copies currently queued for repair.
+    #[must_use]
+    pub fn dirty_replicas(&self) -> Vec<DirtyReplica> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// First replica rank of subfile `s` whose node is not known dead —
+    /// the preferred read source (rank 0 when everything is healthy, so
+    /// `R = 1` reads are unchanged).
+    fn first_live_rank(&self, s: usize) -> usize {
+        (0..self.map.replicas())
+            .find(|&k| self.health[self.map.node_for(s, k)] != NodeHealth::Dead)
+            .unwrap_or(0)
     }
 
     /// Replaces a dead worker with a fresh one. The shared client — and so
@@ -389,13 +528,19 @@ impl Session {
                 self.nodes.len()
             )));
         }
-        let mut requests = Vec::with_capacity(self.nodes.len());
-        for s in 0..self.nodes.len() {
+        let mut requests = Vec::with_capacity(self.nodes.len() * self.map.replicas());
+        for s in 0..self.subfiles() {
             let sub_len = physical.element_len(s, len)?;
-            requests.push(Outgoing {
-                node: s,
-                request: Request::Open { file, subfile: s as u32, len: sub_len },
-            });
+            for rank in 0..self.map.replicas() {
+                requests.push(Outgoing {
+                    node: self.map.node_for(s, rank),
+                    request: Request::Open {
+                        file: copy_file_id(file, rank),
+                        subfile: s as u32,
+                        len: sub_len,
+                    },
+                });
+            }
         }
         self.fan_out_ok(requests)?;
         self.files.insert(file, FileState { physical, len, views: HashMap::new() });
@@ -431,34 +576,45 @@ impl Session {
         let plan = PlanEngine::global().compile_view(logical, element, &st.physical)?;
         let raw_view = RawPattern::from_partition(logical);
         let mut requests = Vec::new();
+        let mut meta = Vec::new();
         for (s, access) in plan.per_subfile().iter().enumerate() {
             if !access.is_empty() {
                 let proj_set: Vec<RawFalls> =
                     access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
-                requests.push(Outgoing {
-                    node: s,
-                    request: Request::SetView {
-                        file,
-                        compute,
-                        element: element as u32,
-                        view: raw_view.clone(),
-                        proj_set,
-                        proj_period: access.proj_sub.period,
-                    },
-                });
+                for rank in 0..self.map.replicas() {
+                    requests.push(Outgoing {
+                        node: self.map.node_for(s, rank),
+                        request: Request::SetView {
+                            file: copy_file_id(file, rank),
+                            compute,
+                            element: element as u32,
+                            view: raw_view.clone(),
+                            proj_set: proj_set.clone(),
+                            proj_period: access.proj_sub.period,
+                        },
+                    });
+                    meta.push((s, rank));
+                }
             }
         }
-        let retry: HashMap<usize, Request> =
-            requests.iter().map(|o| (o.node, o.request.clone())).collect();
-        for (node, reply) in self.fan_out(requests) {
+        let retry: Vec<Request> = requests.iter().map(|o| o.request.clone()).collect();
+        for (i, (node, reply)) in self.fan_out(requests).into_iter().enumerate() {
+            let (s, rank) = meta[i];
             match reply {
                 Ok(Reply::Ok) => {}
                 Ok(other) => return Err(NetError::BadReply(format!("expected Ok, got {other:?}"))),
                 Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
                     // The daemon restarted since `create_file` and forgot
                     // the subfile: re-open it and retry the view once.
-                    self.reopen(node, file)?;
-                    lock(&self.nodes[node]).expect_ok(&retry[&node])?;
+                    self.reopen_copy(s, rank, file)?;
+                    lock(&self.nodes[node]).expect_ok(&retry[i])?;
+                }
+                Err(NetError::Io(_) | NetError::IdMismatch { .. }) if self.map.replicas() > 1 => {
+                    // A dead replica does not block the view: the copy is
+                    // queued dirty and the view re-ships on recovery
+                    // (`reestablish_copy`) or repair.
+                    self.health[node] = NodeHealth::Dead;
+                    self.dirty.insert(DirtyReplica { file, subfile: s, rank, node });
                 }
                 Err(e) => return Err(e),
             }
@@ -550,6 +706,8 @@ impl Session {
         file: u64,
         ops: &[BatchWrite<'_>],
     ) -> Result<Vec<RedistReport>, NetError> {
+        // Account for earlier writes' stragglers that have landed since.
+        self.drain_stragglers(false);
         // Validate and build every op's per-node requests up front (the
         // paper's t_m and t_g phases), so the submit phase below is pure
         // dispatch.
@@ -568,26 +726,33 @@ impl Session {
         }
         // Dispatch phase: enqueue everything before collecting anything.
         let mut pending = Vec::with_capacity(built.len());
-        for (report, requests) in built {
-            let waits: Vec<(usize, Result<ReplySlot, NetError>)> = requests
+        for groups in built {
+            let waits: Vec<GroupWait> = groups
                 .into_iter()
-                .map(|Outgoing { node, request }| {
-                    let slot = self.submit(node, request);
-                    (node, slot)
+                .map(|g| GroupWait {
+                    subfile: g.subfile,
+                    waits: g
+                        .targets
+                        .into_iter()
+                        .map(|(rank, node, request)| {
+                            let slot = self.submit(node, request);
+                            (rank, node, slot)
+                        })
+                        .collect(),
+                    pre_dirty: g.pre_dirty,
                 })
                 .collect();
-            pending.push((report, waits));
+            pending.push(waits);
         }
         // Collect phase, in op order (workers answer each node's jobs in
         // FIFO order, so op k's reply on a node precedes op k+1's).
         let mut out = Vec::with_capacity(pending.len());
-        for ((mut report, waits), op) in pending.into_iter().zip(ops) {
-            for (node, slot) in waits {
-                let reply = self.collect(node, slot);
-                let outcome =
-                    self.write_outcome(node, compute, file, op.lo_v, op.hi_v, op.data, reply)?;
+        for (waits, op) in pending.into_iter().zip(ops) {
+            let mut report = RedistReport::default();
+            for group in waits {
+                let (subfile, outcome) = self.collect_group(compute, file, op, group)?;
                 report.written += outcome.written();
-                report.outcomes.push((node, outcome));
+                report.outcomes.push((subfile, outcome));
             }
             report.outcomes.sort_unstable_by_key(|&(n, _)| n);
             out.push(report);
@@ -595,9 +760,11 @@ impl Session {
         Ok(out)
     }
 
-    /// Builds one logical write's per-node messages: map the extremities,
-    /// gather the view bytes, stamp the dedup sequence. Dead nodes are
-    /// pre-reported unreachable and get no message.
+    /// Builds one logical write's per-replica messages: map the
+    /// extremities, gather the view bytes, stamp the dedup sequence — one
+    /// `(session, seq)` shared by all `R` copies of a subfile, so every
+    /// replica daemon deduplicates the same logical write. Replicas on
+    /// dead nodes are pre-skipped (no message, queued dirty at collect).
     fn build_write(
         &self,
         compute: u32,
@@ -605,24 +772,17 @@ impl Session {
         lo_v: u64,
         hi_v: u64,
         data: &[u8],
-    ) -> Result<(RedistReport, Vec<Outgoing>), NetError> {
+    ) -> Result<Vec<BuiltGroup>, NetError> {
         let session = self.session_id;
         let (st, vs) = self.view(file, compute)?;
-        let mut requests = Vec::new();
-        let mut report = RedistReport::default();
-        for s in 0..self.nodes.len() {
+        let mut groups = Vec::new();
+        for s in 0..self.subfiles() {
             let replay = vs.plan.replay(s);
             if replay.is_empty() {
                 continue;
             }
             let covered = replay.bytes_between(lo_v, hi_v);
             if covered == 0 {
-                continue;
-            }
-            if self.health[s] == NodeHealth::Dead {
-                // Fail fast: a node that failed its last probe gets no
-                // request (and no retry schedule) until a probe revives it.
-                report.outcomes.push((s, SegmentOutcome::Unreachable));
                 continue;
             }
             let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
@@ -636,19 +796,91 @@ impl Session {
                 payload.extend_from_slice(&data[a..=b]);
             });
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-            requests.push(Outgoing {
-                node: s,
-                request: Request::Write { file, compute, l_s, r_s, session, seq, payload },
-            });
+            let mut group = BuiltGroup { subfile: s, targets: Vec::new(), pre_dirty: Vec::new() };
+            for rank in 0..self.map.replicas() {
+                let node = self.map.node_for(s, rank);
+                if self.health[node] == NodeHealth::Dead {
+                    // Fail fast: a node that failed its last probe gets no
+                    // request (and no retry schedule) until a probe
+                    // revives it.
+                    group.pre_dirty.push((rank, node));
+                    continue;
+                }
+                group.targets.push((
+                    rank,
+                    node,
+                    Request::Write {
+                        file: copy_file_id(file, rank),
+                        compute,
+                        l_s,
+                        r_s,
+                        session,
+                        seq,
+                        payload: payload.clone(),
+                    },
+                ));
+            }
+            groups.push(group);
         }
-        Ok((report, requests))
+        Ok(groups)
     }
 
-    /// Maps one node's write reply to its segment outcome, driving restart
-    /// recovery and dead-node bookkeeping on the way.
-    #[allow(clippy::too_many_arguments)]
-    fn write_outcome(
+    /// Collects one subfile's quorum: replies are taken in rank order
+    /// until `W = ⌈(R+1)/2⌉` copies (clamped to the copies actually sent)
+    /// acknowledge; the rest become stragglers drained asynchronously.
+    /// Failed copies are queued dirty; the subfile succeeds — possibly
+    /// degraded below quorum — as long as one replica applied it.
+    fn collect_group(
         &mut self,
+        compute: u32,
+        file: u64,
+        op: &BatchWrite<'_>,
+        group: GroupWait,
+    ) -> Result<(usize, SegmentOutcome), NetError> {
+        let subfile = group.subfile;
+        for (rank, node) in group.pre_dirty {
+            self.dirty.insert(DirtyReplica { file, subfile, rank, node });
+        }
+        let quorum = self.map.write_quorum().min(group.waits.len()).max(1);
+        let mut first_ack: Option<SegmentOutcome> = None;
+        let mut acks = 0usize;
+        let mut waits = group.waits.into_iter();
+        for (rank, node, slot) in waits.by_ref() {
+            let reply = self.collect(node, slot);
+            let outcome = self.copy_write_outcome(
+                subfile, rank, node, compute, file, op.lo_v, op.hi_v, op.data, reply,
+            )?;
+            if matches!(outcome, SegmentOutcome::Unreachable) {
+                self.dirty.insert(DirtyReplica { file, subfile, rank, node });
+            } else {
+                acks += 1;
+                if first_ack.is_none() {
+                    first_ack = Some(outcome);
+                }
+                if acks >= quorum {
+                    break;
+                }
+            }
+        }
+        // Quorum satisfied: the remaining replicas complete asynchronously.
+        for (rank, node, slot) in waits {
+            match slot {
+                Ok(slot) => self.stragglers.push(Straggler { file, subfile, rank, node, slot }),
+                Err(_) => {
+                    self.dirty.insert(DirtyReplica { file, subfile, rank, node });
+                }
+            }
+        }
+        Ok((subfile, first_ack.unwrap_or(SegmentOutcome::Unreachable)))
+    }
+
+    /// Maps one replica's write reply to its segment outcome, driving
+    /// restart recovery and dead-node bookkeeping on the way.
+    #[allow(clippy::too_many_arguments)]
+    fn copy_write_outcome(
+        &mut self,
+        subfile: usize,
+        rank: usize,
         node: usize,
         compute: u32,
         file: u64,
@@ -669,8 +901,8 @@ impl Session {
                 if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
             {
                 // The daemon restarted and forgot this session's state:
-                // re-open the subfile, re-ship the view, retry once.
-                match self.recover_write(node, compute, file, lo_v, hi_v, data) {
+                // re-open the copy, re-ship the view, retry once.
+                match self.recover_write(subfile, rank, compute, file, lo_v, hi_v, data) {
                     Ok(written) => SegmentOutcome::Recovered { written },
                     Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
                         self.health[node] = NodeHealth::Dead;
@@ -690,36 +922,84 @@ impl Session {
         })
     }
 
-    /// Re-`Open`s `file`'s subfile on node `node` with the session's cached
-    /// geometry — the first half of restart recovery. On a restarted daemon
-    /// the open also replays its journal into any surviving bytes.
-    fn reopen(&self, node: usize, file: u64) -> Result<(), NetError> {
+    /// Drains quorum-write stragglers: non-blocking between writes (only
+    /// replies that already landed are accounted), blocking at barriers
+    /// (flush, scrub). A straggler that failed is queued dirty.
+    fn drain_stragglers(&mut self, block: bool) {
+        let pending = std::mem::take(&mut self.stragglers);
+        for s in pending {
+            let reply = if block {
+                s.slot.recv().map_err(|_| ())
+            } else {
+                match s.slot.try_recv() {
+                    Ok(reply) => Ok(reply),
+                    Err(mpsc::TryRecvError::Empty) => {
+                        self.stragglers.push(s);
+                        continue;
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => Err(()),
+                }
+            };
+            match reply {
+                Ok(Ok(Reply::WriteOk { .. })) => {}
+                Ok(Err(NetError::Io(_) | NetError::IdMismatch { .. })) | Err(()) => {
+                    self.health[s.node] = NodeHealth::Dead;
+                    self.dirty.insert(DirtyReplica {
+                        file: s.file,
+                        subfile: s.subfile,
+                        rank: s.rank,
+                        node: s.node,
+                    });
+                }
+                Ok(_) => {
+                    self.dirty.insert(DirtyReplica {
+                        file: s.file,
+                        subfile: s.subfile,
+                        rank: s.rank,
+                        node: s.node,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Re-`Open`s replica `rank` of `file`'s subfile `subfile` with the
+    /// session's cached geometry — the first half of restart recovery. On
+    /// a restarted daemon the open also replays its journal into any
+    /// surviving bytes.
+    fn reopen_copy(&self, subfile: usize, rank: usize, file: u64) -> Result<(), NetError> {
         let st = self.file(file)?;
-        let sub_len = st.physical.element_len(node, st.len)?;
-        lock(&self.nodes[node]).expect_ok(&Request::Open {
-            file,
-            subfile: node as u32,
+        let sub_len = st.physical.element_len(subfile, st.len)?;
+        lock(&self.nodes[self.map.node_for(subfile, rank)]).expect_ok(&Request::Open {
+            file: copy_file_id(file, rank),
+            subfile: subfile as u32,
             len: sub_len,
         })
     }
 
-    /// Re-establishes node `node` after a daemon restart: re-`Open` the
-    /// subfile (which replays the daemon's journal into any surviving
-    /// bytes) and re-ship compute `compute`'s view, all from this
-    /// session's cached state.
-    fn reestablish(&self, node: usize, compute: u32, file: u64) -> Result<(), NetError> {
-        self.reopen(node, file)?;
+    /// Re-establishes replica `rank` of subfile `subfile` after a daemon
+    /// restart: re-`Open` the copy (which replays the daemon's journal
+    /// into any surviving bytes) and re-ship compute `compute`'s view, all
+    /// from this session's cached state.
+    fn reestablish_copy(
+        &self,
+        subfile: usize,
+        rank: usize,
+        compute: u32,
+        file: u64,
+    ) -> Result<(), NetError> {
+        self.reopen_copy(subfile, rank, file)?;
         let (st, vs) = self.view(file, compute)?;
         // Cache hit in the common case: the same (view, physical) pair was
         // compiled when the view was first set.
         let plan = PlanEngine::global().compile_view(&vs.view, vs.element, &st.physical)?;
-        let access = plan.access(node);
-        let mut client = lock(&self.nodes[node]);
+        let access = plan.access(subfile);
+        let mut client = lock(&self.nodes[self.map.node_for(subfile, rank)]);
         if !access.is_empty() {
             let proj_set: Vec<RawFalls> =
                 access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
             client.expect_ok(&Request::SetView {
-                file,
+                file: copy_file_id(file, rank),
                 compute,
                 element: vs.element as u32,
                 view: RawPattern::from_partition(&vs.view),
@@ -730,33 +1010,43 @@ impl Session {
         Ok(())
     }
 
-    /// [`reestablish`](Self::reestablish), then retry the write for that
-    /// node once. The retry carries a fresh stamp: the daemon's dedup
-    /// window (repopulated from its journal) decides whether the original
-    /// write already landed.
+    /// [`reestablish_copy`](Self::reestablish_copy), then retry the write
+    /// for that replica once. The retry carries a fresh stamp: the
+    /// daemon's dedup window (repopulated from its journal) decides
+    /// whether the original write already landed.
+    #[allow(clippy::too_many_arguments)]
     fn recover_write(
         &mut self,
-        node: usize,
+        subfile: usize,
+        rank: usize,
         compute: u32,
         file: u64,
         lo_v: u64,
         hi_v: u64,
         data: &[u8],
     ) -> Result<u64, NetError> {
-        self.reestablish(node, compute, file)?;
+        self.reestablish_copy(subfile, rank, compute, file)?;
         let session = self.session_id;
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let (st, vs) = self.view(file, compute)?;
-        let (l_s, r_s) = Self::map_extremities(st, vs, node, lo_v, hi_v)?;
-        let replay = vs.plan.replay(node);
+        let (l_s, r_s) = Self::map_extremities(st, vs, subfile, lo_v, hi_v)?;
+        let replay = vs.plan.replay(subfile);
         let mut payload = Vec::with_capacity(replay.bytes_between(lo_v, hi_v) as usize);
         replay.for_each_between(lo_v, hi_v, |seg| {
             let a = (seg.l() - lo_v) as usize;
             let b = (seg.r() - lo_v) as usize;
             payload.extend_from_slice(&data[a..=b]);
         });
-        let mut client = lock(&self.nodes[node]);
-        match client.call(&Request::Write { file, compute, l_s, r_s, session, seq, payload })? {
+        let mut client = lock(&self.nodes[self.map.node_for(subfile, rank)]);
+        match client.call(&Request::Write {
+            file: copy_file_id(file, rank),
+            compute,
+            l_s,
+            r_s,
+            session,
+            seq,
+            payload,
+        })? {
             Reply::WriteOk { written, .. } => Ok(written),
             other => Err(NetError::BadReply(format!("expected WriteOk, got {other:?}"))),
         }
@@ -796,7 +1086,10 @@ impl Session {
 
     /// Reads the view interval `[lo_v, hi_v]` of `file` as compute node
     /// `compute`. Bytes past a subfile's physical end read as zero (the
-    /// partial-read complement of short writes).
+    /// partial-read complement of short writes). Each subfile is read
+    /// from its first live replica, failing over to the next rank on an
+    /// unreachable node or a daemon-side checksum mismatch (the bad copy
+    /// is queued for repair) — the self-healing read path.
     pub fn read(
         &mut self,
         compute: u32,
@@ -809,44 +1102,30 @@ impl Session {
         }
         let (st, vs) = self.view(file, compute)?;
         let mut requests = Vec::new();
+        let mut meta = Vec::new();
         for s in 0..self.nodes.len() {
             let replay = vs.plan.replay(s);
             if replay.is_empty() || replay.bytes_between(lo_v, hi_v) == 0 {
                 continue;
             }
             let (l_s, r_s) = Self::map_extremities(st, vs, s, lo_v, hi_v)?;
-            requests.push(Outgoing { node: s, request: Request::Read { file, compute, l_s, r_s } });
+            let rank = self.first_live_rank(s);
+            requests.push(Outgoing {
+                node: self.map.node_for(s, rank),
+                request: Request::Read { file: copy_file_id(file, rank), compute, l_s, r_s },
+            });
+            meta.push((s, rank, l_s, r_s));
         }
         let mut buf = vec![0u8; (hi_v - lo_v + 1) as usize];
-        for (node, reply) in self.fan_out(requests) {
-            let reply = match reply {
-                Err(NetError::Protocol(e))
-                    if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
-                {
-                    // The daemon restarted between `set_view` and this read:
-                    // re-establish the file and view from cached state (which
-                    // also replays the daemon's journal) and retry once.
-                    self.reestablish(node, compute, file)?;
-                    let (st, vs) = self.view(file, compute)?;
-                    let (l_s, r_s) = Self::map_extremities(st, vs, node, lo_v, hi_v)?;
-                    lock(&self.nodes[node]).call(&Request::Read { file, compute, l_s, r_s })?
-                }
-                other => other?,
-            };
-            let payload = match reply {
-                Reply::Data { payload } => payload,
-                other => {
-                    return Err(NetError::BadReply(format!(
-                        "node {node}: expected Data, got {other:?}"
-                    )))
-                }
-            };
+        for (i, (_, reply)) in self.fan_out(requests).into_iter().enumerate() {
+            let (s, rank, l_s, r_s) = meta[i];
+            let payload = self.read_with_failover(compute, file, s, rank, l_s, r_s, reply)?;
             // Scatter the node's fragment stream back into view positions.
             // A short payload (partial read at the subfile boundary) fills
             // only the leading fragments.
             let (_, vs) = self.view(file, compute)?;
             let mut pos = 0usize;
-            vs.plan.replay(node).for_each_between(lo_v, hi_v, |seg| {
+            vs.plan.replay(s).for_each_between(lo_v, hi_v, |seg| {
                 let take = (seg.len() as usize).min(payload.len() - pos);
                 if take == 0 {
                     return;
@@ -859,35 +1138,100 @@ impl Session {
         Ok(buf)
     }
 
-    /// Fetches every subfile and reassembles the full file through the
-    /// physical mapping functions (verification/diagnostics path).
-    pub fn file_contents(&mut self, file: u64) -> Result<Vec<u8>, NetError> {
-        let st = self.file(file)?;
-        let len = st.len as usize;
-        let physical = st.physical.clone();
-        let requests = (0..self.nodes.len())
-            .map(|s| Outgoing { node: s, request: Request::Fetch { file } })
-            .collect();
-        let mut out = vec![0u8; len];
-        for (node, reply) in self.fan_out(requests) {
-            let reply = match reply {
-                Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
-                    // A restarted daemon forgot the subfile: re-opening it
-                    // replays the journal over the surviving bytes.
-                    self.reopen(node, file)?;
-                    lock(&self.nodes[node]).call(&Request::Fetch { file })?
-                }
-                other => other?,
+    /// Settles one subfile's read, walking the replica set from
+    /// `first_rank` until a copy answers. A restarted daemon is
+    /// re-established and retried once per rank; a checksum mismatch
+    /// queues that copy for repair and moves to the next rank; an
+    /// unreachable node is marked dead and skipped. Errors only when every
+    /// replica failed.
+    #[allow(clippy::too_many_arguments)]
+    fn read_with_failover(
+        &mut self,
+        compute: u32,
+        file: u64,
+        s: usize,
+        first_rank: usize,
+        l_s: u64,
+        r_s: u64,
+        first: Result<Reply, NetError>,
+    ) -> Result<Vec<u8>, NetError> {
+        let r = self.map.replicas();
+        let mut attempt = Some(first);
+        let mut last_err: Option<NetError> = None;
+        for step in 0..r {
+            let rank = (first_rank + step) % r;
+            let node = self.map.node_for(s, rank);
+            let request = Request::Read { file: copy_file_id(file, rank), compute, l_s, r_s };
+            let reply = match attempt.take() {
+                Some(reply) => reply,
+                None => lock(&self.nodes[node]).call(&request),
             };
-            let payload = match reply {
-                Reply::Data { payload } => payload,
-                other => {
+            let reply = match reply {
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::UnknownFile | ErrCode::NoView) =>
+                {
+                    // The daemon restarted between `set_view` and this
+                    // read: re-establish the copy and view from cached
+                    // state (which also replays the daemon's journal) and
+                    // retry once.
+                    match self.reestablish_copy(s, rank, compute, file) {
+                        Ok(()) => lock(&self.nodes[node]).call(&request),
+                        Err(e) => Err(e),
+                    }
+                }
+                other => other,
+            };
+            match reply {
+                Ok(Reply::Data { payload }) => return Ok(payload),
+                Ok(other) => {
                     return Err(NetError::BadReply(format!(
                         "node {node}: expected Data, got {other:?}"
                     )))
                 }
-            };
-            let m = Mapper::new(&physical, node);
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::ChecksumMismatch | ErrCode::Internal) =>
+                {
+                    // The stored copy failed verification (or the daemon's
+                    // storage is sick): heal from the next replica and
+                    // queue this one for repair.
+                    self.dirty.insert(DirtyReplica { file, subfile: s, rank, node });
+                    last_err = Some(NetError::Protocol(e));
+                }
+                Err(e @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
+                    self.health[node] = NodeHealth::Dead;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            NetError::Io(std::io::Error::other(format!("no replica of subfile {s} answered")))
+        }))
+    }
+
+    /// Fetches every subfile and reassembles the full file through the
+    /// physical mapping functions (verification/diagnostics path). Each
+    /// subfile comes from its first live replica with the same failover
+    /// semantics as [`read`](Self::read).
+    pub fn file_contents(&mut self, file: u64) -> Result<Vec<u8>, NetError> {
+        let st = self.file(file)?;
+        let len = st.len as usize;
+        let physical = st.physical.clone();
+        let mut requests = Vec::with_capacity(self.subfiles());
+        let mut meta = Vec::with_capacity(self.subfiles());
+        for s in 0..self.subfiles() {
+            let rank = self.first_live_rank(s);
+            requests.push(Outgoing {
+                node: self.map.node_for(s, rank),
+                request: Request::Fetch { file: copy_file_id(file, rank) },
+            });
+            meta.push((s, rank));
+        }
+        let mut out = vec![0u8; len];
+        for (i, (_, reply)) in self.fan_out(requests).into_iter().enumerate() {
+            let (s, rank) = meta[i];
+            let payload = self.fetch_with_failover(file, s, rank, Some(reply))?;
+            let m = Mapper::new(&physical, s);
             for (i, byte) in payload.iter().enumerate() {
                 let pos = m.unmap(i as u64) as usize;
                 if pos < len {
@@ -898,19 +1242,100 @@ impl Session {
         Ok(out)
     }
 
-    /// Fetches one subfile of `file` verbatim from its I/O node.
+    /// Settles one subfile fetch, walking the replica set from
+    /// `first_rank`. A copy the daemon lost (restart with an empty disk)
+    /// or that fails its checksum is queued dirty and the next rank is
+    /// tried; an unreachable node is marked dead and skipped.
+    fn fetch_with_failover(
+        &mut self,
+        file: u64,
+        s: usize,
+        first_rank: usize,
+        first: Option<Result<Reply, NetError>>,
+    ) -> Result<Vec<u8>, NetError> {
+        let r = self.map.replicas();
+        let mut attempt = first;
+        let mut last_err: Option<NetError> = None;
+        for step in 0..r {
+            let rank = (first_rank + step) % r;
+            let node = self.map.node_for(s, rank);
+            let request = Request::Fetch { file: copy_file_id(file, rank) };
+            let reply = match attempt.take() {
+                Some(reply) => reply,
+                None => lock(&self.nodes[node]).call(&request),
+            };
+            let reply = match reply {
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::UnknownFile) && self.files.contains_key(&file) =>
+                {
+                    // A restarted daemon forgot the copy: re-opening it
+                    // replays the journal over the surviving bytes.
+                    match self.reopen_copy(s, rank, file) {
+                        Ok(()) => lock(&self.nodes[node]).call(&request),
+                        Err(e) => Err(e),
+                    }
+                }
+                other => other,
+            };
+            match reply {
+                Ok(Reply::Data { payload }) => return Ok(payload),
+                Ok(other) => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected Data, got {other:?}"
+                    )))
+                }
+                Err(NetError::Protocol(e))
+                    if matches!(e.code, ErrCode::ChecksumMismatch | ErrCode::UnknownFile) =>
+                {
+                    self.dirty.insert(DirtyReplica { file, subfile: s, rank, node });
+                    last_err = Some(NetError::Protocol(e));
+                }
+                Err(e @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
+                    self.health[node] = NodeHealth::Dead;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            NetError::Io(std::io::Error::other(format!("no replica of subfile {s} answered")))
+        }))
+    }
+
+    /// Fetches one subfile of `file` verbatim, from its first live replica
+    /// with read failover. Works on any file the daemons host, not just
+    /// ones created by this session (the restart-recovery reopen path
+    /// does require a session-created file).
     pub fn subfile(&mut self, file: u64, s: usize) -> Result<Vec<u8>, NetError> {
-        self.file(file)?;
         if s >= self.nodes.len() {
             return Err(NetError::Usage(format!(
                 "subfile {s} out of range for {} I/O nodes",
                 self.nodes.len()
             )));
         }
-        let reply = match lock(&self.nodes[s]).call(&Request::Fetch { file }) {
-            Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
-                self.reopen(s, file)?;
-                lock(&self.nodes[s]).call(&Request::Fetch { file })?
+        let rank = self.first_live_rank(s);
+        self.fetch_with_failover(file, s, rank, None)
+    }
+
+    /// Fetches one specific replica copy of subfile `s` verbatim — no
+    /// failover, so tests and the scrub CLI can compare copies
+    /// byte for byte.
+    pub fn subfile_copy(&mut self, file: u64, s: usize, rank: usize) -> Result<Vec<u8>, NetError> {
+        if s >= self.nodes.len() || rank >= self.map.replicas() {
+            return Err(NetError::Usage(format!(
+                "copy (subfile {s}, rank {rank}) out of range for {} nodes × {} replicas",
+                self.nodes.len(),
+                self.map.replicas()
+            )));
+        }
+        let node = self.map.node_for(s, rank);
+        let request = Request::Fetch { file: copy_file_id(file, rank) };
+        let reply = match lock(&self.nodes[node]).call(&request) {
+            Err(NetError::Protocol(e))
+                if matches!(e.code, ErrCode::UnknownFile) && self.files.contains_key(&file) =>
+            {
+                self.reopen_copy(s, rank, file)?;
+                lock(&self.nodes[node]).call(&request)?
             }
             other => other?,
         };
@@ -920,57 +1345,103 @@ impl Session {
         }
     }
 
-    /// Forces every subfile of `file` to stable storage. Works on any file
-    /// the daemons host, not just ones created by this session. A failed
-    /// flush leaves the daemon's journal intact, so flushing is retry-safe:
-    /// transient storage failures ([`ErrCode::Internal`]) are absorbed with
-    /// a few immediate per-node retries before surfacing.
+    /// Forces every replica copy of `file` to stable storage. Works on any
+    /// file the daemons host, not just ones created by this session. A
+    /// failed flush leaves the daemon's journal intact, so flushing is
+    /// retry-safe: transient storage failures ([`ErrCode::Internal`]) are
+    /// absorbed with a few immediate per-copy retries before surfacing.
+    /// Quorum-write stragglers are drained (blocking) first, so a
+    /// successful flush means every non-dirty replica is durable; a copy
+    /// that still fails is queued dirty, and the flush errors only when
+    /// some subfile flushed no copy at all.
     pub fn flush(&mut self, file: u64) -> Result<(), NetError> {
-        let requests = (0..self.nodes.len())
-            .map(|s| Outgoing { node: s, request: Request::Flush { file } })
-            .collect();
-        for (node, first) in self.fan_out(requests) {
-            let mut reply = first;
-            let mut tries = 0;
-            // The shared backoff schedule, seeded per (session, node) so
-            // concurrent sessions flushing the same daemons desynchronize.
-            let mut backoff = Backoff::new(
-                std::time::Duration::from_millis(5),
-                std::time::Duration::from_millis(20),
-                self.session_id ^ node as u64,
-            );
-            loop {
-                match reply {
-                    Ok(Reply::Ok) => break,
-                    Ok(other) => {
-                        return Err(NetError::BadReply(format!(
-                            "node {node}: expected Ok, got {other:?}"
-                        )))
+        self.drain_stragglers(true);
+        let mut requests = Vec::with_capacity(self.subfiles() * self.map.replicas());
+        let mut meta = Vec::with_capacity(requests.capacity());
+        for s in 0..self.subfiles() {
+            for rank in 0..self.map.replicas() {
+                requests.push(Outgoing {
+                    node: self.map.node_for(s, rank),
+                    request: Request::Flush { file: copy_file_id(file, rank) },
+                });
+                meta.push((s, rank));
+            }
+        }
+        let mut flushed = vec![0usize; self.subfiles()];
+        let mut first_err: Option<NetError> = None;
+        for (i, (node, first)) in self.fan_out(requests).into_iter().enumerate() {
+            let (s, rank) = meta[i];
+            match self.settle_flush(file, s, rank, first) {
+                Ok(()) => flushed[s] += 1,
+                Err(e @ (NetError::Usage(_) | NetError::BadReply(_))) => return Err(e),
+                Err(e) => {
+                    if matches!(e, NetError::Io(_) | NetError::IdMismatch { .. }) {
+                        self.health[node] = NodeHealth::Dead;
                     }
-                    Err(NetError::Protocol(ref e))
-                        if matches!(e.code, ErrCode::Internal) && tries < 3 =>
-                    {
-                        tries += 1;
-                        backoff.sleep();
-                        reply = lock(&self.nodes[node]).call(&Request::Flush { file });
+                    self.dirty.insert(DirtyReplica { file, subfile: s, rank, node });
+                    if first_err.is_none() {
+                        first_err = Some(e);
                     }
-                    Err(NetError::Protocol(ref e))
-                        if matches!(e.code, ErrCode::UnknownFile)
-                            && self.files.contains_key(&file)
-                            && tries < 3 =>
-                    {
-                        // A restarted daemon forgot the subfile; re-opening
-                        // it replays the journal, which the flush then
-                        // checkpoints.
-                        tries += 1;
-                        self.reopen(node, file)?;
-                        reply = lock(&self.nodes[node]).call(&Request::Flush { file });
-                    }
-                    Err(e) => return Err(e),
                 }
             }
         }
-        Ok(())
+        if flushed.iter().all(|&n| n > 0) {
+            Ok(())
+        } else {
+            Err(first_err.unwrap_or_else(|| {
+                NetError::Io(std::io::Error::other("no replica flushed".to_string()))
+            }))
+        }
+    }
+
+    /// Retry loop for one copy's flush: absorbs transient `Internal`
+    /// failures and restart-induced `UnknownFile` (re-open replays the
+    /// journal, which the flush then checkpoints).
+    fn settle_flush(
+        &mut self,
+        file: u64,
+        s: usize,
+        rank: usize,
+        first: Result<Reply, NetError>,
+    ) -> Result<(), NetError> {
+        let node = self.map.node_for(s, rank);
+        let request = Request::Flush { file: copy_file_id(file, rank) };
+        let mut reply = first;
+        let mut tries = 0;
+        // The shared backoff schedule, seeded per (session, node, rank) so
+        // concurrent sessions flushing the same daemons desynchronize.
+        let mut backoff = Backoff::new(
+            std::time::Duration::from_millis(5),
+            std::time::Duration::from_millis(20),
+            self.session_id ^ ((node as u64) << 8) ^ rank as u64,
+        );
+        loop {
+            match reply {
+                Ok(Reply::Ok) => return Ok(()),
+                Ok(other) => {
+                    return Err(NetError::BadReply(format!(
+                        "node {node}: expected Ok, got {other:?}"
+                    )))
+                }
+                Err(NetError::Protocol(ref e))
+                    if matches!(e.code, ErrCode::Internal) && tries < 3 =>
+                {
+                    tries += 1;
+                    backoff.sleep();
+                    reply = lock(&self.nodes[node]).call(&request);
+                }
+                Err(NetError::Protocol(ref e))
+                    if matches!(e.code, ErrCode::UnknownFile)
+                        && self.files.contains_key(&file)
+                        && tries < 3 =>
+                {
+                    tries += 1;
+                    self.reopen_copy(s, rank, file)?;
+                    reply = lock(&self.nodes[node]).call(&request);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Per-subfile statistics for `file`, one entry per I/O node. Works on
@@ -985,7 +1456,7 @@ impl Session {
                 Err(NetError::Protocol(e))
                     if matches!(e.code, ErrCode::UnknownFile) && self.files.contains_key(&file) =>
                 {
-                    self.reopen(node, file)?;
+                    self.reopen_copy(node, 0, file)?;
                     lock(&self.nodes[node]).call(&Request::Stat { file })?
                 }
                 other => other?,
@@ -1000,6 +1471,169 @@ impl Session {
             }
         }
         Ok(out)
+    }
+
+    /// Walks every replica set of `file`, majority-votes the winning
+    /// contents by CRC32C, and re-clones lost, corrupt, or divergent
+    /// copies from the winner — the scrub/repair loop. Returns what was
+    /// found and fixed; repaired copies leave the dirty queue.
+    pub fn scrub(&mut self, file: u64) -> Result<ScrubReport, NetError> {
+        self.scrub_pass(file, true)
+    }
+
+    /// [`scrub`](Self::scrub) without the repair phase: probes and votes
+    /// only, counting would-be repairs as `failed` so
+    /// [`ScrubReport::fully_redundant`] doubles as a verification gate.
+    pub fn scrub_verify(&mut self, file: u64) -> Result<ScrubReport, NetError> {
+        self.scrub_pass(file, false)
+    }
+
+    fn scrub_pass(&mut self, file: u64, repair: bool) -> Result<ScrubReport, NetError> {
+        // Outstanding quorum stragglers must land (or be recorded dirty)
+        // before a scrub verdict means anything.
+        self.drain_stragglers(true);
+        let r = self.map.replicas();
+        let mut report = ScrubReport::default();
+        for s in 0..self.subfiles() {
+            let mut health = Vec::with_capacity(r);
+            let mut payloads: Vec<Option<Vec<u8>>> = Vec::with_capacity(r);
+            for rank in 0..r {
+                let (h, p) = self.probe_copy(file, s, rank)?;
+                health.push(h);
+                payloads.push(p);
+            }
+            // Unreachable copies could not be vouched for this pass, even
+            // when the verdict is Healthy (the reachable copies agree).
+            report.skipped +=
+                health.iter().filter(|h| matches!(h, CopyHealth::Unreachable)).count();
+            let verdict = plan_subfile(&health);
+            match &verdict {
+                ScrubVerdict::Healthy => {}
+                ScrubVerdict::Lost => report.lost.push(s),
+                ScrubVerdict::Repair { source_rank, repair_ranks, skipped_ranks: _ } => {
+                    if repair {
+                        let source = payloads[*source_rank].take().ok_or_else(|| {
+                            NetError::BadReply("scrub lost its source copy's bytes".to_string())
+                        })?;
+                        for &rank in repair_ranks {
+                            let node = self.map.node_for(s, rank);
+                            match self.repair_copy(file, s, rank, &source) {
+                                Ok(()) => {
+                                    report.repaired += 1;
+                                    self.dirty.remove(&DirtyReplica {
+                                        file,
+                                        subfile: s,
+                                        rank,
+                                        node,
+                                    });
+                                }
+                                Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                                    report.failed += 1;
+                                    self.health[node] = NodeHealth::Dead;
+                                    self.dirty.insert(DirtyReplica {
+                                        file,
+                                        subfile: s,
+                                        rank,
+                                        node,
+                                    });
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    } else {
+                        report.failed += repair_ranks.len();
+                    }
+                }
+            }
+            report.verdicts.push((s, verdict));
+        }
+        Ok(report)
+    }
+
+    /// Probes one replica copy's health for the scrubber: fetch it whole
+    /// (the daemon verifies its stored checksums on the way out) and hash
+    /// the contents, classifying failures.
+    fn probe_copy(
+        &mut self,
+        file: u64,
+        s: usize,
+        rank: usize,
+    ) -> Result<(CopyHealth, Option<Vec<u8>>), NetError> {
+        let node = self.map.node_for(s, rank);
+        match lock(&self.nodes[node]).call(&Request::Fetch { file: copy_file_id(file, rank) }) {
+            Ok(Reply::Data { payload }) => {
+                let crc = crc32c(&payload);
+                Ok((CopyHealth::Ok { crc, len: payload.len() as u64 }, Some(payload)))
+            }
+            Ok(other) => {
+                Err(NetError::BadReply(format!("node {node}: expected Data, got {other:?}")))
+            }
+            Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::UnknownFile) => {
+                Ok((CopyHealth::Missing, None))
+            }
+            Err(NetError::Protocol(e)) if matches!(e.code, ErrCode::ChecksumMismatch) => {
+                Ok((CopyHealth::Corrupt, None))
+            }
+            Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
+                self.health[node] = NodeHealth::Dead;
+                Ok((CopyHealth::Unreachable, None))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-clones one replica copy from `bytes`: open the copy at the
+    /// source's length, compile the identity view through the plan engine
+    /// (a redistribution whose view and physical partitions coincide), and
+    /// stream the bytes through the regular stamped write path — large
+    /// copies ride the chunked pipeline — then flush.
+    fn repair_copy(
+        &mut self,
+        file: u64,
+        s: usize,
+        rank: usize,
+        bytes: &[u8],
+    ) -> Result<(), NetError> {
+        let node = self.map.node_for(s, rank);
+        let copy = copy_file_id(file, rank);
+        let len = bytes.len() as u64;
+        lock(&self.nodes[node]).expect_ok(&Request::Open { file: copy, subfile: s as u32, len })?;
+        if len == 0 {
+            return Ok(());
+        }
+        let falls = Falls::new(0, len - 1, len, 1).map_err(parafile::Error::from)?;
+        let identity = Partition::new(
+            0,
+            PartitionPattern::new(vec![NestedSet::singleton(NestedFalls::leaf(falls))])?,
+        );
+        let plan = PlanEngine::global().compile_view(&identity, 0, &identity)?;
+        let access = plan.access(0);
+        let proj_set: Vec<RawFalls> =
+            access.proj_sub.set.families().iter().map(RawFalls::from_nested).collect();
+        let session = self.session_id;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut client = lock(&self.nodes[node]);
+        client.expect_ok(&Request::SetView {
+            file: copy,
+            compute: SCRUB_COMPUTE,
+            element: 0,
+            view: RawPattern::from_partition(&identity),
+            proj_set,
+            proj_period: access.proj_sub.period,
+        })?;
+        match client.call(&Request::Write {
+            file: copy,
+            compute: SCRUB_COMPUTE,
+            l_s: 0,
+            r_s: len - 1,
+            session,
+            seq,
+            payload: bytes.to_vec(),
+        })? {
+            Reply::WriteOk { .. } => {}
+            other => return Err(NetError::BadReply(format!("expected WriteOk, got {other:?}"))),
+        }
+        client.expect_ok(&Request::Flush { file: copy })
     }
 
     /// Asks every daemon to shut down. Errors on unreachable daemons are
@@ -1142,6 +1776,117 @@ mod tests {
         let report = session.write_report(0, 1, 0, 31, &[0x77; 32]).expect("final write");
         assert!(report.fully_applied(), "{report:?}");
         assert_eq!(session.read(0, 1, 0, 31).expect("read back"), vec![0x77; 32]);
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    /// 9×9 matrix over 3 nodes with R = 2: column-block physical,
+    /// row-block view.
+    fn replicated_session() -> (Vec<DaemonHandle>, Session) {
+        let physical = MatrixLayout::ColumnBlocks.partition(9, 9, 1, 3);
+        let logical = MatrixLayout::RowBlocks.partition(9, 9, 1, 3);
+        let (handles, addrs) =
+            spawn_loopback(3, StorageBackend::Memory).expect("spawn loopback daemons");
+        let mut session = Session::connect_replicated(&addrs, 2).expect("R=2 over 3 nodes");
+        session.create_file(5, physical, 81).expect("create file");
+        session.set_view(0, 5, &logical, 0).expect("set view");
+        (handles, session)
+    }
+
+    #[test]
+    fn replica_copies_agree_after_quorum_writes() {
+        let (mut handles, mut session) = replicated_session();
+        let data: Vec<u8> = (0..27u8).collect();
+        let report = session.write_report(0, 5, 0, 26, &data).expect("replicated write");
+        assert!(report.fully_applied(), "{report:?}");
+        session.flush(5).expect("flush both replicas");
+        assert!(session.dirty_replicas().is_empty(), "healthy cluster stays clean");
+        assert_eq!(session.read(0, 5, 0, 26).expect("read back"), data);
+        // Every subfile's two copies are byte-identical.
+        for s in 0..3 {
+            let rank0 = session.subfile_copy(5, s, 0).expect("rank 0 copy");
+            let rank1 = session.subfile_copy(5, s, 1).expect("rank 1 copy");
+            assert_eq!(rank0, rank1, "subfile {s} copies diverge");
+        }
+        let scrub = session.scrub_verify(5).expect("verify pass");
+        assert!(scrub.fully_redundant(), "{scrub:?}");
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn replicated_session_survives_permanent_node_loss() {
+        let (mut handles, mut session) = replicated_session();
+        // One view element per compute node covers the whole file.
+        let logical = MatrixLayout::RowBlocks.partition(9, 9, 1, 3);
+        session.set_view(1, 5, &logical, 1).expect("set view 1");
+        session.set_view(2, 5, &logical, 2).expect("set view 2");
+        let before: Vec<u8> = (0..81u8).map(|i| i ^ 0x5A).collect();
+        for c in 0..3u32 {
+            let part = &before[c as usize * 27..(c as usize + 1) * 27];
+            session.write(c, 5, 0, 26, part).expect("write while healthy");
+        }
+        // Permanently kill node 1 and let the probe mark it dead so the
+        // session fails fast instead of paying the retry schedule.
+        handles[1].stop();
+        session.probe();
+        assert_eq!(session.health()[1], NodeHealth::Dead);
+        // Every subfile keeps one live replica (rank sets {s, s+1 mod 3}),
+        // so degraded writes still fully apply...
+        let after: Vec<u8> = (0..81u8).map(|i| i.wrapping_mul(3)).collect();
+        for c in 0..3u32 {
+            let part = &after[c as usize * 27..(c as usize + 1) * 27];
+            let report = session.write_report(c, 5, 0, 26, part).expect("degraded write");
+            assert!(report.fully_applied(), "{report:?}");
+        }
+        // ...the dead node's copies are queued for repair...
+        let dirty = session.dirty_replicas();
+        assert!(
+            dirty.iter().any(|d| d.node == 1),
+            "copies on the dead node must be dirty: {dirty:?}"
+        );
+        // ...and reads fail over to the surviving replicas, byte-identical.
+        for c in 0..3u32 {
+            let part = &after[c as usize * 27..(c as usize + 1) * 27];
+            assert_eq!(session.read(c, 5, 0, 26).expect("read after loss"), part);
+        }
+        assert_eq!(session.file_contents(5).expect("reassemble after loss"), after);
+        // A scrub pass can only skip the unreachable copies, not repair.
+        let scrub = session.scrub(5).expect("scrub with a dead node");
+        assert!(!scrub.fully_redundant(), "{scrub:?}");
+        assert!(scrub.lost.is_empty(), "no subfile lost: {scrub:?}");
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn scrub_reclones_divergent_copy_from_majority() {
+        let (mut handles, mut session) = replicated_session();
+        let data: Vec<u8> = (0..81u8).collect();
+        session.write(0, 5, 0, 80, &data).expect("write");
+        session.flush(5).expect("flush");
+        // Diverge subfile 2's rank-1 copy by writing garbage straight to
+        // it (repair_copy doubles as a raw copy writer here).
+        let garbage = vec![0xEE; 27];
+        session.repair_copy(5, 2, 1, &garbage).expect("plant divergent copy");
+        assert_eq!(session.subfile_copy(5, 2, 1).expect("divergent copy"), garbage);
+        // The scrub votes: rank 0 wins the 1-vs-1 tie (lowest rank), and
+        // rank 1 is re-cloned from it.
+        let report = session.scrub(5).expect("scrub");
+        assert_eq!(report.repaired, 1, "{report:?}");
+        assert!(report.fully_redundant(), "{report:?}");
+        let rank0 = session.subfile_copy(5, 2, 0).expect("source copy");
+        assert_eq!(session.subfile_copy(5, 2, 1).expect("healed copy"), rank0);
+        // A second pass finds nothing to do.
+        let clean = session.scrub(5).expect("second scrub");
+        assert_eq!(clean.repaired, 0);
+        assert!(clean.verdicts.iter().all(|(_, v)| *v == ScrubVerdict::Healthy), "{clean:?}");
         drop(session);
         for h in &mut handles {
             h.stop();

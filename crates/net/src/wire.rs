@@ -34,10 +34,15 @@ use std::io::{Read, Write};
 /// probe. Version 3 adds **chunked streaming** (DESIGN.md §13): the
 /// `WriteChunk`/`ReadChunk` requests, the `ChunkOk`/`DataChunk` replies,
 /// and a `max_chunk` capability field on `Pong` so clients can negotiate
-/// chunking down to monolithic frames against older daemons. Daemons keep
-/// speaking every version down to [`MIN_PROTOCOL_VERSION`] and always
-/// answer in the version the request arrived with.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// chunking down to monolithic frames against older daemons. Version 4 adds
+/// **resumable uploads and data checksums** (DESIGN.md §15): the
+/// `ResumeQuery` request and `ResumeAt` reply let a retried chunked write
+/// continue from the last chunk the daemon applied for a `(session, seq)`
+/// stamp instead of restarting at offset 0, and `Stat` grows a
+/// `checksum_errors` counter reporting CRC32C verification failures.
+/// Daemons keep speaking every version down to [`MIN_PROTOCOL_VERSION`] and
+/// always answer in the version the request arrived with.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Oldest protocol version daemons still accept.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -78,6 +83,8 @@ pub mod op {
     pub const WRITE_CHUNK: u8 = 0x0A;
     /// Gather request answered as a stream of bounded chunks (protocol ≥ 3).
     pub const READ_CHUNK: u8 = 0x0B;
+    /// Where did my interrupted chunked write get to? (protocol ≥ 4).
+    pub const WRITE_RESUME: u8 = 0x0C;
     /// Success, no payload.
     pub const R_OK: u8 = 0x80;
     /// Write acknowledgment with the byte count actually stored.
@@ -92,6 +99,9 @@ pub mod op {
     pub const R_CHUNK_OK: u8 = 0x85;
     /// One bounded chunk of a streamed gather reply (protocol ≥ 3).
     pub const R_DATA_CHUNK: u8 = 0x86;
+    /// Answer to `WriteResume`: the offset a retried stream should resume
+    /// from (protocol ≥ 4).
+    pub const R_RESUME: u8 = 0x87;
     /// Typed protocol error.
     pub const R_ERROR: u8 = 0xFF;
 }
@@ -452,6 +462,19 @@ pub enum Request {
         /// answer with smaller chunks, never larger).
         max_chunk: u32,
     },
+    /// Ask how far a previously interrupted chunked write for this
+    /// `(session, seq)` stamp got (protocol ≥ 4). Answered with `ResumeAt`:
+    /// offset 0 when the daemon has no partial progress recorded (including
+    /// after a daemon restart — progress is volatile, the journal covers the
+    /// applied chunks), so a conservative client can always restart cleanly.
+    ResumeQuery {
+        /// File identifier.
+        file: u64,
+        /// Retry-dedup session stamp the interrupted stream carried.
+        session: u64,
+        /// Retry-dedup sequence number within `session`.
+        seq: u64,
+    },
 }
 
 impl Request {
@@ -470,6 +493,7 @@ impl Request {
             Request::Ping => op::PING,
             Request::WriteChunk { .. } => op::WRITE_CHUNK,
             Request::ReadChunk { .. } => op::READ_CHUNK,
+            Request::ResumeQuery { .. } => op::WRITE_RESUME,
         }
     }
 
@@ -571,6 +595,11 @@ impl Request {
                 put_u64(out, *r_s);
                 put_u32(out, *max_chunk);
             }
+            Request::ResumeQuery { file, session, seq } => {
+                put_u64(out, *file);
+                put_u64(out, *session);
+                put_u64(out, *seq);
+            }
         }
     }
 
@@ -646,6 +675,9 @@ impl Request {
                 r_s: c.u64()?,
                 max_chunk: c.u32()?,
             },
+            op::WRITE_RESUME if version >= 4 => {
+                Request::ResumeQuery { file: c.u64()?, session: c.u64()?, seq: c.u64()? }
+            }
             _ => return Err(WireError::BadValue("opcode")),
         };
         c.finish()?;
@@ -671,6 +703,9 @@ pub struct StatInfo {
     pub bytes_read: u64,
     /// Scatter/gather fragments touched.
     pub fragments: u64,
+    /// CRC32C verification failures detected on this subfile (protocol ≥ 4;
+    /// always 0 on older connections).
+    pub checksum_errors: u64,
 }
 
 /// A decoded reply frame payload.
@@ -722,6 +757,13 @@ pub enum Reply {
         /// This chunk's slice of the gathered payload.
         data: Vec<u8>,
     },
+    /// Answer to `ResumeQuery` (protocol ≥ 4).
+    ResumeAt {
+        /// Gathered-payload offset from which a retried chunked write for
+        /// the queried `(session, seq)` should resume; 0 means "start over"
+        /// (no partial progress on record).
+        offset: u64,
+    },
     /// Typed protocol error.
     Error(ProtocolError),
 }
@@ -738,6 +780,7 @@ impl Reply {
             Reply::Pong { .. } => op::R_PONG,
             Reply::ChunkOk { .. } => op::R_CHUNK_OK,
             Reply::DataChunk { .. } => op::R_DATA_CHUNK,
+            Reply::ResumeAt { .. } => op::R_RESUME,
             Reply::Error(_) => op::R_ERROR,
         }
     }
@@ -777,6 +820,7 @@ impl Reply {
                 }
             }
             Reply::ChunkOk { offset } => put_u64(out, *offset),
+            Reply::ResumeAt { offset } => put_u64(out, *offset),
             Reply::DataChunk { offset, last, data } => {
                 put_u64(out, *offset);
                 out.push(u8::from(*last));
@@ -789,6 +833,9 @@ impl Reply {
                 put_u64(out, s.bytes_written);
                 put_u64(out, s.bytes_read);
                 put_u64(out, s.fragments);
+                if version >= 4 {
+                    put_u64(out, s.checksum_errors);
+                }
             }
             Reply::Error(e) => {
                 put_u16(out, e.code.as_u16());
@@ -831,6 +878,7 @@ impl Reply {
                 Reply::Pong { epoch, max_chunk }
             }
             op::R_CHUNK_OK if version >= 3 => Reply::ChunkOk { offset: c.u64()? },
+            op::R_RESUME if version >= 4 => Reply::ResumeAt { offset: c.u64()? },
             op::R_DATA_CHUNK if version >= 3 => {
                 let offset = c.u64()?;
                 let last = match c.take(1)?[0] {
@@ -848,6 +896,7 @@ impl Reply {
                 bytes_written: c.u64()?,
                 bytes_read: c.u64()?,
                 fragments: c.u64()?,
+                checksum_errors: if version >= 4 { c.u64()? } else { 0 },
             }),
             op::R_ERROR => {
                 let code = ErrCode::from_u16(c.u16()?).ok_or(WireError::BadValue("error code"))?;
@@ -1054,6 +1103,7 @@ mod tests {
                 data: vec![9, 8, 7],
             },
             Request::ReadChunk { file: 7, compute: 1, l_s: 0, r_s: 31, max_chunk: 4096 },
+            Request::ResumeQuery { file: 7, session: 11, seq: 4 },
         ];
         for req in reqs {
             let payload = req.encode_payload();
@@ -1113,6 +1163,38 @@ mod tests {
     }
 
     #[test]
+    fn v3_frames_have_no_resume_messages() {
+        // Resume opcodes and the checksum counter are version-4 additions;
+        // v3 rejects the former and never carries the latter.
+        assert_eq!(
+            Request::decode_at(3, op::WRITE_RESUME, &[0; 24]),
+            Err(WireError::BadValue("opcode"))
+        );
+        assert_eq!(Reply::decode_at(3, op::R_RESUME, &[0; 8]), Err(WireError::BadValue("opcode")));
+        let stat = Reply::Stat(StatInfo {
+            len: 10,
+            views: 2,
+            requests: 5,
+            bytes_written: 100,
+            bytes_read: 50,
+            fragments: 7,
+            checksum_errors: 9,
+        });
+        let v3 = stat.encode_payload_at(3);
+        assert_eq!(v3.len(), 48);
+        match Reply::decode_at(3, op::R_STAT, &v3).unwrap() {
+            Reply::Stat(s) => {
+                assert_eq!(s.fragments, 7);
+                assert_eq!(s.checksum_errors, 0, "v3 leaves the additive field defaulted");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let v4 = stat.encode_payload_at(4);
+        assert_eq!(v4.len(), 56);
+        assert_eq!(Reply::decode_at(4, op::R_STAT, &v4).unwrap(), stat);
+    }
+
+    #[test]
     fn replies_round_trip() {
         let replies = vec![
             Reply::Ok,
@@ -1122,6 +1204,7 @@ mod tests {
             Reply::ChunkOk { offset: 4096 },
             Reply::DataChunk { offset: 0, last: false, data: b"xyz".to_vec() },
             Reply::DataChunk { offset: 3, last: true, data: vec![] },
+            Reply::ResumeAt { offset: 8192 },
             Reply::Data { payload: b"abc".to_vec() },
             Reply::Stat(StatInfo {
                 len: 10,
@@ -1130,6 +1213,7 @@ mod tests {
                 bytes_written: 100,
                 bytes_read: 50,
                 fragments: 7,
+                checksum_errors: 3,
             }),
             Reply::Error(ProtocolError {
                 code: ErrCode::PatternRejected,

@@ -90,7 +90,11 @@ fn chunked_write_matches_monolithic_byte_for_byte() {
     );
 
     assert_eq!(fetch(&mut mono, 1), fetch(&mut mono, 2), "chunked and monolithic bytes agree");
-    assert_eq!(chunked.negotiated_version(), 3, "fresh daemon speaks v3");
+    assert_eq!(
+        chunked.negotiated_version(),
+        parafile_net::wire::PROTOCOL_VERSION,
+        "fresh daemon speaks the current version"
+    );
     assert!(
         chunked.peer_max_chunk().unwrap_or(0) > 0,
         "the probe recorded a non-zero chunk capability"
@@ -240,4 +244,33 @@ fn session_write_batch_streams_against_small_daemon_chunk_cap() {
         let owner = (0..4).find(|&c| Mapper::new(&logical, c).map(x).is_some()).unwrap();
         assert_eq!(b, 0x60 + owner as u8, "subfile 0 byte {s} (file offset {x})");
     }
+}
+
+/// A stamped chunked write severed mid-stream by a one-shot connection
+/// drop resumes on retry from the last acknowledged chunk (protocol ≥ 4):
+/// the client queries the daemon's recorded partial progress with
+/// `ResumeQuery` and fast-forwards past the chunks an earlier attempt
+/// already applied and journaled — instead of restarting at offset 0.
+#[test]
+fn interrupted_chunked_write_resumes_from_last_acked_chunk() {
+    use parafile_net::fault::FaultPlan;
+    // Frames on the faulted connection: 1 Open, 2 SetView, 3 the Ping
+    // capability probe, 4.. the chunk stream. Dropping frame 6 lands
+    // mid-stream with two 2-byte chunks already applied and acked.
+    let fault = FaultPlan { drop_once_after_frames: Some(6), ..FaultPlan::none() };
+    let config = DaemonConfig { fault: Some(fault), ..DaemonConfig::default() };
+    let daemon = serve("127.0.0.1:0", config).expect("serve");
+    let mut client = NodeClient::new(daemon.addr()).with_chunk(Some(2));
+
+    open_with_view(&mut client, 1, 32);
+    let payload: Vec<u8> = (0..16u8).map(|i| 0xB0 + i).collect();
+    assert_eq!(
+        write(&mut client, 1, 31, (9, 1), &payload),
+        Reply::WriteOk { written: 16, replayed: false }
+    );
+    assert!(
+        client.last_resume_offset() > 0,
+        "the retry resumed mid-stream instead of restarting at offset 0"
+    );
+    assert_eq!(read(&mut client, 1, 0, 31), payload, "resumed stream lands every byte");
 }

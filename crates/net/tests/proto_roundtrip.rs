@@ -2,13 +2,13 @@
 //!
 //! Three layers of guarantees, each over randomly generated frames:
 //!
-//! * **round-trip identity** — every v3 request and reply payload decodes
+//! * **round-trip identity** — every v4 request and reply payload decodes
 //!   back to exactly the value that was encoded, including chunked frames
 //!   at boundary data sizes (empty, one byte, around the chunk limit);
-//! * **version gating** — additive v2/v3 fields are dropped when encoding
-//!   for an older peer and refilled with their documented defaults when
-//!   decoding, and v3-only opcodes are rejected outright on v2 and v1
-//!   connections;
+//! * **version gating** — additive v2/v3/v4 fields are dropped when
+//!   encoding for an older peer and refilled with their documented
+//!   defaults when decoding, and v3-only/v4-only opcodes are rejected
+//!   outright on older connections;
 //! * **truncation rejection** — cutting any encoded payload short never
 //!   panics and never decodes back to the original value: fixed-layout
 //!   payloads answer a typed `WireError`, trailing-bytes payloads (write
@@ -66,6 +66,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u64>().prop_map(|file| Request::Fetch { file }),
         Just(Request::Shutdown),
         Just(Request::Ping),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(file, session, seq)| { Request::ResumeQuery { file, session, seq } }),
         arb_write_chunk(0..64),
         (any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
             |(file, compute, l_s, r_s, max_chunk)| Request::ReadChunk {
@@ -131,7 +133,7 @@ fn arb_write_chunk(sizes: std::ops::Range<usize>) -> impl Strategy<Value = Reque
 }
 
 fn arb_err_code() -> impl Strategy<Value = ErrCode> {
-    (1u16..=12).prop_filter_map("valid wire id", ErrCode::from_u16)
+    (1u16..=13).prop_filter_map("valid wire id", ErrCode::from_u16)
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
@@ -140,13 +142,32 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
         (any::<u64>(), any::<bool>())
             .prop_map(|(written, replayed)| Reply::WriteOk { written, replayed }),
         prop::collection::vec(any::<u8>(), 0..64).prop_map(|payload| Reply::Data { payload }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
-            .prop_map(|(len, views, requests, bytes_written, bytes_read, fragments)| Reply::Stat(
-                StatInfo { len, views, requests, bytes_written, bytes_read, fragments }
-            )),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(len, views, requests, bytes_written, bytes_read, fragments, checksum_errors)| {
+                    Reply::Stat(StatInfo {
+                        len,
+                        views,
+                        requests,
+                        bytes_written,
+                        bytes_read,
+                        fragments,
+                        checksum_errors,
+                    })
+                }
+            ),
         (any::<u64>(), any::<u32>())
             .prop_map(|(epoch, max_chunk)| Reply::Pong { epoch, max_chunk }),
         any::<u64>().prop_map(|offset| Reply::ChunkOk { offset }),
+        any::<u64>().prop_map(|offset| Reply::ResumeAt { offset }),
         arb_data_chunk(0..64),
         (arb_err_code(), 0usize..3, prop::collection::vec(any::<u8>(), 0..12)).prop_map(
             |(code, n_pa, msg)| Reply::Error(ProtocolError {
@@ -170,20 +191,20 @@ fn arb_data_chunk(sizes: std::ops::Range<usize>) -> impl Strategy<Value = Reply>
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Every request frame type: encode at v3, decode at v3, get the same
+    /// Every request frame type: encode at v4, decode at v4, get the same
     /// value back.
     #[test]
-    fn request_roundtrip_v3(req in arb_request()) {
-        let payload = req.encode_payload_at(3);
-        let back = Request::decode_at(3, req.opcode(), &payload);
+    fn request_roundtrip_v4(req in arb_request()) {
+        let payload = req.encode_payload_at(4);
+        let back = Request::decode_at(4, req.opcode(), &payload);
         prop_assert_eq!(back.as_ref(), Ok(&req));
     }
 
     /// Every reply frame type likewise.
     #[test]
-    fn reply_roundtrip_v3(reply in arb_reply()) {
-        let payload = reply.encode_payload_at(3);
-        let back = Reply::decode_at(3, reply.opcode(), &payload);
+    fn reply_roundtrip_v4(reply in arb_reply()) {
+        let payload = reply.encode_payload_at(4);
+        let back = Reply::decode_at(4, reply.opcode(), &payload);
         prop_assert_eq!(back.as_ref(), Ok(&reply));
     }
 
@@ -265,6 +286,20 @@ proptest! {
             );
         }
     }
+
+    /// The v4-only resume opcodes are likewise rejected on v1–v3
+    /// connections.
+    #[test]
+    fn resume_opcodes_rejected_below_v4(version in 1u8..=3, bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(
+            Request::decode_at(version, op::WRITE_RESUME, &bytes),
+            Err(WireError::BadValue("opcode"))
+        );
+        prop_assert_eq!(
+            Reply::decode_at(version, op::R_RESUME, &bytes),
+            Err(WireError::BadValue("opcode"))
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -278,10 +313,10 @@ proptest! {
     /// trailing-data frames decode to a visibly shorter payload.
     #[test]
     fn truncated_requests_never_roundtrip(req in arb_request(), cut_seed in any::<u64>()) {
-        let payload = req.encode_payload_at(3);
+        let payload = req.encode_payload_at(4);
         prop_assume!(!payload.is_empty());
         let cut = (cut_seed % payload.len() as u64) as usize;
-        if let Ok(shorter) = Request::decode_at(3, req.opcode(), &payload[..cut]) {
+        if let Ok(shorter) = Request::decode_at(4, req.opcode(), &payload[..cut]) {
             prop_assert_ne!(shorter, req);
         }
     }
@@ -289,10 +324,10 @@ proptest! {
     /// The same for replies.
     #[test]
     fn truncated_replies_never_roundtrip(reply in arb_reply(), cut_seed in any::<u64>()) {
-        let payload = reply.encode_payload_at(3);
+        let payload = reply.encode_payload_at(4);
         prop_assume!(!payload.is_empty());
         let cut = (cut_seed % payload.len() as u64) as usize;
-        if let Ok(shorter) = Reply::decode_at(3, reply.opcode(), &payload[..cut]) {
+        if let Ok(shorter) = Reply::decode_at(4, reply.opcode(), &payload[..cut]) {
             prop_assert_ne!(shorter, reply);
         }
     }

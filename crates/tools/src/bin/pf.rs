@@ -8,12 +8,14 @@
 //! pf owner   <part.json> <offset>        # which element owns a file byte
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
-//! pf serve   <addr> [--dir DIR] [--chaos SPEC]  # run an I/O-node daemon
-//! pf chaos   <listen> <upstream> <SPEC> [--duration SECS]  # fault-injecting proxy
-//! pf io <a1,a2,…> demo <n> [--pipeline]  # matrix scenario over real daemons
+//! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS]  # run an I/O-node daemon
+//! pf chaos   <listen> <up1[,up2,…]> <SPEC> [--duration SECS]  # fault-injecting proxy
+//! pf io <a1,a2,…> demo <n> [--pipeline] [--replicas R]  # matrix scenario over real daemons
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
+//! pf io <a1,a2,…> fetch <file>           # reassembled length + CRC32C (read path)
 //! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
 //! pf io <a1,a2,…> shutdown               # stop the daemons
+//! pf scrub <a1,a2,…> <file> [--replicas R] [--verify]  # replica checksum walk + repair
 //! ```
 //!
 //! A chaos SPEC is a bare seed (`42`, expanded deterministically into one
@@ -22,7 +24,15 @@
 //! faults (flush failures, kills, torn scatter writes) and, when a crash
 //! fault fires, restarts the daemon on the same address with the crash
 //! disarmed — one seed, one crash, one recovery. `pf chaos` attacks the
-//! transport of an untouched daemon instead.
+//! transport of an untouched daemon instead; with a comma-separated
+//! upstream list it runs one proxy per replica daemon and reports
+//! per-replica outcome counters at the end of a `--duration` window.
+//!
+//! `pf serve --scrub SECS` arms the daemon-side detection loop: every
+//! interval the daemon re-verifies its stored checksums and surfaces
+//! mismatches in `stat` (`checksum_errors`), so a `pf scrub` sweep from
+//! any client can find and repair them. `pf scrub --verify` probes and
+//! votes without repairing (exit 5 when redundancy is degraded).
 //!
 //! Partition files use the JSON forms documented in the `pf-tools` library;
 //! pass `-` to read from stdin.
@@ -47,7 +57,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ToolError {
     ToolError::Spec(
-        "usage: pf <example|render|map|unmap|owner|intersect|plan|serve|chaos|io> [args…]\n\
+        "usage: pf <example|render|map|unmap|owner|intersect|plan|serve|chaos|io|scrub> [args…]\n\
          see `crates/tools/src/bin/pf.rs` for details"
             .into(),
     )
@@ -59,6 +69,25 @@ fn net_err(e: parafile_net::NetError) -> ToolError {
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, ToolError> {
     s.parse().map_err(|_| ToolError::Spec(format!("{what} must be a number, got {s:?}")))
+}
+
+/// Strips a `--replicas R` flag (default 1) out of an argument slice,
+/// returning the remaining arguments in order.
+fn split_replicas_flag(args: &[String]) -> Result<(Vec<&String>, usize), ToolError> {
+    let mut replicas = 1usize;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--replicas" {
+            let r = it.next().ok_or_else(usage)?;
+            replicas = r
+                .parse()
+                .map_err(|_| ToolError::Spec(format!("--replicas must be a number, got {r:?}")))?;
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((rest, replicas))
 }
 
 fn parse_elem(s: &str, part: &parafile::Partition) -> Result<usize, ToolError> {
@@ -213,6 +242,13 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                         config.fault =
                             Some(parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?);
                     }
+                    "--scrub" => {
+                        let secs = parse_u64(rest.next().ok_or_else(usage)?, "--scrub interval")?;
+                        if secs == 0 {
+                            return Err(ToolError::Spec("--scrub interval must be > 0".into()));
+                        }
+                        config.scrub_interval = Some(std::time::Duration::from_secs(secs));
+                    }
                     other => return Err(ToolError::Spec(format!("unknown flag {other:?}"))),
                 }
             }
@@ -238,8 +274,10 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         "chaos" => {
-            let listen = args.get(1).ok_or_else(usage)?;
-            let upstream = args.get(2).ok_or_else(usage)?;
+            let listens: Vec<String> =
+                args.get(1).ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
+            let upstreams: Vec<String> =
+                args.get(2).ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
             let spec = args.get(3).ok_or_else(usage)?;
             let plan = parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?;
             let duration = match (args.get(4).map(String::as_str), args.get(5)) {
@@ -250,41 +288,78 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                 ),
                 _ => return Err(usage()),
             };
+            if listens.len() > upstreams.len() {
+                return Err(ToolError::Spec(format!(
+                    "{} listen address(es) for {} upstream(s)",
+                    listens.len(),
+                    upstreams.len()
+                )));
+            }
             let planned = plan.plans_transport_fault();
             println!("chaos plan (seed {}): {plan:?}", plan.seed);
-            let mut proxy = parafile_net::chaos_proxy(listen, upstream, plan)?;
-            println!("pf-chaos proxying {} → {upstream}", proxy.addr());
-            // Without --duration the proxy runs until killed; with it the
-            // proxy stops after the window so scripts can read the verdict.
+            // One proxy per replica daemon; missing listen addresses get
+            // OS-assigned ports. Each proxy keeps its own outcome
+            // counters, so a replicated run can tell which replica's
+            // transport faulted and which misbehaved.
+            let mut proxies = Vec::with_capacity(upstreams.len());
+            for (i, upstream) in upstreams.iter().enumerate() {
+                let listen = listens.get(i).map_or("127.0.0.1:0", String::as_str);
+                let proxy = parafile_net::chaos_proxy(listen, upstream, plan.clone())?;
+                println!("pf-chaos[{i}] proxying {} → {upstream}", proxy.addr());
+                proxies.push(proxy);
+            }
+            // Without --duration the proxies run until killed; with it
+            // they stop after the window so scripts can read the verdict.
             match duration {
                 Some(secs) => {
                     std::thread::sleep(std::time::Duration::from_secs(secs));
-                    proxy.stop();
+                    for proxy in &mut proxies {
+                        proxy.stop();
+                    }
                 }
-                None => proxy.wait(),
+                None => {
+                    for proxy in &mut proxies {
+                        proxy.wait();
+                    }
+                }
             }
             // Exit codes distinguish the run's verdict: 0 = the planned
             // fault fired (or the plan injects nothing at the transport)
-            // and the protocol held; 3 = the planned fault never fired;
-            // 4 = errors the plan does not explain flowed to the client.
-            let outcome = proxy.outcome();
+            // and the protocol held; 3 = the planned fault never fired on
+            // any replica; 4 = errors the plan does not explain flowed to
+            // a client. The per-replica counters say which daemon's link
+            // carried the fault.
+            let mut fired = 0u64;
+            let mut unexpected = 0u64;
+            for (i, proxy) in proxies.iter().enumerate() {
+                let outcome = proxy.outcome();
+                println!(
+                    "pf-chaos outcome[{i}] ({}): {} planned fault(s) fired, {} unexpected error(s)",
+                    upstreams[i], outcome.planned_faults, outcome.unexpected_errors
+                );
+                fired += outcome.planned_faults;
+                unexpected += outcome.unexpected_errors;
+            }
             println!(
-                "pf-chaos outcome: {} planned fault(s) fired, {} unexpected error(s)",
-                outcome.planned_faults, outcome.unexpected_errors
+                "pf-chaos outcome: {fired} planned fault(s) fired, \
+                 {unexpected} unexpected error(s) across {} replica(s)",
+                proxies.len()
             );
-            if outcome.unexpected_errors > 0 {
+            if unexpected > 0 {
                 std::process::exit(4);
             }
-            if planned && outcome.planned_faults == 0 {
+            if planned && fired == 0 {
                 std::process::exit(3);
             }
             Ok(())
         }
         "io" => {
+            let (rest, replicas) = split_replicas_flag(&args[1..])?;
             let addrs: Vec<String> =
-                args.get(1).ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
-            let sub = args.get(2).ok_or_else(usage)?;
-            let mut session = parafile_net::Session::connect(&addrs);
+                rest.first().ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
+            let sub = rest.get(1).ok_or_else(usage)?;
+            let mut session =
+                parafile_net::Session::connect_replicated(&addrs, replicas).map_err(net_err)?;
             match sub.as_str() {
                 // The paper's experiment over live daemons: row-block views
                 // onto a column-block file, every node writes its view, the
@@ -293,8 +368,8 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                 // slices so the persistent node workers overlap the
                 // per-node transfers (DESIGN.md §13).
                 "demo" => {
-                    let n = parse_u64(args.get(3).ok_or_else(usage)?, "matrix dim")?;
-                    let pipeline = args[3..].iter().any(|a| a == "--pipeline");
+                    let n = parse_u64(rest.get(2).ok_or_else(usage)?, "matrix dim")?;
+                    let pipeline = rest[2..].iter().any(|a| *a == "--pipeline");
                     let nodes = addrs.len() as u64;
                     if n == 0 || n % nodes != 0 {
                         return Err(ToolError::Spec(format!(
@@ -364,7 +439,7 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                     Ok(())
                 }
                 "stat" => {
-                    let file = parse_u64(args.get(3).ok_or_else(usage)?, "file id")?;
+                    let file = parse_u64(rest.get(2).ok_or_else(usage)?, "file id")?;
                     for (s, info) in session.stat(file).map_err(net_err)?.iter().enumerate() {
                         println!(
                             "subfile {s} @ {}: {} B, {} views, {} requests, \
@@ -378,6 +453,25 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                             info.fragments
                         );
                     }
+                    Ok(())
+                }
+                // Fetches every subfile through the session read path
+                // (with `--replicas R`, reads fail over to surviving
+                // copies) and prints a digest over the concatenation in
+                // subfile order — byte-identical subfiles give an
+                // identical digest, so scripts can compare runs across
+                // faults without knowing the partitioning.
+                "fetch" => {
+                    let file = parse_u64(rest.get(2).ok_or_else(usage)?, "file id")?;
+                    let mut all = Vec::new();
+                    for s in 0..session.io_nodes() {
+                        all.extend_from_slice(&session.subfile(file, s).map_err(net_err)?);
+                    }
+                    println!(
+                        "file {file}: {} bytes, crc32c {:08x}",
+                        all.len(),
+                        clusterfile::crc32c(&all)
+                    );
                     Ok(())
                 }
                 "probe" => {
@@ -402,6 +496,43 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                     Ok(())
                 }
                 _ => Err(usage()),
+            }
+        }
+        "scrub" => {
+            let verify = args.iter().any(|a| a == "--verify");
+            let without_verify: Vec<String> =
+                args[1..].iter().filter(|a| *a != "--verify").cloned().collect();
+            let (rest, replicas) = split_replicas_flag(&without_verify)?;
+            let addrs: Vec<String> =
+                rest.first().ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
+            let file = parse_u64(rest.get(1).ok_or_else(usage)?, "file id")?;
+            let mut session =
+                parafile_net::Session::connect_replicated(&addrs, replicas).map_err(net_err)?;
+            let report = if verify {
+                session.scrub_verify(file).map_err(net_err)?
+            } else {
+                session.scrub(file).map_err(net_err)?
+            };
+            for (s, verdict) in &report.verdicts {
+                println!("subfile {s}: {verdict:?}");
+            }
+            println!(
+                "pf-scrub{}: {} repaired, {} unrepaired, {} unreachable cop(ies), {} lost",
+                if verify { " (verify)" } else { "" },
+                report.repaired,
+                report.failed,
+                report.skipped,
+                report.lost.len()
+            );
+            // Exit 5 = the file is not fully R-way redundant (some copy
+            // is lost, unreachable, or still pending repair), so scripts
+            // can gate on scrub convergence.
+            if report.fully_redundant() {
+                println!("file {file} fully redundant ({replicas} cop(ies) per subfile)");
+                Ok(())
+            } else {
+                println!("file {file} NOT fully redundant");
+                std::process::exit(5);
             }
         }
         _ => Err(usage()),

@@ -1,0 +1,193 @@
+//! Replication acceptance tests: R = 2 subfile copies over three I/O-node
+//! daemons must survive a **permanent** node kill mid-workload (byte-
+//! identical reads, degraded writes fully applied), converge back to full
+//! redundancy once a blank replacement daemon takes over the dead
+//! address, and transparently heal reads when a stored copy is corrupted
+//! on disk (a flipped byte is caught by the per-page CRC32C map, the read
+//! fails over to the surviving replica, and the bad copy is queued for
+//! repair).
+//!
+//! These tests manage their own daemon lifecycles (they kill and restart
+//! nodes), so unlike `net_loopback` they never honor `PF_NET_NODES`.
+
+use arraydist::matrix::MatrixLayout;
+use clusterfile::StorageBackend;
+use parafile_net::server::{serve, DaemonConfig, DaemonHandle};
+use parafile_net::session::{spawn_loopback, Session};
+use parafile_net::NodeHealth;
+use parafile_replica::{copy_file_id, ScrubVerdict};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const IO_NODES: usize = 3;
+const REPLICAS: usize = 2;
+const N: u64 = 9;
+const FILE_LEN: u64 = N * N;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pf_repl_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn dir_config(dir: &Path) -> DaemonConfig {
+    DaemonConfig { backend: StorageBackend::Directory(dir.to_path_buf()), ..Default::default() }
+}
+
+/// Rebinds `addr` with `config`, retrying while the previous daemon's
+/// socket drains out of TIME_WAIT.
+fn serve_at(addr: &str, config: DaemonConfig) -> DaemonHandle {
+    for _ in 0..200 {
+        match serve(addr, config.clone()) {
+            Ok(h) => return h,
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    panic!("could not rebind {addr}");
+}
+
+/// Three daemons over `backend`, an R = 2 session, and `file` created as
+/// a column-block 9×9 matrix with one row-block view per compute node.
+fn replicated_session(addrs: &[String], file: u64) -> Session {
+    let physical = MatrixLayout::ColumnBlocks.partition(N, N, 1, IO_NODES as u64);
+    let logical = MatrixLayout::RowBlocks.partition(N, N, 1, IO_NODES as u64);
+    let mut session = Session::connect_replicated(addrs, REPLICAS).expect("R=2 over 3 nodes");
+    session.create_file(file, physical, FILE_LEN).expect("create file");
+    for c in 0..IO_NODES {
+        session.set_view(c as u32, file, &logical, c).expect("set view");
+    }
+    session
+}
+
+/// The full acceptance arc from the issue: healthy replicated writes,
+/// a permanent `kill` of one daemon mid-workload, degraded-but-complete
+/// writes with byte-identical reads, and scrub-driven convergence back to
+/// full 2-way redundancy on a blank replacement daemon.
+#[test]
+fn permanent_node_loss_heals_onto_replacement_daemon() {
+    let file = 11u64;
+    let (mut handles, addrs) =
+        spawn_loopback(IO_NODES, StorageBackend::Memory).expect("spawn loopback daemons");
+    let mut session = replicated_session(&addrs, file);
+
+    // Healthy phase: compute node 0 writes its band at full quorum.
+    let expect: Vec<u8> =
+        (0..FILE_LEN as usize).map(|i| (i as u8).wrapping_mul(7) ^ 0x2C).collect();
+    session.write(0, file, 0, 26, &expect[0..27]).expect("healthy write");
+    assert!(session.dirty_replicas().is_empty(), "healthy cluster stays clean");
+
+    // Permanently kill node 1 mid-workload; the probe marks it dead so
+    // the remaining writes fail fast onto the surviving replicas.
+    handles[1].stop();
+    session.probe();
+    assert_eq!(session.health()[1], NodeHealth::Dead);
+    for c in 1..IO_NODES {
+        let band = &expect[c * 27..(c + 1) * 27];
+        let report = session.write_report(c as u32, file, 0, 26, band).expect("degraded write");
+        assert!(report.fully_applied(), "{report:?}");
+    }
+    // Every subfile kept one live copy, so reads are byte-identical...
+    assert_eq!(session.file_contents(file).expect("read after loss"), expect);
+    // ...and the dead node's copies are queued for repair.
+    assert!(
+        session.dirty_replicas().iter().any(|d| d.node == 1),
+        "copies on the killed node must be dirty: {:?}",
+        session.dirty_replicas()
+    );
+    // With the address still dead a scrub can only report the degraded
+    // redundancy (this is `pf scrub --verify` exiting 5 in CI).
+    let degraded = session.scrub_verify(file).expect("verify while degraded");
+    assert!(!degraded.fully_redundant(), "{degraded:?}");
+    assert!(degraded.lost.is_empty(), "one live copy per subfile: {degraded:?}");
+
+    // A blank replacement daemon takes over the dead address (fresh
+    // in-memory state — nothing survives from node 1's first life).
+    handles[1] = serve_at(&addrs[1], DaemonConfig::default());
+    session.probe();
+    assert!(matches!(session.health()[1], NodeHealth::Alive { .. }));
+
+    // The repair scrub re-clones the missing copies onto the replacement
+    // through the plan engine, restoring full 2-way redundancy.
+    let repair = session.scrub(file).expect("repair scrub");
+    assert!(repair.repaired > 0, "{repair:?}");
+    assert!(repair.fully_redundant(), "{repair:?}");
+    let clean = session.scrub_verify(file).expect("verify after repair");
+    assert!(clean.fully_redundant(), "{clean:?}");
+    assert!(clean.verdicts.iter().all(|(_, v)| *v == ScrubVerdict::Healthy), "{clean:?}");
+
+    // Byte identity held across the whole arc, and both copies of every
+    // subfile agree again.
+    assert_eq!(session.file_contents(file).expect("read after repair"), expect);
+    for s in 0..IO_NODES {
+        let rank0 = session.subfile_copy(file, s, 0).expect("rank 0 copy");
+        let rank1 = session.subfile_copy(file, s, 1).expect("rank 1 copy");
+        assert_eq!(rank0, rank1, "subfile {s} copies diverge after repair");
+    }
+    drop(session);
+    for h in &mut handles {
+        h.stop();
+    }
+}
+
+/// Checksum-failover satellite: flip one byte of a stored segment on
+/// disk behind the daemon's back. The next read must detect the mismatch
+/// via the CRC32C sidecar, transparently heal from the other replica
+/// (byte-identical result), schedule the bad copy for repair, and a
+/// scrub pass must re-clone it back to a byte-identical copy.
+#[test]
+fn flipped_byte_on_disk_fails_over_and_schedules_repair() {
+    let file = 7u64;
+    let dirs: Vec<PathBuf> = (0..IO_NODES).map(|i| scratch_dir(&format!("flip{i}"))).collect();
+    let mut handles: Vec<DaemonHandle> =
+        dirs.iter().map(|d| serve("127.0.0.1:0", dir_config(d)).expect("serve")).collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let mut session = replicated_session(&addrs, file);
+
+    let expect: Vec<u8> = (0..FILE_LEN as usize).map(|i| (i as u8) ^ 0x5A).collect();
+    for c in 0..IO_NODES {
+        let band = &expect[c * 27..(c + 1) * 27];
+        session.write(c as u32, file, 0, 26, band).expect("replicated write");
+    }
+    session.flush(file).expect("flush checkpoints journal and sidecars");
+    assert!(session.dirty_replicas().is_empty());
+    let sub0 = session.subfile(file, 0).expect("subfile 0");
+
+    // Corrupt the rank-0 copy of subfile 0 while its daemon is down: the
+    // primary copy of subfile s lives on node s under the file's own id.
+    handles[0].stop();
+    let victim = dirs[0].join(format!("file{}_subfile0.bin", copy_file_id(file, 0)));
+    let mut bytes = std::fs::read(&victim).expect("read stored subfile");
+    assert!(!bytes.is_empty());
+    bytes[0] ^= 0xFF;
+    std::fs::write(&victim, &bytes).expect("flip one byte");
+    handles[0] = serve_at(&addrs[0], dir_config(&dirs[0]));
+    session.probe();
+
+    // The read covers subfile 0's flipped page (row 0, column 0 sits in
+    // view element 0); the daemon answers ChecksumMismatch and the
+    // session heals from the rank-1 copy.
+    assert_eq!(session.read(0, file, 0, 26).expect("self-healing read"), expect[0..27]);
+    let dirty = session.dirty_replicas();
+    assert!(
+        dirty.iter().any(|d| d.subfile == 0 && d.node == 0),
+        "corrupt copy must be queued for repair: {dirty:?}"
+    );
+
+    // Scrub re-clones the corrupt copy from the healthy replica.
+    let report = session.scrub(file).expect("repair scrub");
+    assert!(report.repaired >= 1, "{report:?}");
+    assert!(report.fully_redundant(), "{report:?}");
+    assert!(session.dirty_replicas().is_empty(), "repair drains the dirty set");
+    assert_eq!(session.subfile_copy(file, 0, 0).expect("healed copy"), sub0);
+    assert_eq!(session.subfile_copy(file, 0, 1).expect("source copy"), sub0);
+    assert_eq!(session.file_contents(file).expect("read after repair"), expect);
+
+    drop(session);
+    for h in &mut handles {
+        h.stop();
+    }
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
