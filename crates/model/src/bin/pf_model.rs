@@ -6,13 +6,15 @@
 
 use std::process::ExitCode;
 
-use parafile_model::{check_everything, quorum_scenarios, standard_scenarios, Limits, Mutations};
+use parafile_model::{
+    breaker_scenarios, check_everything, quorum_scenarios, standard_scenarios, Limits, Mutations,
+};
 
 const USAGE: &str = "\
 usage: pf-model [options]
   --mutate <knob>   seed a deliberate protocol bug and expect it caught
                     (ack-before-journal | skip-dedup | ignore-window |
-                     ack-below-quorum)
+                     ack-below-quorum | stuck-open)
   --budget <N>      total explored-state budget across scenarios
   --depth <D>       maximum interleaving depth per scenario
   --list            list scenarios and exit
@@ -57,6 +59,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         sc.name, sc.crash_rank, sc.duplicate
                     );
                 }
+                for sc in breaker_scenarios() {
+                    println!(
+                        "{:<20} breaker node_up={} recover={} hedged={} requests={}",
+                        sc.name, sc.node_up, sc.can_recover, sc.hedged, sc.requests
+                    );
+                }
                 return Ok(ExitCode::SUCCESS);
             }
             "-h" | "--help" => {
@@ -72,7 +80,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     limits.max_states = budget;
     println!(
         "pf-model: exploring {} scenarios (budget {budget} states, depth {}){}",
-        standard_scenarios().len() + quorum_scenarios().len(),
+        standard_scenarios().len() + quorum_scenarios().len() + breaker_scenarios().len(),
         limits.max_depth,
         if mutated { " [mutated]" } else { "" },
     );

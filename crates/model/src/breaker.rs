@@ -1,0 +1,510 @@
+//! Bounded model of the per-node circuit breaker and hedged reads.
+//!
+//! `net::Session` guards every node with a [`BreakerCore`]-driven
+//! breaker (DESIGN.md §16): `threshold` consecutive failures trip it
+//! Open, requests are shed until `open_ms` elapses, then exactly one
+//! half-open probe decides between re-closing and re-tripping. Hedged
+//! reads ride on top: a tail-slow replica's read is duplicated to a
+//! second copy after a delay, the first valid answer wins, and the
+//! loser's outcome is still drained into the breaker. This module embeds
+//! the *same* [`BreakerCore`] automaton the session ships in a small
+//! abstract world — one node whose health the scenario scripts, an
+//! abstract millisecond clock advanced in explicit ticks, and (for the
+//! hedge scenario) an asynchronous in-flight request whose reply races a
+//! hedge — and explores every interleaving, checking on every reachable
+//! state:
+//!
+//! * **fail-fast** — an Open breaker never admits a non-probe request,
+//!   and never grants the probe before its backoff window elapses;
+//! * **single-probe** — while a half-open probe is outstanding, every
+//!   further request is shed (at most one probe in flight);
+//! * **spurious-trip** — the breaker never leaves Closed without
+//!   `threshold` observed failures;
+//! * **bounded recovery** — once the node is healthy again, some
+//!   reachable interleaving re-closes the breaker (checked as
+//!   reachability over the exhausted state space, so a breaker stuck
+//!   Open — the [`Mutations::stuck_open`] knob — is caught);
+//! * **hedge delivery** — a hedged logical read settles every slot it
+//!   opened (no parked straggler leaks a probe outcome) and delivers
+//!   exactly one result to the caller.
+//!
+//! The [`Mutations::stuck_open`] knob re-introduces the bug the
+//! bounded-recovery invariant exists to exclude: an Open breaker that
+//! never grants its half-open probe, shedding a healthy node forever.
+
+use std::collections::{HashSet, VecDeque};
+
+use parafile_net::{Admission, BreakerCore, BreakerState};
+
+use crate::{Exploration, Limits, Mutations, Violation};
+
+/// Failures before the modeled breaker trips (small enough that the
+/// trip is reachable within the request budget).
+const THRESHOLD: u32 = 2;
+/// Abstract milliseconds the breaker stays Open before a probe.
+const OPEN_MS: u64 = 100;
+/// Abstract milliseconds per clock tick (two ticks elapse the window).
+const TICK_MS: u64 = 60;
+
+// ---------------------------------------------------------------------------
+// Scenarios
+
+/// One bounded breaker world to explore.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerScenario {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// Whether the node answers successfully at the start.
+    pub node_up: bool,
+    /// Whether a recovery transition (node comes back) is available.
+    pub can_recover: bool,
+    /// Whether requests are asynchronous reads that may hedge to a
+    /// second replica while the primary dawdles.
+    pub hedged: bool,
+    /// Logical requests the client issues.
+    pub requests: u8,
+    /// Clock ticks available to elapse breaker backoff.
+    pub ticks: u8,
+    /// The exploration must reach a state where a tripped breaker
+    /// re-closed after the node recovered.
+    pub expect_reclose: bool,
+}
+
+/// The standard breaker battery: a clean run that must never trip, the
+/// trip→backoff→probe→re-close cycle, and hedged reads against a slow
+/// (but healthy) primary.
+#[must_use]
+pub fn breaker_scenarios() -> Vec<BreakerScenario> {
+    vec![
+        BreakerScenario {
+            name: "breaker-clean",
+            node_up: true,
+            can_recover: false,
+            hedged: false,
+            requests: 4,
+            ticks: 2,
+            expect_reclose: false,
+        },
+        BreakerScenario {
+            name: "breaker-trip-recover",
+            node_up: false,
+            can_recover: true,
+            hedged: false,
+            requests: 6,
+            ticks: 4,
+            expect_reclose: true,
+        },
+        BreakerScenario {
+            name: "breaker-hedge",
+            node_up: true,
+            can_recover: false,
+            hedged: true,
+            requests: 2,
+            ticks: 2,
+            expect_reclose: false,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// The abstract world
+
+/// One reachable global state: the shipped breaker automaton, the
+/// abstract clock, the node's scripted health, and the client's
+/// in-flight bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct World {
+    /// The session's per-node breaker — the production automaton itself.
+    breaker: BreakerCore,
+    now_ms: u64,
+    node_up: bool,
+    /// Remaining node-recovery firings (0 or 1).
+    recoveries_left: u8,
+    requests_left: u8,
+    ticks_left: u8,
+    /// A request is outstanding on the primary (hedged world only).
+    primary_pending: bool,
+    /// The outstanding primary request is the half-open probe.
+    pending_is_probe: bool,
+    /// The duplicate read is outstanding on the second copy.
+    hedge_pending: bool,
+    /// The current logical read already delivered a result.
+    got_result: bool,
+    /// Failures the node actually produced (audits spurious trips).
+    failures_seen: u32,
+    /// The breaker has been Open at least once.
+    opened_once: bool,
+    /// `now_ms` when the breaker last tripped (audits early probes).
+    tripped_at_ms: u64,
+    /// A tripped breaker re-closed while the node was healthy.
+    reclosed: bool,
+    /// A transition observed the automaton misbehave.
+    bug: Option<&'static str>,
+}
+
+impl World {
+    fn init(sc: &BreakerScenario) -> Self {
+        Self {
+            breaker: BreakerCore::new(THRESHOLD, OPEN_MS),
+            now_ms: 0,
+            node_up: sc.node_up,
+            recoveries_left: u8::from(sc.can_recover),
+            requests_left: sc.requests,
+            ticks_left: sc.ticks,
+            primary_pending: false,
+            pending_is_probe: false,
+            hedge_pending: false,
+            got_result: false,
+            failures_seen: 0,
+            opened_once: false,
+            tripped_at_ms: 0,
+            reclosed: false,
+            bug: None,
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        self.primary_pending || self.hedge_pending
+    }
+
+    fn terminal(&self) -> bool {
+        self.requests_left == 0 && !self.in_flight()
+    }
+
+    /// Feeds one observed outcome into the breaker, maintaining the
+    /// audit counters the invariants read.
+    fn settle(&mut self, ok: bool) {
+        let was_open_or_half =
+            matches!(self.breaker.state(), BreakerState::Open | BreakerState::HalfOpen);
+        if ok {
+            self.breaker.record_success();
+            if self.opened_once && was_open_or_half && self.node_up {
+                self.reclosed = true;
+            }
+        } else {
+            self.failures_seen = self.failures_seen.saturating_add(1);
+            self.breaker.record_failure(self.now_ms);
+            if self.breaker.state() == BreakerState::Open {
+                self.opened_once = true;
+                self.tripped_at_ms = self.now_ms;
+            }
+        }
+    }
+}
+
+/// Asks the (possibly mutated) breaker for admission. The stuck-open
+/// mutation is the bug under test: an Open breaker that never grants
+/// its half-open probe, so a recovered node is shed forever.
+fn admit(w: &mut World, mu: &Mutations) -> Admission {
+    if mu.stuck_open && w.breaker.state() == BreakerState::Open {
+        return Admission::Shed;
+    }
+    let state_before = w.breaker.state();
+    let decision = w.breaker.admit(w.now_ms);
+    match (state_before, decision) {
+        (BreakerState::Open, Admission::Allow) => {
+            w.bug = Some("fail-fast violated: open breaker admitted a non-probe request");
+        }
+        (BreakerState::Open, Admission::Probe)
+            if w.now_ms.saturating_sub(w.tripped_at_ms) < OPEN_MS =>
+        {
+            w.bug = Some("fail-fast violated: probe granted before the backoff window elapsed");
+        }
+        (BreakerState::Closed, Admission::Shed) => {
+            w.bug = Some("closed breaker shed a request");
+        }
+        _ => {}
+    }
+    decision
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+
+fn successors(w: &World, sc: &BreakerScenario, mu: &Mutations) -> Vec<World> {
+    let mut out = Vec::new();
+    issue(w, sc, mu, &mut out);
+    if sc.hedged {
+        hedge(w, &mut out);
+        primary_replies(w, &mut out);
+        secondary_replies(w, &mut out);
+        complete(w, &mut out);
+    }
+    tick(w, &mut out);
+    recover(w, &mut out);
+    out
+}
+
+/// The client issues the next logical request through the breaker. In
+/// the synchronous worlds the outcome settles immediately from the
+/// node's health; in the hedged world the request goes in flight and
+/// its reply races the hedge.
+fn issue(w: &World, sc: &BreakerScenario, mu: &Mutations, out: &mut Vec<World>) {
+    if w.requests_left == 0 || w.in_flight() {
+        return;
+    }
+    let mut n = *w;
+    let decision = admit(&mut n, mu);
+    if sc.hedged {
+        match decision {
+            Admission::Allow | Admission::Probe => {
+                n.primary_pending = true;
+                n.pending_is_probe = decision == Admission::Probe;
+                n.got_result = false;
+            }
+            Admission::Shed => {
+                // Failover: the read is served by another copy at once.
+                n.requests_left -= 1;
+            }
+        }
+    } else {
+        match decision {
+            Admission::Allow | Admission::Probe => n.settle(n.node_up),
+            Admission::Shed => {}
+        }
+        n.requests_left -= 1;
+    }
+    out.push(n);
+}
+
+/// After the hedge delay the session duplicates the outstanding read to
+/// a second copy (stamped data makes the duplicate safe).
+fn hedge(w: &World, out: &mut Vec<World>) {
+    if !w.primary_pending || w.hedge_pending || w.got_result {
+        return;
+    }
+    let mut n = *w;
+    n.hedge_pending = true;
+    out.push(n);
+}
+
+/// The slow-but-healthy primary finally answers. Whether or not the
+/// hedge already won, the outcome is recorded on the breaker — a parked
+/// straggler must never leak a probe slot.
+fn primary_replies(w: &World, out: &mut Vec<World>) {
+    if !w.primary_pending {
+        return;
+    }
+    let mut n = *w;
+    n.primary_pending = false;
+    n.pending_is_probe = false;
+    n.settle(n.node_up);
+    if !n.got_result && n.node_up {
+        n.got_result = true;
+    }
+    out.push(n);
+}
+
+/// The hedge target answers; the client takes the first valid result
+/// and treats the other reply as a straggler.
+fn secondary_replies(w: &World, out: &mut Vec<World>) {
+    if !w.hedge_pending {
+        return;
+    }
+    let mut n = *w;
+    n.hedge_pending = false;
+    if !n.got_result {
+        n.got_result = true;
+    }
+    out.push(n);
+}
+
+/// The logical read completes once a result is in hand and every slot
+/// it opened has settled.
+fn complete(w: &World, out: &mut Vec<World>) {
+    if !w.got_result || w.in_flight() || w.requests_left == 0 {
+        return;
+    }
+    let mut n = *w;
+    n.requests_left -= 1;
+    n.got_result = false;
+    out.push(n);
+}
+
+/// The abstract clock advances one tick (elapses breaker backoff).
+fn tick(w: &World, out: &mut Vec<World>) {
+    if w.ticks_left == 0 {
+        return;
+    }
+    let mut n = *w;
+    n.ticks_left -= 1;
+    n.now_ms += TICK_MS;
+    out.push(n);
+}
+
+/// The scripted node comes back to health.
+fn recover(w: &World, out: &mut Vec<World>) {
+    if w.node_up || w.recoveries_left == 0 {
+        return;
+    }
+    let mut n = *w;
+    n.recoveries_left -= 1;
+    n.node_up = true;
+    out.push(n);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+
+fn check_invariants(w: &World) -> Option<&'static str> {
+    if let Some(bug) = w.bug {
+        return Some(bug);
+    }
+    if w.breaker.state() != BreakerState::Closed && w.failures_seen < THRESHOLD {
+        return Some("spurious trip: breaker left Closed below the failure threshold");
+    }
+    if w.primary_pending && w.pending_is_probe {
+        // While the half-open probe is outstanding, a second request
+        // must be shed — probe the automaton on a copy.
+        let mut probe_check = w.breaker;
+        if probe_check.admit(w.now_ms) != Admission::Shed {
+            return Some("single-probe violated: a second request was admitted mid-probe");
+        }
+    }
+    if w.terminal() && w.got_result {
+        return Some("hedge delivery violated: a result outlived its logical read");
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+
+/// Exhaustively explores one breaker scenario breadth-first.
+///
+/// Unlike [`crate::explore`], the verdict has a reachability half: after
+/// the frontier empties, a scenario with `expect_reclose` must have
+/// visited at least one state where the tripped breaker re-closed on the
+/// recovered node. A breaker stuck Open fails *that* check — no single
+/// state is wrong, the whole reachable space is missing recovery.
+#[must_use]
+pub fn explore_breaker(sc: &BreakerScenario, mu: &Mutations, limits: &Limits) -> Exploration {
+    let init = World::init(sc);
+    let mut seen: HashSet<World> = HashSet::new();
+    seen.insert(init);
+    let mut frontier: VecDeque<(World, u32)> = VecDeque::new();
+    frontier.push_back((init, 0));
+    let mut states: u64 = 0;
+    let mut reached_reclose = false;
+    let mut done = Exploration { scenario: sc.name, states: 0, truncated: false, violation: None };
+    while let Some((w, depth)) = frontier.pop_front() {
+        states += 1;
+        done.states = states;
+        if states > limits.max_states {
+            done.truncated = true;
+            return done;
+        }
+        if let Some(invariant) = check_invariants(&w) {
+            done.violation = Some(Violation { invariant, depth, state: format!("{w:?}") });
+            return done;
+        }
+        reached_reclose |= w.reclosed;
+        if depth >= limits.max_depth {
+            continue;
+        }
+        let succ = successors(&w, sc, mu);
+        if succ.is_empty() && !w.terminal() {
+            done.violation = Some(Violation {
+                invariant: "stuck: non-terminal breaker state with no enabled transition",
+                depth,
+                state: format!("{w:?}"),
+            });
+            return done;
+        }
+        for s in succ {
+            if seen.insert(s) {
+                frontier.push_back((s, depth + 1));
+            }
+        }
+    }
+    if sc.expect_reclose && !reached_reclose {
+        done.violation = Some(Violation {
+            invariant:
+                "bounded recovery violated: no reachable state re-closes the breaker after the node recovers",
+            depth: 0,
+            state: format!("explored {states} states without a re-close"),
+        });
+    }
+    done
+}
+
+/// Runs every breaker scenario under `mu`, stopping at the first
+/// violation. Returns all per-scenario results produced so far.
+#[must_use]
+pub fn check_breakers(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
+    let mut results = Vec::new();
+    for sc in breaker_scenarios() {
+        let r = explore_breaker(&sc, mu, limits);
+        let stop = r.violation.is_some() || r.truncated;
+        results.push(r);
+        if stop {
+            break;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_breaker_model_is_violation_free() {
+        for sc in breaker_scenarios() {
+            let r = explore_breaker(&sc, &Mutations::none(), &Limits::default());
+            assert!(!r.truncated, "{}: exploration truncated at {} states", sc.name, r.states);
+            assert!(r.violation.is_none(), "{}: unexpected violation {:?}", sc.name, r.violation);
+            assert!(r.states > 3, "{}: suspiciously small state space ({})", sc.name, r.states);
+        }
+    }
+
+    #[test]
+    fn breaker_exploration_is_deterministic() {
+        for sc in breaker_scenarios() {
+            let a = explore_breaker(&sc, &Mutations::none(), &Limits::default());
+            let b = explore_breaker(&sc, &Mutations::none(), &Limits::default());
+            assert_eq!(a.states, b.states, "{}: state count must be reproducible", sc.name);
+        }
+    }
+
+    #[test]
+    fn stuck_open_mutation_is_caught() {
+        let mu = Mutations { stuck_open: true, ..Mutations::none() };
+        let results = check_breakers(&mu, &Limits::default());
+        let hit = results.iter().find_map(|r| r.violation.as_ref());
+        let v = hit.expect("stuck-open must violate an invariant");
+        assert!(v.invariant.contains("bounded recovery"), "caught as {:?}", v.invariant);
+    }
+
+    #[test]
+    fn trip_recover_scenario_actually_trips() {
+        // The clean trip-recover run must pass *because* recovery is
+        // reachable, not because the breaker never opened: with the
+        // recovery transition removed the same world must fail the
+        // reachability half of the verdict.
+        let sc = BreakerScenario {
+            can_recover: false,
+            ..breaker_scenarios()
+                .into_iter()
+                .find(|s| s.name == "breaker-trip-recover")
+                .expect("scenario exists")
+        };
+        let r = explore_breaker(&sc, &Mutations::none(), &Limits::default());
+        let v = r.violation.expect("a never-recovering node cannot re-close the breaker");
+        assert!(v.invariant.contains("bounded recovery"), "caught as {:?}", v.invariant);
+    }
+
+    #[test]
+    fn hedged_world_reaches_completion_without_leaking_probes() {
+        // The hedge scenario must exhaust cleanly: every interleaving of
+        // primary reply, hedge reply, and straggler drain settles, and
+        // the single-probe invariant holds throughout.
+        let sc = breaker_scenarios()
+            .into_iter()
+            .find(|s| s.name == "breaker-hedge")
+            .expect("scenario exists");
+        let r = explore_breaker(&sc, &Mutations::none(), &Limits::default());
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(!r.truncated);
+    }
+}

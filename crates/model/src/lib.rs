@@ -20,8 +20,8 @@
 //! * **liveness (bounded)** — no reachable non-terminal state is stuck.
 //!
 //! Faults are not invented here: each scenario perturbs the interleaving
-//! with one of the five [`parafile_net::fault`] families
-//! (`drop`/`truncate`/`flush`/`kill`/`torn`), mapped through
+//! with one of the six [`parafile_net::fault`] families
+//! (`drop`/`truncate`/`flush`/`kill`/`torn`/`delay`), mapped through
 //! [`Perturbation::from_plan`] so the checked fault menu is exactly the
 //! chaos-proxy menu.
 //!
@@ -29,20 +29,25 @@
 //! so the explored-state count is reproducible run to run and is reported
 //! in CI against a budget. Mutations ([`Mutations`]) re-introduce the
 //! bugs the invariants exist to exclude (ack-before-journal, missing
-//! dedup, ignored window, ack-below-quorum) and the test suite proves
-//! each one is caught.
+//! dedup, ignored window, ack-below-quorum, stuck-open) and the test
+//! suite proves each one is caught.
 //!
 //! The [`quorum`] module extends the battery with a replicated-store
 //! world: quorum writes over `R = 2` copies with a replica-crash
 //! perturbation, checking per-replica exactly-once, journal-before-ack,
 //! and quorum accounting (success implies every replica acked or is
-//! recorded dirty). [`check_everything`] runs both batteries.
+//! recorded dirty). The [`breaker`] module embeds the session's
+//! [`parafile_net::BreakerCore`] automaton and checks fail-fast
+//! shedding, the single half-open probe, bounded recovery, and hedged
+//! duplicate delivery. [`check_everything`] runs all three batteries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod quorum;
 
+pub use breaker::{breaker_scenarios, check_breakers, explore_breaker, BreakerScenario};
 pub use quorum::{check_quorum, explore_quorum, quorum_scenarios, QuorumScenario};
 
 use std::collections::{HashSet, VecDeque};
@@ -61,7 +66,7 @@ const SEQ: u64 = 1;
 // ---------------------------------------------------------------------------
 // Fault perturbations
 
-/// One of the five `net::fault` families, reduced to its effect on the
+/// One of the six `net::fault` families, reduced to its effect on the
 /// abstract world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Perturbation {
@@ -83,11 +88,19 @@ pub enum Perturbation {
     /// Crash mid-apply *after* the journal append of the current frame —
     /// the torn-subfile scenario the write-ahead journal heals.
     Torn,
+    /// A frame is held back by injected latency: nothing is lost or
+    /// corrupted, the node is merely late. In the FIFO wire world a
+    /// delayed frame is indistinguishable from the scheduling stalls the
+    /// explorer already interleaves, so the perturbation is a budgeted
+    /// no-op here; its behavioral bite (timeouts feeding the breaker,
+    /// hedged reads racing the straggler) is checked by the [`breaker`]
+    /// battery.
+    Delay,
 }
 
 impl Perturbation {
     /// Maps a concrete chaos-proxy [`FaultPlan`] onto its abstract
-    /// perturbation, so model scenarios are seeded from the same five
+    /// perturbation, so model scenarios are seeded from the same six
     /// fault families the integration chaos tests use.
     #[must_use]
     pub fn from_plan(plan: &FaultPlan) -> Option<Self> {
@@ -101,6 +114,8 @@ impl Perturbation {
             Some(Self::Truncate)
         } else if plan.drop_after_frames.is_some() {
             Some(Self::Drop)
+        } else if plan.delay.is_some() {
+            Some(Self::Delay)
         } else {
             None
         }
@@ -136,6 +151,10 @@ pub struct Mutations {
     /// replica acks, without recording the missing replicas as dirty
     /// (checked by the [`quorum`] world, not the wire world).
     pub ack_below_quorum: bool,
+    /// An Open circuit breaker never grants its half-open probe, so a
+    /// recovered node is shed forever (checked by the [`breaker`]
+    /// world's bounded-recovery verdict).
+    pub stuck_open: bool,
 }
 
 impl Mutations {
@@ -153,9 +172,10 @@ impl Mutations {
             "skip-dedup" => m.skip_dedup = true,
             "ignore-window" => m.ignore_window = true,
             "ack-below-quorum" => m.ack_below_quorum = true,
+            "stuck-open" => m.stuck_open = true,
             other => {
                 return Err(format!(
-                    "unknown mutation {other:?} (expected ack-before-journal, skip-dedup, ignore-window, or ack-below-quorum)"
+                    "unknown mutation {other:?} (expected ack-before-journal, skip-dedup, ignore-window, ack-below-quorum, or stuck-open)"
                 ))
             }
         }
@@ -170,6 +190,7 @@ impl Mutations {
             ("skip-dedup", Self { skip_dedup: true, ..Self::none() }),
             ("ignore-window", Self { ignore_window: true, ..Self::none() }),
             ("ack-below-quorum", Self { ack_below_quorum: true, ..Self::none() }),
+            ("stuck-open", Self { stuck_open: true, ..Self::none() }),
         ]
     }
 }
@@ -227,6 +248,7 @@ pub fn standard_scenarios() -> Vec<Scenario> {
         fault("v3-chunk-flush", "flush:1"),
         fault("v3-chunk-kill", "kill:1"),
         fault("v3-chunk-torn", "torn:1"),
+        fault("v3-chunk-delay", "delay:1"),
         Scenario { name: "v2-fallback-clean", server_max_version: 2, ..base.clone() },
         Scenario {
             name: "v2-fallback-drop",
@@ -667,6 +689,15 @@ fn fault_steps(w: &World, sc: &Scenario, mu: &Mutations, out: &mut Vec<World>) {
                 out.push(n);
             }
         }
+        Perturbation::Delay => {
+            // Latency neither loses nor corrupts anything; the FIFO
+            // queues already model a frame sitting unconsumed for any
+            // number of steps. Consuming the budget keeps the scenario
+            // named and proves the run terminates with a dawdling peer.
+            let mut n = w.clone();
+            n.fault_budget -= 1;
+            out.push(n);
+        }
         Perturbation::Torn => {
             // Crash mid-apply: the head frame's journal append lands,
             // the scatter is cut short, no ack is ever produced.
@@ -839,17 +870,21 @@ pub fn check_all(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
     results
 }
 
-/// Runs the wire-protocol battery followed by the replicated-store
-/// quorum battery ([`quorum::check_quorum`]), stopping at the first
-/// violation across both. This is what `pf-model` and CI execute, so
-/// every mutation knob — including the quorum-only
-/// `ack-below-quorum` — is covered by one entry point.
+/// Runs the wire-protocol battery, the replicated-store quorum battery
+/// ([`quorum::check_quorum`]), and the circuit-breaker battery
+/// ([`breaker::check_breakers`]), stopping at the first violation
+/// across all three. This is what `pf-model` and CI execute, so every
+/// mutation knob — including the quorum-only `ack-below-quorum` and the
+/// breaker-only `stuck-open` — is covered by one entry point.
 #[must_use]
 pub fn check_everything(mu: &Mutations, limits: &Limits) -> Vec<Exploration> {
     let mut results = check_all(mu, limits);
-    let stop = results.iter().any(|r| r.violation.is_some() || r.truncated);
-    if !stop {
+    let stopped = |rs: &[Exploration]| rs.iter().any(|r| r.violation.is_some() || r.truncated);
+    if !stopped(&results) {
         results.extend(check_quorum(mu, limits));
+    }
+    if !stopped(&results) {
+        results.extend(check_breakers(mu, limits));
     }
     results
 }
@@ -917,14 +952,15 @@ mod tests {
     }
 
     #[test]
-    fn perturbations_cover_the_five_fault_families() {
-        let specs = ["drop:1", "truncate:1", "flush:1", "kill:1", "torn:1"];
+    fn perturbations_cover_every_fault_family() {
+        let specs = ["drop:1", "truncate:1", "flush:1", "kill:1", "torn:1", "delay:1"];
         let expect = [
             Perturbation::Drop,
             Perturbation::Truncate,
             Perturbation::Flush,
             Perturbation::Kill,
             Perturbation::Torn,
+            Perturbation::Delay,
         ];
         for (spec, want) in specs.iter().zip(expect) {
             let got = Perturbation::from_spec(spec).expect("spec parses");

@@ -21,13 +21,15 @@
 //! disables chunking entirely).
 
 use crate::backoff::Backoff;
-use crate::error::{ErrCode, NetError};
+use crate::error::{ErrCode, NetError, ProtocolError};
 use crate::proto::{ChunkSender, Negotiation};
+use crate::resilience::{Deadline, RetryBudget};
 use crate::server::NetStream;
 use crate::wire::{
     self, FrameReadError, Reply, Request, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// In-flight `WriteChunk` frames per connection before the sender waits
@@ -100,6 +102,14 @@ pub struct NodeClient {
     /// Offset the most recent chunked write resumed from (0 = it started
     /// from scratch) — telemetry for tests and `pf io`.
     last_resume_offset: u64,
+    /// The deadline attached to calls (DESIGN.md §16): propagated on the
+    /// wire at protocol ≥ 5, used locally to clamp socket timeouts and to
+    /// refuse retries that cannot finish in time. Defaults to unbounded.
+    deadline: Deadline,
+    /// Session-wide retry budget shared across every [`NodeClient`] of a
+    /// session. `None` = legacy per-call retries (bounded only by the
+    /// [`RetryPolicy`] attempt count).
+    retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl NodeClient {
@@ -125,6 +135,8 @@ impl NodeClient {
             chunk_override: Self::env_chunk(),
             resume_candidate: None,
             last_resume_offset: 0,
+            deadline: Deadline::none(),
+            retry_budget: None,
         }
     }
 
@@ -155,6 +167,33 @@ impl NodeClient {
     pub fn with_chunk(mut self, chunk: Option<u32>) -> Self {
         self.chunk_override = chunk;
         self
+    }
+
+    /// Attaches a session-wide retry budget: every retry of every call
+    /// spends from it, and a dry bucket fails fast instead of retrying.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// See [`with_retry_budget`](Self::with_retry_budget).
+    pub fn set_retry_budget(&mut self, budget: Arc<RetryBudget>) {
+        self.retry_budget = Some(budget);
+    }
+
+    /// Sets the deadline attached to subsequent calls. The remaining
+    /// budget is re-read at every hop: it is stamped into protocol ≥ 5
+    /// frames, clamps the socket read timeout, and vetoes retries that
+    /// start after expiry. [`Deadline::none`] restores unbounded calls.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// The deadline currently attached to calls.
+    #[must_use]
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
     }
 
     /// The daemon address this client talks to.
@@ -202,8 +241,10 @@ impl NodeClient {
         let id = self.next_id;
         self.next_id += 1;
         let version = self.negotiation.version();
+        let deadline_ms =
+            if self.negotiation.supports_deadlines() { self.deadline.wire_ms() } else { 0 };
         let mut payload = std::mem::take(&mut self.scratch_out);
-        request.encode_payload_at_into(version, &mut payload);
+        request.encode_payload_deadline_into(version, deadline_ms, &mut payload);
         let sent = match self.connected() {
             Ok(stream) => wire::write_frame_at(stream, version, request.opcode(), id, &payload)
                 .map_err(NetError::Io),
@@ -300,7 +341,9 @@ impl NodeClient {
             // caller, which downgrades and re-issues the real request.
             match self.exchange(&Request::Ping)? {
                 Reply::Pong { .. } => {}
-                reply @ Reply::Error(_) => return Ok(reply),
+                reply @ (Reply::Error(_) | Reply::Busy { .. } | Reply::Overloaded { .. }) => {
+                    return Ok(reply)
+                }
                 other => return Err(NetError::BadReply(format!("expected Pong, got {other:?}"))),
             }
         }
@@ -415,7 +458,12 @@ impl NodeClient {
                     }
                 }
                 Ok(reply @ Reply::WriteOk { .. }) if last => break Ok(reply),
-                Ok(err @ Reply::Error(_)) => break Ok(err),
+                // A shed or error reply terminates the stream on the daemon
+                // side; the post-loop cleanup drops the connection and
+                // records the resume candidate.
+                Ok(err @ (Reply::Error(_) | Reply::Busy { .. } | Reply::Overloaded { .. })) => {
+                    break Ok(err)
+                }
                 Ok(other) => {
                     break Err(NetError::BadReply(format!(
                         "chunk stream acknowledged with {other:?}"
@@ -469,9 +517,14 @@ impl NodeClient {
                         return Ok(Reply::Data { payload: out });
                     }
                 }
-                // An error terminates the stream on the daemon side too, so
-                // the connection stays in sync.
+                // An error or shed reply terminates the stream on the daemon
+                // side too; drop the connection for sheds (the daemon never
+                // started the stream, but our request frame is half-answered).
                 Ok(err @ Reply::Error(_)) => return Ok(err),
+                Ok(shed @ (Reply::Busy { .. } | Reply::Overloaded { .. })) => {
+                    self.stream = None;
+                    return Ok(shed);
+                }
                 Ok(other) => {
                     self.stream = None;
                     return Err(NetError::BadReply(format!("read stream answered with {other:?}")));
@@ -484,20 +537,66 @@ impl NodeClient {
         }
     }
 
+    /// Whether a retry may proceed: spends one token from the session-wide
+    /// budget when one is attached (a dry bucket vetoes the retry).
+    fn budget_allows_retry(&self) -> bool {
+        self.retry_budget.as_ref().is_none_or(|b| b.try_spend())
+    }
+
+    /// Clamps the socket read timeout to the remaining deadline budget so
+    /// a slow daemon cannot hold the call past its deadline.
+    fn apply_deadline_timeout(&mut self) {
+        let clamped = match self.deadline.remaining() {
+            None => self.timeout,
+            Some(_) => {
+                Some(self.deadline.clamp_timeout(self.timeout.unwrap_or(Duration::from_secs(30))))
+            }
+        };
+        if let Some(stream) = self.stream.as_ref() {
+            let _ = stream.set_read_timeout(clamped);
+        }
+    }
+
+    fn deadline_error() -> NetError {
+        NetError::Protocol(ProtocolError::new(
+            ErrCode::DeadlineExceeded,
+            "deadline expired on the client before the request could be (re)sent",
+        ))
+    }
+
     /// Sends `request` and returns the decoded reply. Transport failures on
     /// retry-safe requests reconnect and retry with capped, jittered
     /// exponential backoff; an `Error` reply is returned as
     /// [`NetError::Protocol`] without retrying — except
     /// `UnsupportedVersion`, which steps the negotiated protocol version
     /// down and re-issues the request transparently.
+    ///
+    /// Resilience (DESIGN.md §16): every retry first spends from the
+    /// session-wide [`RetryBudget`] when one is attached; a `Busy` /
+    /// `Overloaded` shed from the daemon is retried after its hinted delay
+    /// (it is surfaced as [`NetError::Busy`] when retries are forbidden);
+    /// and a [`Deadline`] vetoes sends and retries that start after expiry.
     pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
-        let attempts = if request.retry_safe() { self.retry.attempts.max(1) } else { 1 };
+        let retryable = request.retry_safe();
+        let attempts = if retryable { self.retry.attempts.max(1) } else { 1 };
         self.backoff.reset();
         let mut last_err: Option<NetError> = None;
         let mut attempt = 0;
+        // Set when the previous attempt was shed: retry after the daemon's
+        // hint instead of the backoff schedule.
+        let mut shed_wait: Option<Duration> = None;
         while attempt < attempts {
             if attempt > 0 {
-                self.backoff.sleep();
+                if !self.budget_allows_retry() {
+                    break;
+                }
+                match shed_wait.take() {
+                    Some(hint) => std::thread::sleep(self.deadline.clamp_timeout(hint)),
+                    None => self.backoff.sleep(),
+                }
+            }
+            if self.deadline.expired() {
+                return Err(Self::deadline_error());
             }
             // Connect first, separately from the exchange: a connect
             // failure means the node is still down (keep widening the
@@ -512,6 +611,7 @@ impl NodeClient {
                     continue;
                 }
             }
+            self.apply_deadline_timeout();
             match self.transact(request) {
                 Ok(Reply::Error(e))
                     if e.code == ErrCode::UnsupportedVersion
@@ -524,7 +624,27 @@ impl NodeClient {
                     debug_assert!(stepped);
                 }
                 Ok(Reply::Error(e)) => return Err(NetError::Protocol(e)),
-                Ok(reply) => return Ok(reply),
+                Ok(Reply::Busy { retry_after_ms }) => {
+                    // Admission control declined the request; nothing ran,
+                    // so retrying after the hint is safe for any request.
+                    last_err = Some(NetError::Busy { retry_after_ms });
+                    shed_wait = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                    attempt += 1;
+                }
+                Ok(Reply::Overloaded { retry_after_ms }) => {
+                    // The daemon is closing the whole connection; reconnect
+                    // on the next attempt.
+                    self.stream = None;
+                    last_err = Some(NetError::Busy { retry_after_ms });
+                    shed_wait = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                    attempt += 1;
+                }
+                Ok(reply) => {
+                    if let Some(budget) = &self.retry_budget {
+                        budget.record_success();
+                    }
+                    return Ok(reply);
+                }
                 Err(err @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
                     // The connection is broken or desynchronized: drop it so
                     // the next attempt reconnects.
@@ -608,5 +728,57 @@ mod tests {
     fn chunk_override_zero_disables_chunking() {
         let client = NodeClient::new("127.0.0.1:1").with_chunk(Some(0));
         assert_eq!(client.effective_chunk(), 0);
+    }
+
+    #[test]
+    fn retry_budget_caps_retries_across_calls() {
+        // Nothing listens on this address; every attempt is a connect
+        // failure. With a 1-token budget the first call gets exactly one
+        // retry (policy would allow 3) and the second call gets none.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let budget = Arc::new(RetryBudget::new(1, 0));
+        let mut client = NodeClient::new(addr)
+            .with_retry(RetryPolicy {
+                attempts: 4,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            })
+            .with_retry_budget(Arc::clone(&budget));
+        let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
+        assert_eq!(budget.tokens(), 0, "the single token was spent");
+        let start = std::time::Instant::now();
+        let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "dry budget fails fast instead of backing off through 3 retries"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_the_wire() {
+        // The address is never contacted: an already-expired deadline is a
+        // client-local typed error.
+        let mut client = NodeClient::new("127.0.0.1:1");
+        client.set_deadline(Deadline::within(Duration::ZERO));
+        let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
+        match err {
+            NetError::Protocol(e) => assert_eq!(e.code, ErrCode::DeadlineExceeded),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // Clearing the deadline restores normal behavior (here: a connect
+        // error after retries, not a deadline error).
+        client.set_deadline(Deadline::none());
+        client = client.with_retry(RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+        });
+        let err = client.call(&Request::Stat { file: 1 }).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
     }
 }

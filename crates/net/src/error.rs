@@ -44,6 +44,9 @@ pub enum ErrCode {
     /// Stored data failed its CRC32C verification; the replica should be
     /// read from another copy and queued for repair.
     ChecksumMismatch,
+    /// The request's propagated deadline budget was already spent when the
+    /// daemon was about to execute it; nothing was applied (protocol ≥ 5).
+    DeadlineExceeded,
 }
 
 impl ErrCode {
@@ -64,6 +67,7 @@ impl ErrCode {
             ErrCode::ShuttingDown => 11,
             ErrCode::Internal => 12,
             ErrCode::ChecksumMismatch => 13,
+            ErrCode::DeadlineExceeded => 14,
         }
     }
 
@@ -84,6 +88,7 @@ impl ErrCode {
             11 => ErrCode::ShuttingDown,
             12 => ErrCode::Internal,
             13 => ErrCode::ChecksumMismatch,
+            14 => ErrCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -105,6 +110,7 @@ impl fmt::Display for ErrCode {
             ErrCode::ShuttingDown => "daemon is shutting down",
             ErrCode::Internal => "internal storage error",
             ErrCode::ChecksumMismatch => "stored data failed checksum verification",
+            ErrCode::DeadlineExceeded => "request deadline expired before execution",
         };
         f.write_str(s)
     }
@@ -156,6 +162,16 @@ pub enum NetError {
         /// Id that came back.
         got: u64,
     },
+    /// The daemon shed the request before executing it (admission control:
+    /// `Busy` means this request was declined, `Overloaded` means the whole
+    /// connection was; protocol ≥ 5). Nothing was applied either way, so
+    /// retrying after the hinted delay is always safe — this variant
+    /// surfaces only when the retry budget or deadline forbids the client
+    /// from retrying itself.
+    Busy {
+        /// The daemon's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// A client-side usage error (unknown file id, view not set, …).
     Usage(String),
     /// An invalid partition/FALLS structure on the client side.
@@ -170,6 +186,9 @@ impl fmt::Display for NetError {
             NetError::BadReply(m) => write!(f, "undecodable reply: {m}"),
             NetError::IdMismatch { sent, got } => {
                 write!(f, "reply id {got} does not match request id {sent}")
+            }
+            NetError::Busy { retry_after_ms } => {
+                write!(f, "daemon shed the request; retry after {retry_after_ms} ms")
             }
             NetError::Usage(m) => write!(f, "{m}"),
             NetError::Model(e) => write!(f, "model error: {e}"),
@@ -211,7 +230,7 @@ mod tests {
 
     #[test]
     fn codes_round_trip() {
-        for v in 1..=13u16 {
+        for v in 1..=14u16 {
             let c = ErrCode::from_u16(v).expect("code defined");
             assert_eq!(c.as_u16(), v);
         }

@@ -139,13 +139,14 @@ impl FaultPlan {
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = XorShift64::new(seed);
-        let family = rng.next_u64() % 5;
+        let family = rng.next_u64() % 6;
         let mut plan = match family {
             0 => Self::drop_connection(seed),
             1 => Self::truncate_frame(seed),
             2 => Self::fail_flush(seed),
             3 => Self::kill_one_node(seed),
-            _ => Self::torn_write(seed),
+            4 => Self::torn_write(seed),
+            _ => Self::injected_delay(seed),
         };
         plan.seed = seed;
         plan
@@ -205,9 +206,18 @@ impl FaultPlan {
         }
     }
 
+    /// Sleep before serving every seeded Nth frame — the tail-slow node
+    /// that hedged reads and circuit breakers (DESIGN.md §16) exist for.
+    /// Never severs or corrupts anything; the node is merely late.
+    #[must_use]
+    pub fn injected_delay(seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed ^ 0xDE1A);
+        Self { seed, delay: Some((rng.range(1, 4), rng.range(40, 180))), ..Self::none() }
+    }
+
     /// Parses a CLI chaos spec: either a bare seed (`"42"`, expanded via
     /// [`FaultPlan::from_seed`]) or `family:seed` with family one of
-    /// `drop`, `truncate`, `flush`, `kill`, `torn`.
+    /// `drop`, `truncate`, `flush`, `kill`, `torn`, `delay`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let parse_seed =
             |s: &str| s.parse::<u64>().map_err(|_| format!("chaos seed must be a number: {s:?}"));
@@ -221,8 +231,9 @@ impl FaultPlan {
                     "flush" => Ok(Self::fail_flush(seed)),
                     "kill" => Ok(Self::kill_one_node(seed)),
                     "torn" => Ok(Self::torn_write(seed)),
+                    "delay" => Ok(Self::injected_delay(seed)),
                     other => Err(format!(
-                        "unknown chaos family {other:?} (drop|truncate|flush|kill|torn)"
+                        "unknown chaos family {other:?} (drop|truncate|flush|kill|torn|delay)"
                     )),
                 }
             }
@@ -377,6 +388,10 @@ pub struct ChaosOutcome {
     /// Error replies other than `UnsupportedVersion` seen flowing back to
     /// the client.
     pub unexpected_errors: u64,
+    /// Frames the proxy held back with an injected delay. Delays never
+    /// sever or corrupt, so they count separately from `planned_faults`:
+    /// a slow node is a tail-latency scenario, not a failure.
+    pub injected_delays: u64,
 }
 
 /// A running chaos proxy; dropping it stops the listener.
@@ -401,6 +416,7 @@ impl ChaosProxyHandle {
         ChaosOutcome {
             planned_faults: self.shared.planned_faults.load(Ordering::SeqCst),
             unexpected_errors: self.shared.unexpected_errors.load(Ordering::SeqCst),
+            injected_delays: self.shared.injected_delays.load(Ordering::SeqCst),
         }
     }
 
@@ -436,6 +452,8 @@ struct ProxyShared {
     planned_faults: AtomicU64,
     /// Non-`UnsupportedVersion` error replies seen heading to the client.
     unexpected_errors: AtomicU64,
+    /// Frames held back with an injected delay.
+    injected_delays: AtomicU64,
     /// The plan's one-shot drop has fired.
     dropped_once: AtomicBool,
 }
@@ -478,6 +496,7 @@ pub fn chaos_proxy(
         down_until: Mutex::new(None),
         planned_faults: AtomicU64::new(0),
         unexpected_errors: AtomicU64::new(0),
+        injected_delays: AtomicU64::new(0),
         dropped_once: AtomicBool::new(false),
     });
     let accept_stop = Arc::clone(&stop);
@@ -570,6 +589,7 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, shared: &ProxyShared, dir: Direc
         if dir == Direction::ClientToServer {
             if let Some((every, millis)) = plan.delay {
                 if every > 0 && frames % every == 0 {
+                    shared.injected_delays.fetch_add(1, Ordering::SeqCst);
                     std::thread::sleep(Duration::from_millis(millis));
                 }
             }
@@ -629,7 +649,7 @@ mod tests {
         for seed in 0..64u64 {
             assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
         }
-        let mut families = [false; 5];
+        let mut families = [false; 6];
         for seed in 0..64u64 {
             let p = FaultPlan::from_seed(seed);
             if p.drop_after_frames.is_some() {
@@ -642,6 +662,8 @@ mod tests {
                 families[3] = true;
             } else if p.torn_write.is_some() {
                 families[4] = true;
+            } else if p.delay.is_some() {
+                families[5] = true;
             }
         }
         assert!(families.iter().all(|&f| f), "64 seeds cover every fault family: {families:?}");
@@ -655,6 +677,7 @@ mod tests {
         assert_eq!(FaultPlan::parse("flush:7").unwrap(), FaultPlan::fail_flush(7));
         assert_eq!(FaultPlan::parse("drop:7").unwrap(), FaultPlan::drop_connection(7));
         assert_eq!(FaultPlan::parse("torn:7").unwrap(), FaultPlan::torn_write(7));
+        assert_eq!(FaultPlan::parse("delay:7").unwrap(), FaultPlan::injected_delay(7));
         assert!(FaultPlan::parse("bogus:7").is_err());
         assert!(FaultPlan::parse("kill:x").is_err());
     }
@@ -779,12 +802,29 @@ mod tests {
     }
 
     #[test]
+    fn chaos_outcome_counts_injected_delays() {
+        let upstream = canned_upstream(reply_body(crate::wire::op::R_PONG, &[]));
+        let plan = FaultPlan { delay: Some((1, 5)), ..FaultPlan::none() };
+        let mut proxy = chaos_proxy("127.0.0.1:0", &upstream, plan).expect("proxy");
+        // Delays hold frames back but every request still gets its reply.
+        assert!(send_frame(proxy.addr(), &reply_body(0x01, &[])).is_some());
+        assert!(send_frame(proxy.addr(), &reply_body(0x01, &[])).is_some());
+        proxy.stop();
+        let outcome = proxy.outcome();
+        assert_eq!(outcome.injected_delays, 2, "{outcome:?}");
+        assert_eq!(outcome.planned_faults, 0, "{outcome:?}");
+        assert_eq!(outcome.unexpected_errors, 0, "{outcome:?}");
+    }
+
+    #[test]
     fn transport_fault_classification() {
         assert!(FaultPlan::drop_connection(1).plans_transport_fault());
         assert!(FaultPlan::truncate_frame(1).plans_transport_fault());
         assert!(FaultPlan::kill_one_node(1).plans_transport_fault());
         assert!(!FaultPlan::fail_flush(1).plans_transport_fault());
         assert!(!FaultPlan::torn_write(1).plans_transport_fault());
+        // A delay is latency, not a transport fault: nothing severs.
+        assert!(!FaultPlan::injected_delay(1).plans_transport_fault());
         assert!(!FaultPlan::none().plans_transport_fault());
     }
 

@@ -26,6 +26,7 @@ pub mod client;
 pub mod error;
 pub mod fault;
 pub mod proto;
+pub mod resilience;
 pub mod server;
 pub mod session;
 pub mod wire;
@@ -37,6 +38,9 @@ pub use fault::{
     chaos_proxy, ChaosOutcome, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault,
 };
 pub use proto::{ChunkHeader, ChunkPlan, ChunkSender, Negotiation, ProtoViolation, WriteStream};
+pub use resilience::{
+    Admission, BreakerCore, BreakerState, CircuitBreaker, Deadline, LatencyTracker, RetryBudget,
+};
 pub use server::{serve, DaemonConfig, DaemonHandle, NetListener, DEFAULT_MAX_CHUNK};
 pub use session::{
     spawn_loopback, BatchWrite, NodeHealth, RedistReport, ScrubReport, SegmentOutcome, Session,

@@ -127,6 +127,13 @@ impl Negotiation {
     pub fn supports_resume(&self) -> bool {
         self.version >= 4
     }
+
+    /// Whether the negotiated version carries the per-request deadline
+    /// prefix and the `Busy`/`Overloaded` shed replies (v5+).
+    #[must_use]
+    pub fn supports_deadlines(&self) -> bool {
+        self.version >= 5
+    }
 }
 
 impl Default for Negotiation {

@@ -99,6 +99,22 @@ pub struct DaemonConfig {
     /// --scrub SECS`). Detection only — repair is driven by a `pf scrub`
     /// client compiling a redistribution plan from a healthy replica.
     pub scrub_interval: Option<Duration>,
+    /// Maximum simultaneously open client connections. Further connects
+    /// have their first frame answered with `Overloaded` (protocol ≥ 5;
+    /// older frames are simply closed) and the connection dropped, instead
+    /// of piling threads onto a daemon already at capacity. `0` =
+    /// unbounded, the pre-v5 behavior.
+    pub max_connections: usize,
+    /// In-flight requests one stamped session may hold across all of its
+    /// connections before further ones are shed with `Busy` (protocol ≥ 5),
+    /// so one hot client cannot starve the rest. `0` = no cap.
+    pub session_inflight: usize,
+    /// Un-checkpointed journal backlog (bytes appended across all hosted
+    /// subfiles since their last checkpoint, process-local accounting)
+    /// beyond which mutating requests degrade to `Busy` (protocol ≥ 5)
+    /// instead of growing the write-ahead journal toward ENOSPC. `None` =
+    /// no watermark.
+    pub journal_watermark: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -113,9 +129,21 @@ impl Default for DaemonConfig {
             max_chunk: DEFAULT_MAX_CHUNK,
             max_version: PROTOCOL_VERSION,
             scrub_interval: None,
+            max_connections: 0,
+            session_inflight: 0,
+            journal_watermark: None,
         }
     }
 }
+
+/// `Busy.retry_after_ms` hint when a request is shed by admission control
+/// (in-flight saturation, session cap, journal watermark).
+const BUSY_RETRY_MS: u32 = 25;
+
+/// `Overloaded.retry_after_ms` hint when a whole connection is shed at the
+/// accept edge — reconnecting is costlier than re-sending, so the hint is
+/// longer.
+const OVERLOADED_RETRY_MS: u32 = 250;
 
 // ---------------------------------------------------------------------------
 // Listener / stream abstraction (TCP or Unix-domain)
@@ -375,6 +403,9 @@ struct FileSlot {
     /// `PROJ_S(V∩S)` per compute node, as shipped at view-set time.
     views: RwLock<HashMap<u32, Projection>>,
     stats: Stats,
+    /// Journal bytes appended since the last checkpoint (process-local
+    /// accounting for the [`DaemonConfig::journal_watermark`]).
+    journal_pending: AtomicU64,
 }
 
 struct Shared {
@@ -392,6 +423,9 @@ struct Shared {
     inflight_cv: Condvar,
     /// Weak handles to open connections, so shutdown can unblock them.
     conns: Mutex<Vec<std::sync::Weak<NetStream>>>,
+    /// In-flight request count per stamped session (admission control:
+    /// [`DaemonConfig::session_inflight`]).
+    session_inflight: Mutex<HashMap<u64, usize>>,
     /// Deterministic fault injection (None in production).
     fault: Option<FaultInjector>,
 }
@@ -403,6 +437,58 @@ impl Shared {
             n = self.inflight_cv.wait(n).unwrap_or_else(|e| e.into_inner());
         }
         *n += 1;
+    }
+
+    /// Non-blocking [`acquire_slot`](Self::acquire_slot) for protocol ≥ 5
+    /// connections: a saturated daemon answers `Busy` instead of parking
+    /// the connection thread (shed load, don't queue it).
+    fn try_acquire_slot(&self) -> bool {
+        let mut n = lock(&self.inflight);
+        if *n >= self.config.max_inflight {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Enters a stamped session's in-flight accounting; `false` = the
+    /// session is already at its cap and this request must be shed.
+    fn enter_session(&self, session: u64) -> bool {
+        let cap = self.config.session_inflight;
+        if cap == 0 || session == 0 {
+            return true;
+        }
+        let mut map = lock(&self.session_inflight);
+        let n = map.entry(session).or_insert(0);
+        if *n >= cap {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn leave_session(&self, session: u64) {
+        if self.config.session_inflight == 0 || session == 0 {
+            return;
+        }
+        let mut map = lock(&self.session_inflight);
+        if let Some(n) = map.get_mut(&session) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&session);
+            }
+        }
+    }
+
+    /// Total un-checkpointed journal bytes across hosted subfiles.
+    fn journal_backlog(&self) -> u64 {
+        read(&self.files).values().map(|s| s.journal_pending.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Whether the journal-backlog watermark forbids accepting more
+    /// mutating work right now.
+    fn over_watermark(&self) -> bool {
+        self.config.journal_watermark.is_some_and(|wm| self.journal_backlog() >= wm)
     }
 
     fn release_slot(&self) {
@@ -518,6 +604,7 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
         inflight: Mutex::new(0),
         inflight_cv: Condvar::new(),
         conns: Mutex::new(Vec::new()),
+        session_inflight: Mutex::new(HashMap::new()),
         fault,
     });
     let accept_shared = Arc::clone(&shared);
@@ -536,15 +623,30 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
                     break;
                 }
                 let stream = Arc::new(stream);
-                {
+                let overloaded = {
                     let mut conns = lock(&accept_shared.conns);
                     conns.retain(|w| w.strong_count() > 0);
-                    conns.push(Arc::downgrade(&stream));
-                }
+                    let cap = accept_shared.config.max_connections;
+                    if cap > 0 && conns.len() >= cap {
+                        true
+                    } else {
+                        conns.push(Arc::downgrade(&stream));
+                        false
+                    }
+                };
                 let conn_shared = Arc::clone(&accept_shared);
-                let _ = std::thread::Builder::new()
-                    .name("pf-net-conn".into())
-                    .spawn(move || serve_connection(&stream, &conn_shared));
+                if overloaded {
+                    // Accept-edge shedding: a short-lived thread answers the
+                    // connection's first frame with `Overloaded` and closes,
+                    // so the client backs off instead of hanging.
+                    let _ = std::thread::Builder::new()
+                        .name("pf-net-shed".into())
+                        .spawn(move || shed_connection(&stream, &conn_shared));
+                } else {
+                    let _ = std::thread::Builder::new()
+                        .name("pf-net-conn".into())
+                        .spawn(move || serve_connection(&stream, &conn_shared));
+                }
             }
             if let Some(path) = cleanup {
                 let _ = std::fs::remove_file(path);
@@ -592,6 +694,24 @@ fn scrub_loop(shared: &Shared, interval: Duration) {
             }
         }
     }
+}
+
+/// A connection accepted over [`DaemonConfig::max_connections`]: read its
+/// first frame, answer `Overloaded` (protocol ≥ 5 — older frames are just
+/// closed, their client's transport retry will reconnect), and drop it.
+fn shed_connection(stream: &NetStream, shared: &Shared) {
+    // A short timeout: this thread exists only to deliver the shed verdict.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut stream = stream;
+    let mut scratch = Vec::new();
+    if let Ok(frame) = wire::read_frame_buf(&mut stream, shared.config.max_frame, &mut scratch) {
+        if frame.version >= 5 {
+            let reply = Reply::Overloaded { retry_after_ms: OVERLOADED_RETRY_MS };
+            let mut out = Vec::new();
+            send_reply(&mut stream, frame.version, frame.request_id, &reply, None, &mut out);
+        }
+    }
+    stream.shutdown_both();
 }
 
 /// One connection: sequential request/reply frames until close, error, or
@@ -650,6 +770,9 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
                 Err(FrameReadError::Io(_)) => return,
             };
         let (frame_version, frame_request_id) = (frame.version, frame.request_id);
+        // The deadline clock starts at frame receipt, *before* any injected
+        // delay fault: a slow daemon burns the request's budget.
+        let received = std::time::Instant::now();
         conn_frames += 1;
         if let Some(fault) = &shared.fault {
             match fault.on_frame(conn_frames) {
@@ -664,9 +787,34 @@ fn serve_connection(stream: &NetStream, shared: &Shared) {
                 }
             }
         }
-        shared.acquire_slot();
-        let handled =
-            handle_frame(shared, &mut chunk_write, frame.version, frame.opcode, frame.payload);
+        // Admission: protocol ≥ 5 connections are shed with `Busy` when the
+        // global in-flight budget is saturated (the client fails over or
+        // backs off); older connections keep the blocking backpressure that
+        // propagates through TCP.
+        if frame_version >= 5 {
+            if !shared.try_acquire_slot() {
+                let reply = Reply::Busy { retry_after_ms: BUSY_RETRY_MS };
+                send_reply(
+                    &mut stream,
+                    frame_version,
+                    frame_request_id,
+                    &reply,
+                    None,
+                    &mut write_scratch,
+                );
+                continue;
+            }
+        } else {
+            shared.acquire_slot();
+        }
+        let handled = handle_frame(
+            shared,
+            &mut chunk_write,
+            frame.version,
+            frame.opcode,
+            frame.payload,
+            received,
+        );
         let crashed = shared.fault_crashed();
         let mut shutdown = false;
         if !crashed {
@@ -775,6 +923,7 @@ fn handle_frame(
     version: u8,
     opcode: u8,
     payload: &[u8],
+    received: std::time::Instant,
 ) -> Handled {
     let max_version = shared.config.max_version.min(PROTOCOL_VERSION);
     if !version_admitted(version, max_version) {
@@ -791,15 +940,47 @@ fn handle_frame(
         let e = ProtocolError::new(ErrCode::UnknownOp, format!("opcode {opcode:#04x}"));
         return Handled::One(Reply::Error(e), false);
     }
-    let request = match Request::decode_at(version, opcode, payload) {
-        Ok(r) => r,
+    let (request, deadline_ms) = match Request::decode_deadline_at(version, opcode, payload) {
+        Ok(pair) => pair,
         Err(e) => return Handled::One(Reply::Error(e.into()), false),
     };
     if shared.stopping.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
         let e = ProtocolError::new(ErrCode::ShuttingDown, "daemon is stopping");
         return Handled::One(Reply::Error(e), false);
     }
-    match request {
+    // Deadline check (protocol ≥ 5): a request whose propagated budget was
+    // already spent — queueing, an injected delay, a slow disk upstream —
+    // is answered without executing, so nothing is applied for work the
+    // client has necessarily given up on.
+    if deadline_ms > 0 && received.elapsed() >= Duration::from_millis(u64::from(deadline_ms)) {
+        let e = ProtocolError::new(
+            ErrCode::DeadlineExceeded,
+            format!("deadline budget of {deadline_ms} ms expired before execution"),
+        );
+        return Handled::One(Reply::Error(e), false);
+    }
+    // Journal-backlog watermark: mutating requests degrade to `Busy` while
+    // the un-checkpointed backlog is over the configured capacity, instead
+    // of growing the journal toward ENOSPC. Chunk streams are shed only at
+    // their first frame — a stream already admitted runs to completion.
+    let starts_mutation = matches!(request, Request::Write { .. })
+        || matches!(request, Request::WriteChunk { offset: 0, .. });
+    if version >= 5 && starts_mutation && shared.over_watermark() {
+        return Handled::One(Reply::Busy { retry_after_ms: BUSY_RETRY_MS }, false);
+    }
+    // Per-session in-flight cap: one hot stamped session cannot occupy
+    // every slot of the daemon.
+    let session = match &request {
+        Request::Write { session, .. }
+        | Request::WriteChunk { session, .. }
+        | Request::ResumeQuery { session, .. } => *session,
+        _ => 0,
+    };
+    let entered = version >= 5;
+    if entered && !shared.enter_session(session) {
+        return Handled::One(Reply::Busy { retry_after_ms: BUSY_RETRY_MS }, false);
+    }
+    let handled = match request {
         Request::Shutdown => {
             shared.stopping.store(true, Ordering::SeqCst);
             Handled::One(Reply::Ok, true)
@@ -814,7 +995,11 @@ fn handle_frame(
             }
         }
         other => Handled::One(handle_request(shared, other), false),
+    };
+    if entered {
+        shared.leave_session(session);
     }
+    handled
 }
 
 fn handle_request(shared: &Shared, request: Request) -> Reply {
@@ -903,6 +1088,7 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                                 format!("journal append: {e}"),
                             ));
                         }
+                        slot.journal_pending.fetch_add(expect, Ordering::Relaxed);
                     }
                 }
                 let torn = shared.fault.as_ref().is_some_and(FaultInjector::on_write_torn)
@@ -1016,7 +1202,10 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                     .and_then(|()| store.flush())
                     .and_then(|()| lock(&slot.sums).flush())
                 {
-                    Ok(()) => Reply::Ok,
+                    Ok(()) => {
+                        slot.journal_pending.store(0, Ordering::Relaxed);
+                        Reply::Ok
+                    }
                     Err(e) => Reply::Error(ProtocolError::new(ErrCode::Internal, e.to_string())),
                 }
             }
@@ -1179,6 +1368,7 @@ fn handle_open(shared: &Shared, file: u64, subfile: u32, len: u64) -> Reply {
         sums: Mutex::new(sums),
         views: RwLock::new(HashMap::new()),
         stats: Stats::default(),
+        journal_pending: AtomicU64::new(0),
     });
     slot.stats.requests.fetch_add(1, Ordering::Relaxed);
     files.insert(file, slot);
@@ -1431,9 +1621,14 @@ fn handle_write_chunk(shared: &Shared, state: &mut Option<ChunkWrite>, request: 
                         segments: sub.clone(),
                         payload: data[..apply_n as usize].to_vec(),
                     };
-                    journal.append(&record).map_err(|e| {
-                        ProtocolError::new(ErrCode::Internal, format!("journal append: {e}"))
-                    })
+                    journal
+                        .append(&record)
+                        .map(|()| {
+                            slot.journal_pending.fetch_add(apply_n, Ordering::Relaxed);
+                        })
+                        .map_err(|e| {
+                            ProtocolError::new(ErrCode::Internal, format!("journal append: {e}"))
+                        })
                 } else {
                     Ok(())
                 }

@@ -39,10 +39,29 @@
 //! contents by CRC32C, and re-clones lost, corrupt, or divergent copies
 //! from the winner through the plan engine's identity view over the
 //! chunked write pipeline.
+//!
+//! # Tail tolerance (DESIGN.md §16)
+//!
+//! Crash handling covers nodes that *die*; the resilience layer covers
+//! nodes that are merely slow or overloaded. Every node client shares one
+//! session-wide [`RetryBudget`], so a systemic outage runs the bucket dry
+//! and fails fast instead of amplifying load. [`Session::set_deadline`]
+//! attaches an absolute time budget that propagates to every node client
+//! (and onto the wire at protocol ≥ 5). Each node has a [`CircuitBreaker`]
+//! fed from every collected reply: an open breaker makes writes pre-skip
+//! the replica (queued dirty, exactly like a dead node) and reads prefer
+//! another rank, until a half-open probe re-closes it. Replicated reads
+//! are *hedged*: when the primary replica has not answered within the
+//! observed p95 latency, the same read is issued to a second copy and the
+//! first valid answer wins — duplicates are safe because reads are
+//! idempotent and writes are stamp-deduplicated.
 
 use crate::backoff::Backoff;
 use crate::client::NodeClient;
 use crate::error::{ErrCode, NetError};
+use crate::resilience::{
+    Admission, BreakerState, CircuitBreaker, Deadline, LatencyTracker, RetryBudget,
+};
 use crate::server::{serve, DaemonConfig, DaemonHandle};
 use crate::wire::{Reply, Request, StatInfo};
 use clusterfile::{crc32c, StorageBackend};
@@ -59,7 +78,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::SystemTime;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Locks a node client, recovering from poisoning (a panicked worker or
 /// caller must not wedge the whole session).
@@ -71,6 +90,23 @@ fn lock(m: &Mutex<NodeClient>) -> MutexGuard<'_, NodeClient> {
 /// burst of batched writes per node, bounded so a stalled daemon
 /// back-pressures the submitter instead of buffering without limit.
 const WORKER_QUEUE_DEPTH: usize = 16;
+
+/// Consecutive breaker-relevant failures (transport errors, `Busy` sheds)
+/// before a node's circuit breaker trips open.
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// How long a tripped breaker sheds a node before letting one half-open
+/// probe request through.
+const BREAKER_OPEN_FOR: Duration = Duration::from_millis(250);
+
+/// Clamp bounds for the hedged-read trigger delay: the observed read p95
+/// is kept within `[HEDGE_FLOOR, HEDGE_CEILING]` so hedges neither double
+/// all traffic on a fast cluster nor wait forever on a slow one.
+const HEDGE_FLOOR: Duration = Duration::from_millis(5);
+const HEDGE_CEILING: Duration = Duration::from_millis(250);
+
+/// Poll step while racing a primary read against its hedge.
+const HEDGE_POLL: Duration = Duration::from_micros(200);
 
 /// Where a worker's reply lands.
 type ReplySlot = Receiver<Result<Reply, NetError>>;
@@ -265,6 +301,21 @@ pub struct Session {
     dirty: DirtySet,
     /// Quorum-write stragglers still in flight.
     stragglers: Vec<Straggler>,
+    /// Per-node circuit breakers, index-aligned with `nodes`. Mutexed so
+    /// admission checks work from shared-borrow paths (the build phase of
+    /// a write holds `&self` through the plan tables).
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    /// Recent settled read latencies; their p95 picks the hedge delay.
+    read_latency: LatencyTracker,
+    /// Session-wide retry token bucket shared by every node client.
+    retry_budget: Arc<RetryBudget>,
+    /// The deadline currently propagated to every node client.
+    deadline: Deadline,
+    /// Hedged reads issued so far (observability).
+    hedged_reads: u64,
+    /// Hedge losers still in flight; their outcomes are owed to the
+    /// breakers, drained alongside the write stragglers.
+    read_stragglers: Vec<(usize, ReplySlot)>,
 }
 
 /// A per-node request to fan out, with its target node index.
@@ -373,8 +424,15 @@ impl Session {
             .duration_since(SystemTime::UNIX_EPOCH)
             .map_or(0, |d| d.as_nanos() as u64)
             ^ (u64::from(std::process::id()) << 32);
-        let nodes: Vec<Arc<Mutex<NodeClient>>> =
-            addrs.iter().map(|a| Arc::new(Mutex::new(NodeClient::new(a)))).collect();
+        let retry_budget = Arc::new(RetryBudget::for_session());
+        let nodes: Vec<Arc<Mutex<NodeClient>>> = addrs
+            .iter()
+            .map(|a| {
+                Arc::new(Mutex::new(
+                    NodeClient::new(a).with_retry_budget(Arc::clone(&retry_budget)),
+                ))
+            })
+            .collect();
         let workers = nodes
             .iter()
             .enumerate()
@@ -390,6 +448,14 @@ impl Session {
             map,
             dirty: DirtySet::new(),
             stragglers: Vec::new(),
+            breakers: (0..addrs.len())
+                .map(|_| Mutex::new(CircuitBreaker::new(BREAKER_THRESHOLD, BREAKER_OPEN_FOR)))
+                .collect(),
+            read_latency: LatencyTracker::new(),
+            retry_budget,
+            deadline: Deadline::none(),
+            hedged_reads: 0,
+            read_stragglers: Vec::new(),
         }
     }
 
@@ -417,13 +483,98 @@ impl Session {
         self.dirty.iter().copied().collect()
     }
 
-    /// First replica rank of subfile `s` whose node is not known dead —
-    /// the preferred read source (rank 0 when everything is healthy, so
-    /// `R = 1` reads are unchanged).
+    /// First replica rank of subfile `s` whose node is not known dead and
+    /// whose breaker admits a request — the preferred read source (rank 0
+    /// when everything is healthy, so `R = 1` reads are unchanged). A rank
+    /// admitted as a half-open probe is chosen like any other: the request
+    /// that follows *is* the probe, and its collected outcome settles the
+    /// breaker.
     fn first_live_rank(&self, s: usize) -> usize {
         (0..self.map.replicas())
-            .find(|&k| self.health[self.map.node_for(s, k)] != NodeHealth::Dead)
+            .find(|&k| {
+                let node = self.map.node_for(s, k);
+                self.health[node] != NodeHealth::Dead && self.breaker_admits(node)
+            })
             .unwrap_or(0)
+    }
+
+    /// Locks `node`'s breaker, recovering from poisoning.
+    fn breaker(&self, node: usize) -> MutexGuard<'_, CircuitBreaker> {
+        self.breakers[node].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Asks `node`'s breaker whether a request may go out now. `Probe`
+    /// admissions count as yes — the caller's request becomes the probe,
+    /// so every admitted request must have its outcome collected.
+    fn breaker_admits(&self, node: usize) -> bool {
+        !matches!(self.breaker(node).admit(), Admission::Shed)
+    }
+
+    /// Whether `node`'s breaker is fully closed — the bar for *hedge*
+    /// targets, which are speculative and must not consume the single
+    /// half-open probe slot.
+    fn breaker_closed(&self, node: usize) -> bool {
+        self.breaker(node).state() == BreakerState::Closed
+    }
+
+    /// Records a call outcome on `node`'s breaker.
+    fn note_node(&self, node: usize, ok: bool) {
+        let mut b = self.breaker(node);
+        if ok {
+            b.record_success();
+        } else {
+            b.record_failure();
+        }
+    }
+
+    /// Classifies a settled reply for `node`'s breaker: transport errors
+    /// and shed requests are failures, any substantive answer (including
+    /// protocol errors — the node is alive and serving) is a success.
+    /// Client-local deadline expiry says nothing about the node and is
+    /// not recorded.
+    fn note_reply(&self, node: usize, reply: &Result<Reply, NetError>) {
+        let ok = match reply {
+            Err(NetError::Io(_) | NetError::IdMismatch { .. } | NetError::Busy { .. }) => false,
+            Err(NetError::Protocol(e)) if e.code == ErrCode::DeadlineExceeded => return,
+            _ => true,
+        };
+        self.note_node(node, ok);
+    }
+
+    /// The current breaker position of `node` (observability / tests).
+    #[must_use]
+    pub fn breaker_state(&self, node: usize) -> BreakerState {
+        self.breaker(node).state()
+    }
+
+    /// Hedged reads issued so far.
+    #[must_use]
+    pub fn hedged_reads(&self) -> u64 {
+        self.hedged_reads
+    }
+
+    /// The session-wide retry token bucket shared by every node client.
+    #[must_use]
+    pub fn retry_budget(&self) -> &Arc<RetryBudget> {
+        &self.retry_budget
+    }
+
+    /// Attaches an absolute deadline to every subsequent operation: it is
+    /// installed on every node client, clamps their socket timeouts, vetoes
+    /// their retries once spent, and rides protocol-v5 frames so daemons
+    /// refuse to start work the budget can no longer pay for. Pass
+    /// [`Deadline::none`] to remove it.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+        for node in &self.nodes {
+            lock(node).set_deadline(deadline);
+        }
+    }
+
+    /// The deadline currently attached to this session's operations.
+    #[must_use]
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
     }
 
     /// Replaces a dead worker with a fresh one. The shared client — and so
@@ -453,15 +604,16 @@ impl Session {
         Err(worker_lost(node))
     }
 
-    /// Collects one submitted reply. A worker that died under the job (its
-    /// reply slot closed without a message) is respawned and surfaced as a
-    /// lost-worker transport error.
+    /// Collects one submitted reply, recording its outcome on the node's
+    /// breaker. A worker that died under the job (its reply slot closed
+    /// without a message) is respawned and surfaced as a lost-worker
+    /// transport error.
     fn collect(
         &mut self,
         node: usize,
         slot: Result<ReplySlot, NetError>,
     ) -> Result<Reply, NetError> {
-        match slot {
+        let reply = match slot {
             Ok(rx) => match rx.recv() {
                 Ok(reply) => reply,
                 Err(_) => {
@@ -470,7 +622,9 @@ impl Session {
                 }
             },
             Err(e) => Err(e),
-        }
+        };
+        self.note_reply(node, &reply);
+        reply
     }
 
     /// Fans `requests` out to their nodes' workers concurrently and
@@ -481,6 +635,7 @@ impl Session {
             return match requests.into_iter().next() {
                 Some(Outgoing { node, request }) => {
                     let reply = lock(&self.nodes[node]).call(&request);
+                    self.note_reply(node, &reply);
                     vec![(node, reply)]
                 }
                 None => Vec::new(),
@@ -799,10 +954,11 @@ impl Session {
             let mut group = BuiltGroup { subfile: s, targets: Vec::new(), pre_dirty: Vec::new() };
             for rank in 0..self.map.replicas() {
                 let node = self.map.node_for(s, rank);
-                if self.health[node] == NodeHealth::Dead {
-                    // Fail fast: a node that failed its last probe gets no
-                    // request (and no retry schedule) until a probe
-                    // revives it.
+                if self.health[node] == NodeHealth::Dead || !self.breaker_admits(node) {
+                    // Fail fast: a node that failed its last probe — or
+                    // whose breaker is open — gets no request (and no
+                    // retry schedule); the copy is queued dirty instead of
+                    // blocking the quorum, and scrub repairs it later.
                     group.pre_dirty.push((rank, node));
                     continue;
                 }
@@ -918,14 +1074,23 @@ impl Session {
                 self.health[node] = NodeHealth::Dead;
                 SegmentOutcome::Unreachable
             }
+            Err(NetError::Busy { .. }) => {
+                // The daemon shed the write (admission control): the node
+                // is alive, so it stays out of the dead set, but this copy
+                // missed the write — queued dirty by the caller, repaired
+                // by scrub once the overload passes.
+                SegmentOutcome::Unreachable
+            }
             Err(other) => return Err(other),
         })
     }
 
     /// Drains quorum-write stragglers: non-blocking between writes (only
     /// replies that already landed are accounted), blocking at barriers
-    /// (flush, scrub). A straggler that failed is queued dirty.
+    /// (flush, scrub, session drop). A straggler that failed is queued
+    /// dirty; every settled outcome also lands on its node's breaker.
     fn drain_stragglers(&mut self, block: bool) {
+        self.drain_read_stragglers(block);
         let pending = std::mem::take(&mut self.stragglers);
         for s in pending {
             let reply = if block {
@@ -940,6 +1105,11 @@ impl Session {
                     Err(mpsc::TryRecvError::Disconnected) => Err(()),
                 }
             };
+            if let Ok(reply) = &reply {
+                self.note_reply(s.node, reply);
+            } else {
+                self.note_node(s.node, false);
+            }
             match reply {
                 Ok(Ok(Reply::WriteOk { .. })) => {}
                 Ok(Err(NetError::Io(_) | NetError::IdMismatch { .. })) | Err(()) => {
@@ -959,6 +1129,31 @@ impl Session {
                         node: s.node,
                     });
                 }
+            }
+        }
+    }
+
+    /// Drains hedge losers the same way: their replies are not data anyone
+    /// is waiting for, but the breakers are owed the outcomes (a parked
+    /// half-open probe that never settled would shed its node forever).
+    fn drain_read_stragglers(&mut self, block: bool) {
+        let pending = std::mem::take(&mut self.read_stragglers);
+        for (node, slot) in pending {
+            let reply = if block {
+                slot.recv().map_err(|_| ())
+            } else {
+                match slot.try_recv() {
+                    Ok(reply) => Ok(reply),
+                    Err(mpsc::TryRecvError::Empty) => {
+                        self.read_stragglers.push((node, slot));
+                        continue;
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => Err(()),
+                }
+            };
+            match reply {
+                Ok(reply) => self.note_reply(node, &reply),
+                Err(()) => self.note_node(node, false),
             }
         }
     }
@@ -1100,6 +1295,9 @@ impl Session {
         if lo_v > hi_v {
             return Err(NetError::Usage(format!("interval [{lo_v}, {hi_v}] is empty")));
         }
+        // Settle any hedge losers that have landed since the last read so
+        // their breaker outcomes do not pile up.
+        self.drain_read_stragglers(false);
         let (st, vs) = self.view(file, compute)?;
         let mut requests = Vec::new();
         let mut meta = Vec::new();
@@ -1116,9 +1314,32 @@ impl Session {
             });
             meta.push((s, rank, l_s, r_s));
         }
+        // Replicated sessions race a hedge against tail-slow primaries;
+        // unreplicated ones have nowhere to hedge and keep the plain
+        // fan-out.
+        let settled: Vec<(usize, Result<Reply, NetError>)> = if self.map.replicas() > 1 {
+            let submitted: Vec<Result<ReplySlot, NetError>> = requests
+                .into_iter()
+                .map(|Outgoing { node, request }| self.submit(node, request))
+                .collect();
+            let targets = meta.clone();
+            submitted
+                .into_iter()
+                .zip(targets)
+                .map(|(slot, (s, rank, l_s, r_s))| {
+                    self.collect_hedged(compute, file, s, rank, l_s, r_s, slot)
+                })
+                .collect()
+        } else {
+            self.fan_out(requests)
+                .into_iter()
+                .zip(&meta)
+                .map(|((_, reply), &(_, rank, _, _))| (rank, reply))
+                .collect()
+        };
         let mut buf = vec![0u8; (hi_v - lo_v + 1) as usize];
-        for (i, (_, reply)) in self.fan_out(requests).into_iter().enumerate() {
-            let (s, rank, l_s, r_s) = meta[i];
+        for (i, (rank, reply)) in settled.into_iter().enumerate() {
+            let (s, _, l_s, r_s) = meta[i];
             let payload = self.read_with_failover(compute, file, s, rank, l_s, r_s, reply)?;
             // Scatter the node's fragment stream back into view positions.
             // A short payload (partial read at the subfile boundary) fills
@@ -1136,6 +1357,126 @@ impl Session {
             });
         }
         Ok(buf)
+    }
+
+    /// Settles subfile `s`'s primary read with a hedge race (DESIGN.md
+    /// §16): wait the p95-based delay for the primary; if it has not
+    /// answered by then, issue the same read to the next closed-breaker
+    /// replica and take whichever valid answer lands first. Returns the
+    /// winning rank with its reply so failover continues from the right
+    /// copy. The loser is parked as a read straggler rather than dropped,
+    /// so its outcome still reaches the breaker. Duplicate reads are safe:
+    /// reads mutate nothing, and the write path is stamp-deduplicated.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_hedged(
+        &mut self,
+        compute: u32,
+        file: u64,
+        s: usize,
+        rank: usize,
+        l_s: u64,
+        r_s: u64,
+        slot: Result<ReplySlot, NetError>,
+    ) -> (usize, Result<Reply, NetError>) {
+        let node = self.map.node_for(s, rank);
+        let rx = match slot {
+            Ok(rx) => rx,
+            Err(e) => {
+                self.note_node(node, false);
+                return (rank, Err(e));
+            }
+        };
+        let started = Instant::now();
+        let delay = self.read_latency.hedge_delay(HEDGE_FLOOR, HEDGE_CEILING);
+        match rx.recv_timeout(delay) {
+            Ok(reply) => {
+                if reply.is_ok() {
+                    self.read_latency.record(started.elapsed());
+                }
+                self.note_reply(node, &reply);
+                return (rank, reply);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.respawn(node);
+                self.note_node(node, false);
+                return (rank, Err(worker_lost(node)));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        // The primary is tail-slow: hedge to the next replica on a
+        // distinct, live node whose breaker is fully closed (a speculative
+        // read must not consume the single half-open probe slot).
+        let r = self.map.replicas();
+        let hedge = (1..r)
+            .map(|step| (rank + step) % r)
+            .find(|&k| {
+                let n = self.map.node_for(s, k);
+                n != node && self.health[n] != NodeHealth::Dead && self.breaker_closed(n)
+            })
+            .and_then(|k| {
+                let n = self.map.node_for(s, k);
+                let request = Request::Read { file: copy_file_id(file, k), compute, l_s, r_s };
+                self.submit(n, request).ok().map(|slot| (k, n, slot))
+            });
+        let Some((hedge_rank, hedge_node, hedge_slot)) = hedge else {
+            // Nowhere to hedge: block on the primary.
+            let reply = match rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => {
+                    self.respawn(node);
+                    self.note_node(node, false);
+                    return (rank, Err(worker_lost(node)));
+                }
+            };
+            if reply.is_ok() {
+                self.read_latency.record(started.elapsed());
+            }
+            self.note_reply(node, &reply);
+            return (rank, reply);
+        };
+        self.hedged_reads += 1;
+        let mut pending = vec![(rank, node, rx), (hedge_rank, hedge_node, hedge_slot)];
+        let mut last: Option<(usize, Result<Reply, NetError>)> = None;
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                match pending[i].2.try_recv() {
+                    Ok(reply) => {
+                        progressed = true;
+                        let (k, n, _) = pending.remove(i);
+                        self.note_reply(n, &reply);
+                        if matches!(reply, Ok(Reply::Data { .. })) {
+                            self.read_latency.record(started.elapsed());
+                            for (_, loser_node, loser_slot) in pending {
+                                self.read_stragglers.push((loser_node, loser_slot));
+                            }
+                            return (k, reply);
+                        }
+                        last = Some((k, reply));
+                    }
+                    Err(mpsc::TryRecvError::Empty) => i += 1,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        progressed = true;
+                        let (k, n, _) = pending.remove(i);
+                        self.respawn(n);
+                        self.note_node(n, false);
+                        last = Some((k, Err(worker_lost(n))));
+                    }
+                }
+            }
+            if !pending.is_empty() && !progressed {
+                std::thread::sleep(HEDGE_POLL);
+            }
+        }
+        last.unwrap_or_else(|| {
+            (
+                rank,
+                Err(NetError::Io(std::io::Error::other(format!(
+                    "no replica of subfile {s} answered the hedged read"
+                )))),
+            )
+        })
     }
 
     /// Settles one subfile's read, walking the replica set from
@@ -1164,7 +1505,11 @@ impl Session {
             let request = Request::Read { file: copy_file_id(file, rank), compute, l_s, r_s };
             let reply = match attempt.take() {
                 Some(reply) => reply,
-                None => lock(&self.nodes[node]).call(&request),
+                None => {
+                    let reply = lock(&self.nodes[node]).call(&request);
+                    self.note_reply(node, &reply);
+                    reply
+                }
             };
             let reply = match reply {
                 Err(NetError::Protocol(e))
@@ -1175,7 +1520,11 @@ impl Session {
                     // state (which also replays the daemon's journal) and
                     // retry once.
                     match self.reestablish_copy(s, rank, compute, file) {
-                        Ok(()) => lock(&self.nodes[node]).call(&request),
+                        Ok(()) => {
+                            let reply = lock(&self.nodes[node]).call(&request);
+                            self.note_reply(node, &reply);
+                            reply
+                        }
                         Err(e) => Err(e),
                     }
                 }
@@ -1199,6 +1548,11 @@ impl Session {
                 }
                 Err(e @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
                     self.health[node] = NodeHealth::Dead;
+                    last_err = Some(e);
+                }
+                Err(e @ NetError::Busy { .. }) => {
+                    // The daemon shed the read: the node is alive and the
+                    // copy intact — just fail over to the next rank.
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -1262,7 +1616,11 @@ impl Session {
             let request = Request::Fetch { file: copy_file_id(file, rank) };
             let reply = match attempt.take() {
                 Some(reply) => reply,
-                None => lock(&self.nodes[node]).call(&request),
+                None => {
+                    let reply = lock(&self.nodes[node]).call(&request);
+                    self.note_reply(node, &reply);
+                    reply
+                }
             };
             let reply = match reply {
                 Err(NetError::Protocol(e))
@@ -1271,7 +1629,11 @@ impl Session {
                     // A restarted daemon forgot the copy: re-opening it
                     // replays the journal over the surviving bytes.
                     match self.reopen_copy(s, rank, file) {
-                        Ok(()) => lock(&self.nodes[node]).call(&request),
+                        Ok(()) => {
+                            let reply = lock(&self.nodes[node]).call(&request);
+                            self.note_reply(node, &reply);
+                            reply
+                        }
                         Err(e) => Err(e),
                     }
                 }
@@ -1292,6 +1654,9 @@ impl Session {
                 }
                 Err(e @ (NetError::Io(_) | NetError::IdMismatch { .. })) => {
                     self.health[node] = NodeHealth::Dead;
+                    last_err = Some(e);
+                }
+                Err(e @ NetError::Busy { .. }) => {
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -1654,6 +2019,20 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    /// A session abandoned mid-quorum-write still owes the cluster the
+    /// truth about its stragglers: block until every outstanding replica
+    /// ack lands or fails, so a write the caller saw succeed is actually
+    /// on all its copies — or recorded dirty — before the connections
+    /// close. A later session's scrub then sees an honest cluster instead
+    /// of silently divergent replicas. Worker threads are still alive here
+    /// (fields drop after this body), so the blocking drain terminates on
+    /// the clients' own timeouts.
+    fn drop(&mut self) {
+        self.drain_stragglers(true);
+    }
+}
+
 /// Spawns `io_nodes` loopback daemons on OS-assigned TCP ports, all over
 /// `backend`, returning their handles and client addresses (daemon order =
 /// subfile order).
@@ -1675,6 +2054,7 @@ pub fn spawn_loopback(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{chaos_proxy, FaultPlan};
     use arraydist::matrix::MatrixLayout;
 
     /// 8×8 matrix, column-block physical over 2 nodes, row-block view —
@@ -1916,6 +2296,168 @@ mod tests {
             assert_eq!(&session.read(0, 9, *lo, *hi).expect("read row back"), d);
         }
         drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_the_session_fast() {
+        let (mut handles, mut session) = two_node_session();
+        session.write(0, 1, 0, 31, &[0x11; 32]).expect("write without deadline");
+        // An already-expired deadline propagates to every node client and
+        // fails before touching the wire — and without feeding the
+        // breakers (expiry says nothing about node health).
+        session.set_deadline(Deadline::within(Duration::ZERO));
+        let started = Instant::now();
+        let err = session.read(0, 1, 0, 31).expect_err("expired deadline must fail");
+        assert!(
+            matches!(&err, NetError::Protocol(e) if e.code == ErrCode::DeadlineExceeded),
+            "expected DeadlineExceeded, got {err}"
+        );
+        assert!(started.elapsed() < Duration::from_millis(250), "must fail fast");
+        assert!(
+            (0..2).all(|n| session.breaker_state(n) == BreakerState::Closed),
+            "deadline expiry must not feed the breakers"
+        );
+        // Lifting the deadline restores service.
+        session.set_deadline(Deadline::none());
+        assert_eq!(session.read(0, 1, 0, 31).expect("read after lifting"), vec![0x11; 32]);
+        drop(session);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn busy_shedding_trips_the_breaker_and_writes_fail_fast() {
+        // A daemon whose journal watermark sheds every write after the
+        // first until a flush checkpoints the backlog. The journal only
+        // runs on file-backed stores, so this daemon gets a scratch dir.
+        let dir = std::env::temp_dir().join(format!("pf_session_breaker_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        let config = DaemonConfig {
+            backend: StorageBackend::Directory(dir.clone()),
+            journal_watermark: Some(1),
+            ..DaemonConfig::default()
+        };
+        let handle = serve("127.0.0.1:0", config).expect("spawn shedding daemon");
+        let addrs = vec![handle.addr().to_string()];
+        let physical = MatrixLayout::ColumnBlocks.partition(8, 4, 1, 1);
+        let logical = MatrixLayout::RowBlocks.partition(8, 4, 1, 1);
+        let mut session = Session::connect(&addrs);
+        session.create_file(3, physical, 32).expect("create file");
+        session.set_view(0, 3, &logical, 0).expect("set view");
+        session.write(0, 3, 0, 31, &[0xA0; 32]).expect("first write admitted");
+        // Every further write is shed with `Busy`; the failures trip the
+        // node's breaker.
+        let mut tripped = false;
+        for _ in 0..BREAKER_THRESHOLD + 2 {
+            let report = session.write_report(0, 3, 0, 31, &[0xA1; 32]).expect("degraded write");
+            assert!(!report.fully_applied(), "the daemon must shed this write: {report:?}");
+            if session.breaker_state(0) == BreakerState::Open {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "consecutive Busy sheds must open the breaker");
+        // An open breaker sheds client-side: the copy is queued dirty
+        // without a wire round trip.
+        let report = session.write_report(0, 3, 0, 31, &[0xA2; 32]).expect("pre-skipped write");
+        assert!(!report.fully_applied(), "{report:?}");
+        assert!(!session.dirty_replicas().is_empty(), "shed copies must be queued dirty");
+        // Checkpointing the journal lifts the watermark, and the
+        // successful flush re-closes the breaker.
+        session.flush(3).expect("flush drains the backlog");
+        assert_eq!(session.breaker_state(0), BreakerState::Closed);
+        let report = session.write_report(0, 3, 0, 31, &[0xA3; 32]).expect("write after flush");
+        assert!(report.fully_applied(), "{report:?}");
+        assert_eq!(session.read(0, 3, 0, 31).expect("read back"), vec![0xA3; 32]);
+        drop(session);
+        let mut handle = handle;
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hedged_read_beats_a_tail_slow_replica() {
+        // 3 daemons, R = 2, with node 0 behind a proxy that delays every
+        // frame: subfile 0's primary read is tail-slow, so the session
+        // hedges it to the rank-1 copy on a fast node and the read
+        // completes far under the injected delay.
+        let delay_ms = 250u64;
+        let physical = MatrixLayout::ColumnBlocks.partition(9, 9, 1, 3);
+        let logical = MatrixLayout::RowBlocks.partition(9, 9, 1, 3);
+        let (mut handles, mut addrs) =
+            spawn_loopback(3, StorageBackend::Memory).expect("spawn loopback daemons");
+        let mut plan = FaultPlan::none();
+        plan.delay = Some((1, delay_ms));
+        let mut proxy = chaos_proxy("127.0.0.1:0", &addrs[0], plan).expect("spawn delaying proxy");
+        addrs[0] = proxy.addr().to_string();
+        let mut session = Session::connect_replicated(&addrs, 2).expect("R=2 over 3 nodes");
+        session.create_file(5, physical, 81).expect("create file");
+        session.set_view(0, 5, &logical, 0).expect("set view");
+        let data: Vec<u8> = (0..27u8).collect();
+        session.write(0, 5, 0, 26, &data).expect("replicated write");
+        let started = Instant::now();
+        assert_eq!(session.read(0, 5, 0, 26).expect("hedged read"), data);
+        let elapsed = started.elapsed();
+        assert!(session.hedged_reads() >= 1, "the slow primary must trigger a hedge");
+        assert!(
+            elapsed < Duration::from_millis(delay_ms - 50),
+            "hedge must beat the {delay_ms} ms injected delay, took {elapsed:?}"
+        );
+        drop(session);
+        proxy.stop();
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn dropping_a_session_drains_quorum_stragglers() {
+        // R = 3 over 3 nodes with node 0 behind a delaying proxy: every
+        // quorum write returns at W = 2 acks with the node-0 ack still in
+        // flight. Dropping the session mid-stream must drain those
+        // stragglers — block until they land — so the abandoned write is
+        // actually on all three copies before the connections close.
+        let physical = MatrixLayout::ColumnBlocks.partition(9, 9, 1, 3);
+        let logical = MatrixLayout::RowBlocks.partition(9, 9, 1, 3);
+        let (mut handles, mut addrs) =
+            spawn_loopback(3, StorageBackend::Memory).expect("spawn loopback daemons");
+        let mut plan = FaultPlan::none();
+        plan.delay = Some((1, 150));
+        let mut proxy = chaos_proxy("127.0.0.1:0", &addrs[0], plan).expect("spawn delaying proxy");
+        let slow_direct = handles[0].addr().to_string();
+        addrs[0] = proxy.addr().to_string();
+        let mut session = Session::connect_replicated(&addrs, 3).expect("R=3 over 3 nodes");
+        session.create_file(7, physical.clone(), 81).expect("create file");
+        session.set_view(0, 7, &logical, 0).expect("set view");
+        let data: Vec<u8> = (0..27u8).map(|i| i ^ 0x3C).collect();
+        let report = session.write_report(0, 7, 0, 26, &data).expect("quorum write");
+        assert!(report.fully_applied(), "{report:?}");
+        assert!(
+            !session.stragglers.is_empty(),
+            "the delayed node's acks must still be in flight at drop time"
+        );
+        drop(session);
+        // The drop blocked until the slow acks landed. Subfile 1's rank-2
+        // copy lives on the slow node (node (1+2) % 3 = 0); compare it —
+        // fetched directly, no proxy, no failover — against the rank-0
+        // copy on fast node 1. Without the drain the slow copy could still
+        // be missing the write here.
+        let fetch = |addr: &str, wire_id: u64| -> Vec<u8> {
+            let mut c = NodeClient::new(addr);
+            match c.call(&Request::Fetch { file: wire_id }).expect("fetch copy") {
+                Reply::Data { payload } => payload,
+                other => panic!("expected Data, got {other:?}"),
+            }
+        };
+        let slow_copy = fetch(&slow_direct, copy_file_id(7, 2));
+        let fast_copy = fetch(handles[1].addr(), copy_file_id(7, 0));
+        assert_eq!(slow_copy, fast_copy, "subfile 1's copies must agree after the drop");
+        proxy.stop();
         for h in &mut handles {
             h.stop();
         }

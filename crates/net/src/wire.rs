@@ -40,9 +40,13 @@ use std::io::{Read, Write};
 /// continue from the last chunk the daemon applied for a `(session, seq)`
 /// stamp instead of restarting at offset 0, and `Stat` grows a
 /// `checksum_errors` counter reporting CRC32C verification failures.
+/// Version 5 adds **resilience** (DESIGN.md §16): every request payload is
+/// prefixed by a `deadline_ms` budget (`0` = none) that the daemon enforces
+/// before starting work, and the `Busy`/`Overloaded` replies let an
+/// admission-controlled daemon shed load instead of queueing without bound.
 /// Daemons keep speaking every version down to [`MIN_PROTOCOL_VERSION`] and
 /// always answer in the version the request arrived with.
-pub const PROTOCOL_VERSION: u8 = 4;
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Oldest protocol version daemons still accept.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -102,6 +106,10 @@ pub mod op {
     /// Answer to `WriteResume`: the offset a retried stream should resume
     /// from (protocol ≥ 4).
     pub const R_RESUME: u8 = 0x87;
+    /// The daemon shed this request under admission control (protocol ≥ 5).
+    pub const R_BUSY: u8 = 0x88;
+    /// The daemon refused the whole connection under overload (protocol ≥ 5).
+    pub const R_OVERLOADED: u8 = 0x89;
     /// Typed protocol error.
     pub const R_ERROR: u8 = 0xFF;
 }
@@ -529,7 +537,24 @@ impl Request {
     /// scratch buffer (cleared first), so per-connection encoders reuse one
     /// allocation across frames.
     pub fn encode_payload_at_into(&self, version: u8, out: &mut Vec<u8>) {
+        self.encode_payload_deadline_into(version, 0, out);
+    }
+
+    /// Encodes the payload for protocol `version` carrying a `deadline_ms`
+    /// budget (0 = no deadline). The deadline is a version-5 payload prefix
+    /// shared by every request opcode — the remaining milliseconds of the
+    /// caller's budget at send time, decremented at every propagation hop
+    /// (session → worker → daemon). Versions below 5 cannot carry the field
+    /// and silently drop it (the daemon then enforces nothing).
+    pub fn encode_payload_deadline_into(&self, version: u8, deadline_ms: u32, out: &mut Vec<u8>) {
         out.clear();
+        if version >= 5 {
+            put_u32(out, deadline_ms);
+        }
+        self.encode_body(out, version);
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>, version: u8) {
         match self {
             Request::Open { file, subfile, len } => {
                 put_u64(out, *file);
@@ -609,8 +634,37 @@ impl Request {
         Self::decode_at(PROTOCOL_VERSION, opcode, payload)
     }
 
-    /// Decodes a request as protocol version `version` would frame it.
+    /// Decodes a request as protocol version `version` would frame it,
+    /// dropping the v5 deadline prefix (see [`decode_deadline_at`]
+    /// (Self::decode_deadline_at) to keep it).
     pub fn decode_at(version: u8, opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
+        Self::decode_deadline_at(version, opcode, payload).map(|(req, _)| req)
+    }
+
+    /// Decodes a request together with its deadline budget. At protocol ≥ 5
+    /// every request payload starts with a `deadline_ms` prefix (0 = no
+    /// deadline); older versions carry none and decode to 0.
+    pub fn decode_deadline_at(
+        version: u8,
+        opcode: u8,
+        payload: &[u8],
+    ) -> Result<(Self, u32), WireError> {
+        if version >= 5 {
+            // An unknown opcode is reported as such even when the payload is
+            // shorter than the deadline prefix, so UnknownOp vs Malformed
+            // diagnostics stay stable across versions.
+            if !(op::OPEN..=op::WRITE_RESUME).contains(&opcode) {
+                return Err(WireError::BadValue("opcode"));
+            }
+            let mut c = Cursor::new(payload);
+            let deadline_ms = c.u32()?;
+            Ok((Self::decode_body_at(version, opcode, &payload[4..])?, deadline_ms))
+        } else {
+            Ok((Self::decode_body_at(version, opcode, payload)?, 0))
+        }
+    }
+
+    fn decode_body_at(version: u8, opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
         let req = match opcode {
             op::OPEN => Request::Open { file: c.u64()?, subfile: c.u32()?, len: c.u64()? },
@@ -764,6 +818,21 @@ pub enum Reply {
         /// (no partial progress on record).
         offset: u64,
     },
+    /// The daemon shed this one request under admission control (protocol
+    /// ≥ 5): its queue, per-session in-flight cap, or disk-capacity
+    /// watermark left no room. The request was **not** executed; a stamped
+    /// retry after the hinted delay is safe.
+    Busy {
+        /// Daemon's backoff hint in milliseconds (0 = caller's choice).
+        retry_after_ms: u32,
+    },
+    /// The daemon refused the whole connection under overload (protocol
+    /// ≥ 5): the accept-side connection budget is exhausted. Sent with
+    /// request id 0 before the connection closes.
+    Overloaded {
+        /// Daemon's backoff hint in milliseconds (0 = caller's choice).
+        retry_after_ms: u32,
+    },
     /// Typed protocol error.
     Error(ProtocolError),
 }
@@ -781,6 +850,8 @@ impl Reply {
             Reply::ChunkOk { .. } => op::R_CHUNK_OK,
             Reply::DataChunk { .. } => op::R_DATA_CHUNK,
             Reply::ResumeAt { .. } => op::R_RESUME,
+            Reply::Busy { .. } => op::R_BUSY,
+            Reply::Overloaded { .. } => op::R_OVERLOADED,
             Reply::Error(_) => op::R_ERROR,
         }
     }
@@ -821,6 +892,9 @@ impl Reply {
             }
             Reply::ChunkOk { offset } => put_u64(out, *offset),
             Reply::ResumeAt { offset } => put_u64(out, *offset),
+            Reply::Busy { retry_after_ms } | Reply::Overloaded { retry_after_ms } => {
+                put_u32(out, *retry_after_ms);
+            }
             Reply::DataChunk { offset, last, data } => {
                 put_u64(out, *offset);
                 out.push(u8::from(*last));
@@ -879,6 +953,8 @@ impl Reply {
             }
             op::R_CHUNK_OK if version >= 3 => Reply::ChunkOk { offset: c.u64()? },
             op::R_RESUME if version >= 4 => Reply::ResumeAt { offset: c.u64()? },
+            op::R_BUSY if version >= 5 => Reply::Busy { retry_after_ms: c.u32()? },
+            op::R_OVERLOADED if version >= 5 => Reply::Overloaded { retry_after_ms: c.u32()? },
             op::R_DATA_CHUNK if version >= 3 => {
                 let offset = c.u64()?;
                 let last = match c.take(1)?[0] {
@@ -1195,6 +1271,38 @@ mod tests {
     }
 
     #[test]
+    fn v4_frames_have_no_resilience_messages() {
+        // The deadline prefix and the shed replies are version-5 additions;
+        // v4 rejects the opcodes and carries no prefix.
+        assert_eq!(Reply::decode_at(4, op::R_BUSY, &[0; 4]), Err(WireError::BadValue("opcode")));
+        assert_eq!(
+            Reply::decode_at(4, op::R_OVERLOADED, &[0; 4]),
+            Err(WireError::BadValue("opcode"))
+        );
+        let req = Request::Read { file: 7, compute: 1, l_s: 0, r_s: 31 };
+        let v4 = req.encode_payload_at(4);
+        let v5 = req.encode_payload_at(5);
+        assert_eq!(v4.len() + 4, v5.len(), "v5 adds exactly the u32 deadline prefix");
+        assert_eq!(Request::decode_at(4, op::READ, &v4).unwrap(), req);
+        assert_eq!(Request::decode_deadline_at(4, op::READ, &v4).unwrap(), (req.clone(), 0));
+        // The prefix carries the budget; 0 means "no deadline".
+        let mut stamped = Vec::new();
+        req.encode_payload_deadline_into(5, 1500, &mut stamped);
+        assert_eq!(Request::decode_deadline_at(5, op::READ, &stamped).unwrap(), (req, 1500));
+        // A truncated prefix is a typed error, not a panic.
+        assert_eq!(
+            Request::decode_deadline_at(5, op::READ, &stamped[..3]),
+            Err(WireError::Truncated)
+        );
+        // Shed replies round-trip at v5.
+        for reply in [Reply::Busy { retry_after_ms: 40 }, Reply::Overloaded { retry_after_ms: 0 }] {
+            let payload = reply.encode_payload_at(5);
+            assert_eq!(payload.len(), 4);
+            assert_eq!(Reply::decode_at(5, reply.opcode(), &payload).unwrap(), reply);
+        }
+    }
+
+    #[test]
     fn replies_round_trip() {
         let replies = vec![
             Reply::Ok,
@@ -1205,6 +1313,8 @@ mod tests {
             Reply::DataChunk { offset: 0, last: false, data: b"xyz".to_vec() },
             Reply::DataChunk { offset: 3, last: true, data: vec![] },
             Reply::ResumeAt { offset: 8192 },
+            Reply::Busy { retry_after_ms: 25 },
+            Reply::Overloaded { retry_after_ms: 100 },
             Reply::Data { payload: b"abc".to_vec() },
             Reply::Stat(StatInfo {
                 len: 10,

@@ -246,6 +246,109 @@ fn session_write_batch_streams_against_small_daemon_chunk_cap() {
     }
 }
 
+/// `ResumeQuery` for a stamp whose final chunk already journaled answers
+/// offset 0: the completed write must be retried as a whole (and
+/// deduplicated as a replay), never resumed mid-stream past the end.
+/// Unstamped queries likewise answer 0.
+#[test]
+fn resume_query_after_completed_stream_answers_zero() {
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    let mut client = NodeClient::new(daemon.addr()).with_chunk(Some(2));
+    open_with_view(&mut client, 3, 16);
+    assert_eq!(
+        write(&mut client, 3, 15, (7, 4), &[0xD0; 8]),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+    // The stamp completed: its progress entry is gone and the dedup
+    // window holds the full write, so a resume would skip real work.
+    assert_eq!(
+        client.call(&Request::ResumeQuery { file: 3, session: 7, seq: 4 }).expect("query"),
+        Reply::ResumeAt { offset: 0 }
+    );
+    assert_eq!(
+        client.call(&Request::ResumeQuery { file: 3, session: 0, seq: 0 }).expect("query"),
+        Reply::ResumeAt { offset: 0 }
+    );
+}
+
+/// A mid-stream `WriteChunk` is accepted as a resume only when the
+/// daemon recorded exactly that much progress for exactly that
+/// `(session, seq)`: a stamp with no recorded progress, and a chunk
+/// continuing *another* stamp's stream, are both rejected as malformed
+/// instead of silently fast-forwarding someone else's bytes.
+#[test]
+fn mid_stream_chunk_with_mismatched_stamp_is_rejected() {
+    use parafile_net::{ErrCode, NetError};
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
+    // Chunking disabled so raw WriteChunk frames pass through `call`.
+    let mut client = NodeClient::new(daemon.addr()).with_chunk(Some(0));
+    open_with_view(&mut client, 4, 16);
+    let chunk = |session: u64, offset: u64, last: bool| Request::WriteChunk {
+        file: 4,
+        compute: 0,
+        l_s: 0,
+        r_s: 15,
+        session,
+        seq: 1,
+        offset,
+        total: 8,
+        last,
+        data: vec![0xEE; 4],
+    };
+    let expect_malformed = |r: Result<Reply, NetError>, what: &str| match r {
+        Err(NetError::Protocol(e)) => assert_eq!(e.code, ErrCode::Malformed, "{what}: {e:?}"),
+        other => panic!("{what}: expected Malformed, got {other:?}"),
+    };
+    // No stream, no recorded progress: a mid-stream first frame for
+    // stamp 99 cannot resume anything.
+    expect_malformed(client.call(&chunk(99, 4, false)), "unknown stamp");
+    // Start a genuine stream for stamp 9, then try to continue it with
+    // stamp 88: the daemon has progress for (9,1) only, so (88,1) at the
+    // matching offset is still refused.
+    assert_eq!(
+        client.call(&chunk(9, 0, false)).expect("first chunk"),
+        Reply::ChunkOk { offset: 0 }
+    );
+    expect_malformed(client.call(&chunk(88, 4, false)), "mismatched stamp");
+    // The genuine owner finishes its stream unharmed after a reconnect
+    // resume from its own recorded progress.
+    assert_eq!(
+        client.call(&chunk(9, 4, true)).expect("final chunk"),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+}
+
+/// A daemon capped at protocol v4 makes a v5 client step its ladder down
+/// transparently: calls succeed at v4, no deadline prefix or shed reply
+/// ever crosses the wire, and a bounded client deadline still works
+/// client-side (expiry is enforced locally even when it cannot be
+/// propagated).
+#[test]
+fn v5_client_falls_back_to_a_v4_daemon() {
+    use parafile_net::{Deadline, ErrCode, NetError};
+    use std::time::Duration;
+    let config = DaemonConfig { max_version: 4, ..DaemonConfig::default() };
+    let daemon = serve("127.0.0.1:0", config).expect("serve");
+    let mut client = NodeClient::new(daemon.addr()).with_chunk(Some(3));
+    open_with_view(&mut client, 6, 16);
+    let payload = [0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88];
+    assert_eq!(
+        write(&mut client, 6, 15, (5, 2), &payload),
+        Reply::WriteOk { written: 8, replayed: false }
+    );
+    assert_eq!(client.negotiated_version(), 4, "ladder stepped down to the daemon's cap");
+    assert_eq!(read(&mut client, 6, 0, 15), payload, "v4 data path works end to end");
+    // A live deadline is harmless at v4 (not propagated, not violated)…
+    client.set_deadline(Deadline::within(Duration::from_secs(30)));
+    assert_eq!(read(&mut client, 6, 0, 15), payload);
+    // …and an expired one still fails fast client-side.
+    client.set_deadline(Deadline::within(Duration::ZERO));
+    match client.call(&Request::Read { file: 6, compute: 0, l_s: 0, r_s: 15 }) {
+        Err(NetError::Protocol(e)) => assert_eq!(e.code, ErrCode::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
 /// A stamped chunked write severed mid-stream by a one-shot connection
 /// drop resumes on retry from the last acknowledged chunk (protocol ≥ 4):
 /// the client queries the daemon's recorded partial progress with

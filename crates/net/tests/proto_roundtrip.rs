@@ -133,7 +133,15 @@ fn arb_write_chunk(sizes: std::ops::Range<usize>) -> impl Strategy<Value = Reque
 }
 
 fn arb_err_code() -> impl Strategy<Value = ErrCode> {
-    (1u16..=13).prop_filter_map("valid wire id", ErrCode::from_u16)
+    (1u16..=14).prop_filter_map("valid wire id", ErrCode::from_u16)
+}
+
+/// The v5 admission-control replies (`Busy` / `Overloaded`).
+fn arb_shed_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        any::<u32>().prop_map(|retry_after_ms| Reply::Busy { retry_after_ms }),
+        any::<u32>().prop_map(|retry_after_ms| Reply::Overloaded { retry_after_ms }),
+    ]
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
@@ -297,6 +305,62 @@ proptest! {
         );
         prop_assert_eq!(
             Reply::decode_at(version, op::R_RESUME, &bytes),
+            Err(WireError::BadValue("opcode"))
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v5: the deadline prefix and the shed replies
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// At v5 every request payload leads with a `u32` deadline budget that
+    /// round-trips alongside the request; v4 encodes no prefix, so the v5
+    /// form is exactly four bytes longer and a v4 decode refills 0.
+    #[test]
+    fn request_deadline_roundtrips_at_v5(req in arb_request(), deadline in any::<u32>()) {
+        let mut v5 = Vec::new();
+        req.encode_payload_deadline_into(5, deadline, &mut v5);
+        prop_assert_eq!(
+            Request::decode_deadline_at(5, req.opcode(), &v5),
+            Ok((req.clone(), deadline))
+        );
+        let v4 = req.encode_payload_at(4);
+        prop_assert_eq!(v4.len() + 4, v5.len(), "the prefix is exactly one u32");
+        prop_assert_eq!(Request::decode_deadline_at(4, req.opcode(), &v4), Ok((req, 0)));
+    }
+
+    /// Truncating a v5 payload anywhere — inside the deadline prefix or
+    /// inside the body — never panics and never yields the original
+    /// `(request, deadline)` pair back.
+    #[test]
+    fn truncated_v5_requests_never_roundtrip(
+        req in arb_request(),
+        deadline in any::<u32>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut payload = Vec::new();
+        req.encode_payload_deadline_into(5, deadline, &mut payload);
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        if let Ok((shorter, d)) = Request::decode_deadline_at(5, req.opcode(), &payload[..cut]) {
+            prop_assert!(shorter != req || d != deadline, "truncation went unnoticed");
+        }
+    }
+
+    /// `Busy` / `Overloaded` round-trip at v5, reject every truncation of
+    /// their fixed four-byte payload, and are refused outright on v1–v4
+    /// connections (they are v5-only opcodes).
+    #[test]
+    fn shed_replies_are_v5_only(reply in arb_shed_reply(), version in 1u8..=4) {
+        let payload = reply.encode_payload_at(5);
+        prop_assert_eq!(Reply::decode_at(5, reply.opcode(), &payload), Ok(reply.clone()));
+        for cut in 0..payload.len() {
+            prop_assert!(Reply::decode_at(5, reply.opcode(), &payload[..cut]).is_err());
+        }
+        prop_assert_eq!(
+            Reply::decode_at(version, reply.opcode(), &payload),
             Err(WireError::BadValue("opcode"))
         );
     }

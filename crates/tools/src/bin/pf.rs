@@ -9,8 +9,9 @@
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
 //! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS]  # run an I/O-node daemon
-//! pf chaos   <listen> <up1[,up2,…]> <SPEC> [--duration SECS]  # fault-injecting proxy
+//! pf chaos   <listen> <up1[,up2,…]> <SPEC> [--duration SECS] [--delay MS]  # fault proxy
 //! pf io <a1,a2,…> demo <n> [--pipeline] [--replicas R]  # matrix scenario over real daemons
+//! pf io <a1,a2,…> work <reads> [--deadline MS] [--replicas R]  # deadline-bounded read workload
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
 //! pf io <a1,a2,…> fetch <file>           # reassembled length + CRC32C (read path)
 //! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
@@ -20,13 +21,16 @@
 //!
 //! A chaos SPEC is a bare seed (`42`, expanded deterministically into one
 //! failure scenario) or `family:seed` with family `drop`, `truncate`,
-//! `flush`, `kill`, or `torn`. `pf serve --chaos` injects server-side
-//! faults (flush failures, kills, torn scatter writes) and, when a crash
-//! fault fires, restarts the daemon on the same address with the crash
-//! disarmed — one seed, one crash, one recovery. `pf chaos` attacks the
-//! transport of an untouched daemon instead; with a comma-separated
-//! upstream list it runs one proxy per replica daemon and reports
-//! per-replica outcome counters at the end of a `--duration` window.
+//! `flush`, `kill`, `torn`, or `delay`. `pf serve --chaos` injects
+//! server-side faults (flush failures, kills, torn scatter writes) and,
+//! when a crash fault fires, restarts the daemon on the same address with
+//! the crash disarmed — one seed, one crash, one recovery. `pf chaos`
+//! attacks the transport of an untouched daemon instead; with a
+//! comma-separated upstream list it runs one proxy per replica daemon and
+//! reports per-replica outcome counters at the end of a `--duration`
+//! window. `pf chaos … --delay MS` holds every proxied frame back by a
+//! fixed latency — the deterministic "one slow replica" scenario hedged
+//! reads and circuit breakers (DESIGN.md §16) are demonstrated against.
 //!
 //! `pf serve --scrub SECS` arms the daemon-side detection loop: every
 //! interval the daemon re-verifies its stored checksums and surfaces
@@ -279,15 +283,24 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             let upstreams: Vec<String> =
                 args.get(2).ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
             let spec = args.get(3).ok_or_else(usage)?;
-            let plan = parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?;
-            let duration = match (args.get(4).map(String::as_str), args.get(5)) {
-                (None, _) => None,
-                (Some("--duration"), Some(secs)) => Some(
-                    secs.parse::<u64>()
-                        .map_err(|e| ToolError::Spec(format!("bad --duration: {e}")))?,
-                ),
-                _ => return Err(usage()),
-            };
+            let mut plan = parafile_net::FaultPlan::parse(spec).map_err(ToolError::Spec)?;
+            let mut duration = None;
+            let mut rest = args[4..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--duration" => {
+                        duration = Some(parse_u64(rest.next().ok_or_else(usage)?, "--duration")?);
+                    }
+                    // Hold back *every* frame by a fixed latency on top of
+                    // whatever the spec plans — the deterministic slow-node
+                    // knob the README quickstart drives hedged reads with.
+                    "--delay" => {
+                        let ms = parse_u64(rest.next().ok_or_else(usage)?, "--delay")?;
+                        plan.delay = Some((1, ms));
+                    }
+                    other => return Err(ToolError::Spec(format!("unknown flag {other:?}"))),
+                }
+            }
             if listens.len() > upstreams.len() {
                 return Err(ToolError::Spec(format!(
                     "{} listen address(es) for {} upstream(s)",
@@ -331,24 +344,34 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             // carried the fault.
             let mut fired = 0u64;
             let mut unexpected = 0u64;
+            let mut delayed = 0u64;
             for (i, proxy) in proxies.iter().enumerate() {
                 let outcome = proxy.outcome();
                 println!(
-                    "pf-chaos outcome[{i}] ({}): {} planned fault(s) fired, {} unexpected error(s)",
-                    upstreams[i], outcome.planned_faults, outcome.unexpected_errors
+                    "pf-chaos outcome[{i}] ({}): {} planned fault(s) fired, \
+                     {} unexpected error(s), {} delayed frame(s)",
+                    upstreams[i],
+                    outcome.planned_faults,
+                    outcome.unexpected_errors,
+                    outcome.injected_delays
                 );
                 fired += outcome.planned_faults;
                 unexpected += outcome.unexpected_errors;
+                delayed += outcome.injected_delays;
             }
             println!(
                 "pf-chaos outcome: {fired} planned fault(s) fired, \
-                 {unexpected} unexpected error(s) across {} replica(s)",
+                 {unexpected} unexpected error(s), {delayed} delayed frame(s) \
+                 across {} replica(s)",
                 proxies.len()
             );
             if unexpected > 0 {
                 std::process::exit(4);
             }
             if planned && fired == 0 {
+                std::process::exit(3);
+            }
+            if plan.delay.is_some() && delayed == 0 {
                 std::process::exit(3);
             }
             Ok(())
@@ -436,6 +459,96 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                         t_writes.as_secs_f64() * 1e3,
                         contents.len()
                     );
+                    Ok(())
+                }
+                // Deadline-bounded replicated read workload (DESIGN.md
+                // §16): write one deterministic file, then time `reads`
+                // whole-file reads under a fresh per-read deadline.
+                // Succeeds only when every read lands inside its budget
+                // with intact bytes; prints the hedge counter and each
+                // node's breaker history either way, so a chaos proxy
+                // holding one replica back (`pf chaos … --delay`) can be
+                // seen hiding behind the hedge instead of the deadline.
+                "work" => {
+                    use parafile_net::{BreakerState, Deadline};
+                    let reads = parse_u64(rest.get(2).ok_or_else(usage)?, "read count")?;
+                    let mut deadline_ms = 1_000u64;
+                    let mut it = rest[3..].iter();
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--deadline" => {
+                                deadline_ms =
+                                    parse_u64(it.next().ok_or_else(usage)?, "--deadline")?;
+                            }
+                            other => {
+                                return Err(ToolError::Spec(format!(
+                                    "unknown work flag {other:?}"
+                                )));
+                            }
+                        }
+                    }
+                    let nodes = addrs.len() as u64;
+                    let n = nodes * 16;
+                    let file = 1u64;
+                    let file_len = n * n;
+                    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, nodes);
+                    // One whole-file view: compute 0 sees every byte in
+                    // file order, so each read fans out to all subfiles.
+                    let whole = MatrixLayout::RowBlocks.partition(n, n, 1, 1);
+                    session.create_file(file, physical, file_len).map_err(net_err)?;
+                    session.set_view(0, file, &whole, 0).map_err(net_err)?;
+                    let data: Vec<u8> = (0..file_len).map(|x| (x % 251) as u8).collect();
+                    session.write(0, file, 0, file_len - 1, &data).map_err(net_err)?;
+
+                    let mut worst = std::time::Duration::ZERO;
+                    let mut states: Vec<BreakerState> =
+                        (0..addrs.len()).map(|s| session.breaker_state(s)).collect();
+                    let mut transitions = vec![0u64; addrs.len()];
+                    let mut digest = 0u32;
+                    for i in 0..reads {
+                        session.set_deadline(Deadline::within(std::time::Duration::from_millis(
+                            deadline_ms,
+                        )));
+                        let start = std::time::Instant::now();
+                        let bytes = session.read(0, file, 0, file_len - 1).map_err(|e| {
+                            ToolError::Spec(format!("read {i} failed under deadline: {e}"))
+                        })?;
+                        let took = start.elapsed();
+                        worst = worst.max(took);
+                        if took > std::time::Duration::from_millis(deadline_ms) {
+                            return Err(ToolError::Spec(format!(
+                                "read {i} missed the {deadline_ms} ms deadline \
+                                 ({:.1} ms)",
+                                took.as_secs_f64() * 1e3
+                            )));
+                        }
+                        if bytes != data {
+                            return Err(ToolError::Spec(format!("read {i} returned wrong bytes")));
+                        }
+                        digest = clusterfile::crc32c(&bytes);
+                        for (s, t) in transitions.iter_mut().enumerate() {
+                            let now = session.breaker_state(s);
+                            if now != states[s] {
+                                *t += 1;
+                                states[s] = now;
+                            }
+                        }
+                    }
+                    println!(
+                        "work ok: {reads} reads × {file_len} B over {} node(s) \
+                         (replicas {}) — worst {:.1} ms of {deadline_ms} ms budget, \
+                         crc32c {digest:08x}",
+                        addrs.len(),
+                        session.replicas(),
+                        worst.as_secs_f64() * 1e3,
+                    );
+                    println!("hedged reads: {}", session.hedged_reads());
+                    for (s, st) in states.iter().enumerate() {
+                        println!(
+                            "node {s} @ {}: breaker {st:?} ({} transition(s) observed)",
+                            addrs[s], transitions[s]
+                        );
+                    }
                     Ok(())
                 }
                 "stat" => {
