@@ -83,6 +83,11 @@ pub enum Code {
     /// PA045 — a `pa:allow(...)` waiver comment that suppressed nothing;
     /// stale waivers hide future regressions.
     StaleWaiver,
+    /// PA046 — a blocking call (`std::thread::sleep`, a blocking
+    /// `std::net` connect/accept, or a read-timeout dial) inside the
+    /// reactor or a reactor-driven state machine, where one blocked
+    /// thread stalls every multiplexed connection behind it.
+    BlockingInReactor,
 }
 
 impl Code {
@@ -110,6 +115,7 @@ impl Code {
             Code::LockOrderViolation => "PA043",
             Code::MissingMustUse => "PA044",
             Code::StaleWaiver => "PA045",
+            Code::BlockingInReactor => "PA046",
         }
     }
 
@@ -307,6 +313,7 @@ mod tests {
             Code::LockOrderViolation,
             Code::MissingMustUse,
             Code::StaleWaiver,
+            Code::BlockingInReactor,
         ];
         let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

@@ -22,6 +22,12 @@
 //! * **PA045** — a `// pa:allow(PAxxx)` waiver that suppresses nothing
 //!   is stale and warns, so waivers cannot silently outlive the code
 //!   they excused.
+//! * **PA046** — no blocking calls (`thread::sleep`, blocking `std::net`
+//!   connects, read/write-timeout dials) inside the reactor or
+//!   reactor-driven state machines: the event loop multiplexes every
+//!   connection over a few threads, so one blocked thread stalls them
+//!   all. Deliberate off-loop blocking (e.g. a connect helper thread)
+//!   carries a `pa:allow(PA046)` waiver.
 //!
 //! The pass is deliberately token-level (comments and string literals
 //! are stripped, `#[cfg(test)]` modules are skipped), not a full parse:
@@ -46,14 +52,19 @@ pub struct SourceConfig {
     pub lock_order: Vec<String>,
     /// Files requiring `#[must_use]` coverage: PA044 applies.
     pub must_use_files: Vec<String>,
+    /// Reactor and reactor-driven state-machine files: PA046 bans
+    /// blocking calls (`thread::sleep`, blocking `std::net` connects,
+    /// read/write-timeout dials) that would stall the event loop.
+    pub reactor_files: Vec<String>,
 }
 
 impl SourceConfig {
     /// The workspace's canonical configuration: the daemon/session/client
     /// request paths, the write-ahead journal, and the replication layer
     /// (replica placement math, per-segment checksum map) are hot,
-    /// session worker queues are bounded-only, and the daemon's lock
-    /// order is `files < store < journal < sums < dedup`.
+    /// session worker queues are bounded-only, the daemon's lock
+    /// order is `files < store < journal < sums < dedup`, and the
+    /// reactor, mux transport, and reactor daemon are blocking-free.
     #[must_use]
     pub fn parafile_defaults() -> Self {
         let own = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect();
@@ -70,6 +81,13 @@ impl SourceConfig {
             bounded_only: own(&["net/src/session.rs"]),
             lock_order: own(&["files", "store", "journal", "sums", "dedup"]),
             must_use_files: own(&["net/src/proto.rs", "replica/src/lib.rs"]),
+            reactor_files: own(&[
+                "net/src/reactor/mod.rs",
+                "net/src/reactor/sys.rs",
+                "net/src/reactor/wheel.rs",
+                "net/src/mux.rs",
+                "net/src/server/reactor_daemon.rs",
+            ]),
         }
     }
 
@@ -242,6 +260,7 @@ pub fn audit_source(path: &str, text: &str, cfg: &SourceConfig) -> AuditReport {
     let hot = SourceConfig::applies(&cfg.hot_paths, path);
     let bounded = SourceConfig::applies(&cfg.bounded_only, path);
     let must_use = SourceConfig::applies(&cfg.must_use_files, path);
+    let reactor = SourceConfig::applies(&cfg.reactor_files, path);
 
     // Held lock guards: (brace depth at acquisition, rank, binding name).
     let mut held: Vec<(i64, usize, String)> = Vec::new();
@@ -272,6 +291,27 @@ pub fn audit_source(path: &str, text: &str, cfg: &SourceConfig) -> AuditReport {
                         code: Code::PanicOnHotPath,
                         message: format!(
                             "{path}:{lineno}: `{needle}..)` on a hot path; answer a typed error instead of aborting"
+                        ),
+                    });
+                }
+            }
+        }
+        if reactor {
+            for needle in [
+                "thread::sleep",
+                "TcpStream::connect",
+                "UnixStream::connect",
+                "NetStream::connect",
+                ".set_read_timeout(",
+                ".set_write_timeout(",
+            ] {
+                if line.contains(needle) {
+                    findings.push(Finding {
+                        line: lineno,
+                        code: Code::BlockingInReactor,
+                        message: format!(
+                            "{path}:{lineno}: blocking `{needle}` inside reactor-driven code; \
+                             one blocked thread stalls every connection multiplexed behind it"
                         ),
                     });
                 }
@@ -566,6 +606,33 @@ fn f(slot: &Slot) {
         let result = "pub fn accept(&mut self) -> Result<Progress, Violation> {\n";
         let r = run("crates/net/src/proto.rs", result);
         assert!(!r.has_code(Code::MissingMustUse), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pa046_fires_on_blocking_calls_in_reactor_files_only() {
+        for needle in
+            ["std::thread::sleep(d);", "let s = TcpStream::connect(a);", "s.set_read_timeout(t);"]
+        {
+            let fire = run("crates/net/src/mux.rs", &format!("fn f() {{ {needle} }}\n"));
+            assert!(fire.has_code(Code::BlockingInReactor), "{needle}: {:?}", fire.diagnostics);
+        }
+        // The same tokens outside the reactor file set are fine: the
+        // legacy thread-per-connection client blocks by design.
+        let elsewhere = run("crates/net/src/client.rs", "fn f() { thread::sleep(d); }\n");
+        assert!(!elsewhere.has_code(Code::BlockingInReactor), "{:?}", elsewhere.diagnostics);
+        // Test modules inside reactor files are exempt.
+        let tests = run(
+            "crates/net/src/reactor/mod.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(d); }\n}\n",
+        );
+        assert!(!tests.has_code(Code::BlockingInReactor), "{:?}", tests.diagnostics);
+        // A deliberate off-loop blocking call is waivable.
+        let waived = run(
+            "crates/net/src/mux.rs",
+            "fn f() {\n    // pa:allow(PA046)\n    let s = NetStream::connect(&addr);\n}\n",
+        );
+        assert!(!waived.has_code(Code::BlockingInReactor), "{:?}", waived.diagnostics);
+        assert!(!waived.has_code(Code::StaleWaiver), "{:?}", waived.diagnostics);
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use fs::{Clusterfile, ClusterfileConfig, FileId, WritePolicy};
 pub use journal::{crc32, IntentRecord, Journal, RecoveryReport};
 pub use relayout::{relayout, relayout_cost, RelayoutReport};
 pub use scenario::{PaperScenario, ScenarioResult};
-pub use storage::{StorageBackend, SubfileStore};
+pub use storage::{coalesce_runs, BatchOp, Cqe, IoBatch, StorageBackend, SubfileStore};
 pub use timing::{IoTimings, ViewSetTimings, WriteTimings};

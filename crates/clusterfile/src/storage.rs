@@ -10,9 +10,14 @@
 //! recoverable condition for a daemon (it answers with a `Nack`), not an
 //! abort. File-backed stores use positioned I/O (`pread`/`pwrite` via
 //! [`std::os::unix::fs::FileExt`] on unix, a seek fallback elsewhere) so
-//! concurrent readers never race a shared cursor, and the [`scatter`] /
-//! [`gather`] entry points coalesce adjacent segment runs into single
-//! syscalls.
+//! concurrent readers never race a shared cursor.
+//!
+//! The [`scatter`] / [`gather`] entry points coalesce adjacent segment
+//! runs into a run table of [`BatchOp`] entries and submit the whole
+//! table at once through the [`IoBatch`] trait — an io_uring-shaped
+//! queue/submit interface whose portable backend issues one `FileExt`
+//! positioned syscall per entry. A ring-backed implementation can slot in
+//! behind the same submission shape without touching the callers.
 //!
 //! [`scatter`]: SubfileStore::scatter
 //! [`gather`]: SubfileStore::gather
@@ -51,6 +56,128 @@ pub enum SubfileStore {
         /// Path of the backing file.
         path: PathBuf,
     },
+}
+
+/// One submission entry in a positioned-I/O batch.
+///
+/// Entries are offset/length descriptors, not borrowed buffers: writes
+/// slice a shared payload by `(src, len)` the way a ring submission
+/// references a registered buffer, so a run table is plain data that can
+/// be built once and handed to any [`IoBatch`] backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Write `payload[src..src + len]` at store byte `offset`.
+    Write {
+        /// Store byte offset the run lands at.
+        offset: u64,
+        /// Start of the run's bytes inside the shared payload.
+        src: usize,
+        /// Run length in bytes.
+        len: usize,
+    },
+    /// Read `len` bytes at store byte `offset`, appending them to the
+    /// batch's output buffer in submission order.
+    Read {
+        /// Store byte offset the run starts at.
+        offset: u64,
+        /// Run length in bytes.
+        len: u64,
+    },
+}
+
+/// One completion: the submitted entry's index and the bytes it moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// Index of the completed entry in the submitted run table.
+    pub index: usize,
+    /// Bytes written or read by that entry.
+    pub bytes: u64,
+}
+
+/// io_uring-shaped batch submission: the caller queues a run table of
+/// positioned operations and submits them all at once, receiving one
+/// completion per entry.
+///
+/// Entries complete in submission order. The first failing entry aborts
+/// the submission: earlier entries have already reached the store, the
+/// failing and later ones produce no completions, and read bytes
+/// appended to `out` by the failing entry are rolled back (earlier
+/// entries' bytes stay). The portable backend issues one positioned
+/// syscall per entry; the shape leaves room for a backend that stages
+/// the whole table into a real submission ring.
+pub trait IoBatch {
+    /// Submits `ops` against the backing storage. Writes pull their bytes
+    /// from `payload`; reads append theirs to `out`. Returns one [`Cqe`]
+    /// per completed entry, in submission order.
+    fn submit_batch(
+        &mut self,
+        ops: &[BatchOp],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> io::Result<Vec<Cqe>>;
+}
+
+/// Folds ordered `(offset, len)` runs into a coalesced [`BatchOp`] run
+/// table: adjacent runs (`offset_a + len_a == offset_b`) merge into one
+/// entry. `writes` selects write entries (consuming a payload left to
+/// right) or read entries. Zero-length runs still participate in
+/// coalescing but never force a syscall of their own.
+pub fn coalesce_runs<I>(runs: I, writes: bool) -> Vec<BatchOp>
+where
+    I: IntoIterator<Item = (u64, u64)>,
+{
+    let mut table: Vec<BatchOp> = Vec::new();
+    let mut pos: usize = 0;
+    for (offset, len) in runs {
+        match table.last_mut() {
+            Some(BatchOp::Write { offset: off0, len: acc, .. })
+                if writes && *off0 + *acc as u64 == offset =>
+            {
+                *acc += len as usize;
+            }
+            Some(BatchOp::Read { offset: off0, len: acc }) if !writes && *off0 + *acc == offset => {
+                *acc += len;
+            }
+            _ => table.push(if writes {
+                BatchOp::Write { offset, src: pos, len: len as usize }
+            } else {
+                BatchOp::Read { offset, len }
+            }),
+        }
+        pos += len as usize;
+    }
+    table
+}
+
+impl IoBatch for SubfileStore {
+    fn submit_batch(
+        &mut self,
+        ops: &[BatchOp],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> io::Result<Vec<Cqe>> {
+        let mut cqes = Vec::with_capacity(ops.len());
+        for (index, op) in ops.iter().enumerate() {
+            let bytes = match *op {
+                BatchOp::Write { offset, src, len } => {
+                    let data = payload.get(src..src + len).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "batch write entry reaches past its payload",
+                        )
+                    })?;
+                    self.write_at(offset, data)?;
+                    len as u64
+                }
+                BatchOp::Read { offset, len } => {
+                    self.gather_one(offset, len, out)?;
+                    len
+                }
+            };
+            cqes.push(Cqe { index, bytes });
+        }
+        Ok(cqes)
+    }
 }
 
 fn out_of_range(what: &str, offset: u64, len: u64, store_len: u64) -> io::Error {
@@ -232,63 +359,42 @@ impl SubfileStore {
 
     /// Scatters a contiguous `payload` across `(offset, len)` runs, in
     /// order, coalescing adjacent runs (`offset_a + len_a == offset_b`)
-    /// into single positioned writes. The payload is consumed left to
-    /// right; it must cover every run. Returns the bytes written.
+    /// into a run table submitted as one [`IoBatch`] of positioned
+    /// writes. The payload is consumed left to right; it must cover every
+    /// run. Returns the bytes written.
     pub fn scatter<I>(&mut self, runs: I, payload: &[u8]) -> io::Result<u64>
     where
         I: IntoIterator<Item = (u64, u64)>,
     {
-        let mut pos: usize = 0;
-        // Pending coalesced run: store offset + payload start + length.
-        let mut pending: Option<(u64, usize, usize)> = None;
-        for (offset, len) in runs {
-            let n = len as usize;
-            if payload.len() - pos < n {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "scatter payload shorter than its segment runs",
-                ));
-            }
-            match pending {
-                Some((off0, start, acc)) if off0 + acc as u64 == offset => {
-                    pending = Some((off0, start, acc + n));
-                }
-                Some((off0, start, acc)) => {
-                    self.write_at(off0, &payload[start..start + acc])?;
-                    pending = Some((offset, pos, n));
-                }
-                None => pending = Some((offset, pos, n)),
-            }
-            pos += n;
+        let table = coalesce_runs(runs, true);
+        let total: usize = table
+            .iter()
+            .map(|op| match op {
+                BatchOp::Write { len, .. } => *len,
+                BatchOp::Read { .. } => 0,
+            })
+            .sum();
+        if total > payload.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "scatter payload shorter than its segment runs",
+            ));
         }
-        if let Some((off0, start, acc)) = pending {
-            self.write_at(off0, &payload[start..start + acc])?;
-        }
-        Ok(pos as u64)
+        let mut sink = Vec::new();
+        self.submit_batch(&table, payload, &mut sink)?;
+        Ok(total as u64)
     }
 
     /// Gathers `(offset, len)` runs, in order, appending the bytes to
-    /// `out`; adjacent runs are coalesced into single positioned reads.
-    /// Returns the bytes appended.
+    /// `out`; adjacent runs are coalesced into a run table submitted as
+    /// one [`IoBatch`] of positioned reads. Returns the bytes appended.
     pub fn gather<I>(&mut self, runs: I, out: &mut Vec<u8>) -> io::Result<u64>
     where
         I: IntoIterator<Item = (u64, u64)>,
     {
         let base = out.len();
-        let mut pending: Option<(u64, u64)> = None;
-        for (offset, len) in runs {
-            match pending {
-                Some((off0, acc)) if off0 + acc == offset => pending = Some((off0, acc + len)),
-                Some((off0, acc)) => {
-                    self.gather_one(off0, acc, out)?;
-                    pending = Some((offset, len));
-                }
-                None => pending = Some((offset, len)),
-            }
-        }
-        if let Some((off0, acc)) = pending {
-            self.gather_one(off0, acc, out)?;
-        }
+        let table = coalesce_runs(runs, false);
+        self.submit_batch(&table, &[], out)?;
         Ok((out.len() - base) as u64)
     }
 
@@ -369,6 +475,69 @@ mod tests {
         assert_eq!(out, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
         // Short payload is an error and applies nothing past the runs it covers.
         assert!(s.scatter([(0, 8)], &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn coalesce_builds_minimal_run_tables() {
+        // Adjacent write runs merge and keep payload slices contiguous.
+        let w = coalesce_runs([(0, 4), (4, 4), (16, 4)], true);
+        assert_eq!(
+            w,
+            vec![
+                BatchOp::Write { offset: 0, src: 0, len: 8 },
+                BatchOp::Write { offset: 16, src: 8, len: 4 },
+            ]
+        );
+        // Same geometry as reads.
+        let r = coalesce_runs([(0, 4), (4, 4), (16, 4)], false);
+        assert_eq!(
+            r,
+            vec![BatchOp::Read { offset: 0, len: 8 }, BatchOp::Read { offset: 16, len: 4 }]
+        );
+        // Non-adjacent runs (gap, or out of order) stay separate entries.
+        assert_eq!(coalesce_runs([(8, 4), (0, 4)], false).len(), 2);
+        assert!(coalesce_runs(std::iter::empty(), true).is_empty());
+    }
+
+    #[test]
+    fn mixed_batch_submits_in_order_with_one_cqe_per_entry() {
+        let mut s = SubfileStore::create(&StorageBackend::Memory, 0, 0, 16).unwrap();
+        s.write_at(8, &[9; 4]).unwrap();
+        // A single submission carrying writes and a read-back of bytes the
+        // store already held: completions arrive in submission order.
+        let ops = [
+            BatchOp::Write { offset: 0, src: 0, len: 4 },
+            BatchOp::Read { offset: 8, len: 4 },
+            BatchOp::Write { offset: 12, src: 4, len: 2 },
+        ];
+        let mut out = Vec::new();
+        let cqes = s.submit_batch(&ops, &[1, 2, 3, 4, 5, 6], &mut out).unwrap();
+        assert_eq!(
+            cqes,
+            vec![
+                Cqe { index: 0, bytes: 4 },
+                Cqe { index: 1, bytes: 4 },
+                Cqe { index: 2, bytes: 2 },
+            ]
+        );
+        assert_eq!(out, vec![9; 4]);
+        assert_eq!(s.read_at(0, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(s.read_at(12, 2).unwrap(), vec![5, 6]);
+    }
+
+    #[test]
+    fn failing_entry_aborts_the_batch_and_rolls_back_its_read_bytes() {
+        let mut s = SubfileStore::create(&StorageBackend::Memory, 0, 0, 8).unwrap();
+        s.write_at(0, &[5; 8]).unwrap();
+        // Entry 0 lands, entry 1 is out of range: the error surfaces, the
+        // first entry's bytes stay in `out`, the failing entry's do not.
+        let ops = [BatchOp::Read { offset: 0, len: 4 }, BatchOp::Read { offset: 6, len: 4 }];
+        let mut out = Vec::new();
+        assert!(s.submit_batch(&ops, &[], &mut out).is_err());
+        assert_eq!(out, vec![5; 4]);
+        // A write entry whose slice reaches past the payload is rejected.
+        let ops = [BatchOp::Write { offset: 0, src: 2, len: 4 }];
+        assert!(s.submit_batch(&ops, &[0; 4], &mut out).is_err());
     }
 
     #[test]

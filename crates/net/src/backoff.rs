@@ -40,13 +40,21 @@ impl Backoff {
         self.next
     }
 
+    /// Draws the next jittered interval in `[delay/2, delay]` and doubles
+    /// the delay (capped at the maximum) — the non-blocking face of the
+    /// schedule, used by timer-wheel drivers that park a request instead
+    /// of parking a thread.
+    pub fn next_delay(&mut self) -> Duration {
+        let nanos = self.next.as_nanos() as u64;
+        let jittered = nanos / 2 + self.rng.next_u64() % (nanos / 2 + 1);
+        self.next = (self.next * 2).min(self.max);
+        Duration::from_nanos(jittered)
+    }
+
     /// Sleeps a jittered interval in `[delay/2, delay]`, then doubles the
     /// delay (capped at the maximum).
     pub fn sleep(&mut self) {
-        let nanos = self.next.as_nanos() as u64;
-        let jittered = nanos / 2 + self.rng.next_u64() % (nanos / 2 + 1);
-        std::thread::sleep(Duration::from_nanos(jittered));
-        self.next = (self.next * 2).min(self.max);
+        std::thread::sleep(self.next_delay());
     }
 
     /// Drops the schedule back to the base delay. The jitter stream is

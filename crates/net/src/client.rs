@@ -141,13 +141,13 @@ impl NodeClient {
     }
 
     /// Parses `PF_NET_CHUNK` (bytes; `0` disables chunking).
-    fn env_chunk() -> Option<u32> {
+    pub(crate) fn env_chunk() -> Option<u32> {
         std::env::var("PF_NET_CHUNK").ok().and_then(|v| v.trim().parse().ok())
     }
 
     /// FNV-1a over the address: the jitter seed that desynchronizes
     /// same-process clients of different daemons.
-    fn addr_seed(addr: &str) -> u64 {
+    pub(crate) fn addr_seed(addr: &str) -> u64 {
         addr.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
         })

@@ -18,14 +18,19 @@
 //! versioned header and request ids; redistribution stays segment-granular
 //! on the wire. See DESIGN.md §10 for the full specification.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's syscall shim
+// (`reactor::sys`) carries the crate's only scoped `#[allow(unsafe_code)]`
+// for its FFI readiness calls; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod mux;
 pub mod proto;
+pub mod reactor;
 pub mod resilience;
 pub mod server;
 pub mod session;
@@ -38,6 +43,7 @@ pub use fault::{
     chaos_proxy, ChaosOutcome, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault,
 };
 pub use proto::{ChunkHeader, ChunkPlan, ChunkSender, Negotiation, ProtoViolation, WriteStream};
+pub use reactor::{Clock, ManualClock, MonotonicClock, Reactor, TimerId, TimerWheel};
 pub use resilience::{
     Admission, BreakerCore, BreakerState, CircuitBreaker, Deadline, LatencyTracker, RetryBudget,
 };

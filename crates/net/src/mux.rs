@@ -1,0 +1,1443 @@
+//! Multiplexed session transport: one reactor thread drives every node.
+//!
+//! The session used to dedicate a worker thread (plus a bounded queue) to
+//! each I/O node; a fan-out across N nodes cost N parked threads and each
+//! connection carried at most one request at a time. This module replaces
+//! that with a single driver thread owning a [`Reactor`]: every warm node
+//! connection is registered non-blocking under its node index, requests
+//! are pipelined — many in flight per connection, replies matched FIFO by
+//! request id — and all timing (retry backoff, shed hints, response
+//! timeouts) runs on the reactor's [`TimerWheel`] instead of parked
+//! threads (DESIGN.md §17).
+//!
+//! The per-request state machine reproduces `NodeClient::call`'s retry
+//! ladder: capped-jittered backoff spending from the session
+//! [`RetryBudget`], deadline vetoes before every (re)send, a request that
+//! dies on a fresh connection resetting its backoff, `Busy`/`Overloaded`
+//! sheds retried after their hinted delay, transparent
+//! `UnsupportedVersion` downgrade (guarded so a burst of pipelined
+//! rejections downgrades once), the one-time `Ping` capability probe, and
+//! chunked `WriteChunk` streams with windowed acks and `ResumeQuery`
+//! fast-forward. One deliberate simplification: reads are sent
+//! monolithically (no `ReadChunk` reassembly) — correctness-identical,
+//! bounded by the same frame cap as `Fetch`.
+//!
+//! Ordering: the old workers serialized each node's requests end-to-end;
+//! the mux pipelines them but *stalls the queue* whenever the head request
+//! is parked for a retry, so cross-request reordering is confined to
+//! requests already on the wire when a connection fails — DESIGN.md §17
+//! argues why the session's invariants tolerate that window.
+
+use crate::backoff::Backoff;
+use crate::client::{NodeClient, RetryPolicy, CHUNK_WINDOW};
+use crate::error::{ErrCode, NetError, ProtocolError};
+use crate::proto::{ChunkSender, Negotiation};
+use crate::reactor::{Clock, Event, Interest, MonotonicClock, Reactor, TimerId, TimerWheel, Waker};
+use crate::resilience::{Deadline, RetryBudget};
+use crate::server::NetStream;
+use crate::wire::{
+    self, Reply, Request, DEFAULT_MAX_FRAME, HEADER_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a sent request may wait for its reply before the connection
+/// is declared dead (mirrors the old per-connection 30 s read timeout).
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The receive half a submitter blocks on: the same shape the session's
+/// collectors always consumed (capacity-1 channel, one terminal result).
+pub type ReplySlot = Receiver<Result<Reply, NetError>>;
+
+/// The error surfaced when the driver thread is gone (spawn failure,
+/// panic, or shutdown) — the transport-level analogue of the old "worker
+/// thread panicked".
+pub(crate) fn mux_lost(node: usize) -> NetError {
+    NetError::Io(std::io::Error::other(format!("node {node} transport driver is gone")))
+}
+
+fn deadline_error() -> NetError {
+    NetError::Protocol(ProtocolError::new(
+        ErrCode::DeadlineExceeded,
+        "deadline expired on the client before the request could be (re)sent",
+    ))
+}
+
+/// Rounds a duration up to whole milliseconds (so sub-ms waits stay waits).
+fn dur_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(u64::from(!d.is_zero()))
+}
+
+// ---------------------------------------------------------------------------
+// Session-facing handle
+
+/// One submitted request on its way to the driver.
+struct Job {
+    node: usize,
+    request: Request,
+    tx: SyncSender<Result<Reply, NetError>>,
+}
+
+/// State shared between the session-facing handle and the driver thread.
+struct Control {
+    jobs: VecDeque<Job>,
+    /// Results of blocking connects performed on helper threads.
+    connected: Vec<(usize, std::io::Result<NetStream>)>,
+    /// Nodes whose warm connection the session wants torn down.
+    resets: Vec<usize>,
+    deadline: Deadline,
+}
+
+struct MuxShared {
+    control: Mutex<Control>,
+    stopping: AtomicBool,
+    /// Set when the driver thread has exited (cleanly or by panic):
+    /// submits fail fast instead of queueing into the void.
+    dead: AtomicBool,
+    /// Per-node fault hooks: the next job for an armed node fails with an
+    /// I/O error and resets the connection (test stand-in for the old
+    /// worker-thread `panic_next`).
+    kill_next: Vec<AtomicBool>,
+    budget: Arc<RetryBudget>,
+    waker: Option<Waker>,
+}
+
+impl MuxShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Control> {
+        self.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wake(&self) {
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+    }
+}
+
+/// Clears the driver's shared state when its thread exits for any reason
+/// (including a panic), so submitters see a disconnect instead of
+/// blocking on a slot nobody will fill.
+struct DriverFinalizer {
+    shared: Arc<MuxShared>,
+}
+
+impl Drop for DriverFinalizer {
+    fn drop(&mut self) {
+        self.shared.dead.store(true, Ordering::SeqCst);
+        let mut ctl = self.shared.lock();
+        ctl.jobs.clear(); // dropping each Job's tx disconnects its ReplySlot
+        ctl.connected.clear();
+        ctl.resets.clear();
+    }
+}
+
+/// The multiplexed transport: submit requests for any node, collect each
+/// reply from its [`ReplySlot`]. One instance serves a whole session.
+pub struct Mux {
+    shared: Arc<MuxShared>,
+    driver: Option<JoinHandle<()>>,
+}
+
+impl Mux {
+    /// Spawns the driver thread for `addrs` (index = node number). If the
+    /// reactor cannot be built the mux comes up dead and every submit
+    /// fails with an I/O error — the session's failover paths treat that
+    /// like any unreachable transport.
+    #[must_use]
+    pub fn new(addrs: &[String], budget: Arc<RetryBudget>) -> Self {
+        let mut shared = MuxShared {
+            control: Mutex::new(Control {
+                jobs: VecDeque::new(),
+                connected: Vec::new(),
+                resets: Vec::new(),
+                deadline: Deadline::none(),
+            }),
+            stopping: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            kill_next: addrs.iter().map(|_| AtomicBool::new(false)).collect(),
+            budget,
+            waker: None,
+        };
+        let reactor = Reactor::new().ok();
+        if let Some(r) = &reactor {
+            shared.waker = Some(r.waker());
+        }
+        let shared = Arc::new(shared);
+        let driver = reactor.and_then(|reactor| {
+            let sh = Arc::clone(&shared);
+            let addrs = addrs.to_vec();
+            std::thread::Builder::new()
+                .name("pf-mux".into())
+                .spawn(move || {
+                    let _finalizer = DriverFinalizer { shared: Arc::clone(&sh) };
+                    Driver::new(sh, reactor, addrs).run();
+                })
+                .ok()
+        });
+        if driver.is_none() {
+            shared.dead.store(true, Ordering::SeqCst);
+        }
+        Mux { shared, driver }
+    }
+
+    /// Queues `request` for `node`, returning the slot its single
+    /// terminal result will arrive on. Never blocks: in-flight depth is
+    /// bounded by the daemon's admission control, not a client queue.
+    pub fn submit(&self, node: usize, request: Request) -> Result<ReplySlot, NetError> {
+        if self.shared.dead.load(Ordering::SeqCst) || self.shared.stopping.load(Ordering::SeqCst) {
+            return Err(mux_lost(node));
+        }
+        if node >= self.shared.kill_next.len() {
+            return Err(NetError::Usage(format!("node {node} out of range")));
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.shared.lock().jobs.push_back(Job { node, request, tx });
+        self.shared.wake();
+        Ok(rx)
+    }
+
+    /// Propagates the session deadline: vetoes future (re)sends and
+    /// clamps in-flight response timeouts, like the per-client deadline.
+    pub fn set_deadline(&self, deadline: Deadline) {
+        self.shared.lock().deadline = deadline;
+        self.shared.wake();
+    }
+
+    /// Drops `node`'s warm connection; in-flight requests ride the
+    /// normal connection-failure retry ladder.
+    pub fn reset_node(&self, node: usize) {
+        if node < self.shared.kill_next.len() {
+            self.shared.lock().resets.push(node);
+            self.shared.wake();
+        }
+    }
+
+    /// Arms a one-shot fault: the next request submitted for `node` fails
+    /// with an I/O error and the node's connection is reset. Test hook,
+    /// successor of the worker-thread `panic_next` flag.
+    pub fn arm_kill(&self, node: usize) {
+        if let Some(flag) = self.shared.kill_next.get(node) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the driver thread is still alive.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        !self.shared.dead.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Mux {
+    fn drop(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.wake();
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side state
+
+/// Why a frame was sent: decides how its reply (or its loss) is handled.
+enum Kind {
+    /// An ordinary submitted request; its terminal result settles a slot.
+    Plain,
+    /// The one-time `Ping` capability probe; stalls the queue until
+    /// answered, failures land on the queue head that wanted it.
+    Probe,
+    /// A `ResumeQuery` for the active write stream.
+    Resume,
+    /// One `WriteChunk` of the active write stream.
+    Chunk {
+        /// Whether this chunk closes the stream (answered by `WriteOk`).
+        last: bool,
+    },
+}
+
+/// One request the driver owes an answer for (queued or on the wire).
+struct Pending {
+    serial: u64,
+    request: Request,
+    tx: Option<SyncSender<Result<Reply, NetError>>>,
+    kind: Kind,
+    /// Attempts consumed so far; the request fails at `attempts_max`.
+    attempt: u32,
+    attempts_max: u32,
+    backoff: Backoff,
+    sent_id: u64,
+    sent_version: u8,
+    expire: Option<TimerId>,
+}
+
+impl Pending {
+    /// An internal frame (probe / resume / chunk): no slot, no retries of
+    /// its own — failures are charged to the request it serves.
+    fn internal(serial: u64, request: Request, kind: Kind, backoff: Backoff) -> Self {
+        Pending {
+            serial,
+            request,
+            tx: None,
+            kind,
+            attempt: 0,
+            attempts_max: 1,
+            backoff,
+            sent_id: 0,
+            sent_version: 0,
+            expire: None,
+        }
+    }
+}
+
+/// Settles a pending's terminal result and cancels its response timer.
+fn settle(wheel: &mut TimerWheel<Timed>, mut p: Pending, result: Result<Reply, NetError>) {
+    if let Some(t) = p.expire.take() {
+        let _ = wheel.cancel(t);
+    }
+    if let Some(tx) = p.tx.take() {
+        let _ = tx.send(result); // a dropped slot is a caller that stopped caring
+    }
+}
+
+/// An in-progress chunked write: owns the head request while its chunks
+/// stream; the queue stalls behind it (one stream per connection).
+struct StreamState {
+    req: Pending,
+    /// `None` while the `ResumeQuery` round-trip is outstanding.
+    sender: Option<ChunkSender>,
+    /// Whole chunks fast-forwarded past by a `ResumeAt` answer.
+    skip: u64,
+    chunk: usize,
+    total: u64,
+    n_chunks: u64,
+}
+
+enum ConnState {
+    Idle,
+    /// A helper thread is running the blocking connect.
+    Connecting,
+    Ready(NetStream),
+}
+
+/// Everything the driver tracks per node.
+struct NodeMux {
+    addr: String,
+    seed: u64,
+    conn: ConnState,
+    /// True until the connection delivers its first reply — a request
+    /// dying on a fresh connection resets its backoff (the peer is back;
+    /// the widened schedule is stale).
+    fresh: bool,
+    negotiation: Negotiation,
+    peer_max_chunk: Option<u32>,
+    chunk_override: Option<u32>,
+    resume_candidate: Option<(u64, u64)>,
+    probe_inflight: bool,
+    next_id: u64,
+    max_frame: u32,
+    /// Not yet on the wire, head first.
+    queue: VecDeque<Pending>,
+    /// On the wire awaiting replies, FIFO — the daemon answers in order.
+    inflight: VecDeque<Pending>,
+    stream: Option<StreamState>,
+    /// `Some(epoch)` while the queue is parked for a retry/backoff wait;
+    /// the matching `Resend` timer un-parks it.
+    park: Option<u64>,
+    park_seq: u64,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wstart: usize,
+    interest: Interest,
+    scratch: Vec<u8>,
+}
+
+impl NodeMux {
+    fn new(addr: String) -> Self {
+        let seed = NodeClient::addr_seed(&addr);
+        NodeMux {
+            addr,
+            seed,
+            conn: ConnState::Idle,
+            fresh: true,
+            negotiation: Negotiation::new(),
+            peer_max_chunk: None,
+            chunk_override: NodeClient::env_chunk(),
+            resume_candidate: None,
+            probe_inflight: false,
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+            queue: VecDeque::new(),
+            inflight: VecDeque::new(),
+            stream: None,
+            park: None,
+            park_seq: 0,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wstart: 0,
+            interest: Interest::READ,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The chunk data size to use against this peer right now (`0` =
+    /// send monolithic) — same derivation as `NodeClient`.
+    fn effective_chunk(&self) -> u32 {
+        if !self.negotiation.supports_chunking() || self.chunk_override == Some(0) {
+            return 0;
+        }
+        let cap = self.peer_max_chunk.unwrap_or(0);
+        if cap == 0 {
+            return 0;
+        }
+        let want = self.chunk_override.unwrap_or(cap).min(cap);
+        want.clamp(1, self.max_frame.saturating_sub(64).max(1))
+    }
+
+    fn pending_bytes(&self) -> usize {
+        self.wbuf.len() - self.wstart
+    }
+}
+
+/// Timer payloads.
+enum Timed {
+    /// Un-park `node`'s queue (retry backoff or shed hint elapsed).
+    Resend { node: usize, epoch: u64 },
+    /// A sent request ran out of response time.
+    Expire { node: usize, serial: u64 },
+}
+
+/// What `pump` decided to do next for a node.
+enum Act {
+    Done,
+    Connect,
+    Stream,
+    Probe,
+    StartStream(usize),
+    SendHead,
+    DropExpiredHead,
+}
+
+struct Driver {
+    shared: Arc<MuxShared>,
+    reactor: Reactor,
+    clock: MonotonicClock,
+    wheel: TimerWheel<Timed>,
+    nodes: Vec<NodeMux>,
+    deadline: Deadline,
+    policy: RetryPolicy,
+    serial: u64,
+}
+
+impl Driver {
+    fn new(shared: Arc<MuxShared>, reactor: Reactor, addrs: Vec<String>) -> Self {
+        Driver {
+            shared,
+            reactor,
+            clock: MonotonicClock::new(),
+            wheel: TimerWheel::new(),
+            nodes: addrs.into_iter().map(NodeMux::new).collect(),
+            deadline: Deadline::none(),
+            policy: RetryPolicy::default(),
+            serial: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            let timeout = self.wheel.until_next(self.clock.now_ms()).map(Duration::from_millis);
+            if self.reactor.poll(&mut events, timeout).is_err() {
+                self.fail_all("reactor poll failed");
+                return;
+            }
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            self.intake();
+            let ready = std::mem::take(&mut events);
+            for ev in &ready {
+                let n = ev.token;
+                if n >= self.nodes.len() {
+                    continue;
+                }
+                if ev.readable || ev.error {
+                    self.on_readable(n);
+                }
+                if ev.writable {
+                    self.flush_node(n);
+                }
+            }
+            events = ready;
+            self.fire_timers();
+        }
+    }
+
+    fn next_serial(&mut self) -> u64 {
+        self.serial += 1;
+        self.serial
+    }
+
+    /// Drains the control queues: new jobs, connect results, resets, and
+    /// the current deadline snapshot.
+    fn intake(&mut self) {
+        let (jobs, connected, resets, deadline) = {
+            let mut ctl = self.shared.lock();
+            (
+                std::mem::take(&mut ctl.jobs),
+                std::mem::take(&mut ctl.connected),
+                std::mem::take(&mut ctl.resets),
+                ctl.deadline,
+            )
+        };
+        self.deadline = deadline;
+        for (n, result) in connected {
+            self.on_connected(n, result);
+        }
+        for n in resets {
+            if n < self.nodes.len() {
+                self.fail_conn(n, "connection reset by the session");
+            }
+        }
+        for job in jobs {
+            let n = job.node;
+            if self.shared.kill_next[n].swap(false, Ordering::SeqCst) {
+                let _ = job.tx.send(Err(NetError::Io(std::io::Error::other(format!(
+                    "node {n} request killed by fault hook"
+                )))));
+                self.fail_conn(n, "connection killed by fault hook");
+                continue;
+            }
+            let serial = self.next_serial();
+            let attempts_max =
+                if job.request.retry_safe() { self.policy.attempts.max(1) } else { 1 };
+            let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
+            self.nodes[n].queue.push_back(Pending {
+                serial,
+                request: job.request,
+                tx: Some(job.tx),
+                kind: Kind::Plain,
+                attempt: 0,
+                attempts_max,
+                backoff,
+                sent_id: 0,
+                sent_version: 0,
+                expire: None,
+            });
+            self.pump(n);
+        }
+    }
+
+    /// Advances a node's send side as far as readiness and policy allow.
+    fn pump(&mut self, n: usize) {
+        loop {
+            let act = {
+                let node = &self.nodes[n];
+                if node.park.is_some() {
+                    Act::Done
+                } else if node.stream.is_some() {
+                    match node.conn {
+                        ConnState::Ready(_) => Act::Stream,
+                        _ => Act::Done, // a stream dies with its connection
+                    }
+                } else if node.queue.is_empty() {
+                    Act::Done
+                } else if self.deadline.expired() {
+                    Act::DropExpiredHead
+                } else {
+                    match node.conn {
+                        ConnState::Idle => Act::Connect,
+                        ConnState::Connecting => Act::Done,
+                        ConnState::Ready(_) => {
+                            let head = &node.queue[0];
+                            let chunkable = matches!(
+                                head.request,
+                                Request::Write { .. } | Request::Read { .. }
+                            );
+                            if chunkable
+                                && node.negotiation.supports_chunking()
+                                && node.chunk_override != Some(0)
+                                && node.peer_max_chunk.is_none()
+                            {
+                                if node.probe_inflight {
+                                    Act::Done
+                                } else {
+                                    Act::Probe
+                                }
+                            } else {
+                                let chunk = node.effective_chunk() as usize;
+                                match &head.request {
+                                    Request::Write { payload, .. }
+                                        if chunk > 0 && payload.len() > chunk =>
+                                    {
+                                        Act::StartStream(chunk)
+                                    }
+                                    _ => Act::SendHead,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::Done => break,
+                Act::Connect => {
+                    self.start_connect(n);
+                    break;
+                }
+                Act::Stream => {
+                    self.pump_stream(n);
+                    break;
+                }
+                Act::Probe => {
+                    let serial = self.next_serial();
+                    let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
+                    let p = Pending::internal(serial, Request::Ping, Kind::Probe, backoff);
+                    self.nodes[n].probe_inflight = true;
+                    self.send_frame(n, p);
+                    break; // the queue stalls until the probe resolves
+                }
+                Act::StartStream(chunk) => {
+                    self.start_stream(n, chunk);
+                    self.pump_stream(n);
+                    break;
+                }
+                Act::SendHead => {
+                    let p = self.nodes[n].queue.pop_front().expect("pump saw a head");
+                    self.send_frame(n, p);
+                }
+                Act::DropExpiredHead => {
+                    let p = self.nodes[n].queue.pop_front().expect("pump saw a head");
+                    settle(&mut self.wheel, p, Err(deadline_error()));
+                }
+            }
+        }
+        self.flush_node(n);
+    }
+
+    /// Encodes `p`'s request into the node's write buffer, arms its
+    /// response timer and moves it to the in-flight queue.
+    fn send_frame(&mut self, n: usize, mut p: Pending) {
+        let expire_at = self.clock.now_ms() + dur_ms(self.deadline.clamp_timeout(RESPONSE_TIMEOUT));
+        let tid = self.wheel.schedule(expire_at, Timed::Expire { node: n, serial: p.serial });
+        let deadline = self.deadline;
+        let node = &mut self.nodes[n];
+        let version = node.negotiation.version();
+        let deadline_ms =
+            if node.negotiation.supports_deadlines() { deadline.wire_ms() } else { 0 };
+        let id = node.next_id;
+        node.next_id += 1;
+        let mut scratch = std::mem::take(&mut node.scratch);
+        p.request.encode_payload_deadline_into(version, deadline_ms, &mut scratch);
+        // A Vec<u8> sink is infallible.
+        let _ = wire::write_frame_at(&mut node.wbuf, version, p.request.opcode(), id, &scratch);
+        node.scratch = scratch;
+        p.sent_id = id;
+        p.sent_version = version;
+        p.expire = Some(tid);
+        node.inflight.push_back(p);
+    }
+
+    /// Pops the queue head into a chunked write stream, issuing a
+    /// `ResumeQuery` first when a prior attempt of the same stamp died
+    /// mid-stream.
+    fn start_stream(&mut self, n: usize, chunk: usize) {
+        let p = self.nodes[n].queue.pop_front().expect("stream starts from a head");
+        let Request::Write { file, session, seq, ref payload, .. } = p.request else {
+            // Unreachable by construction; settle rather than wedge.
+            settle(&mut self.wheel, p, Err(NetError::BadReply("stream over a non-write".into())));
+            return;
+        };
+        let total = payload.len() as u64;
+        let n_chunks = payload.len().div_ceil(chunk).max(1) as u64;
+        let node = &self.nodes[n];
+        let want_resume = session != 0
+            && node.negotiation.supports_resume()
+            && node.resume_candidate == Some((session, seq));
+        let sender =
+            if want_resume { None } else { Some(ChunkSender::new(n_chunks, CHUNK_WINDOW as u64)) };
+        self.nodes[n].stream =
+            Some(StreamState { req: p, sender, skip: 0, chunk, total, n_chunks });
+        if want_resume {
+            let serial = self.next_serial();
+            let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
+            let rq = Request::ResumeQuery { file, session, seq };
+            self.send_frame(n, Pending::internal(serial, rq, Kind::Resume, backoff));
+        }
+    }
+
+    /// Feeds the active write stream's send window.
+    fn pump_stream(&mut self, n: usize) {
+        loop {
+            let built = {
+                let node = &mut self.nodes[n];
+                let Some(st) = node.stream.as_mut() else { return };
+                let Some(sender) = st.sender.as_mut() else { return };
+                match sender.next_to_send() {
+                    None => None,
+                    Some(plan) => {
+                        let Request::Write { file, compute, l_s, r_s, session, seq, ref payload } =
+                            st.req.request
+                        else {
+                            return;
+                        };
+                        let off = (plan.index + st.skip) as usize * st.chunk;
+                        let end = (off + st.chunk).min(payload.len());
+                        let req = Request::WriteChunk {
+                            file,
+                            compute,
+                            l_s,
+                            r_s,
+                            session,
+                            seq,
+                            offset: off as u64,
+                            total: st.total,
+                            last: plan.last,
+                            data: payload[off..end].to_vec(),
+                        };
+                        sender.record_send();
+                        Some((req, plan.last))
+                    }
+                }
+            };
+            let Some((req, last)) = built else { break };
+            let serial = self.next_serial();
+            let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
+            self.send_frame(n, Pending::internal(serial, req, Kind::Chunk { last }, backoff));
+        }
+        self.flush_node(n);
+    }
+
+    // -- connection lifecycle ------------------------------------------------
+
+    /// Starts a blocking connect on a short-lived helper thread — the
+    /// reactor thread itself never blocks on the network (PA046 enforces
+    /// that split).
+    fn start_connect(&mut self, n: usize) {
+        self.nodes[n].conn = ConnState::Connecting;
+        let addr = self.nodes[n].addr.clone();
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name("pf-mux-connect".into())
+            .spawn(move || {
+                // pa:allow(PA046)
+                let result = NetStream::connect(&addr);
+                shared.lock().connected.push((n, result));
+                shared.wake();
+            })
+            .is_ok();
+        if !spawned {
+            self.nodes[n].conn = ConnState::Idle;
+            self.connect_failed(n, "could not spawn a connect helper");
+        }
+    }
+
+    fn on_connected(&mut self, n: usize, result: std::io::Result<NetStream>) {
+        if n >= self.nodes.len() || !matches!(self.nodes[n].conn, ConnState::Connecting) {
+            return; // stale result after a reset; the stream drops here
+        }
+        match result {
+            Ok(stream) => {
+                if stream.set_nonblocking(true).is_err() {
+                    self.nodes[n].conn = ConnState::Idle;
+                    self.connect_failed(n, "could not make the connection non-blocking");
+                    return;
+                }
+                if self.reactor.register(stream.as_raw_fd(), n, Interest::READ).is_err() {
+                    self.nodes[n].conn = ConnState::Idle;
+                    self.connect_failed(n, "could not register the connection");
+                    return;
+                }
+                let node = &mut self.nodes[n];
+                node.conn = ConnState::Ready(stream);
+                node.fresh = true;
+                node.interest = Interest::READ;
+                node.rbuf.clear();
+                node.rpos = 0;
+                node.wbuf.clear();
+                node.wstart = 0;
+                self.pump(n);
+            }
+            Err(e) => {
+                self.nodes[n].conn = ConnState::Idle;
+                self.connect_failed(n, &format!("connect failed: {e}"));
+            }
+        }
+    }
+
+    /// A connect attempt failed: every queued request pays one attempt
+    /// (exactly as each would have in its own `NodeClient::call` loop)
+    /// and the survivors wait out the head's backoff before the next
+    /// dial.
+    fn connect_failed(&mut self, n: usize, why: &str) {
+        let queued: Vec<Pending> = self.nodes[n].queue.drain(..).collect();
+        let mut survivors = Vec::new();
+        for p in queued {
+            if let Some(p) = self.charge_attempt(n, p, false, why) {
+                survivors.push(p);
+            }
+        }
+        self.nodes[n].queue = survivors.into();
+        self.park_head(n);
+    }
+
+    /// Charges one attempt to `p` after a transport failure; settles it
+    /// when attempts or the retry budget run out, returns it otherwise.
+    fn charge_attempt(
+        &mut self,
+        n: usize,
+        mut p: Pending,
+        was_fresh: bool,
+        why: &str,
+    ) -> Option<Pending> {
+        if let Some(t) = p.expire.take() {
+            let _ = self.wheel.cancel(t);
+        }
+        p.attempt += 1;
+        if p.attempt >= p.attempts_max || !self.shared.budget.try_spend() {
+            settle(
+                &mut self.wheel,
+                p,
+                Err(NetError::Io(std::io::Error::other(format!("node {n}: {why}")))),
+            );
+            return None;
+        }
+        if was_fresh {
+            p.backoff.reset();
+        }
+        Some(p)
+    }
+
+    /// Tears down `n`'s connection. In-flight plain requests ride the
+    /// retry ladder; probe/resume/chunk frames are dropped (the requests
+    /// they serve retry as a whole); an active stream records its resume
+    /// candidate. Survivors requeue at the front in their original order.
+    fn fail_conn(&mut self, n: usize, why: &str) {
+        match std::mem::replace(&mut self.nodes[n].conn, ConnState::Idle) {
+            ConnState::Ready(stream) => {
+                let _ = self.reactor.deregister(stream.as_raw_fd());
+            }
+            // Connecting: the helper thread's late result is dropped as
+            // stale because the state is no longer Connecting.
+            ConnState::Connecting | ConnState::Idle => {}
+        }
+        let (was_fresh, inflight, stream) = {
+            let node = &mut self.nodes[n];
+            node.rbuf.clear();
+            node.rpos = 0;
+            node.wbuf.clear();
+            node.wstart = 0;
+            node.probe_inflight = false;
+            node.interest = Interest::READ;
+            (node.fresh, node.inflight.drain(..).collect::<Vec<_>>(), node.stream.take())
+        };
+        let mut survivors = Vec::new();
+        for mut p in inflight {
+            match p.kind {
+                Kind::Plain => {
+                    if let Some(p) = self.charge_attempt(n, p, was_fresh, why) {
+                        survivors.push(p);
+                    }
+                }
+                Kind::Probe | Kind::Resume | Kind::Chunk { .. } => {
+                    if let Some(t) = p.expire.take() {
+                        let _ = self.wheel.cancel(t);
+                    }
+                }
+            }
+        }
+        if let Some(st) = stream {
+            if let Request::Write { session, seq, .. } = st.req.request {
+                if session != 0 {
+                    self.nodes[n].resume_candidate = Some((session, seq));
+                }
+            }
+            if let Some(p) = self.charge_attempt(n, st.req, was_fresh, why) {
+                survivors.push(p);
+            }
+        }
+        for p in survivors.into_iter().rev() {
+            self.nodes[n].queue.push_front(p);
+        }
+        self.park_head(n);
+    }
+
+    /// Parks the queue behind the head request's next backoff interval
+    /// (no-op when already parked or empty) and arms the un-park timer.
+    fn park_head(&mut self, n: usize) {
+        let (epoch, delay) = {
+            let node = &mut self.nodes[n];
+            if node.park.is_some() {
+                return;
+            }
+            let Some(head) = node.queue.front_mut() else { return };
+            let delay = head.backoff.next_delay();
+            let epoch = node.park_seq;
+            node.park_seq += 1;
+            node.park = Some(epoch);
+            (epoch, delay)
+        };
+        let at = self.clock.now_ms() + dur_ms(self.deadline.clamp_timeout(delay));
+        self.wheel.schedule(at, Timed::Resend { node: n, epoch });
+    }
+
+    /// Parks `p` at the queue front for `wait` (a shed's hinted delay).
+    fn park_with(&mut self, n: usize, p: Pending, wait: Duration) {
+        let epoch = {
+            let node = &mut self.nodes[n];
+            node.queue.push_front(p);
+            let epoch = node.park_seq;
+            node.park_seq += 1;
+            node.park = Some(epoch);
+            epoch
+        };
+        let at = self.clock.now_ms() + dur_ms(wait);
+        self.wheel.schedule(at, Timed::Resend { node: n, epoch });
+    }
+
+    fn fail_all(&mut self, why: &str) {
+        for n in 0..self.nodes.len() {
+            let node = &mut self.nodes[n];
+            let mut owed: Vec<Pending> = node.inflight.drain(..).collect();
+            owed.extend(node.queue.drain(..));
+            if let Some(st) = node.stream.take() {
+                owed.push(st.req);
+            }
+            for p in owed {
+                settle(
+                    &mut self.wheel,
+                    p,
+                    Err(NetError::Io(std::io::Error::other(format!("node {n}: {why}")))),
+                );
+            }
+        }
+    }
+
+    // -- socket readiness ----------------------------------------------------
+
+    fn flush_node(&mut self, n: usize) {
+        let outcome = {
+            let node = &mut self.nodes[n];
+            let ConnState::Ready(stream) = &node.conn else { return };
+            let mut sref = stream;
+            let mut result: Result<(), String> = Ok(());
+            while node.wstart < node.wbuf.len() {
+                match sref.write(&node.wbuf[node.wstart..]) {
+                    Ok(0) => {
+                        result = Err("connection closed while writing".to_string());
+                        break;
+                    }
+                    Ok(k) => node.wstart += k,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        result = Err(format!("write failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            if node.wstart >= node.wbuf.len() {
+                node.wbuf.clear();
+                node.wstart = 0;
+            }
+            result
+        };
+        if let Err(why) = outcome {
+            self.fail_conn(n, &why);
+            return;
+        }
+        // Keep write interest only while bytes are pending.
+        let want =
+            if self.nodes[n].pending_bytes() > 0 { Interest::READ_WRITE } else { Interest::READ };
+        let node = &mut self.nodes[n];
+        if node.interest != want {
+            if let ConnState::Ready(stream) = &node.conn {
+                let fd = stream.as_raw_fd();
+                node.interest = want;
+                let _ = self.reactor.reregister(fd, n, want);
+            }
+        }
+    }
+
+    fn on_readable(&mut self, n: usize) {
+        loop {
+            let read = {
+                let node = &mut self.nodes[n];
+                let ConnState::Ready(stream) = &node.conn else { return };
+                let mut sref = stream;
+                let len = node.rbuf.len();
+                node.rbuf.resize(len + READ_CHUNK, 0);
+                let r = sref.read(&mut node.rbuf[len..]);
+                let got = match &r {
+                    Ok(k) => *k,
+                    Err(_) => 0,
+                };
+                node.rbuf.truncate(len + got);
+                r
+            };
+            match read {
+                Ok(0) => {
+                    // With nothing owed this is the daemon's idle timeout
+                    // reaping a warm connection — fail_conn settles
+                    // nothing and the node just goes Idle.
+                    self.fail_conn(n, "daemon closed the connection before replying");
+                    return;
+                }
+                Ok(_) => {
+                    if !self.drain_frames(n) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.fail_conn(n, &format!("read failed: {e}"));
+                    return;
+                }
+            }
+        }
+        // Opportunistically compact the consumed prefix.
+        let node = &mut self.nodes[n];
+        if node.rpos == node.rbuf.len() {
+            node.rbuf.clear();
+            node.rpos = 0;
+        } else if node.rpos > READ_CHUNK {
+            node.rbuf.drain(..node.rpos);
+            node.rpos = 0;
+        }
+    }
+
+    /// Parses every complete frame in the read buffer. Returns `false`
+    /// when the connection died while handling a reply.
+    fn drain_frames(&mut self, n: usize) -> bool {
+        loop {
+            if !matches!(self.nodes[n].conn, ConnState::Ready(_)) {
+                return false;
+            }
+            let parsed = {
+                let node = &self.nodes[n];
+                let buf = &node.rbuf[node.rpos..];
+                if buf.len() < 4 {
+                    None
+                } else {
+                    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+                    if len > node.max_frame {
+                        Some(Err(format!("reply frame of {len} bytes")))
+                    } else if len < HEADER_LEN {
+                        Some(Err(format!("reply frame length {len}")))
+                    } else if buf.len() < 4 + len as usize {
+                        None
+                    } else {
+                        let version = buf[4];
+                        let opcode = buf[5];
+                        let id = u64::from_le_bytes(buf[6..14].try_into().expect("8 bytes"));
+                        let payload = &buf[14..4 + len as usize];
+                        let decoded = if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION)
+                            .contains(&version)
+                        {
+                            Err(format!("reply version {version}"))
+                        } else {
+                            Reply::decode_at(version, opcode, payload).map_err(|e| e.to_string())
+                        };
+                        Some(Ok((id, decoded, 4 + len as usize)))
+                    }
+                }
+            };
+            match parsed {
+                None => return true,
+                Some(Err(why)) => {
+                    // Framing is broken: the waiting request gets the
+                    // specific error; the connection is beyond resync.
+                    if let Some(p) = self.nodes[n].inflight.pop_front() {
+                        self.finish_bad(n, p, why);
+                    }
+                    self.fail_conn(n, "malformed reply frame");
+                    return false;
+                }
+                Some(Ok((id, decoded, consumed))) => {
+                    self.nodes[n].rpos += consumed;
+                    self.on_reply(n, id, decoded);
+                }
+            }
+        }
+    }
+
+    // -- reply handling ------------------------------------------------------
+
+    fn on_reply(&mut self, n: usize, id: u64, decoded: Result<Reply, String>) {
+        let Some(mut p) = self.nodes[n].inflight.pop_front() else {
+            self.fail_conn(n, "unsolicited reply frame");
+            return;
+        };
+        if let Some(t) = p.expire.take() {
+            let _ = self.wheel.cancel(t);
+        }
+        if id != p.sent_id {
+            // Reply/request streams desynchronized — the old IdMismatch:
+            // drop the connection and retry everything it owed.
+            self.nodes[n].inflight.push_front(p);
+            self.fail_conn(n, &format!("reply id {id} did not match the request"));
+            return;
+        }
+        let reply = match decoded {
+            Ok(r) => r,
+            Err(why) => {
+                self.finish_bad(n, p, why);
+                return;
+            }
+        };
+        // Any decoded reply proves the connection works.
+        self.nodes[n].fresh = false;
+        if let Reply::Pong { max_chunk, .. } = &reply {
+            self.nodes[n].peer_max_chunk = Some(*max_chunk);
+        }
+        match p.kind {
+            Kind::Plain => self.finish_plain(n, p, reply),
+            Kind::Probe => self.finish_probe(n, p.sent_version, reply),
+            Kind::Resume => self.finish_resume(n, reply),
+            Kind::Chunk { last } => self.finish_chunk(n, last, p.sent_version, reply),
+        }
+    }
+
+    /// A reply that could not be decoded: terminal `BadReply` for the
+    /// request it answers (never retried), scoped by what that frame was.
+    fn finish_bad(&mut self, n: usize, p: Pending, why: String) {
+        match p.kind {
+            Kind::Plain => {
+                settle(&mut self.wheel, p, Err(NetError::BadReply(why)));
+            }
+            Kind::Probe => {
+                self.nodes[n].probe_inflight = false;
+                if let Some(head) = self.nodes[n].queue.pop_front() {
+                    settle(&mut self.wheel, head, Err(NetError::BadReply(why)));
+                }
+                self.pump(n);
+            }
+            Kind::Resume | Kind::Chunk { .. } => {
+                self.abort_stream(n, NetError::BadReply(why));
+            }
+        }
+    }
+
+    fn finish_plain(&mut self, n: usize, p: Pending, reply: Reply) {
+        match reply {
+            Reply::Error(e)
+                if e.code == ErrCode::UnsupportedVersion
+                    && self.nodes[n].negotiation.can_downgrade() =>
+            {
+                self.downgrade_and_requeue(n, p);
+            }
+            Reply::Error(e) => {
+                settle(&mut self.wheel, p, Err(NetError::Protocol(e)));
+            }
+            Reply::Busy { retry_after_ms } => self.retry_shed(n, p, retry_after_ms, false),
+            Reply::Overloaded { retry_after_ms } => self.retry_shed(n, p, retry_after_ms, true),
+            other => {
+                self.shared.budget.record_success();
+                settle(&mut self.wheel, p, Ok(other));
+            }
+        }
+    }
+
+    /// Steps the negotiated version down (guarded so a burst of pipelined
+    /// `UnsupportedVersion` replies downgrades once, not once per reply)
+    /// and re-issues the request without consuming an attempt.
+    fn downgrade_and_requeue(&mut self, n: usize, p: Pending) {
+        let node = &mut self.nodes[n];
+        if p.sent_version == node.negotiation.version() {
+            let _ = node.negotiation.downgrade();
+        }
+        node.queue.push_front(p);
+        self.pump(n);
+    }
+
+    /// A `Busy`/`Overloaded` shed: retry after the hinted delay if the
+    /// ladder allows, surface [`NetError::Busy`] otherwise. `Overloaded`
+    /// also drops the connection (the daemon is about to).
+    fn retry_shed(&mut self, n: usize, mut p: Pending, hint_ms: u32, reconnect: bool) {
+        p.attempt += 1;
+        if p.attempt >= p.attempts_max || !self.shared.budget.try_spend() {
+            settle(&mut self.wheel, p, Err(NetError::Busy { retry_after_ms: hint_ms }));
+        } else {
+            let wait = self.deadline.clamp_timeout(Duration::from_millis(u64::from(hint_ms)));
+            self.park_with(n, p, wait);
+        }
+        if reconnect {
+            self.fail_conn(n, "daemon shed the whole connection");
+        }
+    }
+
+    fn finish_probe(&mut self, n: usize, sent_version: u8, reply: Reply) {
+        self.nodes[n].probe_inflight = false;
+        match reply {
+            Reply::Pong { .. } => self.pump(n), // capability recorded in on_reply
+            Reply::Error(e)
+                if e.code == ErrCode::UnsupportedVersion
+                    && self.nodes[n].negotiation.can_downgrade() =>
+            {
+                let node = &mut self.nodes[n];
+                if sent_version == node.negotiation.version() {
+                    let _ = node.negotiation.downgrade();
+                }
+                self.pump(n); // re-probe or proceed unchunked at the lower version
+            }
+            Reply::Error(e) => {
+                if let Some(head) = self.nodes[n].queue.pop_front() {
+                    settle(&mut self.wheel, head, Err(NetError::Protocol(e)));
+                }
+                self.pump(n);
+            }
+            Reply::Busy { retry_after_ms } => {
+                if let Some(head) = self.nodes[n].queue.pop_front() {
+                    self.retry_shed(n, head, retry_after_ms, false);
+                }
+            }
+            Reply::Overloaded { retry_after_ms } => {
+                if let Some(head) = self.nodes[n].queue.pop_front() {
+                    self.retry_shed(n, head, retry_after_ms, true);
+                }
+            }
+            other => {
+                if let Some(head) = self.nodes[n].queue.pop_front() {
+                    settle(
+                        &mut self.wheel,
+                        head,
+                        Err(NetError::BadReply(format!("expected Pong, got {other:?}"))),
+                    );
+                }
+                self.pump(n);
+            }
+        }
+    }
+
+    fn finish_resume(&mut self, n: usize, reply: Reply) {
+        let node = &mut self.nodes[n];
+        let Some(st) = node.stream.as_mut() else { return };
+        // Only a clean, aligned, partial answer fast-forwards; anything
+        // else restarts the stream at offset 0 — always safe.
+        st.skip = match reply {
+            Reply::ResumeAt { offset }
+                if offset > 0 && offset < st.total && offset % st.chunk as u64 == 0 =>
+            {
+                offset / st.chunk as u64
+            }
+            _ => 0,
+        };
+        st.sender = Some(ChunkSender::new(st.n_chunks - st.skip, CHUNK_WINDOW as u64));
+        self.pump_stream(n);
+    }
+
+    fn finish_chunk(&mut self, n: usize, last: bool, sent_version: u8, reply: Reply) {
+        match reply {
+            Reply::ChunkOk { .. } if !last => {
+                let ack = self.nodes[n]
+                    .stream
+                    .as_mut()
+                    .and_then(|st| st.sender.as_mut())
+                    .map(ChunkSender::record_ack);
+                match ack {
+                    Some(Err(v)) => self.abort_stream(n, NetError::BadReply(v.to_string())),
+                    _ => self.pump_stream(n),
+                }
+            }
+            Reply::WriteOk { .. } if last => {
+                let Some(st) = self.nodes[n].stream.take() else { return };
+                if let Request::Write { session, seq, .. } = st.req.request {
+                    if self.nodes[n].resume_candidate == Some((session, seq)) {
+                        self.nodes[n].resume_candidate = None;
+                    }
+                }
+                self.shared.budget.record_success();
+                settle(&mut self.wheel, st.req, Ok(reply));
+                self.pump(n);
+            }
+            Reply::Error(e)
+                if e.code == ErrCode::UnsupportedVersion
+                    && self.nodes[n].negotiation.can_downgrade() =>
+            {
+                // The daemon terminated the stream; downgrade and
+                // re-issue the whole write over a resynced connection.
+                let Some(st) = self.nodes[n].stream.take() else { return };
+                self.note_stream_resume(n, &st.req.request);
+                let node = &mut self.nodes[n];
+                if sent_version == node.negotiation.version() {
+                    let _ = node.negotiation.downgrade();
+                }
+                node.queue.push_front(st.req);
+                self.fail_conn(n, "chunk stream rejected for version");
+            }
+            Reply::Error(e) => {
+                let Some(st) = self.nodes[n].stream.take() else { return };
+                self.note_stream_resume(n, &st.req.request);
+                settle(&mut self.wheel, st.req, Err(NetError::Protocol(e)));
+                self.fail_conn(n, "chunk stream answered with an error");
+            }
+            Reply::Busy { retry_after_ms } | Reply::Overloaded { retry_after_ms } => {
+                let Some(st) = self.nodes[n].stream.take() else { return };
+                self.note_stream_resume(n, &st.req.request);
+                self.retry_shed(n, st.req, retry_after_ms, true);
+            }
+            other => {
+                self.abort_stream(
+                    n,
+                    NetError::BadReply(format!("chunk stream acknowledged with {other:?}")),
+                );
+            }
+        }
+    }
+
+    /// Remembers an interrupted stamped stream for `ResumeQuery` on retry.
+    fn note_stream_resume(&mut self, n: usize, request: &Request) {
+        if let Request::Write { session, seq, .. } = request {
+            if *session != 0 {
+                self.nodes[n].resume_candidate = Some((*session, *seq));
+            }
+        }
+    }
+
+    /// Terminates the active stream with a terminal error and drops the
+    /// (now desynchronized) connection.
+    fn abort_stream(&mut self, n: usize, err: NetError) {
+        if let Some(st) = self.nodes[n].stream.take() {
+            self.note_stream_resume(n, &st.req.request);
+            settle(&mut self.wheel, st.req, Err(err));
+        }
+        self.fail_conn(n, "chunk stream aborted");
+    }
+
+    // -- timers --------------------------------------------------------------
+
+    fn fire_timers(&mut self) {
+        let now = self.clock.now_ms();
+        for (_, timed) in self.wheel.advance(now) {
+            match timed {
+                Timed::Resend { node, epoch } => {
+                    if node < self.nodes.len() && self.nodes[node].park == Some(epoch) {
+                        self.nodes[node].park = None;
+                        self.pump(node);
+                    }
+                }
+                Timed::Expire { node, serial } => {
+                    if node < self.nodes.len()
+                        && self.nodes[node].inflight.iter().any(|p| p.serial == serial)
+                    {
+                        self.fail_conn(node, "timed out waiting for the daemon's reply");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NodeClient;
+    use crate::resilience::RetryBudget;
+    use crate::session::{spawn_loopback, Session};
+    use arraydist::matrix::MatrixLayout;
+    use clusterfile::StorageBackend;
+
+    /// Spawns one daemon and registers an identity view (1 node, 16×16 =
+    /// 256 bytes, physical = logical) so raw `Write { l_s, r_s }`
+    /// requests address subfile bytes directly.
+    fn identity_daemon() -> (Vec<crate::server::DaemonHandle>, Vec<String>, Session) {
+        let physical = MatrixLayout::ColumnBlocks.partition(16, 16, 1, 1);
+        let logical = MatrixLayout::ColumnBlocks.partition(16, 16, 1, 1);
+        let (handles, addrs) =
+            spawn_loopback(1, StorageBackend::Memory).expect("spawn loopback daemon");
+        let mut session = Session::connect(&addrs);
+        session.create_file(1, physical, 256).expect("create file");
+        session.set_view(0, 1, &logical, 0).expect("set view");
+        (handles, addrs, session)
+    }
+
+    fn write_req(i: u64) -> Request {
+        Request::Write {
+            file: 1,
+            compute: 0,
+            l_s: i * 2,
+            r_s: i * 2 + 1,
+            session: 0,
+            seq: 0,
+            payload: vec![i as u8, (i as u8) ^ 0xAB],
+        }
+    }
+
+    fn fetch_bytes(reply: Reply) -> Vec<u8> {
+        match reply {
+            Reply::Data { payload } => payload,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ninety_six_in_flight_requests_match_the_serial_path_byte_for_byte() {
+        // Multiplexed half: submit 96 writes over ONE warm connection
+        // before collecting a single reply, so the whole burst is in
+        // flight (or queued behind the connection) at once.
+        let (mut handles_m, addrs_m, session_m) = identity_daemon();
+        let mux = Mux::new(&addrs_m, Arc::new(RetryBudget::for_session()));
+        let slots: Vec<ReplySlot> =
+            (0..96).map(|i| mux.submit(0, write_req(i)).expect("submit")).collect();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.recv().expect("driver alive").expect("write reply") {
+                Reply::WriteOk { written: 2, .. } => {}
+                other => panic!("write {i}: unexpected reply {other:?}"),
+            }
+        }
+        let fetched = fetch_bytes(
+            mux.submit(0, Request::Fetch { file: 1 })
+                .expect("submit fetch")
+                .recv()
+                .expect("driver alive")
+                .expect("fetch reply"),
+        );
+
+        // Serial half: the same 96 writes through the classic one-at-a-
+        // time client against a twin daemon.
+        let (mut handles_s, addrs_s, session_s) = identity_daemon();
+        let mut client = NodeClient::new(addrs_s[0].clone());
+        for i in 0..96 {
+            match client.call(&write_req(i)).expect("serial write") {
+                Reply::WriteOk { written: 2, .. } => {}
+                other => panic!("serial write {i}: unexpected reply {other:?}"),
+            }
+        }
+        let serial = fetch_bytes(client.call(&Request::Fetch { file: 1 }).expect("serial fetch"));
+
+        assert_eq!(fetched, serial, "multiplexed bytes must match the serial path");
+        // And both match the analytically expected image.
+        let mut expected = vec![0u8; 256];
+        for i in 0..96u64 {
+            expected[(i * 2) as usize] = i as u8;
+            expected[(i * 2 + 1) as usize] = (i as u8) ^ 0xAB;
+        }
+        assert_eq!(fetched, expected);
+
+        drop((session_m, session_s, mux, client));
+        for h in handles_m.iter_mut().chain(handles_s.iter_mut()) {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn submit_after_drop_of_driver_reports_a_lost_transport() {
+        let mux = Mux::new(&["127.0.0.1:1".to_string()], Arc::new(RetryBudget::for_session()));
+        assert!(mux.submit(7, Request::Ping).is_err(), "out-of-range node is a usage error");
+    }
+}

@@ -45,6 +45,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, SystemTime};
 
+mod reactor_daemon;
+
 /// Locks a mutex, recovering the guard if a panicking thread poisoned it.
 ///
 /// Daemon state is updated with plain stores and atomics — a panic between
@@ -115,6 +117,14 @@ pub struct DaemonConfig {
     /// instead of growing the write-ahead journal toward ENOSPC. `None` =
     /// no watermark.
     pub journal_watermark: Option<u64>,
+    /// Connection-serving model. `0` (the default) keeps the classic
+    /// thread-per-connection daemon; `N > 0` runs the reactor daemon
+    /// (DESIGN.md §17): one non-blocking event-loop thread multiplexes
+    /// every connection and a fixed pool of `N` workers executes decoded
+    /// frames, so thousands of concurrent connections cost `N + 1`
+    /// threads instead of one each. Defaults from `PF_NET_WORKERS` when
+    /// set, so whole test suites can be re-run against the reactor path.
+    pub workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -132,6 +142,7 @@ impl Default for DaemonConfig {
             max_connections: 0,
             session_inflight: 0,
             journal_watermark: None,
+            workers: std::env::var("PF_NET_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0),
         }
     }
 }
@@ -193,6 +204,22 @@ impl NetListener {
             }
         }
     }
+
+    /// Non-blocking accept mode for the reactor daemon.
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            NetListener::Tcp(l) => l.set_nonblocking(nb),
+            NetListener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            NetListener::Tcp(l) => l.as_raw_fd(),
+            NetListener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
 }
 
 /// A connected stream of either flavor.
@@ -217,6 +244,21 @@ impl NetStream {
         match self {
             NetStream::Tcp(s) => s.set_read_timeout(t),
             NetStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_nonblocking(nb),
+            NetStream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            NetStream::Tcp(s) => s.as_raw_fd(),
+            NetStream::Unix(s) => s.as_raw_fd(),
         }
     }
 
@@ -428,12 +470,28 @@ struct Shared {
     session_inflight: Mutex<HashMap<u64, usize>>,
     /// Deterministic fault injection (None in production).
     fault: Option<FaultInjector>,
+    /// Reactor-mode wake handle: `stop()`/`crash()`/remote `Shutdown`
+    /// interrupt the event loop through it (None in thread-per-conn mode).
+    reactor_waker: Mutex<Option<crate::reactor::Waker>>,
+    /// Shutdown signalling for the scrub thread: it waits here between
+    /// passes instead of sleeping, so `stop()` interrupts a pause
+    /// immediately and can join it before any socket teardown.
+    shutdown_mu: Mutex<()>,
+    shutdown_cv: Condvar,
+    /// Live connection-driver threads (thread-per-connection mode), so
+    /// `stop()` waits for in-flight drivers to drain before the listener
+    /// socket drops. Stays 0 in reactor mode (the event-loop thread joins
+    /// its own workers before it releases the listener).
+    conn_threads: Mutex<usize>,
+    conn_threads_cv: Condvar,
 }
 
 impl Shared {
     fn acquire_slot(&self) {
         let mut n = lock(&self.inflight);
-        while *n >= self.config.max_inflight {
+        // Stopping breaks the wait so a saturated daemon can still shut
+        // down: the admitted request is answered `ShuttingDown` downstream.
+        while *n >= self.config.max_inflight && !self.stopping.load(Ordering::SeqCst) {
             n = self.inflight_cv.wait(n).unwrap_or_else(|e| e.into_inner());
         }
         *n += 1;
@@ -513,8 +571,46 @@ impl Shared {
             }
         }
         self.inflight_cv.notify_all();
+        self.shutdown_cv.notify_all();
+        self.wake_reactor();
         // Unblock the acceptor so it observes `stopping` and exits.
         let _ = NetStream::connect(&self.addr);
+    }
+
+    /// Interrupts the event loop's current poll (no-op in legacy mode).
+    fn wake_reactor(&self) {
+        if let Some(w) = lock(&self.reactor_waker).as_ref() {
+            w.wake();
+        }
+    }
+
+    /// Waits (bounded) for thread-per-connection drivers to drain.
+    fn wait_conn_threads(&self, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut n = lock(&self.conn_threads);
+        while *n > 0 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let (g, _) =
+                self.conn_threads_cv.wait_timeout(n, left).unwrap_or_else(|e| e.into_inner());
+            n = g;
+        }
+    }
+}
+
+/// RAII decrement of [`Shared::conn_threads`] when a connection driver
+/// exits (incremented by the acceptor before the thread spawns, so a
+/// `stop()` racing the spawn still waits for it).
+struct ConnThreadGuard<'a>(&'a Shared);
+
+impl Drop for ConnThreadGuard<'_> {
+    fn drop(&mut self) {
+        let mut n = lock(&self.0.conn_threads);
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.0.conn_threads_cv.notify_all();
     }
 }
 
@@ -552,19 +648,36 @@ impl DaemonHandle {
     /// (connections finish their in-flight request first — replies are
     /// written before the next frame read observes the closed socket), and
     /// joins the acceptor thread.
+    ///
+    /// Ordering matters: the scrub thread and in-flight connection drivers
+    /// are signalled and joined *before* the accept/reactor thread — which
+    /// owns the listener — is joined, so neither a scrub pass nor a late
+    /// reply can race the listener socket dropping.
     pub fn stop(&mut self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = NetStream::connect(&self.addr);
+        // Scrub first: it exits promptly (condvar wait, not a sleep) and
+        // must never observe half-torn-down sockets or stores.
+        self.shared.shutdown_cv.notify_all();
+        if let Some(t) = self.scrub_thread.take() {
+            let _ = t.join();
+        }
+        // Sever open connections; their drivers observe the closed socket
+        // after finishing the frame in hand. Unpark anything blocked in
+        // admission so it can observe `stopping`.
         for conn in lock(&self.shared.conns).drain(..) {
             if let Some(stream) = conn.upgrade() {
                 stream.shutdown_both();
             }
         }
+        self.shared.inflight_cv.notify_all();
+        // Unblock the acceptor (legacy: throwaway connection; reactor:
+        // waker interrupts the poll).
+        self.shared.wake_reactor();
+        let _ = NetStream::connect(&self.addr);
+        // Thread-per-connection drivers drain before the listener drops
+        // (reactor mode joins its workers inside the event-loop thread).
+        self.shared.wait_conn_threads(Duration::from_secs(5));
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.scrub_thread.take() {
             let _ = t.join();
         }
     }
@@ -574,6 +687,7 @@ impl DaemonHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.shared.shutdown_cv.notify_all();
         if let Some(t) = self.scrub_thread.take() {
             let _ = t.join();
         }
@@ -606,9 +720,25 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
         conns: Mutex::new(Vec::new()),
         session_inflight: Mutex::new(HashMap::new()),
         fault,
+        reactor_waker: Mutex::new(None),
+        shutdown_mu: Mutex::new(()),
+        shutdown_cv: Condvar::new(),
+        conn_threads: Mutex::new(0),
+        conn_threads_cv: Condvar::new(),
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread =
+    let workers = shared.config.workers;
+    let accept_thread = if workers > 0 {
+        // Reactor mode: one event-loop thread multiplexes every
+        // connection; `workers` pool threads execute decoded frames.
+        let reactor = crate::reactor::Reactor::new()?;
+        *lock(&shared.reactor_waker) = Some(reactor.waker());
+        listener.set_nonblocking(true)?;
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pf-net-reactor".into())
+            .spawn(move || reactor_daemon::run(listener, reactor, &accept_shared, workers))?
+    } else {
+        let accept_shared = Arc::clone(&shared);
         std::thread::Builder::new().name("pf-net-accept".into()).spawn(move || {
             let cleanup = match &listener {
                 NetListener::Unix(_, path) => Some(path.clone()),
@@ -635,23 +765,30 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
                     }
                 };
                 let conn_shared = Arc::clone(&accept_shared);
-                if overloaded {
+                *lock(&conn_shared.conn_threads) += 1;
+                let spawned = if overloaded {
                     // Accept-edge shedding: a short-lived thread answers the
                     // connection's first frame with `Overloaded` and closes,
                     // so the client backs off instead of hanging.
-                    let _ = std::thread::Builder::new()
-                        .name("pf-net-shed".into())
-                        .spawn(move || shed_connection(&stream, &conn_shared));
+                    std::thread::Builder::new().name("pf-net-shed".into()).spawn(move || {
+                        let _guard = ConnThreadGuard(&conn_shared);
+                        shed_connection(&stream, &conn_shared);
+                    })
                 } else {
-                    let _ = std::thread::Builder::new()
-                        .name("pf-net-conn".into())
-                        .spawn(move || serve_connection(&stream, &conn_shared));
+                    std::thread::Builder::new().name("pf-net-conn".into()).spawn(move || {
+                        let _guard = ConnThreadGuard(&conn_shared);
+                        serve_connection(&stream, &conn_shared);
+                    })
+                };
+                if spawned.is_err() {
+                    ConnThreadGuard(&accept_shared);
                 }
             }
             if let Some(path) = cleanup {
                 let _ = std::fs::remove_file(path);
             }
-        })?;
+        })?
+    };
     let scrub_thread = match shared.config.scrub_interval {
         None => None,
         Some(interval) => {
@@ -675,7 +812,16 @@ fn scrub_loop(shared: &Shared, interval: Duration) {
     let tick = Duration::from_millis(25).min(interval);
     let mut elapsed = Duration::ZERO;
     while !shared.stopping.load(Ordering::SeqCst) {
-        std::thread::sleep(tick);
+        // Interruptible pause: `stop()` notifies `shutdown_cv` so the
+        // scrub thread can be joined before any socket teardown instead of
+        // finishing a sleep against a daemon mid-shutdown.
+        {
+            let guard = lock(&shared.shutdown_mu);
+            let _ = shared.shutdown_cv.wait_timeout(guard, tick).unwrap_or_else(|e| e.into_inner());
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
         elapsed += tick;
         if elapsed < interval {
             continue;

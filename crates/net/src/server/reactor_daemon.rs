@@ -1,0 +1,915 @@
+//! The reactor-mode daemon: one non-blocking event-loop thread serving
+//! every connection, plus a fixed pool of frame-executing workers
+//! (DESIGN.md §17, enabled by [`DaemonConfig::workers`] > 0).
+//!
+//! Division of labor:
+//!
+//! * the **reactor thread** owns the listener and every socket. It
+//!   accepts, reads, splits the byte stream into frames, stamps each
+//!   frame's `received` instant (the deadline clock starts at receipt,
+//!   exactly like the thread-per-connection daemon), and drains queued
+//!   reply bytes back out. It never executes a request, never sleeps,
+//!   and never blocks on anything but [`Reactor::poll`] — idle timeouts
+//!   ride the [`TimerWheel`] instead of per-socket `SO_RCVTIMEO`.
+//! * a **worker** executes decoded frames through the *same*
+//!   [`handle_frame`](super::handle_frame) the classic daemon uses — one
+//!   connection's frames strictly in FIFO order (an `executing` flag pins
+//!   a connection to at most one worker at a time), which preserves reply
+//!   ordering and the one-chunked-write-per-connection stream state. The
+//!   fault injector's frame hook also runs here, so an injected delay
+//!   stalls only the faulted connection's worker slot, never the event
+//!   loop.
+//!
+//! Backpressure is bounded at both edges: a connection with
+//! [`FRAME_QUEUE_DEPTH`] undispatched frames has its read interest
+//! dropped (TCP pushes back to the client) until the worker drains it,
+//! and a worker whose replies outrun a slow reader parks on the
+//! connection's write-buffer condvar until the reactor flushes it.
+//!
+//! Every per-frame semantic the model checker and chaos suite pin down —
+//! admission order, `Busy`/`Overloaded` shedding, journal-before-ack,
+//! exactly-once stamps, reply truncation and kill faults — is untouched:
+//! those all live in [`handle_frame`](super::handle_frame) and the frame
+//! prologue replicated verbatim in [`execute_frame`].
+
+use super::{lock, Handled, NetListener, NetStream, Shared, BUSY_RETRY_MS, OVERLOADED_RETRY_MS};
+use crate::error::{ErrCode, ProtocolError};
+use crate::fault::FrameFault;
+use crate::reactor::{Clock, Event, Interest, MonotonicClock, Reactor, TimerId, TimerWheel};
+use crate::wire::{self, Reply, HEADER_LEN, PROTOCOL_VERSION};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reactor token of the listening socket; connections start above it.
+const LISTENER_TOKEN: usize = 0;
+
+/// Undispatched frames buffered per connection before its read interest
+/// is dropped (flow control propagates to the client through TCP).
+const FRAME_QUEUE_DEPTH: usize = 32;
+
+/// Queue length at which a paused connection's reads resume.
+const FRAME_QUEUE_RESUME: usize = FRAME_QUEUE_DEPTH / 2;
+
+/// Pending reply bytes per connection before the producing worker parks
+/// until the reactor drains the socket (slow-reader backpressure).
+const WRITE_BUF_CAP: usize = 1 << 20;
+
+/// Frames one worker executes for a connection before requeuing it, so a
+/// blast from one client cannot monopolize a worker.
+const WORKER_BURST: usize = 16;
+
+/// How long a shed (over-capacity) connection may sit before it is
+/// reaped without delivering its `Overloaded` verdict.
+const SHED_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Bytes per non-blocking read call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One frame decoded off a connection, queued for a worker.
+struct QueuedFrame {
+    version: u8,
+    opcode: u8,
+    request_id: u64,
+    payload: Vec<u8>,
+    /// Receipt instant — the deadline clock starts here, *before* any
+    /// queueing or injected delay, so a slow daemon burns the budget.
+    received: Instant,
+    /// 1-based frame ordinal on this connection (the fault injector's
+    /// per-connection frame counter).
+    seqno: u64,
+}
+
+/// Worker-visible connection state behind one mutex.
+struct ConnQ {
+    frames: VecDeque<QueuedFrame>,
+    /// A worker currently owns this connection's frames: at most one at a
+    /// time, so frames execute (and reply) strictly in arrival order.
+    executing: bool,
+    /// Cleared on close: workers drop frames of a dead connection.
+    open: bool,
+    /// The reactor stopped reading because the queue hit its depth cap.
+    paused: bool,
+    /// Accepted over `max_connections`: first frame is answered
+    /// `Overloaded` (protocol ≥ 5) and the connection closed.
+    shed: bool,
+    /// In-progress chunked write (the per-connection stream state the
+    /// classic daemon keeps on its thread's stack).
+    chunk: Option<super::ChunkWrite>,
+    /// A framing-level protocol error (oversized/undersized frame): the
+    /// worker answers it after draining queued frames, then closes.
+    fatal: Option<ProtocolError>,
+}
+
+/// Reply bytes queued toward one connection.
+#[derive(Default)]
+struct WriteBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    start: usize,
+    /// Socket is gone; producers drop their output.
+    closed: bool,
+    /// Close the connection once the buffer drains (shutdown-with-reply,
+    /// shed verdicts, truncated-frame severing).
+    close_after_flush: bool,
+}
+
+/// One connection, shared between the reactor thread and the worker pool.
+struct Conn {
+    token: usize,
+    stream: Arc<NetStream>,
+    q: Mutex<ConnQ>,
+    wq: Mutex<WriteBuf>,
+    /// Signalled by the reactor after draining `wq` (backpressure release).
+    wq_cv: Condvar,
+}
+
+/// Worker → reactor notifications, carried over the reactor's waker.
+struct Notify {
+    waker: crate::reactor::Waker,
+    /// Connections whose frame queue drained below the resume mark: the
+    /// reactor re-parses buffered bytes and re-arms read interest.
+    rearm: Mutex<Vec<usize>>,
+    /// Connections with freshly queued reply bytes to drain.
+    flush: Mutex<Vec<usize>>,
+}
+
+impl Notify {
+    fn push_rearm(&self, token: usize) {
+        lock(&self.rearm).push(token);
+        self.waker.wake();
+    }
+
+    fn push_flush(&self, token: usize) {
+        lock(&self.flush).push(token);
+        self.waker.wake();
+    }
+}
+
+struct JobQ {
+    q: VecDeque<Arc<Conn>>,
+    stopping: bool,
+}
+
+/// The worker pool's job queue: connections with undispatched frames.
+struct Pool {
+    jobs: Mutex<JobQ>,
+    cv: Condvar,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self { jobs: Mutex::new(JobQ { q: VecDeque::new(), stopping: false }), cv: Condvar::new() }
+    }
+
+    fn push(&self, conn: Arc<Conn>) {
+        lock(&self.jobs).q.push_back(conn);
+        self.cv.notify_one();
+    }
+
+    fn next_job(&self) -> Option<Arc<Conn>> {
+        let mut jobs = lock(&self.jobs);
+        loop {
+            if let Some(c) = jobs.q.pop_front() {
+                return Some(c);
+            }
+            if jobs.stopping {
+                return None;
+            }
+            jobs = self.cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn stop(&self) {
+        lock(&self.jobs).stopping = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Reactor-private per-connection state (read buffer, timers, interest).
+struct ConnEntry {
+    conn: Arc<Conn>,
+    /// Raw inbound bytes; frames are parsed out from `rpos`.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    frames_seen: u64,
+    idle_timer: Option<TimerId>,
+    /// Idle budget (read timeout; [`SHED_TIMEOUT`] for shed connections).
+    timeout: Option<Duration>,
+    interest: Interest,
+    /// Reads stopped for good (framing error answered, output draining).
+    draining: bool,
+}
+
+/// Entry point: spawned as the `pf-net-reactor` thread by [`super::serve`].
+pub(super) fn run(listener: NetListener, reactor: Reactor, shared: &Arc<Shared>, workers: usize) {
+    let cleanup = match &listener {
+        NetListener::Unix(_, path) => Some(path.clone()),
+        NetListener::Tcp(_) => None,
+    };
+    let notify = Arc::new(Notify {
+        waker: reactor.waker(),
+        rearm: Mutex::new(Vec::new()),
+        flush: Mutex::new(Vec::new()),
+    });
+    let pool = Arc::new(Pool::new());
+    let mut worker_handles = Vec::new();
+    for i in 0..workers.max(1) {
+        let shared = Arc::clone(shared);
+        let pool = Arc::clone(&pool);
+        let notify = Arc::clone(&notify);
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("pf-net-worker-{i}"))
+            .spawn(move || worker_loop(&shared, &pool, &notify))
+        {
+            worker_handles.push(h);
+        }
+    }
+    let mut driver = Driver {
+        shared: Arc::clone(shared),
+        reactor,
+        listener,
+        pool: Arc::clone(&pool),
+        notify,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(),
+        clock: MonotonicClock::new(),
+        next_token: LISTENER_TOKEN + 1,
+    };
+    let listener_fd = driver.listener.as_raw_fd();
+    if driver.reactor.register(listener_fd, LISTENER_TOKEN, Interest::READ).is_ok() {
+        driver.run_loop();
+    }
+    // Teardown — ordered so every connection driver is gone before the
+    // listener (owned by this thread) drops:
+    // 1. no new jobs; 2. sever connections, unblocking any worker parked
+    // on a write buffer; 3. join the workers; 4. only then return, which
+    // drops the listener (and removes a Unix socket path).
+    pool.stop();
+    let tokens: Vec<usize> = driver.conns.keys().copied().collect();
+    for token in tokens {
+        driver.close_conn(token);
+    }
+    for h in worker_handles {
+        let _ = h.join();
+    }
+    if let Some(path) = cleanup {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+struct Driver {
+    shared: Arc<Shared>,
+    reactor: Reactor,
+    listener: NetListener,
+    pool: Arc<Pool>,
+    notify: Arc<Notify>,
+    conns: HashMap<usize, ConnEntry>,
+    wheel: TimerWheel<usize>,
+    clock: MonotonicClock,
+    next_token: usize,
+}
+
+impl Driver {
+    fn run_loop(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.shared.stopping.load(Ordering::SeqCst) {
+            let timeout = self.wheel.until_next(self.clock.now_ms()).map(Duration::from_millis);
+            if self.reactor.poll(&mut events, timeout).is_err() {
+                return;
+            }
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else if self.conns.contains_key(&ev.token) {
+                    if ev.readable && self.conn_readable(ev.token) {
+                        continue; // connection closed
+                    }
+                    if ev.writable {
+                        self.conn_writable(ev.token);
+                    }
+                }
+            }
+            self.apply_notifications();
+            self.fire_timers();
+        }
+    }
+
+    /// Drains the accept backlog (level-triggered: loop to `WouldBlock`).
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                stream.shutdown_both();
+                continue;
+            }
+            let stream = Arc::new(stream);
+            // Same accept-edge policy as the classic daemon: register the
+            // connection for shutdown severing, shed it when over cap.
+            let shed = {
+                let mut conns = lock(&self.shared.conns);
+                conns.retain(|w| w.strong_count() > 0);
+                let cap = self.shared.config.max_connections;
+                if cap > 0 && conns.len() >= cap {
+                    true
+                } else {
+                    conns.push(Arc::downgrade(&stream));
+                    false
+                }
+            };
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.reactor.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                stream.shutdown_both();
+                continue;
+            }
+            let conn = Arc::new(Conn {
+                token,
+                stream,
+                q: Mutex::new(ConnQ {
+                    frames: VecDeque::new(),
+                    executing: false,
+                    open: true,
+                    paused: false,
+                    shed,
+                    chunk: None,
+                    fatal: None,
+                }),
+                wq: Mutex::new(WriteBuf::default()),
+                wq_cv: Condvar::new(),
+            });
+            let timeout = if shed { Some(SHED_TIMEOUT) } else { self.shared.config.read_timeout };
+            let idle_timer = timeout
+                .map(|t| self.wheel.schedule(self.clock.now_ms().saturating_add(dur_ms(t)), token));
+            self.conns.insert(
+                token,
+                ConnEntry {
+                    conn,
+                    rbuf: Vec::new(),
+                    rpos: 0,
+                    frames_seen: 0,
+                    idle_timer,
+                    timeout,
+                    interest: Interest::READ,
+                    draining: false,
+                },
+            );
+        }
+    }
+
+    /// Reads and parses as much as the socket and the frame-queue budget
+    /// allow. Returns true when the connection was closed.
+    fn conn_readable(&mut self, token: usize) -> bool {
+        loop {
+            let mut eof = false;
+            let mut n_read = 0usize;
+            {
+                let Some(entry) = self.conns.get_mut(&token) else { return true };
+                let mut tmp = [0u8; READ_CHUNK];
+                let mut stream: &NetStream = &entry.conn.stream;
+                loop {
+                    match stream.read(&mut tmp) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            if !entry.draining {
+                                entry.rbuf.extend_from_slice(&tmp[..n]);
+                            }
+                            n_read = n;
+                            break;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            eof = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if n_read > 0 {
+                self.reset_idle_timer(token);
+                self.parse_frames(token);
+            }
+            if eof {
+                self.close_conn(token);
+                return true;
+            }
+            let stop = {
+                let Some(entry) = self.conns.get(&token) else { return true };
+                n_read == 0 || entry.draining || lock(&entry.conn.q).paused
+            };
+            if stop {
+                break;
+            }
+        }
+        self.update_interest(token);
+        false
+    }
+
+    /// Splits buffered bytes into frames and hands them to the pool.
+    fn parse_frames(&mut self, token: usize) {
+        let max_frame = self.shared.config.max_frame;
+        let pool = Arc::clone(&self.pool);
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        loop {
+            let avail = entry.rbuf.len() - entry.rpos;
+            if avail < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(
+                entry.rbuf[entry.rpos..entry.rpos + 4].try_into().expect("4-byte slice"),
+            );
+            if len > max_frame {
+                // The frame was not consumed, so the stream is out of
+                // sync: the worker answers with request id 0 and closes —
+                // same verdict as the classic daemon's.
+                fatal_framing(
+                    entry,
+                    &pool,
+                    ProtocolError::new(
+                        ErrCode::FrameTooLarge,
+                        format!("frame of {len} bytes exceeds the {max_frame} byte budget"),
+                    ),
+                );
+                break;
+            }
+            if len < HEADER_LEN {
+                fatal_framing(
+                    entry,
+                    &pool,
+                    ProtocolError::new(
+                        ErrCode::Malformed,
+                        format!("frame length {len} is shorter than the header"),
+                    ),
+                );
+                break;
+            }
+            let need = 4 + len as usize;
+            if avail < need {
+                break;
+            }
+            let f = &entry.rbuf[entry.rpos + 4..entry.rpos + need];
+            let frame = QueuedFrame {
+                version: f[0],
+                opcode: f[1],
+                request_id: u64::from_le_bytes(f[2..10].try_into().expect("8-byte slice")),
+                payload: f[10..].to_vec(),
+                received: Instant::now(),
+                seqno: entry.frames_seen + 1,
+            };
+            entry.rpos += need;
+            entry.frames_seen += 1;
+            let mut q = lock(&entry.conn.q);
+            if !q.open {
+                break;
+            }
+            q.frames.push_back(frame);
+            let full = q.frames.len() >= FRAME_QUEUE_DEPTH;
+            if full {
+                q.paused = true;
+            }
+            if !q.executing {
+                q.executing = true;
+                drop(q);
+                pool.push(Arc::clone(&entry.conn));
+            } else {
+                drop(q);
+            }
+            if full {
+                break;
+            }
+        }
+        // Compact the consumed prefix once it dominates the buffer.
+        if entry.rpos == entry.rbuf.len() {
+            entry.rbuf.clear();
+            entry.rpos = 0;
+        } else if entry.rpos > READ_CHUNK {
+            entry.rbuf.drain(..entry.rpos);
+            entry.rpos = 0;
+        }
+    }
+
+    /// Drains queued reply bytes; closes the connection when its write
+    /// buffer empties with `close_after_flush` set (or the socket died).
+    fn conn_writable(&mut self, token: usize) {
+        let Some(entry) = self.conns.get(&token) else { return };
+        let conn = Arc::clone(&entry.conn);
+        let (closed, close_now) = {
+            let mut wq = lock(&conn.wq);
+            try_flush(&conn.stream, &mut wq);
+            let drained = wq.start >= wq.buf.len();
+            (wq.closed, drained && wq.close_after_flush)
+        };
+        conn.wq_cv.notify_all();
+        if closed || close_now {
+            self.close_conn(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Recomputes and applies the interest set for one connection.
+    fn update_interest(&mut self, token: usize) {
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        let want_read = {
+            let q = lock(&entry.conn.q);
+            q.open && !q.paused && !entry.draining
+        };
+        let want_write = {
+            let wq = lock(&entry.conn.wq);
+            wq.start < wq.buf.len() && !wq.closed
+        };
+        let want = Interest { readable: want_read, writable: want_write };
+        if want != entry.interest
+            && self.reactor.reregister(entry.conn.stream.as_raw_fd(), token, want).is_ok()
+        {
+            entry.interest = want;
+        }
+    }
+
+    /// Applies worker notifications: resume reading on drained queues,
+    /// drain freshly produced output.
+    fn apply_notifications(&mut self) {
+        let notify = Arc::clone(&self.notify);
+        let rearm: Vec<usize> = std::mem::take(&mut *lock(&notify.rearm));
+        for token in rearm {
+            // Bytes may already be buffered past the parse stop: parse
+            // them first (no new readable event will announce them), then
+            // re-arm read interest.
+            self.parse_frames(token);
+            self.update_interest(token);
+        }
+        let flush: Vec<usize> = std::mem::take(&mut *lock(&notify.flush));
+        for token in flush {
+            self.conn_writable(token);
+        }
+    }
+
+    /// Reaps connections whose idle timer expired — unless frames are
+    /// queued or executing (the daemon itself is the bottleneck, which
+    /// the classic daemon never punishes the client for either).
+    fn fire_timers(&mut self) {
+        for (_, token) in self.wheel.advance(self.clock.now_ms()) {
+            let Some(entry) = self.conns.get_mut(&token) else { continue };
+            entry.idle_timer = None;
+            let busy = {
+                let q = lock(&entry.conn.q);
+                !q.frames.is_empty() || q.executing || q.fatal.is_some()
+            };
+            let has_output = {
+                let wq = lock(&entry.conn.wq);
+                wq.start < wq.buf.len()
+            };
+            if busy || has_output {
+                self.reset_idle_timer(token);
+            } else {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn reset_idle_timer(&mut self, token: usize) {
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        let Some(t) = entry.timeout else { return };
+        if let Some(id) = entry.idle_timer.take() {
+            self.wheel.cancel(id);
+        }
+        entry.idle_timer =
+            Some(self.wheel.schedule(self.clock.now_ms().saturating_add(dur_ms(t)), token));
+    }
+
+    /// Tears one connection down: deregister, sever, unblock producers.
+    fn close_conn(&mut self, token: usize) {
+        let Some(entry) = self.conns.remove(&token) else { return };
+        if let Some(id) = entry.idle_timer {
+            self.wheel.cancel(id);
+        }
+        let _ = self.reactor.deregister(entry.conn.stream.as_raw_fd());
+        {
+            let mut q = lock(&entry.conn.q);
+            q.open = false;
+            q.frames.clear();
+            q.fatal = None;
+        }
+        {
+            let mut wq = lock(&entry.conn.wq);
+            wq.closed = true;
+            wq.buf.clear();
+            wq.start = 0;
+        }
+        entry.conn.wq_cv.notify_all();
+        entry.conn.stream.shutdown_both();
+    }
+}
+
+/// Records a framing-level fatal error: the worker delivers the error
+/// reply after the frames already queued, then closes the connection.
+fn fatal_framing(entry: &mut ConnEntry, pool: &Arc<Pool>, e: ProtocolError) {
+    entry.draining = true;
+    let mut q = lock(&entry.conn.q);
+    if !q.open {
+        return;
+    }
+    q.fatal = Some(e);
+    if !q.executing {
+        q.executing = true;
+        drop(q);
+        pool.push(Arc::clone(&entry.conn));
+    }
+}
+
+/// Writes as much of `wq` as the socket accepts right now.
+fn try_flush(stream: &NetStream, wq: &mut WriteBuf) {
+    let mut w: &NetStream = stream;
+    while wq.start < wq.buf.len() {
+        match w.write(&wq.buf[wq.start..]) {
+            Ok(0) => {
+                wq.closed = true;
+                break;
+            }
+            Ok(n) => wq.start += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                wq.closed = true;
+                break;
+            }
+        }
+    }
+    if wq.start >= wq.buf.len() || wq.closed {
+        wq.buf.clear();
+        wq.start = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+fn worker_loop(shared: &Shared, pool: &Pool, notify: &Notify) {
+    while let Some(conn) = pool.next_job() {
+        process_conn(shared, pool, notify, &conn);
+    }
+}
+
+enum Outcome {
+    Continue,
+    CloseConn,
+    DaemonCrashed,
+}
+
+/// Executes one connection's queued frames in FIFO order, up to
+/// [`WORKER_BURST`] per dispatch (then requeues for fairness).
+fn process_conn(shared: &Shared, pool: &Pool, notify: &Notify, conn: &Arc<Conn>) {
+    let mut processed = 0usize;
+    loop {
+        let (frame, mut chunk, shed) = {
+            let mut q = lock(&conn.q);
+            if !q.open {
+                q.frames.clear();
+                q.executing = false;
+                return;
+            }
+            match q.frames.pop_front() {
+                Some(f) => {
+                    let chunk = q.chunk.take();
+                    let shed = q.shed;
+                    drop(q);
+                    (f, chunk, shed)
+                }
+                None => {
+                    if let Some(fatal) = q.fatal.take() {
+                        drop(q);
+                        queue_reply(conn, notify, PROTOCOL_VERSION, 0, &Reply::Error(fatal), None);
+                        flush_and_close(conn, notify);
+                        lock(&conn.q).executing = false;
+                        return;
+                    }
+                    finish_dispatch(conn, notify, &mut q);
+                    return;
+                }
+            }
+        };
+        let outcome = execute_frame(shared, notify, conn, &frame, &mut chunk, shed);
+        {
+            let mut q = lock(&conn.q);
+            q.chunk = chunk;
+            if q.paused && q.frames.len() <= FRAME_QUEUE_RESUME {
+                q.paused = false;
+                notify.push_rearm(conn.token);
+            }
+        }
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::CloseConn => {
+                let mut q = lock(&conn.q);
+                q.open = false;
+                q.frames.clear();
+                q.executing = false;
+                return;
+            }
+            Outcome::DaemonCrashed => {
+                shared.crash();
+                lock(&conn.q).executing = false;
+                return;
+            }
+        }
+        processed += 1;
+        if processed >= WORKER_BURST {
+            let mut q = lock(&conn.q);
+            if q.frames.is_empty() && q.fatal.is_none() {
+                finish_dispatch(conn, notify, &mut q);
+            } else {
+                // More work: requeue with `executing` held, so no other
+                // worker can interleave this connection's frames.
+                drop(q);
+                pool.push(Arc::clone(conn));
+            }
+            return;
+        }
+    }
+}
+
+/// Ends a dispatch with an empty queue: release the connection and ask
+/// the reactor to resume reads if they were paused.
+fn finish_dispatch(conn: &Conn, notify: &Notify, q: &mut ConnQ) {
+    q.executing = false;
+    let rearm = q.paused;
+    if rearm {
+        q.paused = false;
+    }
+    if rearm {
+        notify.push_rearm(conn.token);
+    }
+}
+
+/// The per-frame prologue + dispatch of the classic daemon's
+/// [`serve_connection`](super::serve_connection) loop, executed on a
+/// worker. Semantics are replicated exactly: fault hook first (delays
+/// sleep *here*, stalling only this connection), then admission, then
+/// [`handle_frame`](super::handle_frame), then the reply (with injected
+/// truncation severing the connection) and crash suppression.
+fn execute_frame(
+    shared: &Shared,
+    notify: &Notify,
+    conn: &Conn,
+    frame: &QueuedFrame,
+    chunk: &mut Option<super::ChunkWrite>,
+    shed: bool,
+) -> Outcome {
+    if shed {
+        if frame.version >= 5 {
+            let reply = Reply::Overloaded { retry_after_ms: OVERLOADED_RETRY_MS };
+            queue_reply(conn, notify, frame.version, frame.request_id, &reply, None);
+        }
+        flush_and_close(conn, notify);
+        return Outcome::CloseConn;
+    }
+    if let Some(fault) = &shared.fault {
+        match fault.on_frame(frame.seqno) {
+            FrameFault::None => {}
+            FrameFault::Drop => {
+                flush_and_close(conn, notify);
+                return Outcome::CloseConn;
+            }
+            FrameFault::Kill => return Outcome::DaemonCrashed,
+        }
+    }
+    if frame.version >= 5 {
+        if !shared.try_acquire_slot() {
+            let reply = Reply::Busy { retry_after_ms: BUSY_RETRY_MS };
+            queue_reply(conn, notify, frame.version, frame.request_id, &reply, None);
+            return Outcome::Continue;
+        }
+    } else {
+        shared.acquire_slot();
+    }
+    let handled = super::handle_frame(
+        shared,
+        chunk,
+        frame.version,
+        frame.opcode,
+        &frame.payload,
+        frame.received,
+    );
+    let crashed = shared.fault_crashed();
+    let mut shutdown = false;
+    let mut severed = false;
+    if !crashed {
+        let truncate = shared.fault.as_ref().and_then(|f| f.truncate_reply_at(frame.seqno));
+        match handled {
+            Handled::One(reply, stop) => {
+                shutdown = stop;
+                queue_reply(conn, notify, frame.version, frame.request_id, &reply, truncate);
+            }
+            Handled::Stream(mut gather) => {
+                let mut first = true;
+                loop {
+                    let (reply, last) = gather.next_chunk();
+                    let t = if first { truncate } else { None };
+                    first = false;
+                    queue_reply(conn, notify, frame.version, frame.request_id, &reply, t);
+                    if t.is_some() || last {
+                        break;
+                    }
+                }
+            }
+        }
+        severed = truncate.is_some();
+    }
+    shared.release_slot();
+    if crashed {
+        // An injected kill or torn write fired while this request was in
+        // flight: the "crashed" daemon never replies.
+        return Outcome::DaemonCrashed;
+    }
+    if severed {
+        flush_and_close(conn, notify);
+        return Outcome::CloseConn;
+    }
+    if shutdown {
+        // `handle_frame` set `stopping`; deliver the `Ok`, close this
+        // connection, and wake everything that might be parked on the
+        // old state — the reactor's poll, blocked admission waits, and
+        // the scrub thread's pause.
+        flush_and_close(conn, notify);
+        shared.inflight_cv.notify_all();
+        shared.shutdown_cv.notify_all();
+        notify.waker.wake();
+        return Outcome::CloseConn;
+    }
+    Outcome::Continue
+}
+
+/// Encodes one reply frame into the connection's write buffer (applying
+/// an injected truncation), attempts an immediate non-blocking drain, and
+/// leaves the reactor to finish the rest. Parks when the buffer is over
+/// [`WRITE_BUF_CAP`] — slow-reader backpressure bounded per connection.
+fn queue_reply(
+    conn: &Conn,
+    notify: &Notify,
+    version: u8,
+    request_id: u64,
+    reply: &Reply,
+    truncate: Option<u64>,
+) {
+    let mut payload = Vec::new();
+    reply.encode_payload_at_into(version, &mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    let _ = wire::write_frame_at(&mut frame, version, reply.opcode(), request_id, &payload);
+    if let Some(keep) = truncate {
+        frame.truncate((keep as usize).min(frame.len()));
+    }
+    let mut wq = lock(&conn.wq);
+    while wq.buf.len() - wq.start > WRITE_BUF_CAP && !wq.closed {
+        wq = conn.wq_cv.wait(wq).unwrap_or_else(|e| e.into_inner());
+    }
+    if wq.closed {
+        return;
+    }
+    wq.buf.extend_from_slice(&frame);
+    try_flush(&conn.stream, &mut wq);
+    let leftover = wq.start < wq.buf.len();
+    drop(wq);
+    if leftover {
+        notify.push_flush(conn.token);
+    }
+}
+
+/// Closes a connection from the worker side: no more frames, flush what
+/// is queued, and let the reactor deregister + shut the socket down.
+fn flush_and_close(conn: &Conn, notify: &Notify) {
+    {
+        let mut q = lock(&conn.q);
+        q.open = false;
+        q.frames.clear();
+    }
+    {
+        let mut wq = lock(&conn.wq);
+        wq.close_after_flush = true;
+        try_flush(&conn.stream, &mut wq);
+    }
+    // Always notify: even a fully drained buffer needs the reactor to
+    // deregister the fd and drop its entry.
+    notify.push_flush(conn.token);
+}
+
+/// Duration → wheel milliseconds (rounds up so sub-ms budgets still arm).
+fn dur_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(u64::from(!d.is_zero()))
+}

@@ -74,22 +74,16 @@ use parafile_replica::{
     copy_file_id, plan_subfile, CopyHealth, DirtyReplica, DirtySet, ReplicaMap, ScrubVerdict,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
-/// Locks a node client, recovering from poisoning (a panicked worker or
-/// caller must not wedge the whole session).
+/// Locks a node client, recovering from poisoning (a panicked caller
+/// must not wedge the whole session).
 fn lock(m: &Mutex<NodeClient>) -> MutexGuard<'_, NodeClient> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
-
-/// Depth of each node worker's request queue. Deep enough to pipeline a
-/// burst of batched writes per node, bounded so a stalled daemon
-/// back-pressures the submitter instead of buffering without limit.
-const WORKER_QUEUE_DEPTH: usize = 16;
 
 /// Consecutive breaker-relevant failures (transport errors, `Busy` sheds)
 /// before a node's circuit breaker trips open.
@@ -108,71 +102,10 @@ const HEDGE_CEILING: Duration = Duration::from_millis(250);
 /// Poll step while racing a primary read against its hedge.
 const HEDGE_POLL: Duration = Duration::from_micros(200);
 
-/// Where a worker's reply lands.
-type ReplySlot = Receiver<Result<Reply, NetError>>;
-
-/// One queued request and the slot its reply goes to. The reply channel
-/// has capacity 1 and receives exactly one message, so a worker never
-/// blocks handing a reply back — even if the collector already gave up.
-struct Job {
-    request: Request,
-    reply: SyncSender<Result<Reply, NetError>>,
-}
-
-/// A persistent per-node dispatcher: one OS thread owning the queue end
-/// for its node, serializing requests onto the shared [`NodeClient`] (and
-/// so reusing its warm connection and backoff state across calls).
-struct Worker {
-    /// Bounded job queue; dropping it is the shutdown signal.
-    tx: Option<SyncSender<Job>>,
-    /// The worker thread, joined on drop.
-    handle: Option<JoinHandle<()>>,
-    /// Test hook: arms the worker to panic before its next job, to
-    /// exercise the lost-worker degradation path.
-    #[cfg_attr(not(test), allow(dead_code))]
-    panic_next: Arc<AtomicBool>,
-}
-
-impl Drop for Worker {
-    fn drop(&mut self) {
-        drop(self.tx.take());
-        if let Some(handle) = self.handle.take() {
-            // A panicked worker joins with an error that was already
-            // accounted for (its jobs surfaced as lost).
-            let _ = handle.join();
-        }
-    }
-}
-
-/// The error surfaced when a worker thread died under a request: an
-/// `Io`-class failure, so write reporting degrades it to
-/// [`SegmentOutcome::Unreachable`] exactly like a dead connection.
-fn worker_lost(node: usize) -> NetError {
-    NetError::Io(std::io::Error::other(format!("node {node} worker thread panicked")))
-}
-
-/// Starts the persistent dispatch thread for `node`.
-fn spawn_worker(node: usize, client: Arc<Mutex<NodeClient>>) -> Worker {
-    let panic_next = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&panic_next);
-    let (tx, rx) = mpsc::sync_channel::<Job>(WORKER_QUEUE_DEPTH);
-    let handle = std::thread::Builder::new().name(format!("pf-node-{node}")).spawn(move || {
-        for job in rx {
-            assert!(!flag.swap(false, Ordering::SeqCst), "injected worker panic");
-            let result = lock(&client).call(&job.request);
-            // The collector may have abandoned this job (a fatal error
-            // on another node): a closed reply slot is not our problem.
-            let _ = job.reply.send(result);
-        }
-    });
-    match handle {
-        Ok(handle) => Worker { tx: Some(tx), handle: Some(handle), panic_next },
-        // Thread exhaustion: a queue-less worker makes every submit
-        // surface `worker_lost`, degrading the node to Unreachable
-        // instead of panicking the session.
-        Err(_) => Worker { tx: None, handle: None, panic_next },
-    }
-}
+/// Where a dispatched request's reply lands (re-exported from the mux so
+/// every collector keeps its existing shape: capacity-1 channel, one
+/// terminal result).
+use crate::mux::{mux_lost, Mux, ReplySlot};
 
 struct ViewState {
     view: Partition,
@@ -277,15 +210,16 @@ impl RedistReport {
 /// A compute node's connection to a set of I/O-node daemons, one subfile
 /// per daemon (daemon order = subfile order).
 ///
-/// Dispatch is pipelined: every node has a persistent worker thread
-/// owning its end of a bounded request queue, so fan-outs reuse warm
-/// connections and overlap encode/send/recv across nodes without
-/// spawning threads per call. Recovery paths (`reopen`, `reestablish`,
-/// …) lock the shared per-node client directly between fan-outs.
+/// Dispatch is multiplexed: one reactor-driven [`Mux`] thread owns every
+/// node's warm connection, keeps many requests in flight per connection
+/// (replies matched FIFO by request id) and runs all retry/backoff/shed
+/// timing on a timer wheel — no per-node threads, no bounded queues.
+/// Recovery paths (`reopen`, `reestablish`, …) lock the shared per-node
+/// client directly between fan-outs.
 pub struct Session {
     nodes: Vec<Arc<Mutex<NodeClient>>>,
-    /// Persistent per-node dispatch workers, index-aligned with `nodes`.
-    workers: Vec<Worker>,
+    /// The multiplexed transport all fan-outs dispatch through.
+    mux: Mux,
     files: HashMap<u64, FileState>,
     /// This session's retry-stamp namespace (nonzero; 0 is the unstamped
     /// wire sentinel).
@@ -433,14 +367,10 @@ impl Session {
                 ))
             })
             .collect();
-        let workers = nodes
-            .iter()
-            .enumerate()
-            .map(|(s, client)| spawn_worker(s, Arc::clone(client)))
-            .collect();
+        let mux = Mux::new(addrs, Arc::clone(&retry_budget));
         Self {
             nodes,
-            workers,
+            mux,
             files: HashMap::new(),
             session_id: session_id.max(1),
             next_seq: AtomicU64::new(1),
@@ -566,6 +496,7 @@ impl Session {
     /// [`Deadline::none`] to remove it.
     pub fn set_deadline(&mut self, deadline: Deadline) {
         self.deadline = deadline;
+        self.mux.set_deadline(deadline);
         for node in &self.nodes {
             lock(node).set_deadline(deadline);
         }
@@ -577,37 +508,24 @@ impl Session {
         self.deadline
     }
 
-    /// Replaces a dead worker with a fresh one. The shared client — and so
-    /// the warm connection and backoff state — carries over; assigning over
-    /// the old [`Worker`] joins its (already finished) thread.
+    /// Resets `node`'s transport path after a faulted request: the mux
+    /// drops the node's warm connection (in-flight requests ride the
+    /// normal retry ladder) while the shared client — and so its own warm
+    /// connection and backoff state — carries over.
     fn respawn(&mut self, node: usize) {
-        self.workers[node] = spawn_worker(node, Arc::clone(&self.nodes[node]));
+        self.mux.reset_node(node);
     }
 
-    /// Enqueues one request on `node`'s worker, respawning it once if the
-    /// queue is closed (an earlier job panicked the thread). Returns the
-    /// slot the reply will arrive on; blocks only when the node's bounded
-    /// queue is full.
+    /// Dispatches one request for `node` into the mux. Returns the slot
+    /// the reply will arrive on; never blocks (in-flight depth is bounded
+    /// by the daemon's admission control, not a client queue).
     fn submit(&mut self, node: usize, request: Request) -> Result<ReplySlot, NetError> {
-        let (rtx, rrx) = mpsc::sync_channel(1);
-        let mut job = Job { request, reply: rtx };
-        for respawned in [false, true] {
-            if respawned {
-                self.respawn(node);
-            }
-            let Some(tx) = self.workers[node].tx.as_ref() else { continue };
-            match tx.send(job) {
-                Ok(()) => return Ok(rrx),
-                Err(mpsc::SendError(j)) => job = j,
-            }
-        }
-        Err(worker_lost(node))
+        self.mux.submit(node, request)
     }
 
     /// Collects one submitted reply, recording its outcome on the node's
-    /// breaker. A worker that died under the job (its reply slot closed
-    /// without a message) is respawned and surfaced as a lost-worker
-    /// transport error.
+    /// breaker. A slot that closed without a message means the mux driver
+    /// died under the request; it is surfaced as a lost-transport error.
     fn collect(
         &mut self,
         node: usize,
@@ -618,7 +536,7 @@ impl Session {
                 Ok(reply) => reply,
                 Err(_) => {
                     self.respawn(node);
-                    Err(worker_lost(node))
+                    Err(mux_lost(node))
                 }
             },
             Err(e) => Err(e),
@@ -627,8 +545,8 @@ impl Session {
         reply
     }
 
-    /// Fans `requests` out to their nodes' workers concurrently and
-    /// returns the replies in the same order.
+    /// Fans `requests` out through the mux concurrently and returns the
+    /// replies in the same order.
     fn fan_out(&mut self, requests: Vec<Outgoing>) -> Vec<(usize, Result<Reply, NetError>)> {
         if requests.len() == 1 {
             // Skip the queue round trip for the single-target case.
@@ -849,10 +767,11 @@ impl Session {
             .ok_or_else(|| NetError::BadReply("write batch returned no report".to_string()))
     }
 
-    /// Pipelines several logical writes through the per-node worker
+    /// Pipelines several logical writes through the per-node mux
     /// queues: every op's per-node messages are enqueued back to back
-    /// before any reply is collected, so each node's worker streams the
-    /// whole batch over its warm connection without a per-op barrier.
+    /// before any reply is collected, so the transport streams each
+    /// node's whole batch over its warm connection without a per-op
+    /// barrier.
     /// Returns one [`RedistReport`] per op, in op order, with the same
     /// degradation semantics as [`write_report`](Self::write_report).
     pub fn write_batch(
@@ -899,8 +818,9 @@ impl Session {
                 .collect();
             pending.push(waits);
         }
-        // Collect phase, in op order (workers answer each node's jobs in
-        // FIFO order, so op k's reply on a node precedes op k+1's).
+        // Collect phase, in op order (the mux settles each node's
+        // requests in FIFO order, so op k's reply on a node precedes
+        // op k+1's).
         let mut out = Vec::with_capacity(pending.len());
         for (waits, op) in pending.into_iter().zip(ops) {
             let mut report = RedistReport::default();
@@ -1068,9 +988,9 @@ impl Session {
                 }
             }
             Err(NetError::Io(_) | NetError::IdMismatch { .. }) => {
-                // The node stayed down through the client's whole retry
-                // schedule (or its worker died): mark it dead so later
-                // writes fail fast until a probe revives it.
+                // The node stayed down through the transport's whole
+                // retry schedule (or its driver died): mark it dead so
+                // later writes fail fast until a probe revives it.
                 self.health[node] = NodeHealth::Dead;
                 SegmentOutcome::Unreachable
             }
@@ -1399,7 +1319,7 @@ impl Session {
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 self.respawn(node);
                 self.note_node(node, false);
-                return (rank, Err(worker_lost(node)));
+                return (rank, Err(mux_lost(node)));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
@@ -1425,7 +1345,7 @@ impl Session {
                 Err(_) => {
                     self.respawn(node);
                     self.note_node(node, false);
-                    return (rank, Err(worker_lost(node)));
+                    return (rank, Err(mux_lost(node)));
                 }
             };
             if reply.is_ok() {
@@ -1461,7 +1381,7 @@ impl Session {
                         let (k, n, _) = pending.remove(i);
                         self.respawn(n);
                         self.note_node(n, false);
-                        last = Some((k, Err(worker_lost(n))));
+                        last = Some((k, Err(mux_lost(n))));
                     }
                 }
             }
@@ -2025,9 +1945,9 @@ impl Drop for Session {
     /// ack lands or fails, so a write the caller saw succeed is actually
     /// on all its copies — or recorded dirty — before the connections
     /// close. A later session's scrub then sees an honest cluster instead
-    /// of silently divergent replicas. Worker threads are still alive here
+    /// of silently divergent replicas. The mux driver is still alive here
     /// (fields drop after this body), so the blocking drain terminates on
-    /// the clients' own timeouts.
+    /// the transport's own timeouts.
     fn drop(&mut self) {
         self.drain_stragglers(true);
     }
@@ -2091,11 +2011,11 @@ mod tests {
     }
 
     #[test]
-    fn panicked_worker_degrades_to_unreachable_then_recovers() {
+    fn killed_transport_degrades_to_unreachable_then_recovers() {
         let (mut handles, mut session) = two_node_session();
-        // Arm node 0's worker to panic on its next job: the write must
-        // degrade that node to Unreachable instead of panicking the call.
-        session.workers[0].panic_next.store(true, Ordering::SeqCst);
+        // Arm node 0's transport to kill its next request: the write must
+        // degrade that node to Unreachable instead of failing the call.
+        session.mux.arm_kill(0);
         let report = session.write_report(0, 1, 0, 31, &[0x33; 32]).expect("degraded write");
         assert_eq!(report.unreachable(), vec![0]);
         assert!(
@@ -2105,7 +2025,7 @@ mod tests {
                 .any(|&(n, o)| n == 1 && matches!(o, SegmentOutcome::Applied { .. })),
             "node 1 must still apply its segments: {report:?}"
         );
-        // The worker was respawned on the spot; a probe revives the node
+        // The connection was reset on the spot; a probe revives the node
         // and the next write goes through end to end.
         assert!(session.probe().iter().all(|h| matches!(h, NodeHealth::Alive { .. })));
         let report = session.write_report(0, 1, 0, 31, &[0x44; 32]).expect("write after respawn");
@@ -2118,17 +2038,16 @@ mod tests {
     }
 
     #[test]
-    fn worker_handoff_survives_interleaved_panics_under_stress() {
+    fn transport_handoff_survives_interleaved_kills_under_stress() {
         // Loom substitute (see CI's nightly interleaving jobs): shake the
-        // submit → sync_channel → collect → respawn handoff by arming the
-        // worker panic hook at shifting points across many iterations.
-        // Every iteration must terminate (no deadlock on the bounded
-        // queue, no hang on a dead worker's reply slot) and degrade —
-        // never panic — the session.
+        // submit → mux → collect → reset handoff by arming the transport
+        // kill hook at shifting points across many iterations. Every
+        // iteration must terminate (no deadlock, no hang on an abandoned
+        // reply slot) and degrade — never panic — the session.
         let (mut handles, mut session) = two_node_session();
         for i in 0..48u64 {
             if i % 3 == 0 {
-                session.workers[(i as usize / 3) % 2].panic_next.store(true, Ordering::SeqCst);
+                session.mux.arm_kill((i as usize / 3) % 2);
             }
             let data = vec![i as u8; 32];
             match session.write_report(0, 1, 0, 31, &data) {
@@ -2148,9 +2067,9 @@ mod tests {
             }
         }
         // After the storm the session must still work end to end. The
-        // first probe may absorb a still-armed panic (the hook fires on
-        // the worker's next job, whatever it is); the second one runs on
-        // freshly respawned workers and revives everything.
+        // first probe may absorb a still-armed kill (the hook fires on
+        // the node's next request, whatever it is); the second one runs
+        // on a clean transport and revives everything.
         session.probe();
         session.probe();
         let report = session.write_report(0, 1, 0, 31, &[0x77; 32]).expect("final write");
@@ -2277,7 +2196,7 @@ mod tests {
     fn write_batch_pipelines_and_matches_sequential_writes() {
         // 4 nodes, row-block view over column-block physical: every 16-byte
         // row write scatters 4 bytes to each of the 4 nodes, and the batch
-        // queues 4 such ops back to back per node worker.
+        // queues 4 such ops back to back per node connection.
         let physical = MatrixLayout::ColumnBlocks.partition(16, 16, 1, 4);
         let logical = MatrixLayout::RowBlocks.partition(16, 16, 1, 4);
         let (mut handles, addrs) =

@@ -8,7 +8,7 @@
 //! pf owner   <part.json> <offset>        # which element owns a file byte
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
-//! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS]  # run an I/O-node daemon
+//! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS] [--workers N]  # run an I/O-node daemon
 //! pf chaos   <listen> <up1[,up2,…]> <SPEC> [--duration SECS] [--delay MS]  # fault proxy
 //! pf io <a1,a2,…> demo <n> [--pipeline] [--replicas R]  # matrix scenario over real daemons
 //! pf io <a1,a2,…> work <reads> [--deadline MS] [--replicas R]  # deadline-bounded read workload
@@ -252,6 +252,12 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                             return Err(ToolError::Spec("--scrub interval must be > 0".into()));
                         }
                         config.scrub_interval = Some(std::time::Duration::from_secs(secs));
+                    }
+                    "--workers" => {
+                        // 0 = classic thread-per-connection; N > 0 = the
+                        // epoll/poll reactor with an N-thread worker pool.
+                        config.workers =
+                            parse_u64(rest.next().ok_or_else(usage)?, "--workers")? as usize;
                     }
                     other => return Err(ToolError::Spec(format!("unknown flag {other:?}"))),
                 }
