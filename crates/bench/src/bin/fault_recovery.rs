@@ -92,7 +92,7 @@ fn timed_writes(backend: StorageBackend, len: u64, file: u64) -> u128 {
     let config = DaemonConfig { backend, ..Default::default() };
     let daemon = serve("127.0.0.1:0", config).expect("serve");
     let mut client = NodeClient::new(daemon.addr());
-    client.expect_ok(&Request::Open { file, subfile: 0, len }).expect("open");
+    client.expect_ok(&Request::Open { file, subfile: 0, len, tenant: 0 }).expect("open");
     client.expect_ok(&half_view(file, len)).expect("view");
     let payload: Vec<u8> = (0..len / 2).map(|i| i as u8).collect();
     let start = Instant::now();
@@ -121,7 +121,7 @@ fn recovery_cycle(len: u64, file: u64, dir: &std::path::Path) -> Duration {
     let mut handle = serve("127.0.0.1:0", config).expect("serve");
     let addr = handle.addr().to_string();
     let mut client = NodeClient::new(&addr);
-    let open = Request::Open { file, subfile: 0, len };
+    let open = Request::Open { file, subfile: 0, len, tenant: 0 };
     client.expect_ok(&open).expect("open");
     client.expect_ok(&half_view(file, len)).expect("view");
     let payload = vec![0x5Au8; (len / 2) as usize];
@@ -175,7 +175,9 @@ fn main() {
             // Replay rate: re-send one already-applied stamp.
             let daemon = serve("127.0.0.1:0", DaemonConfig::default()).expect("serve");
             let mut client = NodeClient::new(daemon.addr());
-            client.expect_ok(&Request::Open { file: file + 2, subfile: 0, len }).expect("open");
+            client
+                .expect_ok(&Request::Open { file: file + 2, subfile: 0, len, tenant: 0 })
+                .expect("open");
             client.expect_ok(&half_view(file + 2, len)).expect("view");
             let payload = vec![7u8; (len / 2) as usize];
             let w = stamped(file + 2, 1, payload, len - 1);

@@ -18,15 +18,18 @@
 
 mod cache;
 mod compiled;
+mod persist;
 
 pub use cache::CacheStats;
 pub use compiled::{CompiledPlan, CompiledView, PairMeta, SegmentReplay};
+pub use persist::PersistStats;
 
 use crate::model::Partition;
 use crate::plan::RedistributionPlan;
 use crate::redist::ViewPlan;
 use crate::Error;
 use falls::{fingerprint_set, StructuralHasher};
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
 /// Stable 64-bit structural fingerprint of a partition's pattern: element
@@ -113,22 +116,39 @@ const CAPACITY_PER_SHARD: usize = 16;
 pub struct PlanEngine {
     views: cache::ShardedLru<ViewKey, CompiledView>,
     redists: cache::ShardedLru<RedistKey, CompiledPlan>,
+    /// Optional on-disk tier consulted on LRU misses (DESIGN.md §18).
+    persist: Option<persist::PlanStore>,
 }
 
 impl PlanEngine {
-    /// A fresh engine with empty caches (8 shards × 16 entries per cache).
+    /// A fresh engine with empty caches (8 shards × 16 entries per cache)
+    /// and no persistent tier.
     #[must_use]
     pub fn new() -> Self {
         Self {
             views: cache::ShardedLru::new(SHARDS, CAPACITY_PER_SHARD),
             redists: cache::ShardedLru::new(SHARDS, CAPACITY_PER_SHARD),
+            persist: None,
         }
     }
 
-    /// The process-wide shared engine.
+    /// A fresh engine whose misses consult — and whose compiles feed — the
+    /// on-disk plan cache at `path`. A missing file is a normal first run;
+    /// a corrupt or stale one degrades to cold compiles (never an error)
+    /// and counts a load failure in [`PersistStats`].
+    #[must_use]
+    pub fn with_persist(path: PathBuf) -> Self {
+        Self { persist: Some(persist::PlanStore::open(path)), ..Self::new() }
+    }
+
+    /// The process-wide shared engine. Set `PF_PLAN_CACHE=<path>` to back
+    /// it with the persistent tier so a fresh process starts warm.
     pub fn global() -> &'static PlanEngine {
         static GLOBAL: OnceLock<PlanEngine> = OnceLock::new();
-        GLOBAL.get_or_init(PlanEngine::new)
+        GLOBAL.get_or_init(|| match std::env::var_os("PF_PLAN_CACHE") {
+            Some(path) if !path.is_empty() => PlanEngine::with_persist(PathBuf::from(path)),
+            _ => PlanEngine::new(),
+        })
     }
 
     /// Compiles (or recalls) the access plan of `element` of `view` against
@@ -150,8 +170,16 @@ impl PlanEngine {
         if let Some(hit) = self.views.get(&key) {
             return Ok(hit);
         }
-        let compiled =
-            Arc::new(CompiledView::from_plan(ViewPlan::compile(view, element, physical)?));
+        if let Some(plan) = self.persist.as_ref().and_then(|s| s.get_view(&key)) {
+            let compiled = Arc::new(CompiledView::from_plan(plan));
+            self.views.insert(key, Arc::clone(&compiled));
+            return Ok(compiled);
+        }
+        let plan = ViewPlan::compile(view, element, physical)?;
+        if let Some(store) = &self.persist {
+            store.put_view(&key, &plan);
+        }
+        let compiled = Arc::new(CompiledView::from_plan(plan));
         self.views.insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
@@ -173,7 +201,16 @@ impl PlanEngine {
         if let Some(hit) = self.redists.get(&key) {
             return Ok(hit);
         }
-        let compiled = Arc::new(CompiledPlan::from_plan(RedistributionPlan::build(src, dst)?));
+        if let Some(plan) = self.persist.as_ref().and_then(|s| s.get_redist(&key)) {
+            let compiled = Arc::new(CompiledPlan::from_plan(plan));
+            self.redists.insert(key, Arc::clone(&compiled));
+            return Ok(compiled);
+        }
+        let plan = RedistributionPlan::build(src, dst)?;
+        if let Some(store) = &self.persist {
+            store.put_redist(&key, &plan);
+        }
+        let compiled = Arc::new(CompiledPlan::from_plan(plan));
         self.redists.insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
@@ -182,6 +219,28 @@ impl PlanEngine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats { views: self.views.stats(), redists: self.redists.stats() }
+    }
+
+    /// Counters of the persistent tier, or `None` when the engine runs
+    /// without one.
+    #[must_use]
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persist.as_ref().map(persist::PlanStore::stats)
+    }
+
+    /// The persistent tier's backing file, when one is configured.
+    #[must_use]
+    pub fn persist_path(&self) -> Option<&std::path::Path> {
+        self.persist.as_ref().map(persist::PlanStore::path)
+    }
+
+    /// Drops every persisted entry and deletes the backing cache file.
+    /// No-op `Ok` when the engine has no persistent tier.
+    pub fn purge_persist(&self) -> std::io::Result<()> {
+        match &self.persist {
+            Some(store) => store.purge(),
+            None => Ok(()),
+        }
     }
 }
 

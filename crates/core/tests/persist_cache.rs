@@ -1,0 +1,237 @@
+//! The persistent plan-cache tier: warm starts, corruption fall-back, and
+//! cross-process fingerprint stability (ISSUE 10).
+
+use falls::{Falls, NestedFalls, NestedSet};
+use parafile::model::{Partition, PartitionPattern};
+use parafile::PlanEngine;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Env marker that switches the re-executed test binary into child mode.
+const CHILD_ENV: &str = "PF_PERSIST_CACHE_CHILD";
+
+fn stripes(count: u64, width: u64, disp: u64) -> Partition {
+    let pattern = PartitionPattern::new(
+        (0..count)
+            .map(|k| {
+                NestedSet::singleton(NestedFalls::leaf(
+                    Falls::new(k * width, (k + 1) * width - 1, count * width, 1).unwrap(),
+                ))
+            })
+            .collect(),
+    )
+    .unwrap();
+    Partition::new(disp, pattern)
+}
+
+fn cyclic(count: u64) -> Partition {
+    let pattern = PartitionPattern::new(
+        (0..count)
+            .map(|k| NestedSet::singleton(NestedFalls::leaf(Falls::new(k, k, count, 1).unwrap())))
+            .collect(),
+    )
+    .unwrap();
+    Partition::new(0, pattern)
+}
+
+/// A unique cache-file path under the system temp dir.
+fn cache_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pf_plan_cache_{}_{tag}_{n}.bin", std::process::id()))
+}
+
+/// Deletes the cache file (and any leftover temp sibling), best effort.
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path.with_extension(format!("tmp.{}", std::process::id())));
+}
+
+/// A stable digest of the engine's replayed run tables for one workload:
+/// every copy run of the redistribution plan plus every view-side
+/// projection segment, FNV-1a folded. Two engines that replay
+/// byte-identical tables produce the same digest.
+fn workload_digest(engine: &PlanEngine) -> u64 {
+    let src = stripes(4, 8, 0);
+    let dst = cyclic(4);
+    let view = stripes(4, 8, 0);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    let redist = engine.compile_redist(&src, &dst).expect("compile redist");
+    fold(redist.displacement());
+    fold(redist.period());
+    for pair in redist.plan().pairs.iter() {
+        fold(pair.src_element as u64);
+        fold(pair.dst_element as u64);
+        fold(pair.src_period);
+        fold(pair.dst_period);
+        for run in &pair.runs {
+            fold(run.file_rel);
+            fold(run.src_off);
+            fold(run.dst_off);
+            fold(run.len);
+        }
+    }
+    let compiled = engine.compile_view(&view, 1, &dst).expect("compile view");
+    for access in compiled.per_subfile() {
+        fold(access.proj_view.period);
+        fold(access.proj_sub.period);
+        for seg in access.proj_sub.set.families().iter().flat_map(|f| f.absolute_segments()) {
+            fold(seg.l());
+            fold(seg.r());
+        }
+    }
+    h
+}
+
+#[test]
+fn warm_restart_hits_the_persisted_tier_with_identical_tables() {
+    let path = cache_path("warm");
+    // "Process 1": cold compiles, feeding the disk tier.
+    let cold_digest = {
+        let engine = PlanEngine::with_persist(path.clone());
+        let digest = workload_digest(&engine);
+        let stats = engine.persist_stats().expect("persist tier configured");
+        assert_eq!(stats.hits, 0, "first run must be cold");
+        assert_eq!(stats.misses, 2, "both compiles fell through to cold");
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        digest
+    };
+    // "Process 2": a fresh engine (empty LRU) over the same file.
+    let engine = PlanEngine::with_persist(path.clone());
+    let warm_digest = workload_digest(&engine);
+    let stats = engine.persist_stats().expect("persist tier configured");
+    assert_eq!(stats.hits, 2, "both compiles answered from disk: {stats:?}");
+    assert_eq!(stats.load_failures, 0);
+    assert_eq!(warm_digest, cold_digest, "replayed run tables must be byte-identical");
+    cleanup(&path);
+}
+
+#[test]
+fn truncated_cache_file_degrades_to_cold_with_a_counter_bump() {
+    let path = cache_path("trunc");
+    let clean = {
+        let engine = PlanEngine::with_persist(path.clone());
+        workload_digest(&engine)
+    };
+    let image = std::fs::read(&path).expect("cache file written");
+    for cut in [0, 3, image.len() / 2, image.len() - 1] {
+        std::fs::write(&path, &image[..cut]).expect("truncate");
+        let engine = PlanEngine::with_persist(path.clone());
+        let stats = engine.persist_stats().expect("persist tier configured");
+        assert_eq!(stats.load_failures, 1, "cut at {cut} must count one load failure");
+        assert_eq!(stats.entries, 0, "nothing salvaged from a torn image");
+        // Compiles still work — cold — and reproduce the same tables.
+        assert_eq!(workload_digest(&engine), clean, "cut at {cut}");
+        assert_eq!(engine.persist_stats().unwrap().misses, 2);
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn bit_flipped_cache_file_is_rejected_by_the_checksum() {
+    let path = cache_path("flip");
+    let clean = {
+        let engine = PlanEngine::with_persist(path.clone());
+        workload_digest(&engine)
+    };
+    let image = std::fs::read(&path).expect("cache file written");
+    // Flip one bit in every region: header, checksum, payload head, tail.
+    for pos in [5, 17, 25, image.len() - 1] {
+        let mut corrupt = image.clone();
+        corrupt[pos] ^= 0x10;
+        std::fs::write(&path, &corrupt).expect("corrupt");
+        let engine = PlanEngine::with_persist(path.clone());
+        let stats = engine.persist_stats().expect("persist tier configured");
+        assert_eq!(stats.load_failures, 1, "flip at {pos} must count one load failure");
+        assert_eq!(workload_digest(&engine), clean, "flip at {pos}");
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn version_mismatched_cache_file_is_stale_not_fatal() {
+    let path = cache_path("ver");
+    let clean = {
+        let engine = PlanEngine::with_persist(path.clone());
+        workload_digest(&engine)
+    };
+    let mut image = std::fs::read(&path).expect("cache file written");
+    image[4] = image[4].wrapping_add(1); // format field, little-endian low byte
+    std::fs::write(&path, &image).expect("stale");
+    let engine = PlanEngine::with_persist(path.clone());
+    let stats = engine.persist_stats().expect("persist tier configured");
+    assert_eq!(stats.load_failures, 1);
+    assert_eq!(stats.entries, 0);
+    assert_eq!(workload_digest(&engine), clean);
+    // The cold compiles re-persisted a current-format image: a third
+    // engine starts warm again.
+    let engine = PlanEngine::with_persist(path.clone());
+    assert_eq!(workload_digest(&engine), clean);
+    assert_eq!(engine.persist_stats().unwrap().hits, 2);
+    cleanup(&path);
+}
+
+#[test]
+fn purge_drops_the_disk_tier() {
+    let path = cache_path("purge");
+    let engine = PlanEngine::with_persist(path.clone());
+    let _ = workload_digest(&engine);
+    assert!(path.exists());
+    engine.purge_persist().expect("purge");
+    assert!(!path.exists(), "purge removes the backing file");
+    assert_eq!(engine.persist_stats().unwrap().entries, 0);
+    cleanup(&path);
+}
+
+/// Child half of the cross-process test: compiled in the same binary,
+/// activated only when the parent re-executes it with [`CHILD_ENV`] set.
+#[test]
+fn persist_cache_cross_process_child() {
+    let Some(path) = std::env::var_os(CHILD_ENV) else { return };
+    let engine = PlanEngine::with_persist(PathBuf::from(path));
+    let digest = workload_digest(&engine);
+    let stats = engine.persist_stats().expect("persist tier configured");
+    // The parent's compiles must be fingerprint hits over here.
+    assert_eq!(stats.hits, 2, "child must start warm: {stats:?}");
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.load_failures, 0);
+    println!("PERSIST_CHILD_OK digest={digest:016x}");
+}
+
+#[test]
+fn cross_process_fingerprints_are_stable() {
+    let path = cache_path("xproc");
+    let parent_digest = {
+        let engine = PlanEngine::with_persist(path.clone());
+        workload_digest(&engine)
+    };
+    let out = std::process::Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["persist_cache_cross_process_child", "--exact", "--nocapture"])
+        .env(CHILD_ENV, &path)
+        .output()
+        .expect("spawn child test process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "child failed:\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // libtest may glue its own "test ... " progress text onto the same
+    // line, so match the marker as a substring, not a line prefix.
+    let digest_hex = stdout
+        .split("PERSIST_CHILD_OK digest=")
+        .nth(1)
+        .map(|rest| rest.split_whitespace().next().unwrap_or(""))
+        .unwrap_or_else(|| panic!("child digest line missing in stdout:\n{stdout}"));
+    assert_eq!(
+        u64::from_str_radix(digest_hex, 16).expect("hex digest"),
+        parent_digest,
+        "replayed run tables must be byte-identical across processes"
+    );
+    cleanup(&path);
+}

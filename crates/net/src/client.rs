@@ -684,11 +684,13 @@ mod tests {
         let mut handle = serve("127.0.0.1:0", DaemonConfig::default()).expect("bind");
         let addr = handle.addr().to_string();
         let mut client = NodeClient::new(&addr);
-        client.expect_ok(&Request::Open { file: 1, subfile: 0, len: 8 }).expect("first open");
+        client
+            .expect_ok(&Request::Open { file: 1, subfile: 0, len: 8, tenant: 0 })
+            .expect("first open");
         handle.stop();
         let _handle2 = serve(&addr, DaemonConfig::default()).expect("rebind");
         client
-            .expect_ok(&Request::Open { file: 1, subfile: 0, len: 8 })
+            .expect_ok(&Request::Open { file: 1, subfile: 0, len: 8, tenant: 0 })
             .expect("open after restart retries onto the new daemon");
     }
 

@@ -29,6 +29,7 @@ pub mod client;
 pub mod error;
 pub mod fault;
 pub mod mux;
+pub mod pool;
 pub mod proto;
 pub mod reactor;
 pub mod resilience;
@@ -42,6 +43,7 @@ pub use error::{ErrCode, NetError, ProtocolError};
 pub use fault::{
     chaos_proxy, ChaosOutcome, ChaosProxyHandle, FaultInjector, FaultPlan, TruncateFault,
 };
+pub use pool::{evict_idle, pool_stats, MuxHandle};
 pub use proto::{ChunkHeader, ChunkPlan, ChunkSender, Negotiation, ProtoViolation, WriteStream};
 pub use reactor::{Clock, ManualClock, MonotonicClock, Reactor, TimerId, TimerWheel};
 pub use resilience::{

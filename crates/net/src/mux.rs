@@ -84,6 +84,13 @@ struct Job {
     node: usize,
     request: Request,
     tx: SyncSender<Result<Reply, NetError>>,
+    /// Per-job deadline override ([`Mux::submit_with`]); `None` follows
+    /// the mux-wide deadline set by [`Mux::set_deadline`].
+    deadline: Option<Deadline>,
+    /// Per-job retry budget override; `None` spends from the budget the
+    /// mux was built with. Lets many sessions share one driver while
+    /// keeping their retry economies isolated.
+    budget: Option<Arc<RetryBudget>>,
 }
 
 /// State shared between the session-facing handle and the driver thread.
@@ -192,6 +199,29 @@ impl Mux {
     /// terminal result will arrive on. Never blocks: in-flight depth is
     /// bounded by the daemon's admission control, not a client queue.
     pub fn submit(&self, node: usize, request: Request) -> Result<ReplySlot, NetError> {
+        self.submit_opt(node, request, None, None)
+    }
+
+    /// Like [`submit`](Self::submit), but with this job's own deadline
+    /// and retry budget — the shared-pool path, where many sessions ride
+    /// one driver and each must keep its own resilience envelope.
+    pub fn submit_with(
+        &self,
+        node: usize,
+        request: Request,
+        deadline: Deadline,
+        budget: Arc<RetryBudget>,
+    ) -> Result<ReplySlot, NetError> {
+        self.submit_opt(node, request, Some(deadline), Some(budget))
+    }
+
+    fn submit_opt(
+        &self,
+        node: usize,
+        request: Request,
+        deadline: Option<Deadline>,
+        budget: Option<Arc<RetryBudget>>,
+    ) -> Result<ReplySlot, NetError> {
         if self.shared.dead.load(Ordering::SeqCst) || self.shared.stopping.load(Ordering::SeqCst) {
             return Err(mux_lost(node));
         }
@@ -199,9 +229,15 @@ impl Mux {
             return Err(NetError::Usage(format!("node {node} out of range")));
         }
         let (tx, rx) = mpsc::sync_channel(1);
-        self.shared.lock().jobs.push_back(Job { node, request, tx });
+        self.shared.lock().jobs.push_back(Job { node, request, tx, deadline, budget });
         self.shared.wake();
         Ok(rx)
+    }
+
+    /// Number of nodes this mux drives (its address-list arity).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.shared.kill_next.len()
     }
 
     /// Propagates the session deadline: vetoes future (re)sends and
@@ -278,12 +314,24 @@ struct Pending {
     sent_id: u64,
     sent_version: u8,
     expire: Option<TimerId>,
+    /// This request's own deadline; `None` follows the mux-wide one.
+    deadline: Option<Deadline>,
+    /// This request's own retry budget; `None` spends the mux-wide one.
+    budget: Option<Arc<RetryBudget>>,
 }
 
 impl Pending {
     /// An internal frame (probe / resume / chunk): no slot, no retries of
-    /// its own — failures are charged to the request it serves.
-    fn internal(serial: u64, request: Request, kind: Kind, backoff: Backoff) -> Self {
+    /// its own — failures are charged to the request it serves, whose
+    /// deadline and budget it inherits.
+    fn internal(
+        serial: u64,
+        request: Request,
+        kind: Kind,
+        backoff: Backoff,
+        deadline: Option<Deadline>,
+        budget: Option<Arc<RetryBudget>>,
+    ) -> Self {
         Pending {
             serial,
             request,
@@ -295,6 +343,8 @@ impl Pending {
             sent_id: 0,
             sent_version: 0,
             expire: None,
+            deadline,
+            budget,
         }
     }
 }
@@ -492,6 +542,16 @@ impl Driver {
         self.serial
     }
 
+    /// The deadline governing `p`: its own, or the mux-wide default.
+    fn deadline_of(&self, p: &Pending) -> Deadline {
+        p.deadline.unwrap_or(self.deadline)
+    }
+
+    /// The retry budget `p` spends from: its own, or the mux-wide one.
+    fn budget_of<'a>(&'a self, p: &'a Pending) -> &'a RetryBudget {
+        p.budget.as_deref().unwrap_or(&self.shared.budget)
+    }
+
     /// Drains the control queues: new jobs, connect results, resets, and
     /// the current deadline snapshot.
     fn intake(&mut self) {
@@ -537,6 +597,8 @@ impl Driver {
                 sent_id: 0,
                 sent_version: 0,
                 expire: None,
+                deadline: job.deadline,
+                budget: job.budget,
             });
             self.pump(n);
         }
@@ -556,7 +618,7 @@ impl Driver {
                     }
                 } else if node.queue.is_empty() {
                     Act::Done
-                } else if self.deadline.expired() {
+                } else if self.deadline_of(&node.queue[0]).expired() {
                     Act::DropExpiredHead
                 } else {
                     match node.conn {
@@ -606,7 +668,13 @@ impl Driver {
                 Act::Probe => {
                     let serial = self.next_serial();
                     let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
-                    let p = Pending::internal(serial, Request::Ping, Kind::Probe, backoff);
+                    // The probe runs on behalf of the queue head; it
+                    // inherits that request's resilience envelope.
+                    let (dl, bg) = {
+                        let head = &self.nodes[n].queue[0];
+                        (head.deadline, head.budget.clone())
+                    };
+                    let p = Pending::internal(serial, Request::Ping, Kind::Probe, backoff, dl, bg);
                     self.nodes[n].probe_inflight = true;
                     self.send_frame(n, p);
                     break; // the queue stalls until the probe resolves
@@ -632,9 +700,9 @@ impl Driver {
     /// Encodes `p`'s request into the node's write buffer, arms its
     /// response timer and moves it to the in-flight queue.
     fn send_frame(&mut self, n: usize, mut p: Pending) {
-        let expire_at = self.clock.now_ms() + dur_ms(self.deadline.clamp_timeout(RESPONSE_TIMEOUT));
+        let deadline = self.deadline_of(&p);
+        let expire_at = self.clock.now_ms() + dur_ms(deadline.clamp_timeout(RESPONSE_TIMEOUT));
         let tid = self.wheel.schedule(expire_at, Timed::Expire { node: n, serial: p.serial });
-        let deadline = self.deadline;
         let node = &mut self.nodes[n];
         let version = node.negotiation.version();
         let deadline_ms =
@@ -670,13 +738,14 @@ impl Driver {
             && node.resume_candidate == Some((session, seq));
         let sender =
             if want_resume { None } else { Some(ChunkSender::new(n_chunks, CHUNK_WINDOW as u64)) };
+        let (dl, bg) = (p.deadline, p.budget.clone());
         self.nodes[n].stream =
             Some(StreamState { req: p, sender, skip: 0, chunk, total, n_chunks });
         if want_resume {
             let serial = self.next_serial();
             let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
             let rq = Request::ResumeQuery { file, session, seq };
-            self.send_frame(n, Pending::internal(serial, rq, Kind::Resume, backoff));
+            self.send_frame(n, Pending::internal(serial, rq, Kind::Resume, backoff, dl, bg));
         }
     }
 
@@ -710,14 +779,15 @@ impl Driver {
                             data: payload[off..end].to_vec(),
                         };
                         sender.record_send();
-                        Some((req, plan.last))
+                        Some((req, plan.last, st.req.deadline, st.req.budget.clone()))
                     }
                 }
             };
-            let Some((req, last)) = built else { break };
+            let Some((req, last, dl, bg)) = built else { break };
             let serial = self.next_serial();
             let backoff = self.policy.backoff(self.nodes[n].seed ^ serial);
-            self.send_frame(n, Pending::internal(serial, req, Kind::Chunk { last }, backoff));
+            let p = Pending::internal(serial, req, Kind::Chunk { last }, backoff, dl, bg);
+            self.send_frame(n, p);
         }
         self.flush_node(n);
     }
@@ -808,7 +878,7 @@ impl Driver {
             let _ = self.wheel.cancel(t);
         }
         p.attempt += 1;
-        if p.attempt >= p.attempts_max || !self.shared.budget.try_spend() {
+        if p.attempt >= p.attempts_max || !self.budget_of(&p).try_spend() {
             settle(
                 &mut self.wheel,
                 p,
@@ -879,19 +949,21 @@ impl Driver {
     /// Parks the queue behind the head request's next backoff interval
     /// (no-op when already parked or empty) and arms the un-park timer.
     fn park_head(&mut self, n: usize) {
-        let (epoch, delay) = {
+        let (epoch, delay, head_deadline) = {
             let node = &mut self.nodes[n];
             if node.park.is_some() {
                 return;
             }
             let Some(head) = node.queue.front_mut() else { return };
             let delay = head.backoff.next_delay();
+            let head_deadline = head.deadline;
             let epoch = node.park_seq;
             node.park_seq += 1;
             node.park = Some(epoch);
-            (epoch, delay)
+            (epoch, delay, head_deadline)
         };
-        let at = self.clock.now_ms() + dur_ms(self.deadline.clamp_timeout(delay));
+        let deadline = head_deadline.unwrap_or(self.deadline);
+        let at = self.clock.now_ms() + dur_ms(deadline.clamp_timeout(delay));
         self.wheel.schedule(at, Timed::Resend { node: n, epoch });
     }
 
@@ -1147,7 +1219,7 @@ impl Driver {
             Reply::Busy { retry_after_ms } => self.retry_shed(n, p, retry_after_ms, false),
             Reply::Overloaded { retry_after_ms } => self.retry_shed(n, p, retry_after_ms, true),
             other => {
-                self.shared.budget.record_success();
+                self.budget_of(&p).record_success();
                 settle(&mut self.wheel, p, Ok(other));
             }
         }
@@ -1170,10 +1242,11 @@ impl Driver {
     /// also drops the connection (the daemon is about to).
     fn retry_shed(&mut self, n: usize, mut p: Pending, hint_ms: u32, reconnect: bool) {
         p.attempt += 1;
-        if p.attempt >= p.attempts_max || !self.shared.budget.try_spend() {
+        if p.attempt >= p.attempts_max || !self.budget_of(&p).try_spend() {
             settle(&mut self.wheel, p, Err(NetError::Busy { retry_after_ms: hint_ms }));
         } else {
-            let wait = self.deadline.clamp_timeout(Duration::from_millis(u64::from(hint_ms)));
+            let wait =
+                self.deadline_of(&p).clamp_timeout(Duration::from_millis(u64::from(hint_ms)));
             self.park_with(n, p, wait);
         }
         if reconnect {
@@ -1261,7 +1334,7 @@ impl Driver {
                         self.nodes[n].resume_candidate = None;
                     }
                 }
-                self.shared.budget.record_success();
+                self.budget_of(&st.req).record_success();
                 settle(&mut self.wheel, st.req, Ok(reply));
                 self.pump(n);
             }

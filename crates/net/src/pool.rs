@@ -1,0 +1,176 @@
+//! Process-wide shared mux pool.
+//!
+//! Many logical [`Session`](crate::session::Session)s in the same process
+//! usually talk to the same set of I/O nodes.  Giving each its own [`Mux`]
+//! means one TCP connection *per node per session* plus a driver thread per
+//! session — fine for a handful of sessions, ruinous for a serving tier with
+//! thousands of short-lived ones.  The pool keeps **one warm driver (and one
+//! connection per node) per distinct address set** and hands sessions cheap
+//! leases on it.
+//!
+//! Isolation is preserved per lease, not per driver:
+//!
+//! * every request submitted through a [`MuxHandle`] carries the *handle's*
+//!   deadline and retry budget (via [`Mux::submit_with`]), so one tenant
+//!   burning its budget cannot drain a sibling's;
+//! * reply routing already keys on the per-request serial, so interleaved
+//!   sessions never see each other's frames;
+//! * node breakers live in the shared driver — a dead node is dead for
+//!   everyone, which is exactly the signal a breaker exists to amortise.
+//!
+//! Dropping a `MuxHandle` **returns the lease**; it never closes the shared
+//! sockets.  The warm entry survives at zero leases so the next
+//! `Session::connect_pooled` for the same nodes starts without a handshake.
+//! A dedicated (unpooled) handle owns the last `Arc` on its mux, so dropping
+//! it still tears the driver down exactly as before pooling existed.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::error::NetError;
+use crate::mux::{Mux, ReplySlot};
+use crate::resilience::{Deadline, RetryBudget};
+use crate::wire::Request;
+
+/// One warm driver shared by every lease with the same address set.
+struct PoolEntry {
+    mux: Arc<Mux>,
+    /// Live leases; 0 means warm-but-idle, *not* closed.
+    leases: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn registry() -> &'static Mutex<HashMap<Vec<String>, PoolEntry>> {
+    static POOL: OnceLock<Mutex<HashMap<Vec<String>, PoolEntry>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A session's view of a mux: either a private driver or a lease on a
+/// pooled one.  Deadline and retry budget are handle-local either way, so
+/// the calling session keeps its own failure-handling state.
+pub struct MuxHandle {
+    mux: Arc<Mux>,
+    /// `Some(key)`: leased from the pool, returned (not closed) on drop.
+    lease: Option<Vec<String>>,
+    deadline: Deadline,
+    budget: Arc<RetryBudget>,
+}
+
+impl MuxHandle {
+    /// Private driver owned by one session — pre-pool behaviour.
+    pub fn dedicated(addrs: &[String], budget: Arc<RetryBudget>) -> Self {
+        Self {
+            mux: Arc::new(Mux::new(addrs, Arc::clone(&budget))),
+            lease: None,
+            deadline: Deadline::none(),
+            budget,
+        }
+    }
+
+    /// Lease the process-wide driver for `addrs`, spawning it warm on first
+    /// use.  A dead driver (all nodes lost, thread exited) is replaced
+    /// rather than handed out.
+    pub fn pooled(addrs: &[String], budget: Arc<RetryBudget>) -> Self {
+        let key: Vec<String> = addrs.to_vec();
+        let mux = {
+            let mut reg = lock(registry());
+            match reg.get_mut(&key) {
+                Some(entry) if entry.mux.alive() => {
+                    entry.leases += 1;
+                    Arc::clone(&entry.mux)
+                }
+                _ => {
+                    // First lease for this address set, or the previous
+                    // driver died: build a fresh one.  The driver's own
+                    // budget only governs plain `submit` callers; leases
+                    // always attach their session budget per request.
+                    let mux = Arc::new(Mux::new(addrs, Arc::new(RetryBudget::for_session())));
+                    reg.insert(key.clone(), PoolEntry { mux: Arc::clone(&mux), leases: 1 });
+                    mux
+                }
+            }
+        };
+        Self { mux, lease: Some(key), deadline: Deadline::none(), budget }
+    }
+
+    /// Whether this handle shares its driver through the pool.
+    #[must_use]
+    pub fn is_pooled(&self) -> bool {
+        self.lease.is_some()
+    }
+
+    /// Submit on behalf of this handle: the request carries the handle's
+    /// deadline and budget so pooled siblings stay isolated.
+    pub fn submit(&self, node: usize, request: Request) -> Result<ReplySlot, NetError> {
+        self.mux.submit_with(node, request, self.deadline, Arc::clone(&self.budget))
+    }
+
+    /// Set the deadline stamped on subsequent submissions.  Dedicated
+    /// handles also push it into the driver so already-queued requests are
+    /// clamped (the historical single-owner behaviour); pooled handles must
+    /// not, as the driver default is shared.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+        if self.lease.is_none() {
+            self.mux.set_deadline(deadline);
+        }
+    }
+
+    /// Ask the driver to rebuild the connection to `node`.
+    pub fn reset_node(&self, node: usize) {
+        self.mux.reset_node(node);
+    }
+
+    /// Test hook: sever `node`'s connection mid-flight.
+    pub fn arm_kill(&self, node: usize) {
+        self.mux.arm_kill(node);
+    }
+
+    /// Whether the driver still has any live node.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        self.mux.alive()
+    }
+
+    /// Number of nodes the driver fans out to.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.mux.nodes()
+    }
+}
+
+impl Drop for MuxHandle {
+    fn drop(&mut self) {
+        if let Some(key) = self.lease.take() {
+            let mut reg = lock(registry());
+            if let Some(entry) = reg.get_mut(&key) {
+                entry.leases = entry.leases.saturating_sub(1);
+            }
+            // The entry — and its warm driver and sockets — stays for the
+            // next lease.  That persistence is the pool's entire point; a
+            // dedicated handle's Arc drop is what tears a driver down.
+        }
+        // For dedicated handles this Arc is the last one, so the Mux's own
+        // Drop (stop + join the driver thread) runs here as it always did.
+    }
+}
+
+/// Drop warm drivers with zero live leases; returns how many were closed.
+/// Used by long-lived processes that know a node set is gone for good.
+pub fn evict_idle() -> usize {
+    let mut reg = lock(registry());
+    let before = reg.len();
+    reg.retain(|_, entry| entry.leases > 0);
+    before - reg.len()
+}
+
+/// Observability: `(drivers, live_leases)` across the whole pool.
+#[must_use]
+pub fn pool_stats() -> (usize, usize) {
+    let reg = lock(registry());
+    let leases = reg.values().map(|e| e.leases).sum();
+    (reg.len(), leases)
+}

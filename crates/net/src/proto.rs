@@ -134,6 +134,13 @@ impl Negotiation {
     pub fn supports_deadlines(&self) -> bool {
         self.version >= 5
     }
+
+    /// Whether the negotiated version carries the tenant id on `Open`,
+    /// enabling per-tenant quotas and fair queueing at the daemon (v6+).
+    #[must_use]
+    pub fn supports_tenancy(&self) -> bool {
+        self.version >= 6
+    }
 }
 
 impl Default for Negotiation {

@@ -125,6 +125,17 @@ pub struct DaemonConfig {
     /// threads instead of one each. Defaults from `PF_NET_WORKERS` when
     /// set, so whole test suites can be re-run against the reactor path.
     pub workers: usize,
+    /// In-flight requests one tenant (protocol ≥ 6 `Open` tenant id) may
+    /// hold across all of its connections before further ones are shed
+    /// with `Busy`, so one tenant cannot starve the rest of the daemon's
+    /// admission slots. Enforced by the reactor daemon only; `0` = no cap.
+    pub tenant_inflight: usize,
+    /// Deficit-round-robin fair queueing between tenants in the reactor
+    /// worker pool (DESIGN.md §18): each tenant's queued connections get
+    /// an equal service quantum per round, whatever its connection count.
+    /// `false` falls back to a single FIFO, where an aggressive tenant
+    /// with many connections proportionally starves the quiet ones.
+    pub fair: bool,
 }
 
 impl Default for DaemonConfig {
@@ -143,6 +154,8 @@ impl Default for DaemonConfig {
             session_inflight: 0,
             journal_watermark: None,
             workers: std::env::var("PF_NET_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0),
+            tenant_inflight: 0,
+            fair: true,
         }
     }
 }
@@ -468,6 +481,9 @@ struct Shared {
     /// In-flight request count per stamped session (admission control:
     /// [`DaemonConfig::session_inflight`]).
     session_inflight: Mutex<HashMap<u64, usize>>,
+    /// In-flight request count per tenant (admission control:
+    /// [`DaemonConfig::tenant_inflight`], reactor mode).
+    tenant_inflight: Mutex<HashMap<u32, usize>>,
     /// Deterministic fault injection (None in production).
     fault: Option<FaultInjector>,
     /// Reactor-mode wake handle: `stop()`/`crash()`/remote `Shutdown`
@@ -534,6 +550,36 @@ impl Shared {
             *n = n.saturating_sub(1);
             if *n == 0 {
                 map.remove(&session);
+            }
+        }
+    }
+
+    /// Enters a tenant's in-flight accounting; `false` = the tenant is at
+    /// its [`DaemonConfig::tenant_inflight`] cap and this request must be
+    /// shed with `Busy`. Tenant 0 (anonymous / pre-v6 peers) is unmetered.
+    fn enter_tenant(&self, tenant: u32) -> bool {
+        let cap = self.config.tenant_inflight;
+        if cap == 0 || tenant == 0 {
+            return true;
+        }
+        let mut map = lock(&self.tenant_inflight);
+        let n = map.entry(tenant).or_insert(0);
+        if *n >= cap {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn leave_tenant(&self, tenant: u32) {
+        if self.config.tenant_inflight == 0 || tenant == 0 {
+            return;
+        }
+        let mut map = lock(&self.tenant_inflight);
+        if let Some(n) = map.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&tenant);
             }
         }
     }
@@ -719,6 +765,7 @@ pub fn serve(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> 
         inflight_cv: Condvar::new(),
         conns: Mutex::new(Vec::new()),
         session_inflight: Mutex::new(HashMap::new()),
+        tenant_inflight: Mutex::new(HashMap::new()),
         fault,
         reactor_waker: Mutex::new(None),
         shutdown_mu: Mutex::new(()),
@@ -1150,7 +1197,9 @@ fn handle_frame(
 
 fn handle_request(shared: &Shared, request: Request) -> Reply {
     match request {
-        Request::Open { file, subfile, len } => handle_open(shared, file, subfile, len),
+        // The threaded server has no fair-queueing tier; the tenant id is
+        // accepted (protocol ≥ 6) but only the reactor daemon meters it.
+        Request::Open { file, subfile, len, tenant: _ } => handle_open(shared, file, subfile, len),
         Request::SetView { file, compute, element: _, view, proj_set, proj_period } => {
             let slot = match lookup(shared, file) {
                 Ok(s) => s,

@@ -39,7 +39,7 @@ use crate::reactor::{Clock, Event, Interest, MonotonicClock, Reactor, TimerId, T
 use crate::wire::{self, Reply, HEADER_LEN, PROTOCOL_VERSION};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -124,6 +124,10 @@ struct Conn {
     wq: Mutex<WriteBuf>,
     /// Signalled by the reactor after draining `wq` (backpressure release).
     wq_cv: Condvar,
+    /// Tenant id learned from the connection's last protocol ≥ 6 `Open`
+    /// frame (0 until one arrives): the DRR dispatch key and the
+    /// per-tenant quota key.
+    tenant: AtomicU32,
 }
 
 /// Worker → reactor notifications, carried over the reactor's waker.
@@ -148,8 +152,80 @@ impl Notify {
     }
 }
 
+/// One tenant's backlog inside the deficit-round-robin scheduler.
+struct TenantQ<T> {
+    /// Queued jobs with their service cost (frames ready at enqueue time).
+    q: VecDeque<(T, u64)>,
+    /// Unspent service credit from previous rounds.
+    deficit: u64,
+    /// The tenant currently occupies one slot of the round-robin ring.
+    in_ring: bool,
+}
+
+/// Deficit round robin over tenant-keyed job queues (DESIGN.md §18).
+///
+/// Each tenant with backlog holds one slot in a round-robin ring. A `pop`
+/// serves the ring head if its accumulated deficit covers the head job's
+/// cost; otherwise the head earns one `quantum` of credit and rotates to
+/// the tail. Costs are clamped to the quantum, so one recharge always
+/// suffices and a visit never loops. Tenants leave the ring (and forfeit
+/// unspent deficit) the moment their backlog drains — idle flows earn no
+/// credit, the classic DRR anti-burst rule.
+struct Drr<T> {
+    tenants: HashMap<u32, TenantQ<T>>,
+    ring: VecDeque<u32>,
+    quantum: u64,
+}
+
+impl<T> Drr<T> {
+    fn new(quantum: u64) -> Self {
+        Self { tenants: HashMap::new(), ring: VecDeque::new(), quantum: quantum.max(1) }
+    }
+
+    fn push(&mut self, tenant: u32, item: T, cost: u64) {
+        let quantum = self.quantum;
+        let tq = self.tenants.entry(tenant).or_insert_with(|| TenantQ {
+            q: VecDeque::new(),
+            deficit: 0,
+            in_ring: false,
+        });
+        tq.q.push_back((item, cost.clamp(1, quantum)));
+        if !tq.in_ring {
+            tq.in_ring = true;
+            self.ring.push_back(tenant);
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        loop {
+            let &tenant = self.ring.front()?;
+            let tq = self.tenants.get_mut(&tenant).expect("ring tenant has a queue");
+            let Some(&(_, cost)) = tq.q.front() else {
+                self.ring.pop_front();
+                self.tenants.remove(&tenant);
+                continue;
+            };
+            if tq.deficit >= cost {
+                tq.deficit -= cost;
+                let (item, _) = tq.q.pop_front().expect("front checked above");
+                if tq.q.is_empty() {
+                    self.ring.pop_front();
+                    self.tenants.remove(&tenant);
+                }
+                return Some(item);
+            }
+            tq.deficit += self.quantum;
+            self.ring.rotate_left(1);
+        }
+    }
+}
+
 struct JobQ {
-    q: VecDeque<Arc<Conn>>,
+    /// Fair mode: per-tenant deficit-round-robin dispatch.
+    drr: Option<Drr<Arc<Conn>>>,
+    /// Unfair mode: one FIFO across every connection (an aggressive
+    /// tenant's connection count buys it proportional service).
+    fifo: VecDeque<Arc<Conn>>,
     stopping: bool,
 }
 
@@ -160,19 +236,38 @@ struct Pool {
 }
 
 impl Pool {
-    fn new() -> Self {
-        Self { jobs: Mutex::new(JobQ { q: VecDeque::new(), stopping: false }), cv: Condvar::new() }
+    fn new(fair: bool) -> Self {
+        Self {
+            jobs: Mutex::new(JobQ {
+                drr: fair.then(|| Drr::new(WORKER_BURST as u64)),
+                fifo: VecDeque::new(),
+                stopping: false,
+            }),
+            cv: Condvar::new(),
+        }
     }
 
-    fn push(&self, conn: Arc<Conn>) {
-        lock(&self.jobs).q.push_back(conn);
+    /// Enqueues a connection with frames ready; `cost` is the frame count
+    /// queued at enqueue time (the DRR service charge — a connection
+    /// carrying a fat burst spends its tenant's credit faster).
+    fn push(&self, conn: Arc<Conn>, cost: u64) {
+        let mut jobs = lock(&self.jobs);
+        match &mut jobs.drr {
+            Some(drr) => drr.push(conn.tenant.load(Ordering::Relaxed), conn, cost),
+            None => jobs.fifo.push_back(conn),
+        }
+        drop(jobs);
         self.cv.notify_one();
     }
 
     fn next_job(&self) -> Option<Arc<Conn>> {
         let mut jobs = lock(&self.jobs);
         loop {
-            if let Some(c) = jobs.q.pop_front() {
+            let popped = match &mut jobs.drr {
+                Some(drr) => drr.pop(),
+                None => jobs.fifo.pop_front(),
+            };
+            if let Some(c) = popped {
                 return Some(c);
             }
             if jobs.stopping {
@@ -214,7 +309,7 @@ pub(super) fn run(listener: NetListener, reactor: Reactor, shared: &Arc<Shared>,
         rearm: Mutex::new(Vec::new()),
         flush: Mutex::new(Vec::new()),
     });
-    let pool = Arc::new(Pool::new());
+    let pool = Arc::new(Pool::new(shared.config.fair));
     let mut worker_handles = Vec::new();
     for i in 0..workers.max(1) {
         let shared = Arc::clone(shared);
@@ -350,6 +445,7 @@ impl Driver {
                 }),
                 wq: Mutex::new(WriteBuf::default()),
                 wq_cv: Condvar::new(),
+                tenant: AtomicU32::new(0),
             });
             let timeout = if shed { Some(SHED_TIMEOUT) } else { self.shared.config.read_timeout };
             let idle_timer = timeout
@@ -427,6 +523,12 @@ impl Driver {
         let max_frame = self.shared.config.max_frame;
         let pool = Arc::clone(&self.pool);
         let Some(entry) = self.conns.get_mut(&token) else { return };
+        // The pool push is deferred to the end of the parse batch so the
+        // DRR charge covers every frame parsed from this readiness event,
+        // not just the first — pushing at cost 1 and then appending the
+        // rest of a burst behind the queued connection would let a fat
+        // batch ride a singleton's charge.
+        let mut enqueue = false;
         loop {
             let avail = entry.rbuf.len() - entry.rpos;
             if avail < 4 {
@@ -473,6 +575,18 @@ impl Driver {
                 received: Instant::now(),
                 seqno: entry.frames_seen + 1,
             };
+            // Learn the connection's tenant as soon as an `Open` is parsed
+            // (protocol ≥ 6; older frames decode to the anonymous tenant),
+            // so the very first dispatch already lands in the right DRR
+            // queue. Malformed frames stay tenantless — the worker answers
+            // them with a typed error anyway.
+            if frame.opcode == wire::op::OPEN {
+                if let Ok((wire::Request::Open { tenant, .. }, _)) =
+                    wire::Request::decode_deadline_at(frame.version, frame.opcode, &frame.payload)
+                {
+                    entry.conn.tenant.store(tenant, Ordering::Relaxed);
+                }
+            }
             entry.rpos += need;
             entry.frames_seen += 1;
             let mut q = lock(&entry.conn.q);
@@ -485,15 +599,19 @@ impl Driver {
                 q.paused = true;
             }
             if !q.executing {
+                // Claim the dispatch slot now (no worker may grab the
+                // conn until the batch is fully parsed and priced below).
                 q.executing = true;
-                drop(q);
-                pool.push(Arc::clone(&entry.conn));
-            } else {
-                drop(q);
+                enqueue = true;
             }
+            drop(q);
             if full {
                 break;
             }
+        }
+        if enqueue {
+            let cost = lock(&entry.conn.q).frames.len() as u64;
+            pool.push(Arc::clone(&entry.conn), cost);
         }
         // Compact the consumed prefix once it dominates the buffer.
         if entry.rpos == entry.rbuf.len() {
@@ -629,8 +747,9 @@ fn fatal_framing(entry: &mut ConnEntry, pool: &Arc<Pool>, e: ProtocolError) {
     q.fatal = Some(e);
     if !q.executing {
         q.executing = true;
+        let cost = (q.frames.len() as u64).max(1);
         drop(q);
-        pool.push(Arc::clone(&entry.conn));
+        pool.push(Arc::clone(&entry.conn), cost);
     }
 }
 
@@ -737,8 +856,9 @@ fn process_conn(shared: &Shared, pool: &Pool, notify: &Notify, conn: &Arc<Conn>)
             } else {
                 // More work: requeue with `executing` held, so no other
                 // worker can interleave this connection's frames.
+                let cost = q.frames.len() as u64;
                 drop(q);
-                pool.push(Arc::clone(conn));
+                pool.push(Arc::clone(conn), cost);
             }
             return;
         }
@@ -790,14 +910,30 @@ fn execute_frame(
             FrameFault::Kill => return Outcome::DaemonCrashed,
         }
     }
-    if frame.version >= 5 {
-        if !shared.try_acquire_slot() {
-            let reply = Reply::Busy { retry_after_ms: BUSY_RETRY_MS };
-            queue_reply(conn, notify, frame.version, frame.request_id, &reply, None);
-            return Outcome::Continue;
-        }
+    // Per-tenant quota first (cheapest check): a tenant over its
+    // inflight cap is shed with `Busy` before it can consume one of the
+    // daemon-wide admission slots. Pre-v5 frames cannot carry a shed
+    // verdict, and pre-v6 connections are the anonymous tenant anyway.
+    let tenant = conn.tenant.load(Ordering::Relaxed);
+    let tenant_entered = frame.version >= 5 && tenant != 0;
+    if tenant_entered && !shared.enter_tenant(tenant) {
+        let reply = Reply::Busy { retry_after_ms: BUSY_RETRY_MS };
+        queue_reply(conn, notify, frame.version, frame.request_id, &reply, None);
+        return Outcome::Continue;
+    }
+    let admitted = if frame.version >= 5 {
+        shared.try_acquire_slot()
     } else {
         shared.acquire_slot();
+        true
+    };
+    if !admitted {
+        if tenant_entered {
+            shared.leave_tenant(tenant);
+        }
+        let reply = Reply::Busy { retry_after_ms: BUSY_RETRY_MS };
+        queue_reply(conn, notify, frame.version, frame.request_id, &reply, None);
+        return Outcome::Continue;
     }
     let handled = super::handle_frame(
         shared,
@@ -833,6 +969,9 @@ fn execute_frame(
         severed = truncate.is_some();
     }
     shared.release_slot();
+    if tenant_entered {
+        shared.leave_tenant(tenant);
+    }
     if crashed {
         // An injected kill or torn write fired while this request was in
         // flight: the "crashed" daemon never replies.
@@ -912,4 +1051,75 @@ fn flush_and_close(conn: &Conn, notify: &Notify) {
 /// Duration → wheel milliseconds (rounds up so sub-ms budgets still arm).
 fn dur_ms(d: Duration) -> u64 {
     u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(u64::from(!d.is_zero()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Drr;
+
+    #[test]
+    fn drr_serves_tenants_evenly_whatever_their_backlog() {
+        // Tenant 1 floods 90 unit-cost jobs; tenants 2 and 3 queue 10 each.
+        // While every tenant has backlog, service must stay even — the
+        // flood buys tenant 1 nothing.
+        let mut drr = Drr::new(4);
+        for i in 0..90 {
+            drr.push(1, (1u32, i), 1);
+        }
+        for i in 0..10 {
+            drr.push(2, (2u32, i), 1);
+            drr.push(3, (3u32, i), 1);
+        }
+        // Two full rounds: every tenant with backlog earns exactly two
+        // quanta (8 unit jobs), whatever it has queued.
+        let mut served = [0usize; 4];
+        for _ in 0..24 {
+            let (tenant, _) = drr.pop().expect("backlog remains");
+            served[tenant as usize] += 1;
+        }
+        assert_eq!(served, [0, 8, 8, 8], "flooding tenant held to its fair share: {served:?}");
+        // Once the quiet tenants drain, the flood gets the leftover.
+        let mut total = served;
+        while let Some((tenant, _)) = drr.pop() {
+            total[tenant as usize] += 1;
+        }
+        assert_eq!(total, [0, 90, 10, 10]);
+        assert!(drr.pop().is_none());
+    }
+
+    #[test]
+    fn drr_charges_fat_bursts_more_than_singletons() {
+        // Quantum 4: tenant 1's jobs cost 4 (full bursts), tenant 2's cost
+        // 1. Per round, tenant 1 lands one job for tenant 2's four — equal
+        // *service*, not equal job count.
+        let mut drr = Drr::new(4);
+        for i in 0..4 {
+            drr.push(1, (1u32, i), 4);
+        }
+        for i in 0..16 {
+            drr.push(2, (2u32, i), 1);
+        }
+        let mut served = [0usize; 3];
+        for _ in 0..10 {
+            let (tenant, _) = drr.pop().expect("backlog remains");
+            served[tenant as usize] += 1;
+        }
+        assert_eq!(served[1], 2, "2 fat jobs = 8 service units: {served:?}");
+        assert_eq!(served[2], 8, "8 thin jobs = 8 service units: {served:?}");
+    }
+
+    #[test]
+    fn drr_drops_unspent_deficit_when_a_tenant_goes_idle() {
+        let mut drr = Drr::new(4);
+        drr.push(1, 1u32, 1);
+        assert_eq!(drr.pop(), Some(1));
+        assert!(drr.pop().is_none());
+        // The tenant re-arrives with no banked credit: costs above the
+        // clamped quantum are paid at quantum price, one per recharge.
+        drr.push(1, 2u32, 100);
+        drr.push(2, 3u32, 1);
+        assert_eq!(drr.pop(), Some(2), "clamped cost serves after one recharge");
+        assert_eq!(drr.pop(), Some(3));
+        assert!(drr.pop().is_none());
+    }
 }

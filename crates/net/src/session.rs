@@ -105,7 +105,8 @@ const HEDGE_POLL: Duration = Duration::from_micros(200);
 /// Where a dispatched request's reply lands (re-exported from the mux so
 /// every collector keeps its existing shape: capacity-1 channel, one
 /// terminal result).
-use crate::mux::{mux_lost, Mux, ReplySlot};
+use crate::mux::{mux_lost, ReplySlot};
+use crate::pool::MuxHandle;
 
 struct ViewState {
     view: Partition,
@@ -210,16 +211,19 @@ impl RedistReport {
 /// A compute node's connection to a set of I/O-node daemons, one subfile
 /// per daemon (daemon order = subfile order).
 ///
-/// Dispatch is multiplexed: one reactor-driven [`Mux`] thread owns every
-/// node's warm connection, keeps many requests in flight per connection
-/// (replies matched FIFO by request id) and runs all retry/backoff/shed
-/// timing on a timer wheel — no per-node threads, no bounded queues.
-/// Recovery paths (`reopen`, `reestablish`, …) lock the shared per-node
-/// client directly between fan-outs.
+/// Dispatch is multiplexed: one reactor-driven [`crate::mux::Mux`] thread
+/// owns every node's warm connection, keeps many requests in flight per
+/// connection (replies matched FIFO by request id) and runs all
+/// retry/backoff/shed timing on a timer wheel — no per-node threads, no
+/// bounded queues. Recovery paths (`reopen`, `reestablish`, …) lock the
+/// shared per-node client directly between fan-outs. With
+/// [`connect_pooled`](Session::connect_pooled) the driver is a lease on the
+/// process-wide [`crate::pool`] instead of a private thread.
 pub struct Session {
     nodes: Vec<Arc<Mutex<NodeClient>>>,
-    /// The multiplexed transport all fan-outs dispatch through.
-    mux: Mux,
+    /// The multiplexed transport all fan-outs dispatch through — private
+    /// driver or pooled lease, depending on the constructor.
+    mux: MuxHandle,
     files: HashMap<u64, FileState>,
     /// This session's retry-stamp namespace (nonzero; 0 is the unstamped
     /// wire sentinel).
@@ -250,6 +254,9 @@ pub struct Session {
     /// Hedge losers still in flight; their outcomes are owed to the
     /// breakers, drained alongside the write stragglers.
     read_stragglers: Vec<(usize, ReplySlot)>,
+    /// Tenant id stamped on every `Open` (protocol ≥ 6) so daemons can
+    /// meter per-tenant quotas; 0 = anonymous.
+    tenant: u32,
 }
 
 /// A per-node request to fan out, with its target node index.
@@ -337,7 +344,18 @@ impl Session {
     /// `unix:/path`); address order defines subfile order.
     #[must_use]
     pub fn connect(addrs: &[String]) -> Self {
-        Self::with_map(addrs, ReplicaMap::unreplicated(addrs.len()))
+        Self::with_map(addrs, ReplicaMap::unreplicated(addrs.len()), false)
+    }
+
+    /// Like [`connect`](Self::connect), but the mux driver (and its one
+    /// connection per node) is leased from the process-wide [`crate::pool`]:
+    /// every pooled session for the same address set multiplexes over the
+    /// same warm sockets, while deadlines, retry budgets, breakers, and
+    /// (session, seq) stamps stay per-session. Dropping a pooled session
+    /// returns the lease and leaves the driver warm for the next one.
+    #[must_use]
+    pub fn connect_pooled(addrs: &[String]) -> Self {
+        Self::with_map(addrs, ReplicaMap::unreplicated(addrs.len()), true)
     }
 
     /// Like [`connect`](Self::connect), but every subfile is replicated on
@@ -348,10 +366,18 @@ impl Session {
     pub fn connect_replicated(addrs: &[String], replicas: usize) -> Result<Self, NetError> {
         let map = ReplicaMap::new(addrs.len().max(1), replicas)
             .map_err(|e| NetError::Usage(e.to_string()))?;
-        Ok(Self::with_map(addrs, map))
+        Ok(Self::with_map(addrs, map, false))
     }
 
-    fn with_map(addrs: &[String], map: ReplicaMap) -> Self {
+    /// [`connect_replicated`](Self::connect_replicated) over a pooled mux
+    /// lease — see [`connect_pooled`](Self::connect_pooled).
+    pub fn connect_replicated_pooled(addrs: &[String], replicas: usize) -> Result<Self, NetError> {
+        let map = ReplicaMap::new(addrs.len().max(1), replicas)
+            .map_err(|e| NetError::Usage(e.to_string()))?;
+        Ok(Self::with_map(addrs, map, true))
+    }
+
+    fn with_map(addrs: &[String], map: ReplicaMap, pooled: bool) -> Self {
         // A clock-and-pid stamp is unique enough across real client
         // processes; collisions only widen dedup to a twin session.
         let session_id = SystemTime::now()
@@ -367,7 +393,11 @@ impl Session {
                 ))
             })
             .collect();
-        let mux = Mux::new(addrs, Arc::clone(&retry_budget));
+        let mux = if pooled {
+            MuxHandle::pooled(addrs, Arc::clone(&retry_budget))
+        } else {
+            MuxHandle::dedicated(addrs, Arc::clone(&retry_budget))
+        };
         Self {
             nodes,
             mux,
@@ -386,7 +416,24 @@ impl Session {
             deadline: Deadline::none(),
             hedged_reads: 0,
             read_stragglers: Vec::new(),
+            tenant: 0,
         }
+    }
+
+    /// Sets the tenant id stamped on every subsequent `Open` (protocol ≥ 6
+    /// daemons meter per-tenant inflight quotas and fair-queue dispatch by
+    /// it; older daemons ignore it). Builder-style so connection chains
+    /// read naturally.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The tenant id this session stamps on `Open` requests.
+    #[must_use]
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     /// Number of I/O nodes this session spans.
@@ -548,7 +595,12 @@ impl Session {
     /// Fans `requests` out through the mux concurrently and returns the
     /// replies in the same order.
     fn fan_out(&mut self, requests: Vec<Outgoing>) -> Vec<(usize, Result<Reply, NetError>)> {
-        if requests.len() == 1 {
+        // `Open` frames establish the connection's tenant at the daemon
+        // (protocol ≥ 6), so they must travel on the mux conn — the data
+        // plane all later writes share — never the side-channel client the
+        // single-target shortcut below would pick.
+        let announces_tenant = requests.iter().any(|o| matches!(o.request, Request::Open { .. }));
+        if requests.len() == 1 && !announces_tenant {
             // Skip the queue round trip for the single-target case.
             return match requests.into_iter().next() {
                 Some(Outgoing { node, request }) => {
@@ -611,6 +663,7 @@ impl Session {
                         file: copy_file_id(file, rank),
                         subfile: s as u32,
                         len: sub_len,
+                        tenant: self.tenant,
                     },
                 });
             }
@@ -1089,6 +1142,7 @@ impl Session {
             file: copy_file_id(file, rank),
             subfile: subfile as u32,
             len: sub_len,
+            tenant: self.tenant,
         })
     }
 
@@ -1882,7 +1936,12 @@ impl Session {
         let node = self.map.node_for(s, rank);
         let copy = copy_file_id(file, rank);
         let len = bytes.len() as u64;
-        lock(&self.nodes[node]).expect_ok(&Request::Open { file: copy, subfile: s as u32, len })?;
+        lock(&self.nodes[node]).expect_ok(&Request::Open {
+            file: copy,
+            subfile: s as u32,
+            len,
+            tenant: self.tenant,
+        })?;
         if len == 0 {
             return Ok(());
         }
@@ -1947,7 +2006,10 @@ impl Drop for Session {
     /// close. A later session's scrub then sees an honest cluster instead
     /// of silently divergent replicas. The mux driver is still alive here
     /// (fields drop after this body), so the blocking drain terminates on
-    /// the transport's own timeouts.
+    /// the transport's own timeouts. A pooled session then *returns its
+    /// lease* rather than closing the shared driver — sibling sessions on
+    /// the same sockets keep working, and the warm connections survive for
+    /// the next `connect_pooled`.
     fn drop(&mut self) {
         self.drain_stragglers(true);
     }
@@ -2377,6 +2439,87 @@ mod tests {
         let fast_copy = fetch(handles[1].addr(), copy_file_id(7, 0));
         assert_eq!(slow_copy, fast_copy, "subfile 1's copies must agree after the drop");
         proxy.stop();
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn pooled_siblings_survive_a_session_drop() {
+        // Two pooled sessions lease the same warm driver. Dropping one
+        // must return its lease — not close the shared sockets — so the
+        // sibling keeps working and a later lease starts warm.
+        let (mut handles, addrs) =
+            spawn_loopback(2, StorageBackend::Memory).expect("spawn loopback daemons");
+        let physical = MatrixLayout::ColumnBlocks.partition(8, 8, 1, 2);
+        let logical = MatrixLayout::RowBlocks.partition(8, 8, 1, 2);
+
+        let mut a = Session::connect_pooled(&addrs);
+        let mut b = Session::connect_pooled(&addrs);
+        assert!(a.mux.is_pooled() && b.mux.is_pooled());
+        a.create_file(1, physical.clone(), 64).expect("create file (a)");
+        a.set_view(0, 1, &logical, 0).expect("set view (a)");
+        b.create_file(2, physical.clone(), 64).expect("create file (b)");
+        b.set_view(0, 2, &logical, 0).expect("set view (b)");
+        a.write(0, 1, 0, 31, &[0xA1; 32]).expect("write via a");
+        b.write(0, 2, 0, 31, &[0xB2; 32]).expect("write via b");
+
+        // The bugfix under test: this drop used to tear the mux (and its
+        // connections) down under the sibling.
+        drop(a);
+
+        assert!(b.mux.alive(), "shared driver must outlive a sibling's drop");
+        assert_eq!(b.read(0, 2, 0, 31).expect("sibling read after drop"), vec![0xB2; 32]);
+        b.write(0, 2, 0, 31, &[0xC3; 32]).expect("sibling write after drop");
+        assert_eq!(b.read(0, 2, 0, 31).expect("read back"), vec![0xC3; 32]);
+
+        // A fresh lease reuses the still-warm driver and sees a's file.
+        let mut c = Session::connect_pooled(&addrs);
+        c.create_file(3, physical, 64).expect("create file (c)");
+        c.set_view(0, 3, &logical, 0).expect("set view (c)");
+        c.write(0, 3, 0, 31, &[0xD4; 32]).expect("write via fresh lease");
+        assert_eq!(c.read(0, 3, 0, 31).expect("read via fresh lease"), vec![0xD4; 32]);
+
+        drop(b);
+        drop(c);
+        for h in &mut handles {
+            h.stop();
+        }
+    }
+
+    #[test]
+    fn pooled_sessions_are_byte_identical_to_dedicated_ones() {
+        // The pool changes who owns the sockets, never what travels over
+        // them: the same op sequence through pooled leases and through
+        // private drivers must produce identical bytes.
+        let (mut handles, addrs) =
+            spawn_loopback(2, StorageBackend::Memory).expect("spawn loopback daemons");
+        let physical = MatrixLayout::ColumnBlocks.partition(8, 8, 1, 2);
+        let logical = MatrixLayout::RowBlocks.partition(8, 8, 1, 2);
+
+        let run = |session: &mut Session, file: u64| -> Vec<Vec<u8>> {
+            session.create_file(file, physical.clone(), 64).expect("create file");
+            session.set_view(0, file, &logical, 0).expect("set view");
+            let mut reads = Vec::new();
+            for round in 0..4u8 {
+                let data: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(7) ^ round).collect();
+                session.write(0, file, 0, 31, &data).expect("write");
+                reads.push(session.read(0, file, 0, 31).expect("read"));
+            }
+            reads
+        };
+
+        let mut dedicated = Session::connect(&addrs);
+        let want = run(&mut dedicated, 10);
+        drop(dedicated);
+
+        // Several concurrent leases on one driver, each with its own file.
+        let mut pooled: Vec<Session> = (0..4).map(|_| Session::connect_pooled(&addrs)).collect();
+        for (i, s) in pooled.iter_mut().enumerate() {
+            let got = run(s, 20 + i as u64);
+            assert_eq!(got, want, "pooled lease {i} diverged from the dedicated session");
+        }
+        pooled.clear();
         for h in &mut handles {
             h.stop();
         }

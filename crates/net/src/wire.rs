@@ -44,9 +44,13 @@ use std::io::{Read, Write};
 /// prefixed by a `deadline_ms` budget (`0` = none) that the daemon enforces
 /// before starting work, and the `Busy`/`Overloaded` replies let an
 /// admission-controlled daemon shed load instead of queueing without bound.
+/// Version 6 adds **tenancy** (DESIGN.md §18): `Open` carries the client's
+/// `tenant` id so the daemon can meter per-tenant inflight quotas and run
+/// deficit-round-robin dispatch between tenants; versions below 6 decode to
+/// tenant 0 (the anonymous tenant).
 /// Daemons keep speaking every version down to [`MIN_PROTOCOL_VERSION`] and
 /// always answer in the version the request arrived with.
-pub const PROTOCOL_VERSION: u8 = 5;
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Oldest protocol version daemons still accept.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -356,6 +360,9 @@ pub enum Request {
         subfile: u32,
         /// Subfile length in bytes (zero-filled on creation).
         len: u64,
+        /// Tenant id for fair-queueing and quota accounting (protocol ≥ 6;
+        /// 0 = anonymous tenant on older peers).
+        tenant: u32,
     },
     /// Register a compute node's view on `file`.
     SetView {
@@ -556,10 +563,13 @@ impl Request {
 
     fn encode_body(&self, out: &mut Vec<u8>, version: u8) {
         match self {
-            Request::Open { file, subfile, len } => {
+            Request::Open { file, subfile, len, tenant } => {
                 put_u64(out, *file);
                 put_u32(out, *subfile);
                 put_u64(out, *len);
+                if version >= 6 {
+                    put_u32(out, *tenant);
+                }
             }
             Request::SetView { file, compute, element, view, proj_set, proj_period } => {
                 put_u64(out, *file);
@@ -667,7 +677,13 @@ impl Request {
     fn decode_body_at(version: u8, opcode: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
         let req = match opcode {
-            op::OPEN => Request::Open { file: c.u64()?, subfile: c.u32()?, len: c.u64()? },
+            op::OPEN => {
+                let file = c.u64()?;
+                let subfile = c.u32()?;
+                let len = c.u64()?;
+                let tenant = if version >= 6 { c.u32()? } else { 0 };
+                Request::Open { file, subfile, len, tenant }
+            }
             op::SET_VIEW => {
                 let file = c.u64()?;
                 let compute = c.u32()?;
@@ -1142,7 +1158,7 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = vec![
-            Request::Open { file: 7, subfile: 2, len: 4096 },
+            Request::Open { file: 7, subfile: 2, len: 4096, tenant: 0 },
             Request::SetView {
                 file: 7,
                 compute: 1,
@@ -1300,6 +1316,26 @@ mod tests {
             assert_eq!(payload.len(), 4);
             assert_eq!(Reply::decode_at(5, reply.opcode(), &payload).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn v5_open_frames_have_no_tenant_field() {
+        // The tenant id on Open is a version-6 addition; v5 frames carry
+        // none and decode to the anonymous tenant.
+        let req = Request::Open { file: 7, subfile: 2, len: 4096, tenant: 31 };
+        let v5 = req.encode_payload_at(5);
+        let v6 = req.encode_payload_at(6);
+        assert_eq!(v5.len() + 4, v6.len(), "v6 adds exactly the u32 tenant field");
+        // Both versions start with the deadline prefix; strip it for the
+        // body-level decode used here.
+        assert_eq!(
+            Request::decode_at(5, op::OPEN, &v5).unwrap(),
+            Request::Open { file: 7, subfile: 2, len: 4096, tenant: 0 },
+            "v5 decodes to the anonymous tenant"
+        );
+        assert_eq!(Request::decode_at(6, op::OPEN, &v6).unwrap(), req, "v6 carries it through");
+        // A v6 Open truncated inside the tenant field is a typed error.
+        assert_eq!(Request::decode_at(6, op::OPEN, &v6[..v6.len() - 2]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn striped_view(file: u64) -> Request {
 }
 
 fn open_with_view(client: &mut NodeClient, file: u64, len: u64) {
-    client.expect_ok(&Request::Open { file, subfile: 0, len }).expect("open");
+    client.expect_ok(&Request::Open { file, subfile: 0, len, tenant: 0 }).expect("open");
     client.expect_ok(&striped_view(file)).expect("set view");
 }
 

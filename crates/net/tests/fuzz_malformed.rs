@@ -94,7 +94,7 @@ impl Attack {
     /// connection (i.e. hostile input did not kill or wedge it).
     fn assert_alive(&self) {
         let mut s = self.connect();
-        let req = Request::Open { file: 99, subfile: 0, len: 8 };
+        let req = Request::Open { file: 99, subfile: 0, len: 8, tenant: 0 };
         wire::write_frame(&mut s, req.opcode(), 7, &req.encode_payload()).expect("send");
         let frame = wire::read_frame(&mut s, DEFAULT_MAX_FRAME).expect("daemon replies");
         assert_eq!(frame.request_id, 7);
@@ -207,7 +207,7 @@ fn malicious_setview_trees_are_rejected_not_recursed() {
     let mut s = attack.connect();
     // Open a file so SetView reaches the decoder, then send a view whose
     // FALLS tree nests beyond the decoder's depth budget.
-    let open = Request::Open { file: 5, subfile: 0, len: 64 };
+    let open = Request::Open { file: 5, subfile: 0, len: 64, tenant: 0 };
     wire::write_frame(&mut s, open.opcode(), 1, &open.encode_payload()).expect("open");
     wire::read_frame(&mut s, DEFAULT_MAX_FRAME).expect("open reply");
     let mut tree = RawFalls::leaf(0, 0, 1, 1);

@@ -112,7 +112,7 @@ fn mid_frame_disconnect_during_write_upload_applies_exactly_once() {
     let mut proxy = chaos_proxy("127.0.0.1:0", daemon.addr(), plan).expect("proxy");
     let mut client = NodeClient::new(proxy.addr());
 
-    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN }).expect("open");
+    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN, tenant: 0 }).expect("open");
     client.expect_ok(&striped_view(file)).expect("set view");
     let reply = client.call(&stamped_write(file, 77, 1, 0xAB)).expect("write survives torn frame");
     assert_eq!(
@@ -193,7 +193,7 @@ fn dedup_window_eviction_under_sequence_wraparound() {
     let config = DaemonConfig { dedup_window: 2, ..Default::default() };
     let daemon = serve("127.0.0.1:0", config).expect("serve");
     let mut client = NodeClient::new(daemon.addr());
-    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN }).expect("open");
+    client.expect_ok(&Request::Open { file, subfile: 0, len: SUB_LEN, tenant: 0 }).expect("open");
     client.expect_ok(&striped_view(file)).expect("set view");
 
     let call = |client: &mut NodeClient, seq: u64, fill: u8| {

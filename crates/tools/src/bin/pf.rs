@@ -8,10 +8,12 @@
 //! pf owner   <part.json> <offset>        # which element owns a file byte
 //! pf intersect <a.json> <ea> <b.json> <eb>   # intersection + projections
 //! pf plan    <a.json> <b.json> [--stats] # plan summary (+ cache counters)
-//! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS] [--workers N]  # run an I/O-node daemon
+//! pf plan --stats                        # cache counters only (incl. persistent tier)
+//! pf plan --purge                        # drop the persistent plan-cache file
+//! pf serve   <addr> [--dir DIR] [--chaos SPEC] [--scrub SECS] [--workers N] [--tenant-quota N] [--no-fair]  # run an I/O-node daemon
 //! pf chaos   <listen> <up1[,up2,…]> <SPEC> [--duration SECS] [--delay MS]  # fault proxy
-//! pf io <a1,a2,…> demo <n> [--pipeline] [--replicas R]  # matrix scenario over real daemons
-//! pf io <a1,a2,…> work <reads> [--deadline MS] [--replicas R]  # deadline-bounded read workload
+//! pf io <a1,a2,…> demo <n> [--pipeline] [--replicas R] [--tenant T]  # matrix scenario over real daemons
+//! pf io <a1,a2,…> work <reads> [--deadline MS] [--replicas R] [--tenant T]  # deadline-bounded read workload
 //! pf io <a1,a2,…> stat <file>            # per-subfile daemon statistics
 //! pf io <a1,a2,…> fetch <file>           # reassembled length + CRC32C (read path)
 //! pf io <a1,a2,…> probe                  # ping every daemon, print health/epoch
@@ -37,6 +39,20 @@
 //! mismatches in `stat` (`checksum_errors`), so a `pf scrub` sweep from
 //! any client can find and repair them. `pf scrub --verify` probes and
 //! votes without repairing (exit 5 when redundancy is degraded).
+//!
+//! Set `PF_PLAN_CACHE=<path>` to back the plan cache with a persistent
+//! on-disk tier: compiled view plans survive the process, so a restarted
+//! `pf` (or daemon) starts warm. `pf plan --stats` reports the tier's
+//! entries/bytes and hit/miss/load-failure counters; `pf plan --purge`
+//! deletes the file. Corrupt or version-stale cache files silently degrade
+//! to cold compiles — never an error.
+//!
+//! `pf io … --tenant T` stamps every `Open` with tenant id `T` (protocol
+//! ≥ 6). A reactor daemon (`pf serve --workers N`) dispatches queued
+//! frames per-tenant with deficit round robin and, with
+//! `--tenant-quota N`, sheds a tenant's frames beyond N in flight;
+//! `--no-fair` reverts to the single FIFO (one hot tenant can starve the
+//! rest — see the serving bench).
 //!
 //! Partition files use the JSON forms documented in the `pf-tools` library;
 //! pass `-` to read from stdin.
@@ -77,8 +93,9 @@ fn parse_u64(s: &str, what: &str) -> Result<u64, ToolError> {
 
 /// Strips a `--replicas R` flag (default 1) out of an argument slice,
 /// returning the remaining arguments in order.
-fn split_replicas_flag(args: &[String]) -> Result<(Vec<&String>, usize), ToolError> {
+fn split_replicas_flag(args: &[String]) -> Result<(Vec<&String>, usize, u32), ToolError> {
     let mut replicas = 1usize;
+    let mut tenant = 0u32;
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,11 +104,47 @@ fn split_replicas_flag(args: &[String]) -> Result<(Vec<&String>, usize), ToolErr
             replicas = r
                 .parse()
                 .map_err(|_| ToolError::Spec(format!("--replicas must be a number, got {r:?}")))?;
+        } else if a == "--tenant" {
+            let t = it.next().ok_or_else(usage)?;
+            tenant = t
+                .parse()
+                .map_err(|_| ToolError::Spec(format!("--tenant must be a number, got {t:?}")))?;
         } else {
             rest.push(a);
         }
     }
-    Ok((rest, replicas))
+    Ok((rest, replicas, tenant))
+}
+
+/// `pf plan --stats`: in-memory LRU counters plus, when `PF_PLAN_CACHE`
+/// is set, the persistent tier's size and hit/miss/load-failure counters.
+fn print_plan_stats(engine: &PlanEngine) {
+    let stats = engine.stats();
+    println!(
+        "plan cache: views {} hit / {} miss / {} evicted ({} entries), \
+         redists {} hit / {} miss / {} evicted ({} entries)",
+        stats.views.hits,
+        stats.views.misses,
+        stats.views.evictions,
+        stats.views.entries,
+        stats.redists.hits,
+        stats.redists.misses,
+        stats.redists.evictions,
+        stats.redists.entries
+    );
+    match (engine.persist_stats(), engine.persist_path()) {
+        (Some(p), Some(path)) => println!(
+            "persistent tier ({}): {} entries, {} bytes, {} hit / {} miss, \
+             {} load failure(s)",
+            path.display(),
+            p.entries,
+            p.bytes,
+            p.hits,
+            p.misses,
+            p.load_failures
+        ),
+        _ => println!("persistent tier: disabled (set PF_PLAN_CACHE=<path> to enable)"),
+    }
 }
 
 fn parse_elem(s: &str, part: &parafile::Partition) -> Result<usize, ToolError> {
@@ -188,10 +241,32 @@ fn run(args: &[String]) -> Result<(), ToolError> {
         }
         "plan" => {
             let show_stats = args.iter().any(|a| a == "--stats");
-            let positional: Vec<&String> = args[1..].iter().filter(|a| *a != "--stats").collect();
+            let purge = args.iter().any(|a| a == "--purge");
+            let positional: Vec<&String> =
+                args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            let engine = PlanEngine::global();
+            if purge {
+                match engine.persist_path() {
+                    Some(path) => {
+                        let shown = path.display().to_string();
+                        engine
+                            .purge_persist()
+                            .map_err(|e| ToolError::Spec(format!("purge failed: {e}")))?;
+                        println!("purged persistent plan cache at {shown}");
+                    }
+                    None => println!("no persistent plan cache configured (set PF_PLAN_CACHE)"),
+                }
+                if positional.is_empty() {
+                    return Ok(());
+                }
+            }
+            if positional.is_empty() && show_stats {
+                // Counters-only mode: no partitions to plan, just report.
+                print_plan_stats(engine);
+                return Ok(());
+            }
             let a = load_partition(positional.first().ok_or_else(usage)?)?;
             let b = load_partition(positional.get(1).ok_or_else(usage)?)?;
-            let engine = PlanEngine::global();
             let plan = engine.compile_redist(&a, &b)?;
             let m = MatchingDegree::from_plan(plan.plan(), &b);
             println!(
@@ -215,19 +290,7 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                 );
             }
             if show_stats {
-                let stats = engine.stats();
-                println!(
-                    "plan cache: views {} hit / {} miss / {} evicted ({} entries), \
-                     redists {} hit / {} miss / {} evicted ({} entries)",
-                    stats.views.hits,
-                    stats.views.misses,
-                    stats.views.evictions,
-                    stats.views.entries,
-                    stats.redists.hits,
-                    stats.redists.misses,
-                    stats.redists.evictions,
-                    stats.redists.entries
-                );
+                print_plan_stats(engine);
             }
             Ok(())
         }
@@ -258,6 +321,18 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                         // epoll/poll reactor with an N-thread worker pool.
                         config.workers =
                             parse_u64(rest.next().ok_or_else(usage)?, "--workers")? as usize;
+                    }
+                    "--tenant-quota" => {
+                        // Frames one tenant may hold in flight before its
+                        // excess is shed with Busy (reactor mode only;
+                        // tenant 0 — anonymous — is never metered).
+                        config.tenant_inflight =
+                            parse_u64(rest.next().ok_or_else(usage)?, "--tenant-quota")? as usize;
+                    }
+                    "--no-fair" => {
+                        // Single FIFO across tenants: a hot client's
+                        // connection count buys it proportional service.
+                        config.fair = false;
                     }
                     other => return Err(ToolError::Spec(format!("unknown flag {other:?}"))),
                 }
@@ -383,12 +458,13 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         "io" => {
-            let (rest, replicas) = split_replicas_flag(&args[1..])?;
+            let (rest, replicas, tenant) = split_replicas_flag(&args[1..])?;
             let addrs: Vec<String> =
                 rest.first().ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
             let sub = rest.get(1).ok_or_else(usage)?;
-            let mut session =
-                parafile_net::Session::connect_replicated(&addrs, replicas).map_err(net_err)?;
+            let mut session = parafile_net::Session::connect_replicated(&addrs, replicas)
+                .map_err(net_err)?
+                .with_tenant(tenant);
             match sub.as_str() {
                 // The paper's experiment over live daemons: row-block views
                 // onto a column-block file, every node writes its view, the
@@ -621,7 +697,7 @@ fn run(args: &[String]) -> Result<(), ToolError> {
             let verify = args.iter().any(|a| a == "--verify");
             let without_verify: Vec<String> =
                 args[1..].iter().filter(|a| *a != "--verify").cloned().collect();
-            let (rest, replicas) = split_replicas_flag(&without_verify)?;
+            let (rest, replicas, _tenant) = split_replicas_flag(&without_verify)?;
             let addrs: Vec<String> =
                 rest.first().ok_or_else(usage)?.split(',').map(|s| s.trim().to_string()).collect();
             let file = parse_u64(rest.get(1).ok_or_else(usage)?, "file id")?;

@@ -234,7 +234,7 @@ fn write_retried_across_daemon_restart_applies_exactly_once() {
     let sub_len = 16u64;
     // A strided view whose full-view write scatters into two subfile
     // segments, [0,3] and [8,11] — the crash lands between them.
-    let open = Request::Open { file, subfile: 0, len: sub_len };
+    let open = Request::Open { file, subfile: 0, len: sub_len, tenant: 0 };
     let view = Request::SetView {
         file,
         compute: 0,

@@ -160,7 +160,7 @@ fn audit_rejects_bad_view_patterns_over_the_socket() {
     let (_daemons, addrs) = nodes();
     let mut client = NodeClient::new(&addrs[0]);
     let file = 3000u64;
-    client.expect_ok(&Request::Open { file, subfile: 0, len: 64 }).expect("open");
+    client.expect_ok(&Request::Open { file, subfile: 0, len: 64, tenant: 0 }).expect("open");
 
     // Two elements claiming the same bytes: PA overlap, error severity.
     let overlapping = RawPattern {
@@ -252,4 +252,62 @@ fn concurrent_sessions_write_disjoint_views() {
     for (x, &b) in contents.iter().enumerate() {
         assert_eq!(b, file_byte(x as u64), "file byte {x}");
     }
+}
+
+/// A tenanted workload against a reactor daemon with the per-tenant
+/// inflight quota at its tightest (1): quota sheds surface as Busy, the
+/// session's retry machinery absorbs them, and every byte still lands.
+#[test]
+fn tenant_quota_sheds_are_absorbed_by_retries() {
+    let n = 16u64;
+    let file_len = n * n;
+    let config = parafile_net::DaemonConfig {
+        backend: StorageBackend::Memory,
+        workers: 2,
+        tenant_inflight: 1,
+        fair: true,
+        ..parafile_net::DaemonConfig::default()
+    };
+    let mut daemon = parafile_net::serve("127.0.0.1:0", config).expect("spawn reactor daemon");
+    let addrs = vec![daemon.addr().to_string()];
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 1);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 1);
+    let file = 5000u64;
+    let mut s = Session::connect(&addrs).with_tenant(42);
+    assert_eq!(s.tenant(), 42);
+    s.create_file(file, physical, file_len).expect("create");
+    s.set_view(0, file, &logical, 0).expect("view");
+    let data: Vec<u8> = (0..file_len).map(file_byte).collect();
+    let written = s.write(0, file, 0, file_len - 1, &data).expect("write under quota");
+    assert_eq!(written, file_len);
+    assert_eq!(s.read(0, file, 0, file_len - 1).expect("read back"), data);
+    drop(s);
+    daemon.stop();
+}
+
+/// A v6 client with a tenant id against a daemon capped at protocol v5:
+/// the negotiation steps down, the Open loses its tenant field on the
+/// wire (decoded as the anonymous tenant), and I/O works untouched.
+#[test]
+fn tenant_field_degrades_gracefully_against_a_v5_daemon() {
+    let n = 16u64;
+    let file_len = n * n;
+    let config = parafile_net::DaemonConfig {
+        backend: StorageBackend::Memory,
+        max_version: 5,
+        ..parafile_net::DaemonConfig::default()
+    };
+    let mut daemon = parafile_net::serve("127.0.0.1:0", config).expect("spawn v5 daemon");
+    let addrs = vec![daemon.addr().to_string()];
+    let physical = MatrixLayout::ColumnBlocks.partition(n, n, 1, 1);
+    let logical = MatrixLayout::RowBlocks.partition(n, n, 1, 1);
+    let file = 5100u64;
+    let mut s = Session::connect(&addrs).with_tenant(7);
+    s.create_file(file, physical, file_len).expect("create against v5 daemon");
+    s.set_view(0, file, &logical, 0).expect("view");
+    let data: Vec<u8> = (0..file_len).map(file_byte).collect();
+    assert_eq!(s.write(0, file, 0, file_len - 1, &data).expect("write"), file_len);
+    assert_eq!(s.read(0, file, 0, file_len - 1).expect("read back"), data);
+    drop(s);
+    daemon.stop();
 }
